@@ -1,0 +1,10 @@
+//! Prints the "vanilla BERT representations" figures: the PCA scatter
+//! (Figure 1) and the k=5 clustering confusion matrix (Figure 2).
+
+fn main() {
+    let cfg = structmine_bench::BenchConfig::from_env();
+    for table in structmine_bench::exps::figures::run(&cfg) {
+        println!("{table}");
+    }
+    println!("{}", structmine_bench::exps::figures::ascii_scatter(&cfg));
+}

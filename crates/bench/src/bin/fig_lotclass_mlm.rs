@@ -1,0 +1,6 @@
+//! Prints the LOTClass Table-1 analogue: MLM replacement predictions for
+//! one polysemous word under two different contexts.
+
+fn main() {
+    println!("{}", structmine_bench::exps::lotclass::table1_demo());
+}

@@ -1,0 +1,10 @@
+//! E11 (extension) — design-choice ablations: PLM scaling curve, WeSTClass
+//! pseudo-document budget, X-Class GMM anchoring, ConWea expansion width.
+
+fn main() {
+    let cfg = structmine_bench::BenchConfig::from_env();
+    eprintln!("running ablations (scale={}, seeds={})...", cfg.scale, cfg.seeds);
+    for table in structmine_bench::exps::ablations::run(&cfg) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,133 @@
+//! E2 — the ConWea table (ACL'20): Micro-/Macro-F1 on coarse and fine
+//! NYT/20News stand-ins, with the NoCon / NoExpan / WSD ablations.
+
+use crate::table::ms;
+use crate::{adapted_plm, standard_word_vectors, BenchConfig, Table};
+use structmine::baselines;
+use structmine::conwea::ConWea;
+use structmine::westclass::WeSTClass;
+use structmine_eval::MeanStd;
+use structmine_text::synth::recipes;
+
+const DATASETS: &[&str] = &["nyt-coarse", "nyt-fine", "20news-coarse", "20news-fine"];
+
+/// Run E2.
+pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+    let mut t = Table::new("E2 — ConWea reproduction (Micro-F1 / Macro-F1, test split)");
+    t.note(format!(
+        "seeds={}, scale={}; paper reference (NYT 5-class micro): IR-TF-IDF 0.65, \
+         WeSTClass 0.91, ConWea 0.95, ConWea-NoCon 0.91, ConWea-NoExpan 0.92, ConWea-WSD 0.83",
+        cfg.seeds, cfg.scale
+    ));
+    let mut header = vec!["method".to_string()];
+    for d in DATASETS {
+        header.push(format!("{d} (mi/ma)"));
+    }
+    t.headers(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    let methods: &[&str] =
+        &["IR-TF-IDF", "WeSTClass", "ConWea", "ConWea-NoCon", "ConWea-NoExpan", "ConWea-WSD", "Supervised"];
+    let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.to_string()]).collect();
+    let mut agg: std::collections::HashMap<&str, Vec<f32>> = std::collections::HashMap::new();
+
+    for ds in DATASETS {
+        let mut micro: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
+        let mut macro_: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
+        for &seed in &cfg.seed_values() {
+            let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+            let sup = d.supervision_keywords();
+            let wv = standard_word_vectors(&d);
+            let plm = adapted_plm(&d, seed);
+            let results: Vec<Vec<usize>> = vec![
+                baselines::ir_tfidf(&d, &sup),
+                WeSTClass { seed, ..Default::default() }.run(&d, &sup, &wv).predictions,
+                ConWea { seed, ..Default::default() }.run(&d, &sup, &plm).predictions,
+                ConWea { contextualize: false, seed, ..Default::default() }
+                    .run(&d, &sup, &plm)
+                    .predictions,
+                ConWea { expand: false, seed, ..Default::default() }
+                    .run(&d, &sup, &plm)
+                    .predictions,
+                ConWea { wsd_fallback: true, seed, ..Default::default() }
+                    .run(&d, &sup, &plm)
+                    .predictions,
+                {
+                    let features = structmine::common::plm_features(&d, &plm);
+                    baselines::supervised(&d, &features, seed)
+                },
+            ];
+            for (m, preds) in results.iter().enumerate() {
+                micro[m].push(crate::test_accuracy(&d, preds));
+                macro_[m].push(crate::test_macro_f1(&d, preds));
+                agg.entry(methods[m]).or_default().push(crate::test_accuracy(&d, preds));
+            }
+        }
+        for m in 0..methods.len() {
+            rows[m].push(format!(
+                "{} / {}",
+                ms(MeanStd::of(&micro[m])),
+                ms(MeanStd::of(&macro_[m]))
+            ));
+        }
+    }
+    for row in rows {
+        t.row(row);
+    }
+
+    let mean = |m: &str| {
+        let v = &agg[m];
+        v.iter().sum::<f32>() / v.len() as f32
+    };
+    t.check(
+        format!("ConWea ({:.3}) beats IR-TF-IDF ({:.3})", mean("ConWea"), mean("IR-TF-IDF")),
+        mean("ConWea") > mean("IR-TF-IDF"),
+    );
+    t.check(
+        format!(
+            "contextualization helps: ConWea ({:.3}) >= NoCon ({:.3})",
+            mean("ConWea"),
+            mean("ConWea-NoCon")
+        ),
+        mean("ConWea") >= mean("ConWea-NoCon") - 0.01,
+    );
+    t.check(
+        format!(
+            "expansion helps: ConWea ({:.3}) >= NoExpan ({:.3})",
+            mean("ConWea"),
+            mean("ConWea-NoExpan")
+        ),
+        mean("ConWea") >= mean("ConWea-NoExpan") - 0.01,
+    );
+    t.check(
+        format!(
+            "contextual beats static WSD: ConWea ({:.3}) >= WSD ({:.3})",
+            mean("ConWea"),
+            mean("ConWea-WSD")
+        ),
+        mean("ConWea") >= mean("ConWea-WSD") - 0.01,
+    );
+    t.check(
+        format!(
+            "supervised upper bound ({:.3}) >= ConWea ({:.3})",
+            mean("Supervised"),
+            mean("ConWea")
+        ),
+        mean("Supervised") >= mean("ConWea") - 0.02,
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_table_has_expected_shape() {
+        // Tiny smoke run (single coarse dataset grid entries still produced).
+        let cfg = BenchConfig { scale: 0.05, seeds: 1 };
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 7);
+        assert_eq!(tables[0].rows[0].len(), 1 + DATASETS.len());
+    }
+}

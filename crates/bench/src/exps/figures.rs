@@ -1,0 +1,140 @@
+//! E4b — the "how powerful are vanilla BERT representations" figures:
+//! Figure 1 (2-D PCA of average-pooled representations colored by domain)
+//! and Figure 2 (confusion matrix of k=5 clustering against domains).
+
+use crate::{adapted_plm, standard_plm, BenchConfig, Table};
+use structmine_cluster::{confusion_matrix, kmeans, map_clusters_to_classes};
+use structmine_linalg::Pca;
+use structmine_text::synth::recipes;
+
+/// Run E4b: PCA scatter summary + clustering confusion matrix.
+pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+    let d = recipes::nyt_coarse(cfg.scale, 7);
+    let plm = adapted_plm(&d, 7);
+    let reps = structmine_plm::repr::doc_mean_reps(&plm, &d.corpus);
+    let gold: Vec<usize> = d.corpus.docs.iter().map(|doc| doc.labels[0]).collect();
+    let k = d.n_classes();
+
+    // ---- Figure 1: PCA projection, summarized per class -------------------
+    let pca = Pca::fit(&reps, 2);
+    let proj = pca.transform(&reps);
+    let mut fig1 = Table::new(
+        "E4b/Fig1 — PCA of average-pooled PLM document representations (per-class centroids)",
+    );
+    fig1.note("paper analogue: average-pooled BERT sentence vectors separate domains in 2-D PCA");
+    fig1.headers(&["class", "pc1 centroid", "pc2 centroid", "docs"]);
+    let mut centroids = vec![(0.0f32, 0.0f32, 0usize); k];
+    for (i, &g) in gold.iter().enumerate() {
+        centroids[g].0 += proj.get(i, 0);
+        centroids[g].1 += proj.get(i, 1);
+        centroids[g].2 += 1;
+    }
+    for (c, (x, y, n)) in centroids.iter().enumerate() {
+        fig1.row(vec![
+            d.labels.names[c].clone(),
+            format!("{:.3}", x / *n as f32),
+            format!("{:.3}", y / *n as f32),
+            n.to_string(),
+        ]);
+    }
+    // Separation check: the mean inter-centroid distance must exceed the
+    // mean within-class scatter in the projected plane.
+    let cents: Vec<(f32, f32)> =
+        centroids.iter().map(|(x, y, n)| (x / *n as f32, y / *n as f32)).collect();
+    let mut within = 0.0f32;
+    for (i, &g) in gold.iter().enumerate() {
+        let dx = proj.get(i, 0) - cents[g].0;
+        let dy = proj.get(i, 1) - cents[g].1;
+        within += (dx * dx + dy * dy).sqrt();
+    }
+    within /= gold.len() as f32;
+    let mut between = 0.0f32;
+    let mut pairs = 0usize;
+    for a in 0..k {
+        for b in (a + 1)..k {
+            let dx = cents[a].0 - cents[b].0;
+            let dy = cents[a].1 - cents[b].1;
+            between += (dx * dx + dy * dy).sqrt();
+            pairs += 1;
+        }
+    }
+    between /= pairs as f32;
+    fig1.check(
+        format!("classes separate in PCA plane (between {between:.3} vs within {within:.3})"),
+        between > within,
+    );
+    fig1.note(format!(
+        "explained variance of the two components: {:?}",
+        pca.explained_variance().iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>()
+    ));
+
+    // ---- Figure 2: k-means confusion matrix --------------------------------
+    let result = kmeans(&reps, k, 5, 100, None);
+    let mapping = map_clusters_to_classes(&result.assignments, &gold, k);
+    let remapped: Vec<usize> = result.assignments.iter().map(|&a| mapping[a]).collect();
+    let cm = confusion_matrix(&remapped, &gold, k, k);
+    let mut fig2 = Table::new("E4b/Fig2 — confusion matrix of k=5 clustering vs domains");
+    let mut header = vec!["cluster \\ gold".to_string()];
+    header.extend(d.labels.names.iter().cloned());
+    fig2.headers(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for (c, row) in cm.iter().enumerate() {
+        let mut cells = vec![d.labels.names[c].clone()];
+        cells.extend(row.iter().map(|v| v.to_string()));
+        fig2.row(cells);
+    }
+    let acc = structmine_cluster::align::aligned_accuracy(&result.assignments, &gold, k);
+    let purity = structmine_cluster::quality::purity(&result.assignments, &gold);
+    let nmi = structmine_cluster::quality::nmi(&result.assignments, &gold);
+    fig2.note(format!("aligned accuracy {acc:.3}, purity {purity:.3}, NMI {nmi:.3}"));
+    fig2.check(
+        format!("clustering recovers domains far above chance (acc {acc:.3} vs {:.3})", 1.0 / k as f32),
+        acc > 2.0 / k as f32,
+    );
+    vec![fig1, fig2]
+}
+
+/// ASCII scatter of the PCA projection (printed by the figure binary).
+pub fn ascii_scatter(cfg: &BenchConfig) -> String {
+    let plm = standard_plm();
+    let d = recipes::nyt_coarse((cfg.scale * 0.5).max(0.03), 7);
+    let reps = structmine_plm::repr::doc_mean_reps(&plm, &d.corpus);
+    let pca = Pca::fit(&reps, 2);
+    let proj = pca.transform(&reps);
+    let (w, h) = (72usize, 24usize);
+    let mut grid = vec![vec![' '; w]; h];
+    let (mut min_x, mut max_x, mut min_y, mut max_y) =
+        (f32::MAX, f32::MIN, f32::MAX, f32::MIN);
+    for i in 0..proj.rows() {
+        min_x = min_x.min(proj.get(i, 0));
+        max_x = max_x.max(proj.get(i, 0));
+        min_y = min_y.min(proj.get(i, 1));
+        max_y = max_y.max(proj.get(i, 1));
+    }
+    let glyphs = ['p', 'a', 'b', 's', 'S', '6', '7', '8', '9'];
+    for i in 0..proj.rows() {
+        let x = ((proj.get(i, 0) - min_x) / (max_x - min_x + 1e-6) * (w - 1) as f32) as usize;
+        let y = ((proj.get(i, 1) - min_y) / (max_y - min_y + 1e-6) * (h - 1) as f32) as usize;
+        let class = d.corpus.docs[i].labels[0];
+        grid[h - 1 - y][x] = glyphs[class % glyphs.len()];
+    }
+    let mut out = String::from("PCA scatter (p=politics a=arts b=business s=science S=sports):\n");
+    for row in grid {
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_scatter_has_expected_dimensions() {
+        // Uses the Test-tier via env? No — uses standard tier; keep tiny.
+        let s = ascii_scatter(&BenchConfig { scale: 0.06, seeds: 1 });
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 25);
+        assert!(lines[1..].iter().all(|l| l.chars().count() == 72));
+    }
+}

@@ -1,0 +1,165 @@
+//! E3 — the LOTClass table (EMNLP'20): accuracy on AG News, DBpedia, IMDB
+//! and Amazon with label names only, plus the "w/o self train" ablation and
+//! the Table-1 MLM replacement demo (E3b).
+
+use crate::table::ms;
+use crate::{adapted_plm, standard_plm, standard_word_vectors, BenchConfig, Table};
+use structmine::baselines;
+use structmine::lotclass::{replacement_demo, LotClass};
+use structmine::westclass::WeSTClass;
+use structmine_eval::MeanStd;
+use structmine_text::synth::recipes;
+
+const DATASETS: &[&str] = &["agnews", "dbpedia", "imdb", "amazon"];
+
+/// Run E3.
+pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+    let mut t = Table::new("E3 — LOTClass reproduction (accuracy, label names only)");
+    t.note(format!(
+        "seeds={}, scale={}; paper reference (AG News): Dataless 0.696, WeSTClass 0.823, \
+         BERT-match 0.752, LOTClass w/o self-train 0.822, LOTClass 0.864, Supervised BERT 0.944",
+        cfg.seeds, cfg.scale
+    ));
+    let mut header = vec!["method".to_string()];
+    header.extend(DATASETS.iter().map(|d| d.to_string()));
+    t.headers(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    let methods: &[&str] = &[
+        "Dataless",
+        "WeSTClass",
+        "BERT-simple-match",
+        "LOTClass w/o self-train",
+        "LOTClass",
+        "Supervised",
+    ];
+    let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.to_string()]).collect();
+    let mut agg: std::collections::HashMap<&str, Vec<f32>> = std::collections::HashMap::new();
+
+    for ds in DATASETS {
+        let mut accs: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
+        for &seed in &cfg.seed_values() {
+            let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+            let names = d.supervision_names();
+            let wv = standard_word_vectors(&d);
+            let plm = adapted_plm(&d, seed);
+            let lot = LotClass { seed, ..Default::default() }.run(&d, &plm);
+            let results: Vec<Vec<usize>> = vec![
+                baselines::dataless(&d, &names, &wv),
+                WeSTClass { seed, ..Default::default() }.run(&d, &names, &wv).predictions,
+                baselines::bert_simple_match(&d, &plm),
+                lot.pretrain_predictions.clone(),
+                lot.predictions.clone(),
+                {
+                    let features = structmine::common::plm_features(&d, &plm);
+                    baselines::supervised(&d, &features, seed)
+                },
+            ];
+            for (m, preds) in results.iter().enumerate() {
+                let acc = crate::test_accuracy(&d, preds);
+                accs[m].push(acc);
+                agg.entry(methods[m]).or_default().push(acc);
+            }
+        }
+        for m in 0..methods.len() {
+            rows[m].push(ms(MeanStd::of(&accs[m])));
+        }
+    }
+    for row in rows {
+        t.row(row);
+    }
+
+    let mean = |m: &str| {
+        let v = &agg[m];
+        v.iter().sum::<f32>() / v.len() as f32
+    };
+    t.check(
+        format!(
+            "LOTClass ({:.3}) beats BERT simple match ({:.3})",
+            mean("LOTClass"),
+            mean("BERT-simple-match")
+        ),
+        mean("LOTClass") > mean("BERT-simple-match"),
+    );
+    t.check(
+        format!(
+            "self-training helps: LOTClass ({:.3}) >= w/o self-train ({:.3})",
+            mean("LOTClass"),
+            mean("LOTClass w/o self-train")
+        ),
+        mean("LOTClass") >= mean("LOTClass w/o self-train") - 0.01,
+    );
+    t.check(
+        format!(
+            "LOTClass ({:.3}) beats Dataless ({:.3})",
+            mean("LOTClass"),
+            mean("Dataless")
+        ),
+        mean("LOTClass") > mean("Dataless"),
+    );
+    t.check(
+        format!(
+            "supervised bound ({:.3}) >= LOTClass ({:.3})",
+            mean("Supervised"),
+            mean("LOTClass")
+        ),
+        mean("Supervised") >= mean("LOTClass") - 0.02,
+    );
+
+    vec![t, table1_demo()]
+}
+
+/// E3b — the paper's Table 1: MLM replacements for one surface word under
+/// two different contexts.
+pub fn table1_demo() -> Table {
+    let plm = standard_plm();
+    let corpus = recipes::pretraining_corpus(2, 1);
+    let v = &corpus.vocab;
+    let id = |w: &str| v.id(w).expect("demo word in vocabulary");
+    // "pitch" as the playing surface vs as a musical property.
+    let soccer_ctx =
+        vec![id("soccer"), id("striker"), id("pitch"), id("goal"), id("keeper"), id("offside")];
+    let music_ctx =
+        vec![id("band"), id("singer"), id("pitch"), id("melody"), id("concert"), id("chorus")];
+    let demos = replacement_demo(&plm, v, &[soccer_ctx, music_ctx], id("pitch"), 8);
+
+    let mut t = Table::new("E3b — LOTClass Table 1: MLM predictions for 'pitch' in two contexts");
+    t.note("paper analogue: BERT's replacements for 'sports' differ between a sports story and a gadget story");
+    t.headers(&["context", "top MLM replacements"]);
+    let render = |d: &[(String, f32)]| {
+        d.iter().map(|(w, p)| format!("{w}({p:.3})")).collect::<Vec<_>>().join(", ")
+    };
+    t.row(vec!["soccer: 'striker … goal keeper offside'".into(), render(&demos[0])]);
+    t.row(vec!["music:  'band singer … melody concert'".into(), render(&demos[1])]);
+
+    let words = |d: &[(String, f32)]| -> std::collections::HashSet<String> {
+        d.iter().map(|(w, _)| w.clone()).collect()
+    };
+    let a = words(&demos[0]);
+    let b = words(&demos[1]);
+    let overlap = a.intersection(&b).count();
+    t.check(
+        format!("contexts produce different replacement lists (overlap {overlap}/8)"),
+        overlap < 6,
+    );
+    let soccer_lex = structmine_text::synth::lexicon::lexicon("soccer");
+    let music_lex = structmine_text::synth::lexicon::lexicon("music");
+    let soccer_hits = a.iter().filter(|w| soccer_lex.contains(&w.as_str())).count();
+    let music_hits = b.iter().filter(|w| music_lex.contains(&w.as_str())).count();
+    t.check(
+        format!("replacements are context-topical (soccer {soccer_hits}/8, music {music_hits}/8)"),
+        soccer_hits >= 2 && music_hits >= 2,
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_demo_runs_and_differs() {
+        let t = table1_demo();
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.checks[0].1, "replacement lists should differ: {:?}", t.rows);
+    }
+}

@@ -1,0 +1,114 @@
+//! E8 — the MetaCat tables (SIGIR'20): Micro- and Macro-F1 on GitHub-Bio,
+//! GitHub-AI, GitHub-Sec, Amazon and Twitter stand-ins with a few labeled
+//! documents, against text-only and graph-only baselines.
+
+use crate::table::ms;
+use crate::{standard_word_vectors, BenchConfig, Table};
+use structmine::metacat::{MetaCat, SignalSet};
+use structmine::westclass::WeSTClass;
+use structmine_eval::MeanStd;
+use structmine_text::synth::recipes;
+
+const DATASETS: &[&str] = &["github-bio", "github-ai", "github-sec", "amazon-meta", "twitter"];
+const DOCS_PER_CLASS: usize = 5;
+
+/// Run E8.
+pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+    let mut micro_t = Table::new("E8 — MetaCat reproduction (Micro-F1, 5 labeled docs/class)");
+    micro_t.note(format!(
+        "seeds={}, scale={}; paper reference (GitHub-Bio micro): CNN 0.223, WeSTClass 0.368, \
+         PTE 0.317, metapath2vec 0.396, MetaCat 0.526",
+        cfg.seeds, cfg.scale
+    ));
+    let mut header = vec!["method".to_string()];
+    header.extend(DATASETS.iter().map(|d| d.to_string()));
+    micro_t.headers(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut macro_t = Table::new("E8 — MetaCat reproduction (Macro-F1)");
+    macro_t.headers(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    let methods: &[&str] = &[
+        "WeSTClass (text)",
+        "PTE-style (text-only HIN)",
+        "metapath2vec-style (graph-only HIN)",
+        "MetaCat",
+    ];
+    let mut micro_rows: Vec<Vec<String>> =
+        methods.iter().map(|m| vec![m.to_string()]).collect();
+    let mut macro_rows = micro_rows.clone();
+    let mut agg: std::collections::HashMap<(&str, &str), Vec<f32>> =
+        std::collections::HashMap::new();
+
+    for ds in DATASETS {
+        let mut micro: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
+        let mut macro_: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
+        for &seed in &cfg.seed_values() {
+            let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+            let sup = d.supervision_docs(DOCS_PER_CLASS, seed);
+            let wv = standard_word_vectors(&d);
+            let cfg_mc = MetaCat { seed, ..Default::default() };
+            let results: Vec<Vec<usize>> = vec![
+                WeSTClass { seed, ..Default::default() }.run(&d, &sup, &wv).predictions,
+                cfg_mc.run_with_signals(&d, &sup, SignalSet::TextOnly).predictions,
+                cfg_mc.run_with_signals(&d, &sup, SignalSet::GraphOnly).predictions,
+                cfg_mc.run(&d, &sup).predictions,
+            ];
+            for (m, preds) in results.iter().enumerate() {
+                micro[m].push(crate::test_accuracy(&d, preds));
+                macro_[m].push(crate::test_macro_f1(&d, preds));
+                agg.entry((methods[m], ds)).or_default().push(crate::test_accuracy(&d, preds));
+            }
+        }
+        for m in 0..methods.len() {
+            micro_rows[m].push(ms(MeanStd::of(&micro[m])));
+            macro_rows[m].push(ms(MeanStd::of(&macro_[m])));
+        }
+    }
+    for row in micro_rows {
+        micro_t.row(row);
+    }
+    for row in macro_rows {
+        macro_t.row(row);
+    }
+
+    let mean = |m: &str| {
+        let vals: Vec<f32> = DATASETS
+            .iter()
+            .flat_map(|ds| agg[&(m, *ds)].iter().copied())
+            .collect();
+        vals.iter().sum::<f32>() / vals.len() as f32
+    };
+    let small_mean = |m: &str| {
+        // GitHub-Bio and GitHub-AI are the small corpora where the paper
+        // says metadata helps most.
+        let vals: Vec<f32> = ["github-bio", "github-ai"]
+            .iter()
+            .flat_map(|ds| agg[&(m, *ds)].iter().copied())
+            .collect();
+        vals.iter().sum::<f32>() / vals.len() as f32
+    };
+    micro_t.check(
+        format!(
+            "MetaCat ({:.3}) beats text-only HIN ({:.3})",
+            mean("MetaCat"),
+            mean("PTE-style (text-only HIN)")
+        ),
+        mean("MetaCat") >= mean("PTE-style (text-only HIN)") - 0.01,
+    );
+    micro_t.check(
+        format!(
+            "MetaCat ({:.3}) beats graph-only HIN ({:.3})",
+            mean("MetaCat"),
+            mean("metapath2vec-style (graph-only HIN)")
+        ),
+        mean("MetaCat") > mean("metapath2vec-style (graph-only HIN)"),
+    );
+    micro_t.check(
+        format!(
+            "on small corpora MetaCat ({:.3}) beats WeSTClass ({:.3})",
+            small_mean("MetaCat"),
+            small_mean("WeSTClass (text)")
+        ),
+        small_mean("MetaCat") > small_mean("WeSTClass (text)") - 0.01,
+    );
+    vec![micro_t, macro_t]
+}

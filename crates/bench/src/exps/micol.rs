@@ -1,0 +1,149 @@
+//! E9 — the MICoL table (WWW'22): P@1/3/5 and NDCG@3/5 on the MAG-CS and
+//! PubMed stand-ins, zero-shot baselines, four MICoL variants, and the
+//! supervised MATCH-style rows at growing supervision sizes.
+
+use crate::table::ms;
+use crate::{adapted_plm, BenchConfig, Table};
+use structmine::micol::{
+    augmentation_contrastive_ranking, doc2vec_ranking, entail_ranking, plm_rep_ranking,
+    supervised_match_ranking, Encoder, MetaPath, MiCoL,
+};
+use structmine_eval::{ndcg_at_k, precision_at_k, MeanStd};
+use structmine_text::synth::recipes;
+use structmine_text::Dataset;
+
+const DATASETS: &[&str] = &["mag-cs", "pubmed"];
+
+fn eval(d: &Dataset, rankings: &[Vec<usize>]) -> [f32; 5] {
+    let pred: Vec<Vec<usize>> = d.test_idx.iter().map(|&i| rankings[i].clone()).collect();
+    let gold = d.test_gold_sets();
+    [
+        precision_at_k(&pred, &gold, 1),
+        precision_at_k(&pred, &gold, 3),
+        precision_at_k(&pred, &gold, 5),
+        ndcg_at_k(&pred, &gold, 3),
+        ndcg_at_k(&pred, &gold, 5),
+    ]
+}
+
+/// Run E9.
+pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+    let methods: &[&str] = &[
+        "Doc2Vec",
+        "PLM rep (SciBERT-like)",
+        "ZeroShot-Entail",
+        "EDA contrastive",
+        "UDA contrastive",
+        "MICoL (Bi, P→P←P)",
+        "MICoL (Bi, P←(PP)→P)",
+        "MICoL (Cross, P→P←P)",
+        "MICoL (Cross, P←(PP)→P)",
+        "MATCH-sup (10%)",
+        "MATCH-sup (30%)",
+        "MATCH-sup (60%)",
+        "MATCH-sup (100%)",
+    ];
+
+    let mut tables = Vec::new();
+    let mut agg: std::collections::HashMap<&str, Vec<f32>> = std::collections::HashMap::new();
+    for ds in DATASETS {
+        let mut t = Table::new(format!("E9 — MICoL reproduction on {ds} (P@k / NDCG@k)"));
+        t.note(format!(
+            "seeds={}, scale={}; paper reference (MAG-CS P@1): Doc2Vec 0.570, SciBERT 0.644, \
+             ZeroShot-Entail 0.665, MICoL Cross P→P←P 0.718, MATCH 10K 0.442, MATCH full 0.911",
+            cfg.seeds, cfg.scale
+        ));
+        t.headers(&["method", "P@1", "P@3", "P@5", "NDCG@3", "NDCG@5"]);
+        let mut cells: Vec<Vec<[f32; 5]>> = vec![Vec::new(); methods.len()];
+        for &seed in &cfg.seed_values() {
+            let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+            let plm = adapted_plm(&d, seed);
+            let runs: Vec<Vec<Vec<usize>>> = vec![
+                doc2vec_ranking(&d, seed),
+                plm_rep_ranking(&d, &plm),
+                entail_ranking(&d, &plm),
+                augmentation_contrastive_ranking(&d, &plm, false, seed),
+                augmentation_contrastive_ranking(&d, &plm, true, seed),
+                MiCoL { meta_path: MetaPath::SharedReference, seed, ..Default::default() }
+                    .run(&d, &plm),
+                MiCoL { meta_path: MetaPath::CoCited, seed, ..Default::default() }.run(&d, &plm),
+                MiCoL {
+                    encoder: Encoder::Cross,
+                    meta_path: MetaPath::SharedReference,
+                    seed,
+                    ..Default::default()
+                }
+                .run(&d, &plm),
+                MiCoL {
+                    encoder: Encoder::Cross,
+                    meta_path: MetaPath::CoCited,
+                    seed,
+                    ..Default::default()
+                }
+                .run(&d, &plm),
+                supervised_match_ranking(&d, &plm, 0.1, seed),
+                supervised_match_ranking(&d, &plm, 0.3, seed),
+                supervised_match_ranking(&d, &plm, 0.6, seed),
+                supervised_match_ranking(&d, &plm, 1.0, seed),
+            ];
+            for (m, rankings) in runs.iter().enumerate() {
+                let scores = eval(&d, rankings);
+                cells[m].push(scores);
+                agg.entry(methods[m]).or_default().push(scores[0]);
+            }
+        }
+        for (m, name) in methods.iter().enumerate() {
+            let mut row = vec![name.to_string()];
+            for k in 0..5 {
+                let vals: Vec<f32> = cells[m].iter().map(|s| s[k]).collect();
+                row.push(ms(MeanStd::of(&vals)));
+            }
+            t.row(row);
+        }
+        tables.push(t);
+    }
+
+    let mean = |m: &str| {
+        let v = &agg[m];
+        v.iter().sum::<f32>() / v.len() as f32
+    };
+    let best_micol = ["MICoL (Bi, P→P←P)", "MICoL (Bi, P←(PP)→P)", "MICoL (Cross, P→P←P)", "MICoL (Cross, P←(PP)→P)"]
+        .iter()
+        .map(|m| mean(m))
+        .fold(f32::NEG_INFINITY, f32::max);
+    let t = tables.last_mut().unwrap();
+    t.check(
+        format!("best MICoL ({best_micol:.3}) beats Doc2Vec ({:.3})", mean("Doc2Vec")),
+        best_micol > mean("Doc2Vec"),
+    );
+    t.check(
+        format!(
+            "metadata pairs beat augmentation pairs: MICoL ({best_micol:.3}) >= EDA ({:.3})",
+            mean("EDA contrastive")
+        ),
+        best_micol >= mean("EDA contrastive") - 0.01,
+    );
+    t.check(
+        format!(
+            "MICoL ({best_micol:.3}) competitive with partial supervision ({:.3})",
+            mean("MATCH-sup (30%)")
+        ),
+        best_micol >= mean("MATCH-sup (30%)") - 0.10,
+    );
+    t.check(
+        format!(
+            "full supervision wins overall: MATCH-100% ({:.3}) >= best MICoL ({best_micol:.3})",
+            mean("MATCH-sup (100%)")
+        ),
+        mean("MATCH-sup (100%)") >= best_micol - 0.03,
+    );
+    t.check(
+        format!(
+            "supervision scales: MATCH 100% ({:.3}) >= MATCH 10% ({:.3})",
+            mean("MATCH-sup (100%)"),
+            mean("MATCH-sup (10%)")
+        ),
+        mean("MATCH-sup (100%)") >= mean("MATCH-sup (10%)") - 0.02,
+    );
+    tables
+}

@@ -1,0 +1,32 @@
+//! Experiment reproductions, one module per table/figure of the paper
+//! (`DESIGN.md` §3).
+
+pub mod ablations;
+pub mod conwea;
+pub mod figures;
+pub mod lotclass;
+pub mod metacat;
+pub mod micol;
+pub mod promptclass;
+pub mod taxoclass;
+pub mod weshclass;
+pub mod westclass;
+pub mod xclass;
+
+use crate::{BenchConfig, Table};
+
+/// Run every experiment, in paper order. Expensive; used by `run_all`.
+pub fn run_all(cfg: &BenchConfig) -> Vec<Table> {
+    let mut tables = Vec::new();
+    tables.extend(westclass::run(cfg));
+    tables.extend(conwea::run(cfg));
+    tables.extend(lotclass::run(cfg));
+    tables.extend(xclass::run(cfg));
+    tables.extend(figures::run(cfg));
+    tables.extend(promptclass::run(cfg));
+    tables.extend(weshclass::run(cfg));
+    tables.extend(taxoclass::run(cfg));
+    tables.extend(metacat::run(cfg));
+    tables.extend(micol::run(cfg));
+    tables
+}

@@ -1,0 +1,151 @@
+//! E7 — the TaxoClass table (NAACL'21): Example-F1 and P@1 on the Amazon
+//! and DBpedia DAG-taxonomy stand-ins, against WeSHClass-as-baseline,
+//! semi-supervised heads, and Hier-0Shot-TC.
+
+use crate::table::ms;
+use crate::{adapted_plm, standard_word_vectors, BenchConfig, Table};
+use structmine::taxoclass::{hier_zero_shot, semi_supervised, TaxoClass, TaxoClassOutput};
+use structmine::weshclass::WeSHClass;
+use structmine_eval::{example_f1, precision_at_1_sets, MeanStd};
+use structmine_text::synth::recipes;
+use structmine_text::Dataset;
+
+const DATASETS: &[&str] = &["amazon-taxonomy", "dbpedia-taxonomy"];
+
+fn eval(d: &Dataset, out: &TaxoClassOutput) -> (f32, f32) {
+    let pred: Vec<Vec<usize>> = d.test_idx.iter().map(|&i| out.label_sets[i].clone()).collect();
+    let top1: Vec<usize> = d.test_idx.iter().map(|&i| out.top1[i]).collect();
+    let gold = d.test_gold_sets();
+    (example_f1(&pred, &gold), precision_at_1_sets(&top1, &gold))
+}
+
+/// WeSHClass pressed into multi-label service, as in the paper's baselines:
+/// it predicts one root-to-leaf path, used as the label set.
+fn weshclass_as_baseline(d: &Dataset, seed: u64) -> TaxoClassOutput {
+    let wv = standard_word_vectors(d);
+    // Restrict to tree-like behaviour: WeSHClass needs a tree, so run it on
+    // a "first parent" copy of the taxonomy.
+    let tree_dataset = single_parent_view(d);
+    let out = WeSHClass { seed, ..Default::default() }.run(
+        &tree_dataset,
+        &tree_dataset.supervision_keywords(),
+        &wv,
+    );
+    let top1: Vec<usize> = out
+        .path_predictions
+        .iter()
+        .map(|p| p.last().copied().unwrap_or(0))
+        .collect();
+    TaxoClassOutput { label_sets: out.path_predictions, top1, core_classes: Vec::new() }
+}
+
+/// Copy of the dataset whose taxonomy keeps only each node's first parent.
+fn single_parent_view(d: &Dataset) -> Dataset {
+    let tax = d.taxonomy.as_ref().expect("taxonomy");
+    let mut tree = structmine_text::Taxonomy::new("root");
+    let mut node_map = std::collections::HashMap::new();
+    node_map.insert(tax.root(), tree.root());
+    // Nodes were added in increasing id order, so parents precede children.
+    for node in tax.non_root_nodes() {
+        let parent = *tax.parents(node).first().expect("non-root has a parent");
+        let mapped_parent = node_map[&parent];
+        let new = tree.add_node(tax.name(node), &[mapped_parent]);
+        node_map.insert(node, new);
+    }
+    let mut out = d.clone();
+    out.class_nodes = d.class_nodes.iter().map(|n| node_map[n]).collect();
+    out.taxonomy = Some(tree);
+    out
+}
+
+/// Run E7.
+pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+    let mut t = Table::new("E7 — TaxoClass reproduction (Example-F1 / P@1)");
+    t.note(format!(
+        "seeds={}, scale={}; paper reference (Amazon): WeSHClass 0.246/0.577, SS-PCEM 0.292/0.537, \
+         Semi-BERT 0.339/0.592, Hier-0Shot-TC 0.474/0.714, TaxoClass 0.593/0.812",
+        cfg.seeds, cfg.scale
+    ));
+    let mut header = vec!["method".to_string()];
+    for d in DATASETS {
+        header.push(format!("{d} (F1/P@1)"));
+    }
+    t.headers(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    let methods: &[&str] =
+        &["WeSHClass", "Semi-supervised (30%)", "Hier-0Shot-TC", "TaxoClass"];
+    let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.to_string()]).collect();
+    let mut agg: std::collections::HashMap<&str, Vec<f32>> = std::collections::HashMap::new();
+
+    for ds in DATASETS {
+        let mut cells: Vec<Vec<(f32, f32)>> = vec![Vec::new(); methods.len()];
+        for &seed in &cfg.seed_values() {
+            let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+            let plm = adapted_plm(&d, seed);
+            let outs = vec![
+                weshclass_as_baseline(&d, seed),
+                semi_supervised(&d, &plm, 0.3, seed),
+                hier_zero_shot(&d, &plm, 2),
+                TaxoClass { seed, ..Default::default() }.run(&d, &plm),
+            ];
+            for (m, out) in outs.iter().enumerate() {
+                let scores = eval(&d, out);
+                cells[m].push(scores);
+                agg.entry(methods[m]).or_default().push(scores.0);
+            }
+        }
+        for m in 0..methods.len() {
+            let f1s: Vec<f32> = cells[m].iter().map(|&(a, _)| a).collect();
+            let p1s: Vec<f32> = cells[m].iter().map(|&(_, b)| b).collect();
+            rows[m]
+                .push(format!("{} / {}", ms(MeanStd::of(&f1s)), ms(MeanStd::of(&p1s))));
+        }
+    }
+    for row in rows {
+        t.row(row);
+    }
+
+    let mean = |m: &str| {
+        let v = &agg[m];
+        v.iter().sum::<f32>() / v.len() as f32
+    };
+    t.check(
+        format!(
+            "TaxoClass ({:.3}) beats WeSHClass-as-baseline ({:.3})",
+            mean("TaxoClass"),
+            mean("WeSHClass")
+        ),
+        mean("TaxoClass") > mean("WeSHClass"),
+    );
+    t.check(
+        format!(
+            "TaxoClass ({:.3}) beats Hier-0Shot-TC ({:.3})",
+            mean("TaxoClass"),
+            mean("Hier-0Shot-TC")
+        ),
+        mean("TaxoClass") >= mean("Hier-0Shot-TC") - 0.01,
+    );
+    t.check(
+        format!(
+            "TaxoClass ({:.3}) beats the 30% semi-supervised head ({:.3})",
+            mean("TaxoClass"),
+            mean("Semi-supervised (30%)")
+        ),
+        mean("TaxoClass") >= mean("Semi-supervised (30%)") - 0.02,
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_parent_view_produces_a_tree() {
+        let d = recipes::amazon_taxonomy(0.05, 1);
+        assert!(!d.taxonomy.as_ref().unwrap().is_tree());
+        let tree = single_parent_view(&d);
+        assert!(tree.taxonomy.as_ref().unwrap().is_tree());
+        assert_eq!(tree.class_nodes.len(), d.class_nodes.len());
+    }
+}

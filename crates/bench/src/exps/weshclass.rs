@@ -1,0 +1,110 @@
+//! E6 — the WeSHClass table (AAAI'19): Macro-/Micro-F1 on the NYT, arXiv
+//! and Yelp hierarchies under KEYWORDS and DOCS supervision, with the
+//! No-global / No-vMF / No-self-train ablations.
+
+use crate::table::ms;
+use crate::{standard_word_vectors, BenchConfig, Table};
+use structmine::weshclass::{path_macro_f1, path_micro_f1, WeSHClass};
+use structmine_eval::MeanStd;
+use structmine_text::synth::recipes;
+use structmine_text::Dataset;
+
+const DATASETS: &[&str] = &["nyt-tree", "arxiv-tree", "yelp-tree"];
+const SUPERVISIONS: &[&str] = &["KEYWORDS", "DOCS"];
+
+fn eval(d: &Dataset, out: &structmine::weshclass::WeSHClassOutput) -> (f32, f32) {
+    let pred: Vec<Vec<usize>> =
+        d.test_idx.iter().map(|&i| out.path_predictions[i].clone()).collect();
+    let gold = d.test_gold_sets();
+    (path_macro_f1(&pred, &gold, d.n_classes()), path_micro_f1(&pred, &gold))
+}
+
+/// Run E6.
+pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+    let mut t = Table::new("E6 — WeSHClass reproduction (Macro-F1 / Micro-F1 over path labels)");
+    t.note(format!(
+        "seeds={}, scale={}; paper reference (NYT keywords macro/micro): WeSTClass 0.386/0.772, \
+         No-global 0.618/0.843, No-vMF 0.628/0.862, No-self-train 0.550/0.787, WeSHClass 0.632/0.874",
+        cfg.seeds, cfg.scale
+    ));
+    let mut header = vec!["method".to_string()];
+    for d in DATASETS {
+        for s in SUPERVISIONS {
+            header.push(format!("{d}:{s}"));
+        }
+    }
+    t.headers(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    let methods: &[&str] =
+        &["No-global", "No-vMF", "No-self-train", "WeSHClass"];
+    let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.to_string()]).collect();
+    let mut agg: std::collections::HashMap<&str, Vec<f32>> = std::collections::HashMap::new();
+
+    for ds in DATASETS {
+        for sup_kind in SUPERVISIONS {
+            let mut cells: Vec<Vec<(f32, f32)>> = vec![Vec::new(); methods.len()];
+            for &seed in &cfg.seed_values() {
+                let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+                let wv = standard_word_vectors(&d);
+                let sup = match *sup_kind {
+                    "KEYWORDS" => d.supervision_keywords(),
+                    _ => d.supervision_docs(5, seed),
+                };
+                let variants = [
+                    WeSHClass { use_global: false, seed, ..Default::default() },
+                    WeSHClass { use_vmf: false, seed, ..Default::default() },
+                    WeSHClass { self_train: false, seed, ..Default::default() },
+                    WeSHClass { seed, ..Default::default() },
+                ];
+                for (m, v) in variants.iter().enumerate() {
+                    let out = v.run(&d, &sup, &wv);
+                    let scores = eval(&d, &out);
+                    cells[m].push(scores);
+                    agg.entry(methods[m]).or_default().push(scores.1);
+                }
+            }
+            for m in 0..methods.len() {
+                let macros: Vec<f32> = cells[m].iter().map(|&(a, _)| a).collect();
+                let micros: Vec<f32> = cells[m].iter().map(|&(_, b)| b).collect();
+                rows[m].push(format!(
+                    "{} / {}",
+                    ms(MeanStd::of(&macros)),
+                    ms(MeanStd::of(&micros))
+                ));
+            }
+        }
+    }
+    for row in rows {
+        t.row(row);
+    }
+
+    let mean = |m: &str| {
+        let v = &agg[m];
+        v.iter().sum::<f32>() / v.len() as f32
+    };
+    t.check(
+        format!(
+            "global composition helps: WeSHClass ({:.3}) >= No-global ({:.3})",
+            mean("WeSHClass"),
+            mean("No-global")
+        ),
+        mean("WeSHClass") >= mean("No-global") - 0.01,
+    );
+    t.check(
+        format!(
+            "vMF pseudo docs help: WeSHClass ({:.3}) >= No-vMF ({:.3})",
+            mean("WeSHClass"),
+            mean("No-vMF")
+        ),
+        mean("WeSHClass") >= mean("No-vMF") - 0.01,
+    );
+    t.check(
+        format!(
+            "self-training helps: WeSHClass ({:.3}) >= No-self-train ({:.3})",
+            mean("WeSHClass"),
+            mean("No-self-train")
+        ),
+        mean("WeSHClass") >= mean("No-self-train") - 0.01,
+    );
+    vec![t]
+}

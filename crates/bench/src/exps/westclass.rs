@@ -1,0 +1,184 @@
+//! E1 — the WeSTClass table (CIKM'18): Macro-/Micro-F1 on NYT, AG News and
+//! Yelp under LABELS / KEYWORDS / DOCS supervision, against the IR, topic
+//! model, Dataless and supervised baselines and the NoST ablation.
+
+use crate::table::ms;
+use crate::{standard_word_vectors, BenchConfig, Table};
+use structmine::baselines;
+use structmine::westclass::WeSTClass;
+use structmine_eval::MeanStd;
+use structmine_text::synth::recipes;
+use structmine_text::{Dataset, Supervision};
+
+const DATASETS: &[&str] = &["nyt-coarse", "agnews", "yelp"];
+const SUPERVISIONS: &[&str] = &["LABELS", "KEYWORDS", "DOCS"];
+
+fn supervision(d: &Dataset, kind: &str, seed: u64) -> Supervision {
+    match kind {
+        "LABELS" => d.supervision_names(),
+        "KEYWORDS" => d.supervision_keywords(),
+        "DOCS" => d.supervision_docs(10, seed),
+        other => panic!("unknown supervision {other}"),
+    }
+}
+
+/// Run E1.
+pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+    let mut macro_t = Table::new("E1 — WeSTClass reproduction (Macro-F1, test split)");
+    macro_t.note(format!(
+        "synthetic stand-ins at scale {} over {} seed(s); paper reference (NYT, Macro-F1): \
+         IR-tfidf 0.319/0.509, Topic Model 0.301/0.253, WeSTClass-CNN 0.830/0.837/0.835",
+        cfg.scale,
+        cfg.seeds
+    ));
+    let mut header = vec!["method".to_string()];
+    for d in DATASETS {
+        for s in SUPERVISIONS {
+            header.push(format!("{d}:{s}"));
+        }
+    }
+    macro_t.headers(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut micro_t = Table::new("E1 — WeSTClass reproduction (Micro-F1, test split)");
+    micro_t.headers(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    let methods = [
+        "IR-tfidf",
+        "TopicModel",
+        "Dataless",
+        "NoST-WeSTClass",
+        "WeSTClass-HAN",
+        "WeSTClass-CNN",
+        "Supervised",
+    ];
+    let mut macro_rows: Vec<Vec<String>> =
+        methods.iter().map(|m| vec![m.to_string()]).collect();
+    let mut micro_rows = macro_rows.clone();
+
+    // Aggregate over cells for the shape checks.
+    let mut agg: std::collections::HashMap<&str, Vec<f32>> = std::collections::HashMap::new();
+
+    for ds in DATASETS {
+        for sup_kind in SUPERVISIONS {
+            let mut per_method_macro: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
+            let mut per_method_micro: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
+            for &seed in &cfg.seed_values() {
+                let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+                let wv = standard_word_vectors(&d);
+                let sup = supervision(&d, sup_kind, seed);
+
+                let eval = |preds: &[usize]| {
+                    (crate::test_macro_f1(&d, preds), crate::test_accuracy(&d, preds))
+                };
+
+                let results: Vec<(f32, f32)> = vec![
+                    eval(&baselines::ir_tfidf(&d, &sup)),
+                    eval(&baselines::topic_model(&d, &sup, &wv, seed)),
+                    eval(&baselines::dataless(&d, &sup, &wv)),
+                    {
+                        let out = WeSTClass { self_train: false, seed, ..Default::default() }
+                            .run(&d, &sup, &wv);
+                        eval(&out.predictions)
+                    },
+                    {
+                        let out = WeSTClass {
+                            backbone: structmine::westclass::Backbone::Han,
+                            seed,
+                            ..Default::default()
+                        }
+                        .run(&d, &sup, &wv);
+                        eval(&out.predictions)
+                    },
+                    {
+                        let out =
+                            WeSTClass { seed, ..Default::default() }.run(&d, &sup, &wv);
+                        eval(&out.predictions)
+                    },
+                    {
+                        let features = structmine::common::embedding_features(&d, &wv);
+                        eval(&baselines::supervised(&d, &features, seed))
+                    },
+                ];
+                for (m, (mac, mic)) in results.into_iter().enumerate() {
+                    per_method_macro[m].push(mac);
+                    per_method_micro[m].push(mic);
+                    agg.entry(methods[m]).or_default().push(mic);
+                }
+            }
+            for m in 0..methods.len() {
+                macro_rows[m].push(ms(MeanStd::of(&per_method_macro[m])));
+                micro_rows[m].push(ms(MeanStd::of(&per_method_micro[m])));
+            }
+        }
+    }
+    for row in macro_rows {
+        macro_t.row(row);
+    }
+    for row in micro_rows {
+        micro_t.row(row);
+    }
+
+    let mean = |m: &str| {
+        let v = &agg[m];
+        v.iter().sum::<f32>() / v.len() as f32
+    };
+    macro_t.check(
+        format!("WeSTClass-CNN ({:.3}) beats IR-tfidf ({:.3})", mean("WeSTClass-CNN"), mean("IR-tfidf")),
+        mean("WeSTClass-CNN") > mean("IR-tfidf"),
+    );
+    macro_t.check(
+        format!(
+            "self-training helps: WeSTClass-CNN ({:.3}) >= NoST ({:.3})",
+            mean("WeSTClass-CNN"),
+            mean("NoST-WeSTClass")
+        ),
+        mean("WeSTClass-CNN") >= mean("NoST-WeSTClass") - 0.01,
+    );
+    macro_t.check(
+        format!(
+            "supervised bound ({:.3}) >= WeSTClass-CNN ({:.3})",
+            mean("Supervised"),
+            mean("WeSTClass-CNN")
+        ),
+        mean("Supervised") >= mean("WeSTClass-CNN") - 0.01,
+    );
+    macro_t.check(
+        format!("WeSTClass-CNN ({:.3}) beats TopicModel ({:.3})", mean("WeSTClass-CNN"), mean("TopicModel")),
+        mean("WeSTClass-CNN") > mean("TopicModel"),
+    );
+    vec![macro_t, micro_t]
+}
+
+/// Quick variant used by the criterion benches and tests: one dataset, one
+/// supervision, one seed.
+pub fn quick(scale: f32, seed: u64) -> f32 {
+    let d = recipes::agnews(scale, seed);
+    let wv = standard_word_vectors(&d);
+    let out = WeSTClass { seed, ..Default::default() }.run(&d, &d.supervision_names(), &wv);
+    crate::test_accuracy(&d, &out.predictions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_produces_full_grid_and_passes_shape_checks() {
+        // Below ~0.15 the grid is too small for the orderings to be stable.
+        let cfg = BenchConfig { scale: 0.15, seeds: 1 };
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 7);
+        assert_eq!(tables[0].rows[0].len(), 1 + DATASETS.len() * SUPERVISIONS.len());
+        // The core orderings must hold even at tiny scale.
+        assert!(
+            tables[0].all_checks_pass(),
+            "shape checks failed: {:?}",
+            tables[0].checks
+        );
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(crate::table::f3(0.5), "0.500");
+    }
+}

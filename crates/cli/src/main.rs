@@ -1,0 +1,198 @@
+//! `structmine` — command-line weakly-supervised text classification.
+//!
+//! ```text
+//! structmine classify --labels sports,business,technology [--method xclass]
+//!                     [--input docs.txt] [--tier test|standard]
+//! structmine demo     --recipe agnews [--method westclass] [--scale 0.15]
+//! structmine datasets
+//! ```
+//!
+//! `classify` reads one document per line (stdin or `--input`), tokenizes it
+//! against the standard-world vocabulary, and classifies every line using
+//! only the given label names. `demo` runs a method on a synthetic recipe
+//! and reports test accuracy. `datasets` lists the available recipes.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+
+mod args;
+
+use args::{Args, ParseError};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(Args::Classify { labels, method, input, tier }) => classify(labels, method, input, tier),
+        Ok(Args::Demo { recipe, method, scale, seed }) => demo(recipe, method, scale, seed),
+        Ok(Args::Datasets) => {
+            datasets();
+            ExitCode::SUCCESS
+        }
+        Ok(Args::Help) => {
+            println!("{}", args::USAGE);
+            ExitCode::SUCCESS
+        }
+        Err(ParseError(msg)) => {
+            eprintln!("error: {msg}\n\n{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn plm_tier(tier: &str) -> structmine_plm::cache::Tier {
+    if tier == "standard" {
+        structmine_plm::cache::Tier::Standard
+    } else {
+        structmine_plm::cache::Tier::Test
+    }
+}
+
+fn classify(labels: Vec<String>, method: String, input: Option<String>, tier: String) -> ExitCode {
+    // Read documents.
+    let lines: Vec<String> = match &input {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s.lines().map(|l| l.to_string()).collect(),
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => std::io::stdin().lock().lines().map_while(Result::ok).collect(),
+    };
+    let lines: Vec<String> = lines.into_iter().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        eprintln!("error: no input documents");
+        return ExitCode::FAILURE;
+    }
+
+    // Tokenize against the standard-world vocabulary (what the PLM knows).
+    let world = structmine_text::synth::standard_world(Default::default());
+    let vocab = world.vocab().clone();
+    let mut corpus = structmine_text::Corpus::new(vocab);
+    for line in &lines {
+        let toks = structmine_text::tokenize::encode(line, &corpus.vocab)
+            .into_iter()
+            .filter(|&t| t != structmine_text::vocab::UNK)
+            .collect::<Vec<_>>();
+        for &t in &toks {
+            corpus.vocab.bump(t);
+        }
+        let mut doc = structmine_text::Doc::from_tokens(toks);
+        doc.labels = vec![0]; // placeholder; gold labels are unknown
+        corpus.docs.push(doc);
+    }
+
+    let name_tokens: Vec<Vec<structmine_text::vocab::TokenId>> = labels
+        .iter()
+        .map(|l| {
+            structmine_text::tokenize::encode(l, &corpus.vocab)
+                .into_iter()
+                .filter(|&t| t != structmine_text::vocab::UNK)
+                .collect()
+        })
+        .collect();
+    if name_tokens.iter().any(|t| t.is_empty()) {
+        eprintln!(
+            "error: every label must contain at least one standard-world word \
+             (try e.g. sports, business, technology, politics, health)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let plm = structmine_plm::cache::pretrained(plm_tier(&tier), 0);
+    eprintln!("classifying {} documents into {:?} with {method} ...", lines.len(), labels);
+
+    // Build a minimal Dataset around the ad-hoc corpus.
+    let n = corpus.len();
+    let dataset = structmine_text::Dataset {
+        name: "cli".into(),
+        corpus,
+        labels: structmine_text::LabelSet {
+            names: labels.clone(),
+            name_words: labels.iter().map(|l| vec![l.clone()]).collect(),
+            keywords: labels.iter().map(|l| vec![l.clone()]).collect(),
+            descriptions: labels.iter().map(|l| format!("category about {l}")).collect(),
+        },
+        taxonomy: None,
+        class_nodes: vec![],
+        train_idx: (0..n).collect(),
+        test_idx: vec![],
+        meta: Default::default(),
+    };
+
+    let preds = match method.as_str() {
+        "xclass" => structmine::xclass::XClass::default().run(&dataset, &plm).predictions,
+        "lotclass" => structmine::lotclass::LotClass::default().run(&dataset, &plm).predictions,
+        "prompt" => structmine::promptclass::PromptClass::default().run(&dataset, &plm).predictions,
+        "match" => structmine::baselines::bert_simple_match(&dataset, &plm),
+        other => {
+            eprintln!("error: unknown method {other} (classify supports xclass, lotclass, prompt, match)");
+            return ExitCode::from(2);
+        }
+    };
+    for (line, &p) in lines.iter().zip(&preds) {
+        println!("{}\t{}", labels[p], line);
+    }
+    ExitCode::SUCCESS
+}
+
+fn demo(recipe: String, method: String, scale: f32, seed: u64) -> ExitCode {
+    let Some(dataset) = structmine_text::synth::by_name(&recipe, scale, seed) else {
+        eprintln!("error: unknown recipe {recipe} (see `structmine datasets`)");
+        return ExitCode::from(2);
+    };
+    eprintln!(
+        "recipe {recipe}: {} docs, {} classes (scale {scale}, seed {seed})",
+        dataset.corpus.len(),
+        dataset.n_classes()
+    );
+    let preds = match method.as_str() {
+        "westclass" => {
+            let wv = structmine_embed::Sgns::train(
+                &dataset.corpus,
+                &structmine_embed::SgnsConfig { epochs: 4, ..Default::default() },
+            );
+            structmine::westclass::WeSTClass::default()
+                .run(&dataset, &dataset.supervision_names(), &wv)
+                .predictions
+        }
+        "xclass" | "lotclass" | "prompt" | "conwea" => {
+            let plm = structmine_plm::cache::pretrained(structmine_plm::cache::Tier::Test, 0);
+            match method.as_str() {
+                "xclass" => structmine::xclass::XClass::default().run(&dataset, &plm).predictions,
+                "lotclass" => {
+                    structmine::lotclass::LotClass::default().run(&dataset, &plm).predictions
+                }
+                "conwea" => structmine::conwea::ConWea::default()
+                    .run(&dataset, &dataset.supervision_keywords(), &plm)
+                    .predictions,
+                _ => structmine::promptclass::PromptClass::default()
+                    .run(&dataset, &plm)
+                    .predictions,
+            }
+        }
+        other => {
+            eprintln!("error: unknown method {other}");
+            return ExitCode::from(2);
+        }
+    };
+    let test: Vec<usize> = dataset.test_idx.iter().map(|&i| preds[i]).collect();
+    let acc = structmine_eval::accuracy(&test, &dataset.test_gold());
+    let macro_f1 = structmine_eval::macro_f1(&test, &dataset.test_gold(), dataset.n_classes());
+    println!("{method} on {recipe}: accuracy {acc:.3}, macro-F1 {macro_f1:.3}");
+    ExitCode::SUCCESS
+}
+
+fn datasets() {
+    println!("available recipes (synthetic stand-ins; see DESIGN.md):");
+    for name in structmine_text::synth::ALL_RECIPES {
+        let d = structmine_text::synth::by_name(name, 0.05, 1).unwrap();
+        let kind = match (&d.taxonomy, d.meta.n_users + d.meta.n_authors > 0) {
+            (Some(t), _) if !t.is_tree() => "DAG multi-label",
+            (Some(_), _) => "tree hierarchy",
+            (None, true) => "flat + metadata",
+            (None, false) => "flat",
+        };
+        println!("  {name:<18} {:>3} classes  {kind}", d.n_classes());
+    }
+}

@@ -1,0 +1,186 @@
+//! Cluster/class alignment: confusion matrices and the Hungarian algorithm.
+
+/// Count matrix `m[cluster][class]` from two parallel label sequences.
+pub fn confusion_matrix(pred: &[usize], gold: &[usize], k_pred: usize, k_gold: usize) -> Vec<Vec<usize>> {
+    assert_eq!(pred.len(), gold.len());
+    let mut m = vec![vec![0usize; k_gold]; k_pred];
+    for (&p, &g) in pred.iter().zip(gold) {
+        m[p][g] += 1;
+    }
+    m
+}
+
+/// Maximum-weight perfect matching on a square score matrix via the
+/// Jonker–Volgenant style augmenting-path Hungarian algorithm (O(n^3)).
+/// Returns `assignment[row] = column`.
+pub fn hungarian_max(scores: &[Vec<f32>]) -> Vec<usize> {
+    let n = scores.len();
+    assert!(scores.iter().all(|r| r.len() == n), "score matrix must be square");
+    if n == 0 {
+        return Vec::new();
+    }
+    // Convert to cost minimization.
+    let max_val = scores
+        .iter()
+        .flat_map(|r| r.iter())
+        .cloned()
+        .fold(f32::NEG_INFINITY, f32::max);
+    let cost: Vec<Vec<f64>> =
+        scores.iter().map(|r| r.iter().map(|&v| (max_val - v) as f64).collect()).collect();
+
+    // 1-indexed potentials, standard JV formulation.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+/// Map cluster ids to class ids by Hungarian matching on the confusion
+/// matrix (requires equal counts). Returns `mapping[cluster] = class`.
+pub fn map_clusters_to_classes(pred: &[usize], gold: &[usize], k: usize) -> Vec<usize> {
+    let cm = confusion_matrix(pred, gold, k, k);
+    let scores: Vec<Vec<f32>> =
+        cm.iter().map(|row| row.iter().map(|&c| c as f32).collect()).collect();
+    hungarian_max(&scores)
+}
+
+/// Accuracy of cluster assignments after optimal cluster→class mapping
+/// ("clustering accuracy" in the X-Class paper).
+pub fn aligned_accuracy(pred: &[usize], gold: &[usize], k: usize) -> f32 {
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let mapping = map_clusters_to_classes(pred, gold, k);
+    let correct = pred.iter().zip(gold).filter(|(&p, &g)| mapping[p] == g).count();
+    correct as f32 / pred.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hungarian_solves_identity() {
+        let scores = vec![
+            vec![10.0, 1.0, 1.0],
+            vec![1.0, 10.0, 1.0],
+            vec![1.0, 1.0, 10.0],
+        ];
+        assert_eq!(hungarian_max(&scores), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn hungarian_solves_permutation() {
+        let scores = vec![
+            vec![1.0, 9.0, 2.0],
+            vec![8.0, 1.0, 3.0],
+            vec![2.0, 3.0, 9.0],
+        ];
+        assert_eq!(hungarian_max(&scores), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn hungarian_handles_tradeoffs() {
+        // Greedy would pick (0,0)=9 then be forced to (1,1)=1, total 10;
+        // optimal is (0,1)=8 + (1,0)=7 = 15.
+        let scores = vec![vec![9.0, 8.0], vec![7.0, 1.0]];
+        assert_eq!(hungarian_max(&scores), vec![1, 0]);
+    }
+
+    #[test]
+    fn aligned_accuracy_with_permuted_clusters() {
+        // Perfect clustering, permuted ids.
+        let gold = vec![0, 0, 1, 1, 2, 2];
+        let pred = vec![2, 2, 0, 0, 1, 1];
+        assert!((aligned_accuracy(&pred, &gold, 3) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aligned_accuracy_with_noise() {
+        let gold = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        // cluster 1 ~ class 0 (3 hits), cluster 0 ~ class 1 (4 hits), one error.
+        let pred = vec![1, 1, 1, 0, 0, 0, 0, 0];
+        let acc = aligned_accuracy(&pred, &gold, 2);
+        assert!((acc - 7.0 / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let cm = confusion_matrix(&[0, 0, 1], &[1, 1, 0], 2, 2);
+        assert_eq!(cm, vec![vec![0, 2], vec![1, 0]]);
+    }
+
+    proptest! {
+        /// Hungarian must always produce a permutation, and its total score
+        /// must be at least as good as the identity assignment.
+        #[test]
+        fn hungarian_returns_optimal_permutation(
+            flat in proptest::collection::vec(0.0f32..10.0, 16)
+        ) {
+            let scores: Vec<Vec<f32>> = flat.chunks(4).map(|c| c.to_vec()).collect();
+            let a = hungarian_max(&scores);
+            let mut seen = vec![false; 4];
+            for &col in &a {
+                prop_assert!(!seen[col]);
+                seen[col] = true;
+            }
+            let total: f32 = a.iter().enumerate().map(|(r, &c)| scores[r][c]).sum();
+            let identity: f32 = (0..4).map(|i| scores[i][i]).sum();
+            prop_assert!(total >= identity - 1e-3);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Diagonal-covariance Gaussian mixture model fitted by EM.
+//!
+//! X-Class uses a GMM seeded on prior class means so that "cluster c" stays
+//! aligned with "class c" throughout EM; the posterior responsibilities then
+//! give a confidence for selecting documents to train the final classifier.
+
+use structmine_linalg::{stats, vector, Matrix};
+
+/// GMM hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GmmConfig {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on mean log-likelihood improvement.
+    pub tol: f32,
+    /// Variance floor (numerical stability).
+    pub var_floor: f32,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig { max_iters: 100, tol: 1e-4, var_floor: 1e-4 }
+    }
+}
+
+/// A fitted diagonal-covariance Gaussian mixture.
+#[derive(Clone, Debug)]
+pub struct Gmm {
+    /// `k x d` component means.
+    pub means: Matrix,
+    /// `k x d` per-dimension variances.
+    pub variances: Matrix,
+    /// Mixing weights (length k).
+    pub weights: Vec<f32>,
+    /// Mean log-likelihood of the training data at convergence.
+    pub log_likelihood: f32,
+    /// EM iterations executed.
+    pub iterations: usize,
+}
+
+impl Gmm {
+    /// Fit a `k`-component mixture to the rows of `data`, starting from the
+    /// provided means (`k x d`) — e.g. class-oriented prior representations.
+    pub fn fit(data: &Matrix, init_means: &Matrix, cfg: &GmmConfig) -> Gmm {
+        let n = data.rows();
+        let d = data.cols();
+        let k = init_means.rows();
+        assert_eq!(init_means.cols(), d, "init mean dim mismatch");
+        assert!(n >= k, "need at least k rows");
+
+        let mut means = init_means.clone();
+        // Initial variance: global per-dimension variance.
+        let gmean = data.col_mean();
+        let mut gvar = vec![0.0f32; d];
+        for row in data.iter_rows() {
+            for (v, (&x, &m)) in gvar.iter_mut().zip(row.iter().zip(&gmean)) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        for v in &mut gvar {
+            *v = (*v / n as f32).max(cfg.var_floor);
+        }
+        let mut variances = Matrix::zeros(k, d);
+        for c in 0..k {
+            variances.row_mut(c).copy_from_slice(&gvar);
+        }
+        let mut weights = vec![1.0 / k as f32; k];
+
+        let mut prev_ll = f32::NEG_INFINITY;
+        let mut resp = Matrix::zeros(n, k);
+        let mut iterations = 0;
+        let mut log_likelihood = f32::NEG_INFINITY;
+        for it in 0..cfg.max_iters {
+            iterations = it + 1;
+            // E-step.
+            let mut ll = 0.0f32;
+            for i in 0..n {
+                let mut logp = vec![0.0f32; k];
+                for c in 0..k {
+                    logp[c] = weights[c].max(1e-12).ln()
+                        + diag_log_pdf(data.row(i), means.row(c), variances.row(c));
+                }
+                let lse = stats::log_sum_exp(&logp);
+                ll += lse;
+                for c in 0..k {
+                    resp.set(i, c, (logp[c] - lse).exp());
+                }
+            }
+            log_likelihood = ll / n as f32;
+
+            // M-step.
+            for c in 0..k {
+                let nk: f32 = (0..n).map(|i| resp.get(i, c)).sum();
+                let nk_safe = nk.max(1e-8);
+                weights[c] = nk / n as f32;
+                let mut mean = vec![0.0f32; d];
+                for i in 0..n {
+                    vector::axpy(&mut mean, resp.get(i, c), data.row(i));
+                }
+                vector::scale(&mut mean, 1.0 / nk_safe);
+                let mut var = vec![0.0f32; d];
+                for i in 0..n {
+                    let r = resp.get(i, c);
+                    for (v, (&x, &m)) in var.iter_mut().zip(data.row(i).iter().zip(&mean)) {
+                        *v += r * (x - m) * (x - m);
+                    }
+                }
+                for v in &mut var {
+                    *v = (*v / nk_safe).max(cfg.var_floor);
+                }
+                means.row_mut(c).copy_from_slice(&mean);
+                variances.row_mut(c).copy_from_slice(&var);
+            }
+
+            if (log_likelihood - prev_ll).abs() < cfg.tol {
+                break;
+            }
+            prev_ll = log_likelihood;
+        }
+        Gmm { means, variances, weights, log_likelihood, iterations }
+    }
+
+    /// Posterior responsibilities (`n x k`) for new data.
+    pub fn responsibilities(&self, data: &Matrix) -> Matrix {
+        let n = data.rows();
+        let k = self.means.rows();
+        let mut resp = Matrix::zeros(n, k);
+        for i in 0..n {
+            let mut logp = vec![0.0f32; k];
+            for c in 0..k {
+                logp[c] = self.weights[c].max(1e-12).ln()
+                    + diag_log_pdf(data.row(i), self.means.row(c), self.variances.row(c));
+            }
+            let lse = stats::log_sum_exp(&logp);
+            for c in 0..k {
+                resp.set(i, c, (logp[c] - lse).exp());
+            }
+        }
+        resp
+    }
+
+    /// Hard assignments by maximum responsibility.
+    pub fn predict(&self, data: &Matrix) -> Vec<usize> {
+        let r = self.responsibilities(data);
+        (0..r.rows()).map(|i| vector::argmax(r.row(i)).unwrap_or(0)).collect()
+    }
+}
+
+fn diag_log_pdf(x: &[f32], mean: &[f32], var: &[f32]) -> f32 {
+    let mut lp = 0.0f32;
+    for ((xv, mv), vv) in x.iter().zip(mean).zip(var) {
+        let diff = xv - mv;
+        lp += -0.5 * (diff * diff / vv + vv.ln() + (2.0 * std::f32::consts::PI).ln());
+    }
+    lp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structmine_linalg::rng as lrng;
+
+    fn blobs(per: usize, centers: &[[f32; 2]], spread: f32, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = lrng::seeded(seed);
+        let n = per * centers.len();
+        let mut m = Matrix::zeros(n, 2);
+        let mut gold = Vec::with_capacity(n);
+        for (c, center) in centers.iter().enumerate() {
+            for i in 0..per {
+                let r = c * per + i;
+                m.set(r, 0, center[0] + lrng::gaussian(&mut rng) * spread);
+                m.set(r, 1, center[1] + lrng::gaussian(&mut rng) * spread);
+                gold.push(c);
+            }
+        }
+        (m, gold)
+    }
+
+    #[test]
+    fn em_recovers_blob_means_and_assignments() {
+        let (data, gold) = blobs(100, &[[0.0, 0.0], [6.0, 6.0]], 0.6, 1);
+        let init = Matrix::from_rows(&[&[1.0, 1.0], &[5.0, 5.0]]);
+        let gmm = Gmm::fit(&data, &init, &GmmConfig::default());
+        let pred = gmm.predict(&data);
+        let acc = pred.iter().zip(&gold).filter(|(a, b)| a == b).count() as f32 / 200.0;
+        assert!(acc > 0.99, "acc {acc}");
+        assert!(vector::sq_dist(gmm.means.row(0), &[0.0, 0.0]) < 0.1);
+        assert!(vector::sq_dist(gmm.means.row(1), &[6.0, 6.0]) < 0.1);
+    }
+
+    #[test]
+    fn seeding_on_prior_means_preserves_component_identity() {
+        // X-Class invariant: component c, seeded at class c's mean, stays on
+        // class c even after EM.
+        let (data, gold) = blobs(80, &[[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]], 0.5, 2);
+        let init = Matrix::from_rows(&[&[0.2, 0.1], &[3.8, 0.2], &[0.1, 3.9]]);
+        let gmm = Gmm::fit(&data, &init, &GmmConfig::default());
+        let pred = gmm.predict(&data);
+        let acc = pred.iter().zip(&gold).filter(|(a, b)| a == b).count() as f32
+            / gold.len() as f32;
+        assert!(acc > 0.98, "identity-preserving acc {acc}");
+    }
+
+    #[test]
+    fn responsibilities_are_distributions() {
+        let (data, _) = blobs(50, &[[0.0, 0.0], [3.0, 3.0]], 0.5, 3);
+        let init = Matrix::from_rows(&[&[0.0, 0.0], &[3.0, 3.0]]);
+        let gmm = Gmm::fit(&data, &init, &GmmConfig::default());
+        let r = gmm.responsibilities(&data);
+        for i in 0..r.rows() {
+            let sum: f32 = r.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn log_likelihood_is_monotone_enough_to_converge() {
+        let (data, _) = blobs(60, &[[0.0, 0.0], [5.0, 5.0]], 0.7, 4);
+        let init = Matrix::from_rows(&[&[1.0, 0.0], &[4.0, 4.0]]);
+        let gmm = Gmm::fit(&data, &init, &GmmConfig { max_iters: 200, ..Default::default() });
+        assert!(gmm.iterations < 200, "did not converge");
+        assert!(gmm.log_likelihood.is_finite());
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let (data, _) = blobs(40, &[[0.0, 0.0], [2.0, 2.0]], 0.4, 5);
+        let init = Matrix::from_rows(&[&[0.0, 0.0], &[2.0, 2.0]]);
+        let gmm = Gmm::fit(&data, &init, &GmmConfig::default());
+        let sum: f32 = gmm.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+}

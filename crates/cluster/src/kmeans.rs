@@ -1,0 +1,251 @@
+//! K-means and spherical k-means (cosine) clustering.
+
+use structmine_linalg::{rng as lrng, vector, Matrix};
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster assignment per row of the input.
+    pub assignments: Vec<usize>,
+    /// `k x d` centroid matrix.
+    pub centroids: Matrix,
+    /// Final within-cluster sum of squared distances (or 1 - cosine for the
+    /// spherical variant).
+    pub inertia: f32,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Standard Euclidean k-means with k-means++-style seeding.
+///
+/// `init_centroids` overrides seeding with explicit starting centroids (used
+/// by X-Class to seed clusters on class representations).
+pub fn kmeans(
+    data: &Matrix,
+    k: usize,
+    seed: u64,
+    max_iters: usize,
+    init_centroids: Option<&Matrix>,
+) -> KMeansResult {
+    run(data, k, seed, max_iters, init_centroids, false)
+}
+
+/// Spherical k-means: rows and centroids are L2-normalized and similarity is
+/// cosine. Appropriate for embedding spaces.
+pub fn spherical_kmeans(
+    data: &Matrix,
+    k: usize,
+    seed: u64,
+    max_iters: usize,
+    init_centroids: Option<&Matrix>,
+) -> KMeansResult {
+    let mut normalized = data.clone();
+    normalized.normalize_rows();
+    run(&normalized, k, seed, max_iters, init_centroids, true)
+}
+
+fn run(
+    data: &Matrix,
+    k: usize,
+    seed: u64,
+    max_iters: usize,
+    init_centroids: Option<&Matrix>,
+    spherical: bool,
+) -> KMeansResult {
+    let n = data.rows();
+    let d = data.cols();
+    assert!(k >= 1, "k must be positive");
+    assert!(n >= k, "need at least k rows");
+
+    let mut centroids = match init_centroids {
+        Some(c) => {
+            assert_eq!(c.shape(), (k, d), "init centroid shape mismatch");
+            let mut c = c.clone();
+            if spherical {
+                c.normalize_rows();
+            }
+            c
+        }
+        None => plus_plus_seed(data, k, seed),
+    };
+
+    let mut assignments = vec![0usize; n];
+    let mut inertia = f32::INFINITY;
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        // Assign.
+        let mut new_inertia = 0.0f32;
+        for i in 0..n {
+            let row = data.row(i);
+            let mut best = 0usize;
+            let mut best_cost = f32::INFINITY;
+            for c in 0..k {
+                let cost = if spherical {
+                    1.0 - vector::cosine(row, centroids.row(c))
+                } else {
+                    vector::sq_dist(row, centroids.row(c))
+                };
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+            new_inertia += best_cost;
+        }
+        // Update.
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for (i, &a) in assignments.iter().enumerate() {
+            for (s, &v) in sums.row_mut(a).iter_mut().zip(data.row(i)) {
+                *s += v;
+            }
+            counts[a] += 1;
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster on the farthest point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = vector::sq_dist(data.row(a), centroids.row(assignments[a]));
+                        let db = vector::sq_dist(data.row(b), centroids.row(assignments[b]));
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .unwrap_or(0);
+                centroids.row_mut(c).copy_from_slice(data.row(far));
+            } else {
+                let inv = 1.0 / counts[c] as f32;
+                for (t, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                    *t = s * inv;
+                }
+            }
+            if spherical {
+                vector::normalize(centroids.row_mut(c));
+            }
+        }
+        if (inertia - new_inertia).abs() < 1e-6 * (1.0 + inertia.abs().min(1e9)) {
+            inertia = new_inertia;
+            break;
+        }
+        inertia = new_inertia;
+    }
+    KMeansResult { assignments, centroids, inertia, iterations }
+}
+
+/// k-means++ seeding.
+fn plus_plus_seed(data: &Matrix, k: usize, seed: u64) -> Matrix {
+    let mut rng = lrng::seeded(seed);
+    let n = data.rows();
+    let mut centroids = Matrix::zeros(k, data.cols());
+    let first = lrng::sample_categorical(&mut rng, &vec![1.0; n]);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut min_dist: Vec<f32> =
+        (0..n).map(|i| vector::sq_dist(data.row(i), centroids.row(0))).collect();
+    for c in 1..k {
+        let pick = lrng::sample_categorical(&mut rng, &min_dist);
+        centroids.row_mut(c).copy_from_slice(data.row(pick));
+        for i in 0..n {
+            let d = vector::sq_dist(data.row(i), centroids.row(c));
+            if d < min_dist[i] {
+                min_dist[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structmine_linalg::rng as lrng;
+
+    fn blobs(per: usize, centers: &[[f32; 2]], spread: f32, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = lrng::seeded(seed);
+        let n = per * centers.len();
+        let mut m = Matrix::zeros(n, 2);
+        let mut gold = Vec::with_capacity(n);
+        for (c, center) in centers.iter().enumerate() {
+            for i in 0..per {
+                let r = c * per + i;
+                m.set(r, 0, center[0] + lrng::gaussian(&mut rng) * spread);
+                m.set(r, 1, center[1] + lrng::gaussian(&mut rng) * spread);
+                gold.push(c);
+            }
+        }
+        (m, gold)
+    }
+
+    fn purity(assignments: &[usize], gold: &[usize], k: usize) -> f32 {
+        let mut counts = vec![vec![0usize; k]; k];
+        for (&a, &g) in assignments.iter().zip(gold) {
+            counts[a][g] += 1;
+        }
+        let correct: usize = counts.iter().map(|row| row.iter().max().copied().unwrap_or(0)).sum();
+        correct as f32 / assignments.len() as f32
+    }
+
+    #[test]
+    fn kmeans_recovers_separated_blobs() {
+        let (data, gold) = blobs(60, &[[0.0, 0.0], [8.0, 0.0], [0.0, 8.0]], 0.5, 1);
+        let r = kmeans(&data, 3, 2, 100, None);
+        assert!(purity(&r.assignments, &gold, 3) > 0.98);
+        assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    fn explicit_init_is_respected() {
+        let (data, gold) = blobs(40, &[[0.0, 0.0], [10.0, 10.0]], 0.3, 3);
+        let init = Matrix::from_rows(&[&[0.0, 0.0], &[10.0, 10.0]]);
+        let r = kmeans(&data, 2, 0, 50, Some(&init));
+        // With init at the true centers, cluster ids must match gold exactly.
+        assert_eq!(&r.assignments[..], &gold[..]);
+    }
+
+    #[test]
+    fn spherical_kmeans_clusters_by_direction() {
+        // Two clusters distinguished by direction, not magnitude.
+        let mut rng = lrng::seeded(5);
+        let mut rows = Vec::new();
+        let mut gold = Vec::new();
+        for i in 0..100 {
+            let scale = 1.0 + (i % 7) as f32;
+            let (x, y) = if i % 2 == 0 { (1.0, 0.05) } else { (0.05, 1.0) };
+            rows.push(vec![
+                x * scale + lrng::gaussian(&mut rng) * 0.02,
+                y * scale + lrng::gaussian(&mut rng) * 0.02,
+            ]);
+            gold.push(i % 2);
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let data = Matrix::from_rows(&refs);
+        let r = spherical_kmeans(&data, 2, 1, 50, None);
+        assert!(purity(&r.assignments, &gold, 2) > 0.98);
+        // Centroids are unit norm.
+        for c in 0..2 {
+            assert!((vector::norm(r.centroids.row(c)) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = blobs(30, &[[0.0, 0.0], [5.0, 5.0]], 0.4, 7);
+        let a = kmeans(&data, 2, 9, 50, None);
+        let b = kmeans(&data, 2, 9, 50, None);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Matrix::from_rows(&[&[0.0, 0.0], &[5.0, 0.0], &[0.0, 5.0]]);
+        let r = kmeans(&data, 3, 1, 20, None);
+        assert!(r.inertia < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k rows")]
+    fn too_few_rows_panics() {
+        let data = Matrix::zeros(2, 2);
+        kmeans(&data, 3, 1, 10, None);
+    }
+}

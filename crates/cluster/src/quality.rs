@@ -1,0 +1,144 @@
+//! Clustering quality measures: purity, NMI, silhouette.
+
+use structmine_linalg::{vector, Matrix};
+
+/// Purity: fraction of points in their cluster's majority class.
+pub fn purity(pred: &[usize], gold: &[usize]) -> f32 {
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let k_pred = pred.iter().max().map_or(0, |&m| m + 1);
+    let k_gold = gold.iter().max().map_or(0, |&m| m + 1);
+    let cm = crate::align::confusion_matrix(pred, gold, k_pred, k_gold);
+    let correct: usize = cm.iter().map(|row| row.iter().max().copied().unwrap_or(0)).sum();
+    correct as f32 / pred.len() as f32
+}
+
+/// Normalized mutual information between two labelings (0..=1).
+pub fn nmi(a: &[usize], b: &[usize]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let ka = a.iter().max().map_or(0, |&m| m + 1);
+    let kb = b.iter().max().map_or(0, |&m| m + 1);
+    let joint = crate::align::confusion_matrix(a, b, ka, kb);
+    let nf = n as f32;
+    let pa: Vec<f32> = (0..ka)
+        .map(|i| joint[i].iter().sum::<usize>() as f32 / nf)
+        .collect();
+    let pb: Vec<f32> = (0..kb)
+        .map(|j| (0..ka).map(|i| joint[i][j]).sum::<usize>() as f32 / nf)
+        .collect();
+    let mut mi = 0.0f32;
+    for i in 0..ka {
+        for j in 0..kb {
+            let pij = joint[i][j] as f32 / nf;
+            if pij > 0.0 {
+                mi += pij * (pij / (pa[i] * pb[j])).ln();
+            }
+        }
+    }
+    let ha: f32 = -pa.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f32>();
+    let hb: f32 = -pb.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f32>();
+    let denom = (ha * hb).sqrt();
+    if denom <= 0.0 {
+        if mi.abs() < 1e-9 {
+            1.0 // both labelings constant: identical partitions
+        } else {
+            0.0
+        }
+    } else {
+        mi / denom
+    }
+}
+
+/// Mean silhouette coefficient of a clustering (Euclidean).
+/// Clusters with a single member contribute 0.
+pub fn silhouette(data: &Matrix, assignments: &[usize]) -> f32 {
+    let n = data.rows();
+    assert_eq!(assignments.len(), n);
+    if n < 2 {
+        return 0.0;
+    }
+    let k = assignments.iter().max().map_or(0, |&m| m + 1);
+    let mut total = 0.0f32;
+    for i in 0..n {
+        // Mean distance to own cluster and nearest other cluster.
+        let mut sums = vec![0.0f32; k];
+        let mut counts = vec![0usize; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = vector::sq_dist(data.row(i), data.row(j)).sqrt();
+            sums[assignments[j]] += d;
+            counts[assignments[j]] += 1;
+        }
+        let own = assignments[i];
+        if counts[own] == 0 {
+            continue; // singleton cluster
+        }
+        let a = sums[own] / counts[own] as f32;
+        let mut b = f32::INFINITY;
+        for c in 0..k {
+            if c != own && counts[c] > 0 {
+                b = b.min(sums[c] / counts[c] as f32);
+            }
+        }
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purity_of_perfect_clustering_is_one() {
+        assert!((purity(&[1, 1, 0, 0], &[0, 0, 1, 1]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn purity_of_random_two_way_split_is_half_or_more() {
+        let p = purity(&[0, 1, 0, 1], &[0, 0, 1, 1]);
+        assert!(p >= 0.5);
+    }
+
+    #[test]
+    fn nmi_of_identical_partitions_is_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-5);
+        // Permutation-invariant.
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nmi_of_independent_partitions_is_near_zero() {
+        let a = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(nmi(&a, &b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let data = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.1, 0.0],
+            &[0.0, 0.1],
+            &[9.0, 9.0],
+            &[9.1, 9.0],
+            &[9.0, 9.1],
+        ]);
+        let s = silhouette(&data, &[0, 0, 0, 1, 1, 1]);
+        assert!(s > 0.9, "silhouette {s}");
+        // Bad clustering scores much lower.
+        let bad = silhouette(&data, &[0, 1, 0, 1, 0, 1]);
+        assert!(bad < s - 0.5, "bad {bad} vs good {s}");
+    }
+}

@@ -1,0 +1,493 @@
+//! ConWea — contextualized weak supervision for text classification
+//! (Mekala & Shang, ACL 2020).
+//!
+//! User-provided seed words may be ambiguous ("penalty" appears in both
+//! soccer and law documents). ConWea:
+//! 1. collects the contextualized representations of every seed-word
+//!    occurrence, clusters them (k = 2) and splits a word into senses when
+//!    the clusters are well separated;
+//! 2. rewrites the corpus so each occurrence carries its sense
+//!    (`penalty#0` / `penalty#1`) and resolves which sense each class's
+//!    seed refers to by similarity to the class's unambiguous seeds;
+//! 3. pseudo-labels documents by similarity to the sense-aware seed sets,
+//!    expands the seeds by comparative ranking of class-indicative words,
+//!    and iterates with a document classifier.
+//!
+//! Ablation switches reproduce the paper's ConWea-NoCon, ConWea-NoExpan
+//! and ConWea-WSD rows (the WSD variant replaces contextualized vectors
+//! with static window averages).
+
+use structmine_cluster::quality::silhouette;
+use structmine_linalg::{vector, Matrix};
+use structmine_nn::classifiers::{MlpClassifier, TrainConfig};
+use structmine_plm::MiniPlm;
+use structmine_text::tfidf::TfIdf;
+use structmine_text::vocab::{TokenId, Vocab};
+use structmine_text::{Corpus, Dataset, Supervision};
+
+/// ConWea hyper-parameters and ablation switches.
+#[derive(Clone, Copy, Debug)]
+pub struct ConWea {
+    /// Disambiguate seed senses with contextualized clustering (NoCon
+    /// ablation when false).
+    pub contextualize: bool,
+    /// Expand seed sets by comparative ranking (NoExpan ablation when
+    /// false).
+    pub expand: bool,
+    /// Replace contextualized vectors with static window averages (the WSD
+    /// ablation row).
+    pub wsd_fallback: bool,
+    /// Seed-expansion words added per class and iteration.
+    pub expand_per_class: usize,
+    /// Iterations of the expand/relabel loop.
+    pub iterations: usize,
+    /// Minimum silhouette for accepting a two-sense split.
+    pub sense_threshold: f32,
+    /// Minimum occurrences before a split is considered.
+    pub min_occurrences: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ConWea {
+    fn default() -> Self {
+        ConWea {
+            contextualize: true,
+            expand: true,
+            wsd_fallback: false,
+            expand_per_class: 8,
+            iterations: 2,
+            sense_threshold: 0.15,
+            min_occurrences: 10,
+            seed: 61,
+        }
+    }
+}
+
+/// ConWea outputs.
+#[derive(Clone, Debug)]
+pub struct ConWeaOutput {
+    /// Final per-document predictions.
+    pub predictions: Vec<usize>,
+    /// Seed words that were split into senses (surface forms).
+    pub split_words: Vec<String>,
+    /// The final (expanded, sense-resolved) seed strings per class.
+    pub final_seeds: Vec<Vec<String>>,
+}
+
+impl ConWea {
+    /// Run ConWea with keyword supervision.
+    pub fn run(&self, dataset: &Dataset, sup: &Supervision, plm: &MiniPlm) -> ConWeaOutput {
+        let n_classes = dataset.n_classes();
+        let seeds = crate::common::seed_tokens(dataset, sup);
+
+        // ------------------------------------------------------------------
+        // 1+2. Sense disambiguation and corpus contextualization.
+        // ------------------------------------------------------------------
+        let mut corpus = dataset.corpus.clone();
+        let mut class_seeds: Vec<Vec<TokenId>> = seeds.clone();
+        let mut split_words = Vec::new();
+
+        if self.contextualize {
+            let distinct: Vec<TokenId> = {
+                let mut v: Vec<TokenId> = seeds.iter().flatten().copied().collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let occ = collect_occurrence_reps(plm, &dataset.corpus, &distinct, self.wsd_fallback);
+
+            // Cluster each seed word's occurrences into candidate senses.
+            let mut senses: std::collections::HashMap<TokenId, SenseSplit> =
+                std::collections::HashMap::new();
+            for &t in &distinct {
+                let Some(reps) = occ.get(&t) else { continue };
+                if reps.len() < self.min_occurrences {
+                    continue;
+                }
+                let data = rows_to_matrix(reps.iter().map(|o| o.rep.as_slice()));
+                let (result, sil) = sense_cluster(&data, self.seed);
+                if sil > self.sense_threshold {
+                    split_words.push(dataset.corpus.vocab.word(t).to_string());
+                    senses.insert(
+                        t,
+                        SenseSplit {
+                            centroids: result.centroids,
+                            assignments: reps
+                                .iter()
+                                .zip(&result.assignments)
+                                .map(|(o, &s)| ((o.doc, o.pos), s))
+                                .collect(),
+                        },
+                    );
+                }
+            }
+
+            // Class prototypes from unambiguous seed occurrences.
+            let mut prototypes: Vec<Vec<f32>> = Vec::with_capacity(n_classes);
+            for class_seed in &seeds {
+                let mut acc = vec![0.0f32; plm.config.d_model];
+                let mut count = 0usize;
+                for &t in class_seed {
+                    if senses.contains_key(&t) {
+                        continue;
+                    }
+                    if let Some(reps) = occ.get(&t) {
+                        for o in reps {
+                            vector::axpy(&mut acc, 1.0, &o.rep);
+                            count += 1;
+                        }
+                    }
+                }
+                if count == 0 {
+                    // All of this class's seeds are ambiguous: fall back to
+                    // the mean over every occurrence of every seed.
+                    for &t in class_seed {
+                        if let Some(reps) = occ.get(&t) {
+                            for o in reps {
+                                vector::axpy(&mut acc, 1.0, &o.rep);
+                                count += 1;
+                            }
+                        }
+                    }
+                }
+                if count > 0 {
+                    vector::scale(&mut acc, 1.0 / count as f32);
+                }
+                prototypes.push(acc);
+            }
+
+            // Rewrite the corpus with sense tokens and resolve class seeds.
+            let mut sense_tokens: std::collections::HashMap<(TokenId, usize), TokenId> =
+                std::collections::HashMap::new();
+            for (&t, split) in &senses {
+                let word = dataset.corpus.vocab.word(t).to_string();
+                for s in 0..split.centroids.rows() {
+                    let id = corpus.vocab.intern(&format!("{word}#{s}"));
+                    sense_tokens.insert((t, s), id);
+                }
+            }
+            for (d, doc) in corpus.docs.iter_mut().enumerate() {
+                for (p, tok) in doc.tokens.iter_mut().enumerate() {
+                    if let Some(split) = senses.get(tok) {
+                        let sense = split.assignments.get(&(d, p)).copied().unwrap_or_else(|| {
+                            // Occurrence beyond the clustered cap: nearest centroid
+                            // of the *static* embedding as a cheap fallback.
+                            nearest_centroid(plm.token_embedding(*tok), &split.centroids)
+                        });
+                        *tok = sense_tokens[&(*tok, sense)];
+                    }
+                }
+            }
+            class_seeds = seeds
+                .iter()
+                .enumerate()
+                .map(|(c, class_seed)| {
+                    class_seed
+                        .iter()
+                        .map(|t| match senses.get(t) {
+                            None => *t,
+                            Some(split) => {
+                                let s = nearest_centroid(&prototypes[c], &split.centroids);
+                                sense_tokens[&(*t, s)]
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+        }
+
+        // ------------------------------------------------------------------
+        // 3. Iterative pseudo-labeling, expansion and classification.
+        // ------------------------------------------------------------------
+        let tfidf = TfIdf::fit(&corpus);
+        let features = dense_tfidf(&corpus, &tfidf);
+        let mut assignments = assign_by_seed_similarity(&corpus, &tfidf, &class_seeds);
+        let mut expanded = class_seeds.clone();
+
+        for it in 0..self.iterations {
+            if self.expand {
+                expanded = expand_seeds(
+                    &corpus,
+                    &assignments,
+                    &expanded,
+                    self.expand_per_class,
+                );
+                assignments = assign_by_seed_similarity(&corpus, &tfidf, &expanded);
+            }
+            // Train the document classifier on current pseudo labels.
+            let mut clf =
+                MlpClassifier::new(features.cols(), 0, n_classes, self.seed ^ it as u64);
+            let targets = structmine_nn::classifiers::one_hot(&assignments, n_classes, 0.1);
+            clf.fit(
+                &features,
+                &targets,
+                &TrainConfig { epochs: 12, lr: 5e-2, seed: self.seed, ..Default::default() },
+            );
+            assignments = clf.predict(&features);
+        }
+
+        let final_seeds = expanded
+            .iter()
+            .map(|class_seed| {
+                class_seed.iter().map(|&t| corpus.vocab.word(t).to_string()).collect()
+            })
+            .collect();
+        ConWeaOutput { predictions: assignments, split_words, final_seeds }
+    }
+}
+
+struct SenseSplit {
+    centroids: Matrix,
+    assignments: std::collections::HashMap<(usize, usize), usize>,
+}
+
+struct OccRep {
+    doc: usize,
+    pos: usize,
+    rep: Vec<f32>,
+}
+
+/// Collect per-occurrence vectors for the given tokens. Contextual mode
+/// encodes each containing document once; WSD-fallback mode averages static
+/// embeddings over a ±5 window.
+fn collect_occurrence_reps(
+    plm: &MiniPlm,
+    corpus: &Corpus,
+    tokens: &[TokenId],
+    static_window: bool,
+) -> std::collections::HashMap<TokenId, Vec<OccRep>> {
+    let set: std::collections::HashSet<TokenId> = tokens.iter().copied().collect();
+    let mut out: std::collections::HashMap<TokenId, Vec<OccRep>> =
+        std::collections::HashMap::new();
+    let budget = plm.config.max_len - 2;
+    for (d, doc) in corpus.docs.iter().enumerate() {
+        if !doc.tokens.iter().any(|t| set.contains(t)) {
+            continue;
+        }
+        let reps = if static_window {
+            None
+        } else {
+            Some(structmine_plm::repr::token_reps(plm, &doc.tokens))
+        };
+        for (p, &t) in doc.tokens.iter().take(budget).enumerate() {
+            if !set.contains(&t) {
+                continue;
+            }
+            let rep = match &reps {
+                Some(m) => m.row(p).to_vec(),
+                None => {
+                    let lo = p.saturating_sub(5);
+                    let hi = (p + 6).min(doc.tokens.len());
+                    let window: Vec<&[f32]> = (lo..hi)
+                        .filter(|&q| q != p)
+                        .map(|q| plm.token_embedding(doc.tokens[q]))
+                        .collect();
+                    vector::mean_of(&window, plm.config.d_model)
+                }
+            };
+            out.entry(t).or_default().push(OccRep { doc: d, pos: p, rep });
+        }
+    }
+    out
+}
+
+/// Cluster occurrence vectors into two candidate senses: mean-center (the
+/// hidden states share a large common component that would otherwise
+/// dominate), normalize, and run spherical k-means. Returns the clustering
+/// and its silhouette.
+pub fn sense_cluster(data: &Matrix, seed: u64) -> (structmine_cluster::KMeansResult, f32) {
+    let mut centered = data.clone();
+    let mean = centered.col_mean();
+    for r in 0..centered.rows() {
+        for (v, m) in centered.row_mut(r).iter_mut().zip(&mean) {
+            *v -= m;
+        }
+    }
+    centered.normalize_rows();
+    let result = structmine_cluster::spherical_kmeans(&centered, 2, seed, 50, None);
+    let sil = silhouette(&centered, &result.assignments);
+    (result, sil)
+}
+
+fn rows_to_matrix<'a>(rows: impl Iterator<Item = &'a [f32]>) -> Matrix {
+    let collected: Vec<&[f32]> = rows.collect();
+    Matrix::from_rows(&collected)
+}
+
+fn nearest_centroid(v: &[f32], centroids: &Matrix) -> usize {
+    let scores: Vec<f32> =
+        (0..centroids.rows()).map(|c| vector::cosine(v, centroids.row(c))).collect();
+    vector::argmax(&scores).unwrap_or(0)
+}
+
+/// Dense TF-IDF feature matrix (`n x vocab`).
+pub(crate) fn dense_tfidf(corpus: &Corpus, tfidf: &TfIdf) -> Matrix {
+    let mut m = Matrix::zeros(corpus.len(), corpus.vocab.len());
+    for (i, doc) in corpus.docs.iter().enumerate() {
+        for (t, w) in tfidf.vectorize(&doc.tokens) {
+            m.set(i, t as usize, w);
+        }
+    }
+    m
+}
+
+/// Assign every document to the class with the highest TF-IDF cosine to its
+/// seed query.
+fn assign_by_seed_similarity(
+    corpus: &Corpus,
+    tfidf: &TfIdf,
+    seeds: &[Vec<TokenId>],
+) -> Vec<usize> {
+    let queries: Vec<_> = seeds.iter().map(|s| tfidf.vectorize(s)).collect();
+    corpus
+        .docs
+        .iter()
+        .map(|doc| {
+            let dv = tfidf.vectorize(&doc.tokens);
+            let scores: Vec<f32> = queries
+                .iter()
+                .map(|q| structmine_text::tfidf::sparse_cosine(&dv, q))
+                .collect();
+            vector::argmax(&scores).unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Comparative ranking: words that are frequent in a class's documents but
+/// rare elsewhere become new seeds.
+fn expand_seeds(
+    corpus: &Corpus,
+    assignments: &[usize],
+    current: &[Vec<TokenId>],
+    per_class: usize,
+) -> Vec<Vec<TokenId>> {
+    let n_classes = current.len();
+    let vocab_len = corpus.vocab.len();
+    let mut class_counts = vec![vec![0u32; vocab_len]; n_classes];
+    let mut total_counts = vec![0u32; vocab_len];
+    for (doc, &c) in corpus.docs.iter().zip(assignments) {
+        for &t in &doc.tokens {
+            class_counts[c][t as usize] += 1;
+            total_counts[t as usize] += 1;
+        }
+    }
+    current
+        .iter()
+        .enumerate()
+        .map(|(c, seed)| {
+            let mut scored: Vec<(TokenId, f32)> = (0..vocab_len as u32)
+                .filter(|&t| {
+                    !Vocab::is_special(t) && total_counts[t as usize] >= 5 && !seed.contains(&t)
+                })
+                .map(|t| {
+                    let fc = class_counts[c][t as usize] as f32;
+                    let ft = total_counts[t as usize] as f32;
+                    // Precision-weighted frequency (label-indicative score).
+                    (t, (fc / ft).powi(2) * fc.ln_1p())
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let mut out = seed.clone();
+            out.extend(scored.into_iter().take(per_class).map(|(t, _)| t));
+            out
+        })
+        .collect()
+}
+
+/// Make polysemous seed supervision for ConWea experiments: each class's
+/// standard keywords, plus the planted polysemes where applicable.
+pub fn ambiguous_keywords(dataset: &Dataset) -> Supervision {
+    // The recipes' first-3-lexicon-words keywords already include the
+    // planted polysemes (e.g. soccer: [soccer, goal, penalty], law: [law,
+    // court, judge]) — pass them through; this helper exists so benches are
+    // explicit about using ambiguity-bearing seeds.
+    dataset.supervision_keywords()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structmine_eval::accuracy;
+    use structmine_plm::cache::{pretrained, Tier};
+    use structmine_text::synth::recipes;
+
+    fn nyt_with_polysemes() -> Dataset {
+        // nyt-fine at tiny scale includes soccer & law classes whose
+        // keywords share "penalty"/"court" ambiguity partners.
+        recipes::news20_fine(0.12, 21)
+    }
+
+    #[test]
+    fn conwea_beats_its_no_contextualization_ablation_or_ties() {
+        let d = nyt_with_polysemes();
+        let plm = pretrained(Tier::Test, 0);
+        let sup = ambiguous_keywords(&d);
+        let full = ConWea { iterations: 1, ..Default::default() }.run(&d, &sup, &plm);
+        let nocon = ConWea { contextualize: false, iterations: 1, ..Default::default() }
+            .run(&d, &sup, &plm);
+        let gold = d.test_gold();
+        let acc_full = accuracy(&crate::common::test_slice(&d, &full.predictions), &gold);
+        let acc_nocon = accuracy(&crate::common::test_slice(&d, &nocon.predictions), &gold);
+        assert!(acc_full > 0.5, "ConWea acc {acc_full}");
+        assert!(
+            acc_full + 0.05 >= acc_nocon,
+            "contextualization hurt badly: {acc_full} vs {acc_nocon}"
+        );
+    }
+
+    #[test]
+    fn expansion_grows_seed_sets() {
+        let d = recipes::agnews(0.08, 22);
+        let plm = pretrained(Tier::Test, 0);
+        let out = ConWea { iterations: 1, ..Default::default() }
+            .run(&d, &d.supervision_keywords(), &plm);
+        for (c, seeds) in out.final_seeds.iter().enumerate() {
+            assert!(
+                seeds.len() > d.labels.keywords[c].len(),
+                "class {c} seeds did not grow: {seeds:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_tfidf_matches_sparse() {
+        let d = recipes::yelp(0.05, 23);
+        let tfidf = TfIdf::fit(&d.corpus);
+        let dense = dense_tfidf(&d.corpus, &tfidf);
+        let sparse = tfidf.vectorize(&d.corpus.docs[0].tokens);
+        for (t, w) in sparse {
+            assert!((dense.get(0, t as usize) - w).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sense_split_separates_planted_polyseme() {
+        // Build a corpus where "penalty" appears in soccer and law contexts;
+        // the contextualized clustering should split it.
+        let d = recipes::news20_fine(0.15, 24);
+        let plm = pretrained(Tier::Test, 0);
+        let penalty = d.corpus.vocab.id("penalty").unwrap();
+        let occ = collect_occurrence_reps(&plm, &d.corpus, &[penalty], false);
+        let reps = occ.get(&penalty).expect("penalty must occur");
+        assert!(reps.len() >= 10, "too few occurrences: {}", reps.len());
+        let data = rows_to_matrix(reps.iter().map(|o| o.rep.as_slice()));
+        let (result, _sil) = sense_cluster(&data, 1);
+        // The two clusters should correlate with soccer-vs-law documents.
+        let soccer_class = d.labels.names.iter().position(|n| n == "soccer").unwrap();
+        let law_class = d.labels.names.iter().position(|n| n == "law").unwrap();
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for (o, &cl) in reps.iter().zip(&result.assignments) {
+            let gold = d.corpus.docs[o.doc].labels[0];
+            if gold == soccer_class || gold == law_class {
+                total += 1;
+                agree += usize::from((gold == soccer_class) == (cl == 0));
+            }
+        }
+        if total >= 10 {
+            let rate = agree.max(total - agree) as f32 / total as f32;
+            assert!(rate > 0.7, "sense clusters do not track classes: {rate}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! `structmine` — weakly-supervised text classification by exploring the
+//! power of pre-trained language models.
+//!
+//! This crate implements every method presented in Part III of the EDBT'23
+//! tutorial *"Mining Structures from Massive Texts by Exploring the Power of
+//! Pre-trained Language Models"* (Zhang, Zhang & Han), plus the baselines
+//! its evaluation tables compare against:
+//!
+//! | Module | Method | Supervision | Backbone |
+//! |---|---|---|---|
+//! | [`westclass`] | WeSTClass (CIKM'18) | names / keywords / docs | static embedding |
+//! | [`conwea`] | ConWea (ACL'20) | keywords | PLM contextualization |
+//! | [`lotclass`] | LOTClass (EMNLP'20) | names | PLM MLM head |
+//! | [`xclass`] | X-Class (NAACL'21) | names | PLM representations |
+//! | [`promptclass`] | prompt-based 0-shot + iterative fine-tuning | names | PLM MLM/RTD heads |
+//! | [`weshclass`] | WeSHClass (AAAI'19) | keywords / docs + tree | static embedding |
+//! | [`taxoclass`] | TaxoClass (NAACL'21) | names + DAG | PLM NLI head |
+//! | [`metacat`] | MetaCat (SIGIR'20) | few docs + metadata | HIN embedding |
+//! | [`micol`] | MICoL (WWW'22) | names/descriptions + metadata | PLM contrastive |
+//! | [`baselines`] | IR-TF-IDF, Dataless, Word2Vec, topic-model, BERT-match, zero-shot entail, supervised bounds | — | — |
+//!
+//! Every method consumes a [`structmine_text::Dataset`] (usually from
+//! `structmine_text::synth::recipes`), a [`structmine_text::Supervision`]
+//! and whatever backbone it needs (a `structmine_embed::WordVectors` or a
+//! `structmine_plm::MiniPlm`), and produces predictions for **all**
+//! documents in the corpus — the transductive setting the papers evaluate
+//! in. Callers score the test split with `structmine_eval`.
+//!
+//! # Quickstart
+//! ```no_run
+//! use structmine::prelude::*;
+//!
+//! let data = structmine_text::synth::recipes::agnews(0.2, 7);
+//! let plm = structmine_plm::cache::pretrained(structmine_plm::cache::Tier::Standard, 7);
+//! let out = structmine::xclass::XClass::default().run(&data, &plm);
+//! let acc = structmine_eval::accuracy(
+//!     &data.test_idx.iter().map(|&i| out.predictions[i]).collect::<Vec<_>>(),
+//!     &data.test_gold(),
+//! );
+//! println!("X-Class accuracy: {acc:.3}");
+//! ```
+
+pub mod baselines;
+pub mod common;
+pub mod conwea;
+pub mod lotclass;
+pub mod metacat;
+pub mod micol;
+pub mod promptclass;
+pub mod taxoclass;
+pub mod weshclass;
+pub mod westclass;
+pub mod xclass;
+
+/// Convenient glob-import of the method entry points.
+pub mod prelude {
+    pub use crate::baselines;
+    pub use crate::conwea::ConWea;
+    pub use crate::lotclass::LotClass;
+    pub use crate::metacat::MetaCat;
+    pub use crate::micol::MiCoL;
+    pub use crate::promptclass::PromptClass;
+    pub use crate::taxoclass::TaxoClass;
+    pub use crate::weshclass::WeSHClass;
+    pub use crate::westclass::WeSTClass;
+    pub use crate::xclass::XClass;
+}

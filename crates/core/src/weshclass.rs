@@ -1,0 +1,411 @@
+//! WeSHClass — weakly-supervised hierarchical text classification
+//! (Meng, Shen, Zhang & Han, AAAI 2019).
+//!
+//! The label hierarchy is a tree; every document belongs to one root-to-leaf
+//! path. WeSHClass trains a **local classifier per internal node** over its
+//! children (each a WeSTClass-style flat classifier pre-trained on vMF
+//! pseudo documents) and composes them into a **global classifier per
+//! level**: `P(node) = Π P(child | parent)` along the path, refined by
+//! level-wise self-training.
+//!
+//! Ablation switches reproduce the paper's No-global, No-vMF and
+//! No-self-train rows.
+
+use crate::westclass::WeSTClass;
+use rand::Rng as _;
+use structmine_embed::WordVectors;
+use structmine_linalg::{rng as lrng, vector, Matrix};
+use structmine_nn::classifiers::{MlpClassifier, TrainConfig};
+use structmine_nn::selftrain;
+use structmine_text::taxonomy::NodeId;
+use structmine_text::tfidf::TfIdf;
+use structmine_text::vocab::TokenId;
+use structmine_text::{Dataset, Supervision};
+
+/// WeSHClass hyper-parameters and ablation switches.
+#[derive(Clone, Copy, Debug)]
+pub struct WeSHClass {
+    /// Pseudo documents per child class at each local classifier.
+    pub pseudo_per_class: usize,
+    /// Use vMF-sampled pseudo documents (No-vMF ablation draws words
+    /// directly from the keyword set when false).
+    pub use_vmf: bool,
+    /// Compose local classifiers into path products (No-global ablation
+    /// uses greedy top-down argmax when false).
+    pub use_global: bool,
+    /// Run level-wise self-training (No-self-train ablation when false).
+    pub self_train: bool,
+    /// Classifier hidden width.
+    pub hidden: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WeSHClass {
+    fn default() -> Self {
+        WeSHClass {
+            pseudo_per_class: 60,
+            use_vmf: true,
+            use_global: true,
+            self_train: true,
+            hidden: 32,
+            seed: 101,
+        }
+    }
+}
+
+/// WeSHClass outputs.
+#[derive(Clone, Debug)]
+pub struct WeSHClassOutput {
+    /// Per-document predicted class sets (all nodes on the predicted path,
+    /// as class indices into `dataset.labels`).
+    pub path_predictions: Vec<Vec<usize>>,
+}
+
+impl WeSHClass {
+    /// Run WeSHClass on a tree dataset.
+    pub fn run(
+        &self,
+        dataset: &Dataset,
+        sup: &Supervision,
+        wv: &WordVectors,
+    ) -> WeSHClassOutput {
+        let taxonomy = dataset
+            .taxonomy
+            .as_ref()
+            .expect("WeSHClass requires a hierarchical dataset");
+        assert!(taxonomy.is_tree(), "WeSHClass requires a tree taxonomy");
+
+        let class_of_node = |node: NodeId| -> usize {
+            dataset
+                .class_nodes
+                .iter()
+                .position(|&n| n == node)
+                .expect("taxonomy node must map to a class")
+        };
+
+        // Seeds per class: from keyword supervision directly, or from
+        // labeled docs' top TF-IDF terms (leaf supervision propagates to
+        // ancestors).
+        let class_seeds = self.class_seeds(dataset, sup, wv);
+
+        let features = crate::common::embedding_features(dataset, wv);
+        let n_docs = dataset.corpus.len();
+
+        // Local classifier per internal node with >= 2 children.
+        let mut local: std::collections::HashMap<NodeId, MlpClassifier> =
+            std::collections::HashMap::new();
+        for node in std::iter::once(taxonomy.root()).chain(taxonomy.non_root_nodes()) {
+            let children = taxonomy.children(node);
+            if children.is_empty() {
+                continue;
+            }
+            let clf = self.train_local(dataset, wv, &class_seeds, children, class_of_node);
+            local.insert(node, clf);
+        }
+
+        // Level-by-level global assignment.
+        let max_depth = taxonomy.max_depth();
+        // log P(node | doc) accumulated along paths.
+        let mut path_logp: Vec<std::collections::HashMap<NodeId, f32>> =
+            vec![std::collections::HashMap::from([(taxonomy.root(), 0.0f32)]); n_docs];
+        let mut predictions: Vec<Vec<usize>> = vec![Vec::new(); n_docs];
+
+        for _level in 1..=max_depth {
+            // For every doc, extend each frontier node by its children.
+            let mut per_parent_probs: std::collections::HashMap<NodeId, Matrix> =
+                std::collections::HashMap::new();
+            for (&parent, clf) in &local {
+                let mut probs = clf.predict_proba(&features);
+                if self.self_train {
+                    // One round of soft sharpening stands in for the paper's
+                    // per-level self-training refinement on local outputs.
+                    probs = selftrain::target_distribution(&probs);
+                }
+                per_parent_probs.insert(parent, probs);
+            }
+
+            for i in 0..n_docs {
+                let mut next: std::collections::HashMap<NodeId, f32> =
+                    std::collections::HashMap::new();
+                for (&node, &logp) in &path_logp[i] {
+                    let children = taxonomy.children(node);
+                    if children.is_empty() {
+                        // Leaf above max depth: carry forward.
+                        next.insert(node, logp);
+                        continue;
+                    }
+                    let probs = &per_parent_probs[&node];
+                    if self.use_global {
+                        for (j, &child) in children.iter().enumerate() {
+                            next.insert(child, logp + probs.get(i, j).max(1e-9).ln());
+                        }
+                    } else {
+                        // Greedy: only the argmax child survives.
+                        let row: Vec<f32> =
+                            (0..children.len()).map(|j| probs.get(i, j)).collect();
+                        let best = vector::argmax(&row).unwrap_or(0);
+                        next.insert(children[best], logp + row[best].max(1e-9).ln());
+                    }
+                }
+                path_logp[i] = next;
+            }
+        }
+
+        // Final: best surviving node; its root path is the prediction.
+        for i in 0..n_docs {
+            let best = path_logp[i]
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(&n, _)| n)
+                .unwrap_or(taxonomy.root());
+            predictions[i] =
+                taxonomy.path_from_root(best).into_iter().map(class_of_node).collect();
+        }
+
+        WeSHClassOutput { path_predictions: predictions }
+    }
+
+    fn class_seeds(
+        &self,
+        dataset: &Dataset,
+        sup: &Supervision,
+        wv: &WordVectors,
+    ) -> Vec<Vec<TokenId>> {
+        match sup {
+            Supervision::LabelNames(seeds) | Supervision::Keywords(seeds) => seeds
+                .iter()
+                .map(|seed| {
+                    let mut kw = seed.clone();
+                    let center = wv.mean_vector(seed);
+                    for (t, _) in wv.nearest(&center, 16, seed) {
+                        if kw.len() >= 8 {
+                            break;
+                        }
+                        kw.push(t);
+                    }
+                    kw
+                })
+                .collect(),
+            Supervision::LabeledDocs(pairs) => {
+                let tfidf = TfIdf::fit(&dataset.corpus);
+                let taxonomy = dataset.taxonomy.as_ref().unwrap();
+                let mut scores: Vec<std::collections::HashMap<TokenId, f32>> =
+                    vec![std::collections::HashMap::new(); dataset.n_classes()];
+                for &(i, c) in pairs {
+                    // A labeled leaf doc also evidences the leaf's ancestors.
+                    let node = dataset.class_nodes[c];
+                    let mut nodes = vec![node];
+                    nodes.extend(taxonomy.ancestors(node));
+                    for n in nodes {
+                        let class =
+                            dataset.class_nodes.iter().position(|&x| x == n).unwrap();
+                        for (t, w) in tfidf.vectorize(&dataset.corpus.docs[i].tokens) {
+                            *scores[class].entry(t).or_insert(0.0) += w;
+                        }
+                    }
+                }
+                scores
+                    .into_iter()
+                    .map(|m| {
+                        let mut v: Vec<(TokenId, f32)> = m.into_iter().collect();
+                        v.sort_by(|a, b| {
+                            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                        v.into_iter().take(8).map(|(t, _)| t).collect()
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Train the local classifier over one node's children.
+    fn train_local(
+        &self,
+        dataset: &Dataset,
+        wv: &WordVectors,
+        class_seeds: &[Vec<TokenId>],
+        children: &[NodeId],
+        class_of_node: impl Fn(NodeId) -> usize,
+    ) -> MlpClassifier {
+        let tfidf = TfIdf::fit(&dataset.corpus);
+        let unigram = dataset.corpus.vocab.unigram_weights(1.0);
+        let mut rng = lrng::seeded(self.seed ^ children[0] as u64);
+        let k = children.len();
+        let mut x = Matrix::zeros(k * self.pseudo_per_class, wv.dim());
+        let mut y = Vec::with_capacity(k * self.pseudo_per_class);
+        let west = WeSTClass { seed: self.seed, ..Default::default() };
+        for (j, &child) in children.iter().enumerate() {
+            let class = class_of_node(child);
+            let seeds = &class_seeds[class];
+            // vMF over the child's seeds (or raw keyword sampling for the
+            // No-vMF ablation).
+            let vmf = if self.use_vmf && !seeds.is_empty() {
+                let vecs: Vec<&[f32]> = seeds.iter().map(|&t| wv.get(t)).collect();
+                Some(structmine_embed::vmf::VonMisesFisher::fit(&vecs))
+            } else {
+                None
+            };
+            for p in 0..self.pseudo_per_class {
+                let doc: Vec<TokenId> = match &vmf {
+                    Some(vmf) => {
+                        // Reuse WeSTClass's generator via its public pieces:
+                        // sample direction, draw similar words.
+                        let dir = vmf.sample(&mut rng);
+                        let candidates = wv.nearest(&dir, 40, &[]);
+                        let sims: Vec<f32> =
+                            candidates.iter().map(|&(_, s)| s * west.similarity_temp).collect();
+                        let probs = structmine_linalg::stats::softmax(&sims);
+                        (0..west.pseudo_len)
+                            .map(|_| {
+                                if rng.gen::<f32>() < west.background_alpha {
+                                    lrng::sample_categorical(&mut rng, &unigram) as TokenId
+                                } else {
+                                    candidates[lrng::sample_categorical(&mut rng, &probs)].0
+                                }
+                            })
+                            .collect()
+                    }
+                    None => (0..west.pseudo_len)
+                        .map(|_| {
+                            if seeds.is_empty() || rng.gen::<f32>() < 0.4 {
+                                lrng::sample_categorical(&mut rng, &unigram) as TokenId
+                            } else {
+                                seeds[rng.gen_range(0..seeds.len())]
+                            }
+                        })
+                        .collect(),
+                };
+                let weights: Vec<f32> = doc.iter().map(|&t| tfidf.idf(t)).collect();
+                let v = wv.doc_vector(&doc, Some(&weights));
+                x.row_mut(j * self.pseudo_per_class + p).copy_from_slice(&v);
+                y.push(j);
+            }
+        }
+        let mut clf = MlpClassifier::new(wv.dim(), self.hidden, k, self.seed ^ 7);
+        let t = structmine_nn::classifiers::one_hot(&y, k, 0.2);
+        clf.fit(&x, &t, &TrainConfig { epochs: 25, seed: self.seed, ..Default::default() });
+        clf
+    }
+}
+
+/// Micro-F1 over node sets: global TP / FP / FN across all classes.
+pub fn path_micro_f1(pred: &[Vec<usize>], gold: &[Vec<usize>]) -> f32 {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for (p, g) in pred.iter().zip(gold) {
+        let ps: std::collections::HashSet<_> = p.iter().collect();
+        let gs: std::collections::HashSet<_> = g.iter().collect();
+        tp += ps.intersection(&gs).count();
+        fp += ps.difference(&gs).count();
+        fn_ += gs.difference(&ps).count();
+    }
+    if 2 * tp + fp + fn_ == 0 {
+        0.0
+    } else {
+        2.0 * tp as f32 / (2 * tp + fp + fn_) as f32
+    }
+}
+
+/// Macro-F1 over node sets: per-class F1 from set membership, averaged.
+pub fn path_macro_f1(pred: &[Vec<usize>], gold: &[Vec<usize>], n_classes: usize) -> f32 {
+    let mut tp = vec![0usize; n_classes];
+    let mut fp = vec![0usize; n_classes];
+    let mut fn_ = vec![0usize; n_classes];
+    for (p, g) in pred.iter().zip(gold) {
+        for &c in p {
+            if g.contains(&c) {
+                tp[c] += 1;
+            } else {
+                fp[c] += 1;
+            }
+        }
+        for &c in g {
+            if !p.contains(&c) {
+                fn_[c] += 1;
+            }
+        }
+    }
+    let mut sum = 0.0f32;
+    for c in 0..n_classes {
+        let denom = 2 * tp[c] + fp[c] + fn_[c];
+        if denom > 0 {
+            sum += 2.0 * tp[c] as f32 / denom as f32;
+        }
+    }
+    sum / n_classes as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structmine_embed::{Sgns, SgnsConfig};
+    use structmine_text::synth::recipes;
+
+    fn setup() -> (Dataset, WordVectors) {
+        let d = recipes::nyt_tree(0.15, 61);
+        let wv = Sgns::train(&d.corpus, &SgnsConfig { epochs: 4, dim: 24, ..Default::default() });
+        (d, wv)
+    }
+
+    fn scores(d: &Dataset, out: &WeSHClassOutput) -> (f32, f32) {
+        let pred: Vec<Vec<usize>> =
+            d.test_idx.iter().map(|&i| out.path_predictions[i].clone()).collect();
+        let gold = d.test_gold_sets();
+        (path_micro_f1(&pred, &gold), path_macro_f1(&pred, &gold, d.n_classes()))
+    }
+
+    #[test]
+    fn weshclass_predicts_valid_paths() {
+        let (d, wv) = setup();
+        let out = WeSHClass { pseudo_per_class: 30, ..Default::default() }.run(
+            &d,
+            &d.supervision_keywords(),
+            &wv,
+        );
+        let tax = d.taxonomy.as_ref().unwrap();
+        for path in &out.path_predictions {
+            assert_eq!(path.len(), 2, "expected level-2 paths");
+            let parent_node = d.class_nodes[path[0]];
+            let leaf_node = d.class_nodes[path[1]];
+            assert_eq!(tax.parents(leaf_node), &[parent_node], "invalid path");
+        }
+    }
+
+    #[test]
+    fn keyword_supervision_beats_chance_strongly() {
+        let (d, wv) = setup();
+        let out = WeSHClass { pseudo_per_class: 30, ..Default::default() }.run(
+            &d,
+            &d.supervision_keywords(),
+            &wv,
+        );
+        let (micro, macro_) = scores(&d, &out);
+        // Chance micro over 3 domains x 3 leaves ~ (1/3 + 1/9)/2 = 0.22.
+        assert!(micro > 0.5, "micro {micro}");
+        assert!(macro_ > 0.4, "macro {macro_}");
+    }
+
+    #[test]
+    fn doc_supervision_works_too() {
+        let (d, wv) = setup();
+        let out = WeSHClass { pseudo_per_class: 30, ..Default::default() }.run(
+            &d,
+            &d.supervision_docs(5, 3),
+            &wv,
+        );
+        let (micro, _) = scores(&d, &out);
+        assert!(micro > 0.4, "doc-supervised micro {micro}");
+    }
+
+    #[test]
+    fn path_f1_helpers_known_values() {
+        let pred = vec![vec![0, 1], vec![0, 2]];
+        let gold = vec![vec![0, 1], vec![3, 4]];
+        // TP=2, FP=2, FN=2 -> micro = 2*2/(4+2+2) = 0.5
+        assert!((path_micro_f1(&pred, &gold) - 0.5).abs() < 1e-6);
+        let mac = path_macro_f1(&pred, &gold, 5);
+        assert!(mac > 0.0 && mac < 1.0);
+    }
+}

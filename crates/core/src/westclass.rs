@@ -1,0 +1,443 @@
+//! WeSTClass — weakly-supervised neural text classification
+//! (Meng, Shen, Zhang & Han, CIKM 2018).
+//!
+//! Pipeline, following the paper:
+//! 1. **Seed interpretation** — map the supervision to a keyword set per
+//!    class: label names and keywords are expanded with embedding
+//!    neighbours; labeled documents contribute their top TF-IDF terms.
+//! 2. **Pseudo-document generation** — fit a von Mises–Fisher distribution
+//!    per class on the keyword embeddings; each pseudo document samples a
+//!    direction from the vMF and draws words from a softmax over similarity
+//!    to that direction, mixed with a background unigram distribution.
+//! 3. **Pre-training** — train a neural classifier on pseudo documents with
+//!    label smoothing.
+//! 4. **Self-training** — refine on the unlabeled corpus with the
+//!    `t ∝ p²/f` target distribution until assignments stabilize.
+
+use crate::common;
+use rand::Rng;
+use structmine_embed::vmf::VonMisesFisher;
+use structmine_embed::WordVectors;
+use structmine_linalg::{rng as lrng, stats, vector, Matrix};
+use structmine_nn::classifiers::{MlpClassifier, TrainConfig};
+use structmine_nn::selftrain::{self, SelfTrainConfig};
+use structmine_text::tfidf::TfIdf;
+use structmine_text::vocab::{TokenId, Vocab};
+use structmine_text::{Dataset, Supervision};
+
+/// Classifier backbone: the paper evaluates WeSTClass-CNN and
+/// WeSTClass-HAN variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Backbone {
+    /// MLP over pooled document features (stands in for the CNN variant).
+    #[default]
+    Cnn,
+    /// Attention-pooling sequence classifier (the HAN variant).
+    Han,
+}
+
+/// WeSTClass hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WeSTClass {
+    /// Classifier backbone (CNN-style pooled MLP or HAN-style attention).
+    pub backbone: Backbone,
+    /// Keywords kept per class after seed interpretation.
+    pub keywords_per_class: usize,
+    /// Pseudo documents generated per class.
+    pub pseudo_per_class: usize,
+    /// Length of each pseudo document.
+    pub pseudo_len: usize,
+    /// Background (corpus unigram) mixing weight in pseudo documents.
+    pub background_alpha: f32,
+    /// Softmax temperature on direction/word similarity.
+    pub similarity_temp: f32,
+    /// Label-smoothing mass spread over other classes during pre-training.
+    pub smoothing: f32,
+    /// Hidden width of the classifier.
+    pub hidden: usize,
+    /// Run the self-training stage.
+    pub self_train: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WeSTClass {
+    fn default() -> Self {
+        WeSTClass {
+            backbone: Backbone::Cnn,
+            keywords_per_class: 10,
+            pseudo_per_class: 80,
+            pseudo_len: 40,
+            background_alpha: 0.2,
+            similarity_temp: 6.0,
+            smoothing: 0.2,
+            hidden: 32,
+            self_train: true,
+            seed: 51,
+        }
+    }
+}
+
+/// WeSTClass outputs, including the no-self-training ablation.
+#[derive(Clone, Debug)]
+pub struct WeSTClassOutput {
+    /// Final per-document predictions.
+    pub predictions: Vec<usize>,
+    /// Predictions before self-training (the NoST ablation row).
+    pub pretrain_predictions: Vec<usize>,
+    /// The interpreted keyword set per class.
+    pub keywords: Vec<Vec<TokenId>>,
+}
+
+impl WeSTClass {
+    /// Run WeSTClass on a flat dataset.
+    pub fn run(&self, dataset: &Dataset, sup: &Supervision, wv: &WordVectors) -> WeSTClassOutput {
+        let n_classes = sup.n_classes().max(dataset.n_classes());
+        let keywords = self.interpret_seeds(dataset, sup, wv, n_classes);
+
+        // Fit one vMF per class on keyword embeddings.
+        let vmfs: Vec<VonMisesFisher> = keywords
+            .iter()
+            .map(|kw| {
+                let vecs: Vec<&[f32]> = kw.iter().map(|&t| wv.get(t)).collect();
+                VonMisesFisher::fit(&vecs)
+            })
+            .collect();
+
+        // Generate pseudo documents.
+        let tfidf = TfIdf::fit(&dataset.corpus);
+        let mut rng = lrng::seeded(self.seed);
+        let unigram = dataset.corpus.vocab.unigram_weights(1.0);
+
+        if self.backbone == Backbone::Han {
+            let mut pseudo_seqs = Vec::with_capacity(n_classes * self.pseudo_per_class);
+            let mut pseudo_labels = Vec::new();
+            for (c, vmf) in vmfs.iter().enumerate() {
+                for _ in 0..self.pseudo_per_class {
+                    let doc = self.gen_pseudo_doc(vmf, wv, &unigram, &mut rng);
+                    pseudo_seqs.push(token_sequence(&doc, wv, 40));
+                    pseudo_labels.push(c);
+                }
+            }
+            return self.run_han(
+                dataset,
+                sup,
+                wv,
+                keywords,
+                pseudo_seqs,
+                pseudo_labels,
+                n_classes,
+            );
+        }
+
+        let mut pseudo_features = Matrix::zeros(n_classes * self.pseudo_per_class, wv.dim());
+        let mut pseudo_labels = Vec::with_capacity(n_classes * self.pseudo_per_class);
+        let mut row = 0;
+        for (c, vmf) in vmfs.iter().enumerate() {
+            for _ in 0..self.pseudo_per_class {
+                let doc = self.gen_pseudo_doc(vmf, wv, &unigram, &mut rng);
+                let weights: Vec<f32> = doc.iter().map(|&t| tfidf.idf(t)).collect();
+                let v = wv.doc_vector(&doc, Some(&weights));
+                pseudo_features.row_mut(row).copy_from_slice(&v);
+                pseudo_labels.push(c);
+                row += 1;
+            }
+        }
+
+        // Pre-train the classifier on pseudo documents.
+        let mut clf = MlpClassifier::new(wv.dim(), self.hidden, n_classes, self.seed ^ 0xbeef);
+        let targets =
+            structmine_nn::classifiers::one_hot(&pseudo_labels, n_classes, self.smoothing);
+        clf.fit(
+            &pseudo_features,
+            &targets,
+            &TrainConfig { epochs: 30, seed: self.seed, ..Default::default() },
+        );
+
+        // Document-level supervision also contributes real labeled examples.
+        let features = common::embedding_features(dataset, wv);
+        if let Some(pairs) = sup.labeled_docs() {
+            if !pairs.is_empty() {
+                let idx: Vec<usize> = pairs.iter().map(|&(i, _)| i).collect();
+                let labels: Vec<usize> = pairs.iter().map(|&(_, c)| c).collect();
+                let x = features.select_rows(&idx);
+                let t = structmine_nn::classifiers::one_hot(&labels, n_classes, 0.05);
+                clf.fit(&x, &t, &TrainConfig { epochs: 20, seed: self.seed ^ 1, ..Default::default() });
+            }
+        }
+
+        let pretrain_predictions = clf.predict(&features);
+
+        if self.self_train {
+            selftrain::self_train(
+                &mut clf,
+                &features,
+                &SelfTrainConfig { seed: self.seed ^ 2, ..Default::default() },
+            );
+        }
+        let predictions = clf.predict(&features);
+
+        WeSTClassOutput { predictions, pretrain_predictions, keywords }
+    }
+
+    /// Interpret the supervision as a keyword list per class.
+    fn interpret_seeds(
+        &self,
+        dataset: &Dataset,
+        sup: &Supervision,
+        wv: &WordVectors,
+        n_classes: usize,
+    ) -> Vec<Vec<TokenId>> {
+        match sup {
+            Supervision::LabelNames(seeds) | Supervision::Keywords(seeds) => seeds
+                .iter()
+                .map(|seed| {
+                    let mut kw = seed.clone();
+                    let center = wv.mean_vector(seed);
+                    for (t, _) in wv.nearest(&center, self.keywords_per_class * 2, seed) {
+                        if kw.len() >= self.keywords_per_class {
+                            break;
+                        }
+                        if !kw.contains(&t) {
+                            kw.push(t);
+                        }
+                    }
+                    kw
+                })
+                .collect(),
+            Supervision::LabeledDocs(pairs) => {
+                // Top TF-IDF terms of each class's labeled documents.
+                let tfidf = TfIdf::fit(&dataset.corpus);
+                let mut scores: Vec<std::collections::HashMap<TokenId, f32>> =
+                    vec![std::collections::HashMap::new(); n_classes];
+                for &(i, c) in pairs {
+                    for (t, w) in tfidf.vectorize(&dataset.corpus.docs[i].tokens) {
+                        *scores[c].entry(t).or_insert(0.0) += w;
+                    }
+                }
+                scores
+                    .into_iter()
+                    .map(|m| {
+                        let mut v: Vec<(TokenId, f32)> = m.into_iter().collect();
+                        v.sort_by(|a, b| {
+                            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                        v.into_iter().take(self.keywords_per_class).map(|(t, _)| t).collect()
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Sample one pseudo document from a class vMF.
+    fn gen_pseudo_doc(
+        &self,
+        vmf: &VonMisesFisher,
+        wv: &WordVectors,
+        unigram: &[f32],
+        rng: &mut rand::rngs::StdRng,
+    ) -> Vec<TokenId> {
+        let direction = vmf.sample(rng);
+        // Candidate words: nearest to the sampled direction; sampling weights
+        // are a temperature softmax over cosine similarity.
+        let candidates = wv.nearest(&direction, 50, &[]);
+        let sims: Vec<f32> =
+            candidates.iter().map(|&(_, s)| s * self.similarity_temp).collect();
+        let probs = stats::softmax(&sims);
+        let mut doc = Vec::with_capacity(self.pseudo_len);
+        for _ in 0..self.pseudo_len {
+            if rng.gen::<f32>() < self.background_alpha {
+                doc.push(lrng::sample_categorical(rng, unigram) as TokenId);
+            } else {
+                let pick = lrng::sample_categorical(rng, &probs);
+                doc.push(candidates[pick].0);
+            }
+        }
+        doc
+    }
+}
+
+/// Token-embedding sequence for a document (rows = first `cap` tokens).
+fn token_sequence(
+    tokens: &[TokenId],
+    wv: &WordVectors,
+    cap: usize,
+) -> structmine_linalg::Matrix {
+    let kept: Vec<&[f32]> = tokens
+        .iter()
+        .filter(|t| !Vocab::is_special(**t))
+        .take(cap)
+        .map(|&t| wv.get(t))
+        .collect();
+    if kept.is_empty() {
+        return structmine_linalg::Matrix::zeros(0, wv.dim());
+    }
+    structmine_linalg::Matrix::from_rows(&kept)
+}
+
+impl WeSTClass {
+    /// The HAN-backbone pipeline: attention-pooling classifier pre-trained
+    /// on pseudo-document sequences, then self-trained on the corpus.
+    #[allow(clippy::too_many_arguments)]
+    fn run_han(
+        &self,
+        dataset: &Dataset,
+        sup: &Supervision,
+        wv: &WordVectors,
+        keywords: Vec<Vec<TokenId>>,
+        pseudo_seqs: Vec<structmine_linalg::Matrix>,
+        pseudo_labels: Vec<usize>,
+        n_classes: usize,
+    ) -> WeSTClassOutput {
+        let mut clf = structmine_nn::AttnPoolClassifier::new(
+            wv.dim(),
+            24,
+            n_classes,
+            self.seed ^ 0x4a4,
+        );
+        let targets =
+            structmine_nn::classifiers::one_hot(&pseudo_labels, n_classes, self.smoothing);
+        clf.fit(&pseudo_seqs, &targets, 20, 2e-2, self.seed);
+
+        let real_seqs: Vec<structmine_linalg::Matrix> = dataset
+            .corpus
+            .docs
+            .iter()
+            .map(|doc| token_sequence(&doc.tokens, wv, 40))
+            .collect();
+
+        // Document-level supervision adds real labeled sequences.
+        if let Some(pairs) = sup.labeled_docs() {
+            if !pairs.is_empty() {
+                let seqs: Vec<structmine_linalg::Matrix> =
+                    pairs.iter().map(|&(i, _)| real_seqs[i].clone()).collect();
+                let labels: Vec<usize> = pairs.iter().map(|&(_, c)| c).collect();
+                let t = structmine_nn::classifiers::one_hot(&labels, n_classes, 0.05);
+                clf.fit(&seqs, &t, 15, 1e-2, self.seed ^ 1);
+            }
+        }
+
+        let pretrain_predictions = clf.predict(&real_seqs);
+        if self.self_train {
+            // Self-training with the p²/f target distribution, 5 rounds.
+            for round in 0..5u64 {
+                let probs = clf.predict_proba(&real_seqs);
+                let targets = structmine_nn::selftrain::target_distribution(&probs);
+                clf.fit(&real_seqs, &targets, 2, 5e-3, self.seed ^ (round + 2));
+            }
+        }
+        let predictions = clf.predict(&real_seqs);
+        WeSTClassOutput { predictions, pretrain_predictions, keywords }
+    }
+}
+
+/// Sanity measure used in tests: fraction of interpreted keywords that are
+/// topically consistent (cosine to their class centroid above the global
+/// mean).
+pub fn keyword_coherence(keywords: &[Vec<TokenId>], wv: &WordVectors) -> f32 {
+    let mut coherent = 0usize;
+    let mut total = 0usize;
+    for kw in keywords {
+        if Vocab::is_special(*kw.first().unwrap_or(&0)) {
+            continue;
+        }
+        let center = wv.mean_vector(kw);
+        for &t in kw {
+            total += 1;
+            if vector::cosine(wv.get(t), &center) > 0.2 {
+                coherent += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        coherent as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structmine_embed::{Sgns, SgnsConfig};
+    use structmine_eval::accuracy;
+    use structmine_text::synth::recipes;
+
+    fn setup() -> (Dataset, WordVectors) {
+        let d = recipes::agnews(0.12, 11);
+        let wv = Sgns::train(&d.corpus, &SgnsConfig { epochs: 4, dim: 24, ..Default::default() });
+        (d, wv)
+    }
+
+    fn acc(d: &Dataset, preds: &[usize]) -> f32 {
+        accuracy(&common::test_slice(d, preds), &d.test_gold())
+    }
+
+    #[test]
+    fn westclass_with_label_names_beats_ir_baseline() {
+        let (d, wv) = setup();
+        let sup = d.supervision_names();
+        let out = WeSTClass { pseudo_per_class: 40, ..Default::default() }.run(&d, &sup, &wv);
+        let ours = acc(&d, &out.predictions);
+        let ir = acc(&d, &crate::baselines::ir_tfidf(&d, &sup));
+        assert!(ours > 0.6, "WeSTClass acc {ours}");
+        assert!(ours > ir - 0.05, "WeSTClass {ours} should not trail IR {ir}");
+    }
+
+    #[test]
+    fn self_training_does_not_hurt() {
+        let (d, wv) = setup();
+        let out = WeSTClass { pseudo_per_class: 40, ..Default::default() }
+            .run(&d, &d.supervision_keywords(), &wv);
+        let pre = acc(&d, &out.pretrain_predictions);
+        let post = acc(&d, &out.predictions);
+        assert!(post >= pre - 0.03, "self-training regressed: {pre} -> {post}");
+    }
+
+    #[test]
+    fn doc_supervision_extracts_topical_keywords() {
+        let (d, wv) = setup();
+        let sup = d.supervision_docs(5, 3);
+        let out = WeSTClass { pseudo_per_class: 30, ..Default::default() }.run(&d, &sup, &wv);
+        assert_eq!(out.keywords.len(), d.n_classes());
+        assert!(out.keywords.iter().all(|k| !k.is_empty()));
+        assert!(keyword_coherence(&out.keywords, &wv) > 0.6);
+        assert!(acc(&d, &out.predictions) > 0.55);
+    }
+
+    #[test]
+    fn han_backbone_works_too() {
+        let (d, wv) = setup();
+        let out = WeSTClass {
+            backbone: Backbone::Han,
+            pseudo_per_class: 30,
+            ..Default::default()
+        }
+        .run(&d, &d.supervision_names(), &wv);
+        assert_eq!(out.predictions.len(), d.corpus.len());
+        let a = acc(&d, &out.predictions);
+        assert!(a > 0.5, "WeSTClass-HAN acc {a}");
+    }
+
+    #[test]
+    fn pseudo_docs_lean_topical() {
+        let (d, wv) = setup();
+        let sports = d.corpus.vocab.id("sports").unwrap();
+        let vmf = VonMisesFisher::fit(&[wv.get(sports)]);
+        let unigram = d.corpus.vocab.unigram_weights(1.0);
+        let mut rng = lrng::seeded(5);
+        let method = WeSTClass::default();
+        let doc = method.gen_pseudo_doc(&vmf, &wv, &unigram, &mut rng);
+        assert_eq!(doc.len(), method.pseudo_len);
+        let lex = structmine_text::synth::lexicon::lexicon("sports");
+        let topical = doc
+            .iter()
+            .filter(|&&t| lex.contains(&d.corpus.vocab.word(t)))
+            .count();
+        assert!(
+            topical * 3 >= doc.len(),
+            "only {topical}/{} pseudo words topical",
+            doc.len()
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Static embeddings for the `structmine` workspace.
+//!
+//! The tutorial's pre-PLM methods (WeSTClass, WeSHClass, MetaCat) and several
+//! baselines (Word2Vec matching, PTE, metapath2vec, Doc2Vec) are built on
+//! *static* representations. This crate implements them from scratch:
+//!
+//! * [`sgns`] — skip-gram with negative sampling over a corpus.
+//! * [`docvec`] — document vectors: TF-IDF-weighted averages and PV-DBOW
+//!   trained vectors (the Doc2Vec baseline).
+//! * [`vmf`] — von Mises–Fisher fitting and sampling (WeSTClass's pseudo
+//!   document generator).
+//! * [`hin`] — heterogeneous information network embedding by typed edge
+//!   sampling (MetaCat's joint word/doc/label/metadata space, and the
+//!   PTE/ESim/metapath2vec-style baselines).
+
+pub mod docvec;
+pub mod hin;
+pub mod sgns;
+pub mod vmf;
+
+pub use hin::{HinConfig, HinGraph};
+pub use sgns::{Sgns, SgnsConfig, WordVectors};
+pub use vmf::VonMisesFisher;

@@ -1,0 +1,189 @@
+//! Von Mises–Fisher distribution on the unit hypersphere.
+//!
+//! WeSTClass fits a vMF to each class's seed-keyword embeddings and samples
+//! directions from it to generate pseudo documents. Fitting uses the
+//! Banerjee et al. (2005) concentration approximation; sampling uses Wood's
+//! (1994) rejection algorithm, valid in any dimension.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use structmine_linalg::{rng as lrng, vector};
+
+/// A fitted von Mises–Fisher distribution.
+#[derive(Clone, Debug)]
+pub struct VonMisesFisher {
+    mu: Vec<f32>,
+    kappa: f32,
+}
+
+impl VonMisesFisher {
+    /// Construct from an explicit mean direction (will be normalized) and
+    /// concentration.
+    pub fn new(mu: &[f32], kappa: f32) -> Self {
+        assert!(kappa >= 0.0, "kappa must be non-negative");
+        VonMisesFisher { mu: vector::normalized(mu), kappa }
+    }
+
+    /// Maximum-likelihood fit from sample vectors (normalized internally).
+    ///
+    /// `kappa ≈ r̄(d - r̄²) / (1 - r̄²)` where `r̄` is the resultant length.
+    pub fn fit(samples: &[&[f32]]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let d = samples[0].len();
+        let mut mean = vec![0.0f32; d];
+        for s in samples {
+            let unit = vector::normalized(s);
+            vector::axpy(&mut mean, 1.0 / samples.len() as f32, &unit);
+        }
+        let rbar = vector::norm(&mean).min(0.9999);
+        let kappa = if samples.len() == 1 || rbar < 1e-6 {
+            // Degenerate: a single direction gets a high fixed concentration.
+            if samples.len() == 1 {
+                50.0
+            } else {
+                0.0
+            }
+        } else {
+            rbar * (d as f32 - rbar * rbar) / (1.0 - rbar * rbar)
+        };
+        VonMisesFisher { mu: vector::normalized(&mean), kappa }
+    }
+
+    /// The mean direction (unit norm).
+    pub fn mu(&self) -> &[f32] {
+        &self.mu
+    }
+
+    /// The concentration parameter.
+    pub fn kappa(&self) -> f32 {
+        self.kappa
+    }
+
+    /// Draw a unit vector via Wood's rejection sampler.
+    pub fn sample(&self, rng: &mut StdRng) -> Vec<f32> {
+        let d = self.mu.len();
+        if d == 1 {
+            return vec![if rng.gen::<f32>() < 0.5 { -1.0 } else { 1.0 }];
+        }
+        if self.kappa < 1e-6 {
+            return random_unit(rng, d);
+        }
+        let dm1 = (d - 1) as f32;
+        let b = (-2.0 * self.kappa + (4.0 * self.kappa * self.kappa + dm1 * dm1).sqrt()) / dm1;
+        let x0 = (1.0 - b) / (1.0 + b);
+        let c = self.kappa * x0 + dm1 * (1.0 - x0 * x0).ln();
+        let w = loop {
+            let z = sample_beta(rng, dm1 / 2.0, dm1 / 2.0);
+            let w = (1.0 - (1.0 + b) * z) / (1.0 - (1.0 - b) * z);
+            let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+            if self.kappa * w + dm1 * (1.0 - x0 * w).ln() - c >= u.ln() {
+                break w;
+            }
+        };
+        // Random direction orthogonal to mu.
+        let mut v = random_unit(rng, d);
+        let proj = vector::dot(&v, &self.mu);
+        vector::axpy(&mut v, -proj, &self.mu);
+        vector::normalize(&mut v);
+        let mut out = vec![0.0f32; d];
+        vector::axpy(&mut out, w, &self.mu);
+        vector::axpy(&mut out, (1.0 - w * w).max(0.0).sqrt(), &v);
+        vector::normalize(&mut out);
+        out
+    }
+}
+
+fn random_unit(rng: &mut StdRng, d: usize) -> Vec<f32> {
+    loop {
+        let mut v = vec![0.0f32; d];
+        lrng::fill_gaussian(rng, &mut v, 1.0);
+        if vector::norm(&v) > 1e-6 {
+            vector::normalize(&mut v);
+            return v;
+        }
+    }
+}
+
+fn sample_beta(rng: &mut StdRng, a: f32, b: f32) -> f32 {
+    let x = lrng::sample_gamma(rng, a);
+    let y = lrng::sample_gamma(rng, b);
+    if x + y <= 0.0 {
+        0.5
+    } else {
+        x / (x + y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_mean_direction() {
+        let mut rng = lrng::seeded(1);
+        let mu = vector::normalized(&[1.0, 2.0, 3.0, 0.0]);
+        let gen = VonMisesFisher::new(&mu, 40.0);
+        let samples: Vec<Vec<f32>> = (0..500).map(|_| gen.sample(&mut rng)).collect();
+        let refs: Vec<&[f32]> = samples.iter().map(|s| s.as_slice()).collect();
+        let fitted = VonMisesFisher::fit(&refs);
+        let align = vector::dot(fitted.mu(), &mu);
+        assert!(align > 0.99, "alignment {align}");
+        assert!(
+            fitted.kappa() > 20.0 && fitted.kappa() < 80.0,
+            "kappa {} should be near 40",
+            fitted.kappa()
+        );
+    }
+
+    #[test]
+    fn samples_are_unit_norm_and_concentrated() {
+        let mut rng = lrng::seeded(2);
+        let mu = vector::normalized(&[0.0, 0.0, 1.0]);
+        let vmf = VonMisesFisher::new(&mu, 100.0);
+        let mut mean_cos = 0.0f32;
+        for _ in 0..200 {
+            let s = vmf.sample(&mut rng);
+            assert!((vector::norm(&s) - 1.0).abs() < 1e-4);
+            mean_cos += vector::dot(&s, &mu);
+        }
+        mean_cos /= 200.0;
+        assert!(mean_cos > 0.95, "mean cosine {mean_cos}");
+    }
+
+    #[test]
+    fn low_kappa_spreads_samples() {
+        let mut rng = lrng::seeded(3);
+        let mu = vector::normalized(&[1.0, 0.0, 0.0, 0.0]);
+        let tight = VonMisesFisher::new(&mu, 200.0);
+        let loose = VonMisesFisher::new(&mu, 2.0);
+        let spread = |v: &VonMisesFisher, rng: &mut StdRng| {
+            (0..200).map(|_| vector::dot(&v.sample(rng), &mu)).sum::<f32>() / 200.0
+        };
+        let tight_cos = spread(&tight, &mut rng);
+        let loose_cos = spread(&loose, &mut rng);
+        assert!(tight_cos > loose_cos + 0.2, "tight {tight_cos} loose {loose_cos}");
+    }
+
+    #[test]
+    fn kappa_zero_is_uniform_on_sphere() {
+        let mut rng = lrng::seeded(4);
+        let vmf = VonMisesFisher::new(&[1.0, 0.0, 0.0], 0.0);
+        let mean: f32 =
+            (0..2000).map(|_| vmf.sample(&mut rng)[0]).sum::<f32>() / 2000.0;
+        assert!(mean.abs() < 0.08, "uniform mean component {mean}");
+    }
+
+    #[test]
+    fn single_sample_fit_is_degenerate_but_valid() {
+        let v = [0.0f32, 3.0];
+        let fitted = VonMisesFisher::fit(&[&v]);
+        assert!((vector::dot(fitted.mu(), &[0.0, 1.0]) - 1.0).abs() < 1e-5);
+        assert!(fitted.kappa() > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_fit_panics() {
+        VonMisesFisher::fit(&[]);
+    }
+}

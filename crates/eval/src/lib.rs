@@ -1,0 +1,63 @@
+//! Classification and ranking metrics used across the tutorial's tables.
+//!
+//! * Micro-/Macro-F1 and accuracy for single-label tasks (WeSTClass, ConWea,
+//!   LOTClass, X-Class, PromptClass, WeSHClass, MetaCat tables).
+//! * Example-F1 and P@1 for multi-label classification (TaxoClass).
+//! * P@k and NDCG@k for multi-label ranking (MICoL).
+//! * Mean ± standard deviation aggregation over seeds, matching how the
+//!   papers report repeated runs.
+
+pub mod multilabel;
+pub mod ranking;
+pub mod single;
+
+pub use multilabel::{example_f1, precision_at_1_sets};
+pub use ranking::{ndcg_at_k, precision_at_k};
+pub use single::{accuracy, macro_f1, micro_f1, per_class_f1};
+
+/// Mean and population standard deviation of repeated measurements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeanStd {
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std: f32,
+}
+
+impl MeanStd {
+    /// Aggregate a slice of per-seed scores.
+    pub fn of(values: &[f32]) -> MeanStd {
+        if values.is_empty() {
+            return MeanStd { mean: 0.0, std: 0.0 };
+        }
+        let mean = values.iter().sum::<f32>() / values.len() as f32;
+        let var =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
+        MeanStd { mean, std: var.sqrt() }
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ({:.3})", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basic() {
+        let m = MeanStd::of(&[1.0, 2.0, 3.0]);
+        assert!((m.mean - 2.0).abs() < 1e-6);
+        assert!((m.std - (2.0f32 / 3.0).sqrt()).abs() < 1e-5);
+        assert_eq!(MeanStd::of(&[]), MeanStd { mean: 0.0, std: 0.0 });
+    }
+
+    #[test]
+    fn mean_std_formats() {
+        let m = MeanStd::of(&[0.5, 0.5]);
+        assert_eq!(m.to_string(), "0.500 (0.000)");
+    }
+}

@@ -1,0 +1,82 @@
+//! Multi-label classification metrics (TaxoClass).
+
+use std::collections::HashSet;
+
+/// Example-F1: mean over documents of `2|true ∩ pred| / (|true| + |pred|)`.
+pub fn example_f1(pred: &[Vec<usize>], gold: &[Vec<usize>]) -> f32 {
+    assert_eq!(pred.len(), gold.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    for (p, g) in pred.iter().zip(gold) {
+        let ps: HashSet<_> = p.iter().collect();
+        let gs: HashSet<_> = g.iter().collect();
+        let inter = ps.intersection(&gs).count();
+        let denom = ps.len() + gs.len();
+        if denom > 0 {
+            total += 2.0 * inter as f32 / denom as f32;
+        }
+    }
+    total / pred.len() as f32
+}
+
+/// P@1 over label *sets*: fraction of documents whose top-1 prediction (the
+/// first element of each prediction list) is among the gold labels.
+pub fn precision_at_1_sets(top1: &[usize], gold: &[Vec<usize>]) -> f32 {
+    assert_eq!(top1.len(), gold.len());
+    if top1.is_empty() {
+        return 0.0;
+    }
+    top1.iter()
+        .zip(gold)
+        .filter(|(p, g)| g.contains(p))
+        .count() as f32
+        / top1.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_f1_exact_match_is_one() {
+        let gold = vec![vec![0, 1], vec![2]];
+        assert!((example_f1(&gold, &gold) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn example_f1_partial_overlap() {
+        let pred = vec![vec![0, 1]];
+        let gold = vec![vec![1, 2]];
+        // intersection 1, sizes 2+2 -> 2*1/4 = 0.5
+        assert!((example_f1(&pred, &gold) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn example_f1_disjoint_is_zero() {
+        let pred = vec![vec![0]];
+        let gold = vec![vec![1]];
+        assert_eq!(example_f1(&pred, &gold), 0.0);
+    }
+
+    #[test]
+    fn example_f1_handles_duplicates_as_sets() {
+        let pred = vec![vec![0, 0, 1]];
+        let gold = vec![vec![0, 1]];
+        assert!((example_f1(&pred, &gold) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn p_at_1_counts_set_membership() {
+        let top1 = vec![3, 0];
+        let gold = vec![vec![1, 3], vec![2]];
+        assert!((precision_at_1_sets(&top1, &gold) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(example_f1(&[], &[]), 0.0);
+        assert_eq!(precision_at_1_sets(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Ranking metrics over per-document label rankings (MICoL).
+
+/// P@k: mean over documents of (relevant labels in top-k) / k.
+pub fn precision_at_k(rankings: &[Vec<usize>], gold: &[Vec<usize>], k: usize) -> f32 {
+    assert_eq!(rankings.len(), gold.len());
+    if rankings.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    for (r, g) in rankings.iter().zip(gold) {
+        let hits = r.iter().take(k).filter(|l| g.contains(l)).count();
+        total += hits as f32 / k as f32;
+    }
+    total / rankings.len() as f32
+}
+
+/// NDCG@k with binary relevance: DCG uses `1/log2(rank+1)` gains, normalized
+/// by the ideal DCG given the document's number of gold labels.
+///
+/// Rankings must be duplicate-free (they are label orderings); duplicated
+/// entries would be double-counted.
+pub fn ndcg_at_k(rankings: &[Vec<usize>], gold: &[Vec<usize>], k: usize) -> f32 {
+    assert_eq!(rankings.len(), gold.len());
+    if rankings.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    for (r, g) in rankings.iter().zip(gold) {
+        let dcg: f32 = r
+            .iter()
+            .take(k)
+            .enumerate()
+            .filter(|(_, l)| g.contains(l))
+            .map(|(i, _)| 1.0 / ((i + 2) as f32).log2())
+            .sum();
+        let ideal: f32 =
+            (0..g.len().min(k)).map(|i| 1.0 / ((i + 2) as f32).log2()).sum();
+        if ideal > 0.0 {
+            total += dcg / ideal;
+        }
+    }
+    total / rankings.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let rankings = vec![vec![0, 1, 2]];
+        let gold = vec![vec![0, 1, 2]];
+        assert!((precision_at_k(&rankings, &gold, 3) - 1.0).abs() < 1e-6);
+        assert!((ndcg_at_k(&rankings, &gold, 3) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn p_at_k_counts_topk_hits() {
+        let rankings = vec![vec![5, 0, 9]];
+        let gold = vec![vec![0, 1]];
+        assert!((precision_at_k(&rankings, &gold, 3) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((precision_at_k(&rankings, &gold, 1) - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ndcg_rewards_early_hits() {
+        let gold = vec![vec![0]];
+        let early = ndcg_at_k(&[vec![0, 1, 2]], &gold, 3);
+        let late = ndcg_at_k(&[vec![1, 2, 0]], &gold, 3);
+        assert!(early > late);
+        assert!((early - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ndcg_normalizes_by_gold_size() {
+        // Only one gold label, k=3: placing it first is already ideal.
+        let gold = vec![vec![7]];
+        assert!((ndcg_at_k(&[vec![7, 1, 2]], &gold, 3) - 1.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn metrics_bounded_zero_one(
+            ranking in Just((0usize..10).collect::<Vec<_>>()).prop_shuffle(),
+            gold in proptest::collection::hash_set(0usize..10, 1..4),
+        ) {
+            let gold: Vec<usize> = gold.into_iter().collect();
+            let r = vec![ranking];
+            let g = vec![gold];
+            for k in 1..=5usize {
+                let p = precision_at_k(&r, &g, k);
+                let n = ndcg_at_k(&r, &g, k);
+                prop_assert!((0.0..=1.0 + 1e-6).contains(&p));
+                prop_assert!((0.0..=1.0 + 1e-6).contains(&n));
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Single-label classification metrics.
+
+/// Fraction of exact matches.
+pub fn accuracy(pred: &[usize], gold: &[usize]) -> f32 {
+    assert_eq!(pred.len(), gold.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(gold).filter(|(a, b)| a == b).count() as f32 / pred.len() as f32
+}
+
+/// Per-class precision/recall/F1. Returns `(precision, recall, f1)` triples
+/// indexed by class.
+pub fn per_class_f1(pred: &[usize], gold: &[usize], n_classes: usize) -> Vec<(f32, f32, f32)> {
+    assert_eq!(pred.len(), gold.len());
+    let mut tp = vec![0usize; n_classes];
+    let mut fp = vec![0usize; n_classes];
+    let mut fn_ = vec![0usize; n_classes];
+    for (&p, &g) in pred.iter().zip(gold) {
+        if p == g {
+            tp[p] += 1;
+        } else {
+            if p < n_classes {
+                fp[p] += 1;
+            }
+            if g < n_classes {
+                fn_[g] += 1;
+            }
+        }
+    }
+    (0..n_classes)
+        .map(|c| {
+            let prec = safe_div(tp[c] as f32, (tp[c] + fp[c]) as f32);
+            let rec = safe_div(tp[c] as f32, (tp[c] + fn_[c]) as f32);
+            let f1 = if prec + rec > 0.0 { 2.0 * prec * rec / (prec + rec) } else { 0.0 };
+            (prec, rec, f1)
+        })
+        .collect()
+}
+
+/// Macro-averaged F1 (unweighted mean of per-class F1).
+pub fn macro_f1(pred: &[usize], gold: &[usize], n_classes: usize) -> f32 {
+    let per = per_class_f1(pred, gold, n_classes);
+    if per.is_empty() {
+        return 0.0;
+    }
+    per.iter().map(|&(_, _, f1)| f1).sum::<f32>() / per.len() as f32
+}
+
+/// Micro-averaged F1. For single-label multi-class prediction this equals
+/// accuracy (every error is one FP and one FN).
+pub fn micro_f1(pred: &[usize], gold: &[usize]) -> f32 {
+    accuracy(pred, gold)
+}
+
+fn safe_div(a: f32, b: f32) -> f32 {
+    if b > 0.0 {
+        a / b
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let gold = vec![0, 1, 2, 1, 0];
+        assert_eq!(accuracy(&gold, &gold), 1.0);
+        assert!((macro_f1(&gold, &gold, 3) - 1.0).abs() < 1e-6);
+        assert!((micro_f1(&gold, &gold) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn macro_f1_punishes_minority_class_failure() {
+        // 9 of class 0 (all right), 1 of class 1 (wrong).
+        let gold = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let pred = vec![0; 10];
+        let micro = micro_f1(&pred, &gold);
+        let mac = macro_f1(&pred, &gold, 2);
+        assert!((micro - 0.9).abs() < 1e-6);
+        assert!(mac < 0.5, "macro {mac} should be dragged down by class 1");
+    }
+
+    #[test]
+    fn per_class_precision_recall_known_case() {
+        // class 0: tp=1 fp=1 fn=1 -> p=0.5 r=0.5 f1=0.5
+        let gold = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 0, 1];
+        let per = per_class_f1(&pred, &gold, 2);
+        assert!((per[0].0 - 0.5).abs() < 1e-6);
+        assert!((per[0].1 - 0.5).abs() < 1e-6);
+        assert!((per[0].2 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_input_scores_zero() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(macro_f1(&[], &[], 0), 0.0);
+    }
+
+    #[test]
+    fn absent_class_gets_zero_f1() {
+        let gold = vec![0, 0];
+        let pred = vec![0, 0];
+        let per = per_class_f1(&pred, &gold, 2);
+        assert_eq!(per[1], (0.0, 0.0, 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn metrics_are_bounded(
+            pred in proptest::collection::vec(0usize..4, 1..64),
+        ) {
+            let gold: Vec<usize> = pred.iter().map(|&p| (p + 1) % 4).collect();
+            let acc = accuracy(&pred, &gold);
+            let mac = macro_f1(&pred, &gold, 4);
+            prop_assert!((0.0..=1.0).contains(&acc));
+            prop_assert!((0.0..=1.0).contains(&mac));
+        }
+
+        #[test]
+        fn micro_equals_accuracy(
+            pred in proptest::collection::vec(0usize..5, 1..64),
+            gold in proptest::collection::vec(0usize..5, 1..64),
+        ) {
+            let n = pred.len().min(gold.len());
+            prop_assert_eq!(micro_f1(&pred[..n], &gold[..n]), accuracy(&pred[..n], &gold[..n]));
+        }
+    }
+}

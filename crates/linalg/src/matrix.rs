@@ -1,0 +1,380 @@
+//! Row-major dense `f32` matrix.
+//!
+//! The workspace only needs a handful of operations (matmul, transpose,
+//! element-wise arithmetic, row views), so this type favours clarity and
+//! cache-friendly loops over generality. The matmul uses the i-k-j loop
+//! order, which keeps the inner loop streaming over contiguous rows of the
+//! right-hand operand — the standard cache-friendly form for row-major data.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Create a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Create a matrix from an owned row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Create a matrix from row slices. All rows must share a length.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the underlying row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Iterate over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch: {}x{} * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs^T`. Avoids materializing the transpose.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                out.data[i * rhs.rows + j] = crate::vector::dot(a_row, rhs.row(j));
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Multiply every element by `s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        let data = self.data.iter().map(|a| a * s).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// In-place `self += alpha * rhs`.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Add `v` to every row (broadcast).
+    pub fn add_row_broadcast(&self, v: &[f32]) -> Matrix {
+        assert_eq!(v.len(), self.cols, "broadcast length mismatch");
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            for (o, &b) in out.row_mut(i).iter_mut().zip(v) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Mean of each column.
+    pub fn col_mean(&self) -> Vec<f32> {
+        let mut mean = vec![0.0f32; self.cols];
+        if self.rows == 0 {
+            return mean;
+        }
+        for row in self.iter_rows() {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        let inv = 1.0 / self.rows as f32;
+        for m in &mut mean {
+            *m *= inv;
+        }
+        mean
+    }
+
+    /// L2-normalize every row in place; zero rows are left untouched.
+    pub fn normalize_rows(&mut self) {
+        for i in 0..self.rows {
+            crate::vector::normalize(self.row_mut(i));
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Stack matrices vertically; all operands must share a column count.
+    pub fn vstack(mats: &[&Matrix]) -> Matrix {
+        let cols = mats.first().map_or(0, |m| m.cols);
+        let rows = mats.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in mats {
+            assert_eq!(m.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Extract the sub-matrix made of the given rows (copied).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix::from_vec(indices.len(), self.cols, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-10.0f32..10.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    }
+
+    proptest! {
+        /// (A·B)ᵀ = Bᵀ·Aᵀ
+        #[test]
+        fn transpose_of_product(a in small_matrix(3, 4), b in small_matrix(4, 2)) {
+            let left = a.matmul(&b).transpose();
+            let right = b.transpose().matmul(&a.transpose());
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        /// A·(B + C) = A·B + A·C
+        #[test]
+        fn matmul_distributes_over_add(
+            a in small_matrix(2, 3),
+            b in small_matrix(3, 2),
+            c in small_matrix(3, 2),
+        ) {
+            let left = a.matmul(&b.add(&c));
+            let right = a.matmul(&b).add(&a.matmul(&c));
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-2);
+            }
+        }
+
+        /// vstack then select_rows recovers the operands.
+        #[test]
+        fn vstack_select_inverse(a in small_matrix(2, 3), b in small_matrix(3, 3)) {
+            let s = Matrix::vstack(&[&a, &b]);
+            prop_assert_eq!(s.select_rows(&[0, 1]), a);
+            prop_assert_eq!(s.select_rows(&[2, 3, 4]), b);
+        }
+
+        /// Scaling commutes with matmul.
+        #[test]
+        fn scale_commutes(a in small_matrix(2, 2), b in small_matrix(2, 2), s in -3.0f32..3.0) {
+            let left = a.scale(s).matmul(&b);
+            let right = a.matmul(&b).scale(s);
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.5, -1.0], &[2.0, -2.0, 0.0]]);
+        assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn col_mean_of_constant_rows() {
+        let a = Matrix::from_rows(&[&[2.0, 4.0], &[2.0, 4.0], &[2.0, 4.0]]);
+        assert_eq!(a.col_mean(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn normalize_rows_gives_unit_norm() {
+        let mut a = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        a.normalize_rows();
+        assert!((crate::vector::norm(a.row(0)) - 1.0).abs() < 1e-6);
+        assert_eq!(a.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn vstack_and_select_rows_round_trip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let s = Matrix::vstack(&[&a, &b]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.select_rows(&[1, 2]), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a, Matrix::filled(2, 2, 2.0));
+    }
+}

@@ -1,0 +1,198 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Used for the tutorial's "vanilla BERT representations" figure (2-D PCA of
+//! average-pooled hidden states) and for diagnostics elsewhere. Power
+//! iteration is ample for the handful of leading components we ever need.
+
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// A fitted PCA: mean vector plus the top-k principal axes (rows).
+#[derive(Clone, Debug)]
+pub struct Pca {
+    mean: Vec<f32>,
+    /// `k x d`; each row is a unit-norm principal axis.
+    components: Matrix,
+    /// Eigenvalues (variance captured) for each component, descending.
+    explained: Vec<f32>,
+}
+
+impl Pca {
+    /// Fit the top `k` principal components of the rows of `data`.
+    ///
+    /// Deterministic: power iteration starts from a fixed vector. Returns a
+    /// PCA with fewer than `k` components if the data has lower rank.
+    pub fn fit(data: &Matrix, k: usize) -> Pca {
+        let d = data.cols();
+        let mean = data.col_mean();
+        // Covariance (d x d), fine for the small d used in this workspace.
+        let mut cov = Matrix::zeros(d, d);
+        let n = data.rows().max(1) as f32;
+        for row in data.iter_rows() {
+            let centered: Vec<f32> = row.iter().zip(&mean).map(|(v, m)| v - m).collect();
+            for i in 0..d {
+                if centered[i] == 0.0 {
+                    continue;
+                }
+                let ci = centered[i];
+                let cov_row = cov.row_mut(i);
+                for (j, &cj) in centered.iter().enumerate() {
+                    cov_row[j] += ci * cj / n;
+                }
+            }
+        }
+
+        let mut components = Vec::new();
+        let mut explained = Vec::new();
+        let mut deflated = cov;
+        for comp in 0..k.min(d) {
+            let (axis, eigenvalue) = power_iteration(&deflated, comp as u64);
+            if eigenvalue <= 1e-9 {
+                break;
+            }
+            // Deflate: cov -= lambda * v v^T
+            for i in 0..d {
+                let vi = axis[i];
+                let row = deflated.row_mut(i);
+                for (j, &vj) in axis.iter().enumerate() {
+                    row[j] -= eigenvalue * vi * vj;
+                }
+            }
+            components.push(axis);
+            explained.push(eigenvalue);
+        }
+
+        let comp_mat = if components.is_empty() {
+            Matrix::zeros(0, d)
+        } else {
+            let refs: Vec<&[f32]> = components.iter().map(|c| c.as_slice()).collect();
+            Matrix::from_rows(&refs)
+        };
+        Pca { mean, components: comp_mat, explained: explained.clone() }
+    }
+
+    /// Project the rows of `data` onto the fitted components (`n x k`).
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let k = self.components.rows();
+        let mut out = Matrix::zeros(data.rows(), k);
+        for (i, row) in data.iter_rows().enumerate() {
+            let centered: Vec<f32> = row.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+            for c in 0..k {
+                out.set(i, c, vector::dot(&centered, self.components.row(c)));
+            }
+        }
+        out
+    }
+
+    /// Variance explained by each retained component, descending.
+    pub fn explained_variance(&self) -> &[f32] {
+        &self.explained
+    }
+
+    /// Number of retained components.
+    pub fn n_components(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// The principal axes as a `k x d` matrix.
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+}
+
+/// Returns (unit eigenvector, eigenvalue) of the dominant eigenpair.
+fn power_iteration(m: &Matrix, salt: u64) -> (Vec<f32>, f32) {
+    let d = m.rows();
+    // Deterministic pseudo-random start so repeated components do not align.
+    let mut v: Vec<f32> = (0..d)
+        .map(|i| {
+            let h = crate::rng::derive_seed(salt.wrapping_add(1), i as u64);
+            (h % 1000) as f32 / 1000.0 - 0.5 + 1e-3
+        })
+        .collect();
+    vector::normalize(&mut v);
+    let mut eigenvalue = 0.0f32;
+    for _ in 0..200 {
+        let mut next = vec![0.0f32; d];
+        for i in 0..d {
+            next[i] = vector::dot(m.row(i), &v);
+        }
+        let norm = vector::norm(&next);
+        if norm <= 1e-12 {
+            return (v, 0.0);
+        }
+        vector::scale(&mut next, 1.0 / norm);
+        let delta = vector::sq_dist(&next, &v);
+        v = next;
+        eigenvalue = norm;
+        if delta < 1e-12 {
+            break;
+        }
+    }
+    (v, eigenvalue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use rand::Rng;
+
+    /// Build data stretched along a known direction and check PCA finds it.
+    #[test]
+    fn recovers_dominant_direction() {
+        let mut r = rng::seeded(1);
+        let axis = vector::normalized(&[3.0, 1.0, 0.5, 0.0]);
+        let mut rows = Vec::new();
+        for _ in 0..400 {
+            let t = rng::gaussian(&mut r) * 5.0;
+            let noise: Vec<f32> = (0..4).map(|_| rng::gaussian(&mut r) * 0.1).collect();
+            let row: Vec<f32> = axis.iter().zip(&noise).map(|(a, n)| a * t + n).collect();
+            rows.push(row);
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let data = Matrix::from_rows(&refs);
+        let pca = Pca::fit(&data, 2);
+        let c0 = pca.components().row(0);
+        let align = vector::cosine(c0, &axis).abs();
+        assert!(align > 0.99, "alignment {align}");
+        assert!(pca.explained_variance()[0] > pca.explained_variance().get(1).copied().unwrap_or(0.0));
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let data = Matrix::from_rows(&[&[1.0, 0.0], &[3.0, 0.0], &[5.0, 0.0]]);
+        let pca = Pca::fit(&data, 1);
+        let proj = pca.transform(&data);
+        // Projections of centered data must themselves be centered.
+        let mean: f32 = (0..3).map(|i| proj.get(i, 0)).sum::<f32>() / 3.0;
+        assert!(mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn rank_deficient_data_yields_fewer_components() {
+        // All rows identical: zero variance, no components survive.
+        let data = Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0]]);
+        let pca = Pca::fit(&data, 2);
+        assert_eq!(pca.n_components(), 0);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut r = rng::seeded(2);
+        let mut rows = Vec::new();
+        for _ in 0..200 {
+            let row: Vec<f32> = (0..6).map(|_| r.gen_range(-1.0..1.0)).collect();
+            rows.push(row);
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let pca = Pca::fit(&Matrix::from_rows(&refs), 3);
+        for i in 0..pca.n_components() {
+            assert!((vector::norm(pca.components().row(i)) - 1.0).abs() < 1e-3);
+            for j in 0..i {
+                let d = vector::dot(pca.components().row(i), pca.components().row(j));
+                assert!(d.abs() < 1e-2, "components {i},{j} not orthogonal: {d}");
+            }
+        }
+    }
+}

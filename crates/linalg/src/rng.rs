@@ -1,0 +1,186 @@
+//! Seeded RNG constructors and sampling helpers.
+//!
+//! Every stochastic component in the workspace accepts an explicit `u64`
+//! seed; these helpers keep that convention ergonomic and give us Gaussian /
+//! categorical sampling without further dependencies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Construct a deterministic RNG from a seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive a child seed from a parent seed and a stream id (splitmix-style),
+/// so that independent components never share an RNG stream.
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Standard normal sample via Box–Muller.
+pub fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Fill a slice with `N(0, std^2)` samples.
+pub fn fill_gaussian(rng: &mut StdRng, out: &mut [f32], std: f32) {
+    for v in out {
+        *v = gaussian(rng) * std;
+    }
+}
+
+/// Sample an index proportionally to non-negative `weights`.
+/// Falls back to uniform if all weights are zero.
+pub fn sample_categorical(rng: &mut StdRng, weights: &[f32]) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f32 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut target = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Sample `k` distinct indices from `0..n` (Floyd's algorithm); `k >= n`
+/// returns all of `0..n` shuffled.
+pub fn sample_distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    if k >= n {
+        let mut all: Vec<usize> = (0..n).collect();
+        all.shuffle(rng);
+        return all;
+    }
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in n - k..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    out
+}
+
+/// Sample from a symmetric Dirichlet with concentration `alpha` (via Gamma
+/// samples using Marsaglia–Tsang for alpha >= 1 and the boosting trick below it).
+pub fn sample_dirichlet(rng: &mut StdRng, alpha: f32, dim: usize) -> Vec<f32> {
+    let mut out: Vec<f32> = (0..dim).map(|_| sample_gamma(rng, alpha)).collect();
+    let sum: f32 = out.iter().sum();
+    if sum <= 0.0 {
+        return vec![1.0 / dim as f32; dim];
+    }
+    for v in &mut out {
+        *v /= sum;
+    }
+    out
+}
+
+/// Gamma(shape, 1) sample; Marsaglia–Tsang squeeze method.
+pub fn sample_gamma(rng: &mut StdRng, shape: f32) -> f32 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+        let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = gaussian(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded(7);
+        let mut b = seeded(7);
+        assert_eq!(gaussian(&mut a), gaussian(&mut b));
+    }
+
+    #[test]
+    fn derive_seed_changes_with_stream() {
+        assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+        assert_eq!(derive_seed(1, 3), derive_seed(1, 3));
+    }
+
+    #[test]
+    fn gaussian_has_roughly_zero_mean_unit_var() {
+        let mut rng = seeded(42);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = seeded(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_categorical(&mut rng, &[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let p2 = counts[2] as f32 / 30_000.0;
+        assert!((p2 - 0.7).abs() < 0.02, "p2 {p2}");
+    }
+
+    #[test]
+    fn categorical_all_zero_weights_falls_back_to_uniform() {
+        let mut rng = seeded(9);
+        let idx = sample_categorical(&mut rng, &[0.0, 0.0, 0.0]);
+        assert!(idx < 3);
+    }
+
+    #[test]
+    fn sample_distinct_gives_unique_indices() {
+        let mut rng = seeded(11);
+        let picks = sample_distinct(&mut rng, 100, 10);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(picks.iter().all(|&p| p < 100));
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = seeded(5);
+        for &alpha in &[0.1f32, 1.0, 10.0] {
+            let p = sample_dirichlet(&mut rng, alpha, 6);
+            assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            assert!(p.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gamma_mean_approximates_shape() {
+        let mut rng = seeded(17);
+        let shape = 3.0;
+        let n = 20_000;
+        let mean = (0..n).map(|_| sample_gamma(&mut rng, shape)).sum::<f32>() / n as f32;
+        assert!((mean - shape).abs() < 0.1, "mean {mean}");
+    }
+}

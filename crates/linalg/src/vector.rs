@@ -1,0 +1,173 @@
+//! Slice-based vector helpers.
+//!
+//! Free functions over `&[f32]` / `&mut [f32]` so callers are never forced
+//! into a wrapper type; embedding tables and hidden states flow through the
+//! workspace as plain slices.
+
+/// Dot product. Panics in debug builds on length mismatch.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two vectors.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Cosine similarity; returns 0 when either vector is all-zero.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / (na * nb)
+    }
+}
+
+/// L2-normalize in place; all-zero vectors are left untouched.
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 0.0 {
+        let inv = 1.0 / n;
+        for v in a {
+            *v *= inv;
+        }
+    }
+}
+
+/// Return an L2-normalized copy.
+pub fn normalized(a: &[f32]) -> Vec<f32> {
+    let mut v = a.to_vec();
+    normalize(&mut v);
+    v
+}
+
+/// `a += alpha * b`, in place.
+#[inline]
+pub fn axpy(a: &mut [f32], alpha: f32, b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += alpha * y;
+    }
+}
+
+/// Element-wise in-place scale.
+#[inline]
+pub fn scale(a: &mut [f32], alpha: f32) {
+    for x in a {
+        *x *= alpha;
+    }
+}
+
+/// Arithmetic mean of a set of equal-length vectors; empty input gives an
+/// all-zero vector of length `dim`.
+pub fn mean_of(vectors: &[&[f32]], dim: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; dim];
+    if vectors.is_empty() {
+        return out;
+    }
+    for v in vectors {
+        axpy(&mut out, 1.0, v);
+    }
+    scale(&mut out, 1.0 / vectors.len() as f32);
+    out
+}
+
+/// Index of the maximum element (first on ties); `None` for empty input.
+pub fn argmax(a: &[f32]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v > a[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Indices of the `k` largest elements, in descending order of value.
+pub fn top_k(a: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..a.len()).collect();
+    idx.sort_by(|&i, &j| a[j].partial_cmp(&a[i]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cosine_of_parallel_vectors_is_one() {
+        assert!((cosine(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_vectors_is_zero() {
+        assert!(cosine(&[1.0, 0.0], &[0.0, 5.0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_handles_zero_vector() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        assert_eq!(top_k(&[0.1, 0.9, 0.5, 0.7], 3), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let a = [1.0, 3.0];
+        let b = [3.0, 5.0];
+        assert_eq!(mean_of(&[&a, &b], 2), vec![2.0, 4.0]);
+        assert_eq!(mean_of(&[], 2), vec![0.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn normalize_gives_unit_norm(v in proptest::collection::vec(-100.0f32..100.0, 1..32)) {
+            prop_assume!(norm(&v) > 1e-3);
+            let n = normalized(&v);
+            prop_assert!((norm(&n) - 1.0).abs() < 1e-4);
+        }
+
+        #[test]
+        fn cosine_is_bounded(
+            a in proptest::collection::vec(-10.0f32..10.0, 8),
+            b in proptest::collection::vec(-10.0f32..10.0, 8),
+        ) {
+            let c = cosine(&a, &b);
+            prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&c));
+        }
+
+        #[test]
+        fn sq_dist_is_symmetric(
+            a in proptest::collection::vec(-10.0f32..10.0, 8),
+            b in proptest::collection::vec(-10.0f32..10.0, 8),
+        ) {
+            prop_assert!((sq_dist(&a, &b) - sq_dist(&b, &a)).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,720 @@
+//! Reverse-mode automatic differentiation over dense `f32` matrices.
+//!
+//! A [`Graph`] is a tape of [`Node`]s. Forward methods append nodes; calling
+//! [`Graph::backward`] on a scalar loss walks the tape in reverse and
+//! accumulates gradients. Operations are an enum rather than closures so the
+//! backward pass can borrow values and gradients without aliasing gymnastics.
+//!
+//! The op set is exactly what the workspace needs: affine maps, activations,
+//! layer norm, row softmax (attention), embedding gather, pooling, column
+//! concat (multi-head attention), and two fused losses (softmax
+//! cross-entropy with soft targets, sigmoid BCE). Each op's gradient is
+//! verified against finite differences in the tests.
+
+use structmine_linalg::Matrix;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+#[derive(Debug)]
+enum Op {
+    Leaf,
+    Add(NodeId, NodeId),
+    AddRowBroadcast(NodeId, NodeId),
+    Scale(NodeId, f32),
+    Mul(NodeId, NodeId),
+    MatMul(NodeId, NodeId),
+    Transpose(NodeId),
+    Relu(NodeId),
+    Gelu(NodeId),
+    Tanh(NodeId),
+    Sigmoid(NodeId),
+    RowSoftmax(NodeId),
+    /// (input, gain, bias, cached normalized rows, cached inv-std per row)
+    LayerNorm(NodeId, NodeId, NodeId, Matrix, Vec<f32>),
+    SelectRows(NodeId, Vec<usize>),
+    MeanRows(NodeId),
+    ConcatCols(Vec<NodeId>),
+    /// (logits, soft target distribution, cached probabilities)
+    SoftmaxCe(NodeId, Matrix, Matrix),
+    /// (logits, 0/1-or-soft targets, cached sigmoid values)
+    SigmoidBce(NodeId, Matrix, Matrix),
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+}
+
+/// A tape of matrix operations supporting reverse-mode differentiation.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+        self.nodes.push(Node { value, grad: None, op });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Insert a leaf (input or parameter copy).
+    pub fn leaf(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// The accumulated gradient of a node (zeros if it never received one).
+    pub fn grad(&self, id: NodeId) -> Matrix {
+        match &self.nodes[id.0].grad {
+            Some(g) => g.clone(),
+            None => {
+                let v = &self.nodes[id.0].value;
+                Matrix::zeros(v.rows(), v.cols())
+            }
+        }
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // --- forward ops -------------------------------------------------------
+
+    /// Element-wise `a + b`.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Add a `1 x d` row vector to every row of `a`.
+    pub fn add_row_broadcast(&mut self, a: NodeId, bias: NodeId) -> NodeId {
+        let b = &self.nodes[bias.0].value;
+        assert_eq!(b.rows(), 1, "bias must be a row vector");
+        let v = self.nodes[a.0].value.add_row_broadcast(b.row(0));
+        self.push(v, Op::AddRowBroadcast(a, bias))
+    }
+
+    /// `a * s`.
+    pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
+        let v = self.nodes[a.0].value.scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Element-wise `a ⊙ b`.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
+        let data: Vec<f32> = va.data().iter().zip(vb.data()).map(|(x, y)| x * y).collect();
+        let v = Matrix::from_vec(va.rows(), va.cols(), data);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Matrix product `a × b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.map_unary(a, |x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// GELU (tanh approximation).
+    pub fn gelu(&mut self, a: NodeId) -> NodeId {
+        let v = self.map_unary(a, gelu);
+        self.push(v, Op::Gelu(a))
+    }
+
+    /// tanh.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.map_unary(a, f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.map_unary(a, sigmoid);
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Softmax independently over each row.
+    pub fn row_softmax(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a.0].value;
+        let mut v = va.clone();
+        for i in 0..v.rows() {
+            structmine_linalg::stats::softmax_inplace(v.row_mut(i));
+        }
+        self.push(v, Op::RowSoftmax(a))
+    }
+
+    /// Layer normalization over each row, with learned gain and bias
+    /// (`1 x d` leaves).
+    pub fn layer_norm(&mut self, a: NodeId, gain: NodeId, bias: NodeId) -> NodeId {
+        const EPS: f32 = 1e-5;
+        let va = &self.nodes[a.0].value;
+        let g = &self.nodes[gain.0].value;
+        let b = &self.nodes[bias.0].value;
+        assert_eq!(g.rows(), 1);
+        assert_eq!(b.rows(), 1);
+        let (n, d) = va.shape();
+        let mut normalized = Matrix::zeros(n, d);
+        let mut inv_std = Vec::with_capacity(n);
+        let mut out = Matrix::zeros(n, d);
+        for i in 0..n {
+            let row = va.row(i);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + EPS).sqrt();
+            inv_std.push(istd);
+            for j in 0..d {
+                let xhat = (row[j] - mean) * istd;
+                normalized.set(i, j, xhat);
+                out.set(i, j, xhat * g.get(0, j) + b.get(0, j));
+            }
+        }
+        self.push(out, Op::LayerNorm(a, gain, bias, normalized, inv_std))
+    }
+
+    /// Gather rows of `a` by index (embedding lookup; duplicates allowed).
+    pub fn select_rows(&mut self, a: NodeId, indices: &[usize]) -> NodeId {
+        let v = self.nodes[a.0].value.select_rows(indices);
+        self.push(v, Op::SelectRows(a, indices.to_vec()))
+    }
+
+    /// Mean over rows, producing a `1 x d` vector.
+    pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
+        let mean = self.nodes[a.0].value.col_mean();
+        let d = mean.len();
+        self.push(Matrix::from_vec(1, d, mean), Op::MeanRows(a))
+    }
+
+    /// Concatenate matrices with equal row counts along columns.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty());
+        let n = self.nodes[parts[0].0].value.rows();
+        let total: usize = parts.iter().map(|p| self.nodes[p.0].value.cols()).sum();
+        let mut v = Matrix::zeros(n, total);
+        let mut off = 0;
+        for &p in parts {
+            let vp = &self.nodes[p.0].value;
+            assert_eq!(vp.rows(), n, "concat_cols row mismatch");
+            for i in 0..n {
+                v.row_mut(i)[off..off + vp.cols()].copy_from_slice(vp.row(i));
+            }
+            off += vp.cols();
+        }
+        self.push(v, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Fused softmax + cross-entropy against soft target rows. Returns a
+    /// `1 x 1` scalar: `-(1/n) Σ_i Σ_c T_ic log P_ic`.
+    pub fn softmax_cross_entropy(&mut self, logits: NodeId, targets: &Matrix) -> NodeId {
+        let vl = &self.nodes[logits.0].value;
+        assert_eq!(vl.shape(), targets.shape(), "softmax_ce shape mismatch");
+        let mut probs = vl.clone();
+        let mut loss = 0.0f32;
+        for i in 0..probs.rows() {
+            structmine_linalg::stats::softmax_inplace(probs.row_mut(i));
+            for (p, t) in probs.row(i).iter().zip(targets.row(i)) {
+                if *t > 0.0 {
+                    loss -= t * p.max(1e-12).ln();
+                }
+            }
+        }
+        loss /= probs.rows().max(1) as f32;
+        let v = Matrix::from_vec(1, 1, vec![loss]);
+        self.push(v, Op::SoftmaxCe(logits, targets.clone(), probs))
+    }
+
+    /// Fused sigmoid + binary cross-entropy, mean over all entries.
+    pub fn sigmoid_bce(&mut self, logits: NodeId, targets: &Matrix) -> NodeId {
+        let vl = &self.nodes[logits.0].value;
+        assert_eq!(vl.shape(), targets.shape(), "sigmoid_bce shape mismatch");
+        let mut sig = vl.clone();
+        let mut loss = 0.0f32;
+        for (s, t) in sig.data_mut().iter_mut().zip(targets.data()) {
+            *s = sigmoid(*s);
+            let p = s.clamp(1e-7, 1.0 - 1e-7);
+            loss -= t * p.ln() + (1.0 - t) * (1.0 - p).ln();
+        }
+        loss /= (vl.rows() * vl.cols()).max(1) as f32;
+        let v = Matrix::from_vec(1, 1, vec![loss]);
+        self.push(v, Op::SigmoidBce(logits, targets.clone(), sig))
+    }
+
+    fn map_unary(&self, a: NodeId, f: impl Fn(f32) -> f32) -> Matrix {
+        let va = &self.nodes[a.0].value;
+        let data: Vec<f32> = va.data().iter().map(|&x| f(x)).collect();
+        Matrix::from_vec(va.rows(), va.cols(), data)
+    }
+
+    // --- backward ----------------------------------------------------------
+
+    /// Run backpropagation from `loss` (must be `1 x 1`), seeding its
+    /// gradient with 1. Gradients accumulate, so several backward calls on
+    /// one tape sum their gradients (useful for multi-task losses).
+    pub fn backward(&mut self, loss: NodeId) {
+        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "loss must be scalar");
+        accumulate(&mut self.nodes[loss.0].grad, &Matrix::from_vec(1, 1, vec![1.0]));
+        for i in (0..=loss.0).rev() {
+            let Some(grad_out) = self.nodes[i].grad.clone() else { continue };
+            // Temporarily take the op so parent values can be read while the
+            // contributions are computed, then restore it and accumulate.
+            let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
+            let contributions = self.backward_op(&op, i, &grad_out);
+            self.nodes[i].op = op;
+            for (id, g) in contributions {
+                self.acc(id, g);
+            }
+        }
+    }
+
+    /// Gradient contributions of one node to its parents.
+    fn backward_op(&self, op: &Op, node: usize, grad_out: &Matrix) -> Vec<(NodeId, Matrix)> {
+        match op {
+            Op::Leaf => Vec::new(),
+            Op::Add(a, b) => vec![(*a, grad_out.clone()), (*b, grad_out.clone())],
+            Op::AddRowBroadcast(a, bias) => {
+                let mut bias_grad = vec![0.0f32; grad_out.cols()];
+                for r in grad_out.iter_rows() {
+                    for (bg, &g) in bias_grad.iter_mut().zip(r) {
+                        *bg += g;
+                    }
+                }
+                let cols = grad_out.cols();
+                vec![(*a, grad_out.clone()), (*bias, Matrix::from_vec(1, cols, bias_grad))]
+            }
+            Op::Scale(a, s) => vec![(*a, grad_out.scale(*s))],
+            Op::Mul(a, b) => {
+                let ga = hadamard(grad_out, &self.nodes[b.0].value);
+                let gb = hadamard(grad_out, &self.nodes[a.0].value);
+                vec![(*a, ga), (*b, gb)]
+            }
+            Op::MatMul(a, b) => {
+                let ga = grad_out.matmul_t(&self.nodes[b.0].value);
+                let gb = self.nodes[a.0].value.transpose().matmul(grad_out);
+                vec![(*a, ga), (*b, gb)]
+            }
+            Op::Transpose(a) => vec![(*a, grad_out.transpose())],
+            Op::Relu(a) => {
+                let g = masked_grad(grad_out, &self.nodes[a.0].value, |x| {
+                    if x > 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                });
+                vec![(*a, g)]
+            }
+            Op::Gelu(a) => {
+                vec![(*a, masked_grad(grad_out, &self.nodes[a.0].value, gelu_grad))]
+            }
+            Op::Tanh(a) => {
+                vec![(*a, masked_grad(grad_out, &self.nodes[node].value, |y| 1.0 - y * y))]
+            }
+            Op::Sigmoid(a) => {
+                vec![(*a, masked_grad(grad_out, &self.nodes[node].value, |y| y * (1.0 - y)))]
+            }
+            Op::RowSoftmax(a) => {
+                let s = &self.nodes[node].value;
+                let mut g = Matrix::zeros(s.rows(), s.cols());
+                for r in 0..s.rows() {
+                    let srow = s.row(r);
+                    let dot: f32 = grad_out.row(r).iter().zip(srow).map(|(d, v)| d * v).sum();
+                    for c in 0..s.cols() {
+                        g.set(r, c, srow[c] * (grad_out.get(r, c) - dot));
+                    }
+                }
+                vec![(*a, g)]
+            }
+            Op::LayerNorm(a, gain, bias, xhat, inv_std) => {
+                let (n, d) = grad_out.shape();
+                let g_vec = self.nodes[gain.0].value.row(0).to_vec();
+                let mut ga = Matrix::zeros(n, d);
+                let mut ggain = vec![0.0f32; d];
+                let mut gbias = vec![0.0f32; d];
+                for r in 0..n {
+                    let go = grad_out.row(r);
+                    let xh = xhat.row(r);
+                    let dxhat: Vec<f32> = go.iter().zip(&g_vec).map(|(g, gn)| g * gn).collect();
+                    let mean_dx = dxhat.iter().sum::<f32>() / d as f32;
+                    let mean_dx_xh =
+                        dxhat.iter().zip(xh).map(|(dx, x)| dx * x).sum::<f32>() / d as f32;
+                    for c in 0..d {
+                        ga.set(r, c, inv_std[r] * (dxhat[c] - mean_dx - xh[c] * mean_dx_xh));
+                        ggain[c] += go[c] * xh[c];
+                        gbias[c] += go[c];
+                    }
+                }
+                vec![
+                    (*a, ga),
+                    (*gain, Matrix::from_vec(1, d, ggain)),
+                    (*bias, Matrix::from_vec(1, d, gbias)),
+                ]
+            }
+            Op::SelectRows(a, indices) => {
+                let src = &self.nodes[a.0].value;
+                let mut g = Matrix::zeros(src.rows(), src.cols());
+                for (out_row, &src_row) in indices.iter().enumerate() {
+                    for (t, &s) in g.row_mut(src_row).iter_mut().zip(grad_out.row(out_row)) {
+                        *t += s;
+                    }
+                }
+                vec![(*a, g)]
+            }
+            Op::MeanRows(a) => {
+                let src = &self.nodes[a.0].value;
+                let n = src.rows();
+                let inv = 1.0 / n as f32;
+                let mut g = Matrix::zeros(n, src.cols());
+                for r in 0..n {
+                    for (t, &s) in g.row_mut(r).iter_mut().zip(grad_out.row(0)) {
+                        *t = s * inv;
+                    }
+                }
+                vec![(*a, g)]
+            }
+            Op::ConcatCols(parts) => {
+                let mut out = Vec::with_capacity(parts.len());
+                let mut off = 0;
+                for &p in parts {
+                    let cols = self.nodes[p.0].value.cols();
+                    let rows = grad_out.rows();
+                    let mut g = Matrix::zeros(rows, cols);
+                    for r in 0..rows {
+                        g.row_mut(r).copy_from_slice(&grad_out.row(r)[off..off + cols]);
+                    }
+                    off += cols;
+                    out.push((p, g));
+                }
+                out
+            }
+            Op::SoftmaxCe(logits, targets, probs) => {
+                let scale = grad_out.get(0, 0) / probs.rows().max(1) as f32;
+                vec![(*logits, probs.sub(targets).scale(scale))]
+            }
+            Op::SigmoidBce(logits, targets, sig) => {
+                let n = (sig.rows() * sig.cols()).max(1) as f32;
+                let scale = grad_out.get(0, 0) / n;
+                vec![(*logits, sig.sub(targets).scale(scale))]
+            }
+        }
+    }
+
+    fn acc(&mut self, id: NodeId, grad: Matrix) {
+        accumulate(&mut self.nodes[id.0].grad, &grad);
+    }
+}
+
+fn accumulate(slot: &mut Option<Matrix>, grad: &Matrix) {
+    match slot {
+        Some(g) => g.axpy(1.0, grad),
+        None => *slot = Some(grad.clone()),
+    }
+}
+
+fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    let data: Vec<f32> = a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+/// grad_out ⊙ f(reference) elementwise.
+fn masked_grad(grad_out: &Matrix, reference: &Matrix, f: impl Fn(f32) -> f32) -> Matrix {
+    let data: Vec<f32> = grad_out
+        .data()
+        .iter()
+        .zip(reference.data())
+        .map(|(&g, &r)| g * f(r))
+        .collect();
+    Matrix::from_vec(grad_out.rows(), grad_out.cols(), data)
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+
+fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_grad(x: f32) -> f32 {
+    let inner = GELU_C * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structmine_linalg::rng;
+
+    /// Numerically check d(loss)/d(leaf) for a builder-defined graph.
+    fn check_gradient(
+        build: impl Fn(&mut Graph, NodeId) -> NodeId,
+        leaf_value: &Matrix,
+        tol: f32,
+    ) {
+        let mut g = Graph::new();
+        let x = g.leaf(leaf_value.clone());
+        let loss = build(&mut g, x);
+        g.backward(loss);
+        let analytic = g.grad(x);
+
+        let eps = 1e-2f32;
+        for i in 0..leaf_value.rows() {
+            for j in 0..leaf_value.cols() {
+                let mut plus = leaf_value.clone();
+                plus.set(i, j, plus.get(i, j) + eps);
+                let mut minus = leaf_value.clone();
+                minus.set(i, j, minus.get(i, j) - eps);
+                let mut gp = Graph::new();
+                let xp = gp.leaf(plus);
+                let lp = build(&mut gp, xp);
+                let mut gm = Graph::new();
+                let xm = gm.leaf(minus);
+                let lm = build(&mut gm, xm);
+                let numeric =
+                    (gp.value(lp).get(0, 0) - gm.value(lm).get(0, 0)) / (2.0 * eps);
+                let a = analytic.get(i, j);
+                assert!(
+                    (a - numeric).abs() < tol * (1.0 + numeric.abs()),
+                    "grad mismatch at ({i},{j}): analytic {a}, numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut r = rng::seeded(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        rng::fill_gaussian(&mut r, m.data_mut(), 0.5);
+        m
+    }
+
+    /// Reduce any matrix to a scalar by summing entries (via matmul with ones).
+    fn sum_to_scalar(g: &mut Graph, x: NodeId) -> NodeId {
+        let (r, c) = g.value(x).shape();
+        let ones_r = g.leaf(Matrix::filled(1, r, 1.0));
+        let ones_c = g.leaf(Matrix::filled(c, 1, 1.0));
+        let rowsum = g.matmul(ones_r, x);
+        g.matmul(rowsum, ones_c)
+    }
+
+    #[test]
+    fn matmul_gradient_matches_finite_difference() {
+        let w = random_matrix(4, 3, 1);
+        check_gradient(
+            |g, x| {
+                let w = g.leaf(w.clone());
+                let y = g.matmul(x, w);
+                let y = g.tanh(y);
+                sum_to_scalar(g, y)
+            },
+            &random_matrix(2, 4, 2),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn activations_gradients_match() {
+        for act in 0..4 {
+            check_gradient(
+                |g, x| {
+                    let y = match act {
+                        0 => g.relu(x),
+                        1 => g.gelu(x),
+                        2 => g.tanh(x),
+                        _ => g.sigmoid(x),
+                    };
+                    sum_to_scalar(g, y)
+                },
+                &random_matrix(3, 3, 10 + act),
+                2e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn row_softmax_gradient_matches() {
+        let probe = random_matrix(3, 4, 20);
+        check_gradient(
+            |g, x| {
+                let s = g.row_softmax(x);
+                let p = g.leaf(probe.clone());
+                let weighted = g.mul(s, p);
+                sum_to_scalar(g, weighted)
+            },
+            &random_matrix(3, 4, 21),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn layer_norm_gradient_matches() {
+        let gain = random_matrix(1, 5, 30);
+        let bias = random_matrix(1, 5, 31);
+        let probe = random_matrix(2, 5, 32);
+        check_gradient(
+            |g, x| {
+                let gn = g.leaf(gain.clone());
+                let bs = g.leaf(bias.clone());
+                let y = g.layer_norm(x, gn, bs);
+                let p = g.leaf(probe.clone());
+                let w = g.mul(y, p);
+                sum_to_scalar(g, w)
+            },
+            &random_matrix(2, 5, 33),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn layer_norm_param_gradients_match() {
+        // Also verify gain/bias gradients by treating gain as the leaf.
+        let x = random_matrix(2, 4, 40);
+        let bias = random_matrix(1, 4, 41);
+        check_gradient(
+            |g, gain| {
+                let xv = g.leaf(x.clone());
+                let bs = g.leaf(bias.clone());
+                let y = g.layer_norm(xv, gain, bs);
+                sum_to_scalar(g, y)
+            },
+            &random_matrix(1, 4, 42),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn select_rows_and_mean_rows_gradients_match() {
+        check_gradient(
+            |g, x| {
+                let sel = g.select_rows(x, &[0, 2, 2, 1]);
+                let m = g.mean_rows(sel);
+                let t = g.tanh(m);
+                sum_to_scalar(g, t)
+            },
+            &random_matrix(3, 4, 50),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn concat_and_broadcast_gradients_match() {
+        let bias = random_matrix(1, 6, 60);
+        check_gradient(
+            |g, x| {
+                let cat = g.concat_cols(&[x, x]);
+                let b = g.leaf(bias.clone());
+                let y = g.add_row_broadcast(cat, b);
+                let y = g.sigmoid(y);
+                sum_to_scalar(g, y)
+            },
+            &random_matrix(2, 3, 61),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn softmax_ce_gradient_matches() {
+        let mut targets = Matrix::zeros(3, 4);
+        targets.set(0, 1, 1.0);
+        targets.set(1, 0, 0.5);
+        targets.set(1, 3, 0.5);
+        targets.set(2, 2, 1.0);
+        check_gradient(
+            |g, x| g.softmax_cross_entropy(x, &targets),
+            &random_matrix(3, 4, 70),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn sigmoid_bce_gradient_matches() {
+        let targets = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        check_gradient(
+            |g, x| g.sigmoid_bce(x, &targets),
+            &random_matrix(3, 2, 80),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn transpose_mul_scale_chain_matches() {
+        let probe = random_matrix(4, 2, 90);
+        check_gradient(
+            |g, x| {
+                let t = g.transpose(x);
+                let p = g.leaf(probe.clone());
+                let m = g.mul(t, p);
+                let s = g.scale(m, 0.37);
+                sum_to_scalar(g, s)
+            },
+            &random_matrix(2, 4, 91),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradients_accumulate_when_node_reused() {
+        // loss = sum(x*x): dx should be 2x (x used twice through Mul).
+        let x_val = random_matrix(2, 2, 100);
+        let mut g = Graph::new();
+        let x = g.leaf(x_val.clone());
+        let sq = g.mul(x, x);
+        let loss = sum_to_scalar(&mut g, sq);
+        g.backward(loss);
+        let grad = g.grad(x);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((grad.get(i, j) - 2.0 * x_val.get(i, j)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_loss_value_is_correct() {
+        let mut g = Graph::new();
+        let logits = g.leaf(Matrix::from_rows(&[&[0.0, 0.0]]));
+        let targets = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let loss = g.softmax_cross_entropy(logits, &targets);
+        assert!((g.value(loss).get(0, 0) - (2.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::zeros(2, 2));
+        g.backward(x);
+    }
+}

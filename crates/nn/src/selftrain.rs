@@ -1,0 +1,227 @@
+//! Self-training: the bootstrapping refinement loop shared by WeSTClass,
+//! WeSHClass, LOTClass and PromptClass.
+//!
+//! Following Meng et al. (CIKM'18), the current classifier's predictions
+//! `p_ij` are sharpened into a target distribution
+//! `t_ij ∝ p_ij^2 / f_j` (where `f_j = Σ_i p_ij` is the soft class
+//! frequency), the classifier is updated toward those targets, and the loop
+//! stops when the fraction of documents whose argmax changed falls below a
+//! threshold.
+
+use crate::classifiers::{MlpClassifier, TrainConfig};
+use structmine_linalg::{vector, Matrix};
+
+/// Configuration of the self-training loop.
+#[derive(Clone, Copy, Debug)]
+pub struct SelfTrainConfig {
+    /// Maximum refinement iterations.
+    pub max_iters: usize,
+    /// Epochs of classifier updates per iteration.
+    pub epochs_per_iter: usize,
+    /// Stop when fewer than this fraction of argmax labels changed.
+    pub tol: f32,
+    /// Learning rate during refinement (usually smaller than pre-training).
+    pub lr: f32,
+    /// Minibatch size.
+    pub batch: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SelfTrainConfig {
+    fn default() -> Self {
+        SelfTrainConfig { max_iters: 15, epochs_per_iter: 3, tol: 0.01, lr: 3e-3, batch: 64, seed: 11 }
+    }
+}
+
+/// Compute Meng et al.'s self-training target distribution from the current
+/// prediction matrix (`n x c` rows summing to 1).
+pub fn target_distribution(p: &Matrix) -> Matrix {
+    let (n, c) = p.shape();
+    // Soft class frequencies.
+    let mut freq = vec![0.0f32; c];
+    for row in p.iter_rows() {
+        for (f, &v) in freq.iter_mut().zip(row) {
+            *f += v;
+        }
+    }
+    for f in &mut freq {
+        *f = f.max(1e-9);
+    }
+    let mut t = Matrix::zeros(n, c);
+    for i in 0..n {
+        let mut sum = 0.0f32;
+        for j in 0..c {
+            let v = p.get(i, j);
+            let w = v * v / freq[j];
+            t.set(i, j, w);
+            sum += w;
+        }
+        if sum > 0.0 {
+            for j in 0..c {
+                t.set(i, j, t.get(i, j) / sum);
+            }
+        }
+    }
+    t
+}
+
+/// Outcome of a self-training run.
+#[derive(Clone, Debug)]
+pub struct SelfTrainReport {
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Label-change rate at each iteration.
+    pub change_rates: Vec<f32>,
+}
+
+/// Refine `clf` on unlabeled features via self-training. Returns the report;
+/// the classifier is updated in place.
+pub fn self_train(
+    clf: &mut MlpClassifier,
+    features: &Matrix,
+    cfg: &SelfTrainConfig,
+) -> SelfTrainReport {
+    let mut prev: Vec<usize> = clf.predict(features);
+    let mut report = SelfTrainReport { iterations: 0, change_rates: Vec::new() };
+    for it in 0..cfg.max_iters {
+        let probs = clf.predict_proba(features);
+        let targets = target_distribution(&probs);
+        let train_cfg = TrainConfig {
+            epochs: cfg.epochs_per_iter,
+            batch: cfg.batch,
+            lr: cfg.lr,
+            clip: 5.0,
+            seed: cfg.seed.wrapping_add(it as u64),
+        };
+        clf.fit(features, &targets, &train_cfg);
+        let cur = clf.predict(features);
+        let changed = cur.iter().zip(&prev).filter(|(a, b)| a != b).count();
+        let rate = changed as f32 / cur.len().max(1) as f32;
+        report.iterations = it + 1;
+        report.change_rates.push(rate);
+        prev = cur;
+        if rate < cfg.tol {
+            break;
+        }
+    }
+    report
+}
+
+/// Fraction of rows whose argmax matches between two prediction matrices.
+pub fn agreement(a: &Matrix, b: &Matrix) -> f32 {
+    assert_eq!(a.rows(), b.rows());
+    if a.rows() == 0 {
+        return 1.0;
+    }
+    let same = (0..a.rows())
+        .filter(|&i| vector::argmax(a.row(i)) == vector::argmax(b.row(i)))
+        .count();
+    same as f32 / a.rows() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifiers::one_hot;
+    use structmine_linalg::rng as lrng;
+
+    #[test]
+    fn target_distribution_sharpens_and_normalizes() {
+        let p = Matrix::from_rows(&[&[0.6, 0.4], &[0.3, 0.7]]);
+        let t = target_distribution(&p);
+        for i in 0..2 {
+            let sum: f32 = t.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // The confident side must get more confident.
+        assert!(t.get(0, 0) > p.get(0, 0));
+        assert!(t.get(1, 1) > p.get(1, 1));
+    }
+
+    #[test]
+    fn target_distribution_penalizes_dominant_classes() {
+        // Same per-row confidence, but class 0 is globally dominant: the
+        // frequency regularizer must tilt targets toward class 1.
+        let p = Matrix::from_rows(&[&[0.55, 0.45], &[0.55, 0.45], &[0.55, 0.45], &[0.45, 0.55]]);
+        let t = target_distribution(&p);
+        // Row 3 prefers class 1, and with f_0 > f_1 its target probability
+        // for class 1 must exceed the symmetric sharpening value.
+        assert!(t.get(3, 1) > 0.6);
+    }
+
+    #[test]
+    fn self_train_improves_noisy_initialization() {
+        // Clean blobs, but the classifier starts from noisy pseudo labels
+        // (20% flipped). Self-training should pull accuracy up.
+        let mut rng = lrng::seeded(3);
+        let n = 300;
+        let mut x = Matrix::zeros(n, 2);
+        let mut gold = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % 2;
+            let cx = if c == 0 { -1.0f32 } else { 1.0 };
+            x.set(i, 0, cx + lrng::gaussian(&mut rng) * 0.4);
+            x.set(i, 1, -cx + lrng::gaussian(&mut rng) * 0.4);
+            gold.push(c);
+        }
+        let noisy: Vec<usize> = gold
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if i % 5 == 0 { 1 - c } else { c })
+            .collect();
+        let mut clf = MlpClassifier::new(2, 8, 2, 1);
+        clf.fit(
+            &x,
+            &one_hot(&noisy, 2, 0.1),
+            &TrainConfig { epochs: 15, ..Default::default() },
+        );
+        let acc_before = clf
+            .predict(&x)
+            .iter()
+            .zip(&gold)
+            .filter(|(a, b)| a == b)
+            .count() as f32
+            / n as f32;
+        let report = self_train(&mut clf, &x, &SelfTrainConfig::default());
+        let acc_after = clf
+            .predict(&x)
+            .iter()
+            .zip(&gold)
+            .filter(|(a, b)| a == b)
+            .count() as f32
+            / n as f32;
+        assert!(report.iterations >= 1);
+        assert!(
+            acc_after >= acc_before - 0.01,
+            "self-training hurt: {acc_before} -> {acc_after}"
+        );
+        assert!(acc_after > 0.9, "acc after self-training {acc_after}");
+    }
+
+    #[test]
+    fn self_train_converges_and_stops_early() {
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.9, 0.1], &[0.0, 1.0], &[0.1, 0.9]]);
+        let mut clf = MlpClassifier::new(2, 0, 2, 2);
+        clf.fit(
+            &x,
+            &one_hot(&[0, 0, 1, 1], 2, 0.0),
+            &TrainConfig { epochs: 30, ..Default::default() },
+        );
+        let report = self_train(
+            &mut clf,
+            &x,
+            &SelfTrainConfig { max_iters: 50, ..Default::default() },
+        );
+        assert!(report.iterations < 50, "should stop early, ran {}", report.iterations);
+        assert!(*report.change_rates.last().unwrap() < 0.01);
+    }
+
+    #[test]
+    fn agreement_bounds() {
+        let a = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8]]);
+        let b = Matrix::from_rows(&[&[0.6, 0.4], &[0.7, 0.3]]);
+        assert!((agreement(&a, &a) - 1.0).abs() < 1e-6);
+        assert!((agreement(&a, &b) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,187 @@
+//! Process-wide and on-disk caches of pretrained models.
+//!
+//! The benchmark harness reproduces many tables across several binaries;
+//! each needs "the pretrained language model" the same way every paper
+//! assumes a BERT checkpoint exists. Within a process, models are shared as
+//! `Arc`s; across processes, trained weights are serialized to a cache file
+//! in the system temp directory (override with `STRUCTMINE_PLM_CACHE_DIR`,
+//! disable with `STRUCTMINE_PLM_NO_DISK_CACHE=1`).
+
+use crate::config::PlmConfig;
+use crate::model::MiniPlm;
+use crate::pretrain::{pretrain, PretrainConfig};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use structmine_linalg::Matrix;
+use structmine_text::synth::recipes;
+
+/// Cache-format version; bump when the architecture or the pretraining
+/// recipe changes so stale checkpoints are ignored.
+const CACHE_VERSION: u32 = 7;
+
+/// Pretraining quality tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Tiny model, short schedule — unit tests.
+    Test,
+    /// Standard model and schedule — examples and benchmark tables.
+    Standard,
+}
+
+impl Tier {
+    fn name(self) -> &'static str {
+        match self {
+            Tier::Test => "test",
+            Tier::Standard => "standard",
+        }
+    }
+
+    fn corpus_docs(self) -> usize {
+        match self {
+            Tier::Test => 800,
+            Tier::Standard => 1500,
+        }
+    }
+
+    fn pretrain_config(self, seed: u64) -> PretrainConfig {
+        match self {
+            Tier::Test => PretrainConfig { steps: 3000, batch: 8, seed, ..Default::default() },
+            Tier::Standard => {
+                PretrainConfig { steps: 4200, batch: 8, seed, ..Default::default() }
+            }
+        }
+    }
+
+    fn model_config(self, vocab: usize) -> PlmConfig {
+        match self {
+            Tier::Test => PlmConfig {
+                d_model: 32,
+                n_heads: 2,
+                n_layers: 2,
+                d_ff: 64,
+                max_len: 32,
+                ..PlmConfig::tiny(vocab)
+            },
+            Tier::Standard => PlmConfig::standard(vocab),
+        }
+    }
+}
+
+static CACHE: OnceLock<Mutex<HashMap<(Tier, u64), Arc<MiniPlm>>>> = OnceLock::new();
+
+/// A model pretrained on the standard-world general corpus, shared
+/// process-wide and cached on disk. Deterministic per (tier, seed).
+pub fn pretrained(tier: Tier, seed: u64) -> Arc<MiniPlm> {
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(model) = cache.lock().get(&(tier, seed)) {
+        return Arc::clone(model);
+    }
+    // Build outside the lock (slow); a duplicate race only wastes one run.
+    let model = load_from_disk(tier, seed).unwrap_or_else(|| {
+        let model = train(tier, seed);
+        save_to_disk(tier, seed, &model);
+        model
+    });
+    let arc = Arc::new(model);
+    cache.lock().entry((tier, seed)).or_insert_with(|| Arc::clone(&arc));
+    arc
+}
+
+fn train(tier: Tier, seed: u64) -> MiniPlm {
+    let corpus = recipes::pretraining_corpus(tier.corpus_docs(), seed ^ 0x5eed);
+    let mut model = MiniPlm::new(tier.model_config(corpus.vocab.len()));
+    pretrain(&mut model, &corpus, &tier.pretrain_config(seed));
+    model
+}
+
+fn cache_path(tier: Tier, seed: u64) -> PathBuf {
+    let dir = std::env::var_os("STRUCTMINE_PLM_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    dir.join(format!("structmine-plm-v{CACHE_VERSION}-{}-{seed}.json", tier.name()))
+}
+
+fn disk_cache_disabled() -> bool {
+    std::env::var_os("STRUCTMINE_PLM_NO_DISK_CACHE").is_some()
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Checkpoint {
+    version: u32,
+    config: PlmConfig,
+    weights: Vec<Matrix>,
+}
+
+fn load_from_disk(tier: Tier, seed: u64) -> Option<MiniPlm> {
+    if disk_cache_disabled() {
+        return None;
+    }
+    let bytes = std::fs::read(cache_path(tier, seed)).ok()?;
+    let ckpt: Checkpoint = serde_json::from_slice(&bytes).ok()?;
+    if ckpt.version != CACHE_VERSION {
+        return None;
+    }
+    // The vocabulary (and thus the shapes) must match what we would train.
+    let expected = tier.model_config(
+        recipes::pretraining_corpus(1, 0).vocab.len(), // vocab is world-determined
+    );
+    if ckpt.config.vocab_size != expected.vocab_size || ckpt.config.d_model != expected.d_model {
+        return None;
+    }
+    let mut model = MiniPlm::new(ckpt.config);
+    if model.export_weights().len() != ckpt.weights.len() {
+        return None;
+    }
+    model.import_weights(ckpt.weights);
+    Some(model)
+}
+
+fn save_to_disk(tier: Tier, seed: u64, model: &MiniPlm) {
+    if disk_cache_disabled() {
+        return;
+    }
+    let ckpt = Checkpoint {
+        version: CACHE_VERSION,
+        config: model.config,
+        weights: model.export_weights(),
+    };
+    if let Ok(bytes) = serde_json::to_vec(&ckpt) {
+        // Write-then-rename so concurrent processes never read a torn file.
+        let path = cache_path(tier, seed);
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        if std::fs::write(&tmp, bytes).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_shared_instance() {
+        let a = pretrained(Tier::Test, 1);
+        let b = pretrained(Tier::Test, 1);
+        assert!(Arc::ptr_eq(&a, &b), "expected the cached instance");
+    }
+
+    #[test]
+    fn checkpoint_round_trips_weights() {
+        let corpus = recipes::pretraining_corpus(5, 1);
+        let model = MiniPlm::new(PlmConfig::tiny(corpus.vocab.len()));
+        let ckpt = Checkpoint {
+            version: CACHE_VERSION,
+            config: model.config,
+            weights: model.export_weights(),
+        };
+        let bytes = serde_json::to_vec(&ckpt).unwrap();
+        let back: Checkpoint = serde_json::from_slice(&bytes).unwrap();
+        let mut restored = MiniPlm::new(back.config);
+        restored.import_weights(back.weights);
+        let doc = &corpus.docs[0].tokens;
+        assert_eq!(model.mean_embed(doc), restored.mean_embed(doc));
+    }
+}

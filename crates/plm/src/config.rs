@@ -1,0 +1,52 @@
+//! Model hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture of a [`MiniPlm`](crate::model::MiniPlm).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PlmConfig {
+    /// Vocabulary size (token-id space, including specials).
+    pub vocab_size: usize,
+    /// Hidden dimensionality; must be divisible by `n_heads`.
+    pub d_model: usize,
+    /// Attention heads per layer.
+    pub n_heads: usize,
+    /// Transformer blocks.
+    pub n_layers: usize,
+    /// Feed-forward inner dimensionality.
+    pub d_ff: usize,
+    /// Maximum sequence length (learned positional table size).
+    pub max_len: usize,
+    /// Parameter-init seed.
+    pub seed: u64,
+}
+
+impl PlmConfig {
+    /// The configuration used by the benchmark harness: big enough for the
+    /// planted structure, small enough to pretrain in seconds.
+    pub fn standard(vocab_size: usize) -> Self {
+        PlmConfig { vocab_size, d_model: 48, n_heads: 4, n_layers: 2, d_ff: 96, max_len: 48, seed: 41 }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny(vocab_size: usize) -> Self {
+        PlmConfig { vocab_size, d_model: 16, n_heads: 2, n_layers: 1, d_ff: 32, max_len: 24, seed: 41 }
+    }
+
+    /// Per-head dimensionality.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_config_is_consistent() {
+        let c = PlmConfig::standard(1000);
+        assert_eq!(c.d_model % c.n_heads, 0);
+        assert_eq!(c.d_head() * c.n_heads, c.d_model);
+    }
+}

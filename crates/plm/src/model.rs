@@ -1,0 +1,463 @@
+//! The transformer encoder and its task heads.
+//!
+//! A pre-LN encoder: each block computes
+//! `x += MultiHeadAttention(LN(x))` then `x += FFN(LN(x))`, with a final
+//! layer norm. Heads:
+//! * MLM — tied input/output embeddings plus a per-token bias;
+//! * RTD — a linear replaced-token-detection probe per position (ELECTRA);
+//! * NLI — a 2-way entail/not-entail classifier on the `[CLS]` state.
+//!
+//! One sequence per forward call; training batches bind the parameters once
+//! per tape and accumulate several sequence losses before the Adam step.
+
+use crate::config::PlmConfig;
+use structmine_linalg::{vector, Matrix};
+use structmine_nn::graph::{Graph, NodeId};
+use structmine_nn::layers::{Embedding, LayerNorm, Linear};
+use structmine_nn::params::{Adam, Binding, ParamStore};
+use structmine_text::vocab::{TokenId, CLS, SEP};
+
+struct Block {
+    ln1: LayerNorm,
+    // Per-head projection triples (q, k, v), each `d_model x d_head`.
+    heads: Vec<(Linear, Linear, Linear)>,
+    wo: Linear,
+    ln2: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+}
+
+/// The mini pre-trained language model.
+pub struct MiniPlm {
+    /// Architecture.
+    pub config: PlmConfig,
+    store: ParamStore,
+    tok: Embedding,
+    pos: Embedding,
+    blocks: Vec<Block>,
+    ln_final: LayerNorm,
+    mlm_bias: structmine_nn::params::ParamId,
+    rtd: Linear,
+    nli: Linear,
+}
+
+impl MiniPlm {
+    /// Initialize a model with random parameters.
+    pub fn new(config: PlmConfig) -> Self {
+        assert_eq!(config.d_model % config.n_heads, 0, "d_model must divide by heads");
+        let mut store = ParamStore::new();
+        let mut rng = structmine_linalg::rng::seeded(config.seed);
+        let tok = Embedding::new(&mut store, "tok", config.vocab_size, config.d_model, &mut rng);
+        let pos = Embedding::new(&mut store, "pos", config.max_len, config.d_model, &mut rng);
+        let blocks = (0..config.n_layers)
+            .map(|l| {
+                let heads = (0..config.n_heads)
+                    .map(|h| {
+                        (
+                            Linear::new(&mut store, &format!("b{l}.h{h}.q"), config.d_model, config.d_head(), &mut rng),
+                            Linear::new(&mut store, &format!("b{l}.h{h}.k"), config.d_model, config.d_head(), &mut rng),
+                            Linear::new(&mut store, &format!("b{l}.h{h}.v"), config.d_model, config.d_head(), &mut rng),
+                        )
+                    })
+                    .collect();
+                Block {
+                    ln1: LayerNorm::new(&mut store, &format!("b{l}.ln1"), config.d_model),
+                    heads,
+                    wo: Linear::new(&mut store, &format!("b{l}.wo"), config.d_model, config.d_model, &mut rng),
+                    ln2: LayerNorm::new(&mut store, &format!("b{l}.ln2"), config.d_model),
+                    ff1: Linear::new(&mut store, &format!("b{l}.ff1"), config.d_model, config.d_ff, &mut rng),
+                    ff2: Linear::new(&mut store, &format!("b{l}.ff2"), config.d_ff, config.d_model, &mut rng),
+                }
+            })
+            .collect();
+        let ln_final = LayerNorm::new(&mut store, "ln_final", config.d_model);
+        let mlm_bias = store.zeros("mlm_bias", 1, config.vocab_size);
+        let rtd = Linear::new(&mut store, "rtd", config.d_model, 1, &mut rng);
+        let nli = Linear::new(&mut store, "nli", config.d_model, 2, &mut rng);
+        MiniPlm { config, store, tok, pos, blocks, ln_final, mlm_bias, rtd, nli }
+    }
+
+    /// Borrow the parameter store (for optimizer construction).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutably borrow the parameter store (for the Adam step).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Deep-copy the model (used for per-corpus adaptation).
+    pub fn clone_model(&self) -> MiniPlm {
+        let mut copy = MiniPlm::new(self.config);
+        copy.import_weights(self.export_weights());
+        copy
+    }
+
+    /// Snapshot all weights (for the disk cache).
+    pub fn export_weights(&self) -> Vec<Matrix> {
+        self.store.export_values()
+    }
+
+    /// Restore weights exported from an identically configured model.
+    pub fn import_weights(&mut self, weights: Vec<Matrix>) {
+        self.store.import_values(weights);
+    }
+
+    /// Build an [`Adam`] optimizer for this model.
+    pub fn optimizer(&self, lr: f32) -> Adam {
+        Adam::new(&self.store, lr, 1.0)
+    }
+
+    /// Truncate a token sequence to fit the positional table, reserving two
+    /// slots, and wrap it as `[CLS] .. tokens .. [SEP]`.
+    pub fn wrap(&self, tokens: &[TokenId]) -> Vec<TokenId> {
+        let body = &tokens[..tokens.len().min(self.config.max_len - 2)];
+        let mut seq = Vec::with_capacity(body.len() + 2);
+        seq.push(CLS);
+        seq.extend_from_slice(body);
+        seq.push(SEP);
+        seq
+    }
+
+    /// Wrap a premise/hypothesis pair: `[CLS] p [SEP] h [SEP]`.
+    pub fn wrap_pair(&self, premise: &[TokenId], hypothesis: &[TokenId]) -> Vec<TokenId> {
+        let budget = self.config.max_len - 3;
+        let h_len = hypothesis.len().min(budget / 2);
+        let p_len = premise.len().min(budget - h_len);
+        let mut seq = Vec::with_capacity(p_len + h_len + 3);
+        seq.push(CLS);
+        seq.extend_from_slice(&premise[..p_len]);
+        seq.push(SEP);
+        seq.extend_from_slice(&hypothesis[..h_len]);
+        seq.push(SEP);
+        seq
+    }
+
+    /// A forward-pass handle over this model's parameters.
+    pub fn bound(&self) -> BoundPlm<'_> {
+        BoundPlm { model: self }
+    }
+
+    /// Run a no-gradient forward pass, returning the final hidden states
+    /// (`len x d_model`).
+    pub fn encode(&self, tokens: &[TokenId]) -> Matrix {
+        let mut g = Graph::new();
+        let bound = self.bound();
+        let h = bound.encode(&mut g, tokens);
+        g.value(h).clone()
+    }
+
+    /// MLM distribution at `position` of the (already wrapped) sequence.
+    pub fn mlm_probs(&self, tokens: &[TokenId], position: usize) -> Vec<f32> {
+        let mut g = Graph::new();
+        let bound = self.bound();
+        let h = bound.encode(&mut g, tokens);
+        let logits = bound.mlm_logits(&mut g, h, &[position]);
+        let mut probs = g.value(logits).row(0).to_vec();
+        structmine_linalg::stats::softmax_inplace(&mut probs);
+        probs
+    }
+
+    /// Top-`k` MLM predictions `(token, prob)` at `position`, excluding
+    /// special tokens.
+    pub fn mlm_topk(&self, tokens: &[TokenId], position: usize, k: usize) -> Vec<(TokenId, f32)> {
+        let probs = self.mlm_probs(tokens, position);
+        let mut scored: Vec<(TokenId, f32)> = probs
+            .iter()
+            .enumerate()
+            .skip(structmine_text::vocab::N_SPECIAL)
+            .map(|(t, &p)| (t as TokenId, p))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Top-`k` MLM predictions at several positions with a single encode.
+    pub fn mlm_topk_multi(
+        &self,
+        tokens: &[TokenId],
+        positions: &[usize],
+        k: usize,
+    ) -> Vec<Vec<(TokenId, f32)>> {
+        if positions.is_empty() {
+            return Vec::new();
+        }
+        let mut g = Graph::new();
+        let bound = self.bound();
+        let h = bound.encode(&mut g, tokens);
+        let logits = bound.mlm_logits(&mut g, h, positions);
+        (0..positions.len())
+            .map(|r| {
+                let mut probs = g.value(logits).row(r).to_vec();
+                structmine_linalg::stats::softmax_inplace(&mut probs);
+                let mut scored: Vec<(TokenId, f32)> = probs
+                    .iter()
+                    .enumerate()
+                    .skip(structmine_text::vocab::N_SPECIAL)
+                    .map(|(t, &p)| (t as TokenId, p))
+                    .collect();
+                scored.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                scored.truncate(k);
+                scored
+            })
+            .collect()
+    }
+
+    /// Per-position replaced-token probabilities for a wrapped sequence
+    /// (sigmoid of the RTD head).
+    pub fn rtd_probs(&self, tokens: &[TokenId]) -> Vec<f32> {
+        let mut g = Graph::new();
+        let bound = self.bound();
+        let h = bound.encode(&mut g, tokens);
+        let logits = bound.rtd_logits(&mut g, h);
+        g.value(logits)
+            .data()
+            .iter()
+            .map(|&z| 1.0 / (1.0 + (-z).exp()))
+            .collect()
+    }
+
+    /// Probability that `premise` entails `hypothesis` under the NLI head.
+    pub fn nli_entail_prob(&self, premise: &[TokenId], hypothesis: &[TokenId]) -> f32 {
+        let seq = self.wrap_pair(premise, hypothesis);
+        let mut g = Graph::new();
+        let bound = self.bound();
+        let h = bound.encode(&mut g, &seq);
+        let logits = bound.nli_logits(&mut g, h);
+        let mut probs = g.value(logits).row(0).to_vec();
+        structmine_linalg::stats::softmax_inplace(&mut probs);
+        probs[1]
+    }
+
+    /// Average of the final hidden states over real (non-CLS/SEP) positions —
+    /// the "average-pooled BERT representation" of the tutorial's figures.
+    pub fn mean_embed(&self, tokens: &[TokenId]) -> Vec<f32> {
+        let seq = self.wrap(tokens);
+        let h = self.encode(&seq);
+        let rows: Vec<&[f32]> = (1..seq.len() - 1).map(|i| h.row(i)).collect();
+        if rows.is_empty() {
+            return h.row(0).to_vec();
+        }
+        vector::mean_of(&rows, self.config.d_model)
+    }
+
+    /// The *static* (layer-0 table) embedding of a token — the
+    /// non-contextual vector methods fall back to for expansion and for the
+    /// ConWea WSD ablation.
+    pub fn token_embedding(&self, t: TokenId) -> &[f32] {
+        self.store.value(self.tok.table()).row(t as usize)
+    }
+
+    /// The `[CLS]` hidden state of a wrapped sequence.
+    pub fn cls_embed(&self, tokens: &[TokenId]) -> Vec<f32> {
+        let seq = self.wrap(tokens);
+        self.encode(&seq).row(0).to_vec()
+    }
+}
+
+/// Forward-pass handle over a [`MiniPlm`]'s parameters. Parameters are
+/// bound lazily inside each forward call; the training path records the
+/// `(param, leaf)` pairs in the caller's [`Binding`].
+pub struct BoundPlm<'m> {
+    model: &'m MiniPlm,
+}
+
+impl BoundPlm<'_> {
+    /// Encode a wrapped sequence to final hidden states (`len x d`).
+    pub fn encode(&self, g: &mut Graph, tokens: &[TokenId]) -> NodeId {
+        self.encode_with_binding(g, &mut Binding::new(), tokens)
+    }
+
+    /// Encode while recording parameter bindings (training path).
+    pub fn encode_with_binding(
+        &self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        tokens: &[TokenId],
+    ) -> NodeId {
+        let m = self.model;
+        let n = tokens.len();
+        assert!(n <= m.config.max_len, "sequence too long: {n}");
+        let ids: Vec<usize> = tokens.iter().map(|&t| t as usize).collect();
+        let te = m.tok.forward(&m.store, g, binding, &ids);
+        let positions: Vec<usize> = (0..n).collect();
+        let pe = m.pos.forward(&m.store, g, binding, &positions);
+        let mut x = g.add(te, pe);
+        let scale = 1.0 / (m.config.d_head() as f32).sqrt();
+        for block in &m.blocks {
+            let normed = block.ln1.forward(&m.store, g, binding, x);
+            let mut ctxs = Vec::with_capacity(m.config.n_heads);
+            for (wq, wk, wv) in &block.heads {
+                let q = wq.forward(&m.store, g, binding, normed);
+                let k = wk.forward(&m.store, g, binding, normed);
+                let v = wv.forward(&m.store, g, binding, normed);
+                let kt = g.transpose(k);
+                let scores = g.matmul(q, kt);
+                let scaled = g.scale(scores, scale);
+                let attn = g.row_softmax(scaled);
+                ctxs.push(g.matmul(attn, v));
+            }
+            let ctx = g.concat_cols(&ctxs);
+            let attn_out = block.wo.forward(&m.store, g, binding, ctx);
+            x = g.add(x, attn_out);
+            let normed2 = block.ln2.forward(&m.store, g, binding, x);
+            let f1 = block.ff1.forward(&m.store, g, binding, normed2);
+            let act = g.gelu(f1);
+            let f2 = block.ff2.forward(&m.store, g, binding, act);
+            x = g.add(x, f2);
+        }
+        m.ln_final.forward(&m.store, g, binding, x)
+    }
+
+    /// MLM logits at the given positions: `positions.len() x vocab`, using
+    /// the tied token-embedding matrix plus the output bias.
+    pub fn mlm_logits(&self, g: &mut Graph, hidden: NodeId, positions: &[usize]) -> NodeId {
+        self.mlm_logits_with_binding(g, &mut Binding::new(), hidden, positions)
+    }
+
+    /// MLM logits recording bindings (training path).
+    pub fn mlm_logits_with_binding(
+        &self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        hidden: NodeId,
+        positions: &[usize],
+    ) -> NodeId {
+        let m = self.model;
+        let sel = g.select_rows(hidden, positions);
+        let table = m.tok.bind_table(&m.store, g, binding);
+        let tt = g.transpose(table);
+        let logits = g.matmul(sel, tt);
+        let bias = m.store.bind(g, m.mlm_bias, binding);
+        g.add_row_broadcast(logits, bias)
+    }
+
+    /// RTD logits: one scalar per position (`len x 1`).
+    pub fn rtd_logits(&self, g: &mut Graph, hidden: NodeId) -> NodeId {
+        self.rtd_logits_with_binding(g, &mut Binding::new(), hidden)
+    }
+
+    /// RTD logits recording bindings.
+    pub fn rtd_logits_with_binding(
+        &self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        hidden: NodeId,
+    ) -> NodeId {
+        let m = self.model;
+        m.rtd.forward(&m.store, g, binding, hidden)
+    }
+
+    /// NLI logits from the `[CLS]` row (`1 x 2`; class 1 = entail).
+    pub fn nli_logits(&self, g: &mut Graph, hidden: NodeId) -> NodeId {
+        self.nli_logits_with_binding(g, &mut Binding::new(), hidden)
+    }
+
+    /// NLI logits recording bindings.
+    pub fn nli_logits_with_binding(
+        &self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        hidden: NodeId,
+    ) -> NodeId {
+        let m = self.model;
+        let cls = g.select_rows(hidden, &[0]);
+        m.nli.forward(&m.store, g, binding, cls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MiniPlm {
+        MiniPlm::new(PlmConfig::tiny(50))
+    }
+
+    #[test]
+    fn encode_shapes_are_correct() {
+        let m = model();
+        let seq = m.wrap(&[7, 8, 9]);
+        assert_eq!(seq.first(), Some(&CLS));
+        assert_eq!(seq.last(), Some(&SEP));
+        let h = m.encode(&seq);
+        assert_eq!(h.shape(), (5, m.config.d_model));
+    }
+
+    #[test]
+    fn wrap_truncates_to_max_len() {
+        let m = model();
+        let long: Vec<TokenId> = (5..200).map(|t| t % 40 + 5).collect();
+        let seq = m.wrap(&long);
+        assert_eq!(seq.len(), m.config.max_len);
+    }
+
+    #[test]
+    fn wrap_pair_fits_and_separates() {
+        let m = model();
+        let p: Vec<TokenId> = (5..40).collect();
+        let h: Vec<TokenId> = (10..30).collect();
+        let seq = m.wrap_pair(&p, &h);
+        assert!(seq.len() <= m.config.max_len);
+        assert_eq!(seq.iter().filter(|&&t| t == SEP).count(), 2);
+    }
+
+    #[test]
+    fn mlm_probs_are_a_distribution() {
+        let m = model();
+        let seq = m.wrap(&[7, structmine_text::vocab::MASK, 9]);
+        let probs = m.mlm_probs(&seq, 2);
+        assert_eq!(probs.len(), 50);
+        let sum: f32 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mlm_topk_excludes_special_tokens() {
+        let m = model();
+        let seq = m.wrap(&[7, structmine_text::vocab::MASK]);
+        let top = m.mlm_topk(&seq, 2, 10);
+        assert_eq!(top.len(), 10);
+        assert!(top.iter().all(|&(t, _)| t >= structmine_text::vocab::N_SPECIAL as u32));
+    }
+
+    #[test]
+    fn contextual_representations_depend_on_context() {
+        let m = model();
+        // Token 9 in two different contexts must embed differently.
+        let a = m.encode(&m.wrap(&[9, 7, 7]));
+        let b = m.encode(&m.wrap(&[9, 30, 31]));
+        let dist = vector::sq_dist(a.row(1), b.row(1));
+        assert!(dist > 1e-4, "contextual reps identical: {dist}");
+    }
+
+    #[test]
+    fn rtd_and_nli_heads_produce_valid_outputs() {
+        let m = model();
+        let seq = m.wrap(&[5, 6, 7]);
+        let rtd = m.rtd_probs(&seq);
+        assert_eq!(rtd.len(), seq.len());
+        assert!(rtd.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let e = m.nli_entail_prob(&[5, 6, 7], &[8, 9]);
+        assert!((0.0..=1.0).contains(&e));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m = model();
+        let seq = m.wrap(&[5, 9, 13]);
+        assert_eq!(m.encode(&seq).data(), m.encode(&seq).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence too long")]
+    fn overlong_unwrapped_sequence_panics() {
+        let m = model();
+        let long: Vec<TokenId> = vec![5; 100];
+        m.encode(&long);
+    }
+}

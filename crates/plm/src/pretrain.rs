@@ -1,0 +1,336 @@
+//! Self-supervised pretraining: MLM + replaced-token detection + NLI.
+//!
+//! Three objectives share the encoder, mirroring the pretrained artifacts
+//! the tutorial's methods assume exist:
+//!
+//! * **MLM** (BERT): 15% of positions are masked (80% `[MASK]`, 10% random,
+//!   10% kept) and predicted through the tied embedding matrix.
+//! * **RTD** (ELECTRA): tokens are corrupted by unigram samples and a
+//!   per-position binary head predicts which were replaced.
+//! * **NLI-style pair relevance**: `[CLS] a [SEP] b [SEP]` pairs where `b`
+//!   is the second half of the same document (entail) or of a random other
+//!   document (not entail), classified from `[CLS]`. This is the
+//!   self-supervised stand-in for the MNLI fine-tuning TaxoClass's
+//!   relevance model relies on.
+
+use crate::model::MiniPlm;
+use rand::rngs::StdRng;
+use rand::Rng;
+use structmine_linalg::{rng as lrng, Matrix};
+use structmine_nn::graph::Graph;
+use structmine_nn::params::Binding;
+use structmine_text::vocab::{TokenId, Vocab, MASK, N_SPECIAL};
+use structmine_text::Corpus;
+
+/// Pretraining hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PretrainConfig {
+    /// Optimizer steps.
+    pub steps: usize,
+    /// Sequences per step.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Masking probability for MLM.
+    pub mask_prob: f32,
+    /// Weight of the RTD loss.
+    pub rtd_weight: f32,
+    /// Weight of the NLI loss.
+    pub nli_weight: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        PretrainConfig {
+            steps: 900,
+            batch: 8,
+            lr: 1e-2,
+            mask_prob: 0.15,
+            rtd_weight: 0.5,
+            nli_weight: 0.5,
+            seed: 97,
+        }
+    }
+}
+
+/// Loss trajectory of a pretraining run.
+#[derive(Clone, Debug)]
+pub struct PretrainReport {
+    /// Mean MLM loss over the first 10% of steps.
+    pub initial_mlm_loss: f32,
+    /// Mean MLM loss over the final 10% of steps.
+    pub final_mlm_loss: f32,
+    /// Per-step MLM losses.
+    pub mlm_losses: Vec<f32>,
+}
+
+/// Pretrain `model` on `corpus`.
+pub fn pretrain(model: &mut MiniPlm, corpus: &Corpus, cfg: &PretrainConfig) -> PretrainReport {
+    assert!(!corpus.is_empty(), "pretraining corpus is empty");
+    let mut rng = lrng::seeded(cfg.seed);
+    let mut adam = model.optimizer(cfg.lr);
+    let vocab_size = model.config.vocab_size;
+    let mut mlm_losses = Vec::with_capacity(cfg.steps);
+
+    for step in 0..cfg.steps {
+        // Linear warmup for 5% then linear decay to 10%.
+        let frac = step as f32 / cfg.steps.max(1) as f32;
+        let lr = if frac < 0.05 {
+            cfg.lr * (frac / 0.05)
+        } else {
+            cfg.lr * (1.0 - 0.9 * (frac - 0.05) / 0.95)
+        };
+        adam.set_lr(lr.max(cfg.lr * 0.05));
+
+        let mut g = Graph::new();
+        let mut binding = Binding::new();
+        let bound = model.bound();
+        let mut total_loss = None;
+        let mut step_mlm = 0.0f32;
+
+        for b in 0..cfg.batch {
+            let doc = &corpus.docs[rng.gen_range(0..corpus.len())];
+            if doc.tokens.is_empty() {
+                continue;
+            }
+            let window = sample_window(&doc.tokens, model.config.max_len - 2, &mut rng);
+            let seq = model.wrap(&window);
+
+            // --- MLM ---
+            let (masked, positions, gold) = mask_sequence(&seq, cfg.mask_prob, vocab_size, &mut rng);
+            let hidden = bound.encode_with_binding(&mut g, &mut binding, &masked);
+            let logits = bound.mlm_logits_with_binding(&mut g, &mut binding, hidden, &positions);
+            let mut targets = Matrix::zeros(positions.len(), vocab_size);
+            for (r, &t) in gold.iter().enumerate() {
+                targets.set(r, t as usize, 1.0);
+            }
+            let mlm_loss = g.softmax_cross_entropy(logits, &targets);
+            step_mlm += g.value(mlm_loss).get(0, 0);
+            let scaled = g.scale(mlm_loss, 1.0 / cfg.batch as f32);
+            total_loss = Some(match total_loss {
+                None => scaled,
+                Some(acc) => g.add(acc, scaled),
+            });
+
+            // --- RTD on a corrupted copy (half the batch) ---
+            if cfg.rtd_weight > 0.0 && b % 2 == 0 {
+                let (corrupted, labels) = corrupt_sequence(&seq, 0.15, vocab_size, &mut rng);
+                let h = bound.encode_with_binding(&mut g, &mut binding, &corrupted);
+                let rtd_logits = bound.rtd_logits_with_binding(&mut g, &mut binding, h);
+                let target = Matrix::from_vec(labels.len(), 1, labels);
+                let rtd_loss = g.sigmoid_bce(rtd_logits, &target);
+                let scaled = g.scale(rtd_loss, 2.0 * cfg.rtd_weight / cfg.batch as f32);
+                let acc = total_loss.expect("mlm loss set above");
+                total_loss = Some(g.add(acc, scaled));
+            }
+
+            // --- NLI pair (quarter of the batch) ---
+            if cfg.nli_weight > 0.0 && b % 4 == 0 && window.len() >= 6 {
+                let mid = window.len() / 2;
+                let premise = &window[..mid];
+                let entail: bool = rng.gen();
+                let hyp_owned;
+                let hypothesis: &[TokenId] = if entail {
+                    &window[mid..]
+                } else {
+                    let other = &corpus.docs[rng.gen_range(0..corpus.len())].tokens;
+                    if other.len() < 2 {
+                        continue;
+                    }
+                    hyp_owned = other[other.len() / 2..].to_vec();
+                    &hyp_owned
+                };
+                let seq = model.wrap_pair(premise, hypothesis);
+                let h = bound.encode_with_binding(&mut g, &mut binding, &seq);
+                let logits = bound.nli_logits_with_binding(&mut g, &mut binding, h);
+                let mut target = Matrix::zeros(1, 2);
+                target.set(0, usize::from(entail), 1.0);
+                let nli_loss = g.softmax_cross_entropy(logits, &target);
+                let scaled = g.scale(nli_loss, 4.0 * cfg.nli_weight / cfg.batch as f32);
+                let acc = total_loss.expect("mlm loss set above");
+                total_loss = Some(g.add(acc, scaled));
+            }
+        }
+
+        if let Some(loss) = total_loss {
+            g.backward(loss);
+            adam.step(model.store_mut(), &g, &binding);
+        }
+        mlm_losses.push(step_mlm / cfg.batch as f32);
+    }
+
+    let tenth = (cfg.steps / 10).max(1);
+    let initial = mlm_losses.iter().take(tenth).sum::<f32>() / tenth as f32;
+    let final_ = mlm_losses.iter().rev().take(tenth).sum::<f32>() / tenth as f32;
+    PretrainReport { initial_mlm_loss: initial, final_mlm_loss: final_, mlm_losses }
+}
+
+/// Domain-adaptive pretraining: continue masked-language-model training on
+/// a *target* corpus, returning an adapted copy (the original is untouched).
+///
+/// Every method paper the tutorial covers further pretrains its BERT on the
+/// task corpus before classification; this is that step at mini scale.
+pub fn adapt(model: &MiniPlm, corpus: &Corpus, steps: usize, seed: u64) -> MiniPlm {
+    let mut adapted = model.clone_model();
+    pretrain(
+        &mut adapted,
+        corpus,
+        &PretrainConfig {
+            steps,
+            batch: 8,
+            lr: 3e-3,
+            rtd_weight: 0.3,
+            nli_weight: 0.3,
+            seed,
+            ..Default::default()
+        },
+    );
+    adapted
+}
+
+/// Take a random window of at most `max` tokens.
+fn sample_window(tokens: &[TokenId], max: usize, rng: &mut StdRng) -> Vec<TokenId> {
+    if tokens.len() <= max {
+        return tokens.to_vec();
+    }
+    let start = rng.gen_range(0..=tokens.len() - max);
+    tokens[start..start + max].to_vec()
+}
+
+/// BERT-style masking of a wrapped sequence. Returns (masked sequence,
+/// masked positions, gold tokens). Guarantees at least one masked position.
+fn mask_sequence(
+    seq: &[TokenId],
+    mask_prob: f32,
+    vocab_size: usize,
+    rng: &mut StdRng,
+) -> (Vec<TokenId>, Vec<usize>, Vec<TokenId>) {
+    let mut masked = seq.to_vec();
+    let mut positions = Vec::new();
+    let mut gold = Vec::new();
+    for (i, &t) in seq.iter().enumerate() {
+        if Vocab::is_special(t) {
+            continue;
+        }
+        if rng.gen::<f32>() < mask_prob {
+            positions.push(i);
+            gold.push(t);
+            let roll: f32 = rng.gen();
+            masked[i] = if roll < 0.8 {
+                MASK
+            } else if roll < 0.9 {
+                random_token(vocab_size, rng)
+            } else {
+                t
+            };
+        }
+    }
+    if positions.is_empty() {
+        // Force-mask a random real token.
+        let real: Vec<usize> =
+            (0..seq.len()).filter(|&i| !Vocab::is_special(seq[i])).collect();
+        if let Some(&i) = real.get(rng.gen_range(0..real.len().max(1)).min(real.len().saturating_sub(1))) {
+            positions.push(i);
+            gold.push(seq[i]);
+            masked[i] = MASK;
+        }
+    }
+    (masked, positions, gold)
+}
+
+/// ELECTRA-style corruption: replace tokens with unigram-random ones.
+/// Returns (corrupted sequence, per-position replaced labels).
+fn corrupt_sequence(
+    seq: &[TokenId],
+    prob: f32,
+    vocab_size: usize,
+    rng: &mut StdRng,
+) -> (Vec<TokenId>, Vec<f32>) {
+    let mut corrupted = seq.to_vec();
+    let mut labels = vec![0.0f32; seq.len()];
+    for (i, &t) in seq.iter().enumerate() {
+        if Vocab::is_special(t) {
+            continue;
+        }
+        if rng.gen::<f32>() < prob {
+            let replacement = random_token(vocab_size, rng);
+            if replacement != t {
+                corrupted[i] = replacement;
+                labels[i] = 1.0;
+            }
+        }
+    }
+    (corrupted, labels)
+}
+
+fn random_token(vocab_size: usize, rng: &mut StdRng) -> TokenId {
+    rng.gen_range(N_SPECIAL as u32..vocab_size as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlmConfig;
+    use structmine_text::synth::recipes;
+
+    #[test]
+    fn mask_sequence_masks_only_real_tokens() {
+        let mut rng = lrng::seeded(1);
+        let seq = vec![structmine_text::vocab::CLS, 7, 8, 9, structmine_text::vocab::SEP];
+        for _ in 0..50 {
+            let (masked, positions, gold) = mask_sequence(&seq, 0.5, 20, &mut rng);
+            assert!(!positions.is_empty());
+            for (&p, &g) in positions.iter().zip(&gold) {
+                assert!(p >= 1 && p <= 3, "masked special position {p}");
+                assert_eq!(seq[p], g);
+            }
+            assert_eq!(masked.len(), seq.len());
+            assert_eq!(masked[0], structmine_text::vocab::CLS);
+        }
+    }
+
+    #[test]
+    fn corrupt_sequence_labels_match_changes() {
+        let mut rng = lrng::seeded(2);
+        let seq = vec![structmine_text::vocab::CLS, 7, 8, 9, 10, structmine_text::vocab::SEP];
+        let (corrupted, labels) = corrupt_sequence(&seq, 0.8, 30, &mut rng);
+        for i in 0..seq.len() {
+            if labels[i] > 0.5 {
+                assert_ne!(corrupted[i], seq[i]);
+            } else {
+                assert_eq!(corrupted[i], seq[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn pretraining_reduces_mlm_loss() {
+        let corpus = recipes::pretraining_corpus(120, 5);
+        let mut model = MiniPlm::new(PlmConfig::tiny(corpus.vocab.len()));
+        let report = pretrain(
+            &mut model,
+            &corpus,
+            &PretrainConfig { steps: 300, batch: 6, ..Default::default() },
+        );
+        assert!(
+            report.final_mlm_loss < report.initial_mlm_loss * 0.92,
+            "MLM loss did not drop: {} -> {}",
+            report.initial_mlm_loss,
+            report.final_mlm_loss
+        );
+    }
+
+    #[test]
+    fn sample_window_respects_bound() {
+        let mut rng = lrng::seeded(3);
+        let tokens: Vec<TokenId> = (5..105).collect();
+        for _ in 0..20 {
+            let w = sample_window(&tokens, 10, &mut rng);
+            assert_eq!(w.len(), 10);
+        }
+        let short = sample_window(&tokens[..5], 10, &mut rng);
+        assert_eq!(short.len(), 5);
+    }
+}

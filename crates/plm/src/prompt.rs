@@ -1,0 +1,155 @@
+//! Prompting: cloze (MLM) and replaced-token-detection (ELECTRA) scoring.
+//!
+//! Zero-shot classification by prompting, as in the tutorial's PromptClass
+//! section: the document is followed by a verbalizer template and the label
+//! words are scored either by the MLM's probability at a `[MASK]` slot
+//! (RoBERTa-style) or by how *un-replaced* the label word looks to the RTD
+//! head (ELECTRA-style).
+
+use crate::model::MiniPlm;
+use structmine_text::vocab::{TokenId, MASK, SEP};
+use structmine_text::Vocab;
+
+/// Build the cloze prompt `[CLS] doc.. [SEP] about [MASK] [SEP]`, returning
+/// the sequence and the `[MASK]` position.
+///
+/// The template word "about" is in the general lexicon, so the MLM saw it
+/// adjacent to topical words throughout pretraining.
+pub fn cloze_prompt(model: &MiniPlm, doc: &[TokenId], vocab: &Vocab) -> (Vec<TokenId>, usize) {
+    let about = vocab.id("about").expect("'about' must be in vocabulary");
+    let budget = model.config.max_len.saturating_sub(5);
+    let body = &doc[..doc.len().min(budget)];
+    let mut seq = Vec::with_capacity(body.len() + 5);
+    seq.push(structmine_text::vocab::CLS);
+    seq.extend_from_slice(body);
+    seq.push(SEP);
+    seq.push(about);
+    let mask_pos = seq.len();
+    seq.push(MASK);
+    seq.push(SEP);
+    (seq, mask_pos)
+}
+
+/// MLM cloze scores for each class: mean probability of the class's name
+/// tokens at the `[MASK]` slot. Returns unnormalized scores (higher =
+/// better fit).
+pub fn cloze_label_scores(
+    model: &MiniPlm,
+    doc: &[TokenId],
+    label_names: &[Vec<TokenId>],
+    vocab: &Vocab,
+) -> Vec<f32> {
+    let (seq, mask_pos) = cloze_prompt(model, doc, vocab);
+    let probs = model.mlm_probs(&seq, mask_pos);
+    label_names
+        .iter()
+        .map(|names| {
+            if names.is_empty() {
+                return 0.0;
+            }
+            names.iter().map(|&t| probs[t as usize]).sum::<f32>() / names.len() as f32
+        })
+        .collect()
+}
+
+/// ELECTRA-style RTD scores for each class: build
+/// `[CLS] doc.. [SEP] about <name> [SEP]` and score
+/// `1 - P(replaced)` averaged over the name tokens. Higher = better fit.
+pub fn rtd_label_scores(
+    model: &MiniPlm,
+    doc: &[TokenId],
+    label_names: &[Vec<TokenId>],
+    vocab: &Vocab,
+) -> Vec<f32> {
+    let about = vocab.id("about").expect("'about' must be in vocabulary");
+    label_names
+        .iter()
+        .map(|names| {
+            if names.is_empty() {
+                return 0.0;
+            }
+            let budget = model.config.max_len.saturating_sub(4 + names.len());
+            let body = &doc[..doc.len().min(budget)];
+            let mut seq = Vec::with_capacity(body.len() + names.len() + 4);
+            seq.push(structmine_text::vocab::CLS);
+            seq.extend_from_slice(body);
+            seq.push(SEP);
+            seq.push(about);
+            let name_start = seq.len();
+            seq.extend_from_slice(names);
+            seq.push(SEP);
+            let probs = model.rtd_probs(&seq);
+            let replaced: f32 = (0..names.len())
+                .map(|i| probs[name_start + i])
+                .sum::<f32>()
+                / names.len() as f32;
+            1.0 - replaced
+        })
+        .collect()
+}
+
+/// Zero-shot prediction over a corpus slice using a scoring function.
+pub fn zero_shot_predict(
+    model: &MiniPlm,
+    docs: &[&[TokenId]],
+    label_names: &[Vec<TokenId>],
+    vocab: &Vocab,
+    electra_style: bool,
+) -> Vec<usize> {
+    docs.iter()
+        .map(|doc| {
+            let scores = if electra_style {
+                rtd_label_scores(model, doc, label_names, vocab)
+            } else {
+                cloze_label_scores(model, doc, label_names, vocab)
+            };
+            structmine_linalg::vector::argmax(&scores).unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlmConfig;
+    use structmine_text::synth::recipes;
+
+    #[test]
+    fn cloze_prompt_places_mask_before_final_sep() {
+        let corpus = recipes::pretraining_corpus(2, 1);
+        let model = MiniPlm::new(PlmConfig::tiny(corpus.vocab.len()));
+        let (seq, pos) = cloze_prompt(&model, &corpus.docs[0].tokens, &corpus.vocab);
+        assert_eq!(seq[pos], MASK);
+        assert_eq!(seq[pos + 1], SEP);
+        assert!(seq.len() <= model.config.max_len);
+    }
+
+    #[test]
+    fn label_scores_have_one_entry_per_class() {
+        let corpus = recipes::pretraining_corpus(2, 2);
+        let model = MiniPlm::new(PlmConfig::tiny(corpus.vocab.len()));
+        let names = vec![vec![10 as TokenId], vec![11], vec![]];
+        let doc = &corpus.docs[0].tokens;
+        let cloze = cloze_label_scores(&model, doc, &names, &corpus.vocab);
+        let rtd = rtd_label_scores(&model, doc, &names, &corpus.vocab);
+        assert_eq!(cloze.len(), 3);
+        assert_eq!(rtd.len(), 3);
+        assert_eq!(cloze[2], 0.0);
+        assert_eq!(rtd[2], 0.0);
+        assert!(cloze.iter().all(|s| s.is_finite()));
+        assert!(rtd.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn zero_shot_predict_returns_valid_classes() {
+        let corpus = recipes::pretraining_corpus(4, 3);
+        let model = MiniPlm::new(PlmConfig::tiny(corpus.vocab.len()));
+        let names = vec![vec![10 as TokenId], vec![11]];
+        let docs: Vec<&[TokenId]> = corpus.docs.iter().map(|d| d.tokens.as_slice()).collect();
+        for style in [false, true] {
+            let preds = zero_shot_predict(&model, &docs, &names, &corpus.vocab, style);
+            assert_eq!(preds.len(), 4);
+            assert!(preds.iter().all(|&p| p < 2));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Corpus-level representation extraction.
+//!
+//! These helpers run the encoder over whole corpora and hand back the
+//! matrices the methods consume: average-pooled document representations
+//! (the tutorial's "vanilla BERT representations" figures, X-Class),
+//! per-occurrence contextualized token vectors (ConWea's sense clustering),
+//! and full token-representation matrices per document (X-Class's
+//! class-oriented attention).
+
+use crate::model::MiniPlm;
+use structmine_linalg::Matrix;
+use structmine_text::vocab::TokenId;
+use structmine_text::Corpus;
+
+/// Average-pooled representation of every document (`n x d`).
+pub fn doc_mean_reps(model: &MiniPlm, corpus: &Corpus) -> Matrix {
+    let mut out = Matrix::zeros(corpus.len(), model.config.d_model);
+    for (i, doc) in corpus.docs.iter().enumerate() {
+        let v = model.mean_embed(&doc.tokens);
+        out.row_mut(i).copy_from_slice(&v);
+    }
+    out
+}
+
+/// Token-level hidden states of one document: row `i` corresponds to
+/// `tokens[i]` (CLS/SEP rows are stripped). Truncated to the model's
+/// maximum length.
+pub fn token_reps(model: &MiniPlm, tokens: &[TokenId]) -> Matrix {
+    let seq = model.wrap(tokens);
+    let h = model.encode(&seq);
+    h.select_rows(&(1..seq.len() - 1).collect::<Vec<_>>())
+}
+
+/// One contextualized occurrence of a token.
+#[derive(Clone, Debug)]
+pub struct Occurrence {
+    /// Document index.
+    pub doc: usize,
+    /// Token position within the document.
+    pub pos: usize,
+    /// Hidden-state vector at that position.
+    pub vector: Vec<f32>,
+}
+
+/// Contextualized vectors for up to `cap` occurrences of `token` across the
+/// corpus (in document order).
+pub fn occurrence_reps(
+    model: &MiniPlm,
+    corpus: &Corpus,
+    token: TokenId,
+    cap: usize,
+) -> Vec<Occurrence> {
+    let mut out = Vec::new();
+    let budget = model.config.max_len - 2;
+    'outer: for (d, doc) in corpus.docs.iter().enumerate() {
+        if !doc.tokens.contains(&token) {
+            continue;
+        }
+        let reps = token_reps(model, &doc.tokens);
+        for (p, &t) in doc.tokens.iter().take(budget).enumerate() {
+            if t == token {
+                out.push(Occurrence { doc: d, pos: p, vector: reps.row(p).to_vec() });
+                if out.len() >= cap {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlmConfig;
+    use structmine_text::synth::recipes;
+
+    #[test]
+    fn doc_mean_reps_shape() {
+        let corpus = recipes::pretraining_corpus(6, 1);
+        let model = MiniPlm::new(PlmConfig::tiny(corpus.vocab.len()));
+        let reps = doc_mean_reps(&model, &corpus);
+        assert_eq!(reps.shape(), (6, model.config.d_model));
+    }
+
+    #[test]
+    fn token_reps_align_with_positions() {
+        let corpus = recipes::pretraining_corpus(2, 2);
+        let model = MiniPlm::new(PlmConfig::tiny(corpus.vocab.len()));
+        let tokens = &corpus.docs[0].tokens;
+        let reps = token_reps(&model, tokens);
+        let expected = tokens.len().min(model.config.max_len - 2);
+        assert_eq!(reps.rows(), expected);
+    }
+
+    #[test]
+    fn occurrence_reps_find_token_positions() {
+        let corpus = recipes::pretraining_corpus(30, 3);
+        let model = MiniPlm::new(PlmConfig::tiny(corpus.vocab.len()));
+        // Pick a token guaranteed to appear: the most frequent non-special.
+        let t = (5..corpus.vocab.len() as u32)
+            .max_by_key(|&t| corpus.vocab.count(t))
+            .unwrap();
+        let occ = occurrence_reps(&model, &corpus, t, 7);
+        assert!(!occ.is_empty());
+        assert!(occ.len() <= 7);
+        for o in &occ {
+            assert_eq!(corpus.docs[o.doc].tokens[o.pos], t);
+            assert_eq!(o.vector.len(), model.config.d_model);
+        }
+    }
+}

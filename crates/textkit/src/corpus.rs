@@ -1,0 +1,174 @@
+//! Documents and corpora.
+
+use crate::vocab::{TokenId, Vocab};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A tokenized document plus optional gold labels and metadata attachments.
+///
+/// Metadata fields mirror the sources the tutorial's metadata-aware methods
+/// consume: a posting **user** (GitHub/Twitter/Amazon), descriptive **tags**
+/// (hashtags, repo tags), a **venue** and **authors** (papers), and
+/// **references** (citation edges to other documents, by doc index).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Doc {
+    /// Token ids into the corpus vocabulary.
+    pub tokens: Vec<TokenId>,
+    /// Gold label ids (one for single-label tasks, several for multi-label).
+    pub labels: Vec<usize>,
+    /// Global metadata: the user/author entity that produced the document.
+    pub user: Option<usize>,
+    /// Local metadata: tags describing the document.
+    pub tags: Vec<usize>,
+    /// Publication venue id, for paper-like corpora.
+    pub venue: Option<usize>,
+    /// Author entity ids, for paper-like corpora.
+    pub authors: Vec<usize>,
+    /// Outgoing citation edges (indices of other docs in the same corpus).
+    pub refs: Vec<usize>,
+}
+
+impl Doc {
+    /// A plain text-only document.
+    pub fn from_tokens(tokens: Vec<TokenId>) -> Self {
+        Doc { tokens, ..Default::default() }
+    }
+
+    /// The single gold label; panics if the doc is not single-labeled.
+    pub fn label(&self) -> usize {
+        assert_eq!(self.labels.len(), 1, "document is not single-labeled");
+        self.labels[0]
+    }
+
+    /// Term-frequency map of this document.
+    pub fn term_counts(&self) -> HashMap<TokenId, u32> {
+        let mut m = HashMap::new();
+        for &t in &self.tokens {
+            *m.entry(t).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// A corpus: a shared vocabulary plus a list of documents.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Corpus {
+    /// The vocabulary all documents are tokenized against.
+    pub vocab: Vocab,
+    /// The documents.
+    pub docs: Vec<Doc>,
+}
+
+impl Corpus {
+    /// An empty corpus over a fresh vocabulary.
+    pub fn new(vocab: Vocab) -> Self {
+        Corpus { vocab, docs: Vec::new() }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when there are no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Total token count across all documents.
+    pub fn n_tokens(&self) -> usize {
+        self.docs.iter().map(|d| d.tokens.len()).sum()
+    }
+
+    /// Document frequency for every token id (number of docs containing it).
+    pub fn doc_frequencies(&self) -> Vec<u32> {
+        let mut df = vec![0u32; self.vocab.len()];
+        let mut seen = vec![usize::MAX; self.vocab.len()];
+        for (i, doc) in self.docs.iter().enumerate() {
+            for &t in &doc.tokens {
+                if seen[t as usize] != i {
+                    seen[t as usize] = i;
+                    df[t as usize] += 1;
+                }
+            }
+        }
+        df
+    }
+
+    /// All `(doc_idx, position)` occurrences of token `t`.
+    pub fn occurrences(&self, t: TokenId) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, doc) in self.docs.iter().enumerate() {
+            for (p, &tok) in doc.tokens.iter().enumerate() {
+                if tok == t {
+                    out.push((i, p));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render document `i` back to words (diagnostics and examples).
+    pub fn render(&self, i: usize) -> String {
+        crate::tokenize::decode(&self.docs[i].tokens, &self.vocab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_corpus() -> Corpus {
+        let mut vocab = Vocab::new();
+        let a = vocab.intern("goal");
+        let b = vocab.intern("match");
+        let c = vocab.intern("court");
+        let mut corpus = Corpus::new(vocab);
+        corpus.docs.push(Doc::from_tokens(vec![a, b, a]));
+        corpus.docs.push(Doc::from_tokens(vec![c, b]));
+        corpus
+    }
+
+    #[test]
+    fn doc_frequencies_count_docs_not_occurrences() {
+        let c = tiny_corpus();
+        let goal = c.vocab.id("goal").unwrap() as usize;
+        let m = c.vocab.id("match").unwrap() as usize;
+        let df = c.doc_frequencies();
+        assert_eq!(df[goal], 1); // appears twice but in one doc
+        assert_eq!(df[m], 2);
+    }
+
+    #[test]
+    fn occurrences_finds_positions() {
+        let c = tiny_corpus();
+        let goal = c.vocab.id("goal").unwrap();
+        assert_eq!(c.occurrences(goal), vec![(0, 0), (0, 2)]);
+    }
+
+    #[test]
+    fn term_counts_aggregates() {
+        let c = tiny_corpus();
+        let tc = c.docs[0].term_counts();
+        assert_eq!(tc[&c.vocab.id("goal").unwrap()], 2);
+    }
+
+    #[test]
+    fn n_tokens_sums_lengths() {
+        assert_eq!(tiny_corpus().n_tokens(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not single-labeled")]
+    fn label_panics_on_multilabel() {
+        let mut d = Doc::from_tokens(vec![]);
+        d.labels = vec![1, 2];
+        let _ = d.label();
+    }
+
+    #[test]
+    fn render_round_trips_words() {
+        let c = tiny_corpus();
+        assert_eq!(c.render(1), "court match");
+    }
+}

@@ -1,0 +1,72 @@
+//! Weak-supervision descriptors.
+//!
+//! The tutorial distinguishes keyword-level weak supervision (category names
+//! or a few related keywords per class) from document-level weak supervision
+//! (a handful of labeled documents per class). Methods in `structmine`
+//! accept a [`Supervision`] value so each table's LABELS / KEYWORDS / DOCS
+//! columns can be reproduced by switching the variant.
+
+use crate::vocab::TokenId;
+use serde::{Deserialize, Serialize};
+
+/// The seed information available to a weakly-supervised method.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Supervision {
+    /// Only the category names (as token sequences, one per class).
+    LabelNames(Vec<Vec<TokenId>>),
+    /// A few user-provided keywords per class.
+    Keywords(Vec<Vec<TokenId>>),
+    /// A few labeled documents per class: `(doc index, class)` pairs.
+    LabeledDocs(Vec<(usize, usize)>),
+}
+
+impl Supervision {
+    /// Number of classes the supervision covers.
+    pub fn n_classes(&self) -> usize {
+        match self {
+            Supervision::LabelNames(v) | Supervision::Keywords(v) => v.len(),
+            Supervision::LabeledDocs(pairs) => {
+                pairs.iter().map(|&(_, c)| c + 1).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// The seed token lists per class, if this is keyword-level supervision.
+    pub fn seed_tokens(&self) -> Option<&[Vec<TokenId>]> {
+        match self {
+            Supervision::LabelNames(v) | Supervision::Keywords(v) => Some(v),
+            Supervision::LabeledDocs(_) => None,
+        }
+    }
+
+    /// The labeled `(doc, class)` pairs, if document-level supervision.
+    pub fn labeled_docs(&self) -> Option<&[(usize, usize)]> {
+        match self {
+            Supervision::LabeledDocs(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n_classes_for_each_variant() {
+        assert_eq!(Supervision::LabelNames(vec![vec![1], vec![2]]).n_classes(), 2);
+        assert_eq!(Supervision::Keywords(vec![vec![1, 2]]).n_classes(), 1);
+        assert_eq!(Supervision::LabeledDocs(vec![(0, 0), (1, 2)]).n_classes(), 3);
+        assert_eq!(Supervision::LabeledDocs(vec![]).n_classes(), 0);
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        let s = Supervision::Keywords(vec![vec![9]]);
+        assert!(s.seed_tokens().is_some());
+        assert!(s.labeled_docs().is_none());
+        let d = Supervision::LabeledDocs(vec![(3, 1)]);
+        assert!(d.seed_tokens().is_none());
+        assert_eq!(d.labeled_docs().unwrap()[0], (3, 1));
+    }
+}

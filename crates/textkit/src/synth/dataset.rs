@@ -1,0 +1,261 @@
+//! Datasets: a corpus plus label definitions, optional taxonomy, metadata
+//! statistics, and train/test splits, with helpers that extract each kind of
+//! weak supervision the tutorial's methods consume.
+
+use crate::corpus::Corpus;
+use crate::supervision::Supervision;
+use crate::taxonomy::{NodeId, Taxonomy};
+use crate::vocab::TokenId;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+use structmine_linalg::rng as lrng;
+
+/// Names, seed keywords and descriptions for every class.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LabelSet {
+    /// Display name per class (may be a phrase).
+    pub names: Vec<String>,
+    /// The name split into words (lower-case, in-vocabulary wherever the
+    /// class's lexicon contains them).
+    pub name_words: Vec<Vec<String>>,
+    /// A few seed keywords per class (keyword-level weak supervision).
+    pub keywords: Vec<Vec<String>>,
+    /// A one-line textual description per class (used by MICoL/TaxoClass).
+    pub descriptions: Vec<String>,
+}
+
+impl LabelSet {
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no classes are defined.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Cardinalities of the metadata attached to a corpus.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct MetaStats {
+    /// Number of distinct users.
+    pub n_users: usize,
+    /// Number of distinct tags.
+    pub n_tags: usize,
+    /// Number of distinct venues.
+    pub n_venues: usize,
+    /// Number of distinct authors.
+    pub n_authors: usize,
+}
+
+/// A complete benchmark dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Recipe name, e.g. `"agnews"`.
+    pub name: String,
+    /// The corpus (all splits share it; see `train_idx` / `test_idx`).
+    pub corpus: Corpus,
+    /// Class names, keywords, descriptions.
+    pub labels: LabelSet,
+    /// Label hierarchy, when the dataset is hierarchical. Classes map to
+    /// taxonomy nodes via `class_nodes`.
+    pub taxonomy: Option<Taxonomy>,
+    /// Taxonomy node backing each class (parallel to `labels`); empty for
+    /// flat datasets.
+    pub class_nodes: Vec<NodeId>,
+    /// Document indices usable for (semi-)supervised training.
+    pub train_idx: Vec<usize>,
+    /// Document indices used for evaluation.
+    pub test_idx: Vec<usize>,
+    /// Metadata cardinalities.
+    pub meta: MetaStats,
+}
+
+impl Dataset {
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Token-id sequences for each class name. Words missing from the
+    /// vocabulary are skipped (TaxoClass-style phrase names may only
+    /// partially occur in the corpus).
+    pub fn label_name_tokens(&self) -> Vec<Vec<TokenId>> {
+        self.labels
+            .name_words
+            .iter()
+            .map(|words| words.iter().filter_map(|w| self.corpus.vocab.id(w)).collect())
+            .collect()
+    }
+
+    /// Token-id sequences for each class's seed keywords.
+    pub fn keyword_tokens(&self) -> Vec<Vec<TokenId>> {
+        self.labels
+            .keywords
+            .iter()
+            .map(|words| words.iter().filter_map(|w| self.corpus.vocab.id(w)).collect())
+            .collect()
+    }
+
+    /// Label-names-only weak supervision.
+    pub fn supervision_names(&self) -> Supervision {
+        Supervision::LabelNames(self.label_name_tokens())
+    }
+
+    /// Keyword weak supervision.
+    pub fn supervision_keywords(&self) -> Supervision {
+        Supervision::Keywords(self.keyword_tokens())
+    }
+
+    /// Document-level weak supervision: `per_class` labeled docs per class,
+    /// sampled deterministically from the training split.
+    pub fn supervision_docs(&self, per_class: usize, seed: u64) -> Supervision {
+        let mut rng = lrng::seeded(seed);
+        let mut pairs = Vec::new();
+        for c in 0..self.n_classes() {
+            let mut members: Vec<usize> = self
+                .train_idx
+                .iter()
+                .copied()
+                .filter(|&i| self.corpus.docs[i].labels.contains(&c))
+                .collect();
+            members.shuffle(&mut rng);
+            pairs.extend(members.into_iter().take(per_class).map(|i| (i, c)));
+        }
+        Supervision::LabeledDocs(pairs)
+    }
+
+    /// Gold single labels of the test split. Panics on multi-label docs.
+    pub fn test_gold(&self) -> Vec<usize> {
+        self.test_idx.iter().map(|&i| self.corpus.docs[i].label()).collect()
+    }
+
+    /// Gold label sets of the test split (multi-label).
+    pub fn test_gold_sets(&self) -> Vec<Vec<usize>> {
+        self.test_idx.iter().map(|&i| self.corpus.docs[i].labels.clone()).collect()
+    }
+
+    /// Class sizes over the whole corpus (a doc counts once per label).
+    pub fn class_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_classes()];
+        for doc in &self.corpus.docs {
+            for &l in &doc.labels {
+                sizes[l] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// Ratio of the largest to the smallest class (X-Class's "Imbalance").
+    pub fn imbalance(&self) -> f32 {
+        let sizes = self.class_sizes();
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        let min = sizes.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            f32::INFINITY
+        } else {
+            max as f32 / min as f32
+        }
+    }
+}
+
+/// Deterministically split `n` documents into train/test index lists.
+pub fn split_indices(n: usize, test_frac: f32, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = lrng::seeded(seed);
+    idx.shuffle(&mut rng);
+    let n_test = ((n as f32) * test_frac).round() as usize;
+    let test = idx[..n_test].to_vec();
+    let train = idx[n_test..].to_vec();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Doc;
+    use crate::vocab::Vocab;
+
+    fn tiny_dataset() -> Dataset {
+        let mut vocab = Vocab::new();
+        let soccer = vocab.intern("soccer");
+        let law = vocab.intern("law");
+        let judge = vocab.intern("judge");
+        let mut corpus = Corpus::new(vocab);
+        for i in 0..10 {
+            let mut d = Doc::from_tokens(vec![if i % 2 == 0 { soccer } else { law }, judge]);
+            d.labels = vec![i % 2];
+            corpus.docs.push(d);
+        }
+        let (train, test) = split_indices(10, 0.3, 1);
+        Dataset {
+            name: "tiny".into(),
+            corpus,
+            labels: LabelSet {
+                names: vec!["soccer".into(), "law".into()],
+                name_words: vec![vec!["soccer".into()], vec!["law".into()]],
+                keywords: vec![vec!["soccer".into()], vec!["law".into(), "judge".into()]],
+                descriptions: vec!["about soccer".into(), "about law".into()],
+            },
+            taxonomy: None,
+            class_nodes: vec![],
+            train_idx: train,
+            test_idx: test,
+            meta: MetaStats::default(),
+        }
+    }
+
+    #[test]
+    fn split_is_disjoint_and_covers() {
+        let (train, test) = split_indices(100, 0.25, 7);
+        assert_eq!(test.len(), 25);
+        assert_eq!(train.len(), 75);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        assert_eq!(split_indices(50, 0.2, 3), split_indices(50, 0.2, 3));
+        assert_ne!(split_indices(50, 0.2, 3).1, split_indices(50, 0.2, 4).1);
+    }
+
+    #[test]
+    fn label_name_tokens_resolve_in_vocab() {
+        let d = tiny_dataset();
+        let toks = d.label_name_tokens();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0], vec![d.corpus.vocab.id("soccer").unwrap()]);
+    }
+
+    #[test]
+    fn supervision_docs_selects_per_class_from_train() {
+        let d = tiny_dataset();
+        let sup = d.supervision_docs(2, 9);
+        let pairs = sup.labeled_docs().unwrap();
+        for &(i, c) in pairs {
+            assert!(d.train_idx.contains(&i));
+            assert_eq!(d.corpus.docs[i].labels, vec![c]);
+        }
+        let per_class0 = pairs.iter().filter(|&&(_, c)| c == 0).count();
+        assert!(per_class0 <= 2);
+    }
+
+    #[test]
+    fn imbalance_of_balanced_data_is_one() {
+        let d = tiny_dataset();
+        assert!((d.imbalance() - 1.0).abs() < 1e-6);
+        assert_eq!(d.class_sizes(), vec![5, 5]);
+    }
+
+    #[test]
+    fn test_gold_matches_docs() {
+        let d = tiny_dataset();
+        let gold = d.test_gold();
+        for (k, &i) in d.test_idx.iter().enumerate() {
+            assert_eq!(gold[k], d.corpus.docs[i].labels[0]);
+        }
+    }
+}

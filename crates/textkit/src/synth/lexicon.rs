@@ -1,0 +1,388 @@
+//! Hand-curated domain lexicons for the synthetic worlds.
+//!
+//! Each named lexicon is a list of words characteristic of one topic. The
+//! lists deliberately share a few **polysemous** words across topics —
+//! `penalty` (soccer / law), `court` (basketball / law), `pitch` (soccer /
+//! music), `virus` (security / infectious disease), `windows` (software /
+//! buildings), `apple` (hardware / food), `star` (astronomy / movies),
+//! `bank` (banking / rivers), `trial` (law / clinical medicine) — because
+//! ConWea's contextualization experiments and LOTClass's "Table 1" demo
+//! depend on sense ambiguity being present in the corpus.
+//!
+//! The lists are the synthetic analogue of the benchmark datasets' topical
+//! vocabulary; see `DESIGN.md` §1.
+
+/// Filler words every document mixes in, regardless of topic.
+pub const GENERAL: &[&str] = &[
+    "the", "a", "an", "of", "in", "on", "at", "to", "for", "with", "and", "or", "but", "is",
+    "was", "are", "were", "be", "been", "has", "have", "had", "it", "its", "this", "that",
+    "these", "those", "he", "she", "they", "we", "you", "new", "one", "two", "first", "last",
+    "also", "said", "says", "after", "before", "over", "under", "more", "most", "many", "much",
+    "very", "just", "now", "today", "week", "year", "time", "people", "group", "part", "end",
+    "way", "day", "made", "make", "back", "still", "while", "during", "about", "against",
+];
+
+/// `(lexicon name, words)` master table.
+///
+/// Names are referenced by the dataset recipes; the first word of each list
+/// doubles as the default class name where a recipe does not override it.
+pub const TOPICS: &[(&str, &[&str])] = &[
+    // ----- news coarse domains ---------------------------------------------
+    ("politics", &[
+        "politics", "government", "president", "senate", "congress", "minister", "policy",
+        "vote", "campaign", "democracy", "parliament", "legislation", "governor", "mayor",
+        "cabinet", "diplomat", "treaty", "sanctions", "reform", "coalition",
+    ]),
+    ("sports", &[
+        "sports", "team", "game", "season", "coach", "player", "league", "championship",
+        "tournament", "fans", "stadium", "score", "win", "defeat", "victory", "playoffs",
+        "athlete", "referee", "trophy", "roster",
+    ]),
+    ("business", &[
+        "business", "company", "market", "stock", "investor", "profit", "revenue", "shares",
+        "trade", "economy", "earnings", "billion", "ceo", "merger", "acquisition", "quarterly",
+        "shareholders", "commerce", "firm", "startup",
+    ]),
+    ("technology", &[
+        "technology", "computer", "software", "internet", "digital", "device", "data",
+        "users", "app", "online", "platform", "gadget", "innovation", "electronics",
+        "silicon", "engineers", "prototype", "upgrade", "wireless", "interface",
+    ]),
+    ("science", &[
+        "science", "research", "scientist", "study", "laboratory", "experiment", "theory",
+        "discovery", "journal", "professor", "university", "hypothesis", "evidence",
+        "findings", "peer", "review", "grant", "institute", "analysis", "measurement",
+    ]),
+    ("health", &[
+        "health", "patient", "doctor", "hospital", "treatment", "disease", "medical",
+        "drug", "clinic", "symptoms", "nurse", "physician", "prescription", "wellness",
+        "diagnosis", "recovery", "illness", "epidemic", "therapy", "surgeon",
+    ]),
+    ("arts", &[
+        "arts", "artist", "museum", "gallery", "exhibition", "culture", "design",
+        "creative", "portrait", "canvas", "sculpture", "curator", "masterpiece",
+        "aesthetic", "installation", "collection", "heritage", "abstract", "studio", "critic",
+    ]),
+    ("world", &[
+        "world", "international", "foreign", "global", "nations", "embassy", "summit",
+        "border", "crisis", "conflict", "refugees", "diplomacy", "alliance", "united",
+        "ambassador", "peacekeeping", "territory", "regime", "treaties", "humanitarian",
+    ]),
+    // ----- politics subtopics ----------------------------------------------
+    ("elections", &[
+        "elections", "election", "ballot", "candidate", "voters", "primary", "polling",
+        "nominee", "caucus", "swing", "turnout", "incumbent", "electorate", "landslide",
+    ]),
+    ("federal_budget", &[
+        "budget", "deficit", "spending", "appropriations", "fiscal", "treasury", "debt",
+        "allocation", "expenditure", "surplus", "austerity", "stimulus",
+    ]),
+    ("immigration", &[
+        "immigration", "visa", "border", "refugee", "asylum", "migrant", "citizenship",
+        "deportation", "naturalization", "quota", "undocumented", "detention",
+    ]),
+    ("military", &[
+        "military", "army", "troops", "soldier", "combat", "defense", "missile",
+        "battalion", "weapons", "airstrike", "navy", "pentagon", "deployment", "brigade",
+    ]),
+    ("law", &[
+        "law", "court", "judge", "trial", "verdict", "lawsuit", "attorney", "justice",
+        "penalty", "prosecutor", "ruling", "appeal", "jury", "testimony", "statute",
+        "plaintiff", "defendant", "injunction",
+    ]),
+    ("surveillance", &[
+        "surveillance", "privacy", "intelligence", "wiretap", "spying", "leaks",
+        "whistleblower", "classified", "monitoring", "interception",
+    ]),
+    ("gun_control", &[
+        "gun", "firearms", "rifle", "shooting", "ammunition", "holster", "background",
+        "checks", "magazine", "caliber",
+    ]),
+    ("abortion", &[
+        "abortion", "reproductive", "pregnancy", "clinic", "fetal", "contraception",
+        "planned", "parenthood", "roe", "prolife",
+    ]),
+    // ----- sports subtopics -------------------------------------------------
+    ("soccer", &[
+        "soccer", "goal", "penalty", "midfielder", "striker", "fifa", "worldcup",
+        "keeper", "offside", "corner", "kick", "pitch", "dribble", "header", "freekick",
+    ]),
+    ("basketball", &[
+        "basketball", "nba", "dunk", "rebound", "pointer", "hoop", "court", "guard",
+        "forward", "layup", "buzzer", "backboard", "crossover", "fastbreak",
+    ]),
+    ("baseball", &[
+        "baseball", "inning", "pitcher", "homerun", "batter", "mlb", "shortstop",
+        "bullpen", "catcher", "outfield", "strikeout", "dugout", "fastball", "umpire",
+    ]),
+    ("tennis", &[
+        "tennis", "serve", "wimbledon", "racket", "ace", "baseline", "volley",
+        "grandslam", "deuce", "backhand", "forehand", "tiebreak", "rally", "smash",
+    ]),
+    ("hockey", &[
+        "hockey", "puck", "nhl", "goalie", "rink", "slapshot", "icing", "defenseman",
+        "faceoff", "powerplay", "bodycheck", "zamboni", "hattrick", "penaltybox",
+    ]),
+    ("golf", &[
+        "golf", "birdie", "fairway", "putt", "masters", "caddie", "bogey", "tee",
+        "eagle", "bunker", "clubhouse", "swing", "handicap", "green",
+    ]),
+    ("football", &[
+        "football", "quarterback", "touchdown", "nfl", "yards", "fumble", "lineman",
+        "superbowl", "interception", "punt", "huddle", "endzone", "blitz", "kickoff",
+    ]),
+    // ----- business subtopics ----------------------------------------------
+    ("stocks", &[
+        "stocks", "nasdaq", "dow", "index", "rally", "selloff", "dividend", "bonds",
+        "futures", "hedge", "portfolio", "bullish", "bearish", "volatility",
+    ]),
+    ("economy", &[
+        "economy", "inflation", "unemployment", "gdp", "recession", "growth",
+        "consumer", "wages", "prices", "demand", "productivity", "exports", "slowdown",
+    ]),
+    ("banking", &[
+        "banking", "bank", "loan", "credit", "mortgage", "deposit", "lending",
+        "interest", "currency", "reserve", "branch", "teller", "overdraft", "collateral",
+    ]),
+    ("energy_markets", &[
+        "energy", "oil", "gas", "barrel", "opec", "drilling", "pipeline", "crude",
+        "refinery", "coal", "petroleum", "rig", "wellhead", "fracking",
+    ]),
+    ("intl_business", &[
+        "tariff", "exports", "imports", "yuan", "euro", "manufacturing", "supply",
+        "outsourcing", "logistics", "freight", "customs", "subsidies", "dumping",
+    ]),
+    // ----- technology subtopics --------------------------------------------
+    ("software", &[
+        "software", "programming", "code", "developer", "linux", "windows",
+        "opensource", "bug", "release", "compiler", "repository", "debugging",
+        "framework", "library", "version",
+    ]),
+    ("internet", &[
+        "internet", "web", "google", "search", "browser", "website", "email",
+        "social", "streaming", "cloud", "bandwidth", "server", "hosting", "domain",
+    ]),
+    ("hardware", &[
+        "hardware", "chip", "processor", "semiconductor", "intel", "circuit",
+        "memory", "gigabyte", "motherboard", "transistor", "apple", "keyboard",
+        "wafer", "fabrication",
+    ]),
+    ("machine_intelligence", &[
+        "intelligence", "algorithm", "neural", "robot", "machine", "learning",
+        "model", "training", "automation", "prediction", "dataset", "benchmark",
+        "autonomous", "chatbot",
+    ]),
+    ("cybersecurity", &[
+        "security", "hacker", "malware", "breach", "encryption", "password", "virus",
+        "firewall", "phishing", "ransomware", "exploit", "vulnerability", "botnet",
+        "authentication",
+    ]),
+    // ----- science subtopics -------------------------------------------------
+    ("physics", &[
+        "physics", "quantum", "particle", "relativity", "photon", "collider",
+        "electron", "gravity", "boson", "entanglement", "neutrino", "superconductor",
+    ]),
+    ("cosmos", &[
+        "space", "nasa", "telescope", "orbit", "planet", "galaxy", "astronaut",
+        "rocket", "mars", "satellite", "star", "comet", "nebula", "lunar",
+    ]),
+    ("environment", &[
+        "climate", "species", "ecosystem", "carbon", "emission", "wildlife",
+        "forest", "evolution", "organism", "habitat", "biodiversity", "warming",
+        "conservation", "pollution",
+    ]),
+    ("chemistry", &[
+        "chemistry", "molecule", "chemical", "compound", "reaction", "catalyst",
+        "polymer", "atom", "solvent", "synthesis", "crystalline", "titration",
+    ]),
+    ("mathematics", &[
+        "mathematics", "theorem", "proof", "algebra", "geometry", "equation",
+        "conjecture", "topology", "combinatorics", "integer", "manifold", "lemma",
+    ]),
+    // ----- health subtopics ---------------------------------------------------
+    ("oncology", &[
+        "cancer", "tumor", "chemotherapy", "oncology", "malignant", "biopsy",
+        "remission", "radiation", "metastasis", "carcinoma", "trial", "screening",
+    ]),
+    ("infectious_disease", &[
+        "virus", "vaccine", "infection", "outbreak", "pandemic", "immunity",
+        "pathogen", "influenza", "quarantine", "transmission", "antibodies", "strain",
+    ]),
+    ("nutrition", &[
+        "diet", "nutrition", "obesity", "vitamins", "protein", "calories",
+        "exercise", "fitness", "metabolism", "supplements", "cholesterol", "fiber",
+    ]),
+    // ----- arts subtopics ------------------------------------------------------
+    ("music", &[
+        "music", "album", "song", "band", "concert", "guitar", "singer", "melody",
+        "jazz", "orchestra", "lyrics", "chorus", "pitch", "symphony", "drummer",
+    ]),
+    ("movies", &[
+        "film", "movie", "director", "actor", "hollywood", "cinema", "screenplay",
+        "oscar", "premiere", "studio", "trailer", "sequel", "blockbuster", "star",
+    ]),
+    ("theater", &[
+        "theater", "broadway", "stage", "ballet", "dance", "choreography",
+        "playwright", "rehearsal", "costume", "audition", "matinee", "ensemble",
+    ]),
+    ("books", &[
+        "book", "novel", "author", "literature", "publisher", "poetry", "fiction",
+        "memoir", "bestseller", "chapter", "manuscript", "paperback", "anthology",
+    ]),
+    // ----- reviews / sentiment -------------------------------------------------
+    ("dining", &[
+        "restaurant", "menu", "chef", "pizza", "sushi", "flavor", "dessert",
+        "dinner", "waiter", "brunch", "appetizer", "sauce", "bakery", "apple",
+        "noodles", "espresso",
+    ]),
+    ("positive", &[
+        "great", "excellent", "amazing", "wonderful", "fantastic", "love", "loved",
+        "perfect", "best", "awesome", "friendly", "recommend", "delightful",
+        "superb", "enjoyable", "delicious", "comfortable", "satisfying",
+    ]),
+    ("negative", &[
+        "terrible", "awful", "horrible", "worst", "bad", "disappointing", "rude",
+        "bland", "dirty", "slow", "overpriced", "mediocre", "refund", "complaint",
+        "avoid", "broken", "stale", "unacceptable",
+    ]),
+    // ----- locations (NYT-Location stand-in) -----------------------------------
+    ("loc_usa", &["washington", "america", "american", "york", "california", "texas", "chicago", "boston", "senate", "dollar"]),
+    ("loc_china", &["beijing", "shanghai", "chinese", "china", "yuan", "guangdong", "mandarin", "shenzhen", "tianjin", "province"]),
+    ("loc_france", &["paris", "french", "france", "lyon", "marseille", "seine", "elysee", "baguette", "riviera", "bordeaux"]),
+    ("loc_britain", &["london", "british", "britain", "manchester", "scotland", "pound", "westminster", "thames", "wales", "downing"]),
+    ("loc_japan", &["tokyo", "japanese", "japan", "osaka", "yen", "kyoto", "shinkansen", "sakura", "okinawa", "nikkei"]),
+    ("loc_germany", &["berlin", "german", "germany", "munich", "frankfurt", "bavaria", "bundestag", "autobahn", "hamburg", "rhine"]),
+    ("loc_russia", &["moscow", "russian", "russia", "kremlin", "ruble", "siberia", "petersburg", "duma", "volga", "oligarch"]),
+    ("loc_canada", &["toronto", "ottawa", "canadian", "canada", "quebec", "vancouver", "alberta", "maple", "ontario", "montreal"]),
+    ("loc_italy", &["rome", "italian", "italy", "milan", "venice", "tuscany", "vatican", "naples", "lira", "piazza"]),
+    ("loc_brazil", &["brasilia", "brazilian", "brazil", "rio", "saopaulo", "amazon", "carnival", "real", "favela", "copacabana"]),
+    // ----- DBpedia-like ontology classes ---------------------------------------
+    ("ont_company", &["company", "corporation", "founded", "headquarters", "subsidiary", "enterprise", "brand", "manufacturer", "conglomerate", "holdings"]),
+    ("ont_school", &["school", "students", "campus", "curriculum", "enrollment", "faculty", "academy", "kindergarten", "tuition", "alumni"]),
+    ("ont_artist", &["painter", "sculptor", "works", "style", "exhibited", "renaissance", "impressionist", "murals", "engraver", "portraitist"]),
+    ("ont_athlete", &["competed", "olympics", "medal", "record", "sprinter", "swimmer", "gymnast", "marathon", "relay", "decathlon"]),
+    ("ont_politician", &["elected", "served", "office", "party", "senator", "deputy", "chancellor", "legislature", "constituency", "statesman"]),
+    ("ont_transport", &["aircraft", "locomotive", "vessel", "engine", "automobile", "ferry", "freighter", "turbine", "chassis", "fuselage"]),
+    ("ont_building", &["building", "tower", "architecture", "constructed", "floors", "facade", "skyscraper", "cathedral", "windows", "atrium"]),
+    ("ont_river", &["river", "tributary", "basin", "flows", "mouth", "delta", "estuary", "watershed", "bank", "rapids"]),
+    ("ont_village", &["village", "district", "population", "census", "municipality", "hamlet", "parish", "commune", "township", "settlement"]),
+    ("ont_animal", &["species", "habitat", "mammal", "predator", "nocturnal", "plumage", "herbivore", "burrow", "migratory", "carnivore"]),
+    ("ont_plant", &["plant", "flowering", "leaves", "genus", "botanical", "perennial", "shrub", "pollination", "stem", "seedling"]),
+    ("ont_album", &["album", "released", "tracks", "recorded", "billboard", "vinyl", "remix", "acoustic", "chart", "studio"]),
+    ("ont_film", &["film", "directed", "starring", "premiered", "cast", "cinematography", "adaptation", "screenwriter", "feature", "reel"]),
+    ("ont_book", &["novel", "published", "pages", "author", "isbn", "hardcover", "translated", "prose", "narrative", "trilogy"]),
+    // ----- research areas (arXiv / MAG-CS stand-in) -----------------------------
+    ("cs_nlp", &["language", "parsing", "translation", "corpus", "semantic", "syntax", "tokenization", "embedding", "discourse", "grammar"]),
+    ("cs_vision", &["image", "detection", "segmentation", "pixels", "convolution", "recognition", "optical", "stereo", "texture", "keypoint"]),
+    ("cs_ml", &["learning", "classifier", "regression", "gradient", "supervised", "clustering", "bayesian", "ensemble", "overfitting", "regularization"]),
+    ("cs_db", &["database", "query", "index", "transaction", "sql", "schema", "join", "btree", "concurrency", "relational"]),
+    ("cs_systems", &["kernel", "scheduler", "latency", "throughput", "distributed", "consensus", "replication", "filesystem", "virtualization", "cache"]),
+    ("cs_networking", &["network", "protocol", "router", "bandwidth", "packet", "tcp", "wireless", "congestion", "topology", "ethernet"]),
+    ("cs_theory", &["complexity", "approximation", "polynomial", "bound", "hardness", "reduction", "randomized", "combinatorial", "optimization", "lattice"]),
+    ("math_algebra", &["algebra", "ring", "module", "homomorphism", "ideal", "galois", "representation", "category", "functor", "abelian"]),
+    ("math_analysis", &["analysis", "convergence", "integral", "derivative", "measure", "banach", "hilbert", "operator", "spectral", "bounded"]),
+    ("math_combinatorics", &["combinatorics", "graph", "coloring", "matching", "hypergraph", "permutation", "extremal", "ramsey", "enumeration", "clique"]),
+    ("phys_hep", &["collider", "quark", "hadron", "boson", "detector", "luminosity", "decay", "symmetry", "coupling", "accelerator"]),
+    ("phys_astro", &["galaxy", "redshift", "supernova", "cosmology", "darkmatter", "quasar", "luminosity", "spectroscopy", "exoplanet", "pulsar"]),
+    ("phys_cond", &["lattice", "superconductivity", "magnetism", "phonon", "fermion", "insulator", "graphene", "topological", "crystal", "bandgap"]),
+    // ----- biomedical areas (PubMed stand-in) ------------------------------------
+    ("bio_genetics", &["gene", "genome", "dna", "mutation", "sequencing", "chromosome", "allele", "transcription", "genotype", "crispr"]),
+    ("bio_immunology", &["immune", "antibody", "antigen", "inflammation", "lymphocyte", "cytokine", "macrophage", "autoimmune", "tcell", "vaccine"]),
+    ("bio_virology", &["virus", "viral", "coronavirus", "replication", "strain", "infection", "epidemiology", "antiviral", "outbreak", "zoonotic"]),
+    ("bio_neuro", &["brain", "neuron", "cortex", "cognitive", "synapse", "dopamine", "hippocampus", "neural", "plasticity", "glial"]),
+    ("bio_cardio", &["heart", "cardiac", "artery", "blood", "hypertension", "cholesterol", "stroke", "vascular", "arrhythmia", "stent"]),
+    ("bio_oncology", &["tumor", "cancer", "carcinoma", "metastasis", "chemotherapy", "oncogene", "biopsy", "malignant", "lymphoma", "melanoma"]),
+    // ----- lifestyle (Twitter stand-in extras) -----------------------------------
+    ("travel", &["hotel", "flight", "beach", "vacation", "tourist", "airport", "island", "resort", "passport", "itinerary", "luggage", "cruise"]),
+    ("fashion", &["fashion", "dress", "style", "designer", "runway", "wardrobe", "trend", "outfit", "couture", "fabric", "accessories", "boutique"]),
+];
+
+/// Look up a lexicon by name.
+///
+/// # Panics
+/// Panics when the name is unknown — recipes reference lexicons statically,
+/// so a miss is a programming error.
+pub fn lexicon(name: &str) -> &'static [&'static str] {
+    TOPICS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, words)| *words)
+        .unwrap_or_else(|| panic!("unknown lexicon: {name}"))
+}
+
+/// All lexicon names.
+pub fn names() -> impl Iterator<Item = &'static str> {
+    TOPICS.iter().map(|(n, _)| *n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn lexicon_lookup_works() {
+        assert!(lexicon("soccer").contains(&"penalty"));
+        assert!(lexicon("law").contains(&"penalty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown lexicon")]
+    fn unknown_lexicon_panics() {
+        lexicon("nonexistent-topic");
+    }
+
+    #[test]
+    fn no_duplicate_lexicon_names() {
+        let mut seen = HashSet::new();
+        for (name, _) in TOPICS {
+            assert!(seen.insert(*name), "duplicate lexicon {name}");
+        }
+    }
+
+    #[test]
+    fn no_duplicate_words_within_a_lexicon() {
+        for (name, words) in TOPICS {
+            let set: HashSet<_> = words.iter().collect();
+            assert_eq!(set.len(), words.len(), "duplicates in {name}");
+        }
+    }
+
+    #[test]
+    fn planted_polysemes_span_topics() {
+        // These ambiguities are load-bearing for ConWea/LOTClass experiments.
+        let expectations = [
+            ("penalty", vec!["soccer", "law"]),
+            ("court", vec!["basketball", "law"]),
+            ("pitch", vec!["soccer", "music"]),
+            ("virus", vec!["cybersecurity", "infectious_disease", "bio_virology"]),
+            ("windows", vec!["software", "ont_building"]),
+            ("star", vec!["cosmos", "movies"]),
+            ("bank", vec!["banking", "ont_river"]),
+            ("apple", vec!["hardware", "dining"]),
+            ("trial", vec!["law", "oncology"]),
+        ];
+        let mut by_word: HashMap<&str, Vec<&str>> = HashMap::new();
+        for (name, words) in TOPICS {
+            for w in *words {
+                by_word.entry(w).or_default().push(name);
+            }
+        }
+        for (word, topics) in expectations {
+            let homes = by_word.get(word).unwrap_or_else(|| panic!("{word} missing"));
+            for t in topics {
+                assert!(homes.contains(&t), "{word} should be in {t}, found {homes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn general_words_do_not_collide_with_topic_words() {
+        let general: HashSet<_> = GENERAL.iter().collect();
+        for (name, words) in TOPICS {
+            for w in *words {
+                assert!(!general.contains(w), "{w} in {name} is also a general word");
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Metadata synthesis: attach users, tags, venues, authors, and citation
+//! edges to a labeled corpus.
+//!
+//! The generative story follows MetaCat's reading of metadata: **global**
+//! metadata (users, authors, venues) *causes* documents — an entity has
+//! topical preferences and produces documents about them — while **local**
+//! metadata (tags) *describes* documents. Citation edges preferentially link
+//! documents that share a label, which is what MICoL's meta-path positive
+//! pairs exploit.
+
+use crate::corpus::Corpus;
+use crate::synth::dataset::MetaStats;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Knobs for metadata synthesis. Zero-valued counts disable that entity.
+#[derive(Clone, Debug)]
+pub struct MetaConfig {
+    /// Distinct users per class; each user prefers exactly one class.
+    pub users_per_class: usize,
+    /// Probability a document's user is drawn uniformly instead of from the
+    /// label-preferring pool.
+    pub user_noise: f32,
+    /// Distinct tags owned by each class.
+    pub tags_per_class: usize,
+    /// Probability an individual tag is drawn from a random class.
+    pub tag_noise: f32,
+    /// Maximum tags attached to one document (at least 1 when enabled).
+    pub max_tags_per_doc: usize,
+    /// Distinct venues per class.
+    pub venues_per_class: usize,
+    /// Distinct authors per class.
+    pub authors_per_class: usize,
+    /// Maximum authors per document.
+    pub max_authors_per_doc: usize,
+    /// Citation edges per document (to earlier documents only).
+    pub refs_per_doc: usize,
+    /// Probability a citation targets a document sharing a label.
+    pub ref_same_label_prob: f32,
+}
+
+impl Default for MetaConfig {
+    fn default() -> Self {
+        MetaConfig {
+            users_per_class: 0,
+            user_noise: 0.1,
+            tags_per_class: 0,
+            tag_noise: 0.1,
+            max_tags_per_doc: 3,
+            venues_per_class: 0,
+            authors_per_class: 0,
+            max_authors_per_doc: 3,
+            refs_per_doc: 0,
+            ref_same_label_prob: 0.8,
+        }
+    }
+}
+
+impl MetaConfig {
+    /// A social-media-style configuration: users and tags only.
+    pub fn social() -> Self {
+        MetaConfig { users_per_class: 8, tags_per_class: 4, ..Default::default() }
+    }
+
+    /// A bibliographic configuration: venues, authors and citations.
+    pub fn bibliographic() -> Self {
+        MetaConfig {
+            venues_per_class: 2,
+            authors_per_class: 10,
+            refs_per_doc: 3,
+            ..Default::default()
+        }
+    }
+}
+
+/// Attach metadata to every document of `corpus` in place.
+///
+/// Documents must already carry labels; a document's "home" class is its
+/// first label. Returns the resulting entity cardinalities.
+pub fn attach_metadata(
+    corpus: &mut Corpus,
+    n_classes: usize,
+    cfg: &MetaConfig,
+    rng: &mut StdRng,
+) -> MetaStats {
+    let n_users = cfg.users_per_class * n_classes;
+    let n_tags = cfg.tags_per_class * n_classes;
+    let n_venues = cfg.venues_per_class * n_classes;
+    let n_authors = cfg.authors_per_class * n_classes;
+
+    // Pre-compute, per class, the doc indices seen so far (for citations).
+    let mut earlier_by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    let mut earlier_all: Vec<usize> = Vec::new();
+
+    for i in 0..corpus.docs.len() {
+        let home = *corpus.docs[i]
+            .labels
+            .first()
+            .expect("attach_metadata requires labeled documents");
+        debug_assert!(home < n_classes);
+
+        if cfg.users_per_class > 0 {
+            let user = if rng.gen::<f32>() < cfg.user_noise {
+                rng.gen_range(0..n_users)
+            } else {
+                home * cfg.users_per_class + rng.gen_range(0..cfg.users_per_class)
+            };
+            corpus.docs[i].user = Some(user);
+        }
+
+        if cfg.tags_per_class > 0 {
+            let k = rng.gen_range(1..=cfg.max_tags_per_doc.max(1));
+            let mut tags = Vec::with_capacity(k);
+            for _ in 0..k {
+                let class = if rng.gen::<f32>() < cfg.tag_noise {
+                    rng.gen_range(0..n_classes)
+                } else {
+                    home
+                };
+                tags.push(class * cfg.tags_per_class + rng.gen_range(0..cfg.tags_per_class));
+            }
+            tags.sort_unstable();
+            tags.dedup();
+            corpus.docs[i].tags = tags;
+        }
+
+        if cfg.venues_per_class > 0 {
+            let class = if rng.gen::<f32>() < 0.1 { rng.gen_range(0..n_classes) } else { home };
+            corpus.docs[i].venue =
+                Some(class * cfg.venues_per_class + rng.gen_range(0..cfg.venues_per_class));
+        }
+
+        if cfg.authors_per_class > 0 {
+            let k = rng.gen_range(1..=cfg.max_authors_per_doc.max(1));
+            let mut authors = Vec::with_capacity(k);
+            for _ in 0..k {
+                let class = if rng.gen::<f32>() < cfg.user_noise {
+                    rng.gen_range(0..n_classes)
+                } else {
+                    home
+                };
+                authors
+                    .push(class * cfg.authors_per_class + rng.gen_range(0..cfg.authors_per_class));
+            }
+            authors.sort_unstable();
+            authors.dedup();
+            corpus.docs[i].authors = authors;
+        }
+
+        if cfg.refs_per_doc > 0 && !earlier_all.is_empty() {
+            let mut refs = Vec::new();
+            for _ in 0..cfg.refs_per_doc {
+                let same = rng.gen::<f32>() < cfg.ref_same_label_prob;
+                let pool: &[usize] = if same && !earlier_by_class[home].is_empty() {
+                    &earlier_by_class[home]
+                } else {
+                    &earlier_all
+                };
+                refs.push(pool[rng.gen_range(0..pool.len())]);
+            }
+            refs.sort_unstable();
+            refs.dedup();
+            corpus.docs[i].refs = refs;
+        }
+
+        for &l in &corpus.docs[i].labels.clone() {
+            if l < n_classes {
+                earlier_by_class[l].push(i);
+            }
+        }
+        earlier_all.push(i);
+    }
+
+    MetaStats { n_users, n_tags, n_venues, n_authors }
+}
+
+/// Fraction of documents whose user's preferred class matches the document's
+/// home label — a diagnostic for how informative the user signal is.
+pub fn user_label_agreement(corpus: &Corpus, users_per_class: usize) -> f32 {
+    if users_per_class == 0 {
+        return 0.0;
+    }
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for doc in &corpus.docs {
+        if let (Some(u), Some(&l)) = (doc.user, doc.labels.first()) {
+            total += 1;
+            if u / users_per_class == l {
+                hit += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hit as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Doc;
+    use crate::vocab::Vocab;
+    use structmine_linalg::rng as lrng;
+
+    fn labeled_corpus(n: usize, n_classes: usize) -> Corpus {
+        let mut vocab = Vocab::new();
+        let w = vocab.intern("w");
+        let mut c = Corpus::new(vocab);
+        for i in 0..n {
+            let mut d = Doc::from_tokens(vec![w]);
+            d.labels = vec![i % n_classes];
+            c.docs.push(d);
+        }
+        c
+    }
+
+    #[test]
+    fn social_config_attaches_users_and_tags() {
+        let mut c = labeled_corpus(200, 4);
+        let stats =
+            attach_metadata(&mut c, 4, &MetaConfig::social(), &mut lrng::seeded(1));
+        assert_eq!(stats.n_users, 32);
+        assert_eq!(stats.n_tags, 16);
+        assert!(c.docs.iter().all(|d| d.user.is_some() && !d.tags.is_empty()));
+        assert!(c.docs.iter().all(|d| d.venue.is_none() && d.refs.is_empty()));
+    }
+
+    #[test]
+    fn users_correlate_with_labels() {
+        let mut c = labeled_corpus(1000, 4);
+        attach_metadata(&mut c, 4, &MetaConfig::social(), &mut lrng::seeded(2));
+        let agreement = user_label_agreement(&c, 8);
+        assert!(agreement > 0.8, "agreement {agreement}");
+    }
+
+    #[test]
+    fn bibliographic_config_attaches_citations_to_earlier_docs() {
+        let mut c = labeled_corpus(300, 3);
+        let stats =
+            attach_metadata(&mut c, 3, &MetaConfig::bibliographic(), &mut lrng::seeded(3));
+        assert_eq!(stats.n_venues, 6);
+        assert_eq!(stats.n_authors, 30);
+        for (i, d) in c.docs.iter().enumerate() {
+            for &r in &d.refs {
+                assert!(r < i, "doc {i} cites later doc {r}");
+            }
+        }
+        // First doc can't cite anyone.
+        assert!(c.docs[0].refs.is_empty());
+    }
+
+    #[test]
+    fn citations_prefer_same_label() {
+        let mut c = labeled_corpus(900, 3);
+        attach_metadata(&mut c, 3, &MetaConfig::bibliographic(), &mut lrng::seeded(4));
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for d in c.docs.iter().skip(30) {
+            for &r in &d.refs {
+                total += 1;
+                if c.docs[r].labels[0] == d.labels[0] {
+                    same += 1;
+                }
+            }
+        }
+        let frac = same as f32 / total as f32;
+        assert!(frac > 0.7, "same-label citation fraction {frac}");
+    }
+
+    #[test]
+    fn tags_stay_in_range_and_dedupe() {
+        let mut c = labeled_corpus(150, 5);
+        let stats = attach_metadata(&mut c, 5, &MetaConfig::social(), &mut lrng::seeded(5));
+        for d in &c.docs {
+            let set: std::collections::HashSet<_> = d.tags.iter().collect();
+            assert_eq!(set.len(), d.tags.len());
+            assert!(d.tags.iter().all(|&t| t < stats.n_tags));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = labeled_corpus(100, 2);
+        let mut b = labeled_corpus(100, 2);
+        attach_metadata(&mut a, 2, &MetaConfig::social(), &mut lrng::seeded(9));
+        attach_metadata(&mut b, 2, &MetaConfig::social(), &mut lrng::seeded(9));
+        for (x, y) in a.docs.iter().zip(&b.docs) {
+            assert_eq!(x.user, y.user);
+            assert_eq!(x.tags, y.tags);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic world generation: lexicons, the pool-mixture document
+//! generator, metadata synthesis, and named dataset recipes.
+//!
+//! See `DESIGN.md` §1 for the substitution argument: these generators plant
+//! exactly the signal types (topical classes, ambiguous seed words,
+//! hierarchies, metadata graphs) that the tutorial's methods exploit, so the
+//! relative orderings its tables demonstrate are preserved at laptop scale.
+
+pub mod dataset;
+pub mod lexicon;
+pub mod meta;
+pub mod recipes;
+pub mod world;
+
+pub use dataset::{Dataset, LabelSet, MetaStats};
+pub use meta::{attach_metadata, MetaConfig};
+pub use recipes::{by_name, pretraining_corpus, standard_world, ALL_RECIPES};
+pub use world::{MixComponent, PoolId, World, WorldConfig};

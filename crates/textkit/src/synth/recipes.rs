@@ -1,0 +1,1119 @@
+//! Named dataset recipes.
+//!
+//! Each public function builds a synthetic stand-in for one of the benchmark
+//! datasets the tutorial's tables report on (see `DESIGN.md` §1 for the
+//! substitution rationale). All recipes share one **standard world** — every
+//! lexicon interned into a single vocabulary — so a PLM pretrained on
+//! [`pretraining_corpus`] shares token ids with every dataset, mirroring how
+//! BERT's vocabulary covers all downstream corpora.
+//!
+//! Every recipe takes a `scale` (multiplies document counts; 1.0 = default
+//! size) and a `seed`, and is fully deterministic given both.
+
+use crate::corpus::Corpus;
+use crate::synth::dataset::{split_indices, Dataset, LabelSet, MetaStats};
+use crate::synth::lexicon::{GENERAL, TOPICS};
+use crate::synth::meta::{attach_metadata, MetaConfig};
+use crate::synth::world::{MixComponent, World, WorldConfig};
+use crate::taxonomy::Taxonomy;
+use rand::Rng;
+use structmine_linalg::rng as lrng;
+
+/// Build the standard world: the general pool plus every lexicon, interned
+/// in a fixed order so token ids are stable across recipes.
+pub fn standard_world(cfg: WorldConfig) -> World {
+    let mut w = World::new(cfg);
+    w.add_pool("general", GENERAL);
+    for (name, words) in TOPICS {
+        w.add_pool(name, words);
+    }
+    w
+}
+
+/// An unlabeled general-domain corpus for pretraining the mini-PLM.
+/// Documents mix one or two random topics with general filler, so the model
+/// sees every topical word — including each sense of the polysemes — in
+/// context.
+pub fn pretraining_corpus(n_docs: usize, seed: u64) -> Corpus {
+    let world = standard_world(WorldConfig::default());
+    let mut rng = lrng::seeded(seed);
+    let general = world.pool("general").expect("general pool");
+    let n_pools = TOPICS.len();
+    let mut specs = Vec::with_capacity(n_docs);
+    for _ in 0..n_docs {
+        let a = 1 + rng.gen_range(0..n_pools);
+        let mut mix = vec![
+            MixComponent { pool: a, weight: 0.5 },
+            MixComponent { pool: general, weight: 0.35 },
+        ];
+        if rng.gen::<f32>() < 0.5 {
+            let b = 1 + rng.gen_range(0..n_pools);
+            mix.push(MixComponent { pool: b, weight: 0.15 });
+        }
+        specs.push((mix, Vec::new()));
+    }
+    world.gen_corpus(&mut rng, &specs)
+}
+
+/// One class of a flat recipe.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassDef {
+    /// Display name.
+    pub name: &'static str,
+    /// Word used as the class's *label name* (must be in the vocabulary).
+    pub name_word: &'static str,
+    /// Core lexicon.
+    pub core: &'static str,
+    /// Optional domain lexicon mixed in at lower weight.
+    pub domain: Option<&'static str>,
+}
+
+impl ClassDef {
+    const fn new(name: &'static str, core: &'static str) -> Self {
+        ClassDef { name, name_word: "", core, domain: None }
+    }
+
+    const fn with_domain(name: &'static str, core: &'static str, domain: &'static str) -> Self {
+        ClassDef { name, name_word: "", core, domain: Some(domain) }
+    }
+}
+
+fn scaled(n: usize, scale: f32) -> usize {
+    ((n as f32 * scale).round() as usize).max(12)
+}
+
+/// Build the [`LabelSet`] entry for a class from its lexicon.
+fn label_entry(world: &World, def: &ClassDef) -> (String, Vec<String>, Vec<String>, String) {
+    let words = crate::synth::lexicon::lexicon(def.core);
+    let name_word = if def.name_word.is_empty() { words[0] } else { def.name_word };
+    debug_assert!(world.vocab().id(name_word).is_some());
+    let keywords: Vec<String> = words.iter().take(3).map(|w| w.to_string()).collect();
+    let description = format!(
+        "category {} about {}",
+        def.name,
+        words.iter().take(6).copied().collect::<Vec<_>>().join(" ")
+    );
+    (def.name.to_string(), vec![name_word.to_string()], keywords, description)
+}
+
+/// Generic flat single-label dataset builder.
+///
+/// `sizes[c]` documents are generated for class `c` with the mixture
+/// `core 0.30 / domain 0.12 / general 0.38 / contamination 0.20`, where the
+/// contamination component draws from a *random other class's* core pool —
+/// without it every method (even raw TF-IDF retrieval) would sit at the
+/// ceiling and the papers' method orderings would be invisible.
+pub fn flat_dataset(
+    name: &str,
+    classes: &[ClassDef],
+    sizes: &[usize],
+    world_cfg: WorldConfig,
+    meta_cfg: Option<&MetaConfig>,
+    seed: u64,
+) -> Dataset {
+    assert_eq!(classes.len(), sizes.len());
+    let world = standard_world(world_cfg);
+    let general = world.pool("general").expect("general pool");
+    let mut rng = lrng::seeded(seed);
+
+    let mut specs = Vec::new();
+    for (c, (def, &n)) in classes.iter().zip(sizes).enumerate() {
+        let core = world.pool(def.core).unwrap_or_else(|| panic!("pool {}", def.core));
+        for _ in 0..n {
+            let mut mix = vec![
+                MixComponent { pool: core, weight: 0.30 },
+                MixComponent { pool: general, weight: 0.38 },
+            ];
+            match def.domain {
+                Some(d) => {
+                    let dp = world.pool(d).unwrap_or_else(|| panic!("pool {d}"));
+                    mix.push(MixComponent { pool: dp, weight: 0.12 });
+                }
+                None => mix[0].weight += 0.12,
+            }
+            // Contamination: words leak in from one random other class.
+            // Scaled by (1 - 1/k): with few classes the contaminator is the
+            // (or nearly the) competing class every time, so a fixed weight
+            // would hit binary datasets much harder than many-class ones.
+            if classes.len() > 1 {
+                let other = loop {
+                    let o = rng.gen_range(0..classes.len());
+                    if o != c {
+                        break o;
+                    }
+                };
+                let op = world.pool(classes[other].core).unwrap();
+                let weight = 0.24 * (1.0 - 1.0 / classes.len() as f32);
+                mix.push(MixComponent { pool: op, weight });
+            }
+            specs.push((mix, vec![c]));
+        }
+    }
+    let mut corpus = world.gen_corpus(&mut rng, &specs);
+
+    let meta = match meta_cfg {
+        Some(cfg) => attach_metadata(&mut corpus, classes.len(), cfg, &mut rng),
+        None => MetaStats::default(),
+    };
+
+    let mut labels = LabelSet::default();
+    for def in classes {
+        let (n, nw, kw, desc) = label_entry(&world, def);
+        labels.names.push(n);
+        labels.name_words.push(nw);
+        labels.keywords.push(kw);
+        labels.descriptions.push(desc);
+    }
+
+    let (train_idx, test_idx) = split_indices(corpus.len(), 0.3, lrng::derive_seed(seed, 77));
+    Dataset {
+        name: name.to_string(),
+        corpus,
+        labels,
+        taxonomy: None,
+        class_nodes: vec![],
+        train_idx,
+        test_idx,
+        meta,
+    }
+}
+
+/// Geometric class sizes from `max` down, with the requested max/min ratio.
+fn imbalanced_sizes(n_classes: usize, max: usize, ratio: f32, scale: f32) -> Vec<usize> {
+    (0..n_classes)
+        .map(|i| {
+            let frac = i as f32 / (n_classes - 1).max(1) as f32;
+            scaled((max as f32 * ratio.powf(-frac)) as usize, scale)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Flat single-label recipes
+// ---------------------------------------------------------------------------
+
+/// AG News stand-in: 4 balanced news topics.
+pub fn agnews(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef::new("world", "world"),
+        ClassDef::new("sports", "sports"),
+        ClassDef::new("business", "business"),
+        ClassDef::new("technology", "technology"),
+    ];
+    let sizes = vec![scaled(400, scale); 4];
+    flat_dataset("agnews", &classes, &sizes, WorldConfig::default(), None, seed)
+}
+
+/// NYT coarse stand-in: 5 balanced sections.
+pub fn nyt_coarse(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef::new("politics", "politics"),
+        ClassDef::new("arts", "arts"),
+        ClassDef::new("business", "business"),
+        ClassDef::new("science", "science"),
+        ClassDef::new("sports", "sports"),
+    ];
+    let sizes = vec![scaled(320, scale); 5];
+    flat_dataset("nyt-coarse", &classes, &sizes, WorldConfig::default(), None, seed)
+}
+
+/// NYT-Small stand-in (X-Class): the 5 coarse sections, imbalanced ~16x.
+pub fn nyt_small(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef::new("politics", "politics"),
+        ClassDef::new("arts", "arts"),
+        ClassDef::new("business", "business"),
+        ClassDef::new("science", "science"),
+        ClassDef::new("sports", "sports"),
+    ];
+    let sizes = imbalanced_sizes(5, 700, 16.0, scale);
+    flat_dataset("nyt-small", &classes, &sizes, WorldConfig::default(), None, seed)
+}
+
+const NYT_FINE_CLASSES: &[ClassDef] = &[
+    ClassDef::with_domain("elections", "elections", "politics"),
+    ClassDef::with_domain("federal budget", "federal_budget", "politics"),
+    ClassDef::with_domain("immigration", "immigration", "politics"),
+    ClassDef::with_domain("military", "military", "politics"),
+    ClassDef::with_domain("law enforcement", "law", "politics"),
+    ClassDef::with_domain("surveillance", "surveillance", "politics"),
+    ClassDef::with_domain("gun control", "gun_control", "politics"),
+    ClassDef::with_domain("abortion", "abortion", "politics"),
+    ClassDef::with_domain("soccer", "soccer", "sports"),
+    ClassDef::with_domain("basketball", "basketball", "sports"),
+    ClassDef::with_domain("baseball", "baseball", "sports"),
+    ClassDef::with_domain("tennis", "tennis", "sports"),
+    ClassDef::with_domain("hockey", "hockey", "sports"),
+    ClassDef::with_domain("golf", "golf", "sports"),
+    ClassDef::with_domain("football", "football", "sports"),
+    ClassDef::with_domain("stocks", "stocks", "business"),
+    ClassDef::with_domain("economy", "economy", "business"),
+    ClassDef::with_domain("banking", "banking", "business"),
+    ClassDef::with_domain("energy", "energy_markets", "business"),
+    ClassDef::with_domain("international business", "intl_business", "business"),
+    ClassDef::with_domain("music", "music", "arts"),
+    ClassDef::with_domain("movies", "movies", "arts"),
+    ClassDef::with_domain("theater", "theater", "arts"),
+    ClassDef::with_domain("books", "books", "arts"),
+    ClassDef::with_domain("space", "cosmos", "science"),
+];
+
+/// NYT fine stand-in: 25 subtopics nested under the coarse sections.
+pub fn nyt_fine(scale: f32, seed: u64) -> Dataset {
+    let sizes = vec![scaled(100, scale); NYT_FINE_CLASSES.len()];
+    flat_dataset("nyt-fine", NYT_FINE_CLASSES, &sizes, WorldConfig::default(), None, seed)
+}
+
+/// NYT-Topic stand-in (X-Class): 9 topics, heavily imbalanced (~27x).
+pub fn nyt_topic(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef::new("politics", "politics"),
+        ClassDef::new("sports", "sports"),
+        ClassDef::new("business", "business"),
+        ClassDef::new("technology", "technology"),
+        ClassDef::new("science", "science"),
+        ClassDef::new("health", "health"),
+        ClassDef::new("arts", "arts"),
+        ClassDef::new("world", "world"),
+        ClassDef::new("elections", "elections"),
+    ];
+    let sizes = imbalanced_sizes(9, 700, 27.0, scale);
+    flat_dataset("nyt-topic", &classes, &sizes, WorldConfig::default(), None, seed)
+}
+
+/// NYT-Location stand-in (X-Class): 10 countries, imbalanced ~16x.
+pub fn nyt_location(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef { name: "united states", name_word: "america", core: "loc_usa", domain: Some("world") },
+        ClassDef { name: "china", name_word: "china", core: "loc_china", domain: Some("world") },
+        ClassDef { name: "france", name_word: "france", core: "loc_france", domain: Some("world") },
+        ClassDef { name: "britain", name_word: "britain", core: "loc_britain", domain: Some("world") },
+        ClassDef { name: "japan", name_word: "japan", core: "loc_japan", domain: Some("world") },
+        ClassDef { name: "germany", name_word: "germany", core: "loc_germany", domain: Some("world") },
+        ClassDef { name: "russia", name_word: "russia", core: "loc_russia", domain: Some("world") },
+        ClassDef { name: "canada", name_word: "canada", core: "loc_canada", domain: Some("world") },
+        ClassDef { name: "italy", name_word: "italy", core: "loc_italy", domain: Some("world") },
+        ClassDef { name: "brazil", name_word: "brazil", core: "loc_brazil", domain: Some("world") },
+    ];
+    let sizes = imbalanced_sizes(10, 600, 16.0, scale);
+    flat_dataset("nyt-location", &classes, &sizes, WorldConfig::default(), None, seed)
+}
+
+/// 20 Newsgroups coarse stand-in: 6 top-level groups.
+pub fn news20_coarse(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef::new("computer", "technology"),
+        ClassDef::new("recreation", "sports"),
+        ClassDef::new("science", "science"),
+        ClassDef::new("politics", "politics"),
+        ClassDef::new("health", "health"),
+        ClassDef::new("forsale", "business"),
+    ];
+    let sizes = imbalanced_sizes(6, 420, 2.0, scale);
+    flat_dataset("20news-coarse", &classes, &sizes, WorldConfig::default(), None, seed)
+}
+
+/// 20 Newsgroups fine stand-in: 20 subgroups.
+pub fn news20_fine(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef::with_domain("software", "software", "technology"),
+        ClassDef::with_domain("internet", "internet", "technology"),
+        ClassDef::with_domain("hardware", "hardware", "technology"),
+        ClassDef::with_domain("machine intelligence", "machine_intelligence", "technology"),
+        ClassDef::with_domain("security", "cybersecurity", "technology"),
+        ClassDef::with_domain("soccer", "soccer", "sports"),
+        ClassDef::with_domain("basketball", "basketball", "sports"),
+        ClassDef::with_domain("baseball", "baseball", "sports"),
+        ClassDef::with_domain("hockey", "hockey", "sports"),
+        ClassDef::with_domain("tennis", "tennis", "sports"),
+        ClassDef::with_domain("physics", "physics", "science"),
+        ClassDef::with_domain("space", "cosmos", "science"),
+        ClassDef::with_domain("chemistry", "chemistry", "science"),
+        ClassDef::with_domain("mathematics", "mathematics", "science"),
+        ClassDef::with_domain("environment", "environment", "science"),
+        ClassDef::with_domain("elections", "elections", "politics"),
+        ClassDef::with_domain("military", "military", "politics"),
+        ClassDef::with_domain("law", "law", "politics"),
+        ClassDef::with_domain("guns", "gun_control", "politics"),
+        ClassDef::with_domain("immigration", "immigration", "politics"),
+    ];
+    let sizes = vec![scaled(90, scale); classes.len()];
+    flat_dataset("20news-fine", &classes, &sizes, WorldConfig::default(), None, seed)
+}
+
+/// Yelp polarity stand-in: positive vs negative restaurant reviews.
+pub fn yelp(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef { name: "good", name_word: "great", core: "positive", domain: Some("dining") },
+        ClassDef { name: "bad", name_word: "terrible", core: "negative", domain: Some("dining") },
+    ];
+    let sizes = vec![scaled(500, scale); 2];
+    flat_dataset("yelp", &classes, &sizes, WorldConfig::default(), None, seed)
+}
+
+/// IMDB stand-in: positive vs negative movie reviews.
+pub fn imdb(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef { name: "good", name_word: "great", core: "positive", domain: Some("movies") },
+        ClassDef { name: "bad", name_word: "terrible", core: "negative", domain: Some("movies") },
+    ];
+    let sizes = vec![scaled(500, scale); 2];
+    flat_dataset("imdb", &classes, &sizes, WorldConfig::default(), None, seed)
+}
+
+/// Amazon polarity stand-in: positive vs negative product reviews.
+pub fn amazon_polarity(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef { name: "good", name_word: "great", core: "positive", domain: Some("hardware") },
+        ClassDef { name: "bad", name_word: "terrible", core: "negative", domain: Some("hardware") },
+    ];
+    let sizes = vec![scaled(500, scale); 2];
+    flat_dataset("amazon", &classes, &sizes, WorldConfig::default(), None, seed)
+}
+
+/// DBpedia ontology stand-in: 14 balanced entity classes.
+pub fn dbpedia(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef::new("company", "ont_company"),
+        ClassDef::new("school", "ont_school"),
+        ClassDef { name: "artist", name_word: "painter", core: "ont_artist", domain: None },
+        ClassDef { name: "athlete", name_word: "competed", core: "ont_athlete", domain: None },
+        ClassDef { name: "politician", name_word: "elected", core: "ont_politician", domain: None },
+        ClassDef { name: "transportation", name_word: "aircraft", core: "ont_transport", domain: None },
+        ClassDef::new("building", "ont_building"),
+        ClassDef::new("river", "ont_river"),
+        ClassDef::new("village", "ont_village"),
+        ClassDef { name: "animal", name_word: "species", core: "ont_animal", domain: None },
+        ClassDef::new("plant", "ont_plant"),
+        ClassDef::new("album", "ont_album"),
+        ClassDef::new("film", "ont_film"),
+        ClassDef { name: "book", name_word: "novel", core: "ont_book", domain: None },
+    ];
+    let sizes = vec![scaled(130, scale); classes.len()];
+    flat_dataset("dbpedia", &classes, &sizes, WorldConfig::default(), None, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Metadata-rich recipes (MetaCat / Twitter / Amazon)
+// ---------------------------------------------------------------------------
+
+/// GitHub-Bio stand-in: 10 bioinformatics repo topics, small corpus, with
+/// user and tag metadata.
+pub fn github_bio(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef::with_domain("genetics", "bio_genetics", "software"),
+        ClassDef::with_domain("immunology", "bio_immunology", "software"),
+        ClassDef::with_domain("virology", "bio_virology", "software"),
+        ClassDef::with_domain("neuroscience", "bio_neuro", "software"),
+        ClassDef::with_domain("cardiology", "bio_cardio", "software"),
+        ClassDef::with_domain("oncology", "bio_oncology", "software"),
+        ClassDef::with_domain("imaging", "cs_vision", "software"),
+        ClassDef::with_domain("machine learning", "cs_ml", "software"),
+        ClassDef::with_domain("chemistry", "chemistry", "software"),
+        ClassDef::with_domain("ecology", "environment", "software"),
+    ];
+    let sizes = vec![scaled(70, scale); classes.len()];
+    flat_dataset(
+        "github-bio",
+        &classes,
+        &sizes,
+        WorldConfig::default(),
+        Some(&MetaConfig::social()),
+        seed,
+    )
+}
+
+/// GitHub-AI stand-in: 14 AI repo topics with user and tag metadata.
+pub fn github_ai(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef::with_domain("nlp", "cs_nlp", "software"),
+        ClassDef::with_domain("vision", "cs_vision", "software"),
+        ClassDef::with_domain("machine learning", "cs_ml", "software"),
+        ClassDef::with_domain("agents", "machine_intelligence", "software"),
+        ClassDef::with_domain("databases", "cs_db", "software"),
+        ClassDef::with_domain("systems", "cs_systems", "software"),
+        ClassDef::with_domain("networking", "cs_networking", "software"),
+        ClassDef::with_domain("theory", "cs_theory", "software"),
+        ClassDef::with_domain("security", "cybersecurity", "software"),
+        ClassDef::with_domain("web", "internet", "software"),
+        ClassDef::with_domain("hardware", "hardware", "software"),
+        ClassDef::with_domain("mathematics", "mathematics", "software"),
+        ClassDef::with_domain("physics", "physics", "software"),
+        ClassDef::with_domain("tooling", "software", "technology"),
+    ];
+    let sizes = vec![scaled(100, scale); classes.len()];
+    flat_dataset(
+        "github-ai",
+        &classes,
+        &sizes,
+        WorldConfig::default(),
+        Some(&MetaConfig::social()),
+        seed,
+    )
+}
+
+/// GitHub-Sec stand-in: 3 security repo topics, larger corpus.
+pub fn github_sec(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef::with_domain("security", "cybersecurity", "software"),
+        ClassDef::with_domain("web", "internet", "software"),
+        ClassDef::with_domain("tooling", "software", "technology"),
+    ];
+    let sizes = vec![scaled(800, scale); 3];
+    flat_dataset(
+        "github-sec",
+        &classes,
+        &sizes,
+        WorldConfig::default(),
+        Some(&MetaConfig::social()),
+        seed,
+    )
+}
+
+/// Amazon reviews stand-in with user/product metadata: 10 product categories.
+pub fn amazon_meta(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef::new("hardware", "hardware"),
+        ClassDef::new("software", "software"),
+        ClassDef { name: "books", name_word: "book", core: "books", domain: None },
+        ClassDef::new("music", "music"),
+        ClassDef { name: "movies", name_word: "film", core: "movies", domain: None },
+        ClassDef { name: "food", name_word: "restaurant", core: "dining", domain: None },
+        ClassDef::new("fashion", "fashion"),
+        ClassDef { name: "travel", name_word: "hotel", core: "travel", domain: None },
+        ClassDef { name: "nutrition", name_word: "diet", core: "nutrition", domain: None },
+        ClassDef::new("golf", "golf"),
+    ];
+    let sizes = vec![scaled(260, scale); classes.len()];
+    // Products act as venues: many per class, each doc reviews one product.
+    let meta = MetaConfig { users_per_class: 10, venues_per_class: 6, ..Default::default() };
+    flat_dataset("amazon-meta", &classes, &sizes, WorldConfig::default(), Some(&meta), seed)
+}
+
+/// Twitter stand-in: 9 hashtag topics, short documents, users + hashtags.
+pub fn twitter(scale: f32, seed: u64) -> Dataset {
+    let classes = [
+        ClassDef { name: "food", name_word: "restaurant", core: "dining", domain: None },
+        ClassDef::new("sports", "sports"),
+        ClassDef::new("music", "music"),
+        ClassDef { name: "movies", name_word: "film", core: "movies", domain: None },
+        ClassDef { name: "travel", name_word: "hotel", core: "travel", domain: None },
+        ClassDef::new("technology", "technology"),
+        ClassDef::new("politics", "politics"),
+        ClassDef::new("fashion", "fashion"),
+        ClassDef::new("health", "health"),
+    ];
+    let sizes = vec![scaled(260, scale); classes.len()];
+    let cfg = WorldConfig { doc_len_mean: 13.0, doc_len_std: 3.0, ..Default::default() };
+    flat_dataset("twitter", &classes, &sizes, cfg, Some(&MetaConfig::social()), seed)
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical (tree) recipes — WeSHClass
+// ---------------------------------------------------------------------------
+
+/// One internal node and its leaves for a tree recipe.
+type TreeDomain = (&'static str, &'static str, &'static [(&'static str, &'static str)]);
+
+/// Generic two-level tree dataset builder. Classes are all non-root nodes in
+/// insertion order (each domain followed by its leaves); each document's
+/// labels are `[domain_class, leaf_class]` — its root-to-leaf path.
+pub fn tree_dataset(
+    name: &str,
+    domains: &[TreeDomain],
+    docs_per_leaf: usize,
+    world_cfg: WorldConfig,
+    seed: u64,
+) -> Dataset {
+    let world = standard_world(world_cfg);
+    let general = world.pool("general").expect("general pool");
+    let mut rng = lrng::seeded(seed);
+
+    let mut taxonomy = Taxonomy::new("root");
+    let mut labels = LabelSet::default();
+    let mut class_nodes = Vec::new();
+    let mut specs = Vec::new();
+
+    for &(dom_name, dom_lex, leaves) in domains {
+        let dom_node = taxonomy.add_node(dom_name, &[0]);
+        let dom_class = class_nodes.len();
+        class_nodes.push(dom_node);
+        let (n, nw, kw, desc) =
+            label_entry(&world, &ClassDef::new(dom_name, dom_lex));
+        labels.names.push(n);
+        labels.name_words.push(nw);
+        labels.keywords.push(kw);
+        labels.descriptions.push(desc);
+
+        let dom_pool = world.pool(dom_lex).unwrap_or_else(|| panic!("pool {dom_lex}"));
+        for &(leaf_name, leaf_lex) in leaves {
+            let leaf_node = taxonomy.add_node(leaf_name, &[dom_node]);
+            let leaf_class = class_nodes.len();
+            class_nodes.push(leaf_node);
+            let (n, nw, kw, desc) =
+                label_entry(&world, &ClassDef::new(leaf_name, leaf_lex));
+            labels.names.push(n);
+            labels.name_words.push(nw);
+            labels.keywords.push(kw);
+            labels.descriptions.push(desc);
+
+            let leaf_pool = world.pool(leaf_lex).unwrap_or_else(|| panic!("pool {leaf_lex}"));
+            for _ in 0..docs_per_leaf {
+                let mut mix = vec![
+                    MixComponent { pool: leaf_pool, weight: 0.32 },
+                    MixComponent { pool: dom_pool, weight: 0.18 },
+                    MixComponent { pool: general, weight: 0.35 },
+                ];
+                // Leak words from a random sibling leaf.
+                if leaves.len() > 1 {
+                    let (other, _) = leaves[rng.gen_range(0..leaves.len())];
+                    if other != leaf_name {
+                        if let Some(op) = world.pool(
+                            leaves.iter().find(|&&(n, _)| n == other).unwrap().1,
+                        ) {
+                            mix.push(MixComponent { pool: op, weight: 0.15 });
+                        }
+                    }
+                }
+                specs.push((mix, vec![dom_class, leaf_class]));
+            }
+        }
+    }
+
+    let corpus = world.gen_corpus(&mut rng, &specs);
+    let (train_idx, test_idx) = split_indices(corpus.len(), 0.3, lrng::derive_seed(seed, 77));
+    Dataset {
+        name: name.to_string(),
+        corpus,
+        labels,
+        taxonomy: Some(taxonomy),
+        class_nodes,
+        train_idx,
+        test_idx,
+        meta: MetaStats::default(),
+    }
+}
+
+/// NYT hierarchy stand-in for WeSHClass: 3 sections x 3 subtopics.
+pub fn nyt_tree(scale: f32, seed: u64) -> Dataset {
+    let domains: &[TreeDomain] = &[
+        ("politics", "politics", &[("elections", "elections"), ("military", "military"), ("law", "law")]),
+        ("business", "business", &[("stocks", "stocks"), ("economy", "economy"), ("banking", "banking")]),
+        ("sports", "sports", &[("soccer", "soccer"), ("basketball", "basketball"), ("tennis", "tennis")]),
+    ];
+    tree_dataset("nyt-tree", domains, scaled(90, scale), WorldConfig::default(), seed)
+}
+
+/// arXiv hierarchy stand-in for WeSHClass: cs / math / physics.
+pub fn arxiv_tree(scale: f32, seed: u64) -> Dataset {
+    let domains: &[TreeDomain] = &[
+        ("computer science", "technology", &[
+            ("language", "cs_nlp"),
+            ("image", "cs_vision"),
+            ("learning", "cs_ml"),
+            ("database", "cs_db"),
+        ]),
+        ("mathematics", "mathematics", &[
+            ("algebra", "math_algebra"),
+            ("analysis", "math_analysis"),
+            ("combinatorics", "math_combinatorics"),
+        ]),
+        ("physics", "physics", &[
+            ("collider", "phys_hep"),
+            ("galaxy", "phys_astro"),
+            ("lattice", "phys_cond"),
+        ]),
+    ];
+    tree_dataset("arxiv-tree", domains, scaled(80, scale), WorldConfig::default(), seed)
+}
+
+/// Yelp hierarchy stand-in for WeSHClass: sentiment -> venue type.
+pub fn yelp_tree(scale: f32, seed: u64) -> Dataset {
+    let domains: &[TreeDomain] = &[
+        ("good", "positive", &[("restaurant", "dining"), ("hotel", "travel")]),
+        ("bad", "negative", &[("diner", "dining"), ("motel", "travel")]),
+    ];
+    // Leaf lexicons repeat across branches ("dining" under both sentiments),
+    // so the *parent* pool is what separates the top level — mirroring how
+    // Yelp review hierarchies share vocabulary across sentiment branches.
+    let world = standard_world(WorldConfig::default());
+    let general = world.pool("general").expect("general pool");
+    let mut rng = lrng::seeded(seed);
+
+    let mut taxonomy = Taxonomy::new("root");
+    let mut labels = LabelSet::default();
+    let mut class_nodes = Vec::new();
+    let mut specs = Vec::new();
+    for &(dom_name, dom_lex, leaves) in domains {
+        let dom_node = taxonomy.add_node(dom_name, &[0]);
+        let dom_class = class_nodes.len();
+        class_nodes.push(dom_node);
+        let (_, nw, kw, desc) = label_entry(&world, &ClassDef::new(dom_name, dom_lex));
+        labels.names.push(dom_name.to_string());
+        labels.name_words.push(nw);
+        labels.keywords.push(kw);
+        labels.descriptions.push(desc);
+        let dom_pool = world.pool(dom_lex).unwrap();
+        for &(leaf_name, leaf_lex) in leaves {
+            let leaf_node = taxonomy.add_node(leaf_name, &[dom_node]);
+            let leaf_class = class_nodes.len();
+            class_nodes.push(leaf_node);
+            let leaf_pool = world.pool(leaf_lex).unwrap();
+            let words = crate::synth::lexicon::lexicon(leaf_lex);
+            labels.names.push(leaf_name.to_string());
+            labels.name_words.push(vec![words[0].to_string()]);
+            labels.keywords.push(words.iter().take(3).map(|w| w.to_string()).collect());
+            labels.descriptions.push(format!("category {leaf_name} under {dom_name}"));
+            for _ in 0..scaled(110, scale) {
+                let mix = vec![
+                    MixComponent { pool: dom_pool, weight: 0.40 },
+                    MixComponent { pool: leaf_pool, weight: 0.28 },
+                    MixComponent { pool: general, weight: 0.32 },
+                ];
+                specs.push((mix, vec![dom_class, leaf_class]));
+            }
+        }
+    }
+    let corpus = world.gen_corpus(&mut rng, &specs);
+    let (train_idx, test_idx) = split_indices(corpus.len(), 0.3, lrng::derive_seed(seed, 77));
+    Dataset {
+        name: "yelp-tree".into(),
+        corpus,
+        labels,
+        taxonomy: Some(taxonomy),
+        class_nodes,
+        train_idx,
+        test_idx,
+        meta: MetaStats::default(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DAG multi-label recipes — TaxoClass / MICoL
+// ---------------------------------------------------------------------------
+
+/// Leaf spec for a DAG recipe: `(name, lexicon, parent indices)`.
+type DagLeaf = (&'static str, &'static str, &'static [usize]);
+
+/// Generic DAG multi-label dataset builder.
+///
+/// Documents carry 1–3 leaf labels (extra leaves biased toward siblings)
+/// plus all ancestor labels, matching TaxoClass's "multiple categories on
+/// different paths" setting.
+pub fn dag_dataset(
+    name: &str,
+    parents: &[(&'static str, &'static str)],
+    leaves: &[DagLeaf],
+    n_docs: usize,
+    meta_cfg: Option<&MetaConfig>,
+    seed: u64,
+) -> Dataset {
+    let world = standard_world(WorldConfig::default());
+    let general = world.pool("general").expect("general pool");
+    let mut rng = lrng::seeded(seed);
+
+    let mut taxonomy = Taxonomy::new("root");
+    let mut labels = LabelSet::default();
+    let mut class_nodes = Vec::new();
+
+    let mut parent_nodes = Vec::new();
+    for &(pname, plex) in parents {
+        let node = taxonomy.add_node(pname, &[0]);
+        parent_nodes.push(node);
+        class_nodes.push(node);
+        let (_, nw, kw, desc) = label_entry(&world, &ClassDef::new(pname, plex));
+        labels.names.push(pname.to_string());
+        labels.name_words.push(nw);
+        labels.keywords.push(kw);
+        labels.descriptions.push(desc);
+    }
+    let n_parents = parents.len();
+
+    let mut leaf_classes = Vec::new();
+    for &(lname, llex, lparents) in leaves {
+        let pnodes: Vec<usize> = lparents.iter().map(|&p| parent_nodes[p]).collect();
+        let node = taxonomy.add_node(lname, &pnodes);
+        leaf_classes.push(class_nodes.len());
+        class_nodes.push(node);
+        let (_, nw, kw, desc) = label_entry(&world, &ClassDef::new(lname, llex));
+        labels.names.push(lname.to_string());
+        labels.name_words.push(nw);
+        labels.keywords.push(kw);
+        labels.descriptions.push(desc);
+    }
+
+    let mut specs = Vec::with_capacity(n_docs);
+    for _ in 0..n_docs {
+        // Pick 1-3 leaves; extras prefer siblings (shared parent).
+        let first = rng.gen_range(0..leaves.len());
+        let mut chosen = vec![first];
+        let mut extra_p = 0.45f32;
+        while chosen.len() < 3 && rng.gen::<f32>() < extra_p {
+            let candidate = if rng.gen::<f32>() < 0.7 {
+                // Sibling of the first leaf.
+                let first_parents = leaves[first].2;
+                let sibs: Vec<usize> = (0..leaves.len())
+                    .filter(|&l| l != first && leaves[l].2.iter().any(|p| first_parents.contains(p)))
+                    .collect();
+                if sibs.is_empty() {
+                    rng.gen_range(0..leaves.len())
+                } else {
+                    sibs[rng.gen_range(0..sibs.len())]
+                }
+            } else {
+                rng.gen_range(0..leaves.len())
+            };
+            if !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+            extra_p *= 0.5;
+        }
+
+        let k = chosen.len() as f32;
+        let mut mix = vec![MixComponent { pool: general, weight: 0.33 }];
+        // Background contamination from one random unrelated leaf.
+        let noise_leaf = rng.gen_range(0..leaves.len());
+        if !chosen.contains(&noise_leaf) {
+            let np = world.pool(leaves[noise_leaf].1).unwrap();
+            mix.push(MixComponent { pool: np, weight: 0.12 });
+        }
+        let mut label_set = Vec::new();
+        for &l in &chosen {
+            let pool = world.pool(leaves[l].1).unwrap_or_else(|| panic!("pool {}", leaves[l].1));
+            mix.push(MixComponent { pool, weight: 0.5 / k });
+            label_set.push(leaf_classes[l]);
+            for &p in leaves[l].2 {
+                let ppool = world.pool(parents[p].1).unwrap();
+                mix.push(MixComponent { pool: ppool, weight: 0.17 / (k * leaves[l].2.len() as f32) });
+                if !label_set.contains(&p) {
+                    label_set.push(p);
+                }
+            }
+        }
+        debug_assert!(label_set.iter().all(|&c| c < n_parents + leaves.len()));
+        label_set.sort_unstable();
+        specs.push((mix, label_set));
+    }
+
+    let mut corpus = world.gen_corpus(&mut rng, &specs);
+    let meta = match meta_cfg {
+        Some(cfg) => attach_metadata(&mut corpus, labels.len(), cfg, &mut rng),
+        None => MetaStats::default(),
+    };
+    let (train_idx, test_idx) = split_indices(corpus.len(), 0.3, lrng::derive_seed(seed, 77));
+    Dataset {
+        name: name.to_string(),
+        corpus,
+        labels,
+        taxonomy: Some(taxonomy),
+        class_nodes,
+        train_idx,
+        test_idx,
+        meta,
+    }
+}
+
+/// Amazon product-taxonomy stand-in for TaxoClass: a DAG with a shared leaf.
+pub fn amazon_taxonomy(scale: f32, seed: u64) -> Dataset {
+    let parents: &[(&str, &str)] = &[
+        ("electronics", "technology"),
+        ("media", "arts"),
+        ("home", "dining"),
+    ];
+    let leaves: &[DagLeaf] = &[
+        ("hardware", "hardware", &[0]),
+        ("software", "software", &[0]),
+        ("security", "cybersecurity", &[0]),
+        ("streaming", "internet", &[0, 1]), // shared: electronics AND media
+        ("movies", "movies", &[1]),
+        ("music", "music", &[1]),
+        ("books", "books", &[1]),
+        ("kitchen", "dining", &[2]),
+        ("fashion", "fashion", &[2]),
+        ("travel gear", "travel", &[2]),
+        ("nutrition", "nutrition", &[2]),
+    ];
+    dag_dataset("amazon-taxonomy", parents, leaves, scaled(1400, scale), None, seed)
+}
+
+/// DBpedia-taxonomy stand-in for TaxoClass.
+pub fn dbpedia_taxonomy(scale: f32, seed: u64) -> Dataset {
+    let parents: &[(&str, &str)] = &[
+        ("organisation", "ont_company"),
+        ("person", "ont_politician"),
+        ("place", "ont_village"),
+        ("work", "ont_film"),
+        ("nature", "ont_animal"),
+    ];
+    let leaves: &[DagLeaf] = &[
+        ("company", "ont_company", &[0]),
+        ("school", "ont_school", &[0, 2]), // a school is an org and a place
+        ("artist", "ont_artist", &[1]),
+        ("athlete", "ont_athlete", &[1]),
+        ("politician", "ont_politician", &[1]),
+        ("building", "ont_building", &[2]),
+        ("river", "ont_river", &[2, 4]),
+        ("village", "ont_village", &[2]),
+        ("album", "ont_album", &[3]),
+        ("film", "ont_film", &[3]),
+        ("book", "ont_book", &[3]),
+        ("animal", "ont_animal", &[4]),
+        ("plant", "ont_plant", &[4]),
+    ];
+    dag_dataset("dbpedia-taxonomy", parents, leaves, scaled(1400, scale), None, seed)
+}
+
+/// MAG-CS stand-in for MICoL: multi-label CS papers with venues, authors and
+/// citations, and label descriptions.
+pub fn mag_cs(scale: f32, seed: u64) -> Dataset {
+    let parents: &[(&str, &str)] = &[
+        ("artificial intelligence", "machine_intelligence"),
+        ("computer systems", "cs_systems"),
+        ("theory", "cs_theory"),
+    ];
+    let leaves: &[DagLeaf] = &[
+        ("natural language processing", "cs_nlp", &[0]),
+        ("computer vision", "cs_vision", &[0]),
+        ("machine learning", "cs_ml", &[0, 2]),
+        ("databases", "cs_db", &[1]),
+        ("networking", "cs_networking", &[1]),
+        ("security", "cybersecurity", &[1]),
+        ("software engineering", "software", &[1]),
+        ("combinatorics", "math_combinatorics", &[2]),
+        ("algebra", "math_algebra", &[2]),
+    ];
+    dag_dataset(
+        "mag-cs",
+        parents,
+        leaves,
+        scaled(1600, scale),
+        Some(&MetaConfig::bibliographic()),
+        seed,
+    )
+}
+
+/// PubMed stand-in for MICoL: multi-label biomedical papers with metadata.
+pub fn pubmed(scale: f32, seed: u64) -> Dataset {
+    let parents: &[(&str, &str)] = &[
+        ("molecular biology", "bio_genetics"),
+        ("clinical medicine", "health"),
+    ];
+    let leaves: &[DagLeaf] = &[
+        ("genetics", "bio_genetics", &[0]),
+        ("immunology", "bio_immunology", &[0, 1]),
+        ("virology", "bio_virology", &[0, 1]),
+        ("neuroscience", "bio_neuro", &[0]),
+        ("cardiology", "bio_cardio", &[1]),
+        ("oncology", "bio_oncology", &[1]),
+        ("nutrition", "nutrition", &[1]),
+    ];
+    dag_dataset(
+        "pubmed",
+        parents,
+        leaves,
+        scaled(1600, scale),
+        Some(&MetaConfig::bibliographic()),
+        seed,
+    )
+}
+
+/// Look a recipe up by name (`agnews`, `nyt-fine`, `yelp`, ...).
+pub fn by_name(name: &str, scale: f32, seed: u64) -> Option<Dataset> {
+    let d = match name {
+        "agnews" => agnews(scale, seed),
+        "nyt-coarse" => nyt_coarse(scale, seed),
+        "nyt-small" => nyt_small(scale, seed),
+        "nyt-fine" => nyt_fine(scale, seed),
+        "nyt-topic" => nyt_topic(scale, seed),
+        "nyt-location" => nyt_location(scale, seed),
+        "20news-coarse" => news20_coarse(scale, seed),
+        "20news-fine" => news20_fine(scale, seed),
+        "yelp" => yelp(scale, seed),
+        "imdb" => imdb(scale, seed),
+        "amazon" => amazon_polarity(scale, seed),
+        "dbpedia" => dbpedia(scale, seed),
+        "github-bio" => github_bio(scale, seed),
+        "github-ai" => github_ai(scale, seed),
+        "github-sec" => github_sec(scale, seed),
+        "amazon-meta" => amazon_meta(scale, seed),
+        "twitter" => twitter(scale, seed),
+        "nyt-tree" => nyt_tree(scale, seed),
+        "arxiv-tree" => arxiv_tree(scale, seed),
+        "yelp-tree" => yelp_tree(scale, seed),
+        "amazon-taxonomy" => amazon_taxonomy(scale, seed),
+        "dbpedia-taxonomy" => dbpedia_taxonomy(scale, seed),
+        "mag-cs" => mag_cs(scale, seed),
+        "pubmed" => pubmed(scale, seed),
+        _ => return None,
+    };
+    Some(d)
+}
+
+/// All recipe names accepted by [`by_name`].
+pub const ALL_RECIPES: &[&str] = &[
+    "agnews", "nyt-coarse", "nyt-small", "nyt-fine", "nyt-topic", "nyt-location",
+    "20news-coarse", "20news-fine", "yelp", "imdb", "amazon", "dbpedia",
+    "github-bio", "github-ai", "github-sec", "amazon-meta", "twitter",
+    "nyt-tree", "arxiv-tree", "yelp-tree", "amazon-taxonomy", "dbpedia-taxonomy",
+    "mag-cs", "pubmed",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_recipes_build_at_tiny_scale() {
+        for name in ALL_RECIPES {
+            let d = by_name(name, 0.05, 1).unwrap();
+            assert!(!d.corpus.is_empty(), "{name} produced no docs");
+            assert!(d.n_classes() >= 2, "{name} has too few classes");
+            assert!(!d.test_idx.is_empty(), "{name} has no test split");
+            // Every doc's labels are in range.
+            for doc in &d.corpus.docs {
+                assert!(!doc.labels.is_empty(), "{name} has unlabeled docs");
+                assert!(doc.labels.iter().all(|&l| l < d.n_classes()));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_recipe_returns_none() {
+        assert!(by_name("not-a-dataset", 1.0, 1).is_none());
+    }
+
+    #[test]
+    fn recipes_are_deterministic() {
+        let a = agnews(0.05, 42);
+        let b = agnews(0.05, 42);
+        assert_eq!(a.corpus.docs.len(), b.corpus.docs.len());
+        for (x, y) in a.corpus.docs.iter().zip(&b.corpus.docs) {
+            assert_eq!(x.tokens, y.tokens);
+        }
+        let c = agnews(0.05, 43);
+        assert_ne!(
+            a.corpus.docs[0].tokens, c.corpus.docs[0].tokens,
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn label_names_resolve_to_vocab_tokens() {
+        for name in ["agnews", "nyt-fine", "dbpedia", "yelp"] {
+            let d = by_name(name, 0.05, 1).unwrap();
+            for (c, toks) in d.label_name_tokens().iter().enumerate() {
+                assert!(!toks.is_empty(), "{name} class {c} name has no in-vocab tokens");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_vocabulary_across_recipes_and_pretraining() {
+        let a = agnews(0.05, 1);
+        let b = yelp(0.05, 2);
+        let pre = pretraining_corpus(10, 3);
+        assert_eq!(a.corpus.vocab.len(), b.corpus.vocab.len());
+        assert_eq!(a.corpus.vocab.id("soccer"), pre.vocab.id("soccer"));
+        assert_eq!(b.corpus.vocab.id("terrible"), pre.vocab.id("terrible"));
+    }
+
+    #[test]
+    fn class_docs_are_topically_distinct() {
+        // Documents of class c should contain more of class c's keywords
+        // than documents of other classes — the core planted signal.
+        let d = agnews(0.2, 7);
+        let kw = d.keyword_tokens();
+        let mut per_class_hits = vec![vec![0f32; d.n_classes()]; d.n_classes()];
+        let mut per_class_docs = vec![0usize; d.n_classes()];
+        for doc in &d.corpus.docs {
+            let c = doc.labels[0];
+            per_class_docs[c] += 1;
+            for (k, kws) in kw.iter().enumerate() {
+                let hits = doc.tokens.iter().filter(|t| kws.contains(t)).count();
+                per_class_hits[c][k] += hits as f32;
+            }
+        }
+        for c in 0..d.n_classes() {
+            for k in 0..d.n_classes() {
+                per_class_hits[c][k] /= per_class_docs[c] as f32;
+            }
+            let own = per_class_hits[c][c];
+            for k in 0..d.n_classes() {
+                if k != c {
+                    assert!(
+                        own > per_class_hits[c][k] * 2.0,
+                        "class {c} not distinct from {k}: {own} vs {}",
+                        per_class_hits[c][k]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn imbalanced_recipes_report_expected_ratio() {
+        let d = nyt_topic(0.3, 5);
+        assert!(d.imbalance() > 5.0, "imbalance {}", d.imbalance());
+        let balanced = agnews(0.1, 5);
+        assert!((balanced.imbalance() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn tree_recipes_have_path_labels() {
+        let d = nyt_tree(0.1, 3);
+        let tax = d.taxonomy.as_ref().unwrap();
+        assert!(tax.is_tree());
+        for doc in &d.corpus.docs {
+            assert_eq!(doc.labels.len(), 2);
+            let parent_node = d.class_nodes[doc.labels[0]];
+            let leaf_node = d.class_nodes[doc.labels[1]];
+            assert_eq!(tax.parents(leaf_node), &[parent_node]);
+        }
+    }
+
+    #[test]
+    fn dag_recipes_are_multilabel_with_ancestor_closure() {
+        let d = amazon_taxonomy(0.1, 3);
+        let tax = d.taxonomy.as_ref().unwrap();
+        assert!(!tax.is_tree());
+        let mut any_multileaf = false;
+        for doc in &d.corpus.docs {
+            // Every leaf label's parents must also be labels.
+            for &l in &doc.labels {
+                let node = d.class_nodes[l];
+                for &p in tax.parents(node) {
+                    if p != 0 {
+                        let pc = d.class_nodes.iter().position(|&n| n == p).unwrap();
+                        assert!(doc.labels.contains(&pc), "missing ancestor label");
+                    }
+                }
+            }
+            let n_leaves = doc
+                .labels
+                .iter()
+                .filter(|&&l| tax.is_leaf(d.class_nodes[l]))
+                .count();
+            if n_leaves > 1 {
+                any_multileaf = true;
+            }
+        }
+        assert!(any_multileaf, "expected some docs with multiple leaf labels");
+    }
+
+    #[test]
+    fn bibliographic_recipes_have_metadata() {
+        let d = mag_cs(0.05, 2);
+        assert!(d.meta.n_venues > 0 && d.meta.n_authors > 0);
+        let with_refs = d.corpus.docs.iter().filter(|doc| !doc.refs.is_empty()).count();
+        assert!(with_refs > d.corpus.len() / 2);
+        assert!(!d.labels.descriptions[0].is_empty());
+    }
+
+    #[test]
+    fn twitter_docs_are_short() {
+        let d = twitter(0.05, 2);
+        let avg: f32 = d.corpus.docs.iter().map(|x| x.tokens.len() as f32).sum::<f32>()
+            / d.corpus.len() as f32;
+        assert!(avg < 20.0, "avg len {avg}");
+    }
+}

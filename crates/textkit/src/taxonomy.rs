@@ -1,0 +1,252 @@
+//! Label taxonomies: trees (WeSHClass) and DAGs (TaxoClass).
+//!
+//! A taxonomy is a set of nodes with parent links. Node 0 by convention is
+//! the virtual root. Trees restrict every node to a single parent; DAGs
+//! allow several. Leaf categories, levels, paths and descendant queries are
+//! what the hierarchical methods need.
+
+use serde::{Deserialize, Serialize};
+
+/// A node id within a [`Taxonomy`].
+pub type NodeId = usize;
+
+/// A label hierarchy rooted at node 0.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Taxonomy {
+    names: Vec<String>,
+    parents: Vec<Vec<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+}
+
+impl Taxonomy {
+    /// Create a taxonomy containing only the root node.
+    pub fn new(root_name: &str) -> Self {
+        Taxonomy {
+            names: vec![root_name.to_string()],
+            parents: vec![Vec::new()],
+            children: vec![Vec::new()],
+        }
+    }
+
+    /// Add a node under one or more parents; returns its id.
+    ///
+    /// # Panics
+    /// Panics if `parents` is empty or references an unknown node (cycles are
+    /// impossible because a parent must already exist).
+    pub fn add_node(&mut self, name: &str, parents: &[NodeId]) -> NodeId {
+        assert!(!parents.is_empty(), "a non-root node needs at least one parent");
+        let id = self.names.len();
+        for &p in parents {
+            assert!(p < id, "parent {p} does not exist");
+            self.children[p].push(id);
+        }
+        self.names.push(name.to_string());
+        self.parents.push(parents.to_vec());
+        self.children.push(Vec::new());
+        id
+    }
+
+    /// The root node id (always 0).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Number of nodes, including the root.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() == 1
+    }
+
+    /// Node name.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id]
+    }
+
+    /// Find a node by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Direct children of a node.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.children[id]
+    }
+
+    /// Direct parents of a node (empty only for the root).
+    pub fn parents(&self, id: NodeId) -> &[NodeId] {
+        &self.parents[id]
+    }
+
+    /// True if the node has no children.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.children[id].is_empty()
+    }
+
+    /// All leaf node ids.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        (0..self.len()).filter(|&i| self.is_leaf(i)).collect()
+    }
+
+    /// All non-root node ids.
+    pub fn non_root_nodes(&self) -> Vec<NodeId> {
+        (1..self.len()).collect()
+    }
+
+    /// Depth of a node: root is 0; for DAG nodes, the shortest distance.
+    pub fn level(&self, id: NodeId) -> usize {
+        let mut depth = 0;
+        let mut frontier = vec![id];
+        let mut visited = vec![false; self.len()];
+        while !frontier.iter().any(|&n| n == 0) {
+            let mut next = Vec::new();
+            for &n in &frontier {
+                for &p in &self.parents[n] {
+                    if !visited[p] {
+                        visited[p] = true;
+                        next.push(p);
+                    }
+                }
+            }
+            frontier = next;
+            depth += 1;
+            assert!(depth <= self.len(), "taxonomy parent links are inconsistent");
+        }
+        depth
+    }
+
+    /// Maximum leaf depth.
+    pub fn max_depth(&self) -> usize {
+        self.leaves().iter().map(|&l| self.level(l)).max().unwrap_or(0)
+    }
+
+    /// Node ids at exactly `level` (root = level 0).
+    pub fn nodes_at_level(&self, level: usize) -> Vec<NodeId> {
+        (0..self.len()).filter(|&i| self.level(i) == level).collect()
+    }
+
+    /// All descendants of `id` (excluding itself), in BFS order.
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut seen = vec![false; self.len()];
+        let mut queue = std::collections::VecDeque::from(vec![id]);
+        while let Some(n) = queue.pop_front() {
+            for &c in &self.children[n] {
+                if !seen[c] {
+                    seen[c] = true;
+                    out.push(c);
+                    queue.push_back(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// All ancestors of `id` up to (and excluding) the root.
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut seen = vec![false; self.len()];
+        let mut queue = std::collections::VecDeque::from(vec![id]);
+        while let Some(n) = queue.pop_front() {
+            for &p in &self.parents[n] {
+                if p != 0 && !seen[p] {
+                    seen[p] = true;
+                    out.push(p);
+                    queue.push_back(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// The root-to-node path for a **tree** taxonomy (single parents),
+    /// excluding the root, ending at `id`.
+    pub fn path_from_root(&self, id: NodeId) -> Vec<NodeId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(&p) = self.parents[cur].first() {
+            if p == 0 {
+                break;
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// True if every non-root node has exactly one parent.
+    pub fn is_tree(&self) -> bool {
+        self.parents.iter().skip(1).all(|p| p.len() == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> Taxonomy {
+        let mut t = Taxonomy::new("root");
+        let cs = t.add_node("cs", &[0]);
+        let math = t.add_node("math", &[0]);
+        t.add_node("cs.lg", &[cs]);
+        t.add_node("cs.cl", &[cs]);
+        t.add_node("math.co", &[math]);
+        t
+    }
+
+    #[test]
+    fn leaves_and_levels() {
+        let t = sample_tree();
+        assert_eq!(t.leaves(), vec![3, 4, 5]);
+        assert_eq!(t.level(0), 0);
+        assert_eq!(t.level(1), 1);
+        assert_eq!(t.level(3), 2);
+        assert_eq!(t.max_depth(), 2);
+        assert!(t.is_tree());
+    }
+
+    #[test]
+    fn path_from_root_for_tree() {
+        let t = sample_tree();
+        let cl = t.find("cs.cl").unwrap();
+        assert_eq!(t.path_from_root(cl), vec![1, cl]);
+    }
+
+    #[test]
+    fn descendants_bfs() {
+        let t = sample_tree();
+        assert_eq!(t.descendants(1), vec![3, 4]);
+        assert_eq!(t.descendants(0).len(), 5);
+    }
+
+    #[test]
+    fn dag_nodes_can_have_multiple_parents() {
+        let mut t = Taxonomy::new("root");
+        let a = t.add_node("ml", &[0]);
+        let b = t.add_node("bio", &[0]);
+        let shared = t.add_node("bioinformatics", &[a, b]);
+        assert!(!t.is_tree());
+        assert_eq!(t.parents(shared), &[a, b]);
+        assert_eq!(t.level(shared), 2);
+        let anc = t.ancestors(shared);
+        assert!(anc.contains(&a) && anc.contains(&b));
+    }
+
+    #[test]
+    fn nodes_at_level_partitions_tree() {
+        let t = sample_tree();
+        assert_eq!(t.nodes_at_level(1), vec![1, 2]);
+        assert_eq!(t.nodes_at_level(2), vec![3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parent")]
+    fn unknown_parent_panics() {
+        let mut t = Taxonomy::new("root");
+        t.add_node("x", &[7]);
+    }
+}

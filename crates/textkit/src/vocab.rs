@@ -1,0 +1,171 @@
+//! Interned word-level vocabulary.
+//!
+//! The synthetic worlds in this workspace have closed vocabularies, so a
+//! word-level vocabulary (rather than subword units) is exact: every token a
+//! method will ever see has an id. Five special tokens occupy the first ids,
+//! matching the conventions the mini-PLM relies on.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Token id type used throughout the workspace.
+pub type TokenId = u32;
+
+/// Padding token, id 0.
+pub const PAD: TokenId = 0;
+/// Unknown token, id 1.
+pub const UNK: TokenId = 1;
+/// Mask token for MLM, id 2.
+pub const MASK: TokenId = 2;
+/// Classification token, id 3.
+pub const CLS: TokenId = 3;
+/// Separator token, id 4.
+pub const SEP: TokenId = 4;
+/// Number of reserved special tokens.
+pub const N_SPECIAL: usize = 5;
+
+/// An interned vocabulary with frequency counts.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Vocab {
+    words: Vec<String>,
+    index: HashMap<String, TokenId>,
+    counts: Vec<u64>,
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vocab {
+    /// A vocabulary containing only the special tokens.
+    pub fn new() -> Self {
+        let mut v = Vocab { words: Vec::new(), index: HashMap::new(), counts: Vec::new() };
+        for s in ["[PAD]", "[UNK]", "[MASK]", "[CLS]", "[SEP]"] {
+            v.intern(s);
+        }
+        v
+    }
+
+    /// Intern `word`, returning its id (existing or fresh).
+    pub fn intern(&mut self, word: &str) -> TokenId {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        let id = self.words.len() as TokenId;
+        self.words.push(word.to_string());
+        self.index.insert(word.to_string(), id);
+        self.counts.push(0);
+        id
+    }
+
+    /// Look up a word; `None` if absent.
+    pub fn id(&self, word: &str) -> Option<TokenId> {
+        self.index.get(word).copied()
+    }
+
+    /// Look up a word, falling back to `[UNK]`.
+    pub fn id_or_unk(&self, word: &str) -> TokenId {
+        self.id(word).unwrap_or(UNK)
+    }
+
+    /// The surface form of a token id.
+    pub fn word(&self, id: TokenId) -> &str {
+        &self.words[id as usize]
+    }
+
+    /// Total number of entries including special tokens.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when only special tokens are present.
+    pub fn is_empty(&self) -> bool {
+        self.words.len() <= N_SPECIAL
+    }
+
+    /// Record one occurrence of `id` (used when building corpora).
+    pub fn bump(&mut self, id: TokenId) {
+        self.counts[id as usize] += 1;
+    }
+
+    /// Corpus frequency of `id`.
+    pub fn count(&self, id: TokenId) -> u64 {
+        self.counts[id as usize]
+    }
+
+    /// Iterate over `(id, word)` pairs for non-special entries.
+    pub fn iter_words(&self) -> impl Iterator<Item = (TokenId, &str)> {
+        self.words
+            .iter()
+            .enumerate()
+            .skip(N_SPECIAL)
+            .map(|(i, w)| (i as TokenId, w.as_str()))
+    }
+
+    /// True if `id` is one of the reserved special tokens.
+    pub fn is_special(id: TokenId) -> bool {
+        (id as usize) < N_SPECIAL
+    }
+
+    /// Unigram distribution over the whole vocabulary raised to `power`
+    /// (word2vec uses 0.75 for negative sampling). Special tokens get zero.
+    pub fn unigram_weights(&self, power: f32) -> Vec<f32> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if i < N_SPECIAL { 0.0 } else { (c as f32).powf(power) })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_tokens_have_reserved_ids() {
+        let v = Vocab::new();
+        assert_eq!(v.id("[PAD]"), Some(PAD));
+        assert_eq!(v.id("[MASK]"), Some(MASK));
+        assert_eq!(v.len(), N_SPECIAL);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("soccer");
+        let b = v.intern("soccer");
+        assert_eq!(a, b);
+        assert_eq!(v.word(a), "soccer");
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn id_or_unk_falls_back() {
+        let v = Vocab::new();
+        assert_eq!(v.id_or_unk("missing"), UNK);
+    }
+
+    #[test]
+    fn unigram_weights_zero_for_specials() {
+        let mut v = Vocab::new();
+        let id = v.intern("goal");
+        v.bump(id);
+        v.bump(id);
+        let w = v.unigram_weights(0.75);
+        assert_eq!(w[PAD as usize], 0.0);
+        assert!((w[id as usize] - 2.0f32.powf(0.75)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iter_words_skips_specials() {
+        let mut v = Vocab::new();
+        v.intern("a");
+        v.intern("b");
+        let words: Vec<&str> = v.iter_words().map(|(_, w)| w).collect();
+        assert_eq!(words, vec!["a", "b"]);
+    }
+}

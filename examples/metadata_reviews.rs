@@ -1,0 +1,51 @@
+//! Categorizing metadata-rich documents from a handful of labels.
+//!
+//! A GitHub-style corpus where every "repository" has a posting user and
+//! descriptive tags, and only five labeled documents exist per category.
+//! MetaCat embeds text, labels and metadata into one space, synthesizes
+//! training documents from the generative model, and beats both the
+//! text-only and the graph-only views of the same data.
+//!
+//! ```bash
+//! cargo run --release --example metadata_reviews
+//! ```
+
+use structmine::metacat::{MetaCat, SignalSet};
+use structmine_eval::{accuracy, macro_f1};
+use structmine_text::synth::meta::user_label_agreement;
+use structmine_text::synth::recipes;
+
+fn main() {
+    let data = recipes::github_bio(0.5, 9);
+    println!(
+        "{} repos, {} categories, {} users, {} tags",
+        data.corpus.len(),
+        data.n_classes(),
+        data.meta.n_users,
+        data.meta.n_tags,
+    );
+    println!(
+        "user→label agreement in the corpus: {:.2} (the signal MetaCat exploits)\n",
+        user_label_agreement(&data.corpus, data.meta.n_users / data.n_classes())
+    );
+
+    let sup = data.supervision_docs(5, 1);
+    println!("supervision: {} labeled documents total\n", sup.labeled_docs().unwrap().len());
+
+    let gold = data.test_gold();
+    let eval = |preds: &[usize]| {
+        let test: Vec<usize> = data.test_idx.iter().map(|&i| preds[i]).collect();
+        (accuracy(&test, &gold), macro_f1(&test, &gold, data.n_classes()))
+    };
+
+    let metacat = MetaCat::default();
+    for (name, signals) in [
+        ("text-only  (PTE-style)", SignalSet::TextOnly),
+        ("graph-only (metapath2vec-style)", SignalSet::GraphOnly),
+        ("MetaCat    (text + metadata + labels)", SignalSet::Full),
+    ] {
+        let out = metacat.run_with_signals(&data, &sup, signals);
+        let (micro, macro_) = eval(&out.predictions);
+        println!("{name:40} micro-F1 {micro:.3}  macro-F1 {macro_:.3}");
+    }
+}

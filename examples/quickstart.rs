@@ -1,0 +1,67 @@
+//! Quickstart: weakly-supervised classification with label names only.
+//!
+//! Builds a synthetic AG-News-style corpus, grabs a pretrained mini-PLM,
+//! runs X-Class (no labeled documents — just the four category names), and
+//! prints the accuracy plus a few classified documents.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use structmine::xclass::XClass;
+use structmine_eval::accuracy;
+use structmine_plm::cache::{pretrained, Tier};
+use structmine_text::synth::recipes;
+
+fn main() {
+    // 1. A corpus with four topical classes (world / sports / business /
+    //    technology). Only the *names* of the classes are given to the
+    //    method — no labeled documents, no keyword lists.
+    let data = recipes::agnews(0.15, 42);
+    println!(
+        "corpus: {} docs, {} classes, vocabulary {}",
+        data.corpus.len(),
+        data.n_classes(),
+        data.corpus.vocab.len()
+    );
+
+    // 2. The pretrained language model. `Tier::Test` is a small fast model
+    //    (pretrained once, cached on disk); switch to `Tier::Standard` for
+    //    benchmark-quality numbers.
+    let plm = pretrained(Tier::Test, 0);
+    println!("PLM: {} params, d_model={}", plm.store().n_scalars(), plm.config.d_model);
+
+    // 3. Classify with X-Class.
+    let out = XClass::default().run(&data, &plm);
+
+    // 4. Score on the held-out split.
+    let test_preds: Vec<usize> = data.test_idx.iter().map(|&i| out.predictions[i]).collect();
+    let acc = accuracy(&test_preds, &data.test_gold());
+    println!("\nX-Class accuracy with label names only: {acc:.3}");
+
+    // 5. Show a few classified documents.
+    println!("\nsample predictions:");
+    for &i in data.test_idx.iter().take(5) {
+        let doc = &data.corpus.docs[i];
+        let text: String = data
+            .corpus
+            .render(i)
+            .split_whitespace()
+            .take(12)
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "  [{}] (gold {}) \"{text}…\"",
+            data.labels.names[out.predictions[i]],
+            data.labels.names[doc.labels[0]],
+        );
+    }
+
+    // 6. The class representations X-Class discovered.
+    println!("\ndiscovered class words:");
+    for (c, words) in out.class_words.iter().enumerate() {
+        let rendered: Vec<&str> =
+            words.iter().take(6).map(|&t| data.corpus.vocab.word(t)).collect();
+        println!("  {}: {}", data.labels.names[c], rendered.join(", "));
+    }
+}

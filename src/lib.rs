@@ -1,0 +1,15 @@
+//! Umbrella crate for the `structmine` workspace: re-exports the public API of
+//! every member crate so examples and integration tests have one import root.
+//!
+//! Library users should depend on the individual crates (`structmine`,
+//! `structmine-text`, ...) directly; this crate exists for the repository's
+//! own examples and cross-crate integration tests.
+
+pub use structmine as core;
+pub use structmine_cluster as cluster;
+pub use structmine_embed as embed;
+pub use structmine_eval as eval;
+pub use structmine_linalg as linalg;
+pub use structmine_nn as nn;
+pub use structmine_plm as plm;
+pub use structmine_text as text;

@@ -1,0 +1,102 @@
+//! Integration tests for the hierarchical and multi-label methods:
+//! structural invariants that must hold regardless of accuracy.
+
+use structmine::prelude::*;
+use structmine_plm::cache::{pretrained, Tier};
+use structmine_text::synth::recipes;
+
+#[test]
+fn weshclass_paths_are_always_valid_tree_paths() {
+    let d = recipes::arxiv_tree(0.08, 301);
+    let wv = structmine_embed::Sgns::train(
+        &d.corpus,
+        &structmine_embed::SgnsConfig { epochs: 3, dim: 24, ..Default::default() },
+    );
+    let out = WeSHClass { pseudo_per_class: 20, ..Default::default() }.run(
+        &d,
+        &d.supervision_keywords(),
+        &wv,
+    );
+    let tax = d.taxonomy.as_ref().unwrap();
+    for path in &out.path_predictions {
+        assert!(!path.is_empty());
+        // Each consecutive pair must be parent→child in the taxonomy.
+        for w in path.windows(2) {
+            let parent_node = d.class_nodes[w[0]];
+            let child_node = d.class_nodes[w[1]];
+            assert!(
+                tax.parents(child_node).contains(&parent_node),
+                "broken path {path:?}"
+            );
+        }
+        // Leaf of path must be a taxonomy leaf.
+        assert!(tax.is_leaf(d.class_nodes[*path.last().unwrap()]));
+    }
+}
+
+#[test]
+fn taxoclass_outputs_are_ancestor_closed_and_contain_top1() {
+    let d = recipes::dbpedia_taxonomy(0.06, 302);
+    let plm = pretrained(Tier::Test, 0);
+    let out = TaxoClass { self_train_iters: 0, ..Default::default() }.run(&d, &plm);
+    let tax = d.taxonomy.as_ref().unwrap();
+    for (i, set) in out.label_sets.iter().enumerate() {
+        assert!(set.contains(&out.top1[i]), "top1 not in label set");
+        for &c in set {
+            for anc in tax.ancestors(d.class_nodes[c]) {
+                let ac = d.class_nodes.iter().position(|&n| n == anc).unwrap();
+                assert!(set.contains(&ac), "ancestor {ac} missing from {set:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn micol_rankings_are_permutations_of_the_label_space() {
+    let d = recipes::pubmed(0.06, 303);
+    let plm = pretrained(Tier::Test, 0);
+    for encoder in [
+        structmine::micol::Encoder::Bi,
+        structmine::micol::Encoder::Cross,
+    ] {
+        let rankings = MiCoL { encoder, ..Default::default() }.run(&d, &plm);
+        assert_eq!(rankings.len(), d.corpus.len());
+        for r in rankings.iter().take(20) {
+            let mut sorted = r.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..d.n_classes()).collect::<Vec<_>>());
+        }
+    }
+}
+
+#[test]
+fn hierarchy_supervision_modes_agree_on_structure() {
+    // KEYWORDS and DOCS supervision must both produce valid paths on the
+    // same tree (quality differs; structure must not).
+    let d = recipes::nyt_tree(0.08, 304);
+    let wv = structmine_embed::Sgns::train(
+        &d.corpus,
+        &structmine_embed::SgnsConfig { epochs: 3, dim: 24, ..Default::default() },
+    );
+    for sup in [d.supervision_keywords(), d.supervision_docs(3, 1)] {
+        let out = WeSHClass { pseudo_per_class: 15, ..Default::default() }.run(&d, &sup, &wv);
+        assert_eq!(out.path_predictions.len(), d.corpus.len());
+        assert!(out.path_predictions.iter().all(|p| p.len() == 2));
+    }
+}
+
+#[test]
+fn metacat_signal_sets_produce_valid_predictions() {
+    let d = recipes::twitter(0.08, 305);
+    let sup = d.supervision_docs(4, 2);
+    let cfg = MetaCat { samples: 30_000, ..Default::default() };
+    for signals in [
+        structmine::metacat::SignalSet::Full,
+        structmine::metacat::SignalSet::TextOnly,
+        structmine::metacat::SignalSet::GraphOnly,
+    ] {
+        let out = cfg.run_with_signals(&d, &sup, signals);
+        assert_eq!(out.predictions.len(), d.corpus.len());
+        assert!(out.predictions.iter().all(|&c| c < d.n_classes()));
+    }
+}

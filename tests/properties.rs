@@ -1,0 +1,129 @@
+//! Property-based integration tests: invariants that must hold for
+//! arbitrary inputs across crate boundaries.
+
+use proptest::prelude::*;
+use structmine_linalg::Matrix;
+use structmine_nn::selftrain::target_distribution;
+use structmine_text::synth::world::{MixComponent, World, WorldConfig};
+use structmine_text::synth::{recipes, standard_world};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated dataset satisfies basic structural invariants.
+    #[test]
+    fn recipes_are_structurally_sound(
+        recipe_idx in 0usize..recipes::ALL_RECIPES.len(),
+        seed in 1u64..50,
+    ) {
+        let name = recipes::ALL_RECIPES[recipe_idx];
+        let d = recipes::by_name(name, 0.05, seed).unwrap();
+        // Splits partition the corpus.
+        let mut all: Vec<usize> = d.train_idx.iter().chain(&d.test_idx).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..d.corpus.len()).collect::<Vec<_>>());
+        // Labels in range; label metadata parallel arrays agree.
+        prop_assert_eq!(d.labels.names.len(), d.labels.keywords.len());
+        prop_assert_eq!(d.labels.names.len(), d.labels.descriptions.len());
+        for doc in &d.corpus.docs {
+            prop_assert!(doc.labels.iter().all(|&l| l < d.n_classes()));
+            for &r in &doc.refs {
+                prop_assert!(r < d.corpus.len());
+            }
+        }
+        // Taxonomy class nodes map 1:1 onto non-root nodes when present.
+        if let Some(tax) = &d.taxonomy {
+            prop_assert_eq!(d.class_nodes.len(), d.n_classes());
+            for &n in &d.class_nodes {
+                prop_assert!(n > 0 && n < tax.len());
+            }
+        }
+    }
+
+    /// The self-training target distribution always yields valid rows and
+    /// never decreases the argmax probability.
+    #[test]
+    fn target_distribution_is_valid_for_random_predictions(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0.01f32..1.0, 4), 1..12),
+    ) {
+        let n = rows.len();
+        let mut p = Matrix::zeros(n, 4);
+        for (i, row) in rows.iter().enumerate() {
+            let sum: f32 = row.iter().sum();
+            for (j, v) in row.iter().enumerate() {
+                p.set(i, j, v / sum);
+            }
+        }
+        let t = target_distribution(&p);
+        for i in 0..n {
+            let sum: f32 = t.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(t.row(i).iter().all(|&v| (0.0..=1.0 + 1e-5).contains(&v)));
+        }
+    }
+
+    /// Generated documents only contain tokens from their mixture pools.
+    #[test]
+    fn world_generation_respects_pools(seed in 0u64..500, len in 8usize..64) {
+        let world = standard_world(WorldConfig::default());
+        let soccer = world.pool("soccer").unwrap();
+        let general = world.pool("general").unwrap();
+        let mix = [
+            MixComponent { pool: soccer, weight: 0.7 },
+            MixComponent { pool: general, weight: 0.3 },
+        ];
+        let mut rng = structmine_linalg::rng::seeded(seed);
+        let doc = world.gen_doc_with_len(&mut rng, &mix, len);
+        prop_assert_eq!(doc.len(), len);
+        let allowed: std::collections::HashSet<_> = world
+            .pool_tokens(soccer)
+            .iter()
+            .chain(world.pool_tokens(general))
+            .collect();
+        prop_assert!(doc.iter().all(|t| allowed.contains(t)));
+    }
+
+    /// Vocabulary interning is stable: the same word never maps to two ids,
+    /// and every id round-trips through its surface form.
+    #[test]
+    fn vocab_round_trips(words in proptest::collection::vec("[a-z]{1,8}", 1..40)) {
+        let mut vocab = structmine_text::Vocab::new();
+        let ids: Vec<u32> = words.iter().map(|w| vocab.intern(w)).collect();
+        for (w, &id) in words.iter().zip(&ids) {
+            prop_assert_eq!(vocab.id(w), Some(id));
+            prop_assert_eq!(vocab.word(id), w.as_str());
+        }
+    }
+
+    /// Splitting is deterministic and respects the requested fraction.
+    #[test]
+    fn split_fraction_is_respected(n in 10usize..500, frac in 0.1f32..0.5) {
+        let (train, test) = structmine_text::synth::dataset::split_indices(n, frac, 1);
+        let expected = ((n as f32) * frac).round() as usize;
+        prop_assert_eq!(test.len(), expected);
+        prop_assert_eq!(train.len(), n - expected);
+    }
+}
+
+#[test]
+fn world_polysemes_share_ids_across_all_recipes() {
+    // The polysemy invariant the ConWea experiments rely on: one token id
+    // for "penalty" across every dataset built from the standard world.
+    let a = recipes::agnews(0.05, 1);
+    let b = recipes::news20_fine(0.05, 2);
+    let penalty_a = a.corpus.vocab.id("penalty");
+    let penalty_b = b.corpus.vocab.id("penalty");
+    assert!(penalty_a.is_some());
+    assert_eq!(penalty_a, penalty_b);
+}
+
+#[test]
+fn world_rejects_duplicate_pools() {
+    let mut w = World::new(WorldConfig::default());
+    w.add_pool("x", &["a"]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        w.add_pool("x", &["b"]);
+    }));
+    assert!(result.is_err());
+}
