@@ -22,7 +22,11 @@ fn bench_substrates(c: &mut Criterion) {
         b.iter(|| {
             structmine_embed::Sgns::train(
                 &d.corpus,
-                &structmine_embed::SgnsConfig { epochs: 1, dim: 16, ..Default::default() },
+                &structmine_embed::SgnsConfig {
+                    epochs: 1,
+                    dim: 16,
+                    ..Default::default()
+                },
             )
         })
     });
@@ -30,6 +34,25 @@ fn bench_substrates(c: &mut Criterion) {
     c.bench_function("kmeans_doc_reps", |b| {
         b.iter(|| structmine_cluster::kmeans(&reps, 4, 1, 50, None))
     });
+}
+
+/// Batched corpus encoding at fixed thread counts. The output is bitwise
+/// identical across the counts (deterministic chunking), so this measures
+/// pure scaling of the PLM inference layer.
+fn bench_parallel_encode(c: &mut Criterion) {
+    let plm = standard_plm();
+    let d = recipes::agnews(SCALE, 1);
+    let mut group = c.benchmark_group("parallel_encode");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for threads in [1usize, 2, 4] {
+        let policy = structmine_linalg::ExecPolicy::with_threads(threads);
+        group.bench_function(&format!("encode_corpus_t{threads}"), |b| {
+            b.iter(|| std::hint::black_box(plm.encode_corpus(&d.corpus, &policy)))
+        });
+    }
+    group.finish();
 }
 
 fn bench_flat_methods(c: &mut Criterion) {
@@ -43,15 +66,21 @@ fn bench_flat_methods(c: &mut Criterion) {
         let d = recipes::agnews(SCALE, 1);
         let wv = standard_word_vectors(&d);
         b.iter(|| {
-            WeSTClass { pseudo_per_class: 30, ..Default::default() }
-                .run(&d, &d.supervision_names(), &wv)
+            WeSTClass {
+                pseudo_per_class: 30,
+                ..Default::default()
+            }
+            .run(&d, &d.supervision_names(), &wv)
         })
     });
     group.bench_function("conwea_agnews", |b| {
         let d = recipes::agnews(SCALE, 1);
         b.iter(|| {
-            ConWea { iterations: 1, ..Default::default() }
-                .run(&d, &d.supervision_keywords(), &plm)
+            ConWea {
+                iterations: 1,
+                ..Default::default()
+            }
+            .run(&d, &d.supervision_keywords(), &plm)
         })
     });
     group.bench_function("lotclass_agnews", |b| {
@@ -64,7 +93,13 @@ fn bench_flat_methods(c: &mut Criterion) {
     });
     group.bench_function("promptclass_agnews", |b| {
         let d = recipes::agnews(SCALE, 1);
-        b.iter(|| PromptClass { iterations: 1, ..Default::default() }.run(&d, &plm))
+        b.iter(|| {
+            PromptClass {
+                iterations: 1,
+                ..Default::default()
+            }
+            .run(&d, &plm)
+        })
     });
     group.finish();
 }
@@ -80,25 +115,52 @@ fn bench_structured_methods(c: &mut Criterion) {
         let d = recipes::nyt_tree(SCALE, 1);
         let wv = standard_word_vectors(&d);
         b.iter(|| {
-            WeSHClass { pseudo_per_class: 20, ..Default::default() }
-                .run(&d, &d.supervision_keywords(), &wv)
+            WeSHClass {
+                pseudo_per_class: 20,
+                ..Default::default()
+            }
+            .run(&d, &d.supervision_keywords(), &wv)
         })
     });
     group.bench_function("taxoclass_amazon", |b| {
         let d = recipes::amazon_taxonomy(SCALE, 1);
-        b.iter(|| TaxoClass { self_train_iters: 0, ..Default::default() }.run(&d, &plm))
+        b.iter(|| {
+            TaxoClass {
+                self_train_iters: 0,
+                ..Default::default()
+            }
+            .run(&d, &plm)
+        })
     });
     group.bench_function("metacat_github_bio", |b| {
         let d = recipes::github_bio(SCALE * 2.0, 1);
         let sup = d.supervision_docs(3, 1);
-        b.iter(|| MetaCat { samples: 30_000, ..Default::default() }.run(&d, &sup))
+        b.iter(|| {
+            MetaCat {
+                samples: 30_000,
+                ..Default::default()
+            }
+            .run(&d, &sup)
+        })
     });
     group.bench_function("micol_mag_cs", |b| {
         let d = recipes::mag_cs(SCALE, 1);
-        b.iter(|| MiCoL { steps: 100, ..Default::default() }.run(&d, &plm))
+        b.iter(|| {
+            MiCoL {
+                steps: 100,
+                ..Default::default()
+            }
+            .run(&d, &plm)
+        })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_substrates, bench_flat_methods, bench_structured_methods);
+criterion_group!(
+    benches,
+    bench_substrates,
+    bench_parallel_encode,
+    bench_flat_methods,
+    bench_structured_methods
+);
 criterion_main!(benches);

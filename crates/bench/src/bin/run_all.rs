@@ -5,7 +5,10 @@ use std::io::Write;
 
 fn main() {
     let cfg = structmine_bench::BenchConfig::from_env();
-    eprintln!("running ALL experiments (scale={}, seeds={})...", cfg.scale, cfg.seeds);
+    eprintln!(
+        "running ALL experiments (scale={}, seeds={})...",
+        cfg.scale, cfg.seeds
+    );
     let started = std::time::Instant::now();
     let tables = structmine_bench::exps::run_all(&cfg);
     let mut report = String::from("# structmine benchmark report\n\n");
@@ -26,7 +29,11 @@ fn main() {
     f.write_all(report.as_bytes()).expect("write report");
     println!(
         "\n{} — report written to bench_report.md",
-        if all_ok { "ALL SHAPE CHECKS PASSED" } else { "SOME SHAPE CHECKS FAILED" }
+        if all_ok {
+            "ALL SHAPE CHECKS PASSED"
+        } else {
+            "SOME SHAPE CHECKS FAILED"
+        }
     );
     if !all_ok {
         std::process::exit(1);

@@ -3,7 +3,10 @@
 
 fn main() {
     let cfg = structmine_bench::BenchConfig::from_env();
-    eprintln!("running ablations (scale={}, seeds={})...", cfg.scale, cfg.seeds);
+    eprintln!(
+        "running ablations (scale={}, seeds={})...",
+        cfg.scale, cfg.seeds
+    );
     for table in structmine_bench::exps::ablations::run(&cfg) {
         println!("{table}");
     }

@@ -2,7 +2,10 @@
 
 fn main() {
     let cfg = structmine_bench::BenchConfig::from_env();
-    eprintln!("running promptclass reproduction (scale={}, seeds={})...", cfg.scale, cfg.seeds);
+    eprintln!(
+        "running promptclass reproduction (scale={}, seeds={})...",
+        cfg.scale, cfg.seeds
+    );
     for table in structmine_bench::exps::promptclass::run(&cfg) {
         println!("{table}");
     }

@@ -2,7 +2,10 @@
 
 fn main() {
     let cfg = structmine_bench::BenchConfig::from_env();
-    eprintln!("running taxoclass reproduction (scale={}, seeds={})...", cfg.scale, cfg.seeds);
+    eprintln!(
+        "running taxoclass reproduction (scale={}, seeds={})...",
+        cfg.scale, cfg.seeds
+    );
     for table in structmine_bench::exps::taxoclass::run(&cfg) {
         println!("{table}");
     }

@@ -45,7 +45,12 @@ pub fn plm_scaling_curve(cfg: &BenchConfig) -> Table {
         let report = pretrain(
             &mut model,
             &corpus,
-            &PretrainConfig { steps, batch: 8, seed: 13, ..Default::default() },
+            &PretrainConfig {
+                steps,
+                batch: 8,
+                seed: 13,
+                ..Default::default()
+            },
         );
         let out = XClass::default().run(&d, &model);
         let acc = crate::test_accuracy(&d, &out.predictions);
@@ -69,11 +74,12 @@ pub fn westclass_pseudo_budget(cfg: &BenchConfig) -> Table {
     let wv = standard_word_vectors(&d);
     let mut accs = Vec::new();
     for &n in &[5usize, 20, 80, 160] {
-        let out = WeSTClass { pseudo_per_class: n, seed: 12, ..Default::default() }.run(
-            &d,
-            &d.supervision_names(),
-            &wv,
-        );
+        let out = WeSTClass {
+            pseudo_per_class: n,
+            seed: 12,
+            ..Default::default()
+        }
+        .run(&d, &d.supervision_names(), &wv);
         let acc = crate::test_accuracy(&d, &out.predictions);
         accs.push(acc);
         t.row(vec![n.to_string(), f3(acc)]);
@@ -97,7 +103,12 @@ pub fn xclass_gmm_anchoring(cfg: &BenchConfig) -> Table {
     let plm = crate::adapted_plm(&d, 13);
     let mut finals = Vec::new();
     for &iters in &[1usize, 2, 4, 16] {
-        let out = XClass { gmm_iters: iters, seed: 13, ..Default::default() }.run(&d, &plm);
+        let out = XClass {
+            gmm_iters: iters,
+            seed: 13,
+            ..Default::default()
+        }
+        .run(&d, &plm);
         let align = crate::test_accuracy(&d, &out.align_predictions);
         let fin = crate::test_accuracy(&d, &out.predictions);
         finals.push(fin);
@@ -106,8 +117,7 @@ pub fn xclass_gmm_anchoring(cfg: &BenchConfig) -> Table {
     t.check(
         format!(
             "anchored EM (1 iter, {:.3}) >= long EM (16 iters, {:.3})",
-            finals[0],
-            finals[3]
+            finals[0], finals[3]
         ),
         finals[0] >= finals[3] - 0.02,
     );
@@ -134,7 +144,10 @@ pub fn conwea_expansion_width(cfg: &BenchConfig) -> Table {
         t.row(vec![n.to_string(), f3(acc)]);
     }
     t.check(
-        format!("some expansion helps over none ({:.3} @0 vs {:.3} @8)", accs[0], accs[2]),
+        format!(
+            "some expansion helps over none ({:.3} @0 vs {:.3} @8)",
+            accs[0], accs[2]
+        ),
         accs[2] >= accs[0] - 0.02,
     );
     t

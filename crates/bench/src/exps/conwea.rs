@@ -25,8 +25,15 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     }
     t.headers(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
 
-    let methods: &[&str] =
-        &["IR-TF-IDF", "WeSTClass", "ConWea", "ConWea-NoCon", "ConWea-NoExpan", "ConWea-WSD", "Supervised"];
+    let methods: &[&str] = &[
+        "IR-TF-IDF",
+        "WeSTClass",
+        "ConWea",
+        "ConWea-NoCon",
+        "ConWea-NoExpan",
+        "ConWea-WSD",
+        "Supervised",
+    ];
     let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.to_string()]).collect();
     let mut agg: std::collections::HashMap<&str, Vec<f32>> = std::collections::HashMap::new();
 
@@ -40,17 +47,39 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
             let plm = adapted_plm(&d, seed);
             let results: Vec<Vec<usize>> = vec![
                 baselines::ir_tfidf(&d, &sup),
-                WeSTClass { seed, ..Default::default() }.run(&d, &sup, &wv).predictions,
-                ConWea { seed, ..Default::default() }.run(&d, &sup, &plm).predictions,
-                ConWea { contextualize: false, seed, ..Default::default() }
-                    .run(&d, &sup, &plm)
-                    .predictions,
-                ConWea { expand: false, seed, ..Default::default() }
-                    .run(&d, &sup, &plm)
-                    .predictions,
-                ConWea { wsd_fallback: true, seed, ..Default::default() }
-                    .run(&d, &sup, &plm)
-                    .predictions,
+                WeSTClass {
+                    seed,
+                    ..Default::default()
+                }
+                .run(&d, &sup, &wv)
+                .predictions,
+                ConWea {
+                    seed,
+                    ..Default::default()
+                }
+                .run(&d, &sup, &plm)
+                .predictions,
+                ConWea {
+                    contextualize: false,
+                    seed,
+                    ..Default::default()
+                }
+                .run(&d, &sup, &plm)
+                .predictions,
+                ConWea {
+                    expand: false,
+                    seed,
+                    ..Default::default()
+                }
+                .run(&d, &sup, &plm)
+                .predictions,
+                ConWea {
+                    wsd_fallback: true,
+                    seed,
+                    ..Default::default()
+                }
+                .run(&d, &sup, &plm)
+                .predictions,
                 {
                     let features = structmine::common::plm_features(&d, &plm);
                     baselines::supervised(&d, &features, seed)
@@ -59,7 +88,9 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
             for (m, preds) in results.iter().enumerate() {
                 micro[m].push(crate::test_accuracy(&d, preds));
                 macro_[m].push(crate::test_macro_f1(&d, preds));
-                agg.entry(methods[m]).or_default().push(crate::test_accuracy(&d, preds));
+                agg.entry(methods[m])
+                    .or_default()
+                    .push(crate::test_accuracy(&d, preds));
             }
         }
         for m in 0..methods.len() {
@@ -79,7 +110,11 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         v.iter().sum::<f32>() / v.len() as f32
     };
     t.check(
-        format!("ConWea ({:.3}) beats IR-TF-IDF ({:.3})", mean("ConWea"), mean("IR-TF-IDF")),
+        format!(
+            "ConWea ({:.3}) beats IR-TF-IDF ({:.3})",
+            mean("ConWea"),
+            mean("IR-TF-IDF")
+        ),
         mean("ConWea") > mean("IR-TF-IDF"),
     );
     t.check(
@@ -124,7 +159,10 @@ mod tests {
     #[test]
     fn e2_table_has_expected_shape() {
         // Tiny smoke run (single coarse dataset grid entries still produced).
-        let cfg = BenchConfig { scale: 0.05, seeds: 1 };
+        let cfg = BenchConfig {
+            scale: 0.05,
+            seeds: 1,
+        };
         let tables = run(&cfg);
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].rows.len(), 7);

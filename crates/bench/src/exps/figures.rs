@@ -39,8 +39,10 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     }
     // Separation check: the mean inter-centroid distance must exceed the
     // mean within-class scatter in the projected plane.
-    let cents: Vec<(f32, f32)> =
-        centroids.iter().map(|(x, y, n)| (x / *n as f32, y / *n as f32)).collect();
+    let cents: Vec<(f32, f32)> = centroids
+        .iter()
+        .map(|(x, y, n)| (x / *n as f32, y / *n as f32))
+        .collect();
     let mut within = 0.0f32;
     for (i, &g) in gold.iter().enumerate() {
         let dx = proj.get(i, 0) - cents[g].0;
@@ -65,7 +67,10 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     );
     fig1.note(format!(
         "explained variance of the two components: {:?}",
-        pca.explained_variance().iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>()
+        pca.explained_variance()
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect::<Vec<_>>()
     ));
 
     // ---- Figure 2: k-means confusion matrix --------------------------------
@@ -85,9 +90,14 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     let acc = structmine_cluster::align::aligned_accuracy(&result.assignments, &gold, k);
     let purity = structmine_cluster::quality::purity(&result.assignments, &gold);
     let nmi = structmine_cluster::quality::nmi(&result.assignments, &gold);
-    fig2.note(format!("aligned accuracy {acc:.3}, purity {purity:.3}, NMI {nmi:.3}"));
+    fig2.note(format!(
+        "aligned accuracy {acc:.3}, purity {purity:.3}, NMI {nmi:.3}"
+    ));
     fig2.check(
-        format!("clustering recovers domains far above chance (acc {acc:.3} vs {:.3})", 1.0 / k as f32),
+        format!(
+            "clustering recovers domains far above chance (acc {acc:.3} vs {:.3})",
+            1.0 / k as f32
+        ),
         acc > 2.0 / k as f32,
     );
     vec![fig1, fig2]
@@ -102,8 +112,7 @@ pub fn ascii_scatter(cfg: &BenchConfig) -> String {
     let proj = pca.transform(&reps);
     let (w, h) = (72usize, 24usize);
     let mut grid = vec![vec![' '; w]; h];
-    let (mut min_x, mut max_x, mut min_y, mut max_y) =
-        (f32::MAX, f32::MIN, f32::MAX, f32::MIN);
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (f32::MAX, f32::MIN, f32::MAX, f32::MIN);
     for i in 0..proj.rows() {
         min_x = min_x.min(proj.get(i, 0));
         max_x = max_x.max(proj.get(i, 0));
@@ -132,7 +141,10 @@ mod tests {
     #[test]
     fn ascii_scatter_has_expected_dimensions() {
         // Uses the Test-tier via env? No — uses standard tier; keep tiny.
-        let s = ascii_scatter(&BenchConfig { scale: 0.06, seeds: 1 });
+        let s = ascii_scatter(&BenchConfig {
+            scale: 0.06,
+            seeds: 1,
+        });
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 25);
         assert!(lines[1..].iter().all(|l| l.chars().count() == 72));

@@ -42,10 +42,19 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
             let names = d.supervision_names();
             let wv = standard_word_vectors(&d);
             let plm = adapted_plm(&d, seed);
-            let lot = LotClass { seed, ..Default::default() }.run(&d, &plm);
+            let lot = LotClass {
+                seed,
+                ..Default::default()
+            }
+            .run(&d, &plm);
             let results: Vec<Vec<usize>> = vec![
                 baselines::dataless(&d, &names, &wv),
-                WeSTClass { seed, ..Default::default() }.run(&d, &names, &wv).predictions,
+                WeSTClass {
+                    seed,
+                    ..Default::default()
+                }
+                .run(&d, &names, &wv)
+                .predictions,
                 baselines::bert_simple_match(&d, &plm),
                 lot.pretrain_predictions.clone(),
                 lot.predictions.clone(),
@@ -116,20 +125,41 @@ pub fn table1_demo() -> Table {
     let v = &corpus.vocab;
     let id = |w: &str| v.id(w).expect("demo word in vocabulary");
     // "pitch" as the playing surface vs as a musical property.
-    let soccer_ctx =
-        vec![id("soccer"), id("striker"), id("pitch"), id("goal"), id("keeper"), id("offside")];
-    let music_ctx =
-        vec![id("band"), id("singer"), id("pitch"), id("melody"), id("concert"), id("chorus")];
+    let soccer_ctx = vec![
+        id("soccer"),
+        id("striker"),
+        id("pitch"),
+        id("goal"),
+        id("keeper"),
+        id("offside"),
+    ];
+    let music_ctx = vec![
+        id("band"),
+        id("singer"),
+        id("pitch"),
+        id("melody"),
+        id("concert"),
+        id("chorus"),
+    ];
     let demos = replacement_demo(&plm, v, &[soccer_ctx, music_ctx], id("pitch"), 8);
 
     let mut t = Table::new("E3b — LOTClass Table 1: MLM predictions for 'pitch' in two contexts");
     t.note("paper analogue: BERT's replacements for 'sports' differ between a sports story and a gadget story");
     t.headers(&["context", "top MLM replacements"]);
     let render = |d: &[(String, f32)]| {
-        d.iter().map(|(w, p)| format!("{w}({p:.3})")).collect::<Vec<_>>().join(", ")
+        d.iter()
+            .map(|(w, p)| format!("{w}({p:.3})"))
+            .collect::<Vec<_>>()
+            .join(", ")
     };
-    t.row(vec!["soccer: 'striker … goal keeper offside'".into(), render(&demos[0])]);
-    t.row(vec!["music:  'band singer … melody concert'".into(), render(&demos[1])]);
+    t.row(vec![
+        "soccer: 'striker … goal keeper offside'".into(),
+        render(&demos[0]),
+    ]);
+    t.row(vec![
+        "music:  'band singer … melody concert'".into(),
+        render(&demos[1]),
+    ]);
 
     let words = |d: &[(String, f32)]| -> std::collections::HashSet<String> {
         d.iter().map(|(w, _)| w.clone()).collect()
@@ -143,7 +173,10 @@ pub fn table1_demo() -> Table {
     );
     let soccer_lex = structmine_text::synth::lexicon::lexicon("soccer");
     let music_lex = structmine_text::synth::lexicon::lexicon("music");
-    let soccer_hits = a.iter().filter(|w| soccer_lex.contains(&w.as_str())).count();
+    let soccer_hits = a
+        .iter()
+        .filter(|w| soccer_lex.contains(&w.as_str()))
+        .count();
     let music_hits = b.iter().filter(|w| music_lex.contains(&w.as_str())).count();
     t.check(
         format!("replacements are context-topical (soccer {soccer_hits}/8, music {music_hits}/8)"),
@@ -160,6 +193,10 @@ mod tests {
     fn table1_demo_runs_and_differs() {
         let t = table1_demo();
         assert_eq!(t.rows.len(), 2);
-        assert!(t.checks[0].1, "replacement lists should differ: {:?}", t.rows);
+        assert!(
+            t.checks[0].1,
+            "replacement lists should differ: {:?}",
+            t.rows
+        );
     }
 }

@@ -9,7 +9,13 @@ use structmine::westclass::WeSTClass;
 use structmine_eval::MeanStd;
 use structmine_text::synth::recipes;
 
-const DATASETS: &[&str] = &["github-bio", "github-ai", "github-sec", "amazon-meta", "twitter"];
+const DATASETS: &[&str] = &[
+    "github-bio",
+    "github-ai",
+    "github-sec",
+    "amazon-meta",
+    "twitter",
+];
 const DOCS_PER_CLASS: usize = 5;
 
 /// Run E8.
@@ -32,8 +38,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         "metapath2vec-style (graph-only HIN)",
         "MetaCat",
     ];
-    let mut micro_rows: Vec<Vec<String>> =
-        methods.iter().map(|m| vec![m.to_string()]).collect();
+    let mut micro_rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.to_string()]).collect();
     let mut macro_rows = micro_rows.clone();
     let mut agg: std::collections::HashMap<(&str, &str), Vec<f32>> =
         std::collections::HashMap::new();
@@ -45,17 +50,31 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
             let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
             let sup = d.supervision_docs(DOCS_PER_CLASS, seed);
             let wv = standard_word_vectors(&d);
-            let cfg_mc = MetaCat { seed, ..Default::default() };
+            let cfg_mc = MetaCat {
+                seed,
+                ..Default::default()
+            };
             let results: Vec<Vec<usize>> = vec![
-                WeSTClass { seed, ..Default::default() }.run(&d, &sup, &wv).predictions,
-                cfg_mc.run_with_signals(&d, &sup, SignalSet::TextOnly).predictions,
-                cfg_mc.run_with_signals(&d, &sup, SignalSet::GraphOnly).predictions,
+                WeSTClass {
+                    seed,
+                    ..Default::default()
+                }
+                .run(&d, &sup, &wv)
+                .predictions,
+                cfg_mc
+                    .run_with_signals(&d, &sup, SignalSet::TextOnly)
+                    .predictions,
+                cfg_mc
+                    .run_with_signals(&d, &sup, SignalSet::GraphOnly)
+                    .predictions,
                 cfg_mc.run(&d, &sup).predictions,
             ];
             for (m, preds) in results.iter().enumerate() {
                 micro[m].push(crate::test_accuracy(&d, preds));
                 macro_[m].push(crate::test_macro_f1(&d, preds));
-                agg.entry((methods[m], ds)).or_default().push(crate::test_accuracy(&d, preds));
+                agg.entry((methods[m], ds))
+                    .or_default()
+                    .push(crate::test_accuracy(&d, preds));
             }
         }
         for m in 0..methods.len() {

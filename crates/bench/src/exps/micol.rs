@@ -64,9 +64,18 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
                 entail_ranking(&d, &plm),
                 augmentation_contrastive_ranking(&d, &plm, false, seed),
                 augmentation_contrastive_ranking(&d, &plm, true, seed),
-                MiCoL { meta_path: MetaPath::SharedReference, seed, ..Default::default() }
-                    .run(&d, &plm),
-                MiCoL { meta_path: MetaPath::CoCited, seed, ..Default::default() }.run(&d, &plm),
+                MiCoL {
+                    meta_path: MetaPath::SharedReference,
+                    seed,
+                    ..Default::default()
+                }
+                .run(&d, &plm),
+                MiCoL {
+                    meta_path: MetaPath::CoCited,
+                    seed,
+                    ..Default::default()
+                }
+                .run(&d, &plm),
                 MiCoL {
                     encoder: Encoder::Cross,
                     meta_path: MetaPath::SharedReference,
@@ -107,13 +116,21 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         let v = &agg[m];
         v.iter().sum::<f32>() / v.len() as f32
     };
-    let best_micol = ["MICoL (Bi, P→P←P)", "MICoL (Bi, P←(PP)→P)", "MICoL (Cross, P→P←P)", "MICoL (Cross, P←(PP)→P)"]
-        .iter()
-        .map(|m| mean(m))
-        .fold(f32::NEG_INFINITY, f32::max);
+    let best_micol = [
+        "MICoL (Bi, P→P←P)",
+        "MICoL (Bi, P←(PP)→P)",
+        "MICoL (Cross, P→P←P)",
+        "MICoL (Cross, P←(PP)→P)",
+    ]
+    .iter()
+    .map(|m| mean(m))
+    .fold(f32::NEG_INFINITY, f32::max);
     let t = tables.last_mut().unwrap();
     t.check(
-        format!("best MICoL ({best_micol:.3}) beats Doc2Vec ({:.3})", mean("Doc2Vec")),
+        format!(
+            "best MICoL ({best_micol:.3}) beats Doc2Vec ({:.3})",
+            mean("Doc2Vec")
+        ),
         best_micol > mean("Doc2Vec"),
     );
     t.check(

@@ -41,10 +41,18 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         for &seed in &cfg.seed_values() {
             let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
             let plm = adapted_plm(&d, seed);
-            let mlm_full = PromptClass { style: PromptStyle::Mlm, seed, ..Default::default() }
-                .run(&d, &plm);
-            let rtd_full = PromptClass { style: PromptStyle::Rtd, seed, ..Default::default() }
-                .run(&d, &plm);
+            let mlm_full = PromptClass {
+                style: PromptStyle::Mlm,
+                seed,
+                ..Default::default()
+            }
+            .run(&d, &plm);
+            let rtd_full = PromptClass {
+                style: PromptStyle::Rtd,
+                seed,
+                ..Default::default()
+            }
+            .run(&d, &plm);
             // The third pairing blends prompt scores more heavily (the
             // "same-backbone" variant of the paper keeps prompting in the
             // loop longer).
@@ -70,7 +78,9 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
             for (m, preds) in results.iter().enumerate() {
                 micro[m].push(crate::test_accuracy(&d, preds));
                 macro_[m].push(crate::test_macro_f1(&d, preds));
-                agg.entry(methods[m]).or_default().push(crate::test_accuracy(&d, preds));
+                agg.entry(methods[m])
+                    .or_default()
+                    .push(crate::test_accuracy(&d, preds));
             }
         }
         for m in 0..methods.len() {

@@ -13,7 +13,11 @@ use structmine_text::Dataset;
 const DATASETS: &[&str] = &["amazon-taxonomy", "dbpedia-taxonomy"];
 
 fn eval(d: &Dataset, out: &TaxoClassOutput) -> (f32, f32) {
-    let pred: Vec<Vec<usize>> = d.test_idx.iter().map(|&i| out.label_sets[i].clone()).collect();
+    let pred: Vec<Vec<usize>> = d
+        .test_idx
+        .iter()
+        .map(|&i| out.label_sets[i].clone())
+        .collect();
     let top1: Vec<usize> = d.test_idx.iter().map(|&i| out.top1[i]).collect();
     let gold = d.test_gold_sets();
     (example_f1(&pred, &gold), precision_at_1_sets(&top1, &gold))
@@ -26,17 +30,21 @@ fn weshclass_as_baseline(d: &Dataset, seed: u64) -> TaxoClassOutput {
     // Restrict to tree-like behaviour: WeSHClass needs a tree, so run it on
     // a "first parent" copy of the taxonomy.
     let tree_dataset = single_parent_view(d);
-    let out = WeSHClass { seed, ..Default::default() }.run(
-        &tree_dataset,
-        &tree_dataset.supervision_keywords(),
-        &wv,
-    );
+    let out = WeSHClass {
+        seed,
+        ..Default::default()
+    }
+    .run(&tree_dataset, &tree_dataset.supervision_keywords(), &wv);
     let top1: Vec<usize> = out
         .path_predictions
         .iter()
         .map(|p| p.last().copied().unwrap_or(0))
         .collect();
-    TaxoClassOutput { label_sets: out.path_predictions, top1, core_classes: Vec::new() }
+    TaxoClassOutput {
+        label_sets: out.path_predictions,
+        top1,
+        core_classes: Vec::new(),
+    }
 }
 
 /// Copy of the dataset whose taxonomy keeps only each node's first parent.
@@ -72,8 +80,12 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     }
     t.headers(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
 
-    let methods: &[&str] =
-        &["WeSHClass", "Semi-supervised (30%)", "Hier-0Shot-TC", "TaxoClass"];
+    let methods: &[&str] = &[
+        "WeSHClass",
+        "Semi-supervised (30%)",
+        "Hier-0Shot-TC",
+        "TaxoClass",
+    ];
     let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.to_string()]).collect();
     let mut agg: std::collections::HashMap<&str, Vec<f32>> = std::collections::HashMap::new();
 
@@ -82,11 +94,15 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         for &seed in &cfg.seed_values() {
             let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
             let plm = adapted_plm(&d, seed);
-            let outs = vec![
+            let outs = [
                 weshclass_as_baseline(&d, seed),
                 semi_supervised(&d, &plm, 0.3, seed),
                 hier_zero_shot(&d, &plm, 2),
-                TaxoClass { seed, ..Default::default() }.run(&d, &plm),
+                TaxoClass {
+                    seed,
+                    ..Default::default()
+                }
+                .run(&d, &plm),
             ];
             for (m, out) in outs.iter().enumerate() {
                 let scores = eval(&d, out);
@@ -97,8 +113,11 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         for m in 0..methods.len() {
             let f1s: Vec<f32> = cells[m].iter().map(|&(a, _)| a).collect();
             let p1s: Vec<f32> = cells[m].iter().map(|&(_, b)| b).collect();
-            rows[m]
-                .push(format!("{} / {}", ms(MeanStd::of(&f1s)), ms(MeanStd::of(&p1s))));
+            rows[m].push(format!(
+                "{} / {}",
+                ms(MeanStd::of(&f1s)),
+                ms(MeanStd::of(&p1s))
+            ));
         }
     }
     for row in rows {

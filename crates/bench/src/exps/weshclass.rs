@@ -13,10 +13,16 @@ const DATASETS: &[&str] = &["nyt-tree", "arxiv-tree", "yelp-tree"];
 const SUPERVISIONS: &[&str] = &["KEYWORDS", "DOCS"];
 
 fn eval(d: &Dataset, out: &structmine::weshclass::WeSHClassOutput) -> (f32, f32) {
-    let pred: Vec<Vec<usize>> =
-        d.test_idx.iter().map(|&i| out.path_predictions[i].clone()).collect();
+    let pred: Vec<Vec<usize>> = d
+        .test_idx
+        .iter()
+        .map(|&i| out.path_predictions[i].clone())
+        .collect();
     let gold = d.test_gold_sets();
-    (path_macro_f1(&pred, &gold, d.n_classes()), path_micro_f1(&pred, &gold))
+    (
+        path_macro_f1(&pred, &gold, d.n_classes()),
+        path_micro_f1(&pred, &gold),
+    )
 }
 
 /// Run E6.
@@ -35,8 +41,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     }
     t.headers(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
 
-    let methods: &[&str] =
-        &["No-global", "No-vMF", "No-self-train", "WeSHClass"];
+    let methods: &[&str] = &["No-global", "No-vMF", "No-self-train", "WeSHClass"];
     let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.to_string()]).collect();
     let mut agg: std::collections::HashMap<&str, Vec<f32>> = std::collections::HashMap::new();
 
@@ -51,10 +56,25 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
                     _ => d.supervision_docs(5, seed),
                 };
                 let variants = [
-                    WeSHClass { use_global: false, seed, ..Default::default() },
-                    WeSHClass { use_vmf: false, seed, ..Default::default() },
-                    WeSHClass { self_train: false, seed, ..Default::default() },
-                    WeSHClass { seed, ..Default::default() },
+                    WeSHClass {
+                        use_global: false,
+                        seed,
+                        ..Default::default()
+                    },
+                    WeSHClass {
+                        use_vmf: false,
+                        seed,
+                        ..Default::default()
+                    },
+                    WeSHClass {
+                        self_train: false,
+                        seed,
+                        ..Default::default()
+                    },
+                    WeSHClass {
+                        seed,
+                        ..Default::default()
+                    },
                 ];
                 for (m, v) in variants.iter().enumerate() {
                     let out = v.run(&d, &sup, &wv);

@@ -28,8 +28,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     macro_t.note(format!(
         "synthetic stand-ins at scale {} over {} seed(s); paper reference (NYT, Macro-F1): \
          IR-tfidf 0.319/0.509, Topic Model 0.301/0.253, WeSTClass-CNN 0.830/0.837/0.835",
-        cfg.scale,
-        cfg.seeds
+        cfg.scale, cfg.seeds
     ));
     let mut header = vec!["method".to_string()];
     for d in DATASETS {
@@ -50,8 +49,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         "WeSTClass-CNN",
         "Supervised",
     ];
-    let mut macro_rows: Vec<Vec<String>> =
-        methods.iter().map(|m| vec![m.to_string()]).collect();
+    let mut macro_rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.to_string()]).collect();
     let mut micro_rows = macro_rows.clone();
 
     // Aggregate over cells for the shape checks.
@@ -67,7 +65,10 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
                 let sup = supervision(&d, sup_kind, seed);
 
                 let eval = |preds: &[usize]| {
-                    (crate::test_macro_f1(&d, preds), crate::test_accuracy(&d, preds))
+                    (
+                        crate::test_macro_f1(&d, preds),
+                        crate::test_accuracy(&d, preds),
+                    )
                 };
 
                 let results: Vec<(f32, f32)> = vec![
@@ -75,8 +76,12 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
                     eval(&baselines::topic_model(&d, &sup, &wv, seed)),
                     eval(&baselines::dataless(&d, &sup, &wv)),
                     {
-                        let out = WeSTClass { self_train: false, seed, ..Default::default() }
-                            .run(&d, &sup, &wv);
+                        let out = WeSTClass {
+                            self_train: false,
+                            seed,
+                            ..Default::default()
+                        }
+                        .run(&d, &sup, &wv);
                         eval(&out.predictions)
                     },
                     {
@@ -89,8 +94,11 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
                         eval(&out.predictions)
                     },
                     {
-                        let out =
-                            WeSTClass { seed, ..Default::default() }.run(&d, &sup, &wv);
+                        let out = WeSTClass {
+                            seed,
+                            ..Default::default()
+                        }
+                        .run(&d, &sup, &wv);
                         eval(&out.predictions)
                     },
                     {
@@ -122,7 +130,11 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         v.iter().sum::<f32>() / v.len() as f32
     };
     macro_t.check(
-        format!("WeSTClass-CNN ({:.3}) beats IR-tfidf ({:.3})", mean("WeSTClass-CNN"), mean("IR-tfidf")),
+        format!(
+            "WeSTClass-CNN ({:.3}) beats IR-tfidf ({:.3})",
+            mean("WeSTClass-CNN"),
+            mean("IR-tfidf")
+        ),
         mean("WeSTClass-CNN") > mean("IR-tfidf"),
     );
     macro_t.check(
@@ -142,7 +154,11 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         mean("Supervised") >= mean("WeSTClass-CNN") - 0.01,
     );
     macro_t.check(
-        format!("WeSTClass-CNN ({:.3}) beats TopicModel ({:.3})", mean("WeSTClass-CNN"), mean("TopicModel")),
+        format!(
+            "WeSTClass-CNN ({:.3}) beats TopicModel ({:.3})",
+            mean("WeSTClass-CNN"),
+            mean("TopicModel")
+        ),
         mean("WeSTClass-CNN") > mean("TopicModel"),
     );
     vec![macro_t, micro_t]
@@ -153,7 +169,11 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
 pub fn quick(scale: f32, seed: u64) -> f32 {
     let d = recipes::agnews(scale, seed);
     let wv = standard_word_vectors(&d);
-    let out = WeSTClass { seed, ..Default::default() }.run(&d, &d.supervision_names(), &wv);
+    let out = WeSTClass {
+        seed,
+        ..Default::default()
+    }
+    .run(&d, &d.supervision_names(), &wv);
     crate::test_accuracy(&d, &out.predictions)
 }
 
@@ -164,11 +184,17 @@ mod tests {
     #[test]
     fn e1_produces_full_grid_and_passes_shape_checks() {
         // Below ~0.15 the grid is too small for the orderings to be stable.
-        let cfg = BenchConfig { scale: 0.15, seeds: 1 };
+        let cfg = BenchConfig {
+            scale: 0.15,
+            seeds: 1,
+        };
         let tables = run(&cfg);
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].rows.len(), 7);
-        assert_eq!(tables[0].rows[0].len(), 1 + DATASETS.len() * SUPERVISIONS.len());
+        assert_eq!(
+            tables[0].rows[0].len(),
+            1 + DATASETS.len() * SUPERVISIONS.len()
+        );
         // The core orderings must hold even at tiny scale.
         assert!(
             tables[0].all_checks_pass(),

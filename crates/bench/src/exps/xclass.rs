@@ -9,12 +9,18 @@ use structmine::xclass::XClass;
 use structmine_eval::MeanStd;
 use structmine_text::synth::recipes;
 
-const DATASETS: &[&str] =
-    &["agnews", "20news-coarse", "nyt-small", "nyt-topic", "nyt-location", "yelp", "dbpedia"];
+const DATASETS: &[&str] = &[
+    "agnews",
+    "20news-coarse",
+    "nyt-small",
+    "nyt-topic",
+    "nyt-location",
+    "yelp",
+    "dbpedia",
+];
 
 /// Run E4.
 pub fn run(cfg: &BenchConfig) -> Vec<Table> {
-
     // Dataset statistics table (the paper's first X-Class table).
     let mut stats = Table::new("E4 — X-Class dataset statistics (synthetic stand-ins)");
     stats.headers(&["dataset", "classes", "documents", "imbalance", "criterion"]);
@@ -53,8 +59,13 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     header.extend(DATASETS.iter().map(|d| d.to_string()));
     t.headers(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
 
-    let methods: &[&str] =
-        &["Supervised", "WeSTClass", "X-Class", "X-Class-Rep", "X-Class-Align"];
+    let methods: &[&str] = &[
+        "Supervised",
+        "WeSTClass",
+        "X-Class",
+        "X-Class-Rep",
+        "X-Class-Align",
+    ];
     let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.to_string()]).collect();
     let mut agg: std::collections::HashMap<&str, Vec<f32>> = std::collections::HashMap::new();
 
@@ -64,15 +75,22 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
             let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
             let wv = standard_word_vectors(&d);
             let plm = adapted_plm(&d, seed);
-            let x = XClass { seed, ..Default::default() }.run(&d, &plm);
+            let x = XClass {
+                seed,
+                ..Default::default()
+            }
+            .run(&d, &plm);
             let results: Vec<Vec<usize>> = vec![
                 {
                     let features = structmine::common::plm_features(&d, &plm);
                     structmine::baselines::supervised(&d, &features, seed)
                 },
-                WeSTClass { seed, ..Default::default() }
-                    .run(&d, &d.supervision_names(), &wv)
-                    .predictions,
+                WeSTClass {
+                    seed,
+                    ..Default::default()
+                }
+                .run(&d, &d.supervision_names(), &wv)
+                .predictions,
                 x.predictions.clone(),
                 x.rep_predictions.clone(),
                 x.align_predictions.clone(),
@@ -96,8 +114,11 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         v.iter().sum::<f32>() / v.len() as f32
     };
     t.check(
-        format!("X-Class ({:.3}) beats WeSTClass ({:.3}) under name-only supervision",
-            mean("X-Class"), mean("WeSTClass")),
+        format!(
+            "X-Class ({:.3}) beats WeSTClass ({:.3}) under name-only supervision",
+            mean("X-Class"),
+            mean("WeSTClass")
+        ),
         mean("X-Class") > mean("WeSTClass"),
     );
     t.check(
@@ -117,7 +138,11 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         mean("X-Class") >= mean("X-Class-Align") - 0.02,
     );
     t.check(
-        format!("supervised ({:.3}) >= X-Class ({:.3})", mean("Supervised"), mean("X-Class")),
+        format!(
+            "supervised ({:.3}) >= X-Class ({:.3})",
+            mean("Supervised"),
+            mean("X-Class")
+        ),
         mean("Supervised") >= mean("X-Class") - 0.02,
     );
     vec![stats, t]
@@ -129,7 +154,10 @@ mod tests {
 
     #[test]
     fn e4_stats_table_covers_all_datasets() {
-        let cfg = BenchConfig { scale: 0.05, seeds: 1 };
+        let cfg = BenchConfig {
+            scale: 0.05,
+            seeds: 1,
+        };
         // Only build the stats table cheaply (results table is exercised by
         // the binary and run_all).
         let plm_free = {

@@ -25,7 +25,10 @@ pub struct BenchConfig {
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        BenchConfig { scale: 0.3, seeds: 2 }
+        BenchConfig {
+            scale: 0.3,
+            seeds: 2,
+        }
     }
 }
 
@@ -59,10 +62,13 @@ pub fn standard_plm() -> std::sync::Arc<structmine_plm::MiniPlm> {
 /// continued MLM pretraining — the "further pretrain BERT on the task
 /// corpus" step every method paper performs. Cached per (dataset, seed)
 /// within the process.
-pub fn adapted_plm(dataset: &structmine_text::Dataset, seed: u64) -> std::sync::Arc<structmine_plm::MiniPlm> {
+pub fn adapted_plm(
+    dataset: &structmine_text::Dataset,
+    seed: u64,
+) -> std::sync::Arc<structmine_plm::MiniPlm> {
     use std::sync::{Arc, Mutex, OnceLock};
-    static CACHE: OnceLock<Mutex<std::collections::HashMap<(String, u64), Arc<structmine_plm::MiniPlm>>>> =
-        OnceLock::new();
+    type AdaptedCache = std::collections::HashMap<(String, u64), Arc<structmine_plm::MiniPlm>>;
+    static CACHE: OnceLock<Mutex<AdaptedCache>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
     let key = (dataset.name.clone(), seed);
     if let Some(m) = cache.lock().unwrap().get(&key) {
@@ -73,7 +79,12 @@ pub fn adapted_plm(dataset: &structmine_text::Dataset, seed: u64) -> std::sync::
         .and_then(|v| v.parse().ok())
         .unwrap_or(500);
     let base = standard_plm();
-    let adapted = Arc::new(structmine_plm::pretrain::adapt(&base, &dataset.corpus, steps, seed));
+    let adapted = Arc::new(structmine_plm::pretrain::adapt(
+        &base,
+        &dataset.corpus,
+        steps,
+        seed,
+    ));
     cache.lock().unwrap().insert(key, Arc::clone(&adapted));
     adapted
 }
@@ -82,7 +93,11 @@ pub fn adapted_plm(dataset: &structmine_text::Dataset, seed: u64) -> std::sync::
 pub fn standard_word_vectors(dataset: &structmine_text::Dataset) -> structmine_embed::WordVectors {
     structmine_embed::Sgns::train(
         &dataset.corpus,
-        &structmine_embed::SgnsConfig { epochs: 4, dim: 32, ..Default::default() },
+        &structmine_embed::SgnsConfig {
+            epochs: 4,
+            dim: 32,
+            ..Default::default()
+        },
     )
 }
 

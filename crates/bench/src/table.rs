@@ -20,7 +20,10 @@ pub struct Table {
 impl Table {
     /// Start a table with a title.
     pub fn new(title: impl Into<String>) -> Self {
-        Table { title: title.into(), ..Default::default() }
+        Table {
+            title: title.into(),
+            ..Default::default()
+        }
     }
 
     /// Add a note line.
@@ -68,7 +71,10 @@ impl Table {
         if !self.checks.is_empty() {
             out.push('\n');
             for (desc, ok) in &self.checks {
-                out.push_str(&format!("- {} {desc}\n", if *ok { "[x]" } else { "[ ] FAILED:" }));
+                out.push_str(&format!(
+                    "- {} {desc}\n",
+                    if *ok { "[x]" } else { "[ ] FAILED:" }
+                ));
             }
         }
         out
@@ -82,7 +88,10 @@ impl fmt::Display for Table {
             writeln!(f, "   {n}")?;
         }
         // Column widths.
-        let n_cols = self.headers.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let n_cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; n_cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());
@@ -95,13 +104,21 @@ impl fmt::Display for Table {
         let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
             let mut line = String::new();
             for (i, c) in cells.iter().enumerate() {
-                line.push_str(&format!("{:width$}  ", c, width = widths.get(i).copied().unwrap_or(8)));
+                line.push_str(&format!(
+                    "{:width$}  ",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(8)
+                ));
             }
             writeln!(f, "   {}", line.trim_end())
         };
         if !self.headers.is_empty() {
             print_row(f, &self.headers)?;
-            writeln!(f, "   {}", "-".repeat(widths.iter().sum::<usize>() + 2 * n_cols))?;
+            writeln!(
+                f,
+                "   {}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * n_cols)
+            )?;
         }
         for row in &self.rows {
             print_row(f, row)?;

@@ -6,12 +6,16 @@ structmine — weakly-supervised text classification
 
 USAGE:
   structmine classify --labels <a,b,c> [--method xclass|lotclass|prompt|match]
-                      [--input <file>] [--tier test|standard]
+                      [--input <file>] [--tier test|standard] [--threads <n>]
       Classify one document per line (stdin or --input) using only label names.
 
   structmine demo --recipe <name> [--method westclass|xclass|lotclass|conwea|prompt]
-                  [--scale <f32>] [--seed <u64>]
+                  [--scale <f32>] [--seed <u64>] [--threads <n>]
       Run a method on a synthetic benchmark recipe and report accuracy.
+
+  --threads <n> caps the worker threads used for PLM inference (default: the
+  STRUCTMINE_THREADS environment variable, else all cores). Results are
+  bitwise identical for any thread count.
 
   structmine datasets
       List the available synthetic dataset recipes.
@@ -32,6 +36,8 @@ pub enum Args {
         input: Option<String>,
         /// PLM tier.
         tier: String,
+        /// Worker threads for PLM inference; `None` = environment default.
+        threads: Option<usize>,
     },
     /// Run a method on a synthetic recipe.
     Demo {
@@ -43,6 +49,8 @@ pub enum Args {
         scale: f32,
         /// RNG seed.
         seed: u64,
+        /// Worker threads for PLM inference; `None` = environment default.
+        threads: Option<usize>,
     },
     /// List recipes.
     Datasets,
@@ -72,6 +80,16 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
         i += 2;
     }
 
+    let threads = flags
+        .get("threads")
+        .map(|s| match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(ParseError(format!(
+                "bad --threads {s} (need an integer >= 1)"
+            ))),
+        })
+        .transpose()?;
+
     match cmd {
         "classify" => {
             let labels: Vec<String> = flags
@@ -86,9 +104,13 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
             }
             Ok(Args::Classify {
                 labels,
-                method: flags.get("method").cloned().unwrap_or_else(|| "xclass".into()),
+                method: flags
+                    .get("method")
+                    .cloned()
+                    .unwrap_or_else(|| "xclass".into()),
                 input: flags.get("input").cloned(),
                 tier: flags.get("tier").cloned().unwrap_or_else(|| "test".into()),
+                threads,
             })
         }
         "demo" => Ok(Args::Demo {
@@ -96,10 +118,16 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
                 .get("recipe")
                 .cloned()
                 .ok_or_else(|| ParseError("demo requires --recipe <name>".into()))?,
-            method: flags.get("method").cloned().unwrap_or_else(|| "westclass".into()),
+            method: flags
+                .get("method")
+                .cloned()
+                .unwrap_or_else(|| "westclass".into()),
             scale: flags
                 .get("scale")
-                .map(|s| s.parse().map_err(|_| ParseError(format!("bad --scale {s}"))))
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| ParseError(format!("bad --scale {s}")))
+                })
                 .transpose()?
                 .unwrap_or(0.15),
             seed: flags
@@ -107,6 +135,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
                 .map(|s| s.parse().map_err(|_| ParseError(format!("bad --seed {s}"))))
                 .transpose()?
                 .unwrap_or(7),
+            threads,
         }),
         "datasets" => Ok(Args::Datasets),
         "help" | "--help" | "-h" => Ok(Args::Help),
@@ -132,6 +161,7 @@ mod tests {
                 method: "xclass".into(),
                 input: None,
                 tier: "test".into(),
+                threads: None,
             }
         );
     }
@@ -144,8 +174,36 @@ mod tests {
         .unwrap();
         assert_eq!(
             a,
-            Args::Demo { recipe: "agnews".into(), method: "xclass".into(), scale: 0.2, seed: 3 }
+            Args::Demo {
+                recipe: "agnews".into(),
+                method: "xclass".into(),
+                scale: 0.2,
+                seed: 3,
+                threads: None,
+            }
         );
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let a = parse(&sv(&["demo", "--recipe", "agnews", "--threads", "4"])).unwrap();
+        if let Args::Demo { threads, .. } = a {
+            assert_eq!(threads, Some(4));
+        } else {
+            panic!("wrong variant");
+        }
+        let a = parse(&sv(&["classify", "--labels", "a,b", "--threads", "2"])).unwrap();
+        if let Args::Classify { threads, .. } = a {
+            assert_eq!(threads, Some(2));
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_threads() {
+        assert!(parse(&sv(&["demo", "--recipe", "agnews", "--threads", "0"])).is_err());
+        assert!(parse(&sv(&["demo", "--recipe", "agnews", "--threads", "many"])).is_err());
     }
 
     #[test]

@@ -22,8 +22,20 @@ use args::{Args, ParseError};
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv) {
-        Ok(Args::Classify { labels, method, input, tier }) => classify(labels, method, input, tier),
-        Ok(Args::Demo { recipe, method, scale, seed }) => demo(recipe, method, scale, seed),
+        Ok(Args::Classify {
+            labels,
+            method,
+            input,
+            tier,
+            threads,
+        }) => classify(labels, method, input, tier, policy(threads)),
+        Ok(Args::Demo {
+            recipe,
+            method,
+            scale,
+            seed,
+            threads,
+        }) => demo(recipe, method, scale, seed, policy(threads)),
         Ok(Args::Datasets) => {
             datasets();
             ExitCode::SUCCESS
@@ -39,6 +51,21 @@ fn main() -> ExitCode {
     }
 }
 
+/// Resolve `--threads` into the execution policy used for PLM inference.
+///
+/// The environment variable is also set so code that consults the
+/// process-global policy (e.g. the matmul routing in `structmine_linalg`)
+/// agrees with the flag — this runs before the global policy is first read.
+fn policy(threads: Option<usize>) -> structmine_linalg::ExecPolicy {
+    match threads {
+        Some(n) => {
+            std::env::set_var("STRUCTMINE_THREADS", n.to_string());
+            structmine_linalg::ExecPolicy::with_threads(n)
+        }
+        None => structmine_linalg::ExecPolicy::default(),
+    }
+}
+
 fn plm_tier(tier: &str) -> structmine_plm::cache::Tier {
     if tier == "standard" {
         structmine_plm::cache::Tier::Standard
@@ -47,7 +74,13 @@ fn plm_tier(tier: &str) -> structmine_plm::cache::Tier {
     }
 }
 
-fn classify(labels: Vec<String>, method: String, input: Option<String>, tier: String) -> ExitCode {
+fn classify(
+    labels: Vec<String>,
+    method: String,
+    input: Option<String>,
+    tier: String,
+    exec: structmine_linalg::ExecPolicy,
+) -> ExitCode {
     // Read documents.
     let lines: Vec<String> = match &input {
         Some(path) => match std::fs::read_to_string(path) {
@@ -57,7 +90,11 @@ fn classify(labels: Vec<String>, method: String, input: Option<String>, tier: St
                 return ExitCode::FAILURE;
             }
         },
-        None => std::io::stdin().lock().lines().map_while(Result::ok).collect(),
+        None => std::io::stdin()
+            .lock()
+            .lines()
+            .map_while(Result::ok)
+            .collect(),
     };
     let lines: Vec<String> = lines.into_iter().filter(|l| !l.trim().is_empty()).collect();
     if lines.is_empty() {
@@ -100,7 +137,11 @@ fn classify(labels: Vec<String>, method: String, input: Option<String>, tier: St
     }
 
     let plm = structmine_plm::cache::pretrained(plm_tier(&tier), 0);
-    eprintln!("classifying {} documents into {:?} with {method} ...", lines.len(), labels);
+    eprintln!(
+        "classifying {} documents into {:?} with {method} ...",
+        lines.len(),
+        labels
+    );
 
     // Build a minimal Dataset around the ad-hoc corpus.
     let n = corpus.len();
@@ -111,7 +152,10 @@ fn classify(labels: Vec<String>, method: String, input: Option<String>, tier: St
             names: labels.clone(),
             name_words: labels.iter().map(|l| vec![l.clone()]).collect(),
             keywords: labels.iter().map(|l| vec![l.clone()]).collect(),
-            descriptions: labels.iter().map(|l| format!("category about {l}")).collect(),
+            descriptions: labels
+                .iter()
+                .map(|l| format!("category about {l}"))
+                .collect(),
         },
         taxonomy: None,
         class_nodes: vec![],
@@ -121,12 +165,35 @@ fn classify(labels: Vec<String>, method: String, input: Option<String>, tier: St
     };
 
     let preds = match method.as_str() {
-        "xclass" => structmine::xclass::XClass::default().run(&dataset, &plm).predictions,
-        "lotclass" => structmine::lotclass::LotClass::default().run(&dataset, &plm).predictions,
-        "prompt" => structmine::promptclass::PromptClass::default().run(&dataset, &plm).predictions,
+        "xclass" => {
+            structmine::xclass::XClass {
+                exec,
+                ..Default::default()
+            }
+            .run(&dataset, &plm)
+            .predictions
+        }
+        "lotclass" => {
+            structmine::lotclass::LotClass {
+                exec,
+                ..Default::default()
+            }
+            .run(&dataset, &plm)
+            .predictions
+        }
+        "prompt" => {
+            structmine::promptclass::PromptClass {
+                exec,
+                ..Default::default()
+            }
+            .run(&dataset, &plm)
+            .predictions
+        }
         "match" => structmine::baselines::bert_simple_match(&dataset, &plm),
         other => {
-            eprintln!("error: unknown method {other} (classify supports xclass, lotclass, prompt, match)");
+            eprintln!(
+                "error: unknown method {other} (classify supports xclass, lotclass, prompt, match)"
+            );
             return ExitCode::from(2);
         }
     };
@@ -136,7 +203,13 @@ fn classify(labels: Vec<String>, method: String, input: Option<String>, tier: St
     ExitCode::SUCCESS
 }
 
-fn demo(recipe: String, method: String, scale: f32, seed: u64) -> ExitCode {
+fn demo(
+    recipe: String,
+    method: String,
+    scale: f32,
+    seed: u64,
+    exec: structmine_linalg::ExecPolicy,
+) -> ExitCode {
     let Some(dataset) = structmine_text::synth::by_name(&recipe, scale, seed) else {
         eprintln!("error: unknown recipe {recipe} (see `structmine datasets`)");
         return ExitCode::from(2);
@@ -150,25 +223,53 @@ fn demo(recipe: String, method: String, scale: f32, seed: u64) -> ExitCode {
         "westclass" => {
             let wv = structmine_embed::Sgns::train(
                 &dataset.corpus,
-                &structmine_embed::SgnsConfig { epochs: 4, ..Default::default() },
+                &structmine_embed::SgnsConfig {
+                    epochs: 4,
+                    ..Default::default()
+                },
             );
-            structmine::westclass::WeSTClass::default()
-                .run(&dataset, &dataset.supervision_names(), &wv)
-                .predictions
+            structmine::westclass::WeSTClass {
+                exec,
+                ..Default::default()
+            }
+            .run(&dataset, &dataset.supervision_names(), &wv)
+            .predictions
         }
         "xclass" | "lotclass" | "prompt" | "conwea" => {
             let plm = structmine_plm::cache::pretrained(structmine_plm::cache::Tier::Test, 0);
             match method.as_str() {
-                "xclass" => structmine::xclass::XClass::default().run(&dataset, &plm).predictions,
-                "lotclass" => {
-                    structmine::lotclass::LotClass::default().run(&dataset, &plm).predictions
-                }
-                "conwea" => structmine::conwea::ConWea::default()
-                    .run(&dataset, &dataset.supervision_keywords(), &plm)
-                    .predictions,
-                _ => structmine::promptclass::PromptClass::default()
+                "xclass" => {
+                    structmine::xclass::XClass {
+                        exec,
+                        ..Default::default()
+                    }
                     .run(&dataset, &plm)
-                    .predictions,
+                    .predictions
+                }
+                "lotclass" => {
+                    structmine::lotclass::LotClass {
+                        exec,
+                        ..Default::default()
+                    }
+                    .run(&dataset, &plm)
+                    .predictions
+                }
+                "conwea" => {
+                    structmine::conwea::ConWea {
+                        exec,
+                        ..Default::default()
+                    }
+                    .run(&dataset, &dataset.supervision_keywords(), &plm)
+                    .predictions
+                }
+                _ => {
+                    structmine::promptclass::PromptClass {
+                        exec,
+                        ..Default::default()
+                    }
+                    .run(&dataset, &plm)
+                    .predictions
+                }
             }
         }
         other => {

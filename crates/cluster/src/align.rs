@@ -1,7 +1,12 @@
 //! Cluster/class alignment: confusion matrices and the Hungarian algorithm.
 
 /// Count matrix `m[cluster][class]` from two parallel label sequences.
-pub fn confusion_matrix(pred: &[usize], gold: &[usize], k_pred: usize, k_gold: usize) -> Vec<Vec<usize>> {
+pub fn confusion_matrix(
+    pred: &[usize],
+    gold: &[usize],
+    k_pred: usize,
+    k_gold: usize,
+) -> Vec<Vec<usize>> {
     assert_eq!(pred.len(), gold.len());
     let mut m = vec![vec![0usize; k_gold]; k_pred];
     for (&p, &g) in pred.iter().zip(gold) {
@@ -15,7 +20,10 @@ pub fn confusion_matrix(pred: &[usize], gold: &[usize], k_pred: usize, k_gold: u
 /// Returns `assignment[row] = column`.
 pub fn hungarian_max(scores: &[Vec<f32>]) -> Vec<usize> {
     let n = scores.len();
-    assert!(scores.iter().all(|r| r.len() == n), "score matrix must be square");
+    assert!(
+        scores.iter().all(|r| r.len() == n),
+        "score matrix must be square"
+    );
     if n == 0 {
         return Vec::new();
     }
@@ -25,8 +33,10 @@ pub fn hungarian_max(scores: &[Vec<f32>]) -> Vec<usize> {
         .flat_map(|r| r.iter())
         .cloned()
         .fold(f32::NEG_INFINITY, f32::max);
-    let cost: Vec<Vec<f64>> =
-        scores.iter().map(|r| r.iter().map(|&v| (max_val - v) as f64).collect()).collect();
+    let cost: Vec<Vec<f64>> = scores
+        .iter()
+        .map(|r| r.iter().map(|&v| (max_val - v) as f64).collect())
+        .collect();
 
     // 1-indexed potentials, standard JV formulation.
     let inf = f64::INFINITY;
@@ -92,8 +102,10 @@ pub fn hungarian_max(scores: &[Vec<f32>]) -> Vec<usize> {
 /// matrix (requires equal counts). Returns `mapping[cluster] = class`.
 pub fn map_clusters_to_classes(pred: &[usize], gold: &[usize], k: usize) -> Vec<usize> {
     let cm = confusion_matrix(pred, gold, k, k);
-    let scores: Vec<Vec<f32>> =
-        cm.iter().map(|row| row.iter().map(|&c| c as f32).collect()).collect();
+    let scores: Vec<Vec<f32>> = cm
+        .iter()
+        .map(|row| row.iter().map(|&c| c as f32).collect())
+        .collect();
     hungarian_max(&scores)
 }
 
@@ -104,7 +116,11 @@ pub fn aligned_accuracy(pred: &[usize], gold: &[usize], k: usize) -> f32 {
         return 0.0;
     }
     let mapping = map_clusters_to_classes(pred, gold, k);
-    let correct = pred.iter().zip(gold).filter(|(&p, &g)| mapping[p] == g).count();
+    let correct = pred
+        .iter()
+        .zip(gold)
+        .filter(|(&p, &g)| mapping[p] == g)
+        .count();
     correct as f32 / pred.len() as f32
 }
 
@@ -173,7 +189,7 @@ mod tests {
         ) {
             let scores: Vec<Vec<f32>> = flat.chunks(4).map(|c| c.to_vec()).collect();
             let a = hungarian_max(&scores);
-            let mut seen = vec![false; 4];
+            let mut seen = [false; 4];
             for &col in &a {
                 prop_assert!(!seen[col]);
                 seen[col] = true;

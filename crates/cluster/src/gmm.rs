@@ -19,7 +19,11 @@ pub struct GmmConfig {
 
 impl Default for GmmConfig {
     fn default() -> Self {
-        GmmConfig { max_iters: 100, tol: 1e-4, var_floor: 1e-4 }
+        GmmConfig {
+            max_iters: 100,
+            tol: 1e-4,
+            var_floor: 1e-4,
+        }
     }
 }
 
@@ -82,17 +86,17 @@ impl Gmm {
                 }
                 let lse = stats::log_sum_exp(&logp);
                 ll += lse;
-                for c in 0..k {
-                    resp.set(i, c, (logp[c] - lse).exp());
+                for (c, &lp) in logp.iter().enumerate() {
+                    resp.set(i, c, (lp - lse).exp());
                 }
             }
             log_likelihood = ll / n as f32;
 
             // M-step.
-            for c in 0..k {
+            for (c, w) in weights.iter_mut().enumerate() {
                 let nk: f32 = (0..n).map(|i| resp.get(i, c)).sum();
                 let nk_safe = nk.max(1e-8);
-                weights[c] = nk / n as f32;
+                *w = nk / n as f32;
                 let mut mean = vec![0.0f32; d];
                 for i in 0..n {
                     vector::axpy(&mut mean, resp.get(i, c), data.row(i));
@@ -117,7 +121,13 @@ impl Gmm {
             }
             prev_ll = log_likelihood;
         }
-        Gmm { means, variances, weights, log_likelihood, iterations }
+        Gmm {
+            means,
+            variances,
+            weights,
+            log_likelihood,
+            iterations,
+        }
     }
 
     /// Posterior responsibilities (`n x k`) for new data.
@@ -127,13 +137,13 @@ impl Gmm {
         let mut resp = Matrix::zeros(n, k);
         for i in 0..n {
             let mut logp = vec![0.0f32; k];
-            for c in 0..k {
-                logp[c] = self.weights[c].max(1e-12).ln()
+            for (c, lp) in logp.iter_mut().enumerate() {
+                *lp = self.weights[c].max(1e-12).ln()
                     + diag_log_pdf(data.row(i), self.means.row(c), self.variances.row(c));
             }
             let lse = stats::log_sum_exp(&logp);
-            for c in 0..k {
-                resp.set(i, c, (logp[c] - lse).exp());
+            for (c, &lp) in logp.iter().enumerate() {
+                resp.set(i, c, (lp - lse).exp());
             }
         }
         resp
@@ -142,7 +152,9 @@ impl Gmm {
     /// Hard assignments by maximum responsibility.
     pub fn predict(&self, data: &Matrix) -> Vec<usize> {
         let r = self.responsibilities(data);
-        (0..r.rows()).map(|i| vector::argmax(r.row(i)).unwrap_or(0)).collect()
+        (0..r.rows())
+            .map(|i| vector::argmax(r.row(i)).unwrap_or(0))
+            .collect()
     }
 }
 
@@ -196,8 +208,7 @@ mod tests {
         let init = Matrix::from_rows(&[&[0.2, 0.1], &[3.8, 0.2], &[0.1, 3.9]]);
         let gmm = Gmm::fit(&data, &init, &GmmConfig::default());
         let pred = gmm.predict(&data);
-        let acc = pred.iter().zip(&gold).filter(|(a, b)| a == b).count() as f32
-            / gold.len() as f32;
+        let acc = pred.iter().zip(&gold).filter(|(a, b)| a == b).count() as f32 / gold.len() as f32;
         assert!(acc > 0.98, "identity-preserving acc {acc}");
     }
 
@@ -217,7 +228,14 @@ mod tests {
     fn log_likelihood_is_monotone_enough_to_converge() {
         let (data, _) = blobs(60, &[[0.0, 0.0], [5.0, 5.0]], 0.7, 4);
         let init = Matrix::from_rows(&[&[1.0, 0.0], &[4.0, 4.0]]);
-        let gmm = Gmm::fit(&data, &init, &GmmConfig { max_iters: 200, ..Default::default() });
+        let gmm = Gmm::fit(
+            &data,
+            &init,
+            &GmmConfig {
+                max_iters: 200,
+                ..Default::default()
+            },
+        );
         assert!(gmm.iterations < 200, "did not converge");
         assert!(gmm.log_likelihood.is_finite());
     }

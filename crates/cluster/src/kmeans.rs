@@ -76,7 +76,7 @@ fn run(
         iterations = it + 1;
         // Assign.
         let mut new_inertia = 0.0f32;
-        for i in 0..n {
+        for (i, slot) in assignments.iter_mut().enumerate() {
             let row = data.row(i);
             let mut best = 0usize;
             let mut best_cost = f32::INFINITY;
@@ -91,7 +91,7 @@ fn run(
                     best = c;
                 }
             }
-            assignments[i] = best;
+            *slot = best;
             new_inertia += best_cost;
         }
         // Update.
@@ -103,8 +103,8 @@ fn run(
             }
             counts[a] += 1;
         }
-        for c in 0..k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 // Re-seed an empty cluster on the farthest point.
                 let far = (0..n)
                     .max_by(|&a, &b| {
@@ -115,7 +115,7 @@ fn run(
                     .unwrap_or(0);
                 centroids.row_mut(c).copy_from_slice(data.row(far));
             } else {
-                let inv = 1.0 / counts[c] as f32;
+                let inv = 1.0 / count as f32;
                 for (t, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
                     *t = s * inv;
                 }
@@ -130,7 +130,12 @@ fn run(
         }
         inertia = new_inertia;
     }
-    KMeansResult { assignments, centroids, inertia, iterations }
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    }
 }
 
 /// k-means++ seeding.
@@ -140,15 +145,16 @@ fn plus_plus_seed(data: &Matrix, k: usize, seed: u64) -> Matrix {
     let mut centroids = Matrix::zeros(k, data.cols());
     let first = lrng::sample_categorical(&mut rng, &vec![1.0; n]);
     centroids.row_mut(0).copy_from_slice(data.row(first));
-    let mut min_dist: Vec<f32> =
-        (0..n).map(|i| vector::sq_dist(data.row(i), centroids.row(0))).collect();
+    let mut min_dist: Vec<f32> = (0..n)
+        .map(|i| vector::sq_dist(data.row(i), centroids.row(0)))
+        .collect();
     for c in 1..k {
         let pick = lrng::sample_categorical(&mut rng, &min_dist);
         centroids.row_mut(c).copy_from_slice(data.row(pick));
-        for i in 0..n {
+        for (i, md) in min_dist.iter_mut().enumerate() {
             let d = vector::sq_dist(data.row(i), centroids.row(c));
-            if d < min_dist[i] {
-                min_dist[i] = d;
+            if d < *md {
+                *md = d;
             }
         }
     }
@@ -181,7 +187,10 @@ mod tests {
         for (&a, &g) in assignments.iter().zip(gold) {
             counts[a][g] += 1;
         }
-        let correct: usize = counts.iter().map(|row| row.iter().max().copied().unwrap_or(0)).sum();
+        let correct: usize = counts
+            .iter()
+            .map(|row| row.iter().max().copied().unwrap_or(0))
+            .sum();
         correct as f32 / assignments.len() as f32
     }
 

@@ -10,7 +10,10 @@ pub fn purity(pred: &[usize], gold: &[usize]) -> f32 {
     let k_pred = pred.iter().max().map_or(0, |&m| m + 1);
     let k_gold = gold.iter().max().map_or(0, |&m| m + 1);
     let cm = crate::align::confusion_matrix(pred, gold, k_pred, k_gold);
-    let correct: usize = cm.iter().map(|row| row.iter().max().copied().unwrap_or(0)).sum();
+    let correct: usize = cm
+        .iter()
+        .map(|row| row.iter().max().copied().unwrap_or(0))
+        .sum();
     correct as f32 / pred.len() as f32
 }
 
@@ -40,8 +43,16 @@ pub fn nmi(a: &[usize], b: &[usize]) -> f32 {
             }
         }
     }
-    let ha: f32 = -pa.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f32>();
-    let hb: f32 = -pb.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f32>();
+    let ha: f32 = -pa
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f32>();
+    let hb: f32 = -pb
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f32>();
     let denom = (ha * hb).sqrt();
     if denom <= 0.0 {
         if mi.abs() < 1e-9 {

@@ -16,6 +16,7 @@
 
 use crate::common;
 use structmine_embed::WordVectors;
+use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{vector, Matrix};
 use structmine_plm::MiniPlm;
 use structmine_text::tfidf::{sparse_cosine, TfIdf};
@@ -28,16 +29,11 @@ pub fn ir_tfidf(dataset: &Dataset, sup: &Supervision) -> Vec<usize> {
     let seeds = common::seed_tokens(dataset, sup);
     let tfidf = TfIdf::fit(&dataset.corpus);
     let queries: Vec<_> = seeds.iter().map(|s| tfidf.vectorize(s)).collect();
-    dataset
-        .corpus
-        .docs
-        .iter()
-        .map(|doc| {
-            let dv = tfidf.vectorize(&doc.tokens);
-            let scores: Vec<f32> = queries.iter().map(|q| sparse_cosine(&dv, q)).collect();
-            vector::argmax(&scores).unwrap_or(0)
-        })
-        .collect()
+    par_map_chunks(ExecPolicy::global(), &dataset.corpus.docs, |_, doc| {
+        let dv = tfidf.vectorize(&doc.tokens);
+        let scores: Vec<f32> = queries.iter().map(|q| sparse_cosine(&dv, q)).collect();
+        vector::argmax(&scores).unwrap_or(0)
+    })
 }
 
 /// Dataless / Word2Vec matching: nearest seed prototype in embedding space.
@@ -50,7 +46,12 @@ pub fn dataless(dataset: &Dataset, sup: &Supervision, wv: &WordVectors) -> Vec<u
 
 /// Unsupervised topic model: spherical k-means on embedding features, with
 /// clusters mapped to classes by prototype similarity of their centroids.
-pub fn topic_model(dataset: &Dataset, sup: &Supervision, wv: &WordVectors, seed: u64) -> Vec<usize> {
+pub fn topic_model(
+    dataset: &Dataset,
+    sup: &Supervision,
+    wv: &WordVectors,
+    seed: u64,
+) -> Vec<usize> {
     let k = dataset.n_classes();
     let features = common::embedding_features(dataset, wv);
     let result = structmine_cluster::spherical_kmeans(&features, k, seed, 50, None);
@@ -85,16 +86,16 @@ pub fn bert_simple_match(dataset: &Dataset, plm: &MiniPlm) -> Vec<usize> {
 /// Zero-shot entailment: argmax over classes of
 /// `P(doc entails "<label description>")` under the PLM's NLI head.
 pub fn zero_shot_entail(dataset: &Dataset, plm: &MiniPlm) -> Vec<usize> {
+    zero_shot_entail_with(dataset, plm, ExecPolicy::global())
+}
+
+/// [`zero_shot_entail`] under an explicit execution policy: one batched
+/// entailment matrix, then a per-document argmax.
+pub fn zero_shot_entail_with(dataset: &Dataset, plm: &MiniPlm, policy: &ExecPolicy) -> Vec<usize> {
     let hyps = label_description_tokens(dataset);
-    dataset
-        .corpus
-        .docs
-        .iter()
-        .map(|doc| {
-            let scores: Vec<f32> =
-                hyps.iter().map(|h| plm.nli_entail_prob(&doc.tokens, h)).collect();
-            vector::argmax(&scores).unwrap_or(0)
-        })
+    let scores = structmine_plm::repr::nli_entail_matrix(plm, &dataset.corpus, &hyps, policy);
+    (0..scores.rows())
+        .map(|i| vector::argmax(scores.row(i)).unwrap_or(0))
         .collect()
 }
 
@@ -124,8 +125,11 @@ pub fn label_description_tokens(dataset: &Dataset) -> Vec<Vec<TokenId>> {
 /// gold labels of the training split, predicting every document.
 pub fn supervised(dataset: &Dataset, features: &Matrix, seed: u64) -> Vec<usize> {
     let train_x = features.select_rows(&dataset.train_idx);
-    let train_y: Vec<usize> =
-        dataset.train_idx.iter().map(|&i| dataset.corpus.docs[i].labels[0]).collect();
+    let train_y: Vec<usize> = dataset
+        .train_idx
+        .iter()
+        .map(|&i| dataset.corpus.docs[i].labels[0])
+        .collect();
     let mut clf = structmine_nn::classifiers::MlpClassifier::new(
         features.cols(),
         64,
@@ -136,7 +140,10 @@ pub fn supervised(dataset: &Dataset, features: &Matrix, seed: u64) -> Vec<usize>
     clf.fit(
         &train_x,
         &targets,
-        &structmine_nn::classifiers::TrainConfig { epochs: 40, ..Default::default() },
+        &structmine_nn::classifiers::TrainConfig {
+            epochs: 40,
+            ..Default::default()
+        },
     );
     clf.predict(features)
 }
@@ -161,19 +168,36 @@ mod tests {
 
     #[test]
     fn dataless_beats_ir_tfidf_shape() {
-        let d = recipes::agnews(0.1, 2);
-        let wv = Sgns::train(&d.corpus, &SgnsConfig { epochs: 3, dim: 24, ..Default::default() });
+        let d = recipes::agnews(0.1, 4);
+        let wv = Sgns::train(
+            &d.corpus,
+            &SgnsConfig {
+                epochs: 3,
+                dim: 24,
+                ..Default::default()
+            },
+        );
         let ir = eval(&d, &ir_tfidf(&d, &d.supervision_names()));
         let dl = eval(&d, &dataless(&d, &d.supervision_names(), &wv));
         assert!(dl > 0.5, "dataless acc {dl}");
         // Embedding matching generalizes beyond literal keyword overlap.
-        assert!(dl + 0.12 >= ir, "dataless {dl} should not trail IR {ir} badly");
+        assert!(
+            dl + 0.12 >= ir,
+            "dataless {dl} should not trail IR {ir} badly"
+        );
     }
 
     #[test]
     fn supervised_is_a_strong_upper_bound() {
         let d = recipes::agnews(0.1, 3);
-        let wv = Sgns::train(&d.corpus, &SgnsConfig { epochs: 3, dim: 24, ..Default::default() });
+        let wv = Sgns::train(
+            &d.corpus,
+            &SgnsConfig {
+                epochs: 3,
+                dim: 24,
+                ..Default::default()
+            },
+        );
         let features = common::embedding_features(&d, &wv);
         let acc = eval(&d, &supervised(&d, &features, 5));
         assert!(acc > 0.9, "supervised acc {acc}");
@@ -182,7 +206,14 @@ mod tests {
     #[test]
     fn topic_model_runs_and_beats_chance() {
         let d = recipes::agnews(0.1, 4);
-        let wv = Sgns::train(&d.corpus, &SgnsConfig { epochs: 3, dim: 24, ..Default::default() });
+        let wv = Sgns::train(
+            &d.corpus,
+            &SgnsConfig {
+                epochs: 3,
+                dim: 24,
+                ..Default::default()
+            },
+        );
         let acc = eval(&d, &topic_model(&d, &d.supervision_keywords(), &wv, 9));
         assert!(acc > 0.3, "topic model acc {acc}");
     }

@@ -1,6 +1,7 @@
 //! Utilities shared across method implementations.
 
 use structmine_embed::WordVectors;
+use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{vector, Matrix};
 use structmine_plm::MiniPlm;
 use structmine_text::tfidf::TfIdf;
@@ -23,22 +24,29 @@ pub fn embedding_features(dataset: &Dataset, wv: &WordVectors) -> Matrix {
     structmine_embed::docvec::weighted_doc_vectors(&dataset.corpus, wv, &tfidf)
 }
 
-/// Average-pooled PLM features for every document (`n x d_model`).
+/// Average-pooled PLM features for every document (`n x d_model`), under
+/// the process-wide default execution policy.
 pub fn plm_features(dataset: &Dataset, plm: &MiniPlm) -> Matrix {
-    structmine_plm::repr::doc_mean_reps(plm, &dataset.corpus)
+    plm_features_with(dataset, plm, ExecPolicy::global())
+}
+
+/// Average-pooled PLM features for every document (`n x d_model`), sharing
+/// the per-document encodes across the policy's threads.
+pub fn plm_features_with(dataset: &Dataset, plm: &MiniPlm, policy: &ExecPolicy) -> Matrix {
+    structmine_plm::repr::doc_mean_reps_with(plm, &dataset.corpus, policy)
 }
 
 /// Assign every document to the class whose prototype vector is most
 /// cosine-similar to the document's feature row.
 pub fn nearest_prototype(features: &Matrix, prototypes: &Matrix) -> Vec<usize> {
-    (0..features.rows())
-        .map(|i| {
-            let row = features.row(i);
-            let scores: Vec<f32> =
-                (0..prototypes.rows()).map(|c| vector::cosine(row, prototypes.row(c))).collect();
-            vector::argmax(&scores).unwrap_or(0)
-        })
-        .collect()
+    let idx: Vec<usize> = (0..features.rows()).collect();
+    par_map_chunks(ExecPolicy::global(), &idx, |_, &i| {
+        let row = features.row(i);
+        let scores: Vec<f32> = (0..prototypes.rows())
+            .map(|c| vector::cosine(row, prototypes.row(c)))
+            .collect();
+        vector::argmax(&scores).unwrap_or(0)
+    })
 }
 
 /// Class prototypes as mean seed-token embeddings (`k x d`).
@@ -110,12 +118,7 @@ mod tests {
 
     #[test]
     fn most_confident_per_class_respects_quota_and_order() {
-        let probs = Matrix::from_rows(&[
-            &[0.9, 0.1],
-            &[0.6, 0.4],
-            &[0.8, 0.2],
-            &[0.2, 0.8],
-        ]);
+        let probs = Matrix::from_rows(&[&[0.9, 0.1], &[0.6, 0.4], &[0.8, 0.2], &[0.2, 0.8]]);
         let (docs, labels) = most_confident_per_class(&probs, 2);
         // Class 0: docs 0 (0.9) and 2 (0.8); class 1: doc 3.
         assert_eq!(docs.len(), 3);

@@ -18,6 +18,7 @@
 //! with static window averages).
 
 use structmine_cluster::quality::silhouette;
+use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{vector, Matrix};
 use structmine_nn::classifiers::{MlpClassifier, TrainConfig};
 use structmine_plm::MiniPlm;
@@ -47,6 +48,9 @@ pub struct ConWea {
     pub min_occurrences: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Execution policy for the occurrence encodes (thread count; output is
+    /// bitwise identical for any value).
+    pub exec: ExecPolicy,
 }
 
 impl Default for ConWea {
@@ -60,6 +64,7 @@ impl Default for ConWea {
             sense_threshold: 0.15,
             min_occurrences: 10,
             seed: 61,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -95,7 +100,13 @@ impl ConWea {
                 v.dedup();
                 v
             };
-            let occ = collect_occurrence_reps(plm, &dataset.corpus, &distinct, self.wsd_fallback);
+            let occ = collect_occurrence_reps(
+                plm,
+                &dataset.corpus,
+                &distinct,
+                self.wsd_fallback,
+                &self.exec,
+            );
 
             // Cluster each seed word's occurrences into candidate senses.
             let mut senses: std::collections::HashMap<TokenId, SenseSplit> =
@@ -160,7 +171,13 @@ impl ConWea {
             // Rewrite the corpus with sense tokens and resolve class seeds.
             let mut sense_tokens: std::collections::HashMap<(TokenId, usize), TokenId> =
                 std::collections::HashMap::new();
-            for (&t, split) in &senses {
+            // Intern in sorted token order: `intern` assigns fresh vocab
+            // ids sequentially, so hash iteration order here would leak
+            // per-process randomness into every downstream embedding.
+            let mut split_tokens: Vec<TokenId> = senses.keys().copied().collect();
+            split_tokens.sort_unstable();
+            for &t in &split_tokens {
+                let split = &senses[&t];
                 let word = dataset.corpus.vocab.word(t).to_string();
                 for s in 0..split.centroids.rows() {
                     let id = corpus.vocab.intern(&format!("{word}#{s}"));
@@ -207,22 +224,21 @@ impl ConWea {
 
         for it in 0..self.iterations {
             if self.expand {
-                expanded = expand_seeds(
-                    &corpus,
-                    &assignments,
-                    &expanded,
-                    self.expand_per_class,
-                );
+                expanded = expand_seeds(&corpus, &assignments, &expanded, self.expand_per_class);
                 assignments = assign_by_seed_similarity(&corpus, &tfidf, &expanded);
             }
             // Train the document classifier on current pseudo labels.
-            let mut clf =
-                MlpClassifier::new(features.cols(), 0, n_classes, self.seed ^ it as u64);
+            let mut clf = MlpClassifier::new(features.cols(), 0, n_classes, self.seed ^ it as u64);
             let targets = structmine_nn::classifiers::one_hot(&assignments, n_classes, 0.1);
             clf.fit(
                 &features,
                 &targets,
-                &TrainConfig { epochs: 12, lr: 5e-2, seed: self.seed, ..Default::default() },
+                &TrainConfig {
+                    epochs: 12,
+                    lr: 5e-2,
+                    seed: self.seed,
+                    ..Default::default()
+                },
             );
             assignments = clf.predict(&features);
         }
@@ -230,10 +246,17 @@ impl ConWea {
         let final_seeds = expanded
             .iter()
             .map(|class_seed| {
-                class_seed.iter().map(|&t| corpus.vocab.word(t).to_string()).collect()
+                class_seed
+                    .iter()
+                    .map(|&t| corpus.vocab.word(t).to_string())
+                    .collect()
             })
             .collect();
-        ConWeaOutput { predictions: assignments, split_words, final_seeds }
+        ConWeaOutput {
+            predictions: assignments,
+            split_words,
+            final_seeds,
+        }
     }
 }
 
@@ -249,44 +272,67 @@ struct OccRep {
 }
 
 /// Collect per-occurrence vectors for the given tokens. Contextual mode
-/// encodes each containing document once; WSD-fallback mode averages static
-/// embeddings over a ±5 window.
+/// delegates to the batched multi-token occurrence encoder (each containing
+/// document is encoded once, documents shared across the policy's threads);
+/// WSD-fallback mode averages static embeddings over a ±5 window.
 fn collect_occurrence_reps(
     plm: &MiniPlm,
     corpus: &Corpus,
     tokens: &[TokenId],
     static_window: bool,
+    policy: &ExecPolicy,
 ) -> std::collections::HashMap<TokenId, Vec<OccRep>> {
+    if !static_window {
+        return structmine_plm::repr::occurrence_reps_multi(plm, corpus, tokens, policy)
+            .into_iter()
+            .map(|(t, occs)| {
+                let reps = occs
+                    .into_iter()
+                    .map(|o| OccRep {
+                        doc: o.doc,
+                        pos: o.pos,
+                        rep: o.vector,
+                    })
+                    .collect();
+                (t, reps)
+            })
+            .collect();
+    }
     let set: std::collections::HashSet<TokenId> = tokens.iter().copied().collect();
-    let mut out: std::collections::HashMap<TokenId, Vec<OccRep>> =
-        std::collections::HashMap::new();
     let budget = plm.config.max_len - 2;
-    for (d, doc) in corpus.docs.iter().enumerate() {
+    // Per-document extraction is independent; merging in document order
+    // reproduces the serial scan exactly.
+    let per_doc: Vec<Vec<(TokenId, OccRep)>> = par_map_chunks(policy, &corpus.docs, |d, doc| {
         if !doc.tokens.iter().any(|t| set.contains(t)) {
-            continue;
+            return Vec::new();
         }
-        let reps = if static_window {
-            None
-        } else {
-            Some(structmine_plm::repr::token_reps(plm, &doc.tokens))
-        };
+        let mut found = Vec::new();
         for (p, &t) in doc.tokens.iter().take(budget).enumerate() {
             if !set.contains(&t) {
                 continue;
             }
-            let rep = match &reps {
-                Some(m) => m.row(p).to_vec(),
-                None => {
-                    let lo = p.saturating_sub(5);
-                    let hi = (p + 6).min(doc.tokens.len());
-                    let window: Vec<&[f32]> = (lo..hi)
-                        .filter(|&q| q != p)
-                        .map(|q| plm.token_embedding(doc.tokens[q]))
-                        .collect();
-                    vector::mean_of(&window, plm.config.d_model)
-                }
-            };
-            out.entry(t).or_default().push(OccRep { doc: d, pos: p, rep });
+            let lo = p.saturating_sub(5);
+            let hi = (p + 6).min(doc.tokens.len());
+            let window: Vec<&[f32]> = (lo..hi)
+                .filter(|&q| q != p)
+                .map(|q| plm.token_embedding(doc.tokens[q]))
+                .collect();
+            let rep = vector::mean_of(&window, plm.config.d_model);
+            found.push((
+                t,
+                OccRep {
+                    doc: d,
+                    pos: p,
+                    rep,
+                },
+            ));
+        }
+        found
+    });
+    let mut out: std::collections::HashMap<TokenId, Vec<OccRep>> = std::collections::HashMap::new();
+    for found in per_doc {
+        for (t, o) in found {
+            out.entry(t).or_default().push(o);
         }
     }
     out
@@ -316,8 +362,9 @@ fn rows_to_matrix<'a>(rows: impl Iterator<Item = &'a [f32]>) -> Matrix {
 }
 
 fn nearest_centroid(v: &[f32], centroids: &Matrix) -> usize {
-    let scores: Vec<f32> =
-        (0..centroids.rows()).map(|c| vector::cosine(v, centroids.row(c))).collect();
+    let scores: Vec<f32> = (0..centroids.rows())
+        .map(|c| vector::cosine(v, centroids.row(c)))
+        .collect();
     vector::argmax(&scores).unwrap_or(0)
 }
 
@@ -334,11 +381,7 @@ pub(crate) fn dense_tfidf(corpus: &Corpus, tfidf: &TfIdf) -> Matrix {
 
 /// Assign every document to the class with the highest TF-IDF cosine to its
 /// seed query.
-fn assign_by_seed_similarity(
-    corpus: &Corpus,
-    tfidf: &TfIdf,
-    seeds: &[Vec<TokenId>],
-) -> Vec<usize> {
+fn assign_by_seed_similarity(corpus: &Corpus, tfidf: &TfIdf, seeds: &[Vec<TokenId>]) -> Vec<usize> {
     let queries: Vec<_> = seeds.iter().map(|s| tfidf.vectorize(s)).collect();
     corpus
         .docs
@@ -423,9 +466,17 @@ mod tests {
         let d = nyt_with_polysemes();
         let plm = pretrained(Tier::Test, 0);
         let sup = ambiguous_keywords(&d);
-        let full = ConWea { iterations: 1, ..Default::default() }.run(&d, &sup, &plm);
-        let nocon = ConWea { contextualize: false, iterations: 1, ..Default::default() }
-            .run(&d, &sup, &plm);
+        let full = ConWea {
+            iterations: 1,
+            ..Default::default()
+        }
+        .run(&d, &sup, &plm);
+        let nocon = ConWea {
+            contextualize: false,
+            iterations: 1,
+            ..Default::default()
+        }
+        .run(&d, &sup, &plm);
         let gold = d.test_gold();
         let acc_full = accuracy(&crate::common::test_slice(&d, &full.predictions), &gold);
         let acc_nocon = accuracy(&crate::common::test_slice(&d, &nocon.predictions), &gold);
@@ -440,8 +491,11 @@ mod tests {
     fn expansion_grows_seed_sets() {
         let d = recipes::agnews(0.08, 22);
         let plm = pretrained(Tier::Test, 0);
-        let out = ConWea { iterations: 1, ..Default::default() }
-            .run(&d, &d.supervision_keywords(), &plm);
+        let out = ConWea {
+            iterations: 1,
+            ..Default::default()
+        }
+        .run(&d, &d.supervision_keywords(), &plm);
         for (c, seeds) in out.final_seeds.iter().enumerate() {
             assert!(
                 seeds.len() > d.labels.keywords[c].len(),
@@ -468,7 +522,8 @@ mod tests {
         let d = recipes::news20_fine(0.15, 24);
         let plm = pretrained(Tier::Test, 0);
         let penalty = d.corpus.vocab.id("penalty").unwrap();
-        let occ = collect_occurrence_reps(&plm, &d.corpus, &[penalty], false);
+        let occ =
+            collect_occurrence_reps(&plm, &d.corpus, &[penalty], false, &ExecPolicy::serial());
         let reps = occ.get(&penalty).expect("penalty must occur");
         assert!(reps.len() >= 10, "too few occurrences: {}", reps.len());
         let data = rows_to_matrix(reps.iter().map(|o| o.rep.as_slice()));

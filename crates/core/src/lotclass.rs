@@ -14,6 +14,7 @@
 //!    refined on the whole corpus with the soft target distribution.
 
 use crate::common;
+use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::vector;
 use structmine_nn::classifiers::{MlpClassifier, TrainConfig};
 use structmine_nn::selftrain::{self, SelfTrainConfig};
@@ -41,6 +42,9 @@ pub struct LotClass {
     pub hidden: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Execution policy for the MLM queries and corpus encode (thread
+    /// count; output is bitwise identical for any value).
+    pub exec: ExecPolicy,
 }
 
 impl Default for LotClass {
@@ -54,6 +58,7 @@ impl Default for LotClass {
             self_train: true,
             hidden: 32,
             seed: 71,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -118,18 +123,20 @@ impl LotClass {
                     .collect()
             })
             .collect();
-        let vocab_sets: Vec<std::collections::HashSet<TokenId>> =
-            category_vocab.iter().map(|v| v.iter().copied().collect()).collect();
+        let vocab_sets: Vec<std::collections::HashSet<TokenId>> = category_vocab
+            .iter()
+            .map(|v| v.iter().copied().collect())
+            .collect();
         let candidate_tokens: std::collections::HashSet<TokenId> =
             vocab_sets.iter().flatten().copied().collect();
 
         // ------------------------------------------------------------------
         // 2. Masked category prediction -> pseudo labels.
         // ------------------------------------------------------------------
-        let mut pseudo_docs = Vec::new();
-        let mut pseudo_labels = Vec::new();
         let budget = plm.config.max_len - 2;
-        for (i, doc) in dataset.corpus.docs.iter().enumerate() {
+        // Documents are independent under MCP: share them across threads
+        // and keep the results in document order.
+        let mcp: Vec<Option<usize>> = par_map_chunks(&self.exec, &dataset.corpus.docs, |_, doc| {
             let positions: Vec<usize> = doc
                 .tokens
                 .iter()
@@ -140,7 +147,7 @@ impl LotClass {
                 .take(self.positions_per_doc)
                 .collect();
             if positions.is_empty() {
-                continue;
+                return None;
             }
             // Query the MLM with the candidate positions masked — the head
             // is trained to predict at masked slots.
@@ -161,9 +168,14 @@ impl LotClass {
                     }
                 }
             }
-            let best = vector::argmax(&votes.iter().map(|&v| v as f32).collect::<Vec<_>>())
-                .unwrap_or(0);
-            if votes[best] > 0 {
+            let best =
+                vector::argmax(&votes.iter().map(|&v| v as f32).collect::<Vec<_>>()).unwrap_or(0);
+            (votes[best] > 0).then_some(best)
+        });
+        let mut pseudo_docs = Vec::new();
+        let mut pseudo_labels = Vec::new();
+        for (i, best) in mcp.into_iter().enumerate() {
+            if let Some(best) = best {
                 pseudo_docs.push(i);
                 pseudo_labels.push(best);
             }
@@ -172,19 +184,30 @@ impl LotClass {
         // ------------------------------------------------------------------
         // 3. Classifier + self-training.
         // ------------------------------------------------------------------
-        let features = common::plm_features(dataset, plm);
+        let features = common::plm_features_with(dataset, plm, &self.exec);
         let mut clf = MlpClassifier::new(features.cols(), self.hidden, n_classes, self.seed);
         if !pseudo_docs.is_empty() {
             let x = features.select_rows(&pseudo_docs);
             let t = structmine_nn::classifiers::one_hot(&pseudo_labels, n_classes, 0.1);
-            clf.fit(&x, &t, &TrainConfig { epochs: 30, seed: self.seed, ..Default::default() });
+            clf.fit(
+                &x,
+                &t,
+                &TrainConfig {
+                    epochs: 30,
+                    seed: self.seed,
+                    ..Default::default()
+                },
+            );
         }
         let pretrain_predictions = clf.predict(&features);
         if self.self_train {
             selftrain::self_train(
                 &mut clf,
                 &features,
-                &SelfTrainConfig { seed: self.seed ^ 5, ..Default::default() },
+                &SelfTrainConfig {
+                    seed: self.seed ^ 5,
+                    ..Default::default()
+                },
             );
         }
         let predictions = clf.predict(&features);
@@ -208,20 +231,31 @@ impl LotClass {
         plm: &MiniPlm,
     ) -> std::collections::HashMap<TokenId, u32> {
         let mut rng = structmine_linalg::rng::seeded(self.seed ^ 0xB6);
-        let mut counts = std::collections::HashMap::new();
         let budget = plm.config.max_len - 2;
         let n_samples = 60.min(dataset.corpus.len());
+        // Draw every sampled slot serially first (the RNG stream must not
+        // depend on the thread count), then run the expensive MLM queries in
+        // parallel. Count merging is a commutative sum, so the result is
+        // identical however the per-sample lists are interleaved.
+        let mut plan: Vec<(usize, usize)> = Vec::with_capacity(n_samples);
         for s in 0..n_samples {
             use rand::Rng;
-            let doc = &dataset.corpus.docs
-                [(s * dataset.corpus.len() / n_samples) % dataset.corpus.len()];
+            let di = (s * dataset.corpus.len() / n_samples) % dataset.corpus.len();
+            let doc = &dataset.corpus.docs[di];
             if doc.tokens.is_empty() {
                 continue;
             }
             let p = rng.gen_range(0..doc.tokens.len().min(budget));
-            let mut seq = plm.wrap(&doc.tokens);
+            plan.push((di, p));
+        }
+        let tops = par_map_chunks(&self.exec, &plan, |_, &(di, p)| {
+            let mut seq = plm.wrap(&dataset.corpus.docs[di].tokens);
             seq[p + 1] = structmine_text::vocab::MASK;
-            for (r, _) in plm.mlm_topk(&seq, p + 1, self.replacements_per_occurrence) {
+            plm.mlm_topk(&seq, p + 1, self.replacements_per_occurrence)
+        });
+        let mut counts = std::collections::HashMap::new();
+        for top in tops {
+            for (r, _) in top {
                 *counts.entry(r).or_insert(0) += 1;
             }
         }
@@ -237,33 +271,42 @@ impl LotClass {
         name: &[TokenId],
         background: &std::collections::HashMap<TokenId, u32>,
     ) -> Vec<(TokenId, u32)> {
-        let mut counts: std::collections::HashMap<TokenId, u32> =
-            std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<TokenId, u32> = std::collections::HashMap::new();
         // The name tokens themselves always belong to the vocabulary.
         for &t in name {
             counts.insert(t, u32::MAX / 2);
         }
         let budget = plm.config.max_len - 2;
-        let mut seen = 0usize;
-        'outer: for doc in &dataset.corpus.docs {
+        // Serial plan: find the capped occurrence list with a cheap token
+        // scan, preserving the early-break semantics. The MLM queries — the
+        // expensive part — then run under the policy; count merging is a
+        // commutative sum.
+        let mut plan: Vec<(usize, usize)> = Vec::new();
+        'outer: for (di, doc) in dataset.corpus.docs.iter().enumerate() {
             for (p, &t) in doc.tokens.iter().take(budget).enumerate() {
                 if !name.contains(&t) {
                     continue;
                 }
-                // Mask the occurrence and ask the MLM what could stand there.
-                let mut seq = plm.wrap(&doc.tokens);
-                seq[p + 1] = structmine_text::vocab::MASK;
-                for (r, _) in plm.mlm_topk(&seq, p + 1, self.replacements_per_occurrence) {
-                    // Keep replacements that are real local-corpus words (the
-                    // MLM also hallucinates pretraining-domain words absent
-                    // from this corpus).
-                    if !Vocab::is_special(r) && dataset.corpus.vocab.count(r) >= 3 {
-                        *counts.entry(r).or_insert(0) += 1;
-                    }
-                }
-                seen += 1;
-                if seen >= self.occurrences_cap {
+                plan.push((di, p));
+                if plan.len() >= self.occurrences_cap {
                     break 'outer;
+                }
+            }
+        }
+        let seen = plan.len();
+        let tops = par_map_chunks(&self.exec, &plan, |_, &(di, p)| {
+            // Mask the occurrence and ask the MLM what could stand there.
+            let mut seq = plm.wrap(&dataset.corpus.docs[di].tokens);
+            seq[p + 1] = structmine_text::vocab::MASK;
+            plm.mlm_topk(&seq, p + 1, self.replacements_per_occurrence)
+        });
+        for top in tops {
+            for (r, _) in top {
+                // Keep replacements that are real local-corpus words (the
+                // MLM also hallucinates pretraining-domain words absent
+                // from this corpus).
+                if !Vocab::is_special(r) && dataset.corpus.vocab.count(r) >= 3 {
+                    *counts.entry(r).or_insert(0) += 1;
                 }
             }
         }
@@ -279,8 +322,7 @@ impl LotClass {
                     return Some((t, c)); // pinned name tokens
                 }
                 let rate_here = c as f32 / occ;
-                let rate_bg =
-                    background.get(&t).copied().unwrap_or(0) as f32 / bg_norm;
+                let rate_bg = background.get(&t).copied().unwrap_or(0) as f32 / bg_norm;
                 // Stopword-like words appear at more than half of *random*
                 // slots; drop them outright.
                 if rate_bg > 0.5 {
@@ -311,7 +353,10 @@ pub fn replacement_demo(
     contexts
         .iter()
         .map(|ctx| {
-            let pos = ctx.iter().position(|&t| t == word).expect("word must be in context");
+            let pos = ctx
+                .iter()
+                .position(|&t| t == word)
+                .expect("word must be in context");
             // Mask the slot, as in the method: the MLM head is trained to
             // predict at masked positions.
             let mut seq = plm.wrap(ctx);
@@ -335,15 +380,26 @@ mod tests {
     fn category_vocab_contains_topical_words() {
         let d = recipes::agnews(0.1, 31);
         let plm = pretrained(Tier::Test, 0);
-        let out = LotClass { self_train: false, ..Default::default() }.run(&d, &plm);
+        let out = LotClass {
+            self_train: false,
+            ..Default::default()
+        }
+        .run(&d, &plm);
         let sports_idx = d.labels.names.iter().position(|n| n == "sports").unwrap();
         let vocab = &out.category_vocab[sports_idx];
         assert!(!vocab.is_empty());
         // Sports-related words span several lexicons (the MLM legitimately
         // replaces "sports" with words from specific sports and athletics).
         let sporty: std::collections::HashSet<&str> = [
-            "sports", "soccer", "basketball", "baseball", "tennis", "hockey", "golf",
-            "football", "ont_athlete",
+            "sports",
+            "soccer",
+            "basketball",
+            "baseball",
+            "tennis",
+            "hockey",
+            "golf",
+            "football",
+            "ont_athlete",
         ]
         .iter()
         .flat_map(|l| structmine_text::synth::lexicon::lexicon(l).iter().copied())
@@ -356,7 +412,10 @@ mod tests {
         assert!(
             topical >= 4,
             "too few sporty words in category vocab: {:?}",
-            vocab.iter().map(|&t| d.corpus.vocab.word(t)).collect::<Vec<_>>()
+            vocab
+                .iter()
+                .map(|&t| d.corpus.vocab.word(t))
+                .collect::<Vec<_>>()
         );
         // The *top* of the list — what masked category prediction leans on —
         // must be dominated by sports words.
@@ -368,7 +427,11 @@ mod tests {
         assert!(
             top5_sporty >= 3,
             "top of category vocab not sporty: {:?}",
-            vocab.iter().take(5).map(|&t| d.corpus.vocab.word(t)).collect::<Vec<_>>()
+            vocab
+                .iter()
+                .take(5)
+                .map(|&t| d.corpus.vocab.word(t))
+                .collect::<Vec<_>>()
         );
         for other in ["business", "world"] {
             let other_lex = structmine_text::synth::lexicon::lexicon(other);
@@ -405,7 +468,10 @@ mod tests {
         let gold = d.test_gold();
         let pre = accuracy(&common::test_slice(&d, &out.pretrain_predictions), &gold);
         let post = accuracy(&common::test_slice(&d, &out.predictions), &gold);
-        assert!(post >= pre - 0.05, "self-training regressed {pre} -> {post}");
+        assert!(
+            post >= pre - 0.05,
+            "self-training regressed {pre} -> {post}"
+        );
     }
 
     #[test]
@@ -415,8 +481,20 @@ mod tests {
         let v = &d.corpus.vocab;
         let id = |w: &str| v.id(w).unwrap();
         // "pitch" in a soccer context vs a music context.
-        let soccer_ctx = vec![id("soccer"), id("striker"), id("pitch"), id("goal"), id("keeper")];
-        let music_ctx = vec![id("band"), id("singer"), id("pitch"), id("melody"), id("concert")];
+        let soccer_ctx = vec![
+            id("soccer"),
+            id("striker"),
+            id("pitch"),
+            id("goal"),
+            id("keeper"),
+        ];
+        let music_ctx = vec![
+            id("band"),
+            id("singer"),
+            id("pitch"),
+            id("melody"),
+            id("concert"),
+        ];
         let demos = replacement_demo(&plm, v, &[soccer_ctx, music_ctx], id("pitch"), 10);
         assert_eq!(demos.len(), 2);
         assert_eq!(demos[0].len(), 10);

@@ -12,6 +12,7 @@
 //! real labeled documents plus the synthesized ones.
 
 use structmine_embed::hin::{HinConfig, HinGraph};
+use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{rng as lrng, stats, vector, Matrix};
 use structmine_nn::classifiers::{MlpClassifier, TrainConfig};
 use structmine_text::{Dataset, Supervision};
@@ -33,6 +34,9 @@ pub struct MetaCat {
     pub hidden: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Execution policy for the document featurization (thread count;
+    /// output is bitwise identical for any value).
+    pub exec: ExecPolicy,
 }
 
 impl Default for MetaCat {
@@ -45,6 +49,7 @@ impl Default for MetaCat {
             temp: 8.0,
             hidden: 32,
             seed: 121,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -97,9 +102,21 @@ impl MetaCat {
         let (_, labels0) = g.add_partition("label", n_classes);
         let meta = dataset.meta;
         let (users0, tags0, venues0, authors0) = (
-            if meta.n_users > 0 { Some(g.add_partition("user", meta.n_users).1) } else { None },
-            if meta.n_tags > 0 { Some(g.add_partition("tag", meta.n_tags).1) } else { None },
-            if meta.n_venues > 0 { Some(g.add_partition("venue", meta.n_venues).1) } else { None },
+            if meta.n_users > 0 {
+                Some(g.add_partition("user", meta.n_users).1)
+            } else {
+                None
+            },
+            if meta.n_tags > 0 {
+                Some(g.add_partition("tag", meta.n_tags).1)
+            } else {
+                None
+            },
+            if meta.n_venues > 0 {
+                Some(g.add_partition("venue", meta.n_venues).1)
+            } else {
+                None
+            },
             if meta.n_authors > 0 {
                 Some(g.add_partition("author", meta.n_authors).1)
             } else {
@@ -152,7 +169,12 @@ impl MetaCat {
             SignalSet::GraphOnly => vec![dmeta, dlabel],
         };
         let emb = g.embed(
-            &HinConfig { dim: self.dim, samples: self.samples, seed: self.seed, ..Default::default() },
+            &HinConfig {
+                dim: self.dim,
+                samples: self.samples,
+                seed: self.seed,
+                ..Default::default()
+            },
             &edge_types,
         );
 
@@ -184,7 +206,7 @@ impl MetaCat {
         // Label prototype: labeled documents' features + name-word vectors.
         let names = dataset.label_name_tokens();
         let mut label_vecs: Vec<Vec<f32>> = Vec::with_capacity(n_classes);
-        for c in 0..n_classes {
+        for (c, name_toks) in names.iter().enumerate() {
             let mut acc = emb.row(labels0 + c).to_vec();
             let mut weight = 1.0f32;
             for &(i, lc) in labeled {
@@ -193,7 +215,7 @@ impl MetaCat {
                     weight += 1.0;
                 }
             }
-            for &t in &names[c] {
+            for &t in name_toks {
                 vector::axpy(&mut acc, 1.0, emb.row(words0 + t as usize));
                 weight += 1.0;
             }
@@ -243,15 +265,30 @@ impl MetaCat {
         let x = Matrix::from_vec(train_y.len(), self.dim, train_x);
         let mut clf = MlpClassifier::new(self.dim, self.hidden, n_classes, self.seed);
         let targets = structmine_nn::classifiers::one_hot(&train_y, n_classes, 0.1);
-        clf.fit(&x, &targets, &TrainConfig { epochs: 30, seed: self.seed, ..Default::default() });
+        clf.fit(
+            &x,
+            &targets,
+            &TrainConfig {
+                epochs: 30,
+                seed: self.seed,
+                ..Default::default()
+            },
+        );
 
-        // Predict every document from its (consistent) representation.
+        // Predict every document from its (consistent) representation. Each
+        // feature row depends only on the frozen embedding, so the rows are
+        // computed under the policy and written back in document order.
+        let idx: Vec<usize> = (0..n_docs).collect();
+        let rows = par_map_chunks(&self.exec, &idx, |_, &i| doc_feature(i));
         let mut doc_features = Matrix::zeros(n_docs, self.dim);
-        for i in 0..n_docs {
-            doc_features.row_mut(i).copy_from_slice(&doc_feature(i));
+        for (i, row) in rows.iter().enumerate() {
+            doc_features.row_mut(i).copy_from_slice(row);
         }
         let predictions = clf.predict(&doc_features);
-        MetaCatOutput { predictions, n_nodes: g.n_nodes() }
+        MetaCatOutput {
+            predictions,
+            n_nodes: g.n_nodes(),
+        }
     }
 }
 
@@ -273,7 +310,11 @@ mod tests {
     fn metacat_beats_chance_with_few_labels() {
         let d = small();
         let sup = d.supervision_docs(3, 1);
-        let out = MetaCat { samples: 60_000, ..Default::default() }.run(&d, &sup);
+        let out = MetaCat {
+            samples: 60_000,
+            ..Default::default()
+        }
+        .run(&d, &sup);
         let a = acc(&d, &out.predictions);
         assert!(a > 0.4, "MetaCat acc {a}");
         assert!(out.n_nodes > d.corpus.len());
@@ -283,9 +324,19 @@ mod tests {
     fn metadata_signals_help_over_text_only() {
         let d = small();
         let sup = d.supervision_docs(3, 2);
-        let cfg = MetaCat { samples: 60_000, ..Default::default() };
-        let full = acc(&d, &cfg.run_with_signals(&d, &sup, SignalSet::Full).predictions);
-        let text = acc(&d, &cfg.run_with_signals(&d, &sup, SignalSet::TextOnly).predictions);
+        let cfg = MetaCat {
+            samples: 60_000,
+            ..Default::default()
+        };
+        let full = acc(
+            &d,
+            &cfg.run_with_signals(&d, &sup, SignalSet::Full).predictions,
+        );
+        let text = acc(
+            &d,
+            &cfg.run_with_signals(&d, &sup, SignalSet::TextOnly)
+                .predictions,
+        );
         assert!(
             full >= text - 0.05,
             "metadata should not hurt: full {full} vs text-only {text}"
@@ -296,8 +347,15 @@ mod tests {
     fn graph_only_still_carries_signal() {
         let d = small();
         let sup = d.supervision_docs(3, 3);
-        let cfg = MetaCat { samples: 60_000, ..Default::default() };
-        let graph = acc(&d, &cfg.run_with_signals(&d, &sup, SignalSet::GraphOnly).predictions);
+        let cfg = MetaCat {
+            samples: 60_000,
+            ..Default::default()
+        };
+        let graph = acc(
+            &d,
+            &cfg.run_with_signals(&d, &sup, SignalSet::GraphOnly)
+                .predictions,
+        );
         assert!(graph > 0.25, "graph-only acc {graph}");
     }
 

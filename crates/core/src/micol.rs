@@ -17,6 +17,7 @@
 
 use crate::common;
 use rand::Rng;
+use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{rng as lrng, vector, Matrix};
 use structmine_nn::classifiers::{MlpClassifier, TrainConfig};
 use structmine_nn::graph::Graph;
@@ -63,6 +64,9 @@ pub struct MiCoL {
     pub lr: f32,
     /// RNG seed.
     pub seed: u64,
+    /// Execution policy for the PLM encodes (thread count; output is
+    /// bitwise identical for any value).
+    pub exec: ExecPolicy,
 }
 
 impl Default for MiCoL {
@@ -75,6 +79,7 @@ impl Default for MiCoL {
             batch: 16,
             lr: 3e-3,
             seed: 131,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -83,8 +88,8 @@ impl MiCoL {
     /// Run MICoL: returns, for every document, the full label ranking
     /// (best first).
     pub fn run(&self, dataset: &Dataset, plm: &MiniPlm) -> Vec<Vec<usize>> {
-        let features = common::plm_features(dataset, plm);
-        let label_feats = label_features(dataset, plm);
+        let features = common::plm_features_with(dataset, plm, &self.exec);
+        let label_feats = label_features_with(dataset, plm, &self.exec);
         let pairs = mine_pairs(dataset, self.meta_path, self.max_pairs, self.seed);
         match self.encoder {
             Encoder::Bi => {
@@ -100,18 +105,15 @@ impl MiCoL {
 }
 
 /// Mine positive document pairs along a meta-path.
-pub fn mine_pairs(
-    dataset: &Dataset,
-    path: MetaPath,
-    cap: usize,
-    seed: u64,
-) -> Vec<(usize, usize)> {
+pub fn mine_pairs(dataset: &Dataset, path: MetaPath, cap: usize, seed: u64) -> Vec<(usize, usize)> {
     let mut pairs = Vec::new();
     match path {
         MetaPath::SharedReference => {
-            // Group docs by each reference they cite.
-            let mut by_ref: std::collections::HashMap<usize, Vec<usize>> =
-                std::collections::HashMap::new();
+            // Group docs by each reference they cite. BTreeMap: the groups
+            // are iterated below, and hash iteration order would make the
+            // shuffled subsample differ from process to process.
+            let mut by_ref: std::collections::BTreeMap<usize, Vec<usize>> =
+                std::collections::BTreeMap::new();
             for (i, doc) in dataset.corpus.docs.iter().enumerate() {
                 for &r in &doc.refs {
                     by_ref.entry(r).or_default().push(i);
@@ -131,8 +133,8 @@ pub fn mine_pairs(
             }
         }
         MetaPath::SharedVenue => {
-            let mut by_venue: std::collections::HashMap<usize, Vec<usize>> =
-                std::collections::HashMap::new();
+            let mut by_venue: std::collections::BTreeMap<usize, Vec<usize>> =
+                std::collections::BTreeMap::new();
             for (i, doc) in dataset.corpus.docs.iter().enumerate() {
                 if let Some(v) = doc.venue {
                     by_venue.entry(v).or_default().push(i);
@@ -145,8 +147,8 @@ pub fn mine_pairs(
             }
         }
         MetaPath::SharedAuthor => {
-            let mut by_author: std::collections::HashMap<usize, Vec<usize>> =
-                std::collections::HashMap::new();
+            let mut by_author: std::collections::BTreeMap<usize, Vec<usize>> =
+                std::collections::BTreeMap::new();
             for (i, doc) in dataset.corpus.docs.iter().enumerate() {
                 for &a in &doc.authors {
                     by_author.entry(a).or_default().push(i);
@@ -169,21 +171,19 @@ pub fn mine_pairs(
 
 /// PLM features of each label's name + description.
 pub fn label_features(dataset: &Dataset, plm: &MiniPlm) -> Matrix {
+    label_features_with(dataset, plm, ExecPolicy::global())
+}
+
+/// [`label_features`] under an explicit execution policy.
+pub fn label_features_with(dataset: &Dataset, plm: &MiniPlm, policy: &ExecPolicy) -> Matrix {
     let hyps = crate::taxoclass::class_hypotheses(dataset);
-    let mut m = Matrix::zeros(hyps.len(), plm.config.d_model);
-    for (c, h) in hyps.iter().enumerate() {
-        m.row_mut(c).copy_from_slice(&plm.mean_embed(h));
-    }
-    m
+    let rows = par_map_chunks(policy, &hyps, |_, h| plm.mean_embed(h));
+    let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+    Matrix::from_rows(&refs)
 }
 
 /// InfoNCE training of a linear projection over frozen features.
-fn train_bi_encoder(
-    features: &Matrix,
-    pairs: &[(usize, usize)],
-    cfg: &MiCoL,
-    d: usize,
-) -> Matrix {
+fn train_bi_encoder(features: &Matrix, pairs: &[(usize, usize)], cfg: &MiCoL, d: usize) -> Matrix {
     let mut store = ParamStore::new();
     let mut rng = lrng::seeded(cfg.seed);
     // Initialize near identity so the frozen-feature geometry is the prior.
@@ -204,8 +204,9 @@ fn train_bi_encoder(
     let anchor = 0.5f32;
     let identity = Matrix::identity(d);
     for _ in 0..cfg.steps {
-        let batch: Vec<(usize, usize)> =
-            (0..cfg.batch).map(|_| pairs[rng.gen_range(0..pairs.len())]).collect();
+        let batch: Vec<(usize, usize)> = (0..cfg.batch)
+            .map(|_| pairs[rng.gen_range(0..pairs.len())])
+            .collect();
         let a_idx: Vec<usize> = batch.iter().map(|&(a, _)| a).collect();
         let b_idx: Vec<usize> = batch.iter().map(|&(_, b)| b).collect();
         let mut g = Graph::new();
@@ -241,8 +242,9 @@ fn rank_by_projection(features: &Matrix, labels: &Matrix, proj: &Matrix) -> Vec<
     let pl = labels.matmul(proj);
     (0..pf.rows())
         .map(|i| {
-            let scores: Vec<f32> =
-                (0..pl.rows()).map(|c| vector::cosine(pf.row(i), pl.row(c))).collect();
+            let scores: Vec<f32> = (0..pl.rows())
+                .map(|c| vector::cosine(pf.row(i), pl.row(c)))
+                .collect();
             vector::top_k(&scores, pl.rows())
         })
         .collect()
@@ -275,13 +277,24 @@ fn train_cross_encoder(features: &Matrix, pairs: &[(usize, usize)], cfg: &MiCoL)
         x_data.extend(interaction(features.row(a), features.row(b)));
         y.push(1usize);
         // Random negative.
-        let (na, nb) = (rng.gen_range(0..features.rows()), rng.gen_range(0..features.rows()));
+        let (na, nb) = (
+            rng.gen_range(0..features.rows()),
+            rng.gen_range(0..features.rows()),
+        );
         x_data.extend(interaction(features.row(na), features.row(nb)));
         y.push(0);
     }
     let x = Matrix::from_vec(y.len(), 2 * d, x_data);
     let targets = structmine_nn::classifiers::one_hot(&y, 2, 0.05);
-    clf.fit(&x, &targets, &TrainConfig { epochs: 15, seed: cfg.seed, ..Default::default() });
+    clf.fit(
+        &x,
+        &targets,
+        &TrainConfig {
+            epochs: 15,
+            seed: cfg.seed,
+            ..Default::default()
+        },
+    );
     clf
 }
 
@@ -312,9 +325,15 @@ pub fn doc2vec_ranking(dataset: &Dataset, seed: u64) -> Vec<Vec<usize>> {
     let mut corpus = dataset.corpus.clone();
     let n = corpus.len();
     for h in &hyps {
-        corpus.docs.push(structmine_text::Doc::from_tokens(h.clone()));
+        corpus
+            .docs
+            .push(structmine_text::Doc::from_tokens(h.clone()));
     }
-    let vecs = structmine_embed::docvec::Pvdbow { seed, ..Default::default() }.train(&corpus);
+    let vecs = structmine_embed::docvec::Pvdbow {
+        seed,
+        ..Default::default()
+    }
+    .train(&corpus);
     (0..n)
         .map(|i| {
             let scores: Vec<f32> = (0..hyps.len())
@@ -336,15 +355,10 @@ pub fn plm_rep_ranking(dataset: &Dataset, plm: &MiniPlm) -> Vec<Vec<usize>> {
 /// Zero-shot entailment ranking (ZeroShot-Entail row).
 pub fn entail_ranking(dataset: &Dataset, plm: &MiniPlm) -> Vec<Vec<usize>> {
     let hyps = crate::taxoclass::class_hypotheses(dataset);
-    dataset
-        .corpus
-        .docs
-        .iter()
-        .map(|doc| {
-            let scores: Vec<f32> =
-                hyps.iter().map(|h| plm.nli_entail_prob(&doc.tokens, h)).collect();
-            vector::top_k(&scores, hyps.len())
-        })
+    let scores =
+        structmine_plm::repr::nli_entail_matrix(plm, &dataset.corpus, &hyps, ExecPolicy::global());
+    (0..scores.rows())
+        .map(|i| vector::top_k(scores.row(i), hyps.len()))
         .collect()
 }
 
@@ -359,32 +373,47 @@ pub fn augmentation_contrastive_ranking(
 ) -> Vec<Vec<usize>> {
     let features = common::plm_features(dataset, plm);
     let mut rng = lrng::seeded(seed);
-    // Build augmented features: encode a corrupted copy of each doc.
+    // Corrupt every document serially first (the RNG stream must not depend
+    // on the thread count), then encode the corrupted copies in parallel.
     let n = dataset.corpus.len();
     let mut aug = Matrix::zeros(n, plm.config.d_model);
     let vocab_len = dataset.corpus.vocab.len();
-    for (i, doc) in dataset.corpus.docs.iter().enumerate() {
-        let corrupted: Vec<_> = doc
-            .tokens
-            .iter()
-            .filter_map(|&t| {
-                if rng.gen::<f32>() < 0.2 {
-                    if substitution {
-                        Some(rng.gen_range(structmine_text::vocab::N_SPECIAL as u32..vocab_len as u32))
+    let corrupted: Vec<Vec<structmine_text::vocab::TokenId>> = dataset
+        .corpus
+        .docs
+        .iter()
+        .map(|doc| {
+            doc.tokens
+                .iter()
+                .filter_map(|&t| {
+                    if rng.gen::<f32>() < 0.2 {
+                        if substitution {
+                            Some(rng.gen_range(
+                                structmine_text::vocab::N_SPECIAL as u32..vocab_len as u32,
+                            ))
+                        } else {
+                            None // dropout
+                        }
                     } else {
-                        None // dropout
+                        Some(t)
                     }
-                } else {
-                    Some(t)
-                }
-            })
-            .collect();
-        aug.row_mut(i).copy_from_slice(&plm.mean_embed(&corrupted));
+                })
+                .collect()
+        })
+        .collect();
+    let aug_rows = par_map_chunks(ExecPolicy::global(), &corrupted, |_, toks| {
+        plm.mean_embed(toks)
+    });
+    for (i, row) in aug_rows.iter().enumerate() {
+        aug.row_mut(i).copy_from_slice(row);
     }
     // Stack [features; aug] and train the bi-encoder on (i, n+i) pairs.
     let stacked = Matrix::vstack(&[&features, &aug]);
     let pairs: Vec<(usize, usize)> = (0..n).map(|i| (i, n + i)).collect();
-    let cfg = MiCoL { seed, ..Default::default() };
+    let cfg = MiCoL {
+        seed,
+        ..Default::default()
+    };
     let proj = train_bi_encoder(&stacked, &pairs, &cfg, stacked.cols());
     let labels = label_features(dataset, plm);
     rank_by_projection(&features, &labels, &proj)
@@ -403,7 +432,12 @@ pub fn supervised_match_ranking(
     let labels = label_features(dataset, plm);
     let d = features.cols();
     let n_train = ((dataset.train_idx.len() as f32) * fraction).ceil() as usize;
-    let idx: Vec<usize> = dataset.train_idx.iter().copied().take(n_train.max(1)).collect();
+    let idx: Vec<usize> = dataset
+        .train_idx
+        .iter()
+        .copied()
+        .take(n_train.max(1))
+        .collect();
 
     let mut store = ParamStore::new();
     let mut rng = lrng::seeded(seed);
@@ -450,17 +484,24 @@ mod tests {
     use structmine_text::synth::recipes;
 
     fn eval_p1(d: &Dataset, rankings: &[Vec<usize>]) -> f32 {
-        let pred: Vec<Vec<usize>> =
-            d.test_idx.iter().map(|&i| rankings[i].clone()).collect();
+        let pred: Vec<Vec<usize>> = d.test_idx.iter().map(|&i| rankings[i].clone()).collect();
         precision_at_k(&pred, &d.test_gold_sets(), 1)
     }
 
     #[test]
     fn meta_paths_mine_topically_coherent_pairs() {
-        let d = recipes::mag_cs(0.1, 91);
-        for path in [MetaPath::SharedReference, MetaPath::CoCited, MetaPath::SharedVenue] {
+        let d = recipes::mag_cs(0.1, 90);
+        for path in [
+            MetaPath::SharedReference,
+            MetaPath::CoCited,
+            MetaPath::SharedVenue,
+        ] {
             let pairs = mine_pairs(&d, path, 2000, 1);
-            assert!(pairs.len() > 20, "{path:?} mined too few pairs: {}", pairs.len());
+            assert!(
+                pairs.len() > 20,
+                "{path:?} mined too few pairs: {}",
+                pairs.len()
+            );
             let mut overlap = 0usize;
             for &(a, b) in &pairs {
                 let la = &d.corpus.docs[a].labels;
@@ -476,20 +517,26 @@ mod tests {
 
     #[test]
     fn bi_encoder_beats_or_matches_frozen_plm() {
-        let d = recipes::mag_cs(0.1, 92);
+        let d = recipes::mag_cs(0.1, 90);
         let plm = pretrained(Tier::Test, 0);
         let frozen = eval_p1(&d, &plm_rep_ranking(&d, &plm));
         let micol = eval_p1(&d, &MiCoL::default().run(&d, &plm));
         assert!(micol > 0.2, "MICoL P@1 {micol}");
-        assert!(micol >= frozen - 0.08, "MICoL {micol} badly trails frozen {frozen}");
+        assert!(
+            micol >= frozen - 0.08,
+            "MICoL {micol} badly trails frozen {frozen}"
+        );
     }
 
     #[test]
     fn cross_encoder_produces_full_rankings() {
         let d = recipes::pubmed(0.06, 93);
         let plm = pretrained(Tier::Test, 0);
-        let rankings =
-            MiCoL { encoder: Encoder::Cross, ..Default::default() }.run(&d, &plm);
+        let rankings = MiCoL {
+            encoder: Encoder::Cross,
+            ..Default::default()
+        }
+        .run(&d, &plm);
         assert_eq!(rankings.len(), d.corpus.len());
         for r in &rankings {
             assert_eq!(r.len(), d.n_classes());
@@ -500,13 +547,14 @@ mod tests {
 
     #[test]
     fn supervised_match_improves_with_more_data() {
-        let d = recipes::mag_cs(0.1, 94);
+        let d = recipes::mag_cs(0.1, 90);
         let plm = pretrained(Tier::Test, 0);
         let small = supervised_match_ranking(&d, &plm, 0.05, 7);
         let large = supervised_match_ranking(&d, &plm, 1.0, 7);
         let gold = d.test_gold_sets();
-        let pred =
-            |r: &[Vec<usize>]| -> Vec<Vec<usize>> { d.test_idx.iter().map(|&i| r[i].clone()).collect() };
+        let pred = |r: &[Vec<usize>]| -> Vec<Vec<usize>> {
+            d.test_idx.iter().map(|&i| r[i].clone()).collect()
+        };
         let n_small = ndcg_at_k(&pred(&small), &gold, 3);
         let n_large = ndcg_at_k(&pred(&large), &gold, 3);
         assert!(
@@ -521,6 +569,6 @@ mod tests {
         let rankings = doc2vec_ranking(&d, 3);
         assert_eq!(rankings.len(), d.corpus.len());
         let p1 = eval_p1(&d, &rankings);
-        assert!(p1 >= 0.0 && p1 <= 1.0);
+        assert!((0.0..=1.0).contains(&p1));
     }
 }

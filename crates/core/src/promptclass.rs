@@ -17,6 +17,7 @@
 //! confident set grows, and the loop repeats.
 
 use crate::common;
+use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{stats, Matrix};
 use structmine_nn::classifiers::{MlpClassifier, TrainConfig};
 use structmine_plm::prompt;
@@ -49,6 +50,9 @@ pub struct PromptClass {
     pub hidden: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Execution policy for the prompt scoring and corpus encode (thread
+    /// count; output is bitwise identical for any value).
+    pub exec: ExecPolicy,
 }
 
 impl Default for PromptClass {
@@ -61,6 +65,7 @@ impl Default for PromptClass {
             prompt_weight: 0.5,
             hidden: 32,
             seed: 91,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -94,7 +99,7 @@ impl PromptClass {
             .map(|i| structmine_linalg::vector::argmax(prompt_probs.row(i)).unwrap_or(0))
             .collect();
 
-        let features = common::plm_features(dataset, plm);
+        let features = common::plm_features_with(dataset, plm, &self.exec);
         let mut blended = prompt_probs.clone();
         let mut clf = MlpClassifier::new(features.cols(), self.hidden, n_classes, self.seed);
         let mut quota = self.initial_quota.max(1);
@@ -109,7 +114,11 @@ impl PromptClass {
             clf.fit(
                 &x,
                 &t,
-                &TrainConfig { epochs: 25, seed: self.seed ^ it as u64, ..Default::default() },
+                &TrainConfig {
+                    epochs: 25,
+                    seed: self.seed ^ it as u64,
+                    ..Default::default()
+                },
             );
             let clf_probs = clf.predict_proba(&features);
             // Blend prompt and classifier views (co-training) and sharpen.
@@ -128,31 +137,31 @@ impl PromptClass {
         }
 
         let predictions = clf.predict(&features);
-        PromptClassOutput { predictions, zero_shot_predictions }
+        PromptClassOutput {
+            predictions,
+            zero_shot_predictions,
+        }
     }
 
     fn prompt_scores(&self, dataset: &Dataset, plm: &MiniPlm) -> Matrix {
         let names = dataset.label_name_tokens();
-        let n = dataset.corpus.len();
-        let mut scores = Matrix::zeros(n, names.len());
-        for (i, doc) in dataset.corpus.docs.iter().enumerate() {
-            let row = match self.style {
-                PromptStyle::Mlm => prompt::cloze_label_scores(
-                    plm,
-                    &doc.tokens,
-                    &names,
-                    &dataset.corpus.vocab,
-                ),
-                PromptStyle::Rtd => prompt::rtd_label_scores(
-                    plm,
-                    &doc.tokens,
-                    &names,
-                    &dataset.corpus.vocab,
-                ),
-            };
-            scores.row_mut(i).copy_from_slice(&row);
+        // Each document's prompt query is independent; rows come back in
+        // document order regardless of the thread count.
+        let rows = par_map_chunks(&self.exec, &dataset.corpus.docs, |_, doc| {
+            match self.style {
+                PromptStyle::Mlm => {
+                    prompt::cloze_label_scores(plm, &doc.tokens, &names, &dataset.corpus.vocab)
+                }
+                PromptStyle::Rtd => {
+                    prompt::rtd_label_scores(plm, &doc.tokens, &names, &dataset.corpus.vocab)
+                }
+            }
+        });
+        if rows.is_empty() {
+            return Matrix::zeros(0, names.len());
         }
-        scores
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs)
     }
 }
 
@@ -171,8 +180,11 @@ mod tests {
     fn mlm_zero_shot_beats_chance() {
         let d = recipes::agnews(0.08, 51);
         let plm = pretrained(Tier::Test, 0);
-        let preds =
-            PromptClass { style: PromptStyle::Mlm, ..Default::default() }.zero_shot(&d, &plm);
+        let preds = PromptClass {
+            style: PromptStyle::Mlm,
+            ..Default::default()
+        }
+        .zero_shot(&d, &plm);
         let a = acc(&d, &preds);
         assert!(a > 0.35, "MLM zero-shot acc {a}");
     }
@@ -181,7 +193,11 @@ mod tests {
     fn full_pipeline_improves_on_zero_shot_or_ties() {
         let d = recipes::agnews(0.08, 52);
         let plm = pretrained(Tier::Test, 0);
-        let out = PromptClass { style: PromptStyle::Mlm, ..Default::default() }.run(&d, &plm);
+        let out = PromptClass {
+            style: PromptStyle::Mlm,
+            ..Default::default()
+        }
+        .run(&d, &plm);
         let zs = acc(&d, &out.zero_shot_predictions);
         let full = acc(&d, &out.predictions);
         assert!(full >= zs - 0.05, "co-training regressed: {zs} -> {full}");
@@ -192,8 +208,12 @@ mod tests {
     fn rtd_style_produces_valid_predictions() {
         let d = recipes::yelp(0.06, 53);
         let plm = pretrained(Tier::Test, 0);
-        let out = PromptClass { style: PromptStyle::Rtd, iterations: 2, ..Default::default() }
-            .run(&d, &plm);
+        let out = PromptClass {
+            style: PromptStyle::Rtd,
+            iterations: 2,
+            ..Default::default()
+        }
+        .run(&d, &plm);
         assert_eq!(out.predictions.len(), d.corpus.len());
         assert!(out.predictions.iter().all(|&p| p < d.n_classes()));
     }

@@ -14,6 +14,7 @@
 //!    self-training**, with ancestor closure enforced on the outputs.
 
 use crate::common;
+use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{vector, Matrix};
 use structmine_nn::graph::Graph;
 use structmine_nn::params::{Adam, Binding, ParamStore};
@@ -37,6 +38,9 @@ pub struct TaxoClass {
     pub epochs: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Execution policy for the relevance search and corpus encode (thread
+    /// count; output is bitwise identical for any value).
+    pub exec: ExecPolicy,
 }
 
 impl Default for TaxoClass {
@@ -48,6 +52,7 @@ impl Default for TaxoClass {
             predict_threshold: 0.5,
             epochs: 25,
             seed: 111,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -66,51 +71,26 @@ pub struct TaxoClassOutput {
 impl TaxoClass {
     /// Run TaxoClass on a DAG dataset.
     pub fn run(&self, dataset: &Dataset, plm: &MiniPlm) -> TaxoClassOutput {
-        let taxonomy = dataset.taxonomy.as_ref().expect("TaxoClass needs a taxonomy");
+        let taxonomy = dataset
+            .taxonomy
+            .as_ref()
+            .expect("TaxoClass needs a taxonomy");
         let n_classes = dataset.n_classes();
         let hypotheses = class_hypotheses(dataset);
 
         let class_of_node = |node: NodeId| -> usize {
-            dataset.class_nodes.iter().position(|&n| n == node).expect("node→class")
+            dataset
+                .class_nodes
+                .iter()
+                .position(|&n| n == node)
+                .expect("node→class")
         };
 
         // ------------------------------------------------------------------
         // 1+2. Top-down relevance search per document.
         // ------------------------------------------------------------------
         let n = dataset.corpus.len();
-        let mut candidates: Vec<Vec<(usize, f32)>> = Vec::with_capacity(n);
-        for doc in &dataset.corpus.docs {
-            let mut frontier = vec![taxonomy.root()];
-            let mut kept: Vec<(usize, f32)> = Vec::new();
-            while !frontier.is_empty() {
-                let mut next = Vec::new();
-                for node in frontier.drain(..) {
-                    let children = taxonomy.children(node);
-                    if children.is_empty() {
-                        continue;
-                    }
-                    let mut scored: Vec<(NodeId, f32)> = children
-                        .iter()
-                        .map(|&ch| {
-                            let c = class_of_node(ch);
-                            (ch, plm.nli_entail_prob(&doc.tokens, &hypotheses[c]))
-                        })
-                        .collect();
-                    scored.sort_by(|a, b| {
-                        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-                    });
-                    for &(ch, rel) in scored.iter().take(self.beam) {
-                        let c = class_of_node(ch);
-                        if !kept.iter().any(|&(k, _)| k == c) {
-                            kept.push((c, rel));
-                            next.push(ch);
-                        }
-                    }
-                }
-                frontier = next;
-            }
-            candidates.push(kept);
-        }
+        let candidates = top_down_search(dataset, plm, &hypotheses, self.beam, &self.exec);
 
         // ------------------------------------------------------------------
         // 3. Core classes.
@@ -125,9 +105,10 @@ impl TaxoClass {
                     .collect();
                 if core.is_empty() {
                     // Guarantee at least the single most relevant candidate.
-                    if let Some(&(c, _)) = kept.iter().max_by(|a, b| {
-                        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-                    }) {
+                    if let Some(&(c, _)) = kept
+                        .iter()
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    {
                         core.push(c);
                     }
                 }
@@ -138,7 +119,7 @@ impl TaxoClass {
         // ------------------------------------------------------------------
         // 4. Multi-label classifier + self-training with ancestor closure.
         // ------------------------------------------------------------------
-        let features = common::plm_features(dataset, plm);
+        let features = common::plm_features_with(dataset, plm, &self.exec);
         let mut clf = MultiLabelHead::new(features.cols(), n_classes, self.seed);
 
         // Initial targets: core classes (+ ancestors) positive, everything
@@ -185,7 +166,12 @@ impl TaxoClass {
                     );
                 }
             }
-            clf.fit(&features, &next_targets, self.epochs / 2, self.seed ^ (it as u64 + 1));
+            clf.fit(
+                &features,
+                &next_targets,
+                self.epochs / 2,
+                self.seed ^ (it as u64 + 1),
+            );
         }
 
         // Predictions with ancestor closure.
@@ -194,8 +180,9 @@ impl TaxoClass {
         let mut top1 = Vec::with_capacity(n);
         for i in 0..n {
             let row = probs.row(i);
-            let mut set: Vec<usize> =
-                (0..n_classes).filter(|&c| row[c] >= self.predict_threshold).collect();
+            let mut set: Vec<usize> = (0..n_classes)
+                .filter(|&c| row[c] >= self.predict_threshold)
+                .collect();
             let best = vector::argmax(row).unwrap_or(0);
             if !set.contains(&best) {
                 set.push(best);
@@ -213,8 +200,66 @@ impl TaxoClass {
             top1.push(best);
         }
 
-        TaxoClassOutput { label_sets, top1, core_classes }
+        TaxoClassOutput {
+            label_sets,
+            top1,
+            core_classes,
+        }
     }
+}
+
+/// Top-down beam search per document: expand only the `beam` most relevant
+/// children per taxonomy level, scored by NLI entailment between document
+/// and class hypothesis. Documents are independent, so they are shared
+/// across the policy's threads; results stay in document order.
+fn top_down_search(
+    dataset: &Dataset,
+    plm: &MiniPlm,
+    hypotheses: &[Vec<TokenId>],
+    beam: usize,
+    policy: &ExecPolicy,
+) -> Vec<Vec<(usize, f32)>> {
+    let taxonomy = dataset
+        .taxonomy
+        .as_ref()
+        .expect("top-down search needs a taxonomy");
+    let class_of_node = |node: NodeId| -> usize {
+        dataset
+            .class_nodes
+            .iter()
+            .position(|&n| n == node)
+            .expect("node→class")
+    };
+    par_map_chunks(policy, &dataset.corpus.docs, |_, doc| {
+        let mut frontier = vec![taxonomy.root()];
+        let mut kept: Vec<(usize, f32)> = Vec::new();
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for node in frontier.drain(..) {
+                let children = taxonomy.children(node);
+                if children.is_empty() {
+                    continue;
+                }
+                let mut scored: Vec<(NodeId, f32)> = children
+                    .iter()
+                    .map(|&ch| {
+                        let c = class_of_node(ch);
+                        (ch, plm.nli_entail_prob(&doc.tokens, &hypotheses[c]))
+                    })
+                    .collect();
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                for &(ch, rel) in scored.iter().take(beam) {
+                    let c = class_of_node(ch);
+                    if !kept.iter().any(|&(k, _)| k == c) {
+                        kept.push((c, rel));
+                        next.push(ch);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        kept
+    })
 }
 
 /// Hypothesis token sequence per class: name plus description words.
@@ -249,7 +294,13 @@ impl MultiLabelHead {
         let mut rng = structmine_linalg::rng::seeded(seed);
         let w = store.xavier("w", d_in, n_classes, &mut rng);
         let b = store.zeros("b", 1, n_classes);
-        MultiLabelHead { store, w, b, d_in, n_classes }
+        MultiLabelHead {
+            store,
+            w,
+            b,
+            d_in,
+            n_classes,
+        }
     }
 
     /// Fit against element-wise BCE targets in `[0, 1]`.
@@ -300,44 +351,16 @@ impl MultiLabelHead {
 /// training — the candidates themselves (ancestor-closed, thresholded) are
 /// the prediction.
 pub fn hier_zero_shot(dataset: &Dataset, plm: &MiniPlm, beam: usize) -> TaxoClassOutput {
-    let method = TaxoClass { beam, self_train_iters: 0, ..Default::default() };
-    // Reuse the search by running with 0 training epochs: emulate by taking
-    // candidates directly.
-    let taxonomy = dataset.taxonomy.as_ref().expect("needs taxonomy");
-    let hypotheses = class_hypotheses(dataset);
-    let class_of_node = |node: NodeId| -> usize {
-        dataset.class_nodes.iter().position(|&n| n == node).unwrap()
+    let method = TaxoClass {
+        beam,
+        self_train_iters: 0,
+        ..Default::default()
     };
+    let hypotheses = class_hypotheses(dataset);
+    let candidates = top_down_search(dataset, plm, &hypotheses, beam, &method.exec);
     let mut label_sets = Vec::new();
     let mut top1 = Vec::new();
-    for doc in &dataset.corpus.docs {
-        let mut frontier = vec![taxonomy.root()];
-        let mut kept: Vec<(usize, f32)> = Vec::new();
-        while !frontier.is_empty() {
-            let mut next = Vec::new();
-            for node in frontier.drain(..) {
-                let children = taxonomy.children(node);
-                if children.is_empty() {
-                    continue;
-                }
-                let mut scored: Vec<(NodeId, f32)> = children
-                    .iter()
-                    .map(|&ch| {
-                        let c = class_of_node(ch);
-                        (ch, plm.nli_entail_prob(&doc.tokens, &hypotheses[c]))
-                    })
-                    .collect();
-                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-                for &(ch, rel) in scored.iter().take(beam) {
-                    let c = class_of_node(ch);
-                    if !kept.iter().any(|&(k, _)| k == c) {
-                        kept.push((c, rel));
-                        next.push(ch);
-                    }
-                }
-            }
-            frontier = next;
-        }
+    for kept in &candidates {
         let mut set: Vec<usize> = kept
             .iter()
             .filter(|&&(_, rel)| rel >= method.core_threshold)
@@ -355,12 +378,21 @@ pub fn hier_zero_shot(dataset: &Dataset, plm: &MiniPlm, beam: usize) -> TaxoClas
         label_sets.push(set.clone());
         top1.push(best);
     }
-    TaxoClassOutput { label_sets, top1, core_classes: Vec::new() }
+    TaxoClassOutput {
+        label_sets,
+        top1,
+        core_classes: Vec::new(),
+    }
 }
 
 /// Semi-supervised baseline: the multi-label head trained on a fraction of
 /// the gold-labeled training split (SS-PCEM / Semi-BERT rows).
-pub fn semi_supervised(dataset: &Dataset, plm: &MiniPlm, fraction: f32, seed: u64) -> TaxoClassOutput {
+pub fn semi_supervised(
+    dataset: &Dataset,
+    plm: &MiniPlm,
+    fraction: f32,
+    seed: u64,
+) -> TaxoClassOutput {
     let n_classes = dataset.n_classes();
     let features = common::plm_features(dataset, plm);
     let n_train = ((dataset.train_idx.len() as f32) * fraction).ceil() as usize;
@@ -388,7 +420,11 @@ pub fn semi_supervised(dataset: &Dataset, plm: &MiniPlm, fraction: f32, seed: u6
         label_sets.push(set);
         top1.push(best);
     }
-    TaxoClassOutput { label_sets, top1, core_classes: Vec::new() }
+    TaxoClassOutput {
+        label_sets,
+        top1,
+        core_classes: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -399,8 +435,11 @@ mod tests {
     use structmine_text::synth::recipes;
 
     fn eval(d: &Dataset, out: &TaxoClassOutput) -> (f32, f32) {
-        let pred: Vec<Vec<usize>> =
-            d.test_idx.iter().map(|&i| out.label_sets[i].clone()).collect();
+        let pred: Vec<Vec<usize>> = d
+            .test_idx
+            .iter()
+            .map(|&i| out.label_sets[i].clone())
+            .collect();
         let top1: Vec<usize> = d.test_idx.iter().map(|&i| out.top1[i]).collect();
         let gold = d.test_gold_sets();
         (example_f1(&pred, &gold), precision_at_1_sets(&top1, &gold))

@@ -14,6 +14,7 @@
 use crate::westclass::WeSTClass;
 use rand::Rng as _;
 use structmine_embed::WordVectors;
+use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{rng as lrng, vector, Matrix};
 use structmine_nn::classifiers::{MlpClassifier, TrainConfig};
 use structmine_nn::selftrain;
@@ -39,6 +40,9 @@ pub struct WeSHClass {
     pub hidden: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Execution policy for the per-document path search (thread count;
+    /// output is bitwise identical for any value).
+    pub exec: ExecPolicy,
 }
 
 impl Default for WeSHClass {
@@ -50,6 +54,7 @@ impl Default for WeSHClass {
             self_train: true,
             hidden: 32,
             seed: 101,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -64,12 +69,7 @@ pub struct WeSHClassOutput {
 
 impl WeSHClass {
     /// Run WeSHClass on a tree dataset.
-    pub fn run(
-        &self,
-        dataset: &Dataset,
-        sup: &Supervision,
-        wv: &WordVectors,
-    ) -> WeSHClassOutput {
+    pub fn run(&self, dataset: &Dataset, sup: &Supervision, wv: &WordVectors) -> WeSHClassOutput {
         let taxonomy = dataset
             .taxonomy
             .as_ref()
@@ -109,7 +109,6 @@ impl WeSHClass {
         // log P(node | doc) accumulated along paths.
         let mut path_logp: Vec<std::collections::HashMap<NodeId, f32>> =
             vec![std::collections::HashMap::from([(taxonomy.root(), 0.0f32)]); n_docs];
-        let mut predictions: Vec<Vec<usize>> = vec![Vec::new(); n_docs];
 
         for _level in 1..=max_depth {
             // For every doc, extend each frontier node by its children.
@@ -125,45 +124,68 @@ impl WeSHClass {
                 per_parent_probs.insert(parent, probs);
             }
 
-            for i in 0..n_docs {
+            // Each document's frontier extension only reads the shared
+            // per-parent probability tables, so the documents are shared
+            // across the policy's threads.
+            path_logp = par_map_chunks(&self.exec, &path_logp, |i, frontier| {
                 let mut next: std::collections::HashMap<NodeId, f32> =
                     std::collections::HashMap::new();
-                for (&node, &logp) in &path_logp[i] {
+                // On a DAG a child can be reachable from two frontier
+                // parents; merging with `max` is commutative, so the result
+                // does not depend on the frontier's hash iteration order.
+                let relax =
+                    |next: &mut std::collections::HashMap<NodeId, f32>, node: NodeId, logp: f32| {
+                        next.entry(node)
+                            .and_modify(|v| *v = v.max(logp))
+                            .or_insert(logp);
+                    };
+                for (&node, &logp) in frontier {
                     let children = taxonomy.children(node);
                     if children.is_empty() {
                         // Leaf above max depth: carry forward.
-                        next.insert(node, logp);
+                        relax(&mut next, node, logp);
                         continue;
                     }
                     let probs = &per_parent_probs[&node];
                     if self.use_global {
                         for (j, &child) in children.iter().enumerate() {
-                            next.insert(child, logp + probs.get(i, j).max(1e-9).ln());
+                            relax(&mut next, child, logp + probs.get(i, j).max(1e-9).ln());
                         }
                     } else {
                         // Greedy: only the argmax child survives.
-                        let row: Vec<f32> =
-                            (0..children.len()).map(|j| probs.get(i, j)).collect();
+                        let row: Vec<f32> = (0..children.len()).map(|j| probs.get(i, j)).collect();
                         let best = vector::argmax(&row).unwrap_or(0);
-                        next.insert(children[best], logp + row[best].max(1e-9).ln());
+                        relax(&mut next, children[best], logp + row[best].max(1e-9).ln());
                     }
                 }
-                path_logp[i] = next;
-            }
+                next
+            });
         }
 
         // Final: best surviving node; its root path is the prediction.
-        for i in 0..n_docs {
-            let best = path_logp[i]
+        let predictions = par_map_chunks(&self.exec, &path_logp, |_, frontier| {
+            // Tie-break equal log-probabilities on the node id: `frontier`
+            // is a hash map, and a plain max over its iteration order would
+            // differ from process to process.
+            let best = frontier
                 .iter()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|a, b| {
+                    a.1.partial_cmp(b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.0.cmp(a.0))
+                })
                 .map(|(&n, _)| n)
                 .unwrap_or(taxonomy.root());
-            predictions[i] =
-                taxonomy.path_from_root(best).into_iter().map(class_of_node).collect();
-        }
+            taxonomy
+                .path_from_root(best)
+                .into_iter()
+                .map(class_of_node)
+                .collect()
+        });
 
-        WeSHClassOutput { path_predictions: predictions }
+        WeSHClassOutput {
+            path_predictions: predictions,
+        }
     }
 
     fn class_seeds(
@@ -198,8 +220,7 @@ impl WeSHClass {
                     let mut nodes = vec![node];
                     nodes.extend(taxonomy.ancestors(node));
                     for n in nodes {
-                        let class =
-                            dataset.class_nodes.iter().position(|&x| x == n).unwrap();
+                        let class = dataset.class_nodes.iter().position(|&x| x == n).unwrap();
                         for (t, w) in tfidf.vectorize(&dataset.corpus.docs[i].tokens) {
                             *scores[class].entry(t).or_insert(0.0) += w;
                         }
@@ -209,8 +230,13 @@ impl WeSHClass {
                     .into_iter()
                     .map(|m| {
                         let mut v: Vec<(TokenId, f32)> = m.into_iter().collect();
+                        // Token-id tie-break: `m` is a hash map, so without
+                        // it equal scores would keep a process-dependent
+                        // subset after the truncation below.
                         v.sort_by(|a, b| {
-                            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                            b.1.partial_cmp(&a.1)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(a.0.cmp(&b.0))
                         });
                         v.into_iter().take(8).map(|(t, _)| t).collect()
                     })
@@ -234,7 +260,10 @@ impl WeSHClass {
         let k = children.len();
         let mut x = Matrix::zeros(k * self.pseudo_per_class, wv.dim());
         let mut y = Vec::with_capacity(k * self.pseudo_per_class);
-        let west = WeSTClass { seed: self.seed, ..Default::default() };
+        let west = WeSTClass {
+            seed: self.seed,
+            ..Default::default()
+        };
         for (j, &child) in children.iter().enumerate() {
             let class = class_of_node(child);
             let seeds = &class_seeds[class];
@@ -253,8 +282,10 @@ impl WeSHClass {
                         // sample direction, draw similar words.
                         let dir = vmf.sample(&mut rng);
                         let candidates = wv.nearest(&dir, 40, &[]);
-                        let sims: Vec<f32> =
-                            candidates.iter().map(|&(_, s)| s * west.similarity_temp).collect();
+                        let sims: Vec<f32> = candidates
+                            .iter()
+                            .map(|&(_, s)| s * west.similarity_temp)
+                            .collect();
                         let probs = structmine_linalg::stats::softmax(&sims);
                         (0..west.pseudo_len)
                             .map(|_| {
@@ -284,7 +315,15 @@ impl WeSHClass {
         }
         let mut clf = MlpClassifier::new(wv.dim(), self.hidden, k, self.seed ^ 7);
         let t = structmine_nn::classifiers::one_hot(&y, k, 0.2);
-        clf.fit(&x, &t, &TrainConfig { epochs: 25, seed: self.seed, ..Default::default() });
+        clf.fit(
+            &x,
+            &t,
+            &TrainConfig {
+                epochs: 25,
+                seed: self.seed,
+                ..Default::default()
+            },
+        );
         clf
     }
 }
@@ -345,25 +384,38 @@ mod tests {
 
     fn setup() -> (Dataset, WordVectors) {
         let d = recipes::nyt_tree(0.15, 61);
-        let wv = Sgns::train(&d.corpus, &SgnsConfig { epochs: 4, dim: 24, ..Default::default() });
+        let wv = Sgns::train(
+            &d.corpus,
+            &SgnsConfig {
+                epochs: 4,
+                dim: 24,
+                ..Default::default()
+            },
+        );
         (d, wv)
     }
 
     fn scores(d: &Dataset, out: &WeSHClassOutput) -> (f32, f32) {
-        let pred: Vec<Vec<usize>> =
-            d.test_idx.iter().map(|&i| out.path_predictions[i].clone()).collect();
+        let pred: Vec<Vec<usize>> = d
+            .test_idx
+            .iter()
+            .map(|&i| out.path_predictions[i].clone())
+            .collect();
         let gold = d.test_gold_sets();
-        (path_micro_f1(&pred, &gold), path_macro_f1(&pred, &gold, d.n_classes()))
+        (
+            path_micro_f1(&pred, &gold),
+            path_macro_f1(&pred, &gold, d.n_classes()),
+        )
     }
 
     #[test]
     fn weshclass_predicts_valid_paths() {
         let (d, wv) = setup();
-        let out = WeSHClass { pseudo_per_class: 30, ..Default::default() }.run(
-            &d,
-            &d.supervision_keywords(),
-            &wv,
-        );
+        let out = WeSHClass {
+            pseudo_per_class: 30,
+            ..Default::default()
+        }
+        .run(&d, &d.supervision_keywords(), &wv);
         let tax = d.taxonomy.as_ref().unwrap();
         for path in &out.path_predictions {
             assert_eq!(path.len(), 2, "expected level-2 paths");
@@ -376,11 +428,11 @@ mod tests {
     #[test]
     fn keyword_supervision_beats_chance_strongly() {
         let (d, wv) = setup();
-        let out = WeSHClass { pseudo_per_class: 30, ..Default::default() }.run(
-            &d,
-            &d.supervision_keywords(),
-            &wv,
-        );
+        let out = WeSHClass {
+            pseudo_per_class: 30,
+            ..Default::default()
+        }
+        .run(&d, &d.supervision_keywords(), &wv);
         let (micro, macro_) = scores(&d, &out);
         // Chance micro over 3 domains x 3 leaves ~ (1/3 + 1/9)/2 = 0.22.
         assert!(micro > 0.5, "micro {micro}");
@@ -390,11 +442,11 @@ mod tests {
     #[test]
     fn doc_supervision_works_too() {
         let (d, wv) = setup();
-        let out = WeSHClass { pseudo_per_class: 30, ..Default::default() }.run(
-            &d,
-            &d.supervision_docs(5, 3),
-            &wv,
-        );
+        let out = WeSHClass {
+            pseudo_per_class: 30,
+            ..Default::default()
+        }
+        .run(&d, &d.supervision_docs(5, 3), &wv);
         let (micro, _) = scores(&d, &out);
         assert!(micro > 0.4, "doc-supervised micro {micro}");
     }

@@ -18,6 +18,7 @@ use crate::common;
 use rand::Rng;
 use structmine_embed::vmf::VonMisesFisher;
 use structmine_embed::WordVectors;
+use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{rng as lrng, stats, vector, Matrix};
 use structmine_nn::classifiers::{MlpClassifier, TrainConfig};
 use structmine_nn::selftrain::{self, SelfTrainConfig};
@@ -59,6 +60,9 @@ pub struct WeSTClass {
     pub self_train: bool,
     /// RNG seed.
     pub seed: u64,
+    /// Execution policy for document featurization (thread count; output
+    /// is bitwise identical for any value).
+    pub exec: ExecPolicy,
 }
 
 impl Default for WeSTClass {
@@ -74,6 +78,7 @@ impl Default for WeSTClass {
             hidden: 32,
             self_train: true,
             seed: 51,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -151,7 +156,11 @@ impl WeSTClass {
         clf.fit(
             &pseudo_features,
             &targets,
-            &TrainConfig { epochs: 30, seed: self.seed, ..Default::default() },
+            &TrainConfig {
+                epochs: 30,
+                seed: self.seed,
+                ..Default::default()
+            },
         );
 
         // Document-level supervision also contributes real labeled examples.
@@ -162,7 +171,15 @@ impl WeSTClass {
                 let labels: Vec<usize> = pairs.iter().map(|&(_, c)| c).collect();
                 let x = features.select_rows(&idx);
                 let t = structmine_nn::classifiers::one_hot(&labels, n_classes, 0.05);
-                clf.fit(&x, &t, &TrainConfig { epochs: 20, seed: self.seed ^ 1, ..Default::default() });
+                clf.fit(
+                    &x,
+                    &t,
+                    &TrainConfig {
+                        epochs: 20,
+                        seed: self.seed ^ 1,
+                        ..Default::default()
+                    },
+                );
             }
         }
 
@@ -172,12 +189,19 @@ impl WeSTClass {
             selftrain::self_train(
                 &mut clf,
                 &features,
-                &SelfTrainConfig { seed: self.seed ^ 2, ..Default::default() },
+                &SelfTrainConfig {
+                    seed: self.seed ^ 2,
+                    ..Default::default()
+                },
             );
         }
         let predictions = clf.predict(&features);
 
-        WeSTClassOutput { predictions, pretrain_predictions, keywords }
+        WeSTClassOutput {
+            predictions,
+            pretrain_predictions,
+            keywords,
+        }
     }
 
     /// Interpret the supervision as a keyword list per class.
@@ -222,7 +246,10 @@ impl WeSTClass {
                         v.sort_by(|a, b| {
                             b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
                         });
-                        v.into_iter().take(self.keywords_per_class).map(|(t, _)| t).collect()
+                        v.into_iter()
+                            .take(self.keywords_per_class)
+                            .map(|(t, _)| t)
+                            .collect()
                     })
                     .collect()
             }
@@ -241,8 +268,10 @@ impl WeSTClass {
         // Candidate words: nearest to the sampled direction; sampling weights
         // are a temperature softmax over cosine similarity.
         let candidates = wv.nearest(&direction, 50, &[]);
-        let sims: Vec<f32> =
-            candidates.iter().map(|&(_, s)| s * self.similarity_temp).collect();
+        let sims: Vec<f32> = candidates
+            .iter()
+            .map(|&(_, s)| s * self.similarity_temp)
+            .collect();
         let probs = stats::softmax(&sims);
         let mut doc = Vec::with_capacity(self.pseudo_len);
         for _ in 0..self.pseudo_len {
@@ -258,11 +287,7 @@ impl WeSTClass {
 }
 
 /// Token-embedding sequence for a document (rows = first `cap` tokens).
-fn token_sequence(
-    tokens: &[TokenId],
-    wv: &WordVectors,
-    cap: usize,
-) -> structmine_linalg::Matrix {
+fn token_sequence(tokens: &[TokenId], wv: &WordVectors, cap: usize) -> structmine_linalg::Matrix {
     let kept: Vec<&[f32]> = tokens
         .iter()
         .filter(|t| !Vocab::is_special(**t))
@@ -289,22 +314,18 @@ impl WeSTClass {
         pseudo_labels: Vec<usize>,
         n_classes: usize,
     ) -> WeSTClassOutput {
-        let mut clf = structmine_nn::AttnPoolClassifier::new(
-            wv.dim(),
-            24,
-            n_classes,
-            self.seed ^ 0x4a4,
-        );
+        let mut clf =
+            structmine_nn::AttnPoolClassifier::new(wv.dim(), 24, n_classes, self.seed ^ 0x4a4);
         let targets =
             structmine_nn::classifiers::one_hot(&pseudo_labels, n_classes, self.smoothing);
         clf.fit(&pseudo_seqs, &targets, 20, 2e-2, self.seed);
 
-        let real_seqs: Vec<structmine_linalg::Matrix> = dataset
-            .corpus
-            .docs
-            .iter()
-            .map(|doc| token_sequence(&doc.tokens, wv, 40))
-            .collect();
+        // Building the per-document embedding sequences is a pure lookup;
+        // share the documents across the policy's threads.
+        let real_seqs: Vec<structmine_linalg::Matrix> =
+            par_map_chunks(&self.exec, &dataset.corpus.docs, |_, doc| {
+                token_sequence(&doc.tokens, wv, 40)
+            });
 
         // Document-level supervision adds real labeled sequences.
         if let Some(pairs) = sup.labeled_docs() {
@@ -327,7 +348,11 @@ impl WeSTClass {
             }
         }
         let predictions = clf.predict(&real_seqs);
-        WeSTClassOutput { predictions, pretrain_predictions, keywords }
+        WeSTClassOutput {
+            predictions,
+            pretrain_predictions,
+            keywords,
+        }
     }
 }
 
@@ -365,7 +390,14 @@ mod tests {
 
     fn setup() -> (Dataset, WordVectors) {
         let d = recipes::agnews(0.12, 11);
-        let wv = Sgns::train(&d.corpus, &SgnsConfig { epochs: 4, dim: 24, ..Default::default() });
+        let wv = Sgns::train(
+            &d.corpus,
+            &SgnsConfig {
+                epochs: 4,
+                dim: 24,
+                ..Default::default()
+            },
+        );
         (d, wv)
     }
 
@@ -377,28 +409,45 @@ mod tests {
     fn westclass_with_label_names_beats_ir_baseline() {
         let (d, wv) = setup();
         let sup = d.supervision_names();
-        let out = WeSTClass { pseudo_per_class: 40, ..Default::default() }.run(&d, &sup, &wv);
+        let out = WeSTClass {
+            pseudo_per_class: 40,
+            ..Default::default()
+        }
+        .run(&d, &sup, &wv);
         let ours = acc(&d, &out.predictions);
         let ir = acc(&d, &crate::baselines::ir_tfidf(&d, &sup));
         assert!(ours > 0.6, "WeSTClass acc {ours}");
-        assert!(ours > ir - 0.05, "WeSTClass {ours} should not trail IR {ir}");
+        assert!(
+            ours > ir - 0.05,
+            "WeSTClass {ours} should not trail IR {ir}"
+        );
     }
 
     #[test]
     fn self_training_does_not_hurt() {
         let (d, wv) = setup();
-        let out = WeSTClass { pseudo_per_class: 40, ..Default::default() }
-            .run(&d, &d.supervision_keywords(), &wv);
+        let out = WeSTClass {
+            pseudo_per_class: 40,
+            ..Default::default()
+        }
+        .run(&d, &d.supervision_keywords(), &wv);
         let pre = acc(&d, &out.pretrain_predictions);
         let post = acc(&d, &out.predictions);
-        assert!(post >= pre - 0.03, "self-training regressed: {pre} -> {post}");
+        assert!(
+            post >= pre - 0.03,
+            "self-training regressed: {pre} -> {post}"
+        );
     }
 
     #[test]
     fn doc_supervision_extracts_topical_keywords() {
         let (d, wv) = setup();
         let sup = d.supervision_docs(5, 3);
-        let out = WeSTClass { pseudo_per_class: 30, ..Default::default() }.run(&d, &sup, &wv);
+        let out = WeSTClass {
+            pseudo_per_class: 30,
+            ..Default::default()
+        }
+        .run(&d, &sup, &wv);
         assert_eq!(out.keywords.len(), d.n_classes());
         assert!(out.keywords.iter().all(|k| !k.is_empty()));
         assert!(keyword_coherence(&out.keywords, &wv) > 0.6);

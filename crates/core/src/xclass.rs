@@ -22,6 +22,7 @@
 
 use crate::common;
 use structmine_cluster::gmm::{Gmm, GmmConfig};
+use structmine_linalg::exec::ExecPolicy;
 use structmine_linalg::{stats, vector, Matrix, Pca};
 use structmine_nn::classifiers::{MlpClassifier, TrainConfig};
 use structmine_plm::MiniPlm;
@@ -49,6 +50,9 @@ pub struct XClass {
     pub hidden: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Execution policy for the corpus encode (thread count; output is
+    /// bitwise identical for any value).
+    pub exec: ExecPolicy,
 }
 
 impl Default for XClass {
@@ -62,6 +66,7 @@ impl Default for XClass {
             confident_fraction: 0.5,
             hidden: 32,
             seed: 81,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -95,11 +100,12 @@ impl XClass {
             let mut acc = vec![0.0f32; d];
             let mut count = 0usize;
             for &t in name {
-                for o in structmine_plm::repr::occurrence_reps(
+                for o in structmine_plm::repr::occurrence_reps_with(
                     plm,
                     &dataset.corpus,
                     t,
                     self.occurrences_cap,
+                    &self.exec,
                 ) {
                     vector::axpy(&mut acc, 1.0, &o.vector);
                     count += 1;
@@ -128,12 +134,14 @@ impl XClass {
         }
 
         // ------------------------------------------------------------------
-        // 2. Class-oriented document representations.
+        // 2. Class-oriented document representations: one batched corpus
+        //    encode, then per-document attention over the token matrices.
         // ------------------------------------------------------------------
         let n = dataset.corpus.len();
+        let encoded = plm.encode_corpus(&dataset.corpus, &self.exec);
         let mut doc_reps = Matrix::zeros(n, d);
-        for (i, doc) in dataset.corpus.docs.iter().enumerate() {
-            let toks = structmine_plm::repr::token_reps(plm, &doc.tokens);
+        for rep_out in &encoded {
+            let toks = &rep_out.tokens;
             if toks.rows() == 0 {
                 continue;
             }
@@ -148,10 +156,10 @@ impl XClass {
                 .collect();
             stats::softmax_inplace(&mut weights);
             let mut rep = vec![0.0f32; d];
-            for r in 0..toks.rows() {
-                vector::axpy(&mut rep, weights[r], toks.row(r));
+            for (r, &w) in weights.iter().enumerate() {
+                vector::axpy(&mut rep, w, toks.row(r));
             }
-            doc_reps.row_mut(i).copy_from_slice(&rep);
+            doc_reps.row_mut(rep_out.doc).copy_from_slice(&rep);
         }
 
         let rep_predictions = common::nearest_prototype(&doc_reps, &class_reps);
@@ -173,29 +181,43 @@ impl XClass {
             }
             counts[p] += 1;
         }
-        for c in 0..n_classes {
-            if counts[c] > 0 {
-                let inv = 1.0 / counts[c] as f32;
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                let inv = 1.0 / count as f32;
                 for m in prior_means.row_mut(c) {
                     *m *= inv;
                 }
             }
         }
-        let gmm = Gmm::fit(
-            &aligned_space,
-            &prior_means,
-            &GmmConfig { max_iters: self.gmm_iters, ..Default::default() },
-        );
-        let posteriors = gmm.responsibilities(&aligned_space);
-        let align_predictions: Vec<usize> = (0..n)
-            .map(|i| vector::argmax(posteriors.row(i)).unwrap_or(0))
-            .collect();
+        // GMM EM needs at least one document per mixture component; on
+        // smaller inputs (e.g. a one-line `classify`) fall back to the
+        // prototype assignment instead of panicking.
+        let (posteriors, align_predictions) = if n >= n_classes {
+            let gmm = Gmm::fit(
+                &aligned_space,
+                &prior_means,
+                &GmmConfig {
+                    max_iters: self.gmm_iters,
+                    ..Default::default()
+                },
+            );
+            let posteriors = gmm.responsibilities(&aligned_space);
+            let align_predictions: Vec<usize> = (0..n)
+                .map(|i| vector::argmax(posteriors.row(i)).unwrap_or(0))
+                .collect();
+            (posteriors, align_predictions)
+        } else {
+            let mut posteriors = Matrix::zeros(n, n_classes);
+            for (i, &p) in rep_predictions.iter().enumerate() {
+                posteriors.set(i, p, 1.0);
+            }
+            (posteriors, rep_predictions.clone())
+        };
 
         // ------------------------------------------------------------------
         // 4. Confident-subset classifier.
         // ------------------------------------------------------------------
-        let quota =
-            ((n as f32 * self.confident_fraction) / n_classes as f32).ceil() as usize;
+        let quota = ((n as f32 * self.confident_fraction) / n_classes as f32).ceil() as usize;
         let (train_docs, train_labels) =
             common::most_confident_per_class(&posteriors, quota.max(1));
         // Train the final classifier on the class-oriented representations
@@ -206,11 +228,24 @@ impl XClass {
         if !train_docs.is_empty() {
             let x = features.select_rows(&train_docs);
             let t = structmine_nn::classifiers::one_hot(&train_labels, n_classes, 0.1);
-            clf.fit(&x, &t, &TrainConfig { epochs: 30, seed: self.seed, ..Default::default() });
+            clf.fit(
+                &x,
+                &t,
+                &TrainConfig {
+                    epochs: 30,
+                    seed: self.seed,
+                    ..Default::default()
+                },
+            );
         }
         let predictions = clf.predict(features);
 
-        XClassOutput { predictions, rep_predictions, align_predictions, class_words }
+        XClassOutput {
+            predictions,
+            rep_predictions,
+            align_predictions,
+            class_words,
+        }
     }
 }
 
@@ -241,7 +276,10 @@ mod tests {
         assert!(rep > 0.4, "Rep acc {rep}");
         assert!(align > 0.4, "Align acc {align}");
         assert!(fin > 0.5, "X-Class acc {fin}");
-        assert!(fin + 0.1 >= rep, "final should not collapse: rep {rep} final {fin}");
+        assert!(
+            fin + 0.1 >= rep,
+            "final should not collapse: rep {rep} final {fin}"
+        );
     }
 
     #[test]
@@ -266,6 +304,9 @@ mod tests {
         // All classes must be predicted at least once somewhere (the GMM
         // seeding is supposed to prevent majority collapse).
         let distinct: std::collections::HashSet<_> = out.predictions.iter().collect();
-        assert!(distinct.len() >= d.n_classes() - 1, "collapsed to {distinct:?}");
+        assert!(
+            distinct.len() >= d.n_classes() - 1,
+            "collapsed to {distinct:?}"
+        );
     }
 }

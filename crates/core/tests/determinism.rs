@@ -1,0 +1,58 @@
+//! End-to-end determinism of the parallel execution layer: whole methods
+//! must produce identical outputs whether they run on one worker thread or
+//! four. Thread count is a pure throughput knob, never a results knob.
+
+use structmine::lotclass::LotClass;
+use structmine::xclass::XClass;
+use structmine_linalg::exec::ExecPolicy;
+use structmine_plm::cache::{pretrained, Tier};
+use structmine_text::synth::recipes;
+
+#[test]
+fn xclass_is_identical_across_thread_counts() {
+    let d = recipes::agnews(0.08, 17);
+    let plm = pretrained(Tier::Test, 0);
+    let one = XClass {
+        exec: ExecPolicy::with_threads(1),
+        ..Default::default()
+    }
+    .run(&d, &plm);
+    let four = XClass {
+        exec: ExecPolicy::with_threads(4),
+        ..Default::default()
+    }
+    .run(&d, &plm);
+    assert_eq!(one.predictions, four.predictions);
+    assert_eq!(one.rep_predictions, four.rep_predictions);
+    assert_eq!(one.align_predictions, four.align_predictions);
+    assert_eq!(one.class_words, four.class_words);
+}
+
+#[test]
+fn lotclass_is_identical_across_thread_counts() {
+    let d = recipes::agnews(0.08, 18);
+    let plm = pretrained(Tier::Test, 0);
+    let one = LotClass {
+        exec: ExecPolicy::with_threads(1),
+        ..Default::default()
+    }
+    .run(&d, &plm);
+    let four = LotClass {
+        exec: ExecPolicy::with_threads(4),
+        ..Default::default()
+    }
+    .run(&d, &plm);
+    assert_eq!(one.predictions, four.predictions);
+    assert_eq!(one.pretrain_predictions, four.pretrain_predictions);
+    assert_eq!(one.category_vocab, four.category_vocab);
+    assert_eq!(one.n_pseudo_labeled, four.n_pseudo_labeled);
+}
+
+#[test]
+fn zero_shot_entailment_is_identical_across_thread_counts() {
+    let d = recipes::agnews(0.08, 19);
+    let plm = pretrained(Tier::Test, 0);
+    let one = structmine::baselines::zero_shot_entail_with(&d, &plm, &ExecPolicy::with_threads(1));
+    let four = structmine::baselines::zero_shot_entail_with(&d, &plm, &ExecPolicy::with_threads(4));
+    assert_eq!(one, four);
+}

@@ -28,7 +28,8 @@ pub fn weighted_doc_vectors(corpus: &Corpus, wv: &WordVectors, tfidf: &TfIdf) ->
 pub fn mean_doc_vectors(corpus: &Corpus, wv: &WordVectors) -> Matrix {
     let mut out = Matrix::zeros(corpus.len(), wv.dim());
     for (i, doc) in corpus.docs.iter().enumerate() {
-        out.row_mut(i).copy_from_slice(&wv.doc_vector(&doc.tokens, None));
+        out.row_mut(i)
+            .copy_from_slice(&wv.doc_vector(&doc.tokens, None));
     }
     out
 }
@@ -50,7 +51,13 @@ pub struct Pvdbow {
 
 impl Default for Pvdbow {
     fn default() -> Self {
-        Pvdbow { dim: 32, negatives: 5, epochs: 6, lr: 0.05, seed: 23 }
+        Pvdbow {
+            dim: 32,
+            negatives: 5,
+            epochs: 6,
+            lr: 0.05,
+            seed: 23,
+        }
     }
 }
 
@@ -108,7 +115,12 @@ impl Pvdbow {
     /// Infer a vector for an unseen token sequence against trained word
     /// outputs: gradient steps on a fresh doc vector with words frozen.
     /// (Used when ranking label descriptions against document vectors.)
-    pub fn infer(&self, tokens: &[structmine_text::vocab::TokenId], words: &Matrix, seed: u64) -> Vec<f32> {
+    pub fn infer(
+        &self,
+        tokens: &[structmine_text::vocab::TokenId],
+        words: &Matrix,
+        seed: u64,
+    ) -> Vec<f32> {
         let mut rng = lrng::seeded(seed);
         let mut dv = vec![0.0f32; self.dim];
         lrng::fill_gaussian(&mut rng, &mut dv, 0.1);
@@ -152,7 +164,14 @@ mod tests {
     #[test]
     fn weighted_doc_vectors_have_expected_shape() {
         let d = recipes::yelp(0.05, 1);
-        let wv = Sgns::train(&d.corpus, &SgnsConfig { epochs: 1, dim: 12, ..Default::default() });
+        let wv = Sgns::train(
+            &d.corpus,
+            &SgnsConfig {
+                epochs: 1,
+                dim: 12,
+                ..Default::default()
+            },
+        );
         let tfidf = TfIdf::fit(&d.corpus);
         let m = weighted_doc_vectors(&d.corpus, &wv, &tfidf);
         assert_eq!(m.shape(), (d.corpus.len(), 12));
@@ -165,7 +184,12 @@ mod tests {
     #[test]
     fn pvdbow_separates_classes() {
         let d = recipes::agnews(0.08, 2);
-        let docs = Pvdbow { epochs: 5, dim: 16, ..Default::default() }.train(&d.corpus);
+        let docs = Pvdbow {
+            epochs: 5,
+            dim: 16,
+            ..Default::default()
+        }
+        .train(&d.corpus);
         // Mean intra-class cosine must beat inter-class cosine.
         let n = d.corpus.len();
         let mut intra = (0.0f32, 0usize);
@@ -195,7 +219,14 @@ mod tests {
     #[test]
     fn mean_doc_vectors_match_manual_average() {
         let d = recipes::yelp(0.05, 3);
-        let wv = Sgns::train(&d.corpus, &SgnsConfig { epochs: 1, dim: 8, ..Default::default() });
+        let wv = Sgns::train(
+            &d.corpus,
+            &SgnsConfig {
+                epochs: 1,
+                dim: 8,
+                ..Default::default()
+            },
+        );
         let m = mean_doc_vectors(&d.corpus, &wv);
         let manual = wv.doc_vector(&d.corpus.docs[0].tokens, None);
         assert_eq!(m.row(0), manual.as_slice());

@@ -36,7 +36,7 @@ impl HinGraph {
         self.partitions.push((offset, count));
         self.partition_names.push(name.to_string());
         self.n_nodes += count;
-        self.node_partition.extend(std::iter::repeat(pid).take(count));
+        self.node_partition.extend(std::iter::repeat_n(pid, count));
         (pid, offset)
     }
 
@@ -99,12 +99,17 @@ impl HinGraph {
             let pool = pools[step % pools.len()];
             let &(a, b) = &pool[rng.gen_range(0..pool.len())];
             // Update both directions so the embedding is symmetric-ish.
-            self.update(&mut emb, &mut ctx, a as usize, b as usize, lr, cfg, &mut rng);
-            self.update(&mut emb, &mut ctx, b as usize, a as usize, lr, cfg, &mut rng);
+            self.update(
+                &mut emb, &mut ctx, a as usize, b as usize, lr, cfg, &mut rng,
+            );
+            self.update(
+                &mut emb, &mut ctx, b as usize, a as usize, lr, cfg, &mut rng,
+            );
         }
         emb
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn update(
         &self,
         emb: &mut Matrix,
@@ -164,7 +169,13 @@ pub struct HinConfig {
 
 impl Default for HinConfig {
     fn default() -> Self {
-        HinConfig { dim: 32, samples: 200_000, negatives: 4, lr: 0.05, seed: 31 }
+        HinConfig {
+            dim: 32,
+            samples: 200_000,
+            negatives: 4,
+            lr: 0.05,
+            seed: 31,
+        }
     }
 }
 
@@ -188,9 +199,9 @@ mod tests {
             let community = d % 2;
             for _ in 0..8 {
                 let w = if rng.gen::<f32>() < 0.9 {
-                    community * 10 + rng.gen_range(0..10)
+                    community * 10 + rng.gen_range(0..10usize)
                 } else {
-                    (1 - community) * 10 + rng.gen_range(0..10)
+                    (1 - community) * 10 + rng.gen_range(0..10usize)
                 };
                 g.add_edge(dw, docs + d, words + w);
             }
@@ -214,7 +225,11 @@ mod tests {
     fn embedding_separates_communities() {
         let (g, docs, _) = community_graph(1);
         let emb = g.embed(
-            &HinConfig { samples: 40_000, dim: 16, ..Default::default() },
+            &HinConfig {
+                samples: 40_000,
+                dim: 16,
+                ..Default::default()
+            },
             &[],
         );
         let mut intra = Vec::new();
@@ -249,7 +264,11 @@ mod tests {
             g.add_edge(du, docs + d, users + d % 4);
         }
         g.add_edge(dd, docs, docs + 1);
-        let cfg = HinConfig { samples: 5_000, dim: 8, ..Default::default() };
+        let cfg = HinConfig {
+            samples: 5_000,
+            dim: 8,
+            ..Default::default()
+        };
         let with_users = g.embed(&cfg, &[du]);
         let without = g.embed(&cfg, &[dd]);
         assert_ne!(with_users.data(), without.data());
@@ -260,14 +279,25 @@ mod tests {
         let mut g = HinGraph::new();
         g.add_partition("doc", 3);
         g.add_edge_type("unused");
-        let emb = g.embed(&HinConfig { samples: 10, dim: 4, ..Default::default() }, &[]);
+        let emb = g.embed(
+            &HinConfig {
+                samples: 10,
+                dim: 4,
+                ..Default::default()
+            },
+            &[],
+        );
         assert_eq!(emb.shape(), (3, 4));
     }
 
     #[test]
     fn embedding_is_deterministic() {
         let (g, _, _) = community_graph(2);
-        let cfg = HinConfig { samples: 2_000, dim: 8, ..Default::default() };
+        let cfg = HinConfig {
+            samples: 2_000,
+            dim: 8,
+            ..Default::default()
+        };
         assert_eq!(g.embed(&cfg, &[]).data(), g.embed(&cfg, &[]).data());
     }
 }

@@ -30,7 +30,14 @@ pub struct SgnsConfig {
 
 impl Default for SgnsConfig {
     fn default() -> Self {
-        SgnsConfig { dim: 32, window: 4, negatives: 5, epochs: 4, lr: 0.05, seed: 17 }
+        SgnsConfig {
+            dim: 32,
+            window: 4,
+            negatives: 5,
+            epochs: 4,
+            lr: 0.05,
+            seed: 17,
+        }
     }
 }
 
@@ -133,11 +140,10 @@ impl Sgns {
                     let win = 1 + rng.gen_range(0..cfg.window);
                     let lo = pos.saturating_sub(win);
                     let hi = (pos + win + 1).min(toks.len());
-                    for ctx_pos in lo..hi {
+                    for (ctx_pos, &context) in toks.iter().enumerate().take(hi).skip(lo) {
                         if ctx_pos == pos {
                             continue;
                         }
-                        let context = toks[ctx_pos];
                         if Vocab::is_special(context) {
                             continue;
                         }
@@ -244,7 +250,11 @@ mod tests {
         let d = recipes::agnews(0.15, 3);
         let wv = Sgns::train(
             &d.corpus,
-            &SgnsConfig { epochs: 3, dim: 24, ..Default::default() },
+            &SgnsConfig {
+                epochs: 3,
+                dim: 24,
+                ..Default::default()
+            },
         );
         (d, wv)
     }
@@ -277,8 +287,14 @@ mod tests {
             .iter()
             .filter(|(t, _)| sports_lex.contains(&v.word(*t)))
             .count();
-        assert!(topical >= 5, "only {topical}/10 neighbors topical: {:?}",
-            neighbors.iter().map(|(t, s)| (v.word(*t), *s)).collect::<Vec<_>>());
+        assert!(
+            topical >= 5,
+            "only {topical}/10 neighbors topical: {:?}",
+            neighbors
+                .iter()
+                .map(|(t, s)| (v.word(*t), *s))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -304,13 +320,18 @@ mod tests {
             .iter()
             .enumerate()
             .filter(|(i, doc)| {
-                let scores: Vec<f32> =
-                    means.iter().map(|m| vector::cosine(features.row(*i), m)).collect();
+                let scores: Vec<f32> = means
+                    .iter()
+                    .map(|m| vector::cosine(features.row(*i), m))
+                    .collect();
                 vector::argmax(&scores) == Some(doc.labels[0])
             })
             .count();
         let acc = correct as f32 / d.corpus.len() as f32;
-        assert!(acc > 1.5 / k as f32, "doc-vector class signal too weak: {acc}");
+        assert!(
+            acc > 1.5 / k as f32,
+            "doc-vector class signal too weak: {acc}"
+        );
     }
 
     #[test]
@@ -328,7 +349,11 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let d = recipes::yelp(0.05, 1);
-        let cfg = SgnsConfig { epochs: 1, dim: 8, ..Default::default() };
+        let cfg = SgnsConfig {
+            epochs: 1,
+            dim: 8,
+            ..Default::default()
+        };
         let a = Sgns::train(&d.corpus, &cfg);
         let b = Sgns::train(&d.corpus, &cfg);
         assert_eq!(a.matrix(), b.matrix());

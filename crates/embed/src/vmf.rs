@@ -21,7 +21,10 @@ impl VonMisesFisher {
     /// concentration.
     pub fn new(mu: &[f32], kappa: f32) -> Self {
         assert!(kappa >= 0.0, "kappa must be non-negative");
-        VonMisesFisher { mu: vector::normalized(mu), kappa }
+        VonMisesFisher {
+            mu: vector::normalized(mu),
+            kappa,
+        }
     }
 
     /// Maximum-likelihood fit from sample vectors (normalized internally).
@@ -46,7 +49,10 @@ impl VonMisesFisher {
         } else {
             rbar * (d as f32 - rbar * rbar) / (1.0 - rbar * rbar)
         };
-        VonMisesFisher { mu: vector::normalized(&mean), kappa }
+        VonMisesFisher {
+            mu: vector::normalized(&mean),
+            kappa,
+        }
     }
 
     /// The mean direction (unit norm).
@@ -157,19 +163,24 @@ mod tests {
         let tight = VonMisesFisher::new(&mu, 200.0);
         let loose = VonMisesFisher::new(&mu, 2.0);
         let spread = |v: &VonMisesFisher, rng: &mut StdRng| {
-            (0..200).map(|_| vector::dot(&v.sample(rng), &mu)).sum::<f32>() / 200.0
+            (0..200)
+                .map(|_| vector::dot(&v.sample(rng), &mu))
+                .sum::<f32>()
+                / 200.0
         };
         let tight_cos = spread(&tight, &mut rng);
         let loose_cos = spread(&loose, &mut rng);
-        assert!(tight_cos > loose_cos + 0.2, "tight {tight_cos} loose {loose_cos}");
+        assert!(
+            tight_cos > loose_cos + 0.2,
+            "tight {tight_cos} loose {loose_cos}"
+        );
     }
 
     #[test]
     fn kappa_zero_is_uniform_on_sphere() {
         let mut rng = lrng::seeded(4);
         let vmf = VonMisesFisher::new(&[1.0, 0.0, 0.0], 0.0);
-        let mean: f32 =
-            (0..2000).map(|_| vmf.sample(&mut rng)[0]).sum::<f32>() / 2000.0;
+        let mean: f32 = (0..2000).map(|_| vmf.sample(&mut rng)[0]).sum::<f32>() / 2000.0;
         assert!(mean.abs() < 0.08, "uniform mean component {mean}");
     }
 

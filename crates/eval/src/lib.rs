@@ -28,12 +28,17 @@ impl MeanStd {
     /// Aggregate a slice of per-seed scores.
     pub fn of(values: &[f32]) -> MeanStd {
         if values.is_empty() {
-            return MeanStd { mean: 0.0, std: 0.0 };
+            return MeanStd {
+                mean: 0.0,
+                std: 0.0,
+            };
         }
         let mean = values.iter().sum::<f32>() / values.len() as f32;
-        let var =
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
-        MeanStd { mean, std: var.sqrt() }
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
+        MeanStd {
+            mean,
+            std: var.sqrt(),
+        }
     }
 }
 
@@ -52,7 +57,13 @@ mod tests {
         let m = MeanStd::of(&[1.0, 2.0, 3.0]);
         assert!((m.mean - 2.0).abs() < 1e-6);
         assert!((m.std - (2.0f32 / 3.0).sqrt()).abs() < 1e-5);
-        assert_eq!(MeanStd::of(&[]), MeanStd { mean: 0.0, std: 0.0 });
+        assert_eq!(
+            MeanStd::of(&[]),
+            MeanStd {
+                mean: 0.0,
+                std: 0.0
+            }
+        );
     }
 
     #[test]

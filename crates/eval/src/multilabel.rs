@@ -28,11 +28,7 @@ pub fn precision_at_1_sets(top1: &[usize], gold: &[Vec<usize>]) -> f32 {
     if top1.is_empty() {
         return 0.0;
     }
-    top1.iter()
-        .zip(gold)
-        .filter(|(p, g)| g.contains(p))
-        .count() as f32
-        / top1.len() as f32
+    top1.iter().zip(gold).filter(|(p, g)| g.contains(p)).count() as f32 / top1.len() as f32
 }
 
 #[cfg(test)]

@@ -33,8 +33,9 @@ pub fn ndcg_at_k(rankings: &[Vec<usize>], gold: &[Vec<usize>], k: usize) -> f32 
             .filter(|(_, l)| g.contains(l))
             .map(|(i, _)| 1.0 / ((i + 2) as f32).log2())
             .sum();
-        let ideal: f32 =
-            (0..g.len().min(k)).map(|i| 1.0 / ((i + 2) as f32).log2()).sum();
+        let ideal: f32 = (0..g.len().min(k))
+            .map(|i| 1.0 / ((i + 2) as f32).log2())
+            .sum();
         if ideal > 0.0 {
             total += dcg / ideal;
         }

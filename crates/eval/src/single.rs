@@ -32,7 +32,11 @@ pub fn per_class_f1(pred: &[usize], gold: &[usize], n_classes: usize) -> Vec<(f3
         .map(|c| {
             let prec = safe_div(tp[c] as f32, (tp[c] + fp[c]) as f32);
             let rec = safe_div(tp[c] as f32, (tp[c] + fn_[c]) as f32);
-            let f1 = if prec + rec > 0.0 { 2.0 * prec * rec / (prec + rec) } else { 0.0 };
+            let f1 = if prec + rec > 0.0 {
+                2.0 * prec * rec / (prec + rec)
+            } else {
+                0.0
+            };
             (prec, rec, f1)
         })
         .collect()

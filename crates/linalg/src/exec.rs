@@ -1,0 +1,268 @@
+//! Deterministic parallel execution policy for the whole workspace.
+//!
+//! Every parallel code path in structmine funnels through this module, and
+//! all of it obeys one rule: **output must be bitwise identical for any
+//! thread count**. That is achieved structurally, not probabilistically —
+//! work is split into fixed, index-ordered chunks, each output element is
+//! computed by exactly one thread using the same scalar code the serial
+//! path uses, and results are merged in chunk order. No reductions ever
+//! cross a chunk boundary, so floating-point non-associativity never
+//! enters the picture.
+//!
+//! Threads are scoped (`std::thread::scope`), so borrowed inputs work
+//! without `Arc` and a panic in any worker propagates to the caller.
+//! The thread count comes from [`ExecPolicy`]: explicit, from the
+//! `STRUCTMINE_THREADS` environment variable, or from
+//! `std::thread::available_parallelism`.
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// How many worker threads data-parallel operations may use.
+///
+/// The policy is a plain value — cheap to copy, compare and embed in method
+/// configs — and is threaded through the corpus→representation pipeline
+/// (`plm::repr::encode_corpus`, the core methods' `exec` fields, the CLI's
+/// `--threads` flag).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecPolicy {
+    threads: usize,
+}
+
+impl ExecPolicy {
+    /// Single-threaded execution.
+    pub const fn serial() -> Self {
+        ExecPolicy { threads: 1 }
+    }
+
+    /// Exactly `threads` workers (values below 1 are clamped to 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecPolicy {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Read the policy from the environment: `STRUCTMINE_THREADS` if set
+    /// (invalid or zero values fall back to 1), otherwise the machine's
+    /// available parallelism.
+    pub fn from_env() -> Self {
+        match std::env::var("STRUCTMINE_THREADS") {
+            Ok(v) => ExecPolicy::with_threads(v.trim().parse::<usize>().unwrap_or(1)),
+            Err(_) => ExecPolicy {
+                threads: std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1),
+            },
+        }
+    }
+
+    /// The process-wide default policy, resolved from the environment once
+    /// on first use. Hot paths that have no policy parameter (e.g.
+    /// [`Matrix::matmul`](crate::Matrix::matmul)) consult this.
+    pub fn global() -> &'static ExecPolicy {
+        static GLOBAL: OnceLock<ExecPolicy> = OnceLock::new();
+        GLOBAL.get_or_init(ExecPolicy::from_env)
+    }
+
+    /// The worker count (always ≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when this policy admits real parallelism for `n` items.
+    pub fn is_parallel_for(&self, n: usize) -> bool {
+        self.threads > 1 && n > 1
+    }
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy::from_env()
+    }
+}
+
+/// The fixed, index-ordered chunk boundaries for `n` items across
+/// `threads` workers: the first `n % threads` chunks take one extra item.
+/// Returns `(start, end)` pairs covering `0..n` in order.
+fn chunk_bounds(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let t = threads.min(n).max(1);
+    let base = n / t;
+    let extra = n % t;
+    let mut bounds = Vec::with_capacity(t);
+    let mut start = 0;
+    for c in 0..t {
+        let len = base + usize::from(c < extra);
+        bounds.push((start, start + len));
+        start += len;
+    }
+    bounds
+}
+
+/// Map `f` over `items` in parallel, deterministically.
+///
+/// `f(i, &items[i])` must be a pure function of its arguments; under that
+/// contract the result is bitwise identical to the serial
+/// `items.iter().enumerate().map(..)` for **any** thread count, because
+/// each element is computed by exactly one worker with the same scalar
+/// code and results are merged in chunk order.
+pub fn par_map_chunks<T, U, F>(policy: &ExecPolicy, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    if !policy.is_parallel_for(n) {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let bounds = chunk_bounds(n, policy.threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(bounds.len().saturating_sub(1));
+        // Chunks 1.. run on workers; chunk 0 runs on the calling thread.
+        for &(start, end) in &bounds[1..] {
+            let chunk = &items[start..end];
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(k, x)| f(start + k, x))
+                    .collect::<Vec<U>>()
+            }));
+        }
+        let (s0, e0) = bounds[0];
+        let mut out: Vec<U> = items[s0..e0]
+            .iter()
+            .enumerate()
+            .map(|(k, x)| f(s0 + k, x))
+            .collect();
+        out.reserve_exact(n - out.len());
+        for h in handles {
+            out.extend(h.join().expect("par_map_chunks worker panicked"));
+        }
+        out
+    })
+}
+
+/// Fill the rows of a pre-allocated row-major buffer in parallel,
+/// deterministically. `out.len()` must equal `n_rows * row_len`; worker
+/// `c` fills the `c`-th fixed chunk of rows in place via
+/// `f(row_index, row_slice)`. Used by the matmul hot path to avoid any
+/// per-row allocation.
+pub fn par_fill_rows<F>(policy: &ExecPolicy, n_rows: usize, row_len: usize, out: &mut [f32], f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert_eq!(
+        out.len(),
+        n_rows * row_len,
+        "par_fill_rows buffer shape mismatch"
+    );
+    if row_len == 0 {
+        return;
+    }
+    if !policy.is_parallel_for(n_rows) {
+        for (i, row) in out.chunks_exact_mut(row_len).enumerate() {
+            f(i, row);
+        }
+        return;
+    }
+    let bounds = chunk_bounds(n_rows, policy.threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut handles = Vec::with_capacity(bounds.len());
+        for &(start, end) in &bounds {
+            let (chunk, tail) = rest.split_at_mut((end - start) * row_len);
+            rest = tail;
+            handles.push(scope.spawn(move || {
+                for (k, row) in chunk.chunks_exact_mut(row_len).enumerate() {
+                    f(start + k, row);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("par_fill_rows worker panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_bounds_partition_in_order() {
+        for n in [0usize, 1, 2, 7, 16, 100] {
+            for t in [1usize, 2, 3, 8, 64] {
+                let bounds = chunk_bounds(n, t);
+                let mut expect_start = 0;
+                for &(s, e) in &bounds {
+                    assert_eq!(s, expect_start);
+                    assert!(e >= s);
+                    expect_start = e;
+                }
+                assert_eq!(expect_start, n);
+                if n > 0 {
+                    let sizes: Vec<usize> = bounds.iter().map(|&(s, e)| e - s).collect();
+                    let max = *sizes.iter().max().unwrap();
+                    let min = *sizes.iter().min().unwrap();
+                    assert!(max - min <= 1, "chunks must be balanced: {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_for_every_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x.wrapping_mul(31) ^ i as u64)
+            .collect();
+        for threads in [1, 2, 3, 8, 33] {
+            let policy = ExecPolicy::with_threads(threads);
+            let par = par_map_chunks(&policy, &items, |i, x| x.wrapping_mul(31) ^ i as u64);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_fill_rows_matches_serial() {
+        let n_rows = 23;
+        let row_len = 5;
+        let mut serial = vec![0.0f32; n_rows * row_len];
+        for (i, row) in serial.chunks_exact_mut(row_len).enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (i * 31 + j) as f32 * 0.5;
+            }
+        }
+        for threads in [1, 2, 3, 8] {
+            let policy = ExecPolicy::with_threads(threads);
+            let mut out = vec![0.0f32; n_rows * row_len];
+            par_fill_rows(&policy, n_rows, row_len, &mut out, |i, row| {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = (i * 31 + j) as f32 * 0.5;
+                }
+            });
+            assert_eq!(out, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let policy = ExecPolicy::with_threads(4);
+        let out: Vec<u32> = par_map_chunks(&policy, &[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+        let mut buf: Vec<f32> = Vec::new();
+        par_fill_rows(&policy, 0, 7, &mut buf, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn policy_constructors_clamp() {
+        assert_eq!(ExecPolicy::with_threads(0).threads(), 1);
+        assert_eq!(ExecPolicy::serial().threads(), 1);
+        assert!(ExecPolicy::from_env().threads() >= 1);
+    }
+}

@@ -17,11 +17,13 @@
 //! assert!((vector::dot(c.row(0), c.row(1)) - 11.0).abs() < 1e-6);
 //! ```
 
+pub mod exec;
 pub mod matrix;
 pub mod pca;
 pub mod rng;
 pub mod stats;
 pub mod vector;
 
+pub use exec::ExecPolicy;
 pub use matrix::Matrix;
 pub use pca::Pca;

@@ -19,12 +19,20 @@ pub struct Matrix {
 impl Matrix {
     /// Create a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Create a matrix from an owned row-major buffer.
@@ -32,7 +40,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Self { rows, cols, data }
     }
 
@@ -45,7 +57,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// The `n x n` identity matrix.
@@ -118,16 +134,31 @@ impl Matrix {
         self.data.chunks_exact(self.cols.max(1))
     }
 
-    /// Matrix product `self * rhs`.
+    /// Row count above which `matmul`/`matmul_t` go through the parallel
+    /// executor. Each output row is still computed by exactly one thread
+    /// with the serial inner loops, so results are bitwise identical to the
+    /// serial path for any thread count.
+    const PAR_ROW_THRESHOLD: usize = 64;
+
+    /// Matrix product `self * rhs`, under the process-global
+    /// [`ExecPolicy`](crate::ExecPolicy) for large left operands.
     ///
     /// # Panics
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch: {}x{} * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        self.matmul_with(rhs, Self::routing_policy(self.rows))
+    }
+
+    /// Matrix product `self * rhs` under an explicit execution policy.
+    pub fn matmul_with(&self, rhs: &Matrix, policy: &crate::ExecPolicy) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
+        crate::exec::par_fill_rows(policy, self.rows, rhs.cols, &mut out.data, |i, out_row| {
             let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
@@ -137,21 +168,38 @@ impl Matrix {
                     *o += a * b;
                 }
             }
-        }
+        });
         out
     }
 
     /// Matrix product `self * rhs^T`. Avoids materializing the transpose.
+    /// Parallel above the same row threshold as [`Matrix::matmul`].
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_t_with(rhs, Self::routing_policy(self.rows))
+    }
+
+    /// Matrix product `self * rhs^T` under an explicit execution policy.
+    pub fn matmul_t_with(&self, rhs: &Matrix, policy: &crate::ExecPolicy) -> Matrix {
         assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
+        crate::exec::par_fill_rows(policy, self.rows, rhs.rows, &mut out.data, |i, out_row| {
             let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                out.data[i * rhs.rows + j] = crate::vector::dot(a_row, rhs.row(j));
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = crate::vector::dot(a_row, rhs.row(j));
             }
-        }
+        });
         out
+    }
+
+    /// The global policy for implicit routing, degraded to serial below the
+    /// row threshold so small products skip thread overhead entirely.
+    fn routing_policy(rows: usize) -> &'static crate::ExecPolicy {
+        static SERIAL: crate::ExecPolicy = crate::ExecPolicy::serial();
+        if rows >= Self::PAR_ROW_THRESHOLD {
+            crate::ExecPolicy::global()
+        } else {
+            &SERIAL
+        }
     }
 
     /// Transpose.
@@ -168,14 +216,24 @@ impl Matrix {
     /// Element-wise addition.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
     /// Element-wise subtraction.
     pub fn sub(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
@@ -289,6 +347,20 @@ mod tests {
             let right = a.matmul(&b).add(&a.matmul(&c));
             for (x, y) in left.data().iter().zip(right.data()) {
                 prop_assert!((x - y).abs() < 1e-2);
+            }
+        }
+
+        /// Parallel matmul/matmul_t are bitwise identical to serial for
+        /// every thread count — the determinism contract of the exec layer.
+        #[test]
+        fn parallel_matmul_is_bitwise_serial(a in small_matrix(13, 7), b in small_matrix(7, 5)) {
+            let serial = a.matmul_with(&b, &crate::ExecPolicy::serial());
+            let bt = b.transpose();
+            let serial_t = a.matmul_t_with(&bt, &crate::ExecPolicy::serial());
+            for threads in [1usize, 2, 3, 8] {
+                let policy = crate::ExecPolicy::with_threads(threads);
+                prop_assert_eq!(a.matmul_with(&b, &policy).data(), serial.data());
+                prop_assert_eq!(a.matmul_t_with(&bt, &policy).data(), serial_t.data());
             }
         }
 

@@ -68,7 +68,11 @@ impl Pca {
             let refs: Vec<&[f32]> = components.iter().map(|c| c.as_slice()).collect();
             Matrix::from_rows(&refs)
         };
-        Pca { mean, components: comp_mat, explained: explained.clone() }
+        Pca {
+            mean,
+            components: comp_mat,
+            explained: explained.clone(),
+        }
     }
 
     /// Project the rows of `data` onto the fitted components (`n x k`).
@@ -114,8 +118,8 @@ fn power_iteration(m: &Matrix, salt: u64) -> (Vec<f32>, f32) {
     let mut eigenvalue = 0.0f32;
     for _ in 0..200 {
         let mut next = vec![0.0f32; d];
-        for i in 0..d {
-            next[i] = vector::dot(m.row(i), &v);
+        for (i, nx) in next.iter_mut().enumerate() {
+            *nx = vector::dot(m.row(i), &v);
         }
         let norm = vector::norm(&next);
         if norm <= 1e-12 {
@@ -156,7 +160,9 @@ mod tests {
         let c0 = pca.components().row(0);
         let align = vector::cosine(c0, &axis).abs();
         assert!(align > 0.99, "alignment {align}");
-        assert!(pca.explained_variance()[0] > pca.explained_variance().get(1).copied().unwrap_or(0.0));
+        assert!(
+            pca.explained_variance()[0] > pca.explained_variance().get(1).copied().unwrap_or(0.0)
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub fn std_dev(a: &[f32]) -> f32 {
 
 /// Shannon entropy (nats) of a probability vector; ignores non-positive entries.
 pub fn entropy(p: &[f32]) -> f32 {
-    -p.iter().filter(|&&v| v > 0.0).map(|&v| v * v.ln()).sum::<f32>()
+    -p.iter()
+        .filter(|&&v| v > 0.0)
+        .map(|&v| v * v.ln())
+        .sum::<f32>()
 }
 
 /// Sharpen a probability distribution with temperature `t` (< 1 sharpens).

@@ -38,7 +38,15 @@ impl AttnPoolClassifier {
         let attn_proj = Linear::new(&mut store, "attn.proj", d_in, d_attn, &mut rng);
         let attn_vec = store.xavier("attn.u", d_attn, 1, &mut rng);
         let out = Linear::new(&mut store, "out", d_in, n_classes, &mut rng);
-        AttnPoolClassifier { store, attn_proj, attn_vec, out, d_in, d_attn, n_classes }
+        AttnPoolClassifier {
+            store,
+            attn_proj,
+            attn_vec,
+            out,
+            d_in,
+            d_attn,
+            n_classes,
+        }
     }
 
     /// Number of output classes.
@@ -51,12 +59,7 @@ impl AttnPoolClassifier {
         self.d_attn
     }
 
-    fn forward(
-        &self,
-        g: &mut Graph,
-        binding: &mut Binding,
-        seq: &Matrix,
-    ) -> (NodeId, NodeId) {
+    fn forward(&self, g: &mut Graph, binding: &mut Binding, seq: &Matrix) -> (NodeId, NodeId) {
         debug_assert_eq!(seq.cols(), self.d_in);
         let x = g.leaf(seq.clone());
         let proj = self.attn_proj.forward(&self.store, g, binding, x);
@@ -198,8 +201,8 @@ mod tests {
         let mut clf = AttnPoolClassifier::new(4, 8, 2, 3);
         clf.fit(&seqs, &targets, 40, 2e-2, 7);
         let preds = clf.predict(&seqs);
-        let acc = preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f32
-            / labels.len() as f32;
+        let acc =
+            preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f32 / labels.len() as f32;
         assert!(acc > 0.9, "attention classifier acc {acc}");
     }
 

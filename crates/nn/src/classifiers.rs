@@ -31,7 +31,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 30, batch: 32, lr: 1e-2, clip: 5.0, seed: 7 }
+        TrainConfig {
+            epochs: 30,
+            batch: 32,
+            lr: 1e-2,
+            clip: 5.0,
+            seed: 7,
+        }
     }
 }
 
@@ -51,12 +57,21 @@ impl MlpClassifier {
         let mut store = ParamStore::new();
         let mut rng = lrng::seeded(seed);
         let (hidden_layer, out_in) = if hidden > 0 {
-            (Some(Linear::new(&mut store, "hidden", d_in, hidden, &mut rng)), hidden)
+            (
+                Some(Linear::new(&mut store, "hidden", d_in, hidden, &mut rng)),
+                hidden,
+            )
         } else {
             (None, d_in)
         };
         let out = Linear::new(&mut store, "out", out_in, n_classes, &mut rng);
-        MlpClassifier { store, hidden: hidden_layer, out, d_in, n_classes }
+        MlpClassifier {
+            store,
+            hidden: hidden_layer,
+            out,
+            d_in,
+            n_classes,
+        }
     }
 
     /// Feature dimensionality expected by the classifier.
@@ -69,7 +84,12 @@ impl MlpClassifier {
         self.n_classes
     }
 
-    fn logits(&self, g: &mut Graph, binding: &mut Binding, x: crate::graph::NodeId) -> crate::graph::NodeId {
+    fn logits(
+        &self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        x: crate::graph::NodeId,
+    ) -> crate::graph::NodeId {
         let h = match &self.hidden {
             Some(layer) => {
                 let z = layer.forward(&self.store, g, binding, x);
@@ -173,7 +193,14 @@ mod tests {
     fn softmax_regression_separates_blobs() {
         let (x, y) = blobs(200, 1);
         let mut clf = MlpClassifier::new(2, 0, 2, 3);
-        clf.fit(&x, &one_hot(&y, 2, 0.0), &TrainConfig { epochs: 40, ..Default::default() });
+        clf.fit(
+            &x,
+            &one_hot(&y, 2, 0.0),
+            &TrainConfig {
+                epochs: 40,
+                ..Default::default()
+            },
+        );
         let pred = clf.predict(&x);
         let acc = pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f32 / y.len() as f32;
         assert!(acc > 0.97, "acc {acc}");
@@ -194,7 +221,15 @@ mod tests {
         }
         let targets = one_hot(&y, 2, 0.0);
         let mut mlp = MlpClassifier::new(2, 16, 2, 9);
-        mlp.fit(&x, &targets, &TrainConfig { epochs: 60, lr: 2e-2, ..Default::default() });
+        mlp.fit(
+            &x,
+            &targets,
+            &TrainConfig {
+                epochs: 60,
+                lr: 2e-2,
+                ..Default::default()
+            },
+        );
         let acc = mlp
             .predict(&x)
             .iter()
@@ -205,7 +240,15 @@ mod tests {
         assert!(acc > 0.95, "mlp acc {acc}");
 
         let mut lin = MlpClassifier::new(2, 0, 2, 9);
-        lin.fit(&x, &targets, &TrainConfig { epochs: 60, lr: 2e-2, ..Default::default() });
+        lin.fit(
+            &x,
+            &targets,
+            &TrainConfig {
+                epochs: 60,
+                lr: 2e-2,
+                ..Default::default()
+            },
+        );
         let lin_acc = lin
             .predict(&x)
             .iter()
@@ -220,7 +263,14 @@ mod tests {
     fn predict_proba_rows_are_distributions() {
         let (x, y) = blobs(50, 2);
         let mut clf = MlpClassifier::new(2, 4, 2, 3);
-        clf.fit(&x, &one_hot(&y, 2, 0.1), &TrainConfig { epochs: 5, ..Default::default() });
+        clf.fit(
+            &x,
+            &one_hot(&y, 2, 0.1),
+            &TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
         let p = clf.predict_proba(&x);
         for i in 0..p.rows() {
             let sum: f32 = p.row(i).iter().sum();
@@ -240,8 +290,11 @@ mod tests {
     #[test]
     fn training_on_empty_data_is_a_noop() {
         let mut clf = MlpClassifier::new(3, 0, 2, 1);
-        let loss =
-            clf.fit(&Matrix::zeros(0, 3), &Matrix::zeros(0, 2), &TrainConfig::default());
+        let loss = clf.fit(
+            &Matrix::zeros(0, 3),
+            &Matrix::zeros(0, 2),
+            &TrainConfig::default(),
+        );
         assert_eq!(loss, 0.0);
     }
 
@@ -249,6 +302,10 @@ mod tests {
     #[should_panic(expected = "feature dim mismatch")]
     fn dim_mismatch_panics() {
         let mut clf = MlpClassifier::new(3, 0, 2, 1);
-        clf.fit(&Matrix::zeros(4, 2), &Matrix::zeros(4, 2), &TrainConfig::default());
+        clf.fit(
+            &Matrix::zeros(4, 2),
+            &Matrix::zeros(4, 2),
+            &TrainConfig::default(),
+        );
     }
 }

@@ -86,12 +86,7 @@ impl Embedding {
     }
 
     /// Bind the full table into the graph (for tied output projections).
-    pub fn bind_table(
-        &self,
-        store: &ParamStore,
-        g: &mut Graph,
-        binding: &mut Binding,
-    ) -> NodeId {
+    pub fn bind_table(&self, store: &ParamStore, g: &mut Graph, binding: &mut Binding) -> NodeId {
         store.bind(g, self.table, binding)
     }
 

@@ -141,9 +141,26 @@ impl Adam {
     /// Create an optimizer for `store` with the given learning rate and a
     /// global-norm gradient clip (0 disables clipping).
     pub fn new(store: &ParamStore, lr: f32, clip: f32) -> Self {
-        let m = store.values.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
-        let v = store.values.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip, t: 0, m, v }
+        let m = store
+            .values
+            .iter()
+            .map(|p| Matrix::zeros(p.rows(), p.cols()))
+            .collect();
+        let v = store
+            .values
+            .iter()
+            .map(|p| Matrix::zeros(p.rows(), p.cols()))
+            .collect();
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip,
+            t: 0,
+            m,
+            v,
+        }
     }
 
     /// Override the learning rate (for schedules).
@@ -158,7 +175,8 @@ impl Adam {
         // A parameter may be bound into the tape several times (e.g. once
         // per sequence in a batch); its true gradient is the sum over all
         // of its leaves, applied as ONE update.
-        let mut by_param: std::collections::HashMap<usize, Matrix> = std::collections::HashMap::new();
+        let mut by_param: std::collections::HashMap<usize, Matrix> =
+            std::collections::HashMap::new();
         for &(pid, nid) in binding.pairs.iter() {
             let g = graph.grad(nid);
             match by_param.entry(pid.0) {
@@ -263,7 +281,10 @@ mod tests {
         let small = store.xavier("small", 4, 4, &mut rng);
         let std_of = |m: &Matrix| {
             let mean: f32 = m.data().iter().sum::<f32>() / m.data().len() as f32;
-            (m.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            (m.data()
+                .iter()
+                .map(|x| (x - mean) * (x - mean))
+                .sum::<f32>()
                 / m.data().len() as f32)
                 .sqrt()
         };

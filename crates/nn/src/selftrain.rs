@@ -30,7 +30,14 @@ pub struct SelfTrainConfig {
 
 impl Default for SelfTrainConfig {
     fn default() -> Self {
-        SelfTrainConfig { max_iters: 15, epochs_per_iter: 3, tol: 0.01, lr: 3e-3, batch: 64, seed: 11 }
+        SelfTrainConfig {
+            max_iters: 15,
+            epochs_per_iter: 3,
+            tol: 0.01,
+            lr: 3e-3,
+            batch: 64,
+            seed: 11,
+        }
     }
 }
 
@@ -51,9 +58,9 @@ pub fn target_distribution(p: &Matrix) -> Matrix {
     let mut t = Matrix::zeros(n, c);
     for i in 0..n {
         let mut sum = 0.0f32;
-        for j in 0..c {
+        for (j, &f) in freq.iter().enumerate() {
             let v = p.get(i, j);
-            let w = v * v / freq[j];
+            let w = v * v / f;
             t.set(i, j, w);
             sum += w;
         }
@@ -83,7 +90,10 @@ pub fn self_train(
     cfg: &SelfTrainConfig,
 ) -> SelfTrainReport {
     let mut prev: Vec<usize> = clf.predict(features);
-    let mut report = SelfTrainReport { iterations: 0, change_rates: Vec::new() };
+    let mut report = SelfTrainReport {
+        iterations: 0,
+        change_rates: Vec::new(),
+    };
     for it in 0..cfg.max_iters {
         let probs = clf.predict_proba(features);
         let targets = target_distribution(&probs);
@@ -174,7 +184,10 @@ mod tests {
         clf.fit(
             &x,
             &one_hot(&noisy, 2, 0.1),
-            &TrainConfig { epochs: 15, ..Default::default() },
+            &TrainConfig {
+                epochs: 15,
+                ..Default::default()
+            },
         );
         let acc_before = clf
             .predict(&x)
@@ -206,14 +219,24 @@ mod tests {
         clf.fit(
             &x,
             &one_hot(&[0, 0, 1, 1], 2, 0.0),
-            &TrainConfig { epochs: 30, ..Default::default() },
+            &TrainConfig {
+                epochs: 30,
+                ..Default::default()
+            },
         );
         let report = self_train(
             &mut clf,
             &x,
-            &SelfTrainConfig { max_iters: 50, ..Default::default() },
+            &SelfTrainConfig {
+                max_iters: 50,
+                ..Default::default()
+            },
         );
-        assert!(report.iterations < 50, "should stop early, ran {}", report.iterations);
+        assert!(
+            report.iterations < 50,
+            "should stop early, ran {}",
+            report.iterations
+        );
         assert!(*report.change_rates.last().unwrap() < 0.01);
     }
 

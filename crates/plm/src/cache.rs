@@ -47,10 +47,18 @@ impl Tier {
 
     fn pretrain_config(self, seed: u64) -> PretrainConfig {
         match self {
-            Tier::Test => PretrainConfig { steps: 3000, batch: 8, seed, ..Default::default() },
-            Tier::Standard => {
-                PretrainConfig { steps: 4200, batch: 8, seed, ..Default::default() }
-            }
+            Tier::Test => PretrainConfig {
+                steps: 3000,
+                batch: 8,
+                seed,
+                ..Default::default()
+            },
+            Tier::Standard => PretrainConfig {
+                steps: 4200,
+                batch: 8,
+                seed,
+                ..Default::default()
+            },
         }
     }
 
@@ -69,7 +77,8 @@ impl Tier {
     }
 }
 
-static CACHE: OnceLock<Mutex<HashMap<(Tier, u64), Arc<MiniPlm>>>> = OnceLock::new();
+type ProcessCache = HashMap<(Tier, u64), Arc<MiniPlm>>;
+static CACHE: OnceLock<Mutex<ProcessCache>> = OnceLock::new();
 
 /// A model pretrained on the standard-world general corpus, shared
 /// process-wide and cached on disk. Deterministic per (tier, seed).
@@ -85,7 +94,10 @@ pub fn pretrained(tier: Tier, seed: u64) -> Arc<MiniPlm> {
         model
     });
     let arc = Arc::new(model);
-    cache.lock().entry((tier, seed)).or_insert_with(|| Arc::clone(&arc));
+    cache
+        .lock()
+        .entry((tier, seed))
+        .or_insert_with(|| Arc::clone(&arc));
     arc
 }
 
@@ -96,11 +108,17 @@ fn train(tier: Tier, seed: u64) -> MiniPlm {
     model
 }
 
-fn cache_path(tier: Tier, seed: u64) -> PathBuf {
-    let dir = std::env::var_os("STRUCTMINE_PLM_CACHE_DIR")
+fn cache_dir() -> PathBuf {
+    std::env::var_os("STRUCTMINE_PLM_CACHE_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(std::env::temp_dir);
-    dir.join(format!("structmine-plm-v{CACHE_VERSION}-{}-{seed}.json", tier.name()))
+        .unwrap_or_else(std::env::temp_dir)
+}
+
+fn cache_path_in(dir: &std::path::Path, tier: Tier, seed: u64) -> PathBuf {
+    dir.join(format!(
+        "structmine-plm-v{CACHE_VERSION}-{}-{seed}.json",
+        tier.name()
+    ))
 }
 
 fn disk_cache_disabled() -> bool {
@@ -118,7 +136,11 @@ fn load_from_disk(tier: Tier, seed: u64) -> Option<MiniPlm> {
     if disk_cache_disabled() {
         return None;
     }
-    let bytes = std::fs::read(cache_path(tier, seed)).ok()?;
+    load_from_dir(&cache_dir(), tier, seed)
+}
+
+fn load_from_dir(dir: &std::path::Path, tier: Tier, seed: u64) -> Option<MiniPlm> {
+    let bytes = std::fs::read(cache_path_in(dir, tier, seed)).ok()?;
     let ckpt: Checkpoint = serde_json::from_slice(&bytes).ok()?;
     if ckpt.version != CACHE_VERSION {
         return None;
@@ -142,15 +164,25 @@ fn save_to_disk(tier: Tier, seed: u64, model: &MiniPlm) {
     if disk_cache_disabled() {
         return;
     }
+    save_to_dir(&cache_dir(), tier, seed, model);
+}
+
+fn save_to_dir(dir: &std::path::Path, tier: Tier, seed: u64, model: &MiniPlm) {
     let ckpt = Checkpoint {
         version: CACHE_VERSION,
         config: model.config,
         weights: model.export_weights(),
     };
     if let Ok(bytes) = serde_json::to_vec(&ckpt) {
-        // Write-then-rename so concurrent processes never read a torn file.
-        let path = cache_path(tier, seed);
-        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        // Write to a private temp file, then atomically rename into place:
+        // a reader never observes a torn checkpoint, and the slot always
+        // holds some complete checkpoint no matter how many writers race.
+        // The temp name carries pid *and* a process-local sequence number so
+        // concurrent threads of one process can't interleave writes either.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = cache_path_in(dir, tier, seed);
+        let tmp = path.with_extension(format!("tmp-{}-{seq}", std::process::id()));
         if std::fs::write(&tmp, bytes).is_ok() {
             let _ = std::fs::rename(&tmp, &path);
         }
@@ -166,6 +198,46 @@ mod tests {
         let a = pretrained(Tier::Test, 1);
         let b = pretrained(Tier::Test, 1);
         assert!(Arc::ptr_eq(&a, &b), "expected the cached instance");
+    }
+
+    #[test]
+    fn cached_model_serves_concurrent_callers() {
+        use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
+        let model = pretrained(Tier::Test, 1);
+        let corpus = recipes::pretraining_corpus(8, 9);
+        let serial: Vec<Vec<f32>> = corpus
+            .docs
+            .iter()
+            .map(|d| model.mean_embed(&d.tokens))
+            .collect();
+        let par = par_map_chunks(&ExecPolicy::with_threads(4), &corpus.docs, |_, d| {
+            model.mean_embed(&d.tokens)
+        });
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn concurrent_saves_never_tear_the_checkpoint() {
+        let corpus = recipes::pretraining_corpus(5, 2);
+        let model = MiniPlm::new(Tier::Test.model_config(corpus.vocab.len()));
+        let dir =
+            std::env::temp_dir().join(format!("structmine-cache-race-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..5 {
+                        save_to_dir(&dir, Tier::Test, 42, &model);
+                    }
+                });
+            }
+        });
+        // Whatever writer won, the slot must hold a complete checkpoint.
+        let restored = load_from_dir(&dir, Tier::Test, 42);
+        let _ = std::fs::remove_dir_all(&dir);
+        let restored = restored.expect("checkpoint must parse after racing writers");
+        let doc = &corpus.docs[0].tokens;
+        assert_eq!(model.mean_embed(doc), restored.mean_embed(doc));
     }
 
     #[test]

@@ -25,12 +25,28 @@ impl PlmConfig {
     /// The configuration used by the benchmark harness: big enough for the
     /// planted structure, small enough to pretrain in seconds.
     pub fn standard(vocab_size: usize) -> Self {
-        PlmConfig { vocab_size, d_model: 48, n_heads: 4, n_layers: 2, d_ff: 96, max_len: 48, seed: 41 }
+        PlmConfig {
+            vocab_size,
+            d_model: 48,
+            n_heads: 4,
+            n_layers: 2,
+            d_ff: 96,
+            max_len: 48,
+            seed: 41,
+        }
     }
 
     /// A tiny configuration for unit tests.
     pub fn tiny(vocab_size: usize) -> Self {
-        PlmConfig { vocab_size, d_model: 16, n_heads: 2, n_layers: 1, d_ff: 32, max_len: 24, seed: 41 }
+        PlmConfig {
+            vocab_size,
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            max_len: 24,
+            seed: 41,
+        }
     }
 
     /// Per-head dimensionality.

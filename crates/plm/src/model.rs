@@ -44,29 +44,75 @@ pub struct MiniPlm {
 impl MiniPlm {
     /// Initialize a model with random parameters.
     pub fn new(config: PlmConfig) -> Self {
-        assert_eq!(config.d_model % config.n_heads, 0, "d_model must divide by heads");
+        assert_eq!(
+            config.d_model % config.n_heads,
+            0,
+            "d_model must divide by heads"
+        );
         let mut store = ParamStore::new();
         let mut rng = structmine_linalg::rng::seeded(config.seed);
-        let tok = Embedding::new(&mut store, "tok", config.vocab_size, config.d_model, &mut rng);
+        let tok = Embedding::new(
+            &mut store,
+            "tok",
+            config.vocab_size,
+            config.d_model,
+            &mut rng,
+        );
         let pos = Embedding::new(&mut store, "pos", config.max_len, config.d_model, &mut rng);
         let blocks = (0..config.n_layers)
             .map(|l| {
                 let heads = (0..config.n_heads)
                     .map(|h| {
                         (
-                            Linear::new(&mut store, &format!("b{l}.h{h}.q"), config.d_model, config.d_head(), &mut rng),
-                            Linear::new(&mut store, &format!("b{l}.h{h}.k"), config.d_model, config.d_head(), &mut rng),
-                            Linear::new(&mut store, &format!("b{l}.h{h}.v"), config.d_model, config.d_head(), &mut rng),
+                            Linear::new(
+                                &mut store,
+                                &format!("b{l}.h{h}.q"),
+                                config.d_model,
+                                config.d_head(),
+                                &mut rng,
+                            ),
+                            Linear::new(
+                                &mut store,
+                                &format!("b{l}.h{h}.k"),
+                                config.d_model,
+                                config.d_head(),
+                                &mut rng,
+                            ),
+                            Linear::new(
+                                &mut store,
+                                &format!("b{l}.h{h}.v"),
+                                config.d_model,
+                                config.d_head(),
+                                &mut rng,
+                            ),
                         )
                     })
                     .collect();
                 Block {
                     ln1: LayerNorm::new(&mut store, &format!("b{l}.ln1"), config.d_model),
                     heads,
-                    wo: Linear::new(&mut store, &format!("b{l}.wo"), config.d_model, config.d_model, &mut rng),
+                    wo: Linear::new(
+                        &mut store,
+                        &format!("b{l}.wo"),
+                        config.d_model,
+                        config.d_model,
+                        &mut rng,
+                    ),
                     ln2: LayerNorm::new(&mut store, &format!("b{l}.ln2"), config.d_model),
-                    ff1: Linear::new(&mut store, &format!("b{l}.ff1"), config.d_model, config.d_ff, &mut rng),
-                    ff2: Linear::new(&mut store, &format!("b{l}.ff2"), config.d_ff, config.d_model, &mut rng),
+                    ff1: Linear::new(
+                        &mut store,
+                        &format!("b{l}.ff1"),
+                        config.d_model,
+                        config.d_ff,
+                        &mut rng,
+                    ),
+                    ff2: Linear::new(
+                        &mut store,
+                        &format!("b{l}.ff2"),
+                        config.d_ff,
+                        config.d_model,
+                        &mut rng,
+                    ),
                 }
             })
             .collect();
@@ -74,7 +120,17 @@ impl MiniPlm {
         let mlm_bias = store.zeros("mlm_bias", 1, config.vocab_size);
         let rtd = Linear::new(&mut store, "rtd", config.d_model, 1, &mut rng);
         let nli = Linear::new(&mut store, "nli", config.d_model, 2, &mut rng);
-        MiniPlm { config, store, tok, pos, blocks, ln_final, mlm_bias, rtd, nli }
+        MiniPlm {
+            config,
+            store,
+            tok,
+            pos,
+            blocks,
+            ln_final,
+            mlm_bias,
+            rtd,
+            nli,
+        }
     }
 
     /// Borrow the parameter store (for optimizer construction).
@@ -198,9 +254,7 @@ impl MiniPlm {
                     .skip(structmine_text::vocab::N_SPECIAL)
                     .map(|(t, &p)| (t as TokenId, p))
                     .collect();
-                scored.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-                });
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                 scored.truncate(k);
                 scored
             })
@@ -258,6 +312,15 @@ impl MiniPlm {
         self.encode(&seq).row(0).to_vec()
     }
 }
+
+// Inference shares one model immutably (`&self` + `Arc`) across the exec
+// layer's worker threads; that is sound only while every forward pass keeps
+// its mutable state inside the per-call `Graph`. This assertion turns any
+// future interior mutability in the model/store into a compile error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MiniPlm>();
+};
 
 /// Forward-pass handle over a [`MiniPlm`]'s parameters. Parameters are
 /// bound lazily inside each forward call; the training path records the
@@ -422,7 +485,9 @@ mod tests {
         let seq = m.wrap(&[7, structmine_text::vocab::MASK]);
         let top = m.mlm_topk(&seq, 2, 10);
         assert_eq!(top.len(), 10);
-        assert!(top.iter().all(|&(t, _)| t >= structmine_text::vocab::N_SPECIAL as u32));
+        assert!(top
+            .iter()
+            .all(|&(t, _)| t >= structmine_text::vocab::N_SPECIAL as u32));
     }
 
     #[test]

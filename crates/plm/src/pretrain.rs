@@ -99,7 +99,8 @@ pub fn pretrain(model: &mut MiniPlm, corpus: &Corpus, cfg: &PretrainConfig) -> P
             let seq = model.wrap(&window);
 
             // --- MLM ---
-            let (masked, positions, gold) = mask_sequence(&seq, cfg.mask_prob, vocab_size, &mut rng);
+            let (masked, positions, gold) =
+                mask_sequence(&seq, cfg.mask_prob, vocab_size, &mut rng);
             let hidden = bound.encode_with_binding(&mut g, &mut binding, &masked);
             let logits = bound.mlm_logits_with_binding(&mut g, &mut binding, hidden, &positions);
             let mut targets = Matrix::zeros(positions.len(), vocab_size);
@@ -164,7 +165,11 @@ pub fn pretrain(model: &mut MiniPlm, corpus: &Corpus, cfg: &PretrainConfig) -> P
     let tenth = (cfg.steps / 10).max(1);
     let initial = mlm_losses.iter().take(tenth).sum::<f32>() / tenth as f32;
     let final_ = mlm_losses.iter().rev().take(tenth).sum::<f32>() / tenth as f32;
-    PretrainReport { initial_mlm_loss: initial, final_mlm_loss: final_, mlm_losses }
+    PretrainReport {
+        initial_mlm_loss: initial,
+        final_mlm_loss: final_,
+        mlm_losses,
+    }
 }
 
 /// Domain-adaptive pretraining: continue masked-language-model training on
@@ -229,9 +234,13 @@ fn mask_sequence(
     }
     if positions.is_empty() {
         // Force-mask a random real token.
-        let real: Vec<usize> =
-            (0..seq.len()).filter(|&i| !Vocab::is_special(seq[i])).collect();
-        if let Some(&i) = real.get(rng.gen_range(0..real.len().max(1)).min(real.len().saturating_sub(1))) {
+        let real: Vec<usize> = (0..seq.len())
+            .filter(|&i| !Vocab::is_special(seq[i]))
+            .collect();
+        if let Some(&i) = real.get(
+            rng.gen_range(0..real.len().max(1))
+                .min(real.len().saturating_sub(1)),
+        ) {
             positions.push(i);
             gold.push(seq[i]);
             masked[i] = MASK;
@@ -278,12 +287,18 @@ mod tests {
     #[test]
     fn mask_sequence_masks_only_real_tokens() {
         let mut rng = lrng::seeded(1);
-        let seq = vec![structmine_text::vocab::CLS, 7, 8, 9, structmine_text::vocab::SEP];
+        let seq = vec![
+            structmine_text::vocab::CLS,
+            7,
+            8,
+            9,
+            structmine_text::vocab::SEP,
+        ];
         for _ in 0..50 {
             let (masked, positions, gold) = mask_sequence(&seq, 0.5, 20, &mut rng);
             assert!(!positions.is_empty());
             for (&p, &g) in positions.iter().zip(&gold) {
-                assert!(p >= 1 && p <= 3, "masked special position {p}");
+                assert!((1..=3).contains(&p), "masked special position {p}");
                 assert_eq!(seq[p], g);
             }
             assert_eq!(masked.len(), seq.len());
@@ -294,7 +309,14 @@ mod tests {
     #[test]
     fn corrupt_sequence_labels_match_changes() {
         let mut rng = lrng::seeded(2);
-        let seq = vec![structmine_text::vocab::CLS, 7, 8, 9, 10, structmine_text::vocab::SEP];
+        let seq = vec![
+            structmine_text::vocab::CLS,
+            7,
+            8,
+            9,
+            10,
+            structmine_text::vocab::SEP,
+        ];
         let (corrupted, labels) = corrupt_sequence(&seq, 0.8, 30, &mut rng);
         for i in 0..seq.len() {
             if labels[i] > 0.5 {
@@ -312,7 +334,11 @@ mod tests {
         let report = pretrain(
             &mut model,
             &corpus,
-            &PretrainConfig { steps: 300, batch: 6, ..Default::default() },
+            &PretrainConfig {
+                steps: 300,
+                batch: 6,
+                ..Default::default()
+            },
         );
         assert!(
             report.final_mlm_loss < report.initial_mlm_loss * 0.92,

@@ -79,10 +79,8 @@ pub fn rtd_label_scores(
             seq.extend_from_slice(names);
             seq.push(SEP);
             let probs = model.rtd_probs(&seq);
-            let replaced: f32 = (0..names.len())
-                .map(|i| probs[name_start + i])
-                .sum::<f32>()
-                / names.len() as f32;
+            let replaced: f32 =
+                (0..names.len()).map(|i| probs[name_start + i]).sum::<f32>() / names.len() as f32;
             1.0 - replaced
         })
         .collect()

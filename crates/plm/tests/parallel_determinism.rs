@@ -1,0 +1,46 @@
+//! Property tests for the determinism contract of the batched encoding
+//! layer: for any corpus and any thread count, `encode_corpus` must be
+//! bitwise identical to the serial pass — on the real pretrained Tier::Test
+//! model, not a toy config, so the whole encoder forward path is covered.
+
+use proptest::prelude::*;
+use structmine_linalg::exec::ExecPolicy;
+use structmine_plm::cache::{pretrained, Tier};
+use structmine_text::synth::recipes;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// encode_corpus(threads ∈ {1,2,3,8}) ≡ encode_corpus(serial), bitwise.
+    #[test]
+    fn encode_corpus_is_thread_count_invariant(n_docs in 1usize..24, corpus_seed in 0u64..1000) {
+        let plm = pretrained(Tier::Test, 0);
+        let corpus = recipes::pretraining_corpus(n_docs, corpus_seed);
+        let serial = plm.encode_corpus(&corpus, &ExecPolicy::serial());
+        for threads in [1usize, 2, 3, 8] {
+            let par = plm.encode_corpus(&corpus, &ExecPolicy::with_threads(threads));
+            prop_assert_eq!(par.len(), serial.len());
+            for (p, s) in par.iter().zip(&serial) {
+                prop_assert_eq!(p.doc, s.doc, "threads={}", threads);
+                prop_assert_eq!(p.tokens.data(), s.tokens.data(), "threads={}", threads);
+                prop_assert_eq!(&p.mean, &s.mean, "threads={}", threads);
+            }
+        }
+    }
+
+    /// The mean-pooled matrix helper obeys the same contract.
+    #[test]
+    fn doc_mean_reps_is_thread_count_invariant(n_docs in 1usize..24, corpus_seed in 0u64..1000) {
+        let plm = pretrained(Tier::Test, 0);
+        let corpus = recipes::pretraining_corpus(n_docs, corpus_seed);
+        let serial = structmine_plm::repr::doc_mean_reps_with(&plm, &corpus, &ExecPolicy::serial());
+        for threads in [2usize, 3, 8] {
+            let par = structmine_plm::repr::doc_mean_reps_with(
+                &plm,
+                &corpus,
+                &ExecPolicy::with_threads(threads),
+            );
+            prop_assert_eq!(par.data(), serial.data(), "threads={}", threads);
+        }
+    }
+}

@@ -31,7 +31,10 @@ pub struct Doc {
 impl Doc {
     /// A plain text-only document.
     pub fn from_tokens(tokens: Vec<TokenId>) -> Self {
-        Doc { tokens, ..Default::default() }
+        Doc {
+            tokens,
+            ..Default::default()
+        }
     }
 
     /// The single gold label; panics if the doc is not single-labeled.
@@ -62,7 +65,10 @@ pub struct Corpus {
 impl Corpus {
     /// An empty corpus over a fresh vocabulary.
     pub fn new(vocab: Vocab) -> Self {
-        Corpus { vocab, docs: Vec::new() }
+        Corpus {
+            vocab,
+            docs: Vec::new(),
+        }
     }
 
     /// Number of documents.

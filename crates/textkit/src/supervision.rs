@@ -25,9 +25,7 @@ impl Supervision {
     pub fn n_classes(&self) -> usize {
         match self {
             Supervision::LabelNames(v) | Supervision::Keywords(v) => v.len(),
-            Supervision::LabeledDocs(pairs) => {
-                pairs.iter().map(|&(_, c)| c + 1).max().unwrap_or(0)
-            }
+            Supervision::LabeledDocs(pairs) => pairs.iter().map(|&(_, c)| c + 1).max().unwrap_or(0),
         }
     }
 
@@ -54,9 +52,15 @@ mod tests {
 
     #[test]
     fn n_classes_for_each_variant() {
-        assert_eq!(Supervision::LabelNames(vec![vec![1], vec![2]]).n_classes(), 2);
+        assert_eq!(
+            Supervision::LabelNames(vec![vec![1], vec![2]]).n_classes(),
+            2
+        );
         assert_eq!(Supervision::Keywords(vec![vec![1, 2]]).n_classes(), 1);
-        assert_eq!(Supervision::LabeledDocs(vec![(0, 0), (1, 2)]).n_classes(), 3);
+        assert_eq!(
+            Supervision::LabeledDocs(vec![(0, 0), (1, 2)]).n_classes(),
+            3
+        );
         assert_eq!(Supervision::LabeledDocs(vec![]).n_classes(), 0);
     }
 

@@ -85,7 +85,12 @@ impl Dataset {
         self.labels
             .name_words
             .iter()
-            .map(|words| words.iter().filter_map(|w| self.corpus.vocab.id(w)).collect())
+            .map(|words| {
+                words
+                    .iter()
+                    .filter_map(|w| self.corpus.vocab.id(w))
+                    .collect()
+            })
             .collect()
     }
 
@@ -94,7 +99,12 @@ impl Dataset {
         self.labels
             .keywords
             .iter()
-            .map(|words| words.iter().filter_map(|w| self.corpus.vocab.id(w)).collect())
+            .map(|words| {
+                words
+                    .iter()
+                    .filter_map(|w| self.corpus.vocab.id(w))
+                    .collect()
+            })
             .collect()
     }
 
@@ -128,12 +138,18 @@ impl Dataset {
 
     /// Gold single labels of the test split. Panics on multi-label docs.
     pub fn test_gold(&self) -> Vec<usize> {
-        self.test_idx.iter().map(|&i| self.corpus.docs[i].label()).collect()
+        self.test_idx
+            .iter()
+            .map(|&i| self.corpus.docs[i].label())
+            .collect()
     }
 
     /// Gold label sets of the test split (multi-label).
     pub fn test_gold_sets(&self) -> Vec<Vec<usize>> {
-        self.test_idx.iter().map(|&i| self.corpus.docs[i].labels.clone()).collect()
+        self.test_idx
+            .iter()
+            .map(|&i| self.corpus.docs[i].labels.clone())
+            .collect()
     }
 
     /// Class sizes over the whole corpus (a doc counts once per label).

@@ -59,7 +59,11 @@ impl Default for MetaConfig {
 impl MetaConfig {
     /// A social-media-style configuration: users and tags only.
     pub fn social() -> Self {
-        MetaConfig { users_per_class: 8, tags_per_class: 4, ..Default::default() }
+        MetaConfig {
+            users_per_class: 8,
+            tags_per_class: 4,
+            ..Default::default()
+        }
     }
 
     /// A bibliographic configuration: venues, authors and citations.
@@ -125,7 +129,11 @@ pub fn attach_metadata(
         }
 
         if cfg.venues_per_class > 0 {
-            let class = if rng.gen::<f32>() < 0.1 { rng.gen_range(0..n_classes) } else { home };
+            let class = if rng.gen::<f32>() < 0.1 {
+                rng.gen_range(0..n_classes)
+            } else {
+                home
+            };
             corpus.docs[i].venue =
                 Some(class * cfg.venues_per_class + rng.gen_range(0..cfg.venues_per_class));
         }
@@ -171,7 +179,12 @@ pub fn attach_metadata(
         earlier_all.push(i);
     }
 
-    MetaStats { n_users, n_tags, n_venues, n_authors }
+    MetaStats {
+        n_users,
+        n_tags,
+        n_venues,
+        n_authors,
+    }
 }
 
 /// Fraction of documents whose user's preferred class matches the document's
@@ -219,12 +232,17 @@ mod tests {
     #[test]
     fn social_config_attaches_users_and_tags() {
         let mut c = labeled_corpus(200, 4);
-        let stats =
-            attach_metadata(&mut c, 4, &MetaConfig::social(), &mut lrng::seeded(1));
+        let stats = attach_metadata(&mut c, 4, &MetaConfig::social(), &mut lrng::seeded(1));
         assert_eq!(stats.n_users, 32);
         assert_eq!(stats.n_tags, 16);
-        assert!(c.docs.iter().all(|d| d.user.is_some() && !d.tags.is_empty()));
-        assert!(c.docs.iter().all(|d| d.venue.is_none() && d.refs.is_empty()));
+        assert!(c
+            .docs
+            .iter()
+            .all(|d| d.user.is_some() && !d.tags.is_empty()));
+        assert!(c
+            .docs
+            .iter()
+            .all(|d| d.venue.is_none() && d.refs.is_empty()));
     }
 
     #[test]
@@ -238,8 +256,12 @@ mod tests {
     #[test]
     fn bibliographic_config_attaches_citations_to_earlier_docs() {
         let mut c = labeled_corpus(300, 3);
-        let stats =
-            attach_metadata(&mut c, 3, &MetaConfig::bibliographic(), &mut lrng::seeded(3));
+        let stats = attach_metadata(
+            &mut c,
+            3,
+            &MetaConfig::bibliographic(),
+            &mut lrng::seeded(3),
+        );
         assert_eq!(stats.n_venues, 6);
         assert_eq!(stats.n_authors, 30);
         for (i, d) in c.docs.iter().enumerate() {
@@ -254,7 +276,12 @@ mod tests {
     #[test]
     fn citations_prefer_same_label() {
         let mut c = labeled_corpus(900, 3);
-        attach_metadata(&mut c, 3, &MetaConfig::bibliographic(), &mut lrng::seeded(4));
+        attach_metadata(
+            &mut c,
+            3,
+            &MetaConfig::bibliographic(),
+            &mut lrng::seeded(4),
+        );
         let mut same = 0usize;
         let mut total = 0usize;
         for d in c.docs.iter().skip(30) {

@@ -43,12 +43,21 @@ pub fn pretraining_corpus(n_docs: usize, seed: u64) -> Corpus {
     for _ in 0..n_docs {
         let a = 1 + rng.gen_range(0..n_pools);
         let mut mix = vec![
-            MixComponent { pool: a, weight: 0.5 },
-            MixComponent { pool: general, weight: 0.35 },
+            MixComponent {
+                pool: a,
+                weight: 0.5,
+            },
+            MixComponent {
+                pool: general,
+                weight: 0.35,
+            },
         ];
         if rng.gen::<f32>() < 0.5 {
             let b = 1 + rng.gen_range(0..n_pools);
-            mix.push(MixComponent { pool: b, weight: 0.15 });
+            mix.push(MixComponent {
+                pool: b,
+                weight: 0.15,
+            });
         }
         specs.push((mix, Vec::new()));
     }
@@ -70,11 +79,21 @@ pub struct ClassDef {
 
 impl ClassDef {
     const fn new(name: &'static str, core: &'static str) -> Self {
-        ClassDef { name, name_word: "", core, domain: None }
+        ClassDef {
+            name,
+            name_word: "",
+            core,
+            domain: None,
+        }
     }
 
     const fn with_domain(name: &'static str, core: &'static str, domain: &'static str) -> Self {
-        ClassDef { name, name_word: "", core, domain: Some(domain) }
+        ClassDef {
+            name,
+            name_word: "",
+            core,
+            domain: Some(domain),
+        }
     }
 }
 
@@ -85,7 +104,11 @@ fn scaled(n: usize, scale: f32) -> usize {
 /// Build the [`LabelSet`] entry for a class from its lexicon.
 fn label_entry(world: &World, def: &ClassDef) -> (String, Vec<String>, Vec<String>, String) {
     let words = crate::synth::lexicon::lexicon(def.core);
-    let name_word = if def.name_word.is_empty() { words[0] } else { def.name_word };
+    let name_word = if def.name_word.is_empty() {
+        words[0]
+    } else {
+        def.name_word
+    };
     debug_assert!(world.vocab().id(name_word).is_some());
     let keywords: Vec<String> = words.iter().take(3).map(|w| w.to_string()).collect();
     let description = format!(
@@ -93,7 +116,12 @@ fn label_entry(world: &World, def: &ClassDef) -> (String, Vec<String>, Vec<Strin
         def.name,
         words.iter().take(6).copied().collect::<Vec<_>>().join(" ")
     );
-    (def.name.to_string(), vec![name_word.to_string()], keywords, description)
+    (
+        def.name.to_string(),
+        vec![name_word.to_string()],
+        keywords,
+        description,
+    )
 }
 
 /// Generic flat single-label dataset builder.
@@ -118,16 +146,27 @@ pub fn flat_dataset(
 
     let mut specs = Vec::new();
     for (c, (def, &n)) in classes.iter().zip(sizes).enumerate() {
-        let core = world.pool(def.core).unwrap_or_else(|| panic!("pool {}", def.core));
+        let core = world
+            .pool(def.core)
+            .unwrap_or_else(|| panic!("pool {}", def.core));
         for _ in 0..n {
             let mut mix = vec![
-                MixComponent { pool: core, weight: 0.30 },
-                MixComponent { pool: general, weight: 0.38 },
+                MixComponent {
+                    pool: core,
+                    weight: 0.30,
+                },
+                MixComponent {
+                    pool: general,
+                    weight: 0.38,
+                },
             ];
             match def.domain {
                 Some(d) => {
                     let dp = world.pool(d).unwrap_or_else(|| panic!("pool {d}"));
-                    mix.push(MixComponent { pool: dp, weight: 0.12 });
+                    mix.push(MixComponent {
+                        pool: dp,
+                        weight: 0.12,
+                    });
                 }
                 None => mix[0].weight += 0.12,
             }
@@ -201,7 +240,14 @@ pub fn agnews(scale: f32, seed: u64) -> Dataset {
         ClassDef::new("technology", "technology"),
     ];
     let sizes = vec![scaled(400, scale); 4];
-    flat_dataset("agnews", &classes, &sizes, WorldConfig::default(), None, seed)
+    flat_dataset(
+        "agnews",
+        &classes,
+        &sizes,
+        WorldConfig::default(),
+        None,
+        seed,
+    )
 }
 
 /// NYT coarse stand-in: 5 balanced sections.
@@ -214,7 +260,14 @@ pub fn nyt_coarse(scale: f32, seed: u64) -> Dataset {
         ClassDef::new("sports", "sports"),
     ];
     let sizes = vec![scaled(320, scale); 5];
-    flat_dataset("nyt-coarse", &classes, &sizes, WorldConfig::default(), None, seed)
+    flat_dataset(
+        "nyt-coarse",
+        &classes,
+        &sizes,
+        WorldConfig::default(),
+        None,
+        seed,
+    )
 }
 
 /// NYT-Small stand-in (X-Class): the 5 coarse sections, imbalanced ~16x.
@@ -227,7 +280,14 @@ pub fn nyt_small(scale: f32, seed: u64) -> Dataset {
         ClassDef::new("sports", "sports"),
     ];
     let sizes = imbalanced_sizes(5, 700, 16.0, scale);
-    flat_dataset("nyt-small", &classes, &sizes, WorldConfig::default(), None, seed)
+    flat_dataset(
+        "nyt-small",
+        &classes,
+        &sizes,
+        WorldConfig::default(),
+        None,
+        seed,
+    )
 }
 
 const NYT_FINE_CLASSES: &[ClassDef] = &[
@@ -261,7 +321,14 @@ const NYT_FINE_CLASSES: &[ClassDef] = &[
 /// NYT fine stand-in: 25 subtopics nested under the coarse sections.
 pub fn nyt_fine(scale: f32, seed: u64) -> Dataset {
     let sizes = vec![scaled(100, scale); NYT_FINE_CLASSES.len()];
-    flat_dataset("nyt-fine", NYT_FINE_CLASSES, &sizes, WorldConfig::default(), None, seed)
+    flat_dataset(
+        "nyt-fine",
+        NYT_FINE_CLASSES,
+        &sizes,
+        WorldConfig::default(),
+        None,
+        seed,
+    )
 }
 
 /// NYT-Topic stand-in (X-Class): 9 topics, heavily imbalanced (~27x).
@@ -278,25 +345,89 @@ pub fn nyt_topic(scale: f32, seed: u64) -> Dataset {
         ClassDef::new("elections", "elections"),
     ];
     let sizes = imbalanced_sizes(9, 700, 27.0, scale);
-    flat_dataset("nyt-topic", &classes, &sizes, WorldConfig::default(), None, seed)
+    flat_dataset(
+        "nyt-topic",
+        &classes,
+        &sizes,
+        WorldConfig::default(),
+        None,
+        seed,
+    )
 }
 
 /// NYT-Location stand-in (X-Class): 10 countries, imbalanced ~16x.
 pub fn nyt_location(scale: f32, seed: u64) -> Dataset {
     let classes = [
-        ClassDef { name: "united states", name_word: "america", core: "loc_usa", domain: Some("world") },
-        ClassDef { name: "china", name_word: "china", core: "loc_china", domain: Some("world") },
-        ClassDef { name: "france", name_word: "france", core: "loc_france", domain: Some("world") },
-        ClassDef { name: "britain", name_word: "britain", core: "loc_britain", domain: Some("world") },
-        ClassDef { name: "japan", name_word: "japan", core: "loc_japan", domain: Some("world") },
-        ClassDef { name: "germany", name_word: "germany", core: "loc_germany", domain: Some("world") },
-        ClassDef { name: "russia", name_word: "russia", core: "loc_russia", domain: Some("world") },
-        ClassDef { name: "canada", name_word: "canada", core: "loc_canada", domain: Some("world") },
-        ClassDef { name: "italy", name_word: "italy", core: "loc_italy", domain: Some("world") },
-        ClassDef { name: "brazil", name_word: "brazil", core: "loc_brazil", domain: Some("world") },
+        ClassDef {
+            name: "united states",
+            name_word: "america",
+            core: "loc_usa",
+            domain: Some("world"),
+        },
+        ClassDef {
+            name: "china",
+            name_word: "china",
+            core: "loc_china",
+            domain: Some("world"),
+        },
+        ClassDef {
+            name: "france",
+            name_word: "france",
+            core: "loc_france",
+            domain: Some("world"),
+        },
+        ClassDef {
+            name: "britain",
+            name_word: "britain",
+            core: "loc_britain",
+            domain: Some("world"),
+        },
+        ClassDef {
+            name: "japan",
+            name_word: "japan",
+            core: "loc_japan",
+            domain: Some("world"),
+        },
+        ClassDef {
+            name: "germany",
+            name_word: "germany",
+            core: "loc_germany",
+            domain: Some("world"),
+        },
+        ClassDef {
+            name: "russia",
+            name_word: "russia",
+            core: "loc_russia",
+            domain: Some("world"),
+        },
+        ClassDef {
+            name: "canada",
+            name_word: "canada",
+            core: "loc_canada",
+            domain: Some("world"),
+        },
+        ClassDef {
+            name: "italy",
+            name_word: "italy",
+            core: "loc_italy",
+            domain: Some("world"),
+        },
+        ClassDef {
+            name: "brazil",
+            name_word: "brazil",
+            core: "loc_brazil",
+            domain: Some("world"),
+        },
     ];
     let sizes = imbalanced_sizes(10, 600, 16.0, scale);
-    flat_dataset("nyt-location", &classes, &sizes, WorldConfig::default(), None, seed)
+    flat_dataset(
+        "nyt-location",
+        &classes,
+        &sizes,
+        WorldConfig::default(),
+        None,
+        seed,
+    )
 }
 
 /// 20 Newsgroups coarse stand-in: 6 top-level groups.
@@ -310,7 +441,14 @@ pub fn news20_coarse(scale: f32, seed: u64) -> Dataset {
         ClassDef::new("forsale", "business"),
     ];
     let sizes = imbalanced_sizes(6, 420, 2.0, scale);
-    flat_dataset("20news-coarse", &classes, &sizes, WorldConfig::default(), None, seed)
+    flat_dataset(
+        "20news-coarse",
+        &classes,
+        &sizes,
+        WorldConfig::default(),
+        None,
+        seed,
+    )
 }
 
 /// 20 Newsgroups fine stand-in: 20 subgroups.
@@ -338,14 +476,31 @@ pub fn news20_fine(scale: f32, seed: u64) -> Dataset {
         ClassDef::with_domain("immigration", "immigration", "politics"),
     ];
     let sizes = vec![scaled(90, scale); classes.len()];
-    flat_dataset("20news-fine", &classes, &sizes, WorldConfig::default(), None, seed)
+    flat_dataset(
+        "20news-fine",
+        &classes,
+        &sizes,
+        WorldConfig::default(),
+        None,
+        seed,
+    )
 }
 
 /// Yelp polarity stand-in: positive vs negative restaurant reviews.
 pub fn yelp(scale: f32, seed: u64) -> Dataset {
     let classes = [
-        ClassDef { name: "good", name_word: "great", core: "positive", domain: Some("dining") },
-        ClassDef { name: "bad", name_word: "terrible", core: "negative", domain: Some("dining") },
+        ClassDef {
+            name: "good",
+            name_word: "great",
+            core: "positive",
+            domain: Some("dining"),
+        },
+        ClassDef {
+            name: "bad",
+            name_word: "terrible",
+            core: "negative",
+            domain: Some("dining"),
+        },
     ];
     let sizes = vec![scaled(500, scale); 2];
     flat_dataset("yelp", &classes, &sizes, WorldConfig::default(), None, seed)
@@ -354,8 +509,18 @@ pub fn yelp(scale: f32, seed: u64) -> Dataset {
 /// IMDB stand-in: positive vs negative movie reviews.
 pub fn imdb(scale: f32, seed: u64) -> Dataset {
     let classes = [
-        ClassDef { name: "good", name_word: "great", core: "positive", domain: Some("movies") },
-        ClassDef { name: "bad", name_word: "terrible", core: "negative", domain: Some("movies") },
+        ClassDef {
+            name: "good",
+            name_word: "great",
+            core: "positive",
+            domain: Some("movies"),
+        },
+        ClassDef {
+            name: "bad",
+            name_word: "terrible",
+            core: "negative",
+            domain: Some("movies"),
+        },
     ];
     let sizes = vec![scaled(500, scale); 2];
     flat_dataset("imdb", &classes, &sizes, WorldConfig::default(), None, seed)
@@ -364,11 +529,28 @@ pub fn imdb(scale: f32, seed: u64) -> Dataset {
 /// Amazon polarity stand-in: positive vs negative product reviews.
 pub fn amazon_polarity(scale: f32, seed: u64) -> Dataset {
     let classes = [
-        ClassDef { name: "good", name_word: "great", core: "positive", domain: Some("hardware") },
-        ClassDef { name: "bad", name_word: "terrible", core: "negative", domain: Some("hardware") },
+        ClassDef {
+            name: "good",
+            name_word: "great",
+            core: "positive",
+            domain: Some("hardware"),
+        },
+        ClassDef {
+            name: "bad",
+            name_word: "terrible",
+            core: "negative",
+            domain: Some("hardware"),
+        },
     ];
     let sizes = vec![scaled(500, scale); 2];
-    flat_dataset("amazon", &classes, &sizes, WorldConfig::default(), None, seed)
+    flat_dataset(
+        "amazon",
+        &classes,
+        &sizes,
+        WorldConfig::default(),
+        None,
+        seed,
+    )
 }
 
 /// DBpedia ontology stand-in: 14 balanced entity classes.
@@ -376,21 +558,58 @@ pub fn dbpedia(scale: f32, seed: u64) -> Dataset {
     let classes = [
         ClassDef::new("company", "ont_company"),
         ClassDef::new("school", "ont_school"),
-        ClassDef { name: "artist", name_word: "painter", core: "ont_artist", domain: None },
-        ClassDef { name: "athlete", name_word: "competed", core: "ont_athlete", domain: None },
-        ClassDef { name: "politician", name_word: "elected", core: "ont_politician", domain: None },
-        ClassDef { name: "transportation", name_word: "aircraft", core: "ont_transport", domain: None },
+        ClassDef {
+            name: "artist",
+            name_word: "painter",
+            core: "ont_artist",
+            domain: None,
+        },
+        ClassDef {
+            name: "athlete",
+            name_word: "competed",
+            core: "ont_athlete",
+            domain: None,
+        },
+        ClassDef {
+            name: "politician",
+            name_word: "elected",
+            core: "ont_politician",
+            domain: None,
+        },
+        ClassDef {
+            name: "transportation",
+            name_word: "aircraft",
+            core: "ont_transport",
+            domain: None,
+        },
         ClassDef::new("building", "ont_building"),
         ClassDef::new("river", "ont_river"),
         ClassDef::new("village", "ont_village"),
-        ClassDef { name: "animal", name_word: "species", core: "ont_animal", domain: None },
+        ClassDef {
+            name: "animal",
+            name_word: "species",
+            core: "ont_animal",
+            domain: None,
+        },
         ClassDef::new("plant", "ont_plant"),
         ClassDef::new("album", "ont_album"),
         ClassDef::new("film", "ont_film"),
-        ClassDef { name: "book", name_word: "novel", core: "ont_book", domain: None },
+        ClassDef {
+            name: "book",
+            name_word: "novel",
+            core: "ont_book",
+            domain: None,
+        },
     ];
     let sizes = vec![scaled(130, scale); classes.len()];
-    flat_dataset("dbpedia", &classes, &sizes, WorldConfig::default(), None, seed)
+    flat_dataset(
+        "dbpedia",
+        &classes,
+        &sizes,
+        WorldConfig::default(),
+        None,
+        seed,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -475,37 +694,99 @@ pub fn amazon_meta(scale: f32, seed: u64) -> Dataset {
     let classes = [
         ClassDef::new("hardware", "hardware"),
         ClassDef::new("software", "software"),
-        ClassDef { name: "books", name_word: "book", core: "books", domain: None },
+        ClassDef {
+            name: "books",
+            name_word: "book",
+            core: "books",
+            domain: None,
+        },
         ClassDef::new("music", "music"),
-        ClassDef { name: "movies", name_word: "film", core: "movies", domain: None },
-        ClassDef { name: "food", name_word: "restaurant", core: "dining", domain: None },
+        ClassDef {
+            name: "movies",
+            name_word: "film",
+            core: "movies",
+            domain: None,
+        },
+        ClassDef {
+            name: "food",
+            name_word: "restaurant",
+            core: "dining",
+            domain: None,
+        },
         ClassDef::new("fashion", "fashion"),
-        ClassDef { name: "travel", name_word: "hotel", core: "travel", domain: None },
-        ClassDef { name: "nutrition", name_word: "diet", core: "nutrition", domain: None },
+        ClassDef {
+            name: "travel",
+            name_word: "hotel",
+            core: "travel",
+            domain: None,
+        },
+        ClassDef {
+            name: "nutrition",
+            name_word: "diet",
+            core: "nutrition",
+            domain: None,
+        },
         ClassDef::new("golf", "golf"),
     ];
     let sizes = vec![scaled(260, scale); classes.len()];
     // Products act as venues: many per class, each doc reviews one product.
-    let meta = MetaConfig { users_per_class: 10, venues_per_class: 6, ..Default::default() };
-    flat_dataset("amazon-meta", &classes, &sizes, WorldConfig::default(), Some(&meta), seed)
+    let meta = MetaConfig {
+        users_per_class: 10,
+        venues_per_class: 6,
+        ..Default::default()
+    };
+    flat_dataset(
+        "amazon-meta",
+        &classes,
+        &sizes,
+        WorldConfig::default(),
+        Some(&meta),
+        seed,
+    )
 }
 
 /// Twitter stand-in: 9 hashtag topics, short documents, users + hashtags.
 pub fn twitter(scale: f32, seed: u64) -> Dataset {
     let classes = [
-        ClassDef { name: "food", name_word: "restaurant", core: "dining", domain: None },
+        ClassDef {
+            name: "food",
+            name_word: "restaurant",
+            core: "dining",
+            domain: None,
+        },
         ClassDef::new("sports", "sports"),
         ClassDef::new("music", "music"),
-        ClassDef { name: "movies", name_word: "film", core: "movies", domain: None },
-        ClassDef { name: "travel", name_word: "hotel", core: "travel", domain: None },
+        ClassDef {
+            name: "movies",
+            name_word: "film",
+            core: "movies",
+            domain: None,
+        },
+        ClassDef {
+            name: "travel",
+            name_word: "hotel",
+            core: "travel",
+            domain: None,
+        },
         ClassDef::new("technology", "technology"),
         ClassDef::new("politics", "politics"),
         ClassDef::new("fashion", "fashion"),
         ClassDef::new("health", "health"),
     ];
     let sizes = vec![scaled(260, scale); classes.len()];
-    let cfg = WorldConfig { doc_len_mean: 13.0, doc_len_std: 3.0, ..Default::default() };
-    flat_dataset("twitter", &classes, &sizes, cfg, Some(&MetaConfig::social()), seed)
+    let cfg = WorldConfig {
+        doc_len_mean: 13.0,
+        doc_len_std: 3.0,
+        ..Default::default()
+    };
+    flat_dataset(
+        "twitter",
+        &classes,
+        &sizes,
+        cfg,
+        Some(&MetaConfig::social()),
+        seed,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -513,7 +794,11 @@ pub fn twitter(scale: f32, seed: u64) -> Dataset {
 // ---------------------------------------------------------------------------
 
 /// One internal node and its leaves for a tree recipe.
-type TreeDomain = (&'static str, &'static str, &'static [(&'static str, &'static str)]);
+type TreeDomain = (
+    &'static str,
+    &'static str,
+    &'static [(&'static str, &'static str)],
+);
 
 /// Generic two-level tree dataset builder. Classes are all non-root nodes in
 /// insertion order (each domain followed by its leaves); each document's
@@ -538,40 +823,54 @@ pub fn tree_dataset(
         let dom_node = taxonomy.add_node(dom_name, &[0]);
         let dom_class = class_nodes.len();
         class_nodes.push(dom_node);
-        let (n, nw, kw, desc) =
-            label_entry(&world, &ClassDef::new(dom_name, dom_lex));
+        let (n, nw, kw, desc) = label_entry(&world, &ClassDef::new(dom_name, dom_lex));
         labels.names.push(n);
         labels.name_words.push(nw);
         labels.keywords.push(kw);
         labels.descriptions.push(desc);
 
-        let dom_pool = world.pool(dom_lex).unwrap_or_else(|| panic!("pool {dom_lex}"));
+        let dom_pool = world
+            .pool(dom_lex)
+            .unwrap_or_else(|| panic!("pool {dom_lex}"));
         for &(leaf_name, leaf_lex) in leaves {
             let leaf_node = taxonomy.add_node(leaf_name, &[dom_node]);
             let leaf_class = class_nodes.len();
             class_nodes.push(leaf_node);
-            let (n, nw, kw, desc) =
-                label_entry(&world, &ClassDef::new(leaf_name, leaf_lex));
+            let (n, nw, kw, desc) = label_entry(&world, &ClassDef::new(leaf_name, leaf_lex));
             labels.names.push(n);
             labels.name_words.push(nw);
             labels.keywords.push(kw);
             labels.descriptions.push(desc);
 
-            let leaf_pool = world.pool(leaf_lex).unwrap_or_else(|| panic!("pool {leaf_lex}"));
+            let leaf_pool = world
+                .pool(leaf_lex)
+                .unwrap_or_else(|| panic!("pool {leaf_lex}"));
             for _ in 0..docs_per_leaf {
                 let mut mix = vec![
-                    MixComponent { pool: leaf_pool, weight: 0.32 },
-                    MixComponent { pool: dom_pool, weight: 0.18 },
-                    MixComponent { pool: general, weight: 0.35 },
+                    MixComponent {
+                        pool: leaf_pool,
+                        weight: 0.32,
+                    },
+                    MixComponent {
+                        pool: dom_pool,
+                        weight: 0.18,
+                    },
+                    MixComponent {
+                        pool: general,
+                        weight: 0.35,
+                    },
                 ];
                 // Leak words from a random sibling leaf.
                 if leaves.len() > 1 {
                     let (other, _) = leaves[rng.gen_range(0..leaves.len())];
                     if other != leaf_name {
-                        if let Some(op) = world.pool(
-                            leaves.iter().find(|&&(n, _)| n == other).unwrap().1,
-                        ) {
-                            mix.push(MixComponent { pool: op, weight: 0.15 });
+                        if let Some(op) =
+                            world.pool(leaves.iter().find(|&&(n, _)| n == other).unwrap().1)
+                        {
+                            mix.push(MixComponent {
+                                pool: op,
+                                weight: 0.15,
+                            });
                         }
                     }
                 }
@@ -597,41 +896,97 @@ pub fn tree_dataset(
 /// NYT hierarchy stand-in for WeSHClass: 3 sections x 3 subtopics.
 pub fn nyt_tree(scale: f32, seed: u64) -> Dataset {
     let domains: &[TreeDomain] = &[
-        ("politics", "politics", &[("elections", "elections"), ("military", "military"), ("law", "law")]),
-        ("business", "business", &[("stocks", "stocks"), ("economy", "economy"), ("banking", "banking")]),
-        ("sports", "sports", &[("soccer", "soccer"), ("basketball", "basketball"), ("tennis", "tennis")]),
+        (
+            "politics",
+            "politics",
+            &[
+                ("elections", "elections"),
+                ("military", "military"),
+                ("law", "law"),
+            ],
+        ),
+        (
+            "business",
+            "business",
+            &[
+                ("stocks", "stocks"),
+                ("economy", "economy"),
+                ("banking", "banking"),
+            ],
+        ),
+        (
+            "sports",
+            "sports",
+            &[
+                ("soccer", "soccer"),
+                ("basketball", "basketball"),
+                ("tennis", "tennis"),
+            ],
+        ),
     ];
-    tree_dataset("nyt-tree", domains, scaled(90, scale), WorldConfig::default(), seed)
+    tree_dataset(
+        "nyt-tree",
+        domains,
+        scaled(90, scale),
+        WorldConfig::default(),
+        seed,
+    )
 }
 
 /// arXiv hierarchy stand-in for WeSHClass: cs / math / physics.
 pub fn arxiv_tree(scale: f32, seed: u64) -> Dataset {
     let domains: &[TreeDomain] = &[
-        ("computer science", "technology", &[
-            ("language", "cs_nlp"),
-            ("image", "cs_vision"),
-            ("learning", "cs_ml"),
-            ("database", "cs_db"),
-        ]),
-        ("mathematics", "mathematics", &[
-            ("algebra", "math_algebra"),
-            ("analysis", "math_analysis"),
-            ("combinatorics", "math_combinatorics"),
-        ]),
-        ("physics", "physics", &[
-            ("collider", "phys_hep"),
-            ("galaxy", "phys_astro"),
-            ("lattice", "phys_cond"),
-        ]),
+        (
+            "computer science",
+            "technology",
+            &[
+                ("language", "cs_nlp"),
+                ("image", "cs_vision"),
+                ("learning", "cs_ml"),
+                ("database", "cs_db"),
+            ],
+        ),
+        (
+            "mathematics",
+            "mathematics",
+            &[
+                ("algebra", "math_algebra"),
+                ("analysis", "math_analysis"),
+                ("combinatorics", "math_combinatorics"),
+            ],
+        ),
+        (
+            "physics",
+            "physics",
+            &[
+                ("collider", "phys_hep"),
+                ("galaxy", "phys_astro"),
+                ("lattice", "phys_cond"),
+            ],
+        ),
     ];
-    tree_dataset("arxiv-tree", domains, scaled(80, scale), WorldConfig::default(), seed)
+    tree_dataset(
+        "arxiv-tree",
+        domains,
+        scaled(80, scale),
+        WorldConfig::default(),
+        seed,
+    )
 }
 
 /// Yelp hierarchy stand-in for WeSHClass: sentiment -> venue type.
 pub fn yelp_tree(scale: f32, seed: u64) -> Dataset {
     let domains: &[TreeDomain] = &[
-        ("good", "positive", &[("restaurant", "dining"), ("hotel", "travel")]),
-        ("bad", "negative", &[("diner", "dining"), ("motel", "travel")]),
+        (
+            "good",
+            "positive",
+            &[("restaurant", "dining"), ("hotel", "travel")],
+        ),
+        (
+            "bad",
+            "negative",
+            &[("diner", "dining"), ("motel", "travel")],
+        ),
     ];
     // Leaf lexicons repeat across branches ("dining" under both sentiments),
     // so the *parent* pool is what separates the top level — mirroring how
@@ -662,13 +1017,26 @@ pub fn yelp_tree(scale: f32, seed: u64) -> Dataset {
             let words = crate::synth::lexicon::lexicon(leaf_lex);
             labels.names.push(leaf_name.to_string());
             labels.name_words.push(vec![words[0].to_string()]);
-            labels.keywords.push(words.iter().take(3).map(|w| w.to_string()).collect());
-            labels.descriptions.push(format!("category {leaf_name} under {dom_name}"));
+            labels
+                .keywords
+                .push(words.iter().take(3).map(|w| w.to_string()).collect());
+            labels
+                .descriptions
+                .push(format!("category {leaf_name} under {dom_name}"));
             for _ in 0..scaled(110, scale) {
                 let mix = vec![
-                    MixComponent { pool: dom_pool, weight: 0.40 },
-                    MixComponent { pool: leaf_pool, weight: 0.28 },
-                    MixComponent { pool: general, weight: 0.32 },
+                    MixComponent {
+                        pool: dom_pool,
+                        weight: 0.40,
+                    },
+                    MixComponent {
+                        pool: leaf_pool,
+                        weight: 0.28,
+                    },
+                    MixComponent {
+                        pool: general,
+                        weight: 0.32,
+                    },
                 ];
                 specs.push((mix, vec![dom_class, leaf_class]));
             }
@@ -753,7 +1121,9 @@ pub fn dag_dataset(
                 // Sibling of the first leaf.
                 let first_parents = leaves[first].2;
                 let sibs: Vec<usize> = (0..leaves.len())
-                    .filter(|&l| l != first && leaves[l].2.iter().any(|p| first_parents.contains(p)))
+                    .filter(|&l| {
+                        l != first && leaves[l].2.iter().any(|p| first_parents.contains(p))
+                    })
                     .collect();
                 if sibs.is_empty() {
                     rng.gen_range(0..leaves.len())
@@ -770,21 +1140,35 @@ pub fn dag_dataset(
         }
 
         let k = chosen.len() as f32;
-        let mut mix = vec![MixComponent { pool: general, weight: 0.33 }];
+        let mut mix = vec![MixComponent {
+            pool: general,
+            weight: 0.33,
+        }];
         // Background contamination from one random unrelated leaf.
         let noise_leaf = rng.gen_range(0..leaves.len());
         if !chosen.contains(&noise_leaf) {
             let np = world.pool(leaves[noise_leaf].1).unwrap();
-            mix.push(MixComponent { pool: np, weight: 0.12 });
+            mix.push(MixComponent {
+                pool: np,
+                weight: 0.12,
+            });
         }
         let mut label_set = Vec::new();
         for &l in &chosen {
-            let pool = world.pool(leaves[l].1).unwrap_or_else(|| panic!("pool {}", leaves[l].1));
-            mix.push(MixComponent { pool, weight: 0.5 / k });
+            let pool = world
+                .pool(leaves[l].1)
+                .unwrap_or_else(|| panic!("pool {}", leaves[l].1));
+            mix.push(MixComponent {
+                pool,
+                weight: 0.5 / k,
+            });
             label_set.push(leaf_classes[l]);
             for &p in leaves[l].2 {
                 let ppool = world.pool(parents[p].1).unwrap();
-                mix.push(MixComponent { pool: ppool, weight: 0.17 / (k * leaves[l].2.len() as f32) });
+                mix.push(MixComponent {
+                    pool: ppool,
+                    weight: 0.17 / (k * leaves[l].2.len() as f32),
+                });
                 if !label_set.contains(&p) {
                     label_set.push(p);
                 }
@@ -833,7 +1217,14 @@ pub fn amazon_taxonomy(scale: f32, seed: u64) -> Dataset {
         ("travel gear", "travel", &[2]),
         ("nutrition", "nutrition", &[2]),
     ];
-    dag_dataset("amazon-taxonomy", parents, leaves, scaled(1400, scale), None, seed)
+    dag_dataset(
+        "amazon-taxonomy",
+        parents,
+        leaves,
+        scaled(1400, scale),
+        None,
+        seed,
+    )
 }
 
 /// DBpedia-taxonomy stand-in for TaxoClass.
@@ -860,7 +1251,14 @@ pub fn dbpedia_taxonomy(scale: f32, seed: u64) -> Dataset {
         ("animal", "ont_animal", &[4]),
         ("plant", "ont_plant", &[4]),
     ];
-    dag_dataset("dbpedia-taxonomy", parents, leaves, scaled(1400, scale), None, seed)
+    dag_dataset(
+        "dbpedia-taxonomy",
+        parents,
+        leaves,
+        scaled(1400, scale),
+        None,
+        seed,
+    )
 }
 
 /// MAG-CS stand-in for MICoL: multi-label CS papers with venues, authors and
@@ -951,11 +1349,30 @@ pub fn by_name(name: &str, scale: f32, seed: u64) -> Option<Dataset> {
 
 /// All recipe names accepted by [`by_name`].
 pub const ALL_RECIPES: &[&str] = &[
-    "agnews", "nyt-coarse", "nyt-small", "nyt-fine", "nyt-topic", "nyt-location",
-    "20news-coarse", "20news-fine", "yelp", "imdb", "amazon", "dbpedia",
-    "github-bio", "github-ai", "github-sec", "amazon-meta", "twitter",
-    "nyt-tree", "arxiv-tree", "yelp-tree", "amazon-taxonomy", "dbpedia-taxonomy",
-    "mag-cs", "pubmed",
+    "agnews",
+    "nyt-coarse",
+    "nyt-small",
+    "nyt-fine",
+    "nyt-topic",
+    "nyt-location",
+    "20news-coarse",
+    "20news-fine",
+    "yelp",
+    "imdb",
+    "amazon",
+    "dbpedia",
+    "github-bio",
+    "github-ai",
+    "github-sec",
+    "amazon-meta",
+    "twitter",
+    "nyt-tree",
+    "arxiv-tree",
+    "yelp-tree",
+    "amazon-taxonomy",
+    "dbpedia-taxonomy",
+    "mag-cs",
+    "pubmed",
 ];
 
 #[cfg(test)]
@@ -1002,7 +1419,10 @@ mod tests {
         for name in ["agnews", "nyt-fine", "dbpedia", "yelp"] {
             let d = by_name(name, 0.05, 1).unwrap();
             for (c, toks) in d.label_name_tokens().iter().enumerate() {
-                assert!(!toks.is_empty(), "{name} class {c} name has no in-vocab tokens");
+                assert!(
+                    !toks.is_empty(),
+                    "{name} class {c} name has no in-vocab tokens"
+                );
             }
         }
     }
@@ -1034,16 +1454,16 @@ mod tests {
             }
         }
         for c in 0..d.n_classes() {
-            for k in 0..d.n_classes() {
-                per_class_hits[c][k] /= per_class_docs[c] as f32;
+            let n_docs = per_class_docs[c] as f32;
+            for h in &mut per_class_hits[c] {
+                *h /= n_docs;
             }
             let own = per_class_hits[c][c];
-            for k in 0..d.n_classes() {
+            for (k, &hit) in per_class_hits[c].iter().enumerate() {
                 if k != c {
                     assert!(
-                        own > per_class_hits[c][k] * 2.0,
-                        "class {c} not distinct from {k}: {own} vs {}",
-                        per_class_hits[c][k]
+                        own > hit * 2.0,
+                        "class {c} not distinct from {k}: {own} vs {hit}"
                     );
                 }
             }
@@ -1097,14 +1517,22 @@ mod tests {
                 any_multileaf = true;
             }
         }
-        assert!(any_multileaf, "expected some docs with multiple leaf labels");
+        assert!(
+            any_multileaf,
+            "expected some docs with multiple leaf labels"
+        );
     }
 
     #[test]
     fn bibliographic_recipes_have_metadata() {
         let d = mag_cs(0.05, 2);
         assert!(d.meta.n_venues > 0 && d.meta.n_authors > 0);
-        let with_refs = d.corpus.docs.iter().filter(|doc| !doc.refs.is_empty()).count();
+        let with_refs = d
+            .corpus
+            .docs
+            .iter()
+            .filter(|doc| !doc.refs.is_empty())
+            .count();
         assert!(with_refs > d.corpus.len() / 2);
         assert!(!d.labels.descriptions[0].is_empty());
     }
@@ -1112,7 +1540,12 @@ mod tests {
     #[test]
     fn twitter_docs_are_short() {
         let d = twitter(0.05, 2);
-        let avg: f32 = d.corpus.docs.iter().map(|x| x.tokens.len() as f32).sum::<f32>()
+        let avg: f32 = d
+            .corpus
+            .docs
+            .iter()
+            .map(|x| x.tokens.len() as f32)
+            .sum::<f32>()
             / d.corpus.len() as f32;
         assert!(avg < 20.0, "avg len {avg}");
     }

@@ -34,7 +34,11 @@ pub struct WorldConfig {
 
 impl Default for WorldConfig {
     fn default() -> Self {
-        WorldConfig { doc_len_mean: 40.0, doc_len_std: 12.0, zipf_power: 0.7 }
+        WorldConfig {
+            doc_len_mean: 40.0,
+            doc_len_std: 12.0,
+            zipf_power: 0.7,
+        }
     }
 }
 
@@ -66,7 +70,12 @@ struct Pool {
 impl World {
     /// Create an empty world with the given generator configuration.
     pub fn new(config: WorldConfig) -> Self {
-        World { vocab: Vocab::new(), pools: Vec::new(), pool_names: Vec::new(), config }
+        World {
+            vocab: Vocab::new(),
+            pools: Vec::new(),
+            pool_names: Vec::new(),
+            config,
+        }
     }
 
     /// Intern a named pool of words; returns its id. Re-adding a name is an
@@ -206,7 +215,10 @@ mod tests {
         let w = sample_world();
         let mut rng = seeded(1);
         let soccer = w.pool("soccer").unwrap();
-        let mix = [MixComponent { pool: soccer, weight: 1.0 }];
+        let mix = [MixComponent {
+            pool: soccer,
+            weight: 1.0,
+        }];
         let doc = w.gen_doc_with_len(&mut rng, &mix, 200);
         let allowed: std::collections::HashSet<_> = w.pool_tokens(soccer).iter().collect();
         assert!(doc.iter().all(|t| allowed.contains(t)));
@@ -219,14 +231,23 @@ mod tests {
         let general = w.pool("general").unwrap();
         let soccer = w.pool("soccer").unwrap();
         let mix = [
-            MixComponent { pool: soccer, weight: 0.8 },
-            MixComponent { pool: general, weight: 0.2 },
+            MixComponent {
+                pool: soccer,
+                weight: 0.8,
+            },
+            MixComponent {
+                pool: general,
+                weight: 0.2,
+            },
         ];
         let doc = w.gen_doc_with_len(&mut rng, &mix, 5000);
         let general_set: std::collections::HashSet<_> = w.pool_tokens(general).iter().collect();
         let general_frac =
             doc.iter().filter(|t| general_set.contains(t)).count() as f32 / doc.len() as f32;
-        assert!((general_frac - 0.2).abs() < 0.03, "general fraction {general_frac}");
+        assert!(
+            (general_frac - 0.2).abs() < 0.03,
+            "general fraction {general_frac}"
+        );
     }
 
     #[test]
@@ -234,7 +255,10 @@ mod tests {
         let w = sample_world();
         let mut rng = seeded(3);
         let soccer = w.pool("soccer").unwrap();
-        let mix = [MixComponent { pool: soccer, weight: 1.0 }];
+        let mix = [MixComponent {
+            pool: soccer,
+            weight: 1.0,
+        }];
         let doc = w.gen_doc_with_len(&mut rng, &mix, 20_000);
         let first = w.pool_tokens(soccer)[0];
         let last = *w.pool_tokens(soccer).last().unwrap();
@@ -247,7 +271,10 @@ mod tests {
     fn generation_is_deterministic_per_seed() {
         let w = sample_world();
         let soccer = w.pool("soccer").unwrap();
-        let mix = [MixComponent { pool: soccer, weight: 1.0 }];
+        let mix = [MixComponent {
+            pool: soccer,
+            weight: 1.0,
+        }];
         let a = w.gen_doc(&mut seeded(7), &mix);
         let b = w.gen_doc(&mut seeded(7), &mix);
         assert_eq!(a, b);
@@ -257,12 +284,17 @@ mod tests {
     fn gen_corpus_records_counts_and_labels() {
         let w = sample_world();
         let soccer = w.pool("soccer").unwrap();
-        let mix = vec![MixComponent { pool: soccer, weight: 1.0 }];
+        let mix = vec![MixComponent {
+            pool: soccer,
+            weight: 1.0,
+        }];
         let specs = vec![(mix.clone(), vec![0]), (mix, vec![1])];
         let corpus = w.gen_corpus(&mut seeded(4), &specs);
         assert_eq!(corpus.len(), 2);
         assert_eq!(corpus.docs[0].labels, vec![0]);
-        let total: u64 = (0..corpus.vocab.len() as u32).map(|t| corpus.vocab.count(t)).sum();
+        let total: u64 = (0..corpus.vocab.len() as u32)
+            .map(|t| corpus.vocab.count(t))
+            .sum();
         assert_eq!(total as usize, corpus.n_tokens());
     }
 

@@ -34,7 +34,10 @@ impl Taxonomy {
     /// Panics if `parents` is empty or references an unknown node (cycles are
     /// impossible because a parent must already exist).
     pub fn add_node(&mut self, name: &str, parents: &[NodeId]) -> NodeId {
-        assert!(!parents.is_empty(), "a non-root node needs at least one parent");
+        assert!(
+            !parents.is_empty(),
+            "a non-root node needs at least one parent"
+        );
         let id = self.names.len();
         for &p in parents {
             assert!(p < id, "parent {p} does not exist");
@@ -101,7 +104,7 @@ impl Taxonomy {
         let mut depth = 0;
         let mut frontier = vec![id];
         let mut visited = vec![false; self.len()];
-        while !frontier.iter().any(|&n| n == 0) {
+        while !frontier.contains(&0) {
             let mut next = Vec::new();
             for &n in &frontier {
                 for &p in &self.parents[n] {
@@ -113,19 +116,28 @@ impl Taxonomy {
             }
             frontier = next;
             depth += 1;
-            assert!(depth <= self.len(), "taxonomy parent links are inconsistent");
+            assert!(
+                depth <= self.len(),
+                "taxonomy parent links are inconsistent"
+            );
         }
         depth
     }
 
     /// Maximum leaf depth.
     pub fn max_depth(&self) -> usize {
-        self.leaves().iter().map(|&l| self.level(l)).max().unwrap_or(0)
+        self.leaves()
+            .iter()
+            .map(|&l| self.level(l))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Node ids at exactly `level` (root = level 0).
     pub fn nodes_at_level(&self, level: usize) -> Vec<NodeId> {
-        (0..self.len()).filter(|&i| self.level(i) == level).collect()
+        (0..self.len())
+            .filter(|&i| self.level(i) == level)
+            .collect()
     }
 
     /// All descendants of `id` (excluding itself), in BFS order.

@@ -47,8 +47,10 @@ impl TfIdf {
                 *counts.entry(t).or_insert(0.0) += 1.0;
             }
         }
-        let mut v: SparseVec =
-            counts.into_iter().map(|(t, tf)| (t, tf * self.idf(t))).collect();
+        let mut v: SparseVec = counts
+            .into_iter()
+            .map(|(t, tf)| (t, tf * self.idf(t)))
+            .collect();
         v.sort_by_key(|&(t, _)| t);
         let norm: f32 = v.iter().map(|&(_, w)| w * w).sum::<f32>().sqrt();
         if norm > 0.0 {
@@ -61,7 +63,11 @@ impl TfIdf {
 
     /// TF-IDF vectors for every document in `corpus`.
     pub fn vectorize_corpus(&self, corpus: &Corpus) -> Vec<SparseVec> {
-        corpus.docs.iter().map(|d| self.vectorize(&d.tokens)).collect()
+        corpus
+            .docs
+            .iter()
+            .map(|d| self.vectorize(&d.tokens))
+            .collect()
     }
 }
 

@@ -27,7 +27,11 @@ pub fn encode_interning(text: &str, vocab: &mut Vocab) -> Vec<TokenId> {
 
 /// Render a token-id sequence back to a human-readable string.
 pub fn decode(tokens: &[TokenId], vocab: &Vocab) -> String {
-    tokens.iter().map(|&t| vocab.word(t)).collect::<Vec<_>>().join(" ")
+    tokens
+        .iter()
+        .map(|&t| vocab.word(t))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 #[cfg(test)]
@@ -36,7 +40,10 @@ mod tests {
 
     #[test]
     fn words_lowercase_and_strip_punctuation() {
-        assert_eq!(words("Messi scored the penalty!"), vec!["messi", "scored", "the", "penalty"]);
+        assert_eq!(
+            words("Messi scored the penalty!"),
+            vec!["messi", "scored", "the", "penalty"]
+        );
     }
 
     #[test]

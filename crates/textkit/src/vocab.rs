@@ -41,7 +41,11 @@ impl Default for Vocab {
 impl Vocab {
     /// A vocabulary containing only the special tokens.
     pub fn new() -> Self {
-        let mut v = Vocab { words: Vec::new(), index: HashMap::new(), counts: Vec::new() };
+        let mut v = Vocab {
+            words: Vec::new(),
+            index: HashMap::new(),
+            counts: Vec::new(),
+        };
         for s in ["[PAD]", "[UNK]", "[MASK]", "[CLS]", "[SEP]"] {
             v.intern(s);
         }
@@ -115,7 +119,13 @@ impl Vocab {
         self.counts
             .iter()
             .enumerate()
-            .map(|(i, &c)| if i < N_SPECIAL { 0.0 } else { (c as f32).powf(power) })
+            .map(|(i, &c)| {
+                if i < N_SPECIAL {
+                    0.0
+                } else {
+                    (c as f32).powf(power)
+                }
+            })
             .collect()
     }
 }

@@ -30,12 +30,18 @@ fn main() {
     );
 
     let sup = data.supervision_docs(5, 1);
-    println!("supervision: {} labeled documents total\n", sup.labeled_docs().unwrap().len());
+    println!(
+        "supervision: {} labeled documents total\n",
+        sup.labeled_docs().unwrap().len()
+    );
 
     let gold = data.test_gold();
     let eval = |preds: &[usize]| {
         let test: Vec<usize> = data.test_idx.iter().map(|&i| preds[i]).collect();
-        (accuracy(&test, &gold), macro_f1(&test, &gold, data.n_classes()))
+        (
+            accuracy(&test, &gold),
+            macro_f1(&test, &gold, data.n_classes()),
+        )
     };
 
     let metacat = MetaCat::default();

@@ -27,22 +27,48 @@ fn main() {
         accuracy(&test, &gold)
     };
 
-    println!("{} news documents, labels: {:?}\n", data.corpus.len(), data.labels.names);
+    println!(
+        "{} news documents, labels: {:?}\n",
+        data.corpus.len(),
+        data.labels.names
+    );
 
     // Route 1: static embeddings (WeSTClass).
-    let wv = Sgns::train(&data.corpus, &SgnsConfig { epochs: 4, dim: 32, ..Default::default() });
+    let wv = Sgns::train(
+        &data.corpus,
+        &SgnsConfig {
+            epochs: 4,
+            dim: 32,
+            ..Default::default()
+        },
+    );
     let west = WeSTClass::default().run(&data, &data.supervision_names(), &wv);
-    println!("WeSTClass (static embeddings, vMF pseudo docs): {:.3}", eval(&west.predictions));
+    println!(
+        "WeSTClass (static embeddings, vMF pseudo docs): {:.3}",
+        eval(&west.predictions)
+    );
 
     // Route 2: class-oriented PLM representations (X-Class).
     let x = XClass::default().run(&data, &plm);
-    println!("X-Class   (class-oriented PLM representations): {:.3}", eval(&x.predictions));
+    println!(
+        "X-Class   (class-oriented PLM representations): {:.3}",
+        eval(&x.predictions)
+    );
 
     // Route 3: prompting (zero-shot, then iterative PromptClass).
-    let pc = PromptClass { style: PromptStyle::Mlm, ..Default::default() };
+    let pc = PromptClass {
+        style: PromptStyle::Mlm,
+        ..Default::default()
+    };
     let out = pc.run(&data, &plm);
-    println!("Prompting (zero-shot cloze):                    {:.3}", eval(&out.zero_shot_predictions));
-    println!("PromptClass (iterative co-training):            {:.3}", eval(&out.predictions));
+    println!(
+        "Prompting (zero-shot cloze):                    {:.3}",
+        eval(&out.zero_shot_predictions)
+    );
+    println!(
+        "PromptClass (iterative co-training):            {:.3}",
+        eval(&out.predictions)
+    );
 
     // Classify a new headline by representation matching (robust for short
     // out-of-corpus text; see `prompt::cloze_label_scores` for the cloze way).

@@ -31,8 +31,11 @@ fn main() {
 
     // ---- TaxoClass ---------------------------------------------------------
     let out = TaxoClass::default().run(&data, &plm);
-    let pred_sets: Vec<Vec<usize>> =
-        data.test_idx.iter().map(|&i| out.label_sets[i].clone()).collect();
+    let pred_sets: Vec<Vec<usize>> = data
+        .test_idx
+        .iter()
+        .map(|&i| out.label_sets[i].clone())
+        .collect();
     let top1: Vec<usize> = data.test_idx.iter().map(|&i| out.top1[i]).collect();
     let gold = data.test_gold_sets();
     println!(
@@ -44,17 +47,22 @@ fn main() {
     println!("\nsample label sets:");
     for &i in data.test_idx.iter().take(4) {
         let render = |set: &[usize]| {
-            set.iter().map(|&c| data.labels.names[c].as_str()).collect::<Vec<_>>().join(", ")
+            set.iter()
+                .map(|&c| data.labels.names[c].as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
         };
         println!("  predicted [{}]", render(&out.label_sets[i]));
         println!("       gold [{}]\n", render(&data.corpus.docs[i].labels));
     }
 
     // ---- MICoL (zero labeled docs, metadata contrastive) -------------------
-    let rankings =
-        MiCoL { meta_path: MetaPath::SharedReference, ..Default::default() }.run(&data, &plm);
-    let ranked: Vec<Vec<usize>> =
-        data.test_idx.iter().map(|&i| rankings[i].clone()).collect();
+    let rankings = MiCoL {
+        meta_path: MetaPath::SharedReference,
+        ..Default::default()
+    }
+    .run(&data, &plm);
+    let ranked: Vec<Vec<usize>> = data.test_idx.iter().map(|&i| rankings[i].clone()).collect();
     println!(
         "MICoL (bi-encoder, P→P←P): P@1 {:.3}, P@3 {:.3}, NDCG@3 {:.3}",
         precision_at_k(&ranked, &gold, 1),

@@ -29,7 +29,11 @@ fn main() {
     //    (pretrained once, cached on disk); switch to `Tier::Standard` for
     //    benchmark-quality numbers.
     let plm = pretrained(Tier::Test, 0);
-    println!("PLM: {} params, d_model={}", plm.store().n_scalars(), plm.config.d_model);
+    println!(
+        "PLM: {} params, d_model={}",
+        plm.store().n_scalars(),
+        plm.config.d_model
+    );
 
     // 3. Classify with X-Class.
     let out = XClass::default().run(&data, &plm);
@@ -52,16 +56,18 @@ fn main() {
             .join(" ");
         println!(
             "  [{}] (gold {}) \"{text}…\"",
-            data.labels.names[out.predictions[i]],
-            data.labels.names[doc.labels[0]],
+            data.labels.names[out.predictions[i]], data.labels.names[doc.labels[0]],
         );
     }
 
     // 6. The class representations X-Class discovered.
     println!("\ndiscovered class words:");
     for (c, words) in out.class_words.iter().enumerate() {
-        let rendered: Vec<&str> =
-            words.iter().take(6).map(|&t| data.corpus.vocab.word(t)).collect();
+        let rendered: Vec<&str> = words
+            .iter()
+            .take(6)
+            .map(|&t| data.corpus.vocab.word(t))
+            .collect();
         println!("  {}: {}", data.labels.names[c], rendered.join(", "));
     }
 }

@@ -1,0 +1,235 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion` / `BenchmarkGroup` / `Bencher` API surface and
+//! the `criterion_group!` / `criterion_main!` macros, backed by a plain
+//! wall-clock harness: warm-up, then `sample_size` timed runs, reporting
+//! min / mean / max per benchmark. No statistical analysis or HTML reports,
+//! but the printed numbers are comparable across runs on the same machine.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black-box hint, as `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark driver; collects and prints measurements.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<(String, Duration)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_millis(500),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmark one closure under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = BenchConfig {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        let mean = run_bench(name, &cfg, &mut f);
+        self.results.push((name.to_string(), mean));
+        self
+    }
+
+    /// Start a named group whose settings can be tuned independently.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            prefix: name.to_string(),
+            cfg: BenchConfig {
+                sample_size: 10,
+                measurement_time: Duration::from_secs(5),
+                warm_up_time: Duration::from_millis(500),
+            },
+        }
+    }
+
+    /// Print the collected table (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        eprintln!("\nbenchmark summary ({} entries):", self.results.len());
+        for (name, mean) in &self.results {
+            eprintln!("  {name:<40} {}", fmt_duration(*mean));
+        }
+    }
+}
+
+/// Per-group measurement settings.
+#[derive(Clone, Copy)]
+struct BenchConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+/// A benchmark group (criterion-compatible builder API).
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    prefix: String,
+    cfg: BenchConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Cap the total measurement time for each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up duration before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Benchmark one closure under `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.prefix);
+        let mean = run_bench(&full, &self.cfg, &mut f);
+        self.parent.results.push((full, mean));
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    cfg: BenchConfig,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly; one timed call per sample after warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.cfg.warm_up_time {
+                break;
+            }
+        }
+        let measure_start = Instant::now();
+        for _ in 0..self.cfg.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if measure_start.elapsed() >= self.cfg.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, cfg: &BenchConfig, f: &mut F) -> Duration {
+    let mut b = Bencher {
+        cfg: *cfg,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        eprintln!("{name:<40} (no samples collected)");
+        return Duration::ZERO;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = *b.samples.iter().min().unwrap();
+    let max = *b.samples.iter().max().unwrap();
+    eprintln!(
+        "{name:<40} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        b.samples.len(),
+    );
+    mean
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Bundle benchmark functions into a group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(200));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].0 == "g/noop");
+    }
+
+    #[test]
+    fn fmt_duration_picks_sensible_units() {
+        assert!(fmt_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

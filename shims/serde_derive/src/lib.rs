@@ -1,0 +1,284 @@
+//! `#[derive(Serialize, Deserialize)]` for the local `serde` shim.
+//!
+//! Implemented without `syn`/`quote` (no registry access): the input token
+//! stream is walked by hand and the generated impl is assembled as source
+//! text, then re-parsed. Supported shapes — the only ones this workspace
+//! serializes:
+//! * structs with named fields,
+//! * enums whose variants are unit or single-field tuples (newtype).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the deriving type.
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum: `(variant name, has payload)` in declaration order.
+    Enum {
+        name: String,
+        variants: Vec<(String, bool)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(Shape::Struct { name, fields }) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            parse_output(format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Value::Map(vec![{entries}])\
+                     }}\
+                 }}"
+            ))
+        }
+        Ok(Shape::Enum { name, variants }) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, has_payload)| {
+                    if *has_payload {
+                        format!(
+                            "{name}::{v}(__f0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        )
+                    } else {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+                    }
+                })
+                .collect();
+            parse_output(format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            ))
+        }
+        Err(e) => error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(Shape::Struct { name, fields }) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(__v, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            parse_output(format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\
+                         Ok({name} {{ {inits} }})\
+                     }}\
+                 }}"
+            ))
+        }
+        Ok(Shape::Enum { name, variants }) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, has_payload)| {
+                    if *has_payload {
+                        format!(
+                            "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(\
+                                 __inner.ok_or_else(|| ::serde::Error::msg(\"missing payload for variant `{v}`\"))?\
+                             )?)),"
+                        )
+                    } else {
+                        format!("\"{v}\" => Ok({name}::{v}),")
+                    }
+                })
+                .collect();
+            parse_output(format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\
+                         let (__tag, __inner) = ::serde::expect_enum(__v)?;\
+                         match __tag {{\
+                             {arms}\
+                             __other => Err(::serde::Error::msg(format!(\
+                                 \"unknown variant `{{__other}}` for {name}\"))),\
+                         }}\
+                     }}\
+                 }}"
+            ))
+        }
+        Err(e) => error(&e),
+    }
+}
+
+fn parse_output(src: String) -> TokenStream {
+    src.parse().expect("serde_derive generated invalid Rust")
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!(\"serde_derive shim: {msg}\");")
+        .parse()
+        .unwrap()
+}
+
+/// Walk the item tokens: skip attributes and visibility, find
+/// `struct`/`enum`, the type name, and the body group.
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Attribute: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        // Possible `pub(crate)` — skip the qualifier group.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => {
+                        kind = Some(s);
+                        if let Some(TokenTree::Ident(n)) = iter.next() {
+                            name = Some(n.to_string());
+                        } else {
+                            return Err("expected type name".into());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let name = name.clone().ok_or("body before type name")?;
+                return match kind.as_deref() {
+                    Some("struct") => Ok(Shape::Struct {
+                        name,
+                        fields: parse_named_fields(g.stream())?,
+                    }),
+                    Some("enum") => Ok(Shape::Enum {
+                        name,
+                        variants: parse_variants(g.stream())?,
+                    }),
+                    _ => Err("body before struct/enum keyword".into()),
+                };
+            }
+            _ => {}
+        }
+    }
+    Err("unsupported shape (tuple structs and generics are not supported)".into())
+}
+
+/// Field names from a named-struct body. Commas nested in `<...>` or any
+/// delimiter group do not split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next(); // [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            return Err(format!("expected field name, found `{tt}`"));
+        };
+        fields.push(field.to_string());
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        // Consume the type: angle-bracket aware scan to the next top-level comma.
+        let mut angle = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Variant names and arities from an enum body.
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(variant) = tt else {
+            return Err(format!("expected variant name, found `{tt}`"));
+        };
+        let vname = variant.to_string();
+        let mut has_payload = false;
+        match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Newtype only: a top-level comma inside means multiple fields.
+                let mut angle = 0i32;
+                for tt in g.stream() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            return Err(format!(
+                                "variant `{vname}` has multiple fields; only newtype variants are supported"
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                has_payload = true;
+                iter.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "variant `{vname}` has named fields; only unit/newtype variants are supported"
+                ));
+            }
+            _ => {}
+        }
+        variants.push((vname, has_payload));
+        // Skip any discriminant and the trailing comma.
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(variants)
+}

@@ -10,13 +10,17 @@ fn weshclass_paths_are_always_valid_tree_paths() {
     let d = recipes::arxiv_tree(0.08, 301);
     let wv = structmine_embed::Sgns::train(
         &d.corpus,
-        &structmine_embed::SgnsConfig { epochs: 3, dim: 24, ..Default::default() },
+        &structmine_embed::SgnsConfig {
+            epochs: 3,
+            dim: 24,
+            ..Default::default()
+        },
     );
-    let out = WeSHClass { pseudo_per_class: 20, ..Default::default() }.run(
-        &d,
-        &d.supervision_keywords(),
-        &wv,
-    );
+    let out = WeSHClass {
+        pseudo_per_class: 20,
+        ..Default::default()
+    }
+    .run(&d, &d.supervision_keywords(), &wv);
     let tax = d.taxonomy.as_ref().unwrap();
     for path in &out.path_predictions {
         assert!(!path.is_empty());
@@ -38,7 +42,11 @@ fn weshclass_paths_are_always_valid_tree_paths() {
 fn taxoclass_outputs_are_ancestor_closed_and_contain_top1() {
     let d = recipes::dbpedia_taxonomy(0.06, 302);
     let plm = pretrained(Tier::Test, 0);
-    let out = TaxoClass { self_train_iters: 0, ..Default::default() }.run(&d, &plm);
+    let out = TaxoClass {
+        self_train_iters: 0,
+        ..Default::default()
+    }
+    .run(&d, &plm);
     let tax = d.taxonomy.as_ref().unwrap();
     for (i, set) in out.label_sets.iter().enumerate() {
         assert!(set.contains(&out.top1[i]), "top1 not in label set");
@@ -59,7 +67,11 @@ fn micol_rankings_are_permutations_of_the_label_space() {
         structmine::micol::Encoder::Bi,
         structmine::micol::Encoder::Cross,
     ] {
-        let rankings = MiCoL { encoder, ..Default::default() }.run(&d, &plm);
+        let rankings = MiCoL {
+            encoder,
+            ..Default::default()
+        }
+        .run(&d, &plm);
         assert_eq!(rankings.len(), d.corpus.len());
         for r in rankings.iter().take(20) {
             let mut sorted = r.clone();
@@ -76,10 +88,18 @@ fn hierarchy_supervision_modes_agree_on_structure() {
     let d = recipes::nyt_tree(0.08, 304);
     let wv = structmine_embed::Sgns::train(
         &d.corpus,
-        &structmine_embed::SgnsConfig { epochs: 3, dim: 24, ..Default::default() },
+        &structmine_embed::SgnsConfig {
+            epochs: 3,
+            dim: 24,
+            ..Default::default()
+        },
     );
     for sup in [d.supervision_keywords(), d.supervision_docs(3, 1)] {
-        let out = WeSHClass { pseudo_per_class: 15, ..Default::default() }.run(&d, &sup, &wv);
+        let out = WeSHClass {
+            pseudo_per_class: 15,
+            ..Default::default()
+        }
+        .run(&d, &sup, &wv);
         assert_eq!(out.path_predictions.len(), d.corpus.len());
         assert!(out.path_predictions.iter().all(|p| p.len() == 2));
     }
@@ -89,7 +109,10 @@ fn hierarchy_supervision_modes_agree_on_structure() {
 fn metacat_signal_sets_produce_valid_predictions() {
     let d = recipes::twitter(0.08, 305);
     let sup = d.supervision_docs(4, 2);
-    let cfg = MetaCat { samples: 30_000, ..Default::default() };
+    let cfg = MetaCat {
+        samples: 30_000,
+        ..Default::default()
+    };
     for signals in [
         structmine::metacat::SignalSet::Full,
         structmine::metacat::SignalSet::TextOnly,

@@ -26,8 +26,16 @@ fn name_only_pipeline_beats_chance_end_to_end() {
 fn methods_are_deterministic_given_seed() {
     let d = recipes::yelp(0.06, 202);
     let plm = pretrained(Tier::Test, 0);
-    let a = XClass { seed: 5, ..Default::default() }.run(&d, &plm);
-    let b = XClass { seed: 5, ..Default::default() }.run(&d, &plm);
+    let a = XClass {
+        seed: 5,
+        ..Default::default()
+    }
+    .run(&d, &plm);
+    let b = XClass {
+        seed: 5,
+        ..Default::default()
+    }
+    .run(&d, &plm);
     assert_eq!(a.predictions, b.predictions);
     assert_eq!(a.rep_predictions, b.rep_predictions);
 }
@@ -40,7 +48,11 @@ fn plm_methods_beat_static_methods_with_names_only() {
     let plm = pretrained(Tier::Test, 0);
     let wv = structmine_embed::Sgns::train(
         &d.corpus,
-        &structmine_embed::SgnsConfig { epochs: 4, dim: 32, ..Default::default() },
+        &structmine_embed::SgnsConfig {
+            epochs: 4,
+            dim: 32,
+            ..Default::default()
+        },
     );
     let sup = d.supervision_names();
     let west = test_acc(&d, &WeSTClass::default().run(&d, &sup, &wv).predictions);
@@ -76,7 +88,11 @@ fn every_flat_method_emits_predictions_for_every_doc() {
     let plm = pretrained(Tier::Test, 0);
     let wv = structmine_embed::Sgns::train(
         &d.corpus,
-        &structmine_embed::SgnsConfig { epochs: 2, dim: 16, ..Default::default() },
+        &structmine_embed::SgnsConfig {
+            epochs: 2,
+            dim: 16,
+            ..Default::default()
+        },
     );
     let n = d.corpus.len();
     let k = d.n_classes();
@@ -84,8 +100,12 @@ fn every_flat_method_emits_predictions_for_every_doc() {
         structmine::baselines::ir_tfidf(&d, &d.supervision_keywords()),
         structmine::baselines::dataless(&d, &d.supervision_names(), &wv),
         structmine::baselines::bert_simple_match(&d, &plm),
-        WeSTClass::default().run(&d, &d.supervision_names(), &wv).predictions,
-        ConWea::default().run(&d, &d.supervision_keywords(), &plm).predictions,
+        WeSTClass::default()
+            .run(&d, &d.supervision_names(), &wv)
+            .predictions,
+        ConWea::default()
+            .run(&d, &d.supervision_keywords(), &plm)
+            .predictions,
         LotClass::default().run(&d, &plm).predictions,
         XClass::default().run(&d, &plm).predictions,
         PromptClass::default().run(&d, &plm).predictions,
