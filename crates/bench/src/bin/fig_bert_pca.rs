@@ -7,4 +7,5 @@ fn main() {
         println!("{table}");
     }
     println!("{}", structmine_bench::exps::figures::ascii_scatter(&cfg));
+    structmine_bench::log_store_summaries();
 }

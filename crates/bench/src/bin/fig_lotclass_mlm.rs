@@ -3,4 +3,5 @@
 
 fn main() {
     println!("{}", structmine_bench::exps::lotclass::table1_demo());
+    structmine_bench::log_store_summaries();
 }

@@ -27,6 +27,7 @@ fn main() {
     }
     let mut f = std::fs::File::create("bench_report.md").expect("create bench_report.md");
     f.write_all(report.as_bytes()).expect("write report");
+    structmine_bench::log_store_summaries();
     println!(
         "\n{} — report written to bench_report.md",
         if all_ok {

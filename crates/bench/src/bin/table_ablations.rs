@@ -10,4 +10,5 @@ fn main() {
     for table in structmine_bench::exps::ablations::run(&cfg) {
         println!("{table}");
     }
+    structmine_bench::log_store_summaries();
 }

@@ -9,4 +9,5 @@ fn main() {
     for table in structmine_bench::exps::conwea::run(&cfg) {
         println!("{table}");
     }
+    structmine_bench::log_store_summaries();
 }

@@ -60,45 +60,84 @@ pub fn standard_plm() -> std::sync::Arc<structmine_plm::MiniPlm> {
 
 /// A copy of the standard PLM *adapted to the dataset's corpus* by
 /// continued MLM pretraining — the "further pretrain BERT on the task
-/// corpus" step every method paper performs. Cached per (dataset, seed)
+/// corpus" step every method paper performs. The most expensive per-dataset
+/// step in the harness, so its checkpoint goes through the artifact store's
+/// disk layer (shared across processes and table binaries); the restored
+/// model is additionally shared per (dataset, steps, seed) as an `Arc`
 /// within the process.
 pub fn adapted_plm(
     dataset: &structmine_text::Dataset,
     seed: u64,
 ) -> std::sync::Arc<structmine_plm::MiniPlm> {
     use std::sync::{Arc, Mutex, OnceLock};
-    type AdaptedCache = std::collections::HashMap<(String, u64), Arc<structmine_plm::MiniPlm>>;
+    type AdaptedCache = std::collections::HashMap<(u128, usize, u64), Arc<structmine_plm::MiniPlm>>;
     static CACHE: OnceLock<Mutex<AdaptedCache>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
-    let key = (dataset.name.clone(), seed);
-    if let Some(m) = cache.lock().unwrap().get(&key) {
-        return Arc::clone(m);
-    }
     let steps = std::env::var("STRUCTMINE_ADAPT_STEPS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(500);
+    let key = (dataset.fingerprint(), steps, seed);
+    if let Some(m) = cache.lock().unwrap().get(&key) {
+        return Arc::clone(m);
+    }
     let base = standard_plm();
-    let adapted = Arc::new(structmine_plm::pretrain::adapt(
-        &base,
-        &dataset.corpus,
+    let checkpoint = structmine_store::global().run(&structmine_plm::artifacts::AdaptPlm {
+        base: &base,
+        corpus: &dataset.corpus,
         steps,
         seed,
-    ));
+    });
+    let adapted = Arc::new(checkpoint.restore());
     cache.lock().unwrap().insert(key, Arc::clone(&adapted));
     adapted
 }
 
-/// Train standard word vectors on a dataset (static-embedding methods).
+/// Stage: train the harness's standard SGNS word vectors on a dataset's
+/// corpus (static-embedding methods).
+struct TrainSgns<'a> {
+    corpus: &'a structmine_text::Corpus,
+    cfg: structmine_embed::SgnsConfig,
+}
+
+impl structmine_store::Stage for TrainSgns<'_> {
+    type Output = structmine_embed::WordVectors;
+
+    fn name(&self) -> &'static str {
+        "embed/sgns-word-vectors"
+    }
+
+    fn fingerprint(&self, h: &mut structmine_store::StableHasher) {
+        use structmine_store::StableHash;
+        self.corpus.stable_hash(h);
+        self.cfg.stable_hash(h);
+    }
+
+    fn compute(&self) -> structmine_embed::WordVectors {
+        structmine_embed::Sgns::train(self.corpus, &self.cfg)
+    }
+}
+
+/// Train standard word vectors on a dataset (static-embedding methods),
+/// memoized through the global artifact store.
 pub fn standard_word_vectors(dataset: &structmine_text::Dataset) -> structmine_embed::WordVectors {
-    structmine_embed::Sgns::train(
-        &dataset.corpus,
-        &structmine_embed::SgnsConfig {
+    let stage = TrainSgns {
+        corpus: &dataset.corpus,
+        cfg: structmine_embed::SgnsConfig {
             epochs: 4,
             dim: 32,
             ..Default::default()
         },
-    )
+    };
+    (*structmine_store::global().run(&stage)).clone()
+}
+
+/// Log both artifact stores' hit/miss counters to stderr — every table
+/// binary calls this after printing its tables, so warm runs are visible
+/// as cache hits (`[artifact-store] hits=…`).
+pub fn log_store_summaries() {
+    eprintln!("{}", structmine_store::global().summary());
+    eprintln!("{}", structmine_plm::cache::plm_store().summary());
 }
 
 /// Accuracy of all-doc predictions on the test split.

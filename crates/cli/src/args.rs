@@ -7,15 +7,23 @@ structmine — weakly-supervised text classification
 USAGE:
   structmine classify --labels <a,b,c> [--method xclass|lotclass|prompt|match]
                       [--input <file>] [--tier test|standard] [--threads <n>]
+                      [--no-cache | --cache-dir <dir>]
       Classify one document per line (stdin or --input) using only label names.
 
   structmine demo --recipe <name> [--method westclass|xclass|lotclass|conwea|prompt]
                   [--scale <f32>] [--seed <u64>] [--threads <n>]
+                  [--no-cache | --cache-dir <dir>]
       Run a method on a synthetic benchmark recipe and report accuracy.
 
   --threads <n> caps the worker threads used for PLM inference (default: the
   STRUCTMINE_THREADS environment variable, else all cores). Results are
   bitwise identical for any thread count.
+
+  --cache-dir <dir> puts the content-addressed artifact store there (default:
+  the STRUCTMINE_STORE_DIR environment variable, else a per-user temp
+  directory). Warm reruns skip recomputing pretraining, corpus encodings,
+  and method outputs. --no-cache disables the store entirely; outputs are
+  bitwise identical either way.
 
   structmine datasets
       List the available synthetic dataset recipes.
@@ -38,6 +46,8 @@ pub enum Args {
         tier: String,
         /// Worker threads for PLM inference; `None` = environment default.
         threads: Option<usize>,
+        /// Artifact-store configuration.
+        cache: CacheArgs,
     },
     /// Run a method on a synthetic recipe.
     Demo {
@@ -51,11 +61,22 @@ pub enum Args {
         seed: u64,
         /// Worker threads for PLM inference; `None` = environment default.
         threads: Option<usize>,
+        /// Artifact-store configuration.
+        cache: CacheArgs,
     },
     /// List recipes.
     Datasets,
     /// Show usage.
     Help,
+}
+
+/// Artifact-store flags shared by `classify` and `demo`.
+#[derive(Debug, Default, PartialEq)]
+pub struct CacheArgs {
+    /// `--no-cache`: disable the artifact store (recompute everything).
+    pub no_cache: bool,
+    /// `--cache-dir <dir>`: artifact-store directory.
+    pub dir: Option<String>,
 }
 
 /// A parse failure with its message.
@@ -73,6 +94,12 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
         let key = rest[i]
             .strip_prefix("--")
             .ok_or_else(|| ParseError(format!("expected a --flag, got {}", rest[i])))?;
+        // Boolean flags take no value.
+        if key == "no-cache" {
+            flags.insert(key.to_string(), String::new());
+            i += 1;
+            continue;
+        }
         let value = rest
             .get(i + 1)
             .ok_or_else(|| ParseError(format!("--{key} needs a value")))?;
@@ -89,6 +116,16 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
             ))),
         })
         .transpose()?;
+
+    let cache = CacheArgs {
+        no_cache: flags.contains_key("no-cache"),
+        dir: flags.get("cache-dir").cloned(),
+    };
+    if cache.no_cache && cache.dir.is_some() {
+        return Err(ParseError(
+            "--no-cache and --cache-dir are mutually exclusive".into(),
+        ));
+    }
 
     match cmd {
         "classify" => {
@@ -111,6 +148,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
                 input: flags.get("input").cloned(),
                 tier: flags.get("tier").cloned().unwrap_or_else(|| "test".into()),
                 threads,
+                cache,
             })
         }
         "demo" => Ok(Args::Demo {
@@ -136,6 +174,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
                 .transpose()?
                 .unwrap_or(7),
             threads,
+            cache,
         }),
         "datasets" => Ok(Args::Datasets),
         "help" | "--help" | "-h" => Ok(Args::Help),
@@ -162,6 +201,7 @@ mod tests {
                 input: None,
                 tier: "test".into(),
                 threads: None,
+                cache: CacheArgs::default(),
             }
         );
     }
@@ -180,8 +220,63 @@ mod tests {
                 scale: 0.2,
                 seed: 3,
                 threads: None,
+                cache: CacheArgs::default(),
             }
         );
+    }
+
+    #[test]
+    fn parses_cache_flags() {
+        let a = parse(&sv(&["demo", "--recipe", "agnews", "--no-cache"])).unwrap();
+        if let Args::Demo { cache, .. } = a {
+            assert!(cache.no_cache);
+            assert_eq!(cache.dir, None);
+        } else {
+            panic!("wrong variant");
+        }
+        // --no-cache is a boolean flag: flags after it still parse.
+        let a = parse(&sv(&[
+            "demo",
+            "--recipe",
+            "agnews",
+            "--no-cache",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        if let Args::Demo { cache, seed, .. } = a {
+            assert!(cache.no_cache);
+            assert_eq!(seed, 3);
+        } else {
+            panic!("wrong variant");
+        }
+        let a = parse(&sv(&[
+            "classify",
+            "--labels",
+            "a,b",
+            "--cache-dir",
+            "/tmp/artifacts",
+        ]))
+        .unwrap();
+        if let Args::Classify { cache, .. } = a {
+            assert!(!cache.no_cache);
+            assert_eq!(cache.dir.as_deref(), Some("/tmp/artifacts"));
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn rejects_no_cache_with_cache_dir() {
+        assert!(parse(&sv(&[
+            "demo",
+            "--recipe",
+            "agnews",
+            "--no-cache",
+            "--cache-dir",
+            "/tmp/x",
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -28,14 +28,22 @@ fn main() -> ExitCode {
             input,
             tier,
             threads,
-        }) => classify(labels, method, input, tier, policy(threads)),
+            cache,
+        }) => {
+            apply_cache_flags(&cache);
+            classify(labels, method, input, tier, policy(threads))
+        }
         Ok(Args::Demo {
             recipe,
             method,
             scale,
             seed,
             threads,
-        }) => demo(recipe, method, scale, seed, policy(threads)),
+            cache,
+        }) => {
+            apply_cache_flags(&cache);
+            demo(recipe, method, scale, seed, policy(threads))
+        }
         Ok(Args::Datasets) => {
             datasets();
             ExitCode::SUCCESS
@@ -63,6 +71,19 @@ fn policy(threads: Option<usize>) -> structmine_linalg::ExecPolicy {
             structmine_linalg::ExecPolicy::with_threads(n)
         }
         None => structmine_linalg::ExecPolicy::default(),
+    }
+}
+
+/// Apply `--no-cache` / `--cache-dir` by setting the artifact-store
+/// environment variables — this runs before the global store (or the PLM
+/// pretraining store) is first read, so the flags take full effect.
+fn apply_cache_flags(cache: &args::CacheArgs) {
+    if cache.no_cache {
+        std::env::set_var("STRUCTMINE_NO_CACHE", "1");
+    }
+    if let Some(dir) = &cache.dir {
+        std::env::set_var("STRUCTMINE_STORE_DIR", dir);
+        std::env::set_var("STRUCTMINE_PLM_CACHE_DIR", dir);
     }
 }
 

@@ -90,10 +90,17 @@ pub fn zero_shot_entail(dataset: &Dataset, plm: &MiniPlm) -> Vec<usize> {
 }
 
 /// [`zero_shot_entail`] under an explicit execution policy: one batched
-/// entailment matrix, then a per-document argmax.
+/// entailment matrix (memoized through the global artifact store), then a
+/// per-document argmax.
 pub fn zero_shot_entail_with(dataset: &Dataset, plm: &MiniPlm, policy: &ExecPolicy) -> Vec<usize> {
     let hyps = label_description_tokens(dataset);
-    let scores = structmine_plm::repr::nli_entail_matrix(plm, &dataset.corpus, &hyps, policy);
+    let stage = structmine_plm::artifacts::NliEntail {
+        model: plm,
+        corpus: &dataset.corpus,
+        hypotheses: &hyps,
+        exec: *policy,
+    };
+    let scores = structmine_store::global().run(&stage);
     (0..scores.rows())
         .map(|i| vector::argmax(scores.row(i)).unwrap_or(0))
         .collect()

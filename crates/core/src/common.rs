@@ -32,8 +32,17 @@ pub fn plm_features(dataset: &Dataset, plm: &MiniPlm) -> Matrix {
 
 /// Average-pooled PLM features for every document (`n x d_model`), sharing
 /// the per-document encodes across the policy's threads.
+///
+/// Routed through the global artifact store: within a process the matrix is
+/// computed once per (model, corpus) pair and shared, and across processes
+/// it is read back from disk instead of re-encoding the corpus.
 pub fn plm_features_with(dataset: &Dataset, plm: &MiniPlm, policy: &ExecPolicy) -> Matrix {
-    structmine_plm::repr::doc_mean_reps_with(plm, &dataset.corpus, policy)
+    let stage = structmine_plm::artifacts::DocMeanReps {
+        model: plm,
+        corpus: &dataset.corpus,
+        exec: *policy,
+    };
+    (*structmine_store::global().run(&stage)).clone()
 }
 
 /// Assign every document to the class whose prototype vector is most

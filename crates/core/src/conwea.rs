@@ -69,8 +69,23 @@ impl Default for ConWea {
     }
 }
 
+impl structmine_store::StableHash for ConWea {
+    /// Every hyper-parameter except `exec`: the execution policy cannot
+    /// change outputs, so cached runs stay valid across thread counts.
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.contextualize.stable_hash(h);
+        self.expand.stable_hash(h);
+        self.wsd_fallback.stable_hash(h);
+        self.expand_per_class.stable_hash(h);
+        self.iterations.stable_hash(h);
+        self.sense_threshold.stable_hash(h);
+        self.min_occurrences.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
+}
+
 /// ConWea outputs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct ConWeaOutput {
     /// Final per-document predictions.
     pub predictions: Vec<usize>,
@@ -81,8 +96,30 @@ pub struct ConWeaOutput {
 }
 
 impl ConWea {
-    /// Run ConWea with keyword supervision.
+    /// Run ConWea with keyword supervision, memoized through the global
+    /// artifact store (keyed on dataset, supervision, PLM weights, and
+    /// every hyper-parameter).
     pub fn run(&self, dataset: &Dataset, sup: &Supervision, plm: &MiniPlm) -> ConWeaOutput {
+        use structmine_store::StableHash;
+        crate::pipeline::run_memoized(
+            "conwea/predict",
+            |h| {
+                h.write_u128(dataset.fingerprint());
+                sup.stable_hash(h);
+                h.write_u128(plm.fingerprint());
+                self.stable_hash(h);
+            },
+            || self.run_uncached(dataset, sup, plm),
+        )
+    }
+
+    /// Run ConWea with keyword supervision, bypassing the artifact store.
+    pub fn run_uncached(
+        &self,
+        dataset: &Dataset,
+        sup: &Supervision,
+        plm: &MiniPlm,
+    ) -> ConWeaOutput {
         let n_classes = dataset.n_classes();
         let seeds = crate::common::seed_tokens(dataset, sup);
 

@@ -46,6 +46,7 @@ pub mod conwea;
 pub mod lotclass;
 pub mod metacat;
 pub mod micol;
+pub(crate) mod pipeline;
 pub mod promptclass;
 pub mod taxoclass;
 pub mod weshclass;

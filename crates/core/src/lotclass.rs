@@ -63,8 +63,23 @@ impl Default for LotClass {
     }
 }
 
+impl structmine_store::StableHash for LotClass {
+    /// Every hyper-parameter except `exec`: the execution policy cannot
+    /// change outputs, so cached runs stay valid across thread counts.
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.replacements_per_occurrence.stable_hash(h);
+        self.occurrences_cap.stable_hash(h);
+        self.category_vocab_size.stable_hash(h);
+        self.overlap_threshold.stable_hash(h);
+        self.positions_per_doc.stable_hash(h);
+        self.self_train.stable_hash(h);
+        self.hidden.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
+}
+
 /// LOTClass outputs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct LotClassOutput {
     /// Final per-document predictions.
     pub predictions: Vec<usize>,
@@ -76,15 +91,120 @@ pub struct LotClassOutput {
     pub n_pseudo_labeled: usize,
 }
 
-impl LotClass {
-    /// Run LOTClass with label-name supervision.
-    pub fn run(&self, dataset: &Dataset, plm: &MiniPlm) -> LotClassOutput {
-        let names = dataset.label_name_tokens();
-        let n_classes = names.len();
+/// Stage: LOTClass's category vocabularies (step 1). Keyed only on the
+/// inputs that influence the vocabularies, so later hyper-parameter changes
+/// (MCP thresholds, classifier settings) reuse the cached vocabularies.
+struct CategoryVocabStage<'a> {
+    cfg: &'a LotClass,
+    dataset: &'a Dataset,
+    plm: &'a MiniPlm,
+}
 
-        // ------------------------------------------------------------------
-        // 1. Category vocabulary via MLM replacement statistics.
-        // ------------------------------------------------------------------
+impl structmine_store::Stage for CategoryVocabStage<'_> {
+    type Output = Vec<Vec<TokenId>>;
+
+    fn name(&self) -> &'static str {
+        "lotclass/category-vocab"
+    }
+
+    fn fingerprint(&self, h: &mut structmine_store::StableHasher) {
+        use structmine_store::StableHash;
+        h.write_u128(self.dataset.fingerprint());
+        h.write_u128(self.plm.fingerprint());
+        self.cfg.replacements_per_occurrence.stable_hash(h);
+        self.cfg.occurrences_cap.stable_hash(h);
+        self.cfg.category_vocab_size.stable_hash(h);
+        self.cfg.seed.stable_hash(h);
+    }
+
+    fn compute(&self) -> Vec<Vec<TokenId>> {
+        self.cfg.category_vocab(self.dataset, self.plm)
+    }
+}
+
+/// Stage: masked category prediction (step 2) — `(docs, labels)` pseudo
+/// pairs. Chained onto the category-vocab stage by its artifact key.
+struct McpStage<'a> {
+    cfg: &'a LotClass,
+    dataset: &'a Dataset,
+    plm: &'a MiniPlm,
+    category_vocab: &'a [Vec<TokenId>],
+    upstream: &'a structmine_store::ArtifactKey,
+}
+
+impl structmine_store::Stage for McpStage<'_> {
+    type Output = (Vec<usize>, Vec<usize>);
+
+    fn name(&self) -> &'static str {
+        "lotclass/mcp"
+    }
+
+    fn fingerprint(&self, h: &mut structmine_store::StableHasher) {
+        use structmine_store::StableHash;
+        // The upstream key already covers the dataset, the model, and the
+        // vocabulary-shaping hyper-parameters.
+        self.upstream.stable_hash(h);
+        self.cfg.overlap_threshold.stable_hash(h);
+        self.cfg.positions_per_doc.stable_hash(h);
+    }
+
+    fn compute(&self) -> (Vec<usize>, Vec<usize>) {
+        self.cfg
+            .mcp_pseudo_labels(self.dataset, self.plm, self.category_vocab)
+    }
+}
+
+impl LotClass {
+    /// Run LOTClass with label-name supervision, memoized through the
+    /// global artifact store. A cold run persists each internal stage —
+    /// category vocabulary, MCP pseudo labels, final predictions — so a
+    /// hyper-parameter change recomputes only from the first stale stage.
+    pub fn run(&self, dataset: &Dataset, plm: &MiniPlm) -> LotClassOutput {
+        use structmine_store::StableHash;
+        crate::pipeline::run_memoized(
+            "lotclass/predict",
+            |h| {
+                h.write_u128(dataset.fingerprint());
+                h.write_u128(plm.fingerprint());
+                self.stable_hash(h);
+            },
+            || self.run_staged(dataset, plm),
+        )
+    }
+
+    /// The staged pipeline behind [`LotClass::run`]: each step goes through
+    /// the store individually, so a warm store serves every step that is
+    /// still valid.
+    fn run_staged(&self, dataset: &Dataset, plm: &MiniPlm) -> LotClassOutput {
+        use structmine_store::Stage;
+        let store = structmine_store::global();
+        let vocab_stage = CategoryVocabStage {
+            cfg: self,
+            dataset,
+            plm,
+        };
+        let vocab_key = vocab_stage.key();
+        let category_vocab = store.run(&vocab_stage);
+        let mcp = store.run(&McpStage {
+            cfg: self,
+            dataset,
+            plm,
+            category_vocab: &category_vocab,
+            upstream: &vocab_key,
+        });
+        self.classify(dataset, plm, (*category_vocab).clone(), (*mcp).clone())
+    }
+
+    /// Run LOTClass without consulting the artifact store at any stage.
+    pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> LotClassOutput {
+        let category_vocab = self.category_vocab(dataset, plm);
+        let pseudo = self.mcp_pseudo_labels(dataset, plm, &category_vocab);
+        self.classify(dataset, plm, category_vocab, pseudo)
+    }
+
+    /// Step 1: category vocabulary via MLM replacement statistics.
+    fn category_vocab(&self, dataset: &Dataset, plm: &MiniPlm) -> Vec<Vec<TokenId>> {
+        let names = dataset.label_name_tokens();
         // Raw (oversized) vocabularies first. As in the paper's cross-
         // category cleanup, a word claimed by several categories cannot
         // stay in all of them: it is kept only where its replacement count
@@ -111,8 +231,7 @@ impl LotClass {
                 }
             }
         }
-        let category_vocab: Vec<Vec<TokenId>> = raw
-            .iter()
+        raw.iter()
             .enumerate()
             .map(|(c, vocab)| {
                 vocab
@@ -122,17 +241,24 @@ impl LotClass {
                     .take(self.category_vocab_size)
                     .collect()
             })
-            .collect();
+            .collect()
+    }
+
+    /// Step 2: masked category prediction — which documents earn a pseudo
+    /// label, and which class. Returns parallel `(docs, labels)` lists.
+    fn mcp_pseudo_labels(
+        &self,
+        dataset: &Dataset,
+        plm: &MiniPlm,
+        category_vocab: &[Vec<TokenId>],
+    ) -> (Vec<usize>, Vec<usize>) {
+        let n_classes = category_vocab.len();
         let vocab_sets: Vec<std::collections::HashSet<TokenId>> = category_vocab
             .iter()
             .map(|v| v.iter().copied().collect())
             .collect();
         let candidate_tokens: std::collections::HashSet<TokenId> =
             vocab_sets.iter().flatten().copied().collect();
-
-        // ------------------------------------------------------------------
-        // 2. Masked category prediction -> pseudo labels.
-        // ------------------------------------------------------------------
         let budget = plm.config.max_len - 2;
         // Documents are independent under MCP: share them across threads
         // and keep the results in document order.
@@ -180,10 +306,18 @@ impl LotClass {
                 pseudo_labels.push(best);
             }
         }
+        (pseudo_docs, pseudo_labels)
+    }
 
-        // ------------------------------------------------------------------
-        // 3. Classifier + self-training.
-        // ------------------------------------------------------------------
+    /// Step 3: classifier + self-training over the MCP pseudo labels.
+    fn classify(
+        &self,
+        dataset: &Dataset,
+        plm: &MiniPlm,
+        category_vocab: Vec<Vec<TokenId>>,
+        (pseudo_docs, pseudo_labels): (Vec<usize>, Vec<usize>),
+    ) -> LotClassOutput {
+        let n_classes = category_vocab.len();
         let features = common::plm_features_with(dataset, plm, &self.exec);
         let mut clf = MlpClassifier::new(features.cols(), self.hidden, n_classes, self.seed);
         if !pseudo_docs.is_empty() {

@@ -65,8 +65,22 @@ pub enum SignalSet {
     GraphOnly,
 }
 
+impl structmine_store::StableHash for MetaCat {
+    /// Every hyper-parameter except `exec`: the execution policy cannot
+    /// change outputs, so cached runs stay valid across thread counts.
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.dim.stable_hash(h);
+        self.samples.stable_hash(h);
+        self.synth_per_class.stable_hash(h);
+        self.synth_len.stable_hash(h);
+        self.temp.stable_hash(h);
+        self.hidden.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
+}
+
 /// MetaCat outputs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct MetaCatOutput {
     /// Final per-document predictions.
     pub predictions: Vec<usize>,
@@ -80,8 +94,34 @@ impl MetaCat {
         self.run_with_signals(dataset, sup, SignalSet::Full)
     }
 
-    /// Run with a restricted signal set (baseline rows).
+    /// Run with a restricted signal set (baseline rows), memoized through
+    /// the global artifact store (keyed on dataset, supervision, signal
+    /// set, and every hyper-parameter).
     pub fn run_with_signals(
+        &self,
+        dataset: &Dataset,
+        sup: &Supervision,
+        signals: SignalSet,
+    ) -> MetaCatOutput {
+        use structmine_store::StableHash;
+        crate::pipeline::run_memoized(
+            "metacat/predict",
+            |h| {
+                h.write_u128(dataset.fingerprint());
+                sup.stable_hash(h);
+                h.write_u64(match signals {
+                    SignalSet::Full => 0,
+                    SignalSet::TextOnly => 1,
+                    SignalSet::GraphOnly => 2,
+                });
+                self.stable_hash(h);
+            },
+            || self.run_with_signals_uncached(dataset, sup, signals),
+        )
+    }
+
+    /// Run with a restricted signal set, bypassing the artifact store.
+    pub fn run_with_signals_uncached(
         &self,
         dataset: &Dataset,
         sup: &Supervision,

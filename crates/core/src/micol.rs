@@ -84,10 +84,47 @@ impl Default for MiCoL {
     }
 }
 
+impl structmine_store::StableHash for MiCoL {
+    /// Every hyper-parameter except `exec`: the execution policy cannot
+    /// change outputs, so cached runs stay valid across thread counts.
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        h.write_u64(match self.encoder {
+            Encoder::Bi => 0,
+            Encoder::Cross => 1,
+        });
+        h.write_u64(match self.meta_path {
+            MetaPath::SharedReference => 0,
+            MetaPath::CoCited => 1,
+            MetaPath::SharedVenue => 2,
+            MetaPath::SharedAuthor => 3,
+        });
+        self.max_pairs.stable_hash(h);
+        self.steps.stable_hash(h);
+        self.batch.stable_hash(h);
+        self.lr.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
+}
+
 impl MiCoL {
     /// Run MICoL: returns, for every document, the full label ranking
-    /// (best first).
+    /// (best first). Memoized through the global artifact store (keyed on
+    /// dataset, PLM weights, and every hyper-parameter).
     pub fn run(&self, dataset: &Dataset, plm: &MiniPlm) -> Vec<Vec<usize>> {
+        use structmine_store::StableHash;
+        crate::pipeline::run_memoized(
+            "micol/rank",
+            |h| {
+                h.write_u128(dataset.fingerprint());
+                h.write_u128(plm.fingerprint());
+                self.stable_hash(h);
+            },
+            || self.run_uncached(dataset, plm),
+        )
+    }
+
+    /// Run MICoL, bypassing the artifact store.
+    pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> Vec<Vec<usize>> {
         let features = common::plm_features_with(dataset, plm, &self.exec);
         let label_feats = label_features_with(dataset, plm, &self.exec);
         let pairs = mine_pairs(dataset, self.meta_path, self.max_pairs, self.seed);
@@ -352,11 +389,17 @@ pub fn plm_rep_ranking(dataset: &Dataset, plm: &MiniPlm) -> Vec<Vec<usize>> {
     rank_by_projection(&features, &labels, &Matrix::identity(features.cols()))
 }
 
-/// Zero-shot entailment ranking (ZeroShot-Entail row).
+/// Zero-shot entailment ranking (ZeroShot-Entail row). The entailment
+/// matrix is memoized through the global artifact store.
 pub fn entail_ranking(dataset: &Dataset, plm: &MiniPlm) -> Vec<Vec<usize>> {
     let hyps = crate::taxoclass::class_hypotheses(dataset);
-    let scores =
-        structmine_plm::repr::nli_entail_matrix(plm, &dataset.corpus, &hyps, ExecPolicy::global());
+    let stage = structmine_plm::artifacts::NliEntail {
+        model: plm,
+        corpus: &dataset.corpus,
+        hypotheses: &hyps,
+        exec: *ExecPolicy::global(),
+    };
+    let scores = structmine_store::global().run(&stage);
     (0..scores.rows())
         .map(|i| vector::top_k(scores.row(i), hyps.len()))
         .collect()

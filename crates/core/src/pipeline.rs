@@ -1,0 +1,62 @@
+//! Whole-run memoization of method pipelines through the artifact store.
+//!
+//! Every method's `run()` entry point is lifted into the store's stage
+//! graph: its fingerprint covers the dataset content, the supervision, the
+//! backbone (PLM weights or word vectors), and every hyper-parameter — but
+//! never the execution policy, which cannot change outputs (parallel
+//! execution is bitwise deterministic; see `structmine_linalg::exec`). The
+//! `run_uncached` variants keep the actual algorithms; `run` consults the
+//! global [`structmine_store::ArtifactStore`] first, so a re-run of a
+//! benchmark binary skips every already-computed method and goes straight
+//! to table assembly.
+
+use structmine_store::{Artifact, StableHasher, Stage};
+
+/// A whole method run as one content-addressed stage.
+struct MethodRun<F> {
+    name: &'static str,
+    digest: u128,
+    compute: F,
+}
+
+impl<T, F> Stage for MethodRun<F>
+where
+    T: Artifact,
+    F: Fn() -> T,
+{
+    type Output = T;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_u128(self.digest);
+    }
+
+    fn compute(&self) -> T {
+        (self.compute)()
+    }
+}
+
+/// Run `compute` through the global artifact store under `name`, keyed by
+/// whatever `fingerprint` writes. Returns the (possibly cached) output by
+/// clone — method outputs are small prediction/keyword containers.
+pub(crate) fn run_memoized<T, F>(
+    name: &'static str,
+    fingerprint: impl FnOnce(&mut StableHasher),
+    compute: F,
+) -> T
+where
+    T: Artifact + Clone,
+    F: Fn() -> T,
+{
+    let mut h = StableHasher::new();
+    fingerprint(&mut h);
+    let stage = MethodRun {
+        name,
+        digest: h.finish(),
+        compute,
+    };
+    (*structmine_store::global().run(&stage)).clone()
+}

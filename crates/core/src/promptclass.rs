@@ -70,8 +70,25 @@ impl Default for PromptClass {
     }
 }
 
+impl structmine_store::StableHash for PromptClass {
+    /// Every hyper-parameter except `exec`: the execution policy cannot
+    /// change outputs, so cached runs stay valid across thread counts.
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        h.write_u64(match self.style {
+            PromptStyle::Mlm => 0,
+            PromptStyle::Rtd => 1,
+        });
+        self.iterations.stable_hash(h);
+        self.initial_quota.stable_hash(h);
+        self.quota_growth.stable_hash(h);
+        self.prompt_weight.stable_hash(h);
+        self.hidden.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
+}
+
 /// PromptClass outputs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct PromptClassOutput {
     /// Final per-document predictions.
     pub predictions: Vec<usize>,
@@ -89,8 +106,24 @@ impl PromptClass {
             .collect()
     }
 
-    /// Full pipeline: zero-shot pseudo labels + iterative co-training.
+    /// Full pipeline: zero-shot pseudo labels + iterative co-training,
+    /// memoized through the global artifact store (keyed on dataset, PLM
+    /// weights, and every hyper-parameter).
     pub fn run(&self, dataset: &Dataset, plm: &MiniPlm) -> PromptClassOutput {
+        use structmine_store::StableHash;
+        crate::pipeline::run_memoized(
+            "promptclass/predict",
+            |h| {
+                h.write_u128(dataset.fingerprint());
+                h.write_u128(plm.fingerprint());
+                self.stable_hash(h);
+            },
+            || self.run_uncached(dataset, plm),
+        )
+    }
+
+    /// Full pipeline, bypassing the artifact store.
+    pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> PromptClassOutput {
         let n_classes = dataset.n_classes();
         let prompt_scores = self.prompt_scores(dataset, plm);
         // Normalize prompt scores into per-document distributions.

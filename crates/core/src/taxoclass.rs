@@ -57,8 +57,21 @@ impl Default for TaxoClass {
     }
 }
 
+impl structmine_store::StableHash for TaxoClass {
+    /// Every hyper-parameter except `exec`: the execution policy cannot
+    /// change outputs, so cached runs stay valid across thread counts.
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.beam.stable_hash(h);
+        self.core_threshold.stable_hash(h);
+        self.self_train_iters.stable_hash(h);
+        self.predict_threshold.stable_hash(h);
+        self.epochs.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
+}
+
 /// TaxoClass outputs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct TaxoClassOutput {
     /// Predicted label sets per document (ancestor-closed).
     pub label_sets: Vec<Vec<usize>>,
@@ -69,8 +82,23 @@ pub struct TaxoClassOutput {
 }
 
 impl TaxoClass {
-    /// Run TaxoClass on a DAG dataset.
+    /// Run TaxoClass on a DAG dataset, memoized through the global artifact
+    /// store (keyed on dataset, PLM weights, and every hyper-parameter).
     pub fn run(&self, dataset: &Dataset, plm: &MiniPlm) -> TaxoClassOutput {
+        use structmine_store::StableHash;
+        crate::pipeline::run_memoized(
+            "taxoclass/predict",
+            |h| {
+                h.write_u128(dataset.fingerprint());
+                h.write_u128(plm.fingerprint());
+                self.stable_hash(h);
+            },
+            || self.run_uncached(dataset, plm),
+        )
+    }
+
+    /// Run TaxoClass on a DAG dataset, bypassing the artifact store.
+    pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> TaxoClassOutput {
         let taxonomy = dataset
             .taxonomy
             .as_ref()

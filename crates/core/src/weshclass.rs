@@ -59,8 +59,21 @@ impl Default for WeSHClass {
     }
 }
 
+impl structmine_store::StableHash for WeSHClass {
+    /// Every hyper-parameter except `exec`: the execution policy cannot
+    /// change outputs, so cached runs stay valid across thread counts.
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.pseudo_per_class.stable_hash(h);
+        self.use_vmf.stable_hash(h);
+        self.use_global.stable_hash(h);
+        self.self_train.stable_hash(h);
+        self.hidden.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
+}
+
 /// WeSHClass outputs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct WeSHClassOutput {
     /// Per-document predicted class sets (all nodes on the predicted path,
     /// as class indices into `dataset.labels`).
@@ -68,8 +81,30 @@ pub struct WeSHClassOutput {
 }
 
 impl WeSHClass {
-    /// Run WeSHClass on a tree dataset.
+    /// Run WeSHClass on a tree dataset, memoized through the global
+    /// artifact store (keyed on dataset, supervision, word vectors, and
+    /// every hyper-parameter).
     pub fn run(&self, dataset: &Dataset, sup: &Supervision, wv: &WordVectors) -> WeSHClassOutput {
+        use structmine_store::StableHash;
+        crate::pipeline::run_memoized(
+            "weshclass/predict",
+            |h| {
+                h.write_u128(dataset.fingerprint());
+                sup.stable_hash(h);
+                wv.stable_hash(h);
+                self.stable_hash(h);
+            },
+            || self.run_uncached(dataset, sup, wv),
+        )
+    }
+
+    /// Run WeSHClass on a tree dataset, bypassing the artifact store.
+    pub fn run_uncached(
+        &self,
+        dataset: &Dataset,
+        sup: &Supervision,
+        wv: &WordVectors,
+    ) -> WeSHClassOutput {
         let taxonomy = dataset
             .taxonomy
             .as_ref()

@@ -83,8 +83,28 @@ impl Default for WeSTClass {
     }
 }
 
+impl structmine_store::StableHash for WeSTClass {
+    /// Every hyper-parameter except `exec`: the execution policy cannot
+    /// change outputs, so cached runs stay valid across thread counts.
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        h.write_u64(match self.backbone {
+            Backbone::Cnn => 0,
+            Backbone::Han => 1,
+        });
+        self.keywords_per_class.stable_hash(h);
+        self.pseudo_per_class.stable_hash(h);
+        self.pseudo_len.stable_hash(h);
+        self.background_alpha.stable_hash(h);
+        self.similarity_temp.stable_hash(h);
+        self.smoothing.stable_hash(h);
+        self.hidden.stable_hash(h);
+        self.self_train.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
+}
+
 /// WeSTClass outputs, including the no-self-training ablation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct WeSTClassOutput {
     /// Final per-document predictions.
     pub predictions: Vec<usize>,
@@ -95,8 +115,30 @@ pub struct WeSTClassOutput {
 }
 
 impl WeSTClass {
-    /// Run WeSTClass on a flat dataset.
+    /// Run WeSTClass on a flat dataset, memoized through the global
+    /// artifact store (keyed on dataset, supervision, word vectors, and
+    /// every hyper-parameter).
     pub fn run(&self, dataset: &Dataset, sup: &Supervision, wv: &WordVectors) -> WeSTClassOutput {
+        use structmine_store::StableHash;
+        crate::pipeline::run_memoized(
+            "westclass/predict",
+            |h| {
+                h.write_u128(dataset.fingerprint());
+                sup.stable_hash(h);
+                wv.stable_hash(h);
+                self.stable_hash(h);
+            },
+            || self.run_uncached(dataset, sup, wv),
+        )
+    }
+
+    /// Run WeSTClass on a flat dataset, bypassing the artifact store.
+    pub fn run_uncached(
+        &self,
+        dataset: &Dataset,
+        sup: &Supervision,
+        wv: &WordVectors,
+    ) -> WeSTClassOutput {
         let n_classes = sup.n_classes().max(dataset.n_classes());
         let keywords = self.interpret_seeds(dataset, sup, wv, n_classes);
 

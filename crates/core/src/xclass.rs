@@ -71,8 +71,23 @@ impl Default for XClass {
     }
 }
 
+impl structmine_store::StableHash for XClass {
+    /// Every hyper-parameter except `exec`: the execution policy cannot
+    /// change outputs, so cached runs stay valid across thread counts.
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.gmm_iters.stable_hash(h);
+        self.expand_words.stable_hash(h);
+        self.occurrences_cap.stable_hash(h);
+        self.attention_temp.stable_hash(h);
+        self.pca_dims.stable_hash(h);
+        self.confident_fraction.stable_hash(h);
+        self.hidden.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
+}
+
 /// X-Class outputs, exposing the paper's ablation stages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct XClassOutput {
     /// Final predictions (confident-subset classifier) — "X-Class".
     pub predictions: Vec<usize>,
@@ -84,16 +99,189 @@ pub struct XClassOutput {
     pub class_words: Vec<Vec<TokenId>>,
 }
 
+/// Stage: X-Class's expanded class representations (step 1).
+struct ClassRepsStage<'a> {
+    cfg: &'a XClass,
+    dataset: &'a Dataset,
+    plm: &'a MiniPlm,
+}
+
+impl structmine_store::Stage for ClassRepsStage<'_> {
+    type Output = (Matrix, Vec<Vec<TokenId>>);
+
+    fn name(&self) -> &'static str {
+        "xclass/class-reps"
+    }
+
+    fn fingerprint(&self, h: &mut structmine_store::StableHasher) {
+        use structmine_store::StableHash;
+        h.write_u128(self.dataset.fingerprint());
+        h.write_u128(self.plm.fingerprint());
+        self.cfg.expand_words.stable_hash(h);
+        self.cfg.occurrences_cap.stable_hash(h);
+    }
+
+    fn compute(&self) -> (Matrix, Vec<Vec<TokenId>>) {
+        self.cfg.class_representations(self.dataset, self.plm)
+    }
+}
+
+/// Stage: class-oriented document representations (step 2), chained onto
+/// the class-reps stage by its artifact key. The underlying corpus encode
+/// runs through the shared [`structmine_plm::artifacts::EncodeCorpus`]
+/// stage, so other methods in the same process reuse it.
+struct DocRepsStage<'a> {
+    cfg: &'a XClass,
+    dataset: &'a Dataset,
+    plm: &'a MiniPlm,
+    class_reps: &'a Matrix,
+    upstream: &'a structmine_store::ArtifactKey,
+}
+
+impl structmine_store::Stage for DocRepsStage<'_> {
+    type Output = Matrix;
+
+    fn name(&self) -> &'static str {
+        "xclass/doc-reps"
+    }
+
+    fn fingerprint(&self, h: &mut structmine_store::StableHasher) {
+        use structmine_store::StableHash;
+        self.upstream.stable_hash(h);
+        self.cfg.attention_temp.stable_hash(h);
+    }
+
+    fn compute(&self) -> Matrix {
+        let encoded = structmine_store::global().run(&structmine_plm::artifacts::EncodeCorpus {
+            model: self.plm,
+            corpus: &self.dataset.corpus,
+            exec: self.cfg.exec,
+        });
+        self.cfg
+            .doc_representations(self.dataset, self.plm, self.class_reps, &encoded)
+    }
+}
+
+/// Stage: GMM document-class alignment (step 3) — posteriors plus hard
+/// assignments.
+struct AlignStage<'a> {
+    cfg: &'a XClass,
+    doc_reps: &'a Matrix,
+    rep_predictions: &'a [usize],
+    n_classes: usize,
+    upstream: &'a structmine_store::ArtifactKey,
+}
+
+impl structmine_store::Stage for AlignStage<'_> {
+    type Output = (Matrix, Vec<usize>);
+
+    fn name(&self) -> &'static str {
+        "xclass/align"
+    }
+
+    fn fingerprint(&self, h: &mut structmine_store::StableHasher) {
+        use structmine_store::StableHash;
+        self.upstream.stable_hash(h);
+        self.cfg.gmm_iters.stable_hash(h);
+        self.cfg.pca_dims.stable_hash(h);
+    }
+
+    fn compute(&self) -> (Matrix, Vec<usize>) {
+        self.cfg
+            .align(self.doc_reps, self.rep_predictions, self.n_classes)
+    }
+}
+
 impl XClass {
-    /// Run X-Class with label-name supervision.
+    /// Run X-Class with label-name supervision, memoized through the
+    /// global artifact store. A cold run persists each internal stage —
+    /// class representations, document representations, alignment, final
+    /// predictions — so a hyper-parameter change recomputes only from the
+    /// first stale stage.
     pub fn run(&self, dataset: &Dataset, plm: &MiniPlm) -> XClassOutput {
+        use structmine_store::StableHash;
+        crate::pipeline::run_memoized(
+            "xclass/predict",
+            |h| {
+                h.write_u128(dataset.fingerprint());
+                h.write_u128(plm.fingerprint());
+                self.stable_hash(h);
+            },
+            || self.run_staged(dataset, plm),
+        )
+    }
+
+    /// The staged pipeline behind [`XClass::run`]: each step goes through
+    /// the store individually, so a warm store serves every step that is
+    /// still valid.
+    fn run_staged(&self, dataset: &Dataset, plm: &MiniPlm) -> XClassOutput {
+        use structmine_store::Stage;
+        let store = structmine_store::global();
+        let class_stage = ClassRepsStage {
+            cfg: self,
+            dataset,
+            plm,
+        };
+        let class_key = class_stage.key();
+        let class_out = store.run(&class_stage);
+        let (class_reps, class_words) = &*class_out;
+        let n_classes = class_words.len();
+
+        let doc_stage = DocRepsStage {
+            cfg: self,
+            dataset,
+            plm,
+            class_reps,
+            upstream: &class_key,
+        };
+        let doc_key = doc_stage.key();
+        let doc_reps = store.run(&doc_stage);
+        let rep_predictions = common::nearest_prototype(&doc_reps, class_reps);
+
+        let align_out = store.run(&AlignStage {
+            cfg: self,
+            doc_reps: &doc_reps,
+            rep_predictions: &rep_predictions,
+            n_classes,
+            upstream: &doc_key,
+        });
+        let (posteriors, align_predictions) = &*align_out;
+
+        let predictions = self.classify(&doc_reps, posteriors, n_classes);
+        XClassOutput {
+            predictions,
+            rep_predictions,
+            align_predictions: align_predictions.clone(),
+            class_words: class_words.clone(),
+        }
+    }
+
+    /// Run X-Class without consulting the artifact store at any stage.
+    pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> XClassOutput {
+        let (class_reps, class_words) = self.class_representations(dataset, plm);
+        let n_classes = class_words.len();
+        let encoded = plm.encode_corpus(&dataset.corpus, &self.exec);
+        let doc_reps = self.doc_representations(dataset, plm, &class_reps, &encoded);
+        let rep_predictions = common::nearest_prototype(&doc_reps, &class_reps);
+        let (posteriors, align_predictions) = self.align(&doc_reps, &rep_predictions, n_classes);
+        let predictions = self.classify(&doc_reps, &posteriors, n_classes);
+        XClassOutput {
+            predictions,
+            rep_predictions,
+            align_predictions,
+            class_words,
+        }
+    }
+
+    /// Step 1: class representations expanded with similar words.
+    fn class_representations(
+        &self,
+        dataset: &Dataset,
+        plm: &MiniPlm,
+    ) -> (Matrix, Vec<Vec<TokenId>>) {
         let names = dataset.label_name_tokens();
         let n_classes = names.len();
         let d = plm.config.d_model;
-
-        // ------------------------------------------------------------------
-        // 1. Class representations.
-        // ------------------------------------------------------------------
         let mut class_reps = Matrix::zeros(n_classes, d);
         let mut class_words = Vec::with_capacity(n_classes);
         for (c, name) in names.iter().enumerate() {
@@ -132,15 +320,23 @@ impl XClass {
             class_reps.row_mut(c).copy_from_slice(&acc);
             class_words.push(words);
         }
+        (class_reps, class_words)
+    }
 
-        // ------------------------------------------------------------------
-        // 2. Class-oriented document representations: one batched corpus
-        //    encode, then per-document attention over the token matrices.
-        // ------------------------------------------------------------------
+    /// Step 2: class-oriented document representations — per-document
+    /// attention over the (shared) corpus encode's token matrices.
+    fn doc_representations(
+        &self,
+        dataset: &Dataset,
+        plm: &MiniPlm,
+        class_reps: &Matrix,
+        encoded: &[structmine_plm::repr::DocRep],
+    ) -> Matrix {
         let n = dataset.corpus.len();
-        let encoded = plm.encode_corpus(&dataset.corpus, &self.exec);
+        let d = plm.config.d_model;
+        let n_classes = class_reps.rows();
         let mut doc_reps = Matrix::zeros(n, d);
-        for rep_out in &encoded {
+        for rep_out in encoded {
             let toks = &rep_out.tokens;
             if toks.rows() == 0 {
                 continue;
@@ -161,15 +357,21 @@ impl XClass {
             }
             doc_reps.row_mut(rep_out.doc).copy_from_slice(&rep);
         }
+        doc_reps
+    }
 
-        let rep_predictions = common::nearest_prototype(&doc_reps, &class_reps);
-
-        // ------------------------------------------------------------------
-        // 3. GMM alignment (with PCA), seeded on prior class means.
-        // ------------------------------------------------------------------
+    /// Step 3: GMM alignment (with PCA), seeded on prior class means.
+    fn align(
+        &self,
+        doc_reps: &Matrix,
+        rep_predictions: &[usize],
+        n_classes: usize,
+    ) -> (Matrix, Vec<usize>) {
+        let n = doc_reps.rows();
+        let d = doc_reps.cols();
         let aligned_space = if self.pca_dims > 0 && self.pca_dims < d {
-            let pca = Pca::fit(&doc_reps, self.pca_dims);
-            pca.transform(&doc_reps)
+            let pca = Pca::fit(doc_reps, self.pca_dims);
+            pca.transform(doc_reps)
         } else {
             doc_reps.clone()
         };
@@ -192,7 +394,7 @@ impl XClass {
         // GMM EM needs at least one document per mixture component; on
         // smaller inputs (e.g. a one-line `classify`) fall back to the
         // prototype assignment instead of panicking.
-        let (posteriors, align_predictions) = if n >= n_classes {
+        if n >= n_classes {
             let gmm = Gmm::fit(
                 &aligned_space,
                 &prior_means,
@@ -211,19 +413,20 @@ impl XClass {
             for (i, &p) in rep_predictions.iter().enumerate() {
                 posteriors.set(i, p, 1.0);
             }
-            (posteriors, rep_predictions.clone())
-        };
+            (posteriors, rep_predictions.to_vec())
+        }
+    }
 
-        // ------------------------------------------------------------------
-        // 4. Confident-subset classifier.
-        // ------------------------------------------------------------------
+    /// Step 4: confident-subset classifier over the class-oriented
+    /// representations.
+    fn classify(&self, doc_reps: &Matrix, posteriors: &Matrix, n_classes: usize) -> Vec<usize> {
+        let n = doc_reps.rows();
         let quota = ((n as f32 * self.confident_fraction) / n_classes as f32).ceil() as usize;
-        let (train_docs, train_labels) =
-            common::most_confident_per_class(&posteriors, quota.max(1));
+        let (train_docs, train_labels) = common::most_confident_per_class(posteriors, quota.max(1));
         // Train the final classifier on the class-oriented representations
         // (the paper fine-tunes the encoder; our frozen generic pool would
         // discard exactly the orientation the earlier stages constructed).
-        let features = &doc_reps;
+        let features = doc_reps;
         let mut clf = MlpClassifier::new(features.cols(), self.hidden, n_classes, self.seed);
         if !train_docs.is_empty() {
             let x = features.select_rows(&train_docs);
@@ -238,14 +441,7 @@ impl XClass {
                 },
             );
         }
-        let predictions = clf.predict(features);
-
-        XClassOutput {
-            predictions,
-            rep_predictions,
-            align_predictions,
-            class_words,
-        }
+        clf.predict(features)
     }
 }
 

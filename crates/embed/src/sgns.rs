@@ -42,7 +42,7 @@ impl Default for SgnsConfig {
 }
 
 /// Trained word vectors (input embeddings).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct WordVectors {
     vectors: Matrix,
 }
@@ -108,6 +108,23 @@ impl WordVectors {
             vector::scale(&mut out, 1.0 / total);
         }
         out
+    }
+}
+
+impl structmine_store::StableHash for WordVectors {
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.vectors.stable_hash(h);
+    }
+}
+
+impl structmine_store::StableHash for SgnsConfig {
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.dim.stable_hash(h);
+        self.window.stable_hash(h);
+        self.negatives.stable_hash(h);
+        self.epochs.stable_hash(h);
+        self.lr.stable_hash(h);
+        self.seed.stable_hash(h);
     }
 }
 

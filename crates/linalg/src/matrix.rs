@@ -315,6 +315,18 @@ impl Matrix {
     }
 }
 
+impl structmine_store::StableHash for Matrix {
+    /// Content fingerprint: shape plus the IEEE-754 bit pattern of every
+    /// element — two matrices hash equal iff they are bitwise equal.
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        h.write_u64(self.rows as u64);
+        h.write_u64(self.cols as u64);
+        for &v in &self.data {
+            h.write_bytes(&v.to_bits().to_le_bytes());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,290 @@
+//! Content-addressed pipeline stages over the PLM.
+//!
+//! Each expensive PLM computation — corpus-level adaptation, whole-corpus
+//! encoding, document mean representations, NLI entailment matrices — is
+//! wrapped as a [`Stage`] whose key fingerprints *all* of its inputs: the
+//! model (architecture + weights), the corpus content, and every
+//! hyper-parameter. Running a stage through an
+//! [`ArtifactStore`](structmine_store::ArtifactStore) memoizes its output
+//! in process memory and (for the persistent stages) on disk, so repeated
+//! runs — the same table binary re-executed, or several methods sharing one
+//! adapted model — skip straight past the computation.
+//!
+//! The execution policy is deliberately **excluded** from every
+//! fingerprint: parallel execution is bitwise deterministic for any thread
+//! count (see `structmine_linalg::exec`), so a cache entry written under
+//! one thread count is valid under every other.
+
+use crate::config::PlmConfig;
+use crate::model::MiniPlm;
+use crate::repr::{self, DocRep};
+use structmine_linalg::exec::ExecPolicy;
+use structmine_linalg::Matrix;
+use structmine_store::{Persistence, StableHash, StableHasher, Stage};
+use structmine_text::vocab::TokenId;
+use structmine_text::Corpus;
+
+/// A serializable snapshot of a [`MiniPlm`]: the architecture plus every
+/// weight matrix. This is the on-disk form of model-producing stages.
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+pub struct PlmCheckpoint {
+    /// Model architecture.
+    pub config: PlmConfig,
+    /// All weights, in [`MiniPlm::export_weights`] order.
+    pub weights: Vec<Matrix>,
+}
+
+impl PlmCheckpoint {
+    /// Snapshot a model.
+    pub fn of(model: &MiniPlm) -> Self {
+        PlmCheckpoint {
+            config: model.config,
+            weights: model.export_weights(),
+        }
+    }
+
+    /// Rebuild the model this checkpoint was taken from.
+    pub fn restore(&self) -> MiniPlm {
+        let mut model = MiniPlm::new(self.config);
+        model.import_weights(self.weights.clone());
+        model
+    }
+}
+
+/// Stage: continue pretraining a base model on a target corpus
+/// ([`crate::pretrain::adapt`]). The most expensive per-dataset step in the
+/// benchmark harness, so its checkpoint is persisted to disk and shared
+/// across processes; the restored model is cheap enough to rebuild that the
+/// in-memory layer is skipped ([`Persistence::DiskOnly`]).
+pub struct AdaptPlm<'a> {
+    /// The pretrained base model.
+    pub base: &'a MiniPlm,
+    /// The corpus to adapt to.
+    pub corpus: &'a Corpus,
+    /// Adaptation optimizer steps.
+    pub steps: usize,
+    /// Adaptation RNG seed.
+    pub seed: u64,
+}
+
+impl Stage for AdaptPlm<'_> {
+    type Output = PlmCheckpoint;
+
+    fn name(&self) -> &'static str {
+        "plm/adapt"
+    }
+
+    fn persistence(&self) -> Persistence {
+        Persistence::DiskOnly
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_u128(self.base.fingerprint());
+        self.corpus.stable_hash(h);
+        self.steps.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
+
+    fn compute(&self) -> PlmCheckpoint {
+        PlmCheckpoint::of(&crate::pretrain::adapt(
+            self.base,
+            self.corpus,
+            self.steps,
+            self.seed,
+        ))
+    }
+}
+
+/// Stage: encode every document of a corpus ([`repr::encode_corpus`]).
+/// Token-level matrices for a whole corpus are far too large to serialize
+/// profitably, so this stage is memoized in process memory only
+/// ([`Persistence::MemoryOnly`]) — which is exactly what lets several
+/// methods in one table binary share a single encoding pass.
+pub struct EncodeCorpus<'a> {
+    /// The encoder.
+    pub model: &'a MiniPlm,
+    /// The corpus to encode.
+    pub corpus: &'a Corpus,
+    /// How to share the per-document encodes across threads.
+    pub exec: ExecPolicy,
+}
+
+impl Stage for EncodeCorpus<'_> {
+    type Output = Vec<DocRep>;
+
+    fn name(&self) -> &'static str {
+        "plm/encode-corpus"
+    }
+
+    fn persistence(&self) -> Persistence {
+        Persistence::MemoryOnly
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_u128(self.model.fingerprint());
+        self.corpus.stable_hash(h);
+    }
+
+    fn compute(&self) -> Vec<DocRep> {
+        repr::encode_corpus(self.model, self.corpus, &self.exec)
+    }
+}
+
+/// Stage: average-pooled representation of every document
+/// ([`repr::doc_mean_reps_with`]) — the "vanilla BERT representations"
+/// matrix consumed by most methods. Small enough to persist.
+pub struct DocMeanReps<'a> {
+    /// The encoder.
+    pub model: &'a MiniPlm,
+    /// The corpus to represent.
+    pub corpus: &'a Corpus,
+    /// How to share the per-document encodes across threads.
+    pub exec: ExecPolicy,
+}
+
+impl Stage for DocMeanReps<'_> {
+    type Output = Matrix;
+
+    fn name(&self) -> &'static str {
+        "plm/doc-mean-reps"
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_u128(self.model.fingerprint());
+        self.corpus.stable_hash(h);
+    }
+
+    fn compute(&self) -> Matrix {
+        repr::doc_mean_reps_with(self.model, self.corpus, &self.exec)
+    }
+}
+
+/// Stage: entailment probability of every (document, hypothesis) pair
+/// ([`repr::nli_entail_matrix`]) — TaxoClass's relevance matrix and the
+/// zero-shot entailment baseline.
+pub struct NliEntail<'a> {
+    /// The model whose NLI head scores the pairs.
+    pub model: &'a MiniPlm,
+    /// The premise documents.
+    pub corpus: &'a Corpus,
+    /// The hypothesis token sequences, one per column.
+    pub hypotheses: &'a [Vec<TokenId>],
+    /// How to share the per-document scoring across threads.
+    pub exec: ExecPolicy,
+}
+
+impl Stage for NliEntail<'_> {
+    type Output = Matrix;
+
+    fn name(&self) -> &'static str {
+        "plm/nli-entail"
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_u128(self.model.fingerprint());
+        self.corpus.stable_hash(h);
+        self.hypotheses.stable_hash(h);
+    }
+
+    fn compute(&self) -> Matrix {
+        repr::nli_entail_matrix(self.model, self.corpus, self.hypotheses, &self.exec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structmine_store::{fingerprint_of, ArtifactStore};
+    use structmine_text::synth::recipes;
+
+    fn tiny_model_and_corpus() -> (MiniPlm, Corpus) {
+        let corpus = recipes::pretraining_corpus(6, 11);
+        let model = MiniPlm::new(PlmConfig::tiny(corpus.vocab.len()));
+        (model, corpus)
+    }
+
+    #[test]
+    fn checkpoint_restores_identical_model() {
+        let (model, corpus) = tiny_model_and_corpus();
+        let restored = PlmCheckpoint::of(&model).restore();
+        assert_eq!(restored.fingerprint(), model.fingerprint());
+        let doc = &corpus.docs[0].tokens;
+        assert_eq!(restored.mean_embed(doc), model.mean_embed(doc));
+    }
+
+    #[test]
+    fn model_fingerprint_tracks_weights() {
+        let (model, _) = tiny_model_and_corpus();
+        let a = model.fingerprint();
+        assert_eq!(a, model.fingerprint(), "fingerprint must be deterministic");
+        let mut other = PlmCheckpoint::of(&model);
+        other.weights[0].data_mut()[0] += 1.0;
+        assert_ne!(a, other.restore().fingerprint());
+    }
+
+    #[test]
+    fn doc_mean_reps_stage_warm_read_is_bitwise_identical() {
+        let (model, corpus) = tiny_model_and_corpus();
+        let dir = std::env::temp_dir().join(format!(
+            "structmine-plm-artifacts-{}-{}",
+            std::process::id(),
+            fingerprint_of("doc-mean-reps-test")
+        ));
+        let stage = DocMeanReps {
+            model: &model,
+            corpus: &corpus,
+            exec: ExecPolicy::serial(),
+        };
+        let cold = ArtifactStore::with_dir(&dir).run(&stage);
+        // A fresh store sees only the disk artifact.
+        let warm_store = ArtifactStore::with_dir(&dir);
+        let warm = warm_store.run(&stage);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(warm_store.stats().disk_hits, 1);
+        assert_eq!(warm.data(), cold.data());
+    }
+
+    #[test]
+    fn encode_corpus_stage_shares_one_pass_in_memory() {
+        let (model, corpus) = tiny_model_and_corpus();
+        let store = ArtifactStore::memory_only();
+        let stage = EncodeCorpus {
+            model: &model,
+            corpus: &corpus,
+            exec: ExecPolicy::serial(),
+        };
+        let a = store.run(&stage);
+        let b = store.run(&stage);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(store.stats().mem_hits, 1);
+    }
+
+    #[test]
+    fn stage_keys_separate_models_and_corpora() {
+        let (model, corpus) = tiny_model_and_corpus();
+        let other_corpus = recipes::pretraining_corpus(7, 12);
+        let k1 = DocMeanReps {
+            model: &model,
+            corpus: &corpus,
+            exec: ExecPolicy::serial(),
+        }
+        .key();
+        let k2 = DocMeanReps {
+            model: &model,
+            corpus: &other_corpus,
+            exec: ExecPolicy::with_threads(4),
+        }
+        .key();
+        let k3 = DocMeanReps {
+            model: &model,
+            corpus: &corpus,
+            exec: ExecPolicy::with_threads(4),
+        }
+        .key();
+        assert_ne!(k1.digest, k2.digest, "different corpus, different key");
+        assert_eq!(
+            k1.digest, k3.digest,
+            "exec policy must not affect the key: parallel output is bitwise identical"
+        );
+    }
+}

@@ -3,23 +3,29 @@
 //! The benchmark harness reproduces many tables across several binaries;
 //! each needs "the pretrained language model" the same way every paper
 //! assumes a BERT checkpoint exists. Within a process, models are shared as
-//! `Arc`s; across processes, trained weights are serialized to a cache file
-//! in the system temp directory (override with `STRUCTMINE_PLM_CACHE_DIR`,
-//! disable with `STRUCTMINE_PLM_NO_DISK_CACHE=1`).
+//! `Arc`s; across processes, pretraining runs through a content-addressed
+//! [`ArtifactStore`] whose keys fingerprint the pretraining corpus, the
+//! architecture, and the schedule — so a checkpoint can never be served
+//! after any of them changes. The store writes to the system temp directory
+//! (override with `STRUCTMINE_PLM_CACHE_DIR`, disable with
+//! `STRUCTMINE_PLM_NO_DISK_CACHE=1`; `STRUCTMINE_NO_CACHE=1` disables all
+//! caching).
 
+use crate::artifacts::PlmCheckpoint;
 use crate::config::PlmConfig;
 use crate::model::MiniPlm;
 use crate::pretrain::{pretrain, PretrainConfig};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
-use structmine_linalg::Matrix;
+use structmine_store::{ArtifactStore, Persistence, StableHash, StableHasher, Stage};
 use structmine_text::synth::recipes;
+use structmine_text::Corpus;
 
 /// Cache-format version; bump when the architecture or the pretraining
-/// recipe changes so stale checkpoints are ignored.
-const CACHE_VERSION: u32 = 7;
+/// recipe changes in a way the content fingerprint cannot see (e.g. the
+/// meaning of an existing hyper-parameter).
+const CACHE_VERSION: u32 = 8;
 
 /// Pretraining quality tier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -31,13 +37,6 @@ pub enum Tier {
 }
 
 impl Tier {
-    fn name(self) -> &'static str {
-        match self {
-            Tier::Test => "test",
-            Tier::Standard => "standard",
-        }
-    }
-
     fn corpus_docs(self) -> usize {
         match self {
             Tier::Test => 800,
@@ -77,8 +76,66 @@ impl Tier {
     }
 }
 
+/// Stage: pretrain a fresh model on the general corpus. Persisted to disk
+/// only — within a process the finished [`MiniPlm`] itself is shared via
+/// [`pretrained`]'s `Arc` map, so memoizing the checkpoint too would just
+/// duplicate every weight.
+struct PretrainPlm<'a> {
+    corpus: &'a Corpus,
+    model_config: PlmConfig,
+    pretrain_config: PretrainConfig,
+}
+
+impl Stage for PretrainPlm<'_> {
+    type Output = PlmCheckpoint;
+
+    fn name(&self) -> &'static str {
+        "plm/pretrain"
+    }
+
+    fn version(&self) -> u32 {
+        CACHE_VERSION
+    }
+
+    fn persistence(&self) -> Persistence {
+        Persistence::DiskOnly
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) {
+        self.corpus.stable_hash(h);
+        self.model_config.stable_hash(h);
+        self.pretrain_config.stable_hash(h);
+    }
+
+    fn compute(&self) -> PlmCheckpoint {
+        let mut model = MiniPlm::new(self.model_config);
+        pretrain(&mut model, self.corpus, &self.pretrain_config);
+        PlmCheckpoint::of(&model)
+    }
+}
+
 type ProcessCache = HashMap<(Tier, u64), Arc<MiniPlm>>;
 static CACHE: OnceLock<Mutex<ProcessCache>> = OnceLock::new();
+
+/// The artifact store backing pretrained checkpoints. Kept separate from
+/// [`structmine_store::global`] so the long-standing PLM cache environment
+/// variables keep working unchanged.
+pub fn plm_store() -> &'static ArtifactStore {
+    static STORE: OnceLock<ArtifactStore> = OnceLock::new();
+    STORE.get_or_init(|| {
+        if std::env::var_os("STRUCTMINE_NO_CACHE").is_some() {
+            ArtifactStore::disabled()
+        } else if std::env::var_os("STRUCTMINE_PLM_NO_DISK_CACHE").is_some() {
+            ArtifactStore::memory_only()
+        } else {
+            ArtifactStore::with_dir(
+                std::env::var_os("STRUCTMINE_PLM_CACHE_DIR")
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(std::env::temp_dir),
+            )
+        }
+    })
+}
 
 /// A model pretrained on the standard-world general corpus, shared
 /// process-wide and cached on disk. Deterministic per (tier, seed).
@@ -88,105 +145,20 @@ pub fn pretrained(tier: Tier, seed: u64) -> Arc<MiniPlm> {
         return Arc::clone(model);
     }
     // Build outside the lock (slow); a duplicate race only wastes one run.
-    let model = load_from_disk(tier, seed).unwrap_or_else(|| {
-        let model = train(tier, seed);
-        save_to_disk(tier, seed, &model);
-        model
+    // The corpus must exist even on a disk hit: its content is part of the
+    // artifact key, which is what makes a stale checkpoint unservable.
+    let corpus = recipes::pretraining_corpus(tier.corpus_docs(), seed ^ 0x5eed);
+    let ckpt = plm_store().run(&PretrainPlm {
+        corpus: &corpus,
+        model_config: tier.model_config(corpus.vocab.len()),
+        pretrain_config: tier.pretrain_config(seed),
     });
-    let arc = Arc::new(model);
+    let arc = Arc::new(ckpt.restore());
     cache
         .lock()
         .entry((tier, seed))
         .or_insert_with(|| Arc::clone(&arc));
     arc
-}
-
-fn train(tier: Tier, seed: u64) -> MiniPlm {
-    let corpus = recipes::pretraining_corpus(tier.corpus_docs(), seed ^ 0x5eed);
-    let mut model = MiniPlm::new(tier.model_config(corpus.vocab.len()));
-    pretrain(&mut model, &corpus, &tier.pretrain_config(seed));
-    model
-}
-
-fn cache_dir() -> PathBuf {
-    std::env::var_os("STRUCTMINE_PLM_CACHE_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(std::env::temp_dir)
-}
-
-fn cache_path_in(dir: &std::path::Path, tier: Tier, seed: u64) -> PathBuf {
-    dir.join(format!(
-        "structmine-plm-v{CACHE_VERSION}-{}-{seed}.json",
-        tier.name()
-    ))
-}
-
-fn disk_cache_disabled() -> bool {
-    std::env::var_os("STRUCTMINE_PLM_NO_DISK_CACHE").is_some()
-}
-
-#[derive(serde::Serialize, serde::Deserialize)]
-struct Checkpoint {
-    version: u32,
-    config: PlmConfig,
-    weights: Vec<Matrix>,
-}
-
-fn load_from_disk(tier: Tier, seed: u64) -> Option<MiniPlm> {
-    if disk_cache_disabled() {
-        return None;
-    }
-    load_from_dir(&cache_dir(), tier, seed)
-}
-
-fn load_from_dir(dir: &std::path::Path, tier: Tier, seed: u64) -> Option<MiniPlm> {
-    let bytes = std::fs::read(cache_path_in(dir, tier, seed)).ok()?;
-    let ckpt: Checkpoint = serde_json::from_slice(&bytes).ok()?;
-    if ckpt.version != CACHE_VERSION {
-        return None;
-    }
-    // The vocabulary (and thus the shapes) must match what we would train.
-    let expected = tier.model_config(
-        recipes::pretraining_corpus(1, 0).vocab.len(), // vocab is world-determined
-    );
-    if ckpt.config.vocab_size != expected.vocab_size || ckpt.config.d_model != expected.d_model {
-        return None;
-    }
-    let mut model = MiniPlm::new(ckpt.config);
-    if model.export_weights().len() != ckpt.weights.len() {
-        return None;
-    }
-    model.import_weights(ckpt.weights);
-    Some(model)
-}
-
-fn save_to_disk(tier: Tier, seed: u64, model: &MiniPlm) {
-    if disk_cache_disabled() {
-        return;
-    }
-    save_to_dir(&cache_dir(), tier, seed, model);
-}
-
-fn save_to_dir(dir: &std::path::Path, tier: Tier, seed: u64, model: &MiniPlm) {
-    let ckpt = Checkpoint {
-        version: CACHE_VERSION,
-        config: model.config,
-        weights: model.export_weights(),
-    };
-    if let Ok(bytes) = serde_json::to_vec(&ckpt) {
-        // Write to a private temp file, then atomically rename into place:
-        // a reader never observes a torn checkpoint, and the slot always
-        // holds some complete checkpoint no matter how many writers race.
-        // The temp name carries pid *and* a process-local sequence number so
-        // concurrent threads of one process can't interleave writes either.
-        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let path = cache_path_in(dir, tier, seed);
-        let tmp = path.with_extension(format!("tmp-{}-{seq}", std::process::id()));
-        if std::fs::write(&tmp, bytes).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
-        }
-    }
 }
 
 #[cfg(test)]
@@ -217,42 +189,35 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_saves_never_tear_the_checkpoint() {
+    fn pretrain_stage_round_trips_through_disk() {
+        // A short schedule keeps this fast; the point is the store plumbing.
         let corpus = recipes::pretraining_corpus(5, 2);
-        let model = MiniPlm::new(Tier::Test.model_config(corpus.vocab.len()));
-        let dir =
-            std::env::temp_dir().join(format!("structmine-cache-race-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                s.spawn(|| {
-                    for _ in 0..5 {
-                        save_to_dir(&dir, Tier::Test, 42, &model);
-                    }
-                });
-            }
-        });
-        // Whatever writer won, the slot must hold a complete checkpoint.
-        let restored = load_from_dir(&dir, Tier::Test, 42);
+        let stage = PretrainPlm {
+            corpus: &corpus,
+            model_config: Tier::Test.model_config(corpus.vocab.len()),
+            pretrain_config: PretrainConfig {
+                steps: 3,
+                ..Tier::Test.pretrain_config(42)
+            },
+        };
+        let dir = std::env::temp_dir().join(format!("structmine-plm-cache-{}", std::process::id()));
+        let cold = ArtifactStore::with_dir(&dir).run(&stage).restore();
+        let warm_store = ArtifactStore::with_dir(&dir);
+        let warm = warm_store.run(&stage).restore();
         let _ = std::fs::remove_dir_all(&dir);
-        let restored = restored.expect("checkpoint must parse after racing writers");
+        assert_eq!(warm_store.stats().disk_hits, 1);
         let doc = &corpus.docs[0].tokens;
-        assert_eq!(model.mean_embed(doc), restored.mean_embed(doc));
+        assert_eq!(warm.mean_embed(doc), cold.mean_embed(doc));
+        assert_eq!(warm.fingerprint(), cold.fingerprint());
     }
 
     #[test]
     fn checkpoint_round_trips_weights() {
         let corpus = recipes::pretraining_corpus(5, 1);
         let model = MiniPlm::new(PlmConfig::tiny(corpus.vocab.len()));
-        let ckpt = Checkpoint {
-            version: CACHE_VERSION,
-            config: model.config,
-            weights: model.export_weights(),
-        };
-        let bytes = serde_json::to_vec(&ckpt).unwrap();
-        let back: Checkpoint = serde_json::from_slice(&bytes).unwrap();
-        let mut restored = MiniPlm::new(back.config);
-        restored.import_weights(back.weights);
+        let bytes = serde_json::to_vec(&PlmCheckpoint::of(&model)).unwrap();
+        let back: PlmCheckpoint = serde_json::from_slice(&bytes).unwrap();
+        let restored = back.restore();
         let doc = &corpus.docs[0].tokens;
         assert_eq!(model.mean_embed(doc), restored.mean_embed(doc));
     }

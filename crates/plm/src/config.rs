@@ -55,6 +55,18 @@ impl PlmConfig {
     }
 }
 
+impl structmine_store::StableHash for PlmConfig {
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.vocab_size.stable_hash(h);
+        self.d_model.stable_hash(h);
+        self.n_heads.stable_hash(h);
+        self.n_layers.stable_hash(h);
+        self.d_ff.stable_hash(h);
+        self.max_len.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

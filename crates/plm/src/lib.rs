@@ -18,6 +18,7 @@
 //! corpus; [`cache`] shares one pretrained model across a process so every
 //! benchmark table does not pay for its own pretraining.
 
+pub mod artifacts;
 pub mod cache;
 pub mod config;
 pub mod model;

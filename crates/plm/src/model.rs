@@ -155,6 +155,20 @@ impl MiniPlm {
         self.store.export_values()
     }
 
+    /// Content fingerprint of the model: architecture plus every weight
+    /// value. Two models with the same fingerprint produce bitwise-identical
+    /// encodings, so artifact keys built on it can never serve stale
+    /// representations. Recomputed on every call (weights are mutable
+    /// through [`MiniPlm::store_mut`]); hashing is a few milliseconds,
+    /// negligible next to any encoding pass.
+    pub fn fingerprint(&self) -> u128 {
+        use structmine_store::StableHash;
+        let mut h = structmine_store::StableHasher::new();
+        self.config.stable_hash(&mut h);
+        self.export_weights().stable_hash(&mut h);
+        h.finish()
+    }
+
     /// Restore weights exported from an identically configured model.
     pub fn import_weights(&mut self, weights: Vec<Matrix>) {
         self.store.import_values(weights);

@@ -55,6 +55,18 @@ impl Default for PretrainConfig {
     }
 }
 
+impl structmine_store::StableHash for PretrainConfig {
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.steps.stable_hash(h);
+        self.batch.stable_hash(h);
+        self.lr.stable_hash(h);
+        self.mask_prob.stable_hash(h);
+        self.rtd_weight.stable_hash(h);
+        self.nli_weight.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
+}
+
 /// Loss trajectory of a pretraining run.
 #[derive(Clone, Debug)]
 pub struct PretrainReport {

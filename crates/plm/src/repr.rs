@@ -22,7 +22,7 @@ use structmine_text::Corpus;
 
 /// The encoder's full output for one document: token-level hidden states
 /// plus the average-pooled document vector, both from a single forward pass.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct DocRep {
     /// Document index within the corpus.
     pub doc: usize,

@@ -1,0 +1,217 @@
+//! Stable content fingerprints.
+//!
+//! `std::hash::Hash` is explicitly *not* stable across processes (SipHash is
+//! randomly keyed, and `Hash` implementations may change between std
+//! releases), so it cannot name artifacts on disk. [`StableHasher`] is a
+//! 128-bit FNV-1a over an explicitly defined byte encoding: every value
+//! writes a fixed little-endian representation, sequences are
+//! length-prefixed, and floats hash their IEEE-754 bit patterns. Two values
+//! hash equal iff their encodings are byte-identical, on any platform.
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// An incremental, platform-independent 128-bit hasher.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Mix raw bytes into the state.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Mix a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Mix a `u128` (little-endian).
+    pub fn write_u128(&mut self, v: u128) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Mix a string (length-prefixed UTF-8).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+/// Values with a stable, platform-independent fingerprint.
+pub trait StableHash {
+    /// Mix this value into the hasher.
+    fn stable_hash(&self, h: &mut StableHasher);
+}
+
+/// Fingerprint a single value.
+pub fn fingerprint_of<T: StableHash + ?Sized>(value: &T) -> u128 {
+    let mut h = StableHasher::new();
+    value.stable_hash(&mut h);
+    h.finish()
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl StableHash for $t {
+            fn stable_hash(&self, h: &mut StableHasher) {
+                h.write_u64(*self as u64);
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StableHash for u128 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u128(*self);
+    }
+}
+
+impl StableHash for bool {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(*self as u64);
+    }
+}
+
+impl StableHash for f32 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_bytes(&self.to_bits().to_le_bytes());
+    }
+}
+
+impl StableHash for f64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_bytes(&self.to_bits().to_le_bytes());
+    }
+}
+
+impl StableHash for str {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl StableHash for String {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl<T: StableHash + ?Sized> StableHash for &T {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        (*self).stable_hash(h);
+    }
+}
+
+impl<T: StableHash> StableHash for [T] {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.len() as u64);
+        for item in self {
+            item.stable_hash(h);
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_slice().stable_hash(h);
+    }
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            None => h.write_u64(0),
+            Some(v) => {
+                h.write_u64(1);
+                v.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl<A: StableHash, B: StableHash> StableHash for (A, B) {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.0.stable_hash(h);
+        self.1.stable_hash(h);
+    }
+}
+
+impl<A: StableHash, B: StableHash, C: StableHash> StableHash for (A, B, C) {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.0.stable_hash(h);
+        self.1.stable_hash(h);
+        self.2.stable_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic_and_input_sensitive() {
+        let a = fingerprint_of(&vec![1u32, 2, 3]);
+        let b = fingerprint_of(&vec![1u32, 2, 3]);
+        let c = fingerprint_of(&vec![1u32, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_concatenation() {
+        // ["ab"] vs ["a", "b"] must differ: the length prefixes break the
+        // ambiguity of raw concatenation.
+        let joined = fingerprint_of(&vec!["ab".to_string()]);
+        let split = fingerprint_of(&vec!["a".to_string(), "b".to_string()]);
+        assert_ne!(joined, split);
+    }
+
+    #[test]
+    fn floats_hash_bit_patterns() {
+        assert_ne!(fingerprint_of(&0.0f32), fingerprint_of(&-0.0f32));
+        assert_eq!(fingerprint_of(&1.5f32), fingerprint_of(&1.5f32));
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a 128 of the empty input is the offset basis.
+        assert_eq!(StableHasher::new().finish(), FNV_OFFSET);
+        // And of "a": (offset ^ 0x61) * prime.
+        let mut h = StableHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), (FNV_OFFSET ^ 0x61).wrapping_mul(FNV_PRIME));
+    }
+
+    #[test]
+    fn option_and_tuple_compose() {
+        let some = fingerprint_of(&Some(7u64));
+        let none = fingerprint_of(&Option::<u64>::None);
+        assert_ne!(some, none);
+        assert_ne!(fingerprint_of(&(1u32, 2u32)), fingerprint_of(&(2u32, 1u32)));
+    }
+}

@@ -1,0 +1,83 @@
+//! Artifact keys: stage name + content digest.
+
+use crate::hash::{StableHash, StableHasher};
+
+/// Bump to invalidate every artifact at once (on-disk format or fingerprint
+/// encoding changes).
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// The content address of one stage output.
+///
+/// The digest covers the store format version, the stage's name and
+/// version, and whatever the stage mixed in (dataset content hash, config,
+/// seeds, upstream artifact keys) — identical inputs produce identical
+/// keys across processes, so a key can name a file on disk.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    /// Stage name, e.g. `"xclass/class-reps"`.
+    pub stage: String,
+    /// Digest of everything the output depends on.
+    pub digest: u128,
+}
+
+impl ArtifactKey {
+    /// Build a key for `stage` at `version`, mixing stage-specific inputs
+    /// via the closure.
+    pub fn new(stage: &str, version: u32, parts: impl FnOnce(&mut StableHasher)) -> Self {
+        let mut h = StableHasher::new();
+        h.write_u64(STORE_FORMAT_VERSION as u64);
+        h.write_str(stage);
+        h.write_u64(version as u64);
+        parts(&mut h);
+        ArtifactKey {
+            stage: stage.to_string(),
+            digest: h.finish(),
+        }
+    }
+
+    /// Unique id string (also the disk file stem).
+    pub fn id(&self) -> String {
+        format!("{}-{:032x}", self.stage.replace('/', "-"), self.digest)
+    }
+
+    /// Disk file name for this key.
+    pub fn file_name(&self) -> String {
+        format!("{}.json", self.id())
+    }
+}
+
+impl StableHash for ArtifactKey {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.stage);
+        h.write_u128(self.digest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_bump_changes_the_key() {
+        let a = ArtifactKey::new("s", 1, |h| h.write_u64(7));
+        let b = ArtifactKey::new("s", 2, |h| h.write_u64(7));
+        assert_ne!(a.digest, b.digest);
+        assert_ne!(a.file_name(), b.file_name());
+    }
+
+    #[test]
+    fn stage_name_and_inputs_change_the_key() {
+        let a = ArtifactKey::new("s", 1, |h| h.write_u64(7));
+        let b = ArtifactKey::new("t", 1, |h| h.write_u64(7));
+        let c = ArtifactKey::new("s", 1, |h| h.write_u64(8));
+        assert_ne!(a.digest, b.digest);
+        assert_ne!(a.digest, c.digest);
+    }
+
+    #[test]
+    fn file_name_is_path_safe() {
+        let k = ArtifactKey::new("plm/encode-corpus", 1, |_| {});
+        assert!(!k.file_name().contains('/'));
+        assert!(k.file_name().ends_with(".json"));
+    }
+}

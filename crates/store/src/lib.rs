@@ -1,0 +1,43 @@
+//! Content-addressed artifact store and staged-pipeline substrate.
+//!
+//! The tutorial's method family (X-Class, LOTClass, ConWea, …) shares one
+//! expensive substrate: corpus-wide PLM encodings, expanded seed sets,
+//! pseudo-labels, trained classifiers. Every one of those intermediate
+//! products is a pure function of its inputs — the execution layer
+//! (`structmine_linalg::exec`) guarantees bitwise-identical output for any
+//! thread count — so they can be memoized safely. This crate provides the
+//! machinery:
+//!
+//! * [`hash`] — a stable, platform-independent fingerprint ([`StableHash`] /
+//!   [`StableHasher`], FNV-1a over a 128-bit state). Unlike `std::hash`,
+//!   the digest is identical across processes, builds, and architectures,
+//!   so it can name files on disk.
+//! * [`key`] — [`ArtifactKey`]: a stage name plus the digest of everything
+//!   the stage output depends on (store format version, stage version,
+//!   dataset content hash, config, seeds, upstream artifact keys).
+//! * [`store`] — [`ArtifactStore`]: a two-level cache. An in-process layer
+//!   shares artifacts as `Arc`s; a disk layer persists them as JSON files
+//!   named by their key, written with the write-temp-then-rename discipline
+//!   so racing writers always leave a complete artifact. Corrupt, truncated,
+//!   or stale-version files are ignored and recomputed.
+//! * [`stage`] — the [`Stage`] trait: a typed pipeline step (inputs borrowed
+//!   as struct fields, output as an associated type) that the store can run
+//!   memoized via [`ArtifactStore::run`].
+//!
+//! Configuration (read once, at first use of the global store):
+//!
+//! | Environment variable | Effect |
+//! |---|---|
+//! | `STRUCTMINE_STORE_DIR` | Artifact directory (default: `<tmp>/structmine-store`) |
+//! | `STRUCTMINE_STORE_NO_DISK` | Disable the disk layer (memory sharing still on) |
+//! | `STRUCTMINE_NO_CACHE` | Disable the store entirely (every stage recomputes) |
+
+pub mod hash;
+pub mod key;
+pub mod stage;
+pub mod store;
+
+pub use hash::{fingerprint_of, StableHash, StableHasher};
+pub use key::ArtifactKey;
+pub use stage::{Artifact, Persistence, Stage};
+pub use store::{global, ArtifactStore, StatsSnapshot};

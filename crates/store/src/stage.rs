@@ -1,0 +1,81 @@
+//! The [`Stage`] trait: a typed, memoizable pipeline step.
+//!
+//! A method run is a chain of stages — pretrain → encode-corpus →
+//! seed-expansion → pseudo-label → train-classifier → self-train → predict.
+//! Each stage borrows its typed inputs as struct fields, declares its typed
+//! output as an associated type, and describes what the output depends on
+//! via [`Stage::fingerprint`]. [`crate::ArtifactStore::run`] then memoizes
+//! the stage: a rerun with identical inputs returns the stored artifact and
+//! skips the computation, so a pipeline resumes at its first *stale* stage.
+
+use crate::hash::StableHasher;
+use crate::key::ArtifactKey;
+
+/// Anything the store can hold: serializable (for the disk layer) and
+/// shareable across threads (for the in-process `Arc` layer).
+pub trait Artifact: serde::Serialize + serde::Deserialize + Send + Sync + 'static {}
+impl<T: serde::Serialize + serde::Deserialize + Send + Sync + 'static> Artifact for T {}
+
+/// Where a stage's output lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Persistence {
+    /// In-process `Arc` sharing only — for artifacts too large to be worth
+    /// serializing (e.g. full token-level corpus encodings).
+    MemoryOnly,
+    /// Disk only — for artifacts that are themselves caches of large
+    /// objects held elsewhere in memory (e.g. model checkpoints).
+    DiskOnly,
+    /// Both layers (the default).
+    Full,
+}
+
+/// One typed step of a method pipeline.
+///
+/// Implementors borrow their inputs:
+///
+/// ```ignore
+/// struct EncodeCorpus<'a> {
+///     model: &'a MiniPlm,
+///     model_fp: u128,
+///     corpus: &'a Corpus,
+///     corpus_fp: u128,
+/// }
+/// ```
+///
+/// and the store runs them memoized:
+///
+/// ```ignore
+/// let reps = structmine_store::global().run(&EncodeCorpus { .. });
+/// ```
+pub trait Stage {
+    /// Typed output artifact.
+    type Output: Artifact;
+
+    /// Stable stage name, e.g. `"plm/encode-corpus"`.
+    fn name(&self) -> &'static str;
+
+    /// Bump when the computation's meaning changes, so stale artifacts
+    /// from older code are ignored.
+    fn version(&self) -> u32 {
+        1
+    }
+
+    /// Where the output should live.
+    fn persistence(&self) -> Persistence {
+        Persistence::Full
+    }
+
+    /// Mix in everything the output depends on: input content hashes,
+    /// configuration, seeds, upstream artifact keys. The exec policy
+    /// (thread count) must NOT be mixed in — outputs are bitwise identical
+    /// for any thread count.
+    fn fingerprint(&self, h: &mut StableHasher);
+
+    /// The computation itself.
+    fn compute(&self) -> Self::Output;
+
+    /// This stage's content address.
+    fn key(&self) -> ArtifactKey {
+        ArtifactKey::new(self.name(), self.version(), |h| self.fingerprint(h))
+    }
+}

@@ -1,0 +1,451 @@
+//! The two-level content-addressed artifact store.
+
+use crate::key::{ArtifactKey, STORE_FORMAT_VERSION};
+use crate::stage::{Artifact, Persistence, Stage};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// On-disk artifact envelope: `(format version, stage name, payload)`. The
+/// metadata lets the reader reject files written by an incompatible store
+/// version or a different stage. (A tuple rather than a struct because the
+/// workspace's offline serde shim does not derive generic structs.)
+type Envelope<T> = (u32, String, T);
+
+/// Hit/miss counters (monotonic, process-wide per store).
+#[derive(Default)]
+struct Stats {
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    disk_writes: AtomicU64,
+}
+
+/// A point-in-time copy of a store's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Artifacts served from the in-process `Arc` layer.
+    pub mem_hits: u64,
+    /// Artifacts deserialized from disk.
+    pub disk_hits: u64,
+    /// Artifacts that had to be computed.
+    pub misses: u64,
+    /// Artifacts written to disk.
+    pub disk_writes: u64,
+}
+
+impl StatsSnapshot {
+    /// Total cache hits across both layers.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+}
+
+/// A content-addressed artifact store: in-process `Arc` layer over a disk
+/// layer of JSON files named by [`ArtifactKey`].
+pub struct ArtifactStore {
+    /// Disk directory; `None` disables the disk layer.
+    dir: Option<PathBuf>,
+    /// `false` disables the in-process layer too (full recompute mode).
+    memory_enabled: bool,
+    mem: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
+    stats: Stats,
+}
+
+impl ArtifactStore {
+    /// A store persisting to `dir` (created lazily on first write).
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
+        ArtifactStore {
+            dir: Some(dir.into()),
+            memory_enabled: true,
+            mem: Mutex::new(HashMap::new()),
+            stats: Stats::default(),
+        }
+    }
+
+    /// A store with only the in-process layer.
+    pub fn memory_only() -> Self {
+        ArtifactStore {
+            dir: None,
+            memory_enabled: true,
+            mem: Mutex::new(HashMap::new()),
+            stats: Stats::default(),
+        }
+    }
+
+    /// A fully disabled store: every lookup recomputes.
+    pub fn disabled() -> Self {
+        ArtifactStore {
+            dir: None,
+            memory_enabled: false,
+            mem: Mutex::new(HashMap::new()),
+            stats: Stats::default(),
+        }
+    }
+
+    /// Build from the environment (see crate docs for the variables).
+    pub fn from_env() -> Self {
+        if std::env::var_os("STRUCTMINE_NO_CACHE").is_some() {
+            return ArtifactStore::disabled();
+        }
+        if std::env::var_os("STRUCTMINE_STORE_NO_DISK").is_some() {
+            return ArtifactStore::memory_only();
+        }
+        let dir = std::env::var_os("STRUCTMINE_STORE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("structmine-store"));
+        ArtifactStore::with_dir(dir)
+    }
+
+    /// The disk directory, if the disk layer is enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Run a [`Stage`] memoized: return the stored artifact when the key
+    /// hits, otherwise compute, store, and return.
+    pub fn run<S: Stage>(&self, stage: &S) -> Arc<S::Output> {
+        self.get_or_compute(&stage.key(), stage.persistence(), || stage.compute())
+    }
+
+    /// Memoize an ad-hoc computation under `key`.
+    pub fn get_or_compute<T: Artifact>(
+        &self,
+        key: &ArtifactKey,
+        persistence: Persistence,
+        compute: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        let id = key.id();
+        let use_mem = self.memory_enabled && persistence != Persistence::DiskOnly;
+        let use_disk = self.dir.is_some() && persistence != Persistence::MemoryOnly;
+
+        if use_mem {
+            if let Some(hit) = self.mem.lock().get(&id) {
+                if let Ok(typed) = Arc::clone(hit).downcast::<T>() {
+                    self.stats.mem_hits.fetch_add(1, Ordering::Relaxed);
+                    return typed;
+                }
+            }
+        }
+        if use_disk {
+            if let Some(payload) = self.read_disk::<T>(key) {
+                self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let arc = Arc::new(payload);
+                if use_mem {
+                    self.memoize(&id, &arc);
+                }
+                return arc;
+            }
+        }
+
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let arc = Arc::new(compute());
+        if use_disk {
+            self.write_disk(key, arc.as_ref());
+        }
+        if use_mem {
+            self.memoize(&id, &arc);
+        }
+        arc
+    }
+
+    fn memoize<T: Artifact>(&self, id: &str, arc: &Arc<T>) {
+        let clone: Arc<dyn Any + Send + Sync> = Arc::clone(arc) as Arc<dyn Any + Send + Sync>;
+        self.mem.lock().entry(id.to_string()).or_insert(clone);
+    }
+
+    /// Drop every in-process artifact (disk files are kept). Long-running
+    /// harnesses call this between experiments to bound memory.
+    pub fn clear_memory(&self) {
+        self.mem.lock().clear();
+    }
+
+    fn read_disk<T: Artifact>(&self, key: &ArtifactKey) -> Option<T> {
+        let path = self.dir.as_ref()?.join(key.file_name());
+        // Any failure — missing, truncated, corrupt, wrong format version,
+        // or a digest collision across stages — falls through to recompute;
+        // the subsequent write repairs the slot.
+        let bytes = std::fs::read(path).ok()?;
+        let (format, stage, payload): Envelope<T> = serde_json::from_slice(&bytes).ok()?;
+        if format != STORE_FORMAT_VERSION || stage != key.stage {
+            return None;
+        }
+        Some(payload)
+    }
+
+    fn write_disk<T: Artifact>(&self, key: &ArtifactKey, payload: &T) {
+        let Some(dir) = self.dir.as_ref() else {
+            return;
+        };
+        let env: Envelope<&T> = (STORE_FORMAT_VERSION, key.stage.clone(), payload);
+        let Ok(bytes) = serde_json::to_vec(&env) else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        // Write to a private temp file, then atomically rename into place:
+        // a reader never observes a torn artifact, and the slot always holds
+        // some complete artifact no matter how many writers race. The temp
+        // name carries pid *and* a process-local sequence number so
+        // concurrent threads of one process cannot interleave writes either.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(key.file_name());
+        let tmp = path.with_extension(format!("tmp-{}-{seq}", std::process::id()));
+        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            self.stats.disk_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            mem_hits: self.stats.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.stats.disk_hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            disk_writes: self.stats.disk_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One-line human- and grep-friendly summary of the counters, e.g. for
+    /// a table binary to log after its run.
+    pub fn summary(&self) -> String {
+        let s = self.stats();
+        let dir = match (&self.dir, self.memory_enabled) {
+            (Some(d), _) => format!("dir {}", d.display()),
+            (None, true) => "memory only".to_string(),
+            (None, false) => "disabled".to_string(),
+        };
+        format!(
+            "[artifact-store] hits={} (mem_hits={} disk_hits={}) misses={} disk_writes={} ({dir})",
+            s.hits(),
+            s.mem_hits,
+            s.disk_hits,
+            s.misses,
+            s.disk_writes
+        )
+    }
+}
+
+static GLOBAL: OnceLock<ArtifactStore> = OnceLock::new();
+
+/// The process-wide store, configured from the environment on first use.
+/// CLI flags that must influence it (`--no-cache`, `--cache-dir`) set the
+/// corresponding environment variables before any store access.
+pub fn global() -> &'static ArtifactStore {
+    GLOBAL.get_or_init(ArtifactStore::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::StableHasher;
+    use std::sync::atomic::AtomicUsize;
+
+    struct Doubler {
+        input: Vec<u32>,
+        version: u32,
+        calls: AtomicUsize,
+    }
+
+    impl Stage for Doubler {
+        type Output = Vec<u32>;
+        fn name(&self) -> &'static str {
+            "test/doubler"
+        }
+        fn version(&self) -> u32 {
+            self.version
+        }
+        fn fingerprint(&self, h: &mut StableHasher) {
+            crate::StableHash::stable_hash(&self.input, h);
+        }
+        fn compute(&self) -> Vec<u32> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            self.input.iter().map(|x| x * 2).collect()
+        }
+    }
+
+    fn doubler(input: Vec<u32>, version: u32) -> Doubler {
+        Doubler {
+            input,
+            version,
+            calls: AtomicUsize::new(0),
+        }
+    }
+
+    fn tmp_store(tag: &str) -> (ArtifactStore, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "structmine-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (ArtifactStore::with_dir(&dir), dir)
+    }
+
+    #[test]
+    fn warm_read_equals_cold_compute_bitwise() {
+        let (store, dir) = tmp_store("warm");
+        let s = doubler(vec![1, 2, 3], 1);
+        let cold = store.run(&s);
+        assert_eq!(s.calls.load(Ordering::Relaxed), 1);
+
+        // Same process: memory hit.
+        let warm_mem = store.run(&s);
+        assert_eq!(s.calls.load(Ordering::Relaxed), 1);
+        assert_eq!(*cold, *warm_mem);
+
+        // Fresh store over the same dir: disk hit, byte-identical payload.
+        let store2 = ArtifactStore::with_dir(&dir);
+        let warm_disk = store2.run(&s);
+        assert_eq!(s.calls.load(Ordering::Relaxed), 1, "must not recompute");
+        assert_eq!(*cold, *warm_disk);
+        assert_eq!(store2.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_bump_invalidates() {
+        let (store, dir) = tmp_store("version");
+        let v1 = doubler(vec![5], 1);
+        store.run(&v1);
+        assert_eq!(v1.calls.load(Ordering::Relaxed), 1);
+        let v2 = doubler(vec![5], 2);
+        store.run(&v2);
+        assert_eq!(
+            v2.calls.load(Ordering::Relaxed),
+            1,
+            "bumped version must recompute"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_and_truncated_artifacts_are_recomputed() {
+        let (store, dir) = tmp_store("corrupt");
+        let s = doubler(vec![7, 8], 1);
+        let good = store.run(&s);
+        let path = dir.join(s.key().file_name());
+        assert!(path.exists());
+
+        for garbage in [&b"{\"truncat"[..], &b"not json at all"[..], &b""[..]] {
+            std::fs::write(&path, garbage).unwrap();
+            let fresh = ArtifactStore::with_dir(&dir);
+            let back = fresh.run(&s);
+            assert_eq!(*good, *back, "corrupt file must be recomputed");
+            assert_eq!(fresh.stats().misses, 1);
+            assert_eq!(fresh.stats().disk_writes, 1, "slot must be repaired");
+        }
+        // After the repair, a fresh store reads it from disk again.
+        let fresh = ArtifactStore::with_dir(&dir);
+        fresh.run(&s);
+        assert_eq!(fresh.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_format_version_on_disk_is_ignored() {
+        let (store, dir) = tmp_store("format");
+        let s = doubler(vec![9], 1);
+        store.run(&s);
+        let path = dir.join(s.key().file_name());
+        let text = std::fs::read_to_string(&path).unwrap();
+        // The envelope is `[format, stage, payload]`; bump the leading
+        // format number.
+        let bumped = text.replacen(
+            &format!("[{STORE_FORMAT_VERSION},"),
+            &format!("[{},", STORE_FORMAT_VERSION + 1),
+            1,
+        );
+        assert_ne!(text, bumped, "envelope must lead with the format field");
+        std::fs::write(&path, bumped).unwrap();
+        let fresh = ArtifactStore::with_dir(&dir);
+        fresh.run(&s);
+        assert_eq!(
+            fresh.stats().misses,
+            1,
+            "future-format file must be ignored"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn racing_writers_leave_a_complete_artifact() {
+        let (_, dir) = tmp_store("race");
+        let s = doubler((0..512).collect(), 1);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..5 {
+                        // Each iteration uses a cold store so every call
+                        // races through the disk write path.
+                        let store = ArtifactStore::disabled_memory_with_dir(&dir);
+                        store.run(&s);
+                    }
+                });
+            }
+        });
+        // Whatever writer won, the slot must hold a complete artifact.
+        let reader = ArtifactStore::with_dir(&dir);
+        let back = reader.run(&s);
+        assert_eq!(*back, s.compute());
+        assert_eq!(reader.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistence_modes_route_layers() {
+        let (store, dir) = tmp_store("persist");
+        let key = ArtifactKey::new("test/mem", 1, |h| h.write_u64(1));
+        store.get_or_compute(&key, Persistence::MemoryOnly, || vec![1u32]);
+        assert!(!dir.join(key.file_name()).exists(), "MemoryOnly wrote disk");
+        store.get_or_compute(&key, Persistence::MemoryOnly, || vec![2u32]);
+        assert_eq!(store.stats().mem_hits, 1);
+
+        let key2 = ArtifactKey::new("test/disk", 1, |h| h.write_u64(2));
+        store.get_or_compute(&key2, Persistence::DiskOnly, || vec![3u32]);
+        assert!(dir.join(key2.file_name()).exists());
+        store.get_or_compute(&key2, Persistence::DiskOnly, || vec![4u32]);
+        assert_eq!(store.stats().disk_hits, 1, "DiskOnly must skip memory");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_store_always_recomputes() {
+        let store = ArtifactStore::disabled();
+        let s = doubler(vec![1], 1);
+        store.run(&s);
+        store.run(&s);
+        assert_eq!(s.calls.load(Ordering::Relaxed), 2);
+        assert_eq!(store.stats().misses, 2);
+        assert_eq!(store.stats().hits(), 0);
+    }
+
+    #[test]
+    fn clear_memory_falls_back_to_disk() {
+        let (store, dir) = tmp_store("clear");
+        let s = doubler(vec![6], 1);
+        store.run(&s);
+        store.clear_memory();
+        store.run(&s);
+        assert_eq!(s.calls.load(Ordering::Relaxed), 1);
+        assert_eq!(store.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    impl ArtifactStore {
+        /// Test helper: disk layer on, memory layer off — forces every call
+        /// through the disk read/write path.
+        fn disabled_memory_with_dir(dir: &Path) -> Self {
+            ArtifactStore {
+                dir: Some(dir.to_path_buf()),
+                memory_enabled: false,
+                mem: Mutex::new(HashMap::new()),
+                stats: Stats::default(),
+            }
+        }
+    }
+}

@@ -118,6 +118,32 @@ impl Corpus {
     pub fn render(&self, i: usize) -> String {
         crate::tokenize::decode(&self.docs[i].tokens, &self.vocab)
     }
+
+    /// Content fingerprint of the whole corpus (vocabulary, token
+    /// sequences, labels, metadata) — the dataset-identity component of
+    /// every artifact key derived from this corpus.
+    pub fn fingerprint(&self) -> u128 {
+        structmine_store::fingerprint_of(self)
+    }
+}
+
+impl structmine_store::StableHash for Doc {
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.tokens.stable_hash(h);
+        self.labels.stable_hash(h);
+        self.user.stable_hash(h);
+        self.tags.stable_hash(h);
+        self.venue.stable_hash(h);
+        self.authors.stable_hash(h);
+        self.refs.stable_hash(h);
+    }
+}
+
+impl structmine_store::StableHash for Corpus {
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.vocab.stable_hash(h);
+        self.docs.stable_hash(h);
+    }
 }
 
 #[cfg(test)]

@@ -46,6 +46,25 @@ impl Supervision {
     }
 }
 
+impl structmine_store::StableHash for Supervision {
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        match self {
+            Supervision::LabelNames(v) => {
+                h.write_u64(0);
+                v.stable_hash(h);
+            }
+            Supervision::Keywords(v) => {
+                h.write_u64(1);
+                v.stable_hash(h);
+            }
+            Supervision::LabeledDocs(pairs) => {
+                h.write_u64(2);
+                pairs.stable_hash(h);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -174,6 +174,45 @@ impl Dataset {
             max as f32 / min as f32
         }
     }
+
+    /// Content fingerprint of the dataset: corpus, labels, taxonomy, and
+    /// splits. Two recipe invocations with the same (name, scale, seed)
+    /// produce the same fingerprint; any content change produces a new one,
+    /// so artifact keys built on it can never serve stale results.
+    pub fn fingerprint(&self) -> u128 {
+        structmine_store::fingerprint_of(self)
+    }
+}
+
+impl structmine_store::StableHash for LabelSet {
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.names.stable_hash(h);
+        self.name_words.stable_hash(h);
+        self.keywords.stable_hash(h);
+        self.descriptions.stable_hash(h);
+    }
+}
+
+impl structmine_store::StableHash for MetaStats {
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.n_users.stable_hash(h);
+        self.n_tags.stable_hash(h);
+        self.n_venues.stable_hash(h);
+        self.n_authors.stable_hash(h);
+    }
+}
+
+impl structmine_store::StableHash for Dataset {
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.name.stable_hash(h);
+        self.corpus.stable_hash(h);
+        self.labels.stable_hash(h);
+        self.taxonomy.stable_hash(h);
+        self.class_nodes.stable_hash(h);
+        self.train_idx.stable_hash(h);
+        self.test_idx.stable_hash(h);
+        self.meta.stable_hash(h);
+    }
 }
 
 /// Deterministically split `n` documents into train/test index lists.

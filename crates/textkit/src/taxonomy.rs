@@ -196,6 +196,14 @@ impl Taxonomy {
     }
 }
 
+impl structmine_store::StableHash for Taxonomy {
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.names.stable_hash(h);
+        self.parents.stable_hash(h);
+        // `children` mirrors `parents` and is covered by it.
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -130,6 +130,15 @@ impl Vocab {
     }
 }
 
+impl structmine_store::StableHash for Vocab {
+    /// Content fingerprint over the interned words (in id order) and their
+    /// frequency counts; the word→id index is derived and not hashed.
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        self.words.stable_hash(h);
+        self.counts.stable_hash(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
