@@ -8,6 +8,9 @@
 //! Knobs (environment variables):
 //! * `STRUCTMINE_SCALE` — dataset scale multiplier (default 0.3).
 //! * `STRUCTMINE_SEEDS` — seeds per measured cell (default 2).
+//! * `STRUCTMINE_PLM_TIER=test` — swap the standard PLM for the tiny test
+//!   tier. Numbers are then meaningless; it exists for smoke and
+//!   fault-injection runs that exercise the full pipeline cheaply.
 
 pub mod exps;
 pub mod table;
@@ -54,8 +57,14 @@ impl BenchConfig {
 }
 
 /// The standard pretrained PLM shared by all PLM-based experiments.
+/// `STRUCTMINE_PLM_TIER=test` downgrades to the test tier for smoke and
+/// fault-injection runs (any other value keeps the standard tier).
 pub fn standard_plm() -> std::sync::Arc<structmine_plm::MiniPlm> {
-    structmine_plm::cache::pretrained(structmine_plm::cache::Tier::Standard, 0)
+    let tier = match std::env::var("STRUCTMINE_PLM_TIER") {
+        Ok(v) if v.eq_ignore_ascii_case("test") => structmine_plm::cache::Tier::Test,
+        _ => structmine_plm::cache::Tier::Standard,
+    };
+    structmine_plm::cache::pretrained(tier, 0)
 }
 
 /// A copy of the standard PLM *adapted to the dataset's corpus* by
@@ -69,7 +78,8 @@ pub fn adapted_plm(
     dataset: &structmine_text::Dataset,
     seed: u64,
 ) -> std::sync::Arc<structmine_plm::MiniPlm> {
-    use std::sync::{Arc, Mutex, OnceLock};
+    use parking_lot::Mutex;
+    use std::sync::{Arc, OnceLock};
     type AdaptedCache = std::collections::HashMap<(u128, usize, u64), Arc<structmine_plm::MiniPlm>>;
     static CACHE: OnceLock<Mutex<AdaptedCache>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
@@ -78,7 +88,7 @@ pub fn adapted_plm(
         .and_then(|v| v.parse().ok())
         .unwrap_or(500);
     let key = (dataset.fingerprint(), steps, seed);
-    if let Some(m) = cache.lock().unwrap().get(&key) {
+    if let Some(m) = cache.lock().get(&key) {
         return Arc::clone(m);
     }
     let base = standard_plm();
@@ -89,7 +99,7 @@ pub fn adapted_plm(
         seed,
     });
     let adapted = Arc::new(checkpoint.restore());
-    cache.lock().unwrap().insert(key, Arc::clone(&adapted));
+    cache.lock().insert(key, Arc::clone(&adapted));
     adapted
 }
 

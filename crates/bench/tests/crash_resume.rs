@@ -1,0 +1,126 @@
+//! Crash-resume contract, end to end: a `table_*` binary killed at a stage
+//! boundary (deterministic `kill_after_writes` fault) resumes from the last
+//! persisted stage with bitwise-identical stdout. Also checks that a
+//! mixed-probability fault plan leaves stdout untouched and that the
+//! degradation warning appears at most once.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_table_westclass");
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "structmine-crash-resume-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Run the table binary at smoke scale against `store_dir`, with an
+/// optional fault plan. The parent test environment may itself carry
+/// `STRUCTMINE_FAULTS` (the CI fault smoke job), so the variable is
+/// explicitly cleared unless a plan is requested.
+fn run_table(store_dir: &PathBuf, faults: Option<&str>) -> Output {
+    let mut cmd = Command::new(BIN);
+    cmd.env("STRUCTMINE_SCALE", "0.03")
+        .env("STRUCTMINE_SEEDS", "1")
+        .env("STRUCTMINE_THREADS", "2")
+        .env("STRUCTMINE_STORE_DIR", store_dir)
+        .env("STRUCTMINE_PLM_CACHE_DIR", store_dir)
+        .env_remove("STRUCTMINE_NO_CACHE")
+        .env_remove("STRUCTMINE_STORE_NO_DISK");
+    match faults {
+        Some(plan) => cmd.env("STRUCTMINE_FAULTS", plan),
+        None => cmd.env_remove("STRUCTMINE_FAULTS"),
+    };
+    cmd.output().expect("failed to spawn table_westclass")
+}
+
+/// Pull `field=<n>` out of the run's `[artifact-store]` stderr summaries.
+fn summary_field(stderr: &[u8], field: &str) -> u64 {
+    let text = String::from_utf8_lossy(stderr);
+    text.lines()
+        .filter(|l| l.contains("[artifact-store]"))
+        .filter_map(|l| {
+            l.split_whitespace()
+                .find_map(|w| w.strip_prefix(&format!("{field}=")))
+                .and_then(|v| v.trim_end_matches(')').parse::<u64>().ok())
+        })
+        .sum()
+}
+
+#[test]
+fn killed_run_resumes_with_bitwise_identical_output() {
+    // Reference: a clean, fault-free run in its own store dir.
+    let ref_dir = fresh_dir("ref");
+    let reference = run_table(&ref_dir, None);
+    assert!(
+        reference.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    assert!(!reference.stdout.is_empty(), "reference printed no tables");
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    // Crash run: abort() after the 3rd completed artifact write. The store
+    // writes ~30 artifacts at this scale, so the kill lands mid-pipeline.
+    let crash_dir = fresh_dir("crash");
+    let crashed = run_table(&crash_dir, Some("kill_after_writes=3;seed=1"));
+    assert!(
+        !crashed.status.success(),
+        "kill_after_writes=3 must terminate the run abnormally"
+    );
+
+    // Resume: same store dir, faults off. Must complete, reuse the
+    // artifacts persisted before the kill, and print identical bytes.
+    let resumed = run_table(&crash_dir, None);
+    assert!(
+        resumed.status.success(),
+        "resumed run failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        resumed.stdout, reference.stdout,
+        "resumed stdout must be bitwise identical to the fault-free run"
+    );
+    assert!(
+        summary_field(&resumed.stderr, "disk_hits") > 0,
+        "resume must reuse artifacts persisted before the kill:\n{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
+#[test]
+fn mixed_fault_plan_leaves_stdout_identical_and_warns_at_most_once() {
+    let ref_dir = fresh_dir("mixed-ref");
+    let reference = run_table(&ref_dir, None);
+    assert!(reference.status.success());
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    let fault_dir = fresh_dir("mixed-faulty");
+    let faulty = run_table(
+        &fault_dir,
+        Some("disk_write=0.2,disk_read=0.1,truncate=0.05;seed=7"),
+    );
+    assert!(
+        faulty.status.success(),
+        "run under the documented fault plan must still complete: {}",
+        String::from_utf8_lossy(&faulty.stderr)
+    );
+    assert_eq!(
+        faulty.stdout, reference.stdout,
+        "faults must never change what is computed, only what is cached"
+    );
+    let warnings = String::from_utf8_lossy(&faulty.stderr)
+        .lines()
+        .filter(|l| l.contains("demoting to memory-only"))
+        .count();
+    assert!(
+        warnings <= 1,
+        "degradation warning must be printed at most once, saw {warnings}"
+    );
+    let _ = std::fs::remove_dir_all(&fault_dir);
+}

@@ -7,12 +7,12 @@ structmine — weakly-supervised text classification
 USAGE:
   structmine classify --labels <a,b,c> [--method xclass|lotclass|prompt|match]
                       [--input <file>] [--tier test|standard] [--threads <n>]
-                      [--no-cache | --cache-dir <dir>]
+                      [--no-cache | --cache-dir <dir>] [--faults <plan>]
       Classify one document per line (stdin or --input) using only label names.
 
   structmine demo --recipe <name> [--method westclass|xclass|lotclass|conwea|prompt]
                   [--scale <f32>] [--seed <u64>] [--threads <n>]
-                  [--no-cache | --cache-dir <dir>]
+                  [--no-cache | --cache-dir <dir>] [--faults <plan>]
       Run a method on a synthetic benchmark recipe and report accuracy.
 
   --threads <n> caps the worker threads used for PLM inference (default: the
@@ -24,6 +24,11 @@ USAGE:
   directory). Warm reruns skip recomputing pretraining, corpus encodings,
   and method outputs. --no-cache disables the store entirely; outputs are
   bitwise identical either way.
+
+  --faults <plan> injects deterministic disk faults into the artifact store
+  (same syntax as the STRUCTMINE_FAULTS environment variable, e.g.
+  'disk_write=0.2,disk_read=0.1,truncate=0.05;seed=7'). Outputs remain
+  bitwise identical to a fault-free run; only caching behavior changes.
 
   structmine datasets
       List the available synthetic dataset recipes.
@@ -77,6 +82,9 @@ pub struct CacheArgs {
     pub no_cache: bool,
     /// `--cache-dir <dir>`: artifact-store directory.
     pub dir: Option<String>,
+    /// `--faults <plan>`: deterministic disk-fault plan (STRUCTMINE_FAULTS
+    /// syntax); validated before the store first runs.
+    pub faults: Option<String>,
 }
 
 /// A parse failure with its message.
@@ -120,6 +128,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
     let cache = CacheArgs {
         no_cache: flags.contains_key("no-cache"),
         dir: flags.get("cache-dir").cloned(),
+        faults: flags.get("faults").cloned(),
     };
     if cache.no_cache && cache.dir.is_some() {
         return Err(ParseError(
@@ -261,6 +270,26 @@ mod tests {
         if let Args::Classify { cache, .. } = a {
             assert!(!cache.no_cache);
             assert_eq!(cache.dir.as_deref(), Some("/tmp/artifacts"));
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn parses_faults_flag() {
+        let a = parse(&sv(&[
+            "demo",
+            "--recipe",
+            "agnews",
+            "--faults",
+            "disk_write=0.2,truncate=0.05;seed=7",
+        ]))
+        .unwrap();
+        if let Args::Demo { cache, .. } = a {
+            assert_eq!(
+                cache.faults.as_deref(),
+                Some("disk_write=0.2,truncate=0.05;seed=7")
+            );
         } else {
             panic!("wrong variant");
         }

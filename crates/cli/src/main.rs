@@ -11,9 +11,14 @@
 //! against the standard-world vocabulary, and classifies every line using
 //! only the given label names. `demo` runs a method on a synthetic recipe
 //! and reports test accuracy. `datasets` lists the available recipes.
+//!
+//! Failures surface as [`PipelineError`]s: usage-level mistakes (unknown
+//! method/recipe, malformed `--faults` plan, bad input) exit with code 2,
+//! environment failures (unreadable input file) with code 1.
 
 use std::io::BufRead;
 use std::process::ExitCode;
+use structmine_store::PipelineError;
 
 mod args;
 
@@ -21,7 +26,7 @@ use args::{Args, ParseError};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match args::parse(&argv) {
+    let result = match args::parse(&argv) {
         Ok(Args::Classify {
             labels,
             method,
@@ -29,10 +34,8 @@ fn main() -> ExitCode {
             tier,
             threads,
             cache,
-        }) => {
-            apply_cache_flags(&cache);
-            classify(labels, method, input, tier, policy(threads))
-        }
+        }) => apply_cache_flags(&cache)
+            .and_then(|()| classify(labels, method, input, tier, policy(threads))),
         Ok(Args::Demo {
             recipe,
             method,
@@ -40,21 +43,29 @@ fn main() -> ExitCode {
             seed,
             threads,
             cache,
-        }) => {
-            apply_cache_flags(&cache);
-            demo(recipe, method, scale, seed, policy(threads))
-        }
-        Ok(Args::Datasets) => {
-            datasets();
-            ExitCode::SUCCESS
-        }
+        }) => apply_cache_flags(&cache)
+            .and_then(|()| demo(recipe, method, scale, seed, policy(threads))),
+        Ok(Args::Datasets) => datasets(),
         Ok(Args::Help) => {
             println!("{}", args::USAGE);
-            ExitCode::SUCCESS
+            Ok(())
         }
         Err(ParseError(msg)) => {
             eprintln!("error: {msg}\n\n{}", args::USAGE);
-            ExitCode::from(2)
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            match e {
+                // Usage-level mistakes: exit 2, like argument parse errors.
+                PipelineError::Unknown { .. }
+                | PipelineError::InvalidFaultPlan(_)
+                | PipelineError::InvalidInput(_) => ExitCode::from(2),
+                _ => ExitCode::FAILURE,
+            }
         }
     }
 }
@@ -74,10 +85,11 @@ fn policy(threads: Option<usize>) -> structmine_linalg::ExecPolicy {
     }
 }
 
-/// Apply `--no-cache` / `--cache-dir` by setting the artifact-store
-/// environment variables — this runs before the global store (or the PLM
-/// pretraining store) is first read, so the flags take full effect.
-fn apply_cache_flags(cache: &args::CacheArgs) {
+/// Apply `--no-cache` / `--cache-dir` / `--faults` by setting the
+/// artifact-store environment variables — this runs before the global store
+/// (or the PLM pretraining store) is first read, so the flags take full
+/// effect. A malformed fault plan is rejected here, before any work runs.
+fn apply_cache_flags(cache: &args::CacheArgs) -> Result<(), PipelineError> {
     if cache.no_cache {
         std::env::set_var("STRUCTMINE_NO_CACHE", "1");
     }
@@ -85,6 +97,11 @@ fn apply_cache_flags(cache: &args::CacheArgs) {
         std::env::set_var("STRUCTMINE_STORE_DIR", dir);
         std::env::set_var("STRUCTMINE_PLM_CACHE_DIR", dir);
     }
+    if let Some(plan) = &cache.faults {
+        structmine_store::FaultPlan::parse(plan)?;
+        std::env::set_var("STRUCTMINE_FAULTS", plan);
+    }
+    Ok(())
 }
 
 fn plm_tier(tier: &str) -> structmine_plm::cache::Tier {
@@ -101,16 +118,17 @@ fn classify(
     input: Option<String>,
     tier: String,
     exec: structmine_linalg::ExecPolicy,
-) -> ExitCode {
+) -> Result<(), PipelineError> {
     // Read documents.
     let lines: Vec<String> = match &input {
-        Some(path) => match std::fs::read_to_string(path) {
-            Ok(s) => s.lines().map(|l| l.to_string()).collect(),
-            Err(e) => {
-                eprintln!("error: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| PipelineError::Io {
+                context: format!("reading --input {path}"),
+                source: e,
+            })?
+            .lines()
+            .map(|l| l.to_string())
+            .collect(),
         None => std::io::stdin()
             .lock()
             .lines()
@@ -119,8 +137,7 @@ fn classify(
     };
     let lines: Vec<String> = lines.into_iter().filter(|l| !l.trim().is_empty()).collect();
     if lines.is_empty() {
-        eprintln!("error: no input documents");
-        return ExitCode::FAILURE;
+        return Err(PipelineError::InvalidInput("no input documents".into()));
     }
 
     // Tokenize against the standard-world vocabulary (what the PLM knows).
@@ -150,11 +167,11 @@ fn classify(
         })
         .collect();
     if name_tokens.iter().any(|t| t.is_empty()) {
-        eprintln!(
-            "error: every label must contain at least one standard-world word \
+        return Err(PipelineError::InvalidInput(
+            "every label must contain at least one standard-world word \
              (try e.g. sports, business, technology, politics, health)"
-        );
-        return ExitCode::FAILURE;
+                .into(),
+        ));
     }
 
     let plm = structmine_plm::cache::pretrained(plm_tier(&tier), 0);
@@ -212,16 +229,17 @@ fn classify(
         }
         "match" => structmine::baselines::bert_simple_match(&dataset, &plm),
         other => {
-            eprintln!(
-                "error: unknown method {other} (classify supports xclass, lotclass, prompt, match)"
-            );
-            return ExitCode::from(2);
+            return Err(PipelineError::Unknown {
+                what: "method",
+                name: other.to_string(),
+                expected: "xclass, lotclass, prompt, match".into(),
+            })
         }
     };
     for (line, &p) in lines.iter().zip(&preds) {
         println!("{}\t{}", labels[p], line);
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 fn demo(
@@ -230,11 +248,14 @@ fn demo(
     scale: f32,
     seed: u64,
     exec: structmine_linalg::ExecPolicy,
-) -> ExitCode {
-    let Some(dataset) = structmine_text::synth::by_name(&recipe, scale, seed) else {
-        eprintln!("error: unknown recipe {recipe} (see `structmine datasets`)");
-        return ExitCode::from(2);
-    };
+) -> Result<(), PipelineError> {
+    let dataset = structmine_text::synth::by_name(&recipe, scale, seed).ok_or_else(|| {
+        PipelineError::Unknown {
+            what: "recipe",
+            name: recipe.clone(),
+            expected: structmine_text::synth::ALL_RECIPES.join(", "),
+        }
+    })?;
     eprintln!(
         "recipe {recipe}: {} docs, {} classes (scale {scale}, seed {seed})",
         dataset.corpus.len(),
@@ -294,21 +315,30 @@ fn demo(
             }
         }
         other => {
-            eprintln!("error: unknown method {other}");
-            return ExitCode::from(2);
+            return Err(PipelineError::Unknown {
+                what: "method",
+                name: other.to_string(),
+                expected: "westclass, xclass, lotclass, conwea, prompt".into(),
+            })
         }
     };
     let test: Vec<usize> = dataset.test_idx.iter().map(|&i| preds[i]).collect();
     let acc = structmine_eval::accuracy(&test, &dataset.test_gold());
     let macro_f1 = structmine_eval::macro_f1(&test, &dataset.test_gold(), dataset.n_classes());
     println!("{method} on {recipe}: accuracy {acc:.3}, macro-F1 {macro_f1:.3}");
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn datasets() {
+fn datasets() -> Result<(), PipelineError> {
     println!("available recipes (synthetic stand-ins; see DESIGN.md):");
     for name in structmine_text::synth::ALL_RECIPES {
-        let d = structmine_text::synth::by_name(name, 0.05, 1).unwrap();
+        let d = structmine_text::synth::by_name(name, 0.05, 1).ok_or_else(|| {
+            PipelineError::Unknown {
+                what: "recipe",
+                name: name.to_string(),
+                expected: "every entry of ALL_RECIPES must resolve".into(),
+            }
+        })?;
         let kind = match (&d.taxonomy, d.meta.n_users + d.meta.n_authors > 0) {
             (Some(t), _) if !t.is_tree() => "DAG multi-label",
             (Some(_), _) => "tree hierarchy",
@@ -317,4 +347,5 @@ fn datasets() {
         };
         println!("  {name:<18} {:>3} classes  {kind}", d.n_classes());
     }
+    Ok(())
 }

@@ -120,6 +120,7 @@ impl ConWea {
         sup: &Supervision,
         plm: &MiniPlm,
     ) -> ConWeaOutput {
+        let _stage = structmine_store::context::stage_guard("conwea/run");
         let n_classes = dataset.n_classes();
         let seeds = crate::common::seed_tokens(dataset, sup);
 

@@ -197,6 +197,7 @@ impl LotClass {
 
     /// Run LOTClass without consulting the artifact store at any stage.
     pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> LotClassOutput {
+        let _stage = structmine_store::context::stage_guard("lotclass/run");
         let category_vocab = self.category_vocab(dataset, plm);
         let pseudo = self.mcp_pseudo_labels(dataset, plm, &category_vocab);
         self.classify(dataset, plm, category_vocab, pseudo)

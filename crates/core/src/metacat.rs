@@ -127,6 +127,7 @@ impl MetaCat {
         sup: &Supervision,
         signals: SignalSet,
     ) -> MetaCatOutput {
+        let _stage = structmine_store::context::stage_guard("metacat/run");
         let labeled = sup.labeled_docs().expect("MetaCat needs labeled documents");
         let n_classes = dataset.n_classes();
         let corpus = &dataset.corpus;

@@ -125,6 +125,7 @@ impl MiCoL {
 
     /// Run MICoL, bypassing the artifact store.
     pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> Vec<Vec<usize>> {
+        let _stage = structmine_store::context::stage_guard("micol/run");
         let features = common::plm_features_with(dataset, plm, &self.exec);
         let label_feats = label_features_with(dataset, plm, &self.exec);
         let pairs = mine_pairs(dataset, self.meta_path, self.max_pairs, self.seed);

@@ -9,6 +9,14 @@
 //! global [`structmine_store::ArtifactStore`] first, so a re-run of a
 //! benchmark binary skips every already-computed method and goes straight
 //! to table assembly.
+//!
+//! This is also the crash-resume contract: because every method run (and
+//! every expensive PLM stage beneath it) persists at a stage boundary, a
+//! run killed at any point resumes from the last persisted stage with
+//! bitwise-identical output. The store absorbs disk failures — a lost or
+//! corrupt artifact only costs a recompute, and `run_uncached` labels its
+//! stage via `structmine_store::context` so failures deep in the parallel
+//! layer can name the method they happened in.
 
 use structmine_store::{Artifact, StableHasher, Stage};
 

@@ -124,6 +124,7 @@ impl PromptClass {
 
     /// Full pipeline, bypassing the artifact store.
     pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> PromptClassOutput {
+        let _stage = structmine_store::context::stage_guard("promptclass/run");
         let n_classes = dataset.n_classes();
         let prompt_scores = self.prompt_scores(dataset, plm);
         // Normalize prompt scores into per-document distributions.

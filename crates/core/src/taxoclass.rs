@@ -99,6 +99,7 @@ impl TaxoClass {
 
     /// Run TaxoClass on a DAG dataset, bypassing the artifact store.
     pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> TaxoClassOutput {
+        let _stage = structmine_store::context::stage_guard("taxoclass/run");
         let taxonomy = dataset
             .taxonomy
             .as_ref()

@@ -105,6 +105,7 @@ impl WeSHClass {
         sup: &Supervision,
         wv: &WordVectors,
     ) -> WeSHClassOutput {
+        let _stage = structmine_store::context::stage_guard("weshclass/run");
         let taxonomy = dataset
             .taxonomy
             .as_ref()

@@ -139,6 +139,7 @@ impl WeSTClass {
         sup: &Supervision,
         wv: &WordVectors,
     ) -> WeSTClassOutput {
+        let _stage = structmine_store::context::stage_guard("westclass/run");
         let n_classes = sup.n_classes().max(dataset.n_classes());
         let keywords = self.interpret_seeds(dataset, sup, wv, n_classes);
 

@@ -258,6 +258,7 @@ impl XClass {
 
     /// Run X-Class without consulting the artifact store at any stage.
     pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> XClassOutput {
+        let _stage = structmine_store::context::stage_guard("xclass/run");
         let (class_reps, class_words) = self.class_representations(dataset, plm);
         let n_classes = class_words.len();
         let encoded = plm.encode_corpus(&dataset.corpus, &self.exec);

@@ -81,6 +81,31 @@ impl Default for ExecPolicy {
     }
 }
 
+/// Re-raise a worker panic with context: which helper, which chunk, which
+/// item range, and (when one is set) the pipeline stage that was running —
+/// `structmine_store::context` labels are pushed by the store around every
+/// memoized compute and by each method's `run()` entry point. The payload
+/// message is preserved so the original assertion text is not lost.
+fn resume_worker_panic(
+    helper: &str,
+    chunk: usize,
+    range: (usize, usize),
+    payload: Box<dyn std::any::Any + Send>,
+) -> ! {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+    let stage = structmine_store::context::current_stage_label()
+        .map(|s| format!(" during stage '{s}'"))
+        .unwrap_or_default();
+    panic!(
+        "{helper} worker for chunk {chunk} (items {}..{}) panicked{stage}: {message}",
+        range.0, range.1
+    );
+}
+
 /// The fixed, index-ordered chunk boundaries for `n` items across
 /// `threads` workers: the first `n % threads` chunks take one extra item.
 /// Returns `(start, end)` pairs covering `0..n` in order.
@@ -137,8 +162,13 @@ where
             .map(|(k, x)| f(s0 + k, x))
             .collect();
         out.reserve_exact(n - out.len());
-        for h in handles {
-            out.extend(h.join().expect("par_map_chunks worker panicked"));
+        for (w, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => {
+                    resume_worker_panic("par_map_chunks", w + 1, bounds[w + 1], payload)
+                }
+            }
         }
         out
     })
@@ -181,8 +211,10 @@ where
                 }
             }));
         }
-        for h in handles {
-            h.join().expect("par_fill_rows worker panicked");
+        for (w, h) in handles.into_iter().enumerate() {
+            if let Err(payload) = h.join() {
+                resume_worker_panic("par_fill_rows", w, bounds[w], payload);
+            }
         }
     });
 }
@@ -257,6 +289,46 @@ mod tests {
         assert!(out.is_empty());
         let mut buf: Vec<f32> = Vec::new();
         par_fill_rows(&policy, 0, 7, &mut buf, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn worker_panic_carries_chunk_and_stage_context() {
+        let items: Vec<u32> = (0..64).collect();
+        let policy = ExecPolicy::with_threads(4);
+        let caught = std::panic::catch_unwind(|| {
+            structmine_store::context::with_stage_label("test/explode", || {
+                par_map_chunks(&policy, &items, |i, &x| {
+                    assert!(i < 40, "item {i} out of tolerance");
+                    x
+                })
+            })
+        });
+        let payload = caught.expect_err("worker assertion must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("enriched panic carries a String payload");
+        assert!(message.contains("par_map_chunks worker"), "{message}");
+        assert!(message.contains("chunk"), "{message}");
+        assert!(message.contains("test/explode"), "{message}");
+        assert!(message.contains("out of tolerance"), "{message}");
+
+        let caught = std::panic::catch_unwind(|| {
+            let mut buf = vec![0.0f32; 64];
+            par_fill_rows(&policy, 16, 4, &mut buf, |i, _| {
+                assert!(i < 10, "row {i} rejected");
+            });
+        });
+        let payload = caught.expect_err("fill worker assertion must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("par_fill_rows worker"), "{message}");
+        assert!(
+            message.contains("row 1") || message.contains("rejected"),
+            "{message}"
+        );
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //! fingerprint: parallel execution is bitwise deterministic for any thread
 //! count (see `structmine_linalg::exec`), so a cache entry written under
 //! one thread count is valid under every other.
+//!
+//! Failure behavior is inherited from the store (DESIGN §7): a corrupt or
+//! unreadable checkpoint is detected by its checksum footer and recomputed,
+//! and when the store degrades to memory-only after persistent disk
+//! failures, [`Persistence::DiskOnly`] stages like [`AdaptPlm`] are held in
+//! the memory layer instead — still computed once per process, just no
+//! longer shared across processes.
 
 use crate::config::PlmConfig;
 use crate::model::MiniPlm;
@@ -240,7 +247,11 @@ mod tests {
         let warm_store = ArtifactStore::with_dir(&dir);
         let warm = warm_store.run(&stage);
         let _ = std::fs::remove_dir_all(&dir);
-        assert_eq!(warm_store.stats().disk_hits, 1);
+        // Under an env fault plan (CI fault smoke) the read may legitimately
+        // fall back to a recompute; bitwise equality must hold regardless.
+        if !structmine_store::faults::env_active() {
+            assert_eq!(warm_store.stats().disk_hits, 1);
+        }
         assert_eq!(warm.data(), cold.data());
     }
 

@@ -10,6 +10,12 @@
 //! (override with `STRUCTMINE_PLM_CACHE_DIR`, disable with
 //! `STRUCTMINE_PLM_NO_DISK_CACHE=1`; `STRUCTMINE_NO_CACHE=1` disables all
 //! caching).
+//!
+//! Like every [`ArtifactStore`], this one inherits the process-wide
+//! `STRUCTMINE_FAULTS` plan and the DESIGN §7 failure policy: a corrupt
+//! checkpoint fails closed on its checksum footer and is re-pretrained, and
+//! persistent disk failure demotes the store to memory-only rather than
+//! aborting a run.
 
 use crate::artifacts::PlmCheckpoint;
 use crate::config::PlmConfig;
@@ -205,7 +211,9 @@ mod tests {
         let warm_store = ArtifactStore::with_dir(&dir);
         let warm = warm_store.run(&stage).restore();
         let _ = std::fs::remove_dir_all(&dir);
-        assert_eq!(warm_store.stats().disk_hits, 1);
+        if !structmine_store::faults::env_active() {
+            assert_eq!(warm_store.stats().disk_hits, 1);
+        }
         let doc = &corpus.docs[0].tokens;
         assert_eq!(warm.mean_embed(doc), cold.mean_embed(doc));
         assert_eq!(warm.fingerprint(), cold.fingerprint());

@@ -1,0 +1,77 @@
+//! Thread-local "which stage is executing" context.
+//!
+//! The store pushes the stage name around every memoized `compute()`, and
+//! methods label their uncached entry points too; anything that fails deep
+//! inside a pipeline — a worker panic in `structmine_linalg::exec`, a store
+//! warning — can then name the stage it happened in instead of reporting a
+//! bare "worker panicked". Labels nest (a method stage may run store stages
+//! inside itself); the innermost label wins.
+//!
+//! The context is per-thread. Parallel helpers join their workers on the
+//! spawning thread, so the label visible at `join()` time — where panics
+//! are reported — is the right one.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static STAGE_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard that pops the label it pushed, panic-safely.
+pub struct StageGuard {
+    _priv: (),
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        STAGE_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Push `label` as the current stage for the lifetime of the returned
+/// guard. Typical use: `let _stage = stage_guard("xclass/run");` as the
+/// first line of a stage's body.
+pub fn stage_guard(label: &str) -> StageGuard {
+    STAGE_STACK.with(|s| s.borrow_mut().push(label.to_string()));
+    StageGuard { _priv: () }
+}
+
+/// Run `f` with `label` as the current stage.
+pub fn with_stage_label<R>(label: &str, f: impl FnOnce() -> R) -> R {
+    let _guard = stage_guard(label);
+    f()
+}
+
+/// The innermost stage label on this thread, if any.
+pub fn current_stage_label() -> Option<String> {
+    STAGE_STACK.with(|s| s.borrow().last().cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_nest_and_unwind() {
+        assert_eq!(current_stage_label(), None);
+        with_stage_label("outer", || {
+            assert_eq!(current_stage_label().as_deref(), Some("outer"));
+            with_stage_label("inner", || {
+                assert_eq!(current_stage_label().as_deref(), Some("inner"));
+            });
+            assert_eq!(current_stage_label().as_deref(), Some("outer"));
+        });
+        assert_eq!(current_stage_label(), None);
+    }
+
+    #[test]
+    fn label_survives_a_panic_unwind() {
+        let caught = std::panic::catch_unwind(|| {
+            with_stage_label("doomed", || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(current_stage_label(), None, "guard must pop on unwind");
+    }
+}

@@ -1,0 +1,347 @@
+//! Typed error taxonomy for the artifact store and the staged pipeline.
+//!
+//! The workspace carries no external error crates, so these are
+//! `thiserror`-style enums with manual [`std::fmt::Display`] and
+//! [`std::error::Error`] impls. Two layers:
+//!
+//! * [`StoreError`] — one disk-layer operation failed (an injected fault, a
+//!   real IO error, a corrupt artifact, an exhausted retry budget). The
+//!   store never surfaces these to callers of
+//!   [`get_or_compute`](crate::ArtifactStore::get_or_compute): every
+//!   `StoreError` is classified, counted, and converted into "recompute" —
+//!   but the classification drives the retry and degradation policy, and
+//!   the variants appear verbatim in warnings and in
+//!   [`StatsSnapshot`](crate::StatsSnapshot) counters.
+//! * [`PipelineError`] — a stage- or entry-point-level failure (a bad fault
+//!   plan, unreadable input, an unknown method name). The CLI and harness
+//!   binaries report these instead of `unwrap()`ing.
+
+use std::path::PathBuf;
+
+/// Which disk operation a [`StoreError`] belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoOp {
+    /// Reading an artifact file.
+    Read,
+    /// Writing (temp file + rename) an artifact file.
+    Write,
+}
+
+impl std::fmt::Display for IoOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+        })
+    }
+}
+
+/// One failed disk-layer operation.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A real filesystem error (anything but `NotFound`, which is a plain
+    /// cache miss, not an error).
+    Io {
+        /// The operation that failed.
+        op: IoOp,
+        /// The artifact file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A fault injected by the [`faults`](crate::faults) layer.
+    InjectedFault {
+        /// The operation the fault was injected into.
+        op: IoOp,
+        /// The artifact file involved.
+        path: PathBuf,
+    },
+    /// The artifact's checksum footer does not match its body: the file was
+    /// truncated or bit-rotted after it was written. Detected *before*
+    /// deserialization, so garbage never reaches serde.
+    ChecksumMismatch {
+        /// The corrupt artifact file.
+        path: PathBuf,
+        /// Checksum recorded in the footer.
+        expected: u128,
+        /// Checksum of the bytes actually on disk.
+        actual: u128,
+    },
+    /// The artifact has no checksum footer at all — truncated so hard the
+    /// footer itself is gone, or not a store file.
+    MissingChecksum {
+        /// The corrupt artifact file.
+        path: PathBuf,
+    },
+    /// The artifact body passed its checksum but failed to decode. With the
+    /// checksum verified this indicates an encoder/decoder bug, not disk
+    /// corruption.
+    Decode {
+        /// The artifact file involved.
+        path: PathBuf,
+        /// Decoder message.
+        message: String,
+    },
+    /// A transient operation still failed after every retry.
+    RetriesExhausted {
+        /// The operation that failed.
+        op: IoOp,
+        /// The artifact file involved.
+        path: PathBuf,
+        /// Total attempts made (first try + retries).
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<StoreError>,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "disk {op} of {} failed: {source}", path.display())
+            }
+            StoreError::InjectedFault { op, path } => {
+                write!(f, "injected {op} fault on {}", path.display())
+            }
+            StoreError::ChecksumMismatch {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in {} (footer {expected:032x}, body {actual:032x}): \
+                 artifact is truncated or corrupt",
+                path.display()
+            ),
+            StoreError::MissingChecksum { path } => write!(
+                f,
+                "no checksum footer in {}: artifact is truncated or not a store file",
+                path.display()
+            ),
+            StoreError::Decode { path, message } => {
+                write!(
+                    f,
+                    "decoding {} failed after checksum passed: {message}",
+                    path.display()
+                )
+            }
+            StoreError::RetriesExhausted {
+                op,
+                path,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "disk {op} of {} still failing after {attempts} attempts: {last}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl StoreError {
+    /// True for failures worth retrying: the operation might succeed on the
+    /// next attempt (injected faults, real IO errors). Corruption is not
+    /// transient — re-reading the same bytes cannot fix them.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Io { .. } | StoreError::InjectedFault { .. }
+        )
+    }
+
+    /// True for corruption detected in an artifact's content (checksum or
+    /// decode failures) as opposed to the IO path.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StoreError::ChecksumMismatch { .. }
+                | StoreError::MissingChecksum { .. }
+                | StoreError::Decode { .. }
+        )
+    }
+}
+
+/// A malformed `STRUCTMINE_FAULTS` plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultPlanError {
+    /// An entry without `=`.
+    MissingValue(String),
+    /// An unrecognized fault class or option key.
+    UnknownKey(String),
+    /// A value that does not parse for its key.
+    BadValue {
+        /// The key whose value failed to parse.
+        key: String,
+        /// The offending value text.
+        value: String,
+    },
+    /// A probability outside `[0, 1]`.
+    OutOfRange {
+        /// The key whose value is out of range.
+        key: String,
+        /// The parsed (out-of-range) probability.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::MissingValue(entry) => {
+                write!(f, "fault plan entry {entry:?} has no '=value'")
+            }
+            FaultPlanError::UnknownKey(key) => write!(
+                f,
+                "unknown fault plan key {key:?} (known: disk_write, disk_read, truncate, \
+                 kill_after_writes, seed)"
+            ),
+            FaultPlanError::BadValue { key, value } => {
+                write!(f, "fault plan value {value:?} for {key} does not parse")
+            }
+            FaultPlanError::OutOfRange { key, value } => {
+                write!(f, "fault probability {key}={value} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// A stage- or entry-point-level failure: what table binaries and the CLI
+/// report instead of panicking.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A store operation failed inside a named stage (only reachable through
+    /// APIs that surface rather than absorb store failures).
+    Store {
+        /// The stage that was executing.
+        stage: String,
+        /// The underlying store failure.
+        source: StoreError,
+    },
+    /// `STRUCTMINE_FAULTS` / `--faults` did not parse.
+    InvalidFaultPlan(FaultPlanError),
+    /// An input file could not be read / an output could not be written.
+    Io {
+        /// What was being done, e.g. `"reading --input docs.txt"`.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A user-supplied name (method, recipe) is not known.
+    Unknown {
+        /// The kind of name, e.g. `"method"`.
+        what: &'static str,
+        /// The offending name.
+        name: String,
+        /// The accepted names, for the error message.
+        expected: String,
+    },
+    /// Input was structurally invalid (empty document set, unencodable
+    /// label, …).
+    InvalidInput(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Store { stage, source } => {
+                write!(f, "stage '{stage}' failed: {source}")
+            }
+            PipelineError::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
+            PipelineError::Io { context, source } => write!(f, "{context}: {source}"),
+            PipelineError::Unknown {
+                what,
+                name,
+                expected,
+            } => write!(f, "unknown {what} {name:?} (expected one of: {expected})"),
+            PipelineError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Store { source, .. } => Some(source),
+            PipelineError::InvalidFaultPlan(e) => Some(e),
+            PipelineError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultPlanError> for PipelineError {
+    fn from(e: FaultPlanError) -> Self {
+        PipelineError::InvalidFaultPlan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StoreError::ChecksumMismatch {
+            path: PathBuf::from("/tmp/a.json"),
+            expected: 1,
+            actual: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/a.json"));
+        assert!(msg.contains("checksum"));
+
+        let e = StoreError::RetriesExhausted {
+            op: IoOp::Write,
+            path: PathBuf::from("x"),
+            attempts: 4,
+            last: Box::new(StoreError::InjectedFault {
+                op: IoOp::Write,
+                path: PathBuf::from("x"),
+            }),
+        };
+        assert!(e.to_string().contains("4 attempts"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn transience_classification() {
+        let inj = StoreError::InjectedFault {
+            op: IoOp::Read,
+            path: PathBuf::new(),
+        };
+        assert!(inj.is_transient());
+        assert!(!inj.is_corruption());
+        let chk = StoreError::MissingChecksum {
+            path: PathBuf::new(),
+        };
+        assert!(!chk.is_transient());
+        assert!(chk.is_corruption());
+    }
+
+    #[test]
+    fn pipeline_error_display() {
+        let e = PipelineError::Unknown {
+            what: "method",
+            name: "frob".into(),
+            expected: "xclass, lotclass".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("method"));
+        assert!(msg.contains("frob"));
+        assert!(msg.contains("xclass"));
+    }
+}

@@ -1,0 +1,348 @@
+//! Deterministic fault injection for the disk layer.
+//!
+//! A [`FaultPlan`] describes *which* failures to provoke and *how often*; a
+//! [`FaultInjector`] turns the plan into a deterministic decision stream
+//! (the workspace's seeded `StdRng`), so a given plan + seed injects the
+//! same faults at the same operations every run. The store consults the
+//! injector on every disk read and write; nothing outside the disk layer is
+//! ever faulted, which is exactly the failure model of a real machine — the
+//! computation is trusted, the storage is not.
+//!
+//! The plan is parsed from the `STRUCTMINE_FAULTS` environment variable
+//! (also settable via the CLI's `--faults` flag):
+//!
+//! ```text
+//! STRUCTMINE_FAULTS=disk_write=0.2,disk_read=0.1,truncate=0.05;seed=7
+//! ```
+//!
+//! Entries are `key=value`, separated by `,` or `;`:
+//!
+//! | key | meaning |
+//! |---|---|
+//! | `disk_write=P` | each write attempt fails with probability `P` |
+//! | `disk_read=P` | each read attempt fails with probability `P` |
+//! | `truncate=P` | each *completed* write is then truncated in place with probability `P` (silent corruption; caught later by the checksum footer) |
+//! | `kill_after_writes=N` | `abort()` the process right after the `N`-th completed disk write (crash-at-a-stage-boundary simulation) |
+//! | `seed=S` | seed of the decision stream (default 0) |
+//!
+//! Under any plan the pipeline's *outputs* are unchanged — faults only ever
+//! suppress caching (see `store`'s retry and degradation policy), never
+//! alter a computed value.
+
+use crate::error::{FaultPlanError, IoOp, StoreError};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Which faults to inject, and how often. All probabilities default to 0
+/// (no injection).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that one disk-write attempt fails.
+    pub disk_write: f64,
+    /// Probability that one disk-read attempt fails.
+    pub disk_read: f64,
+    /// Probability that a completed write is silently truncated in place.
+    pub truncate: f64,
+    /// Abort the process after this many completed disk writes.
+    pub kill_after_writes: Option<u64>,
+    /// Seed of the deterministic decision stream.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Parse a plan string, e.g. `disk_write=0.2,disk_read=0.1;seed=7`.
+    /// Entries are `key=value` separated by `,` or `;`; empty entries are
+    /// ignored. Unknown keys and malformed values are hard errors — a
+    /// typo'd fault plan must never silently run fault-free.
+    pub fn parse(s: &str) -> Result<FaultPlan, FaultPlanError> {
+        let mut plan = FaultPlan::default();
+        for entry in s.split([',', ';']) {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| FaultPlanError::MissingValue(entry.to_string()))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = || FaultPlanError::BadValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            };
+            match key {
+                "disk_write" | "disk_read" | "truncate" => {
+                    let p: f64 = value.parse().map_err(|_| bad())?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(FaultPlanError::OutOfRange {
+                            key: key.to_string(),
+                            value: p,
+                        });
+                    }
+                    match key {
+                        "disk_write" => plan.disk_write = p,
+                        "disk_read" => plan.disk_read = p,
+                        _ => plan.truncate = p,
+                    }
+                }
+                "kill_after_writes" => {
+                    plan.kill_after_writes = Some(value.parse().map_err(|_| bad())?);
+                }
+                "seed" => plan.seed = value.parse().map_err(|_| bad())?,
+                _ => return Err(FaultPlanError::UnknownKey(key.to_string())),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The plan from `STRUCTMINE_FAULTS`, if set.
+    pub fn from_env() -> Result<Option<FaultPlan>, FaultPlanError> {
+        match std::env::var("STRUCTMINE_FAULTS") {
+            Ok(s) if !s.trim().is_empty() => FaultPlan::parse(&s).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// True when the plan injects anything at all.
+    pub fn is_active(&self) -> bool {
+        self.disk_write > 0.0
+            || self.disk_read > 0.0
+            || self.truncate > 0.0
+            || self.kill_after_writes.is_some()
+    }
+}
+
+/// Turns a [`FaultPlan`] into deterministic per-operation decisions.
+///
+/// One injector is shared by every store built from the environment (so
+/// `kill_after_writes` counts writes across *all* stores in the process,
+/// matching a real crash); tests build private injectors via
+/// [`FaultInjector::with_plan`] for full isolation.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Mutex<StdRng>,
+    writes_completed: AtomicU64,
+}
+
+impl FaultInjector {
+    /// An injector that never injects anything.
+    pub fn none() -> Arc<FaultInjector> {
+        FaultInjector::with_plan(FaultPlan::default())
+    }
+
+    /// An injector for an explicit plan (deterministic per plan seed).
+    pub fn with_plan(plan: FaultPlan) -> Arc<FaultInjector> {
+        Arc::new(FaultInjector {
+            plan,
+            rng: Mutex::new(StdRng::seed_from_u64(plan.seed)),
+            writes_completed: AtomicU64::new(0),
+        })
+    }
+
+    /// The process-wide injector, parsed from `STRUCTMINE_FAULTS` on first
+    /// use. Panics with the parse error on a malformed plan: a fault plan
+    /// is an explicit testing instruction, and running fault-free because
+    /// of a typo would make every fault test pass vacuously.
+    pub fn global() -> &'static Arc<FaultInjector> {
+        static GLOBAL: OnceLock<Arc<FaultInjector>> = OnceLock::new();
+        GLOBAL.get_or_init(|| match FaultPlan::from_env() {
+            Ok(Some(plan)) => {
+                eprintln!("[faults] active plan: {plan:?}");
+                FaultInjector::with_plan(plan)
+            }
+            Ok(None) => FaultInjector::none(),
+            Err(e) => panic!("invalid STRUCTMINE_FAULTS: {e}"),
+        })
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// True when this injector can inject anything.
+    pub fn is_active(&self) -> bool {
+        self.plan.is_active()
+    }
+
+    /// Deterministic biased coin. Draws from the stream only for active
+    /// probabilities, so enabling one fault class does not perturb the
+    /// decisions of another plan with different classes enabled.
+    fn roll(&self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        self.rng.lock().gen_bool(p)
+    }
+
+    /// Consulted before each disk-read attempt.
+    pub fn before_read(&self, path: &Path) -> Result<(), StoreError> {
+        if self.roll(self.plan.disk_read) {
+            return Err(StoreError::InjectedFault {
+                op: IoOp::Read,
+                path: path.to_path_buf(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Consulted before each disk-write attempt.
+    pub fn before_write(&self, path: &Path) -> Result<(), StoreError> {
+        if self.roll(self.plan.disk_write) {
+            return Err(StoreError::InjectedFault {
+                op: IoOp::Write,
+                path: path.to_path_buf(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Called after each *successful* write: may silently truncate the just
+    /// written file (`truncate` faults), and triggers the planned crash
+    /// once the write counter reaches `kill_after_writes`.
+    pub fn after_write_success(&self, path: &Path) {
+        if self.roll(self.plan.truncate) {
+            // Silent corruption: keep the front half of the file. The store
+            // must catch this later via the checksum footer, not serde.
+            if let Ok(meta) = std::fs::metadata(path) {
+                let keep = meta.len() / 2;
+                if let Ok(file) = std::fs::OpenOptions::new().write(true).open(path) {
+                    let _ = file.set_len(keep);
+                }
+            }
+        }
+        let n = self.writes_completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.kill_after_writes == Some(n) {
+            eprintln!("[faults] injected crash: aborting after {n} completed disk writes");
+            std::process::abort();
+        }
+    }
+
+    /// Completed disk writes seen so far (across every store sharing this
+    /// injector).
+    pub fn writes_completed(&self) -> u64 {
+        self.writes_completed.load(Ordering::Relaxed)
+    }
+}
+
+/// True when `STRUCTMINE_FAULTS` is set to an active plan. Tests that
+/// assert exact hit/miss counters consult this: under an environment fault
+/// plan only *correctness* (identical outputs) is guaranteed, not cache
+/// traffic.
+pub fn env_active() -> bool {
+    FaultInjector::global().is_active()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_example() {
+        let plan = FaultPlan::parse("disk_write=0.2,disk_read=0.1,truncate=0.05;seed=7").unwrap();
+        assert_eq!(plan.disk_write, 0.2);
+        assert_eq!(plan.disk_read, 0.1);
+        assert_eq!(plan.truncate, 0.05);
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.kill_after_writes, None);
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn parses_kill_and_tolerates_whitespace_and_empties() {
+        let plan = FaultPlan::parse(" kill_after_writes = 3 ; ; seed=9 ,").unwrap();
+        assert_eq!(plan.kill_after_writes, Some(3));
+        assert_eq!(plan.seed, 9);
+        assert!(FaultPlan::parse("").unwrap() == FaultPlan::default());
+        assert!(!FaultPlan::default().is_active());
+    }
+
+    #[test]
+    fn rejects_malformed_plans() {
+        assert_eq!(
+            FaultPlan::parse("disk_write"),
+            Err(FaultPlanError::MissingValue("disk_write".into()))
+        );
+        assert_eq!(
+            FaultPlan::parse("disk_wrote=0.2"),
+            Err(FaultPlanError::UnknownKey("disk_wrote".into()))
+        );
+        assert!(matches!(
+            FaultPlan::parse("disk_write=maybe"),
+            Err(FaultPlanError::BadValue { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("disk_read=1.5"),
+            Err(FaultPlanError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("kill_after_writes=-1"),
+            Err(FaultPlanError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn decision_stream_is_deterministic_per_seed() {
+        let plan = FaultPlan {
+            disk_read: 0.5,
+            seed: 11,
+            ..Default::default()
+        };
+        let decisions = |inj: &FaultInjector| -> Vec<bool> {
+            (0..64)
+                .map(|_| inj.before_read(Path::new("x")).is_err())
+                .collect()
+        };
+        let a = decisions(&FaultInjector::with_plan(plan));
+        let b = decisions(&FaultInjector::with_plan(plan));
+        assert_eq!(a, b, "same plan, same decisions");
+        assert!(a.iter().any(|&x| x), "p=0.5 must fire at least once in 64");
+        assert!(!a.iter().all(|&x| x), "p=0.5 must also pass sometimes");
+
+        let c = decisions(&FaultInjector::with_plan(FaultPlan { seed: 12, ..plan }));
+        assert_ne!(a, c, "different seed, different decisions");
+    }
+
+    #[test]
+    fn inactive_probabilities_do_not_draw_from_the_stream() {
+        // A plan with only writes enabled must make the same write
+        // decisions whether or not reads are also being *asked* about.
+        let plan = FaultPlan {
+            disk_write: 0.5,
+            seed: 3,
+            ..Default::default()
+        };
+        let a = FaultInjector::with_plan(plan);
+        let b = FaultInjector::with_plan(plan);
+        let mut wa = Vec::new();
+        let mut wb = Vec::new();
+        for i in 0..32 {
+            if i % 2 == 0 {
+                // Interleave read checks on one injector only.
+                assert!(b.before_read(Path::new("r")).is_ok());
+            }
+            wa.push(a.before_write(Path::new("w")).is_err());
+            wb.push(b.before_write(Path::new("w")).is_err());
+        }
+        assert_eq!(wa, wb, "inactive read checks must not perturb the stream");
+    }
+
+    #[test]
+    fn truncate_fault_halves_the_file() {
+        let dir = std::env::temp_dir().join(format!("structmine-faults-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("truncate-victim");
+        std::fs::write(&path, vec![7u8; 100]).unwrap();
+        let inj = FaultInjector::with_plan(FaultPlan {
+            truncate: 1.0,
+            ..Default::default()
+        });
+        inj.after_write_success(&path);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 50);
+        assert_eq!(inj.writes_completed(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

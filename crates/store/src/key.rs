@@ -4,7 +4,11 @@ use crate::hash::{StableHash, StableHasher};
 
 /// Bump to invalidate every artifact at once (on-disk format or fingerprint
 /// encoding changes).
-pub const STORE_FORMAT_VERSION: u32 = 1;
+///
+/// v2: artifact files carry a checksum footer; v1 files (no footer) would
+/// read as `MissingChecksum`, but since the version is part of the key
+/// digest their filenames are never even consulted.
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 /// The content address of one stage output.
 ///

@@ -23,6 +23,15 @@
 //! * [`stage`] — the [`Stage`] trait: a typed pipeline step (inputs borrowed
 //!   as struct fields, output as an associated type) that the store can run
 //!   memoized via [`ArtifactStore::run`].
+//! * [`error`] — the typed failure taxonomy ([`StoreError`],
+//!   [`PipelineError`]) replacing silent fall-throughs and `unwrap()`s.
+//! * [`faults`] — deterministic fault injection ([`FaultPlan`] /
+//!   [`FaultInjector`]): a seeded probability plan parsed from
+//!   `STRUCTMINE_FAULTS` that makes disk reads/writes fail, truncates
+//!   completed writes, or kills the process at a write boundary — for
+//!   testing the retry/degradation/resume machinery end to end.
+//! * [`context`] — a thread-local stage-label stack so deep failures
+//!   (worker panics, store warnings) can name the stage they happened in.
 //!
 //! Configuration (read once, at first use of the global store):
 //!
@@ -31,12 +40,18 @@
 //! | `STRUCTMINE_STORE_DIR` | Artifact directory (default: `<tmp>/structmine-store`) |
 //! | `STRUCTMINE_STORE_NO_DISK` | Disable the disk layer (memory sharing still on) |
 //! | `STRUCTMINE_NO_CACHE` | Disable the store entirely (every stage recomputes) |
+//! | `STRUCTMINE_FAULTS` | Deterministic fault plan, e.g. `disk_write=0.2,disk_read=0.1,truncate=0.05;seed=7` |
 
+pub mod context;
+pub mod error;
+pub mod faults;
 pub mod hash;
 pub mod key;
 pub mod stage;
 pub mod store;
 
+pub use error::{FaultPlanError, IoOp, PipelineError, StoreError};
+pub use faults::{FaultInjector, FaultPlan};
 pub use hash::{fingerprint_of, StableHash, StableHasher};
 pub use key::ArtifactKey;
 pub use stage::{Artifact, Persistence, Stage};
