@@ -13,7 +13,7 @@ const SCALE: f32 = 0.05;
 
 fn bench_substrates(c: &mut Criterion) {
     let plm = standard_plm();
-    let d = recipes::agnews(SCALE, 1);
+    let d = recipes::agnews(SCALE, 1).unwrap();
     let doc = &d.corpus.docs[0].tokens;
     c.bench_function("plm_encode_one_doc", |b| {
         b.iter(|| std::hint::black_box(plm.mean_embed(doc)))
@@ -41,7 +41,7 @@ fn bench_substrates(c: &mut Criterion) {
 /// pure scaling of the PLM inference layer.
 fn bench_parallel_encode(c: &mut Criterion) {
     let plm = standard_plm();
-    let d = recipes::agnews(SCALE, 1);
+    let d = recipes::agnews(SCALE, 1).unwrap();
     let mut group = c.benchmark_group("parallel_encode");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(4));
@@ -63,7 +63,7 @@ fn bench_flat_methods(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
 
     group.bench_function("westclass_agnews", |b| {
-        let d = recipes::agnews(SCALE, 1);
+        let d = recipes::agnews(SCALE, 1).unwrap();
         let wv = standard_word_vectors(&d);
         b.iter(|| {
             WeSTClass {
@@ -74,7 +74,7 @@ fn bench_flat_methods(c: &mut Criterion) {
         })
     });
     group.bench_function("conwea_agnews", |b| {
-        let d = recipes::agnews(SCALE, 1);
+        let d = recipes::agnews(SCALE, 1).unwrap();
         b.iter(|| {
             ConWea {
                 iterations: 1,
@@ -84,15 +84,15 @@ fn bench_flat_methods(c: &mut Criterion) {
         })
     });
     group.bench_function("lotclass_agnews", |b| {
-        let d = recipes::agnews(SCALE, 1);
+        let d = recipes::agnews(SCALE, 1).unwrap();
         b.iter(|| LotClass::default().run(&d, &plm))
     });
     group.bench_function("xclass_agnews", |b| {
-        let d = recipes::agnews(SCALE, 1);
+        let d = recipes::agnews(SCALE, 1).unwrap();
         b.iter(|| XClass::default().run(&d, &plm))
     });
     group.bench_function("promptclass_agnews", |b| {
-        let d = recipes::agnews(SCALE, 1);
+        let d = recipes::agnews(SCALE, 1).unwrap();
         b.iter(|| {
             PromptClass {
                 iterations: 1,
@@ -112,7 +112,7 @@ fn bench_structured_methods(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
 
     group.bench_function("weshclass_nyt_tree", |b| {
-        let d = recipes::nyt_tree(SCALE, 1);
+        let d = recipes::nyt_tree(SCALE, 1).unwrap();
         let wv = standard_word_vectors(&d);
         b.iter(|| {
             WeSHClass {
@@ -123,7 +123,7 @@ fn bench_structured_methods(c: &mut Criterion) {
         })
     });
     group.bench_function("taxoclass_amazon", |b| {
-        let d = recipes::amazon_taxonomy(SCALE, 1);
+        let d = recipes::amazon_taxonomy(SCALE, 1).unwrap();
         b.iter(|| {
             TaxoClass {
                 self_train_iters: 0,
@@ -133,7 +133,7 @@ fn bench_structured_methods(c: &mut Criterion) {
         })
     });
     group.bench_function("metacat_github_bio", |b| {
-        let d = recipes::github_bio(SCALE * 2.0, 1);
+        let d = recipes::github_bio(SCALE * 2.0, 1).unwrap();
         let sup = d.supervision_docs(3, 1);
         b.iter(|| {
             MetaCat {
@@ -144,7 +144,7 @@ fn bench_structured_methods(c: &mut Criterion) {
         })
     });
     group.bench_function("micol_mag_cs", |b| {
-        let d = recipes::mag_cs(SCALE, 1);
+        let d = recipes::mag_cs(SCALE, 1).unwrap();
         b.iter(|| {
             MiCoL {
                 steps: 100,

@@ -2,10 +2,10 @@
 //! (Figure 1) and the k=5 clustering confusion matrix (Figure 2).
 
 fn main() {
-    let cfg = structmine_bench::BenchConfig::from_env();
-    for table in structmine_bench::exps::figures::run(&cfg) {
-        println!("{table}");
-    }
-    println!("{}", structmine_bench::exps::figures::ascii_scatter(&cfg));
-    structmine_bench::log_store_summaries();
+    structmine_bench::run_table("fig_bert_pca", |cfg| {
+        for table in structmine_bench::exps::figures::run(cfg) {
+            println!("{table}");
+        }
+        println!("{}", structmine_bench::exps::figures::ascii_scatter(cfg));
+    });
 }

@@ -2,6 +2,7 @@
 //! one polysemous word under two different contexts.
 
 fn main() {
-    println!("{}", structmine_bench::exps::lotclass::table1_demo());
-    structmine_bench::log_store_summaries();
+    structmine_bench::run_table("fig_lotclass_mlm", |_cfg| {
+        println!("{}", structmine_bench::exps::lotclass::table1_demo());
+    });
 }

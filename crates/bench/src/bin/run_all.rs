@@ -4,30 +4,27 @@
 use std::io::Write;
 
 fn main() {
-    let cfg = structmine_bench::BenchConfig::from_env();
-    eprintln!(
-        "running ALL experiments (scale={}, seeds={})...",
-        cfg.scale, cfg.seeds
-    );
-    let started = std::time::Instant::now();
-    let tables = structmine_bench::exps::run_all(&cfg);
-    let mut report = String::from("# structmine benchmark report\n\n");
-    report.push_str(&format!(
-        "scale={}, seeds={}, wall time {:?}\n\n",
-        cfg.scale,
-        cfg.seeds,
-        started.elapsed()
-    ));
-    let mut all_ok = true;
-    for t in &tables {
-        println!("{t}");
-        report.push_str(&t.to_markdown());
-        report.push('\n');
-        all_ok &= t.all_checks_pass();
-    }
-    let mut f = std::fs::File::create("bench_report.md").expect("create bench_report.md");
-    f.write_all(report.as_bytes()).expect("write report");
-    structmine_bench::log_store_summaries();
+    let all_ok = structmine_bench::run_table("run_all", |cfg| {
+        let started = std::time::Instant::now();
+        let tables = structmine_bench::exps::run_all(cfg);
+        let mut report = String::from("# structmine benchmark report\n\n");
+        report.push_str(&format!(
+            "scale={}, seeds={}, wall time {:?}\n\n",
+            cfg.scale,
+            cfg.seeds,
+            started.elapsed()
+        ));
+        let mut all_ok = true;
+        for t in &tables {
+            println!("{t}");
+            report.push_str(&t.to_markdown());
+            report.push('\n');
+            all_ok &= t.all_checks_pass();
+        }
+        let mut f = std::fs::File::create("bench_report.md").expect("create bench_report.md");
+        f.write_all(report.as_bytes()).expect("write report");
+        all_ok
+    });
     println!(
         "\n{} — report written to bench_report.md",
         if all_ok {

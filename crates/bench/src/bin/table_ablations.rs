@@ -2,13 +2,9 @@
 //! pseudo-document budget, X-Class GMM anchoring, ConWea expansion width.
 
 fn main() {
-    let cfg = structmine_bench::BenchConfig::from_env();
-    eprintln!(
-        "running ablations (scale={}, seeds={})...",
-        cfg.scale, cfg.seeds
-    );
-    for table in structmine_bench::exps::ablations::run(&cfg) {
-        println!("{table}");
-    }
-    structmine_bench::log_store_summaries();
+    structmine_bench::run_table("table_ablations", |cfg| {
+        for table in structmine_bench::exps::ablations::run(cfg) {
+            println!("{table}");
+        }
+    });
 }

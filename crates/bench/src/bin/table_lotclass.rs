@@ -1,13 +1,9 @@
 //! Prints the lotclass experiment tables (see DESIGN.md §3).
 
 fn main() {
-    let cfg = structmine_bench::BenchConfig::from_env();
-    eprintln!(
-        "running lotclass reproduction (scale={}, seeds={})...",
-        cfg.scale, cfg.seeds
-    );
-    for table in structmine_bench::exps::lotclass::run(&cfg) {
-        println!("{table}");
-    }
-    structmine_bench::log_store_summaries();
+    structmine_bench::run_table("table_lotclass", |cfg| {
+        for table in structmine_bench::exps::lotclass::run(cfg) {
+            println!("{table}");
+        }
+    });
 }

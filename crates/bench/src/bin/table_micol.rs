@@ -1,13 +1,9 @@
 //! Prints the micol experiment tables (see DESIGN.md §3).
 
 fn main() {
-    let cfg = structmine_bench::BenchConfig::from_env();
-    eprintln!(
-        "running micol reproduction (scale={}, seeds={})...",
-        cfg.scale, cfg.seeds
-    );
-    for table in structmine_bench::exps::micol::run(&cfg) {
-        println!("{table}");
-    }
-    structmine_bench::log_store_summaries();
+    structmine_bench::run_table("table_micol", |cfg| {
+        for table in structmine_bench::exps::micol::run(cfg) {
+            println!("{table}");
+        }
+    });
 }

@@ -2,80 +2,83 @@
 //! format, and backbone, as implemented in this repository.
 
 fn main() {
-    let mut t = structmine_bench::Table::new("E10 — method summary (the tutorial's closing table)");
-    t.headers(&[
-        "method",
-        "flat vs hierarchical",
-        "label arity",
-        "supervision",
-        "backbone",
-    ]);
-    for row in [
-        [
-            "WeSTClass",
-            "flat",
-            "single-label",
-            "names / keywords / docs",
-            "static embedding",
-        ],
-        [
-            "ConWea",
-            "flat",
-            "single-label",
-            "category keywords",
-            "pre-trained LM",
-        ],
-        [
-            "LOTClass",
-            "flat",
-            "single-label",
-            "category names",
-            "pre-trained LM",
-        ],
-        [
-            "X-Class",
-            "flat & hierarchical",
-            "single-label & path",
-            "category names",
-            "pre-trained LM",
-        ],
-        [
-            "PromptClass",
-            "flat",
-            "single-label",
-            "category names",
-            "pre-trained LM (prompting)",
-        ],
-        [
-            "WeSHClass",
-            "hierarchical",
-            "path",
-            "keywords / docs",
-            "static embedding",
-        ],
-        [
-            "TaxoClass",
-            "hierarchical (DAG)",
-            "multi-label",
-            "category names",
-            "pre-trained LM (NLI)",
-        ],
-        [
-            "MetaCat",
-            "flat",
-            "single-label",
-            "a few labeled docs",
-            "HIN embedding",
-        ],
-        [
-            "MICoL",
-            "flat",
-            "multi-label",
-            "names + metadata",
-            "pre-trained LM (contrastive)",
-        ],
-    ] {
-        t.row(row.iter().map(|s| s.to_string()).collect());
-    }
-    println!("{t}");
+    structmine_bench::run_table("table_summary", |_cfg| {
+        let mut t =
+            structmine_bench::Table::new("E10 — method summary (the tutorial's closing table)");
+        t.headers(&[
+            "method",
+            "flat vs hierarchical",
+            "label arity",
+            "supervision",
+            "backbone",
+        ]);
+        for row in [
+            [
+                "WeSTClass",
+                "flat",
+                "single-label",
+                "names / keywords / docs",
+                "static embedding",
+            ],
+            [
+                "ConWea",
+                "flat",
+                "single-label",
+                "category keywords",
+                "pre-trained LM",
+            ],
+            [
+                "LOTClass",
+                "flat",
+                "single-label",
+                "category names",
+                "pre-trained LM",
+            ],
+            [
+                "X-Class",
+                "flat & hierarchical",
+                "single-label & path",
+                "category names",
+                "pre-trained LM",
+            ],
+            [
+                "PromptClass",
+                "flat",
+                "single-label",
+                "category names",
+                "pre-trained LM (prompting)",
+            ],
+            [
+                "WeSHClass",
+                "hierarchical",
+                "path",
+                "keywords / docs",
+                "static embedding",
+            ],
+            [
+                "TaxoClass",
+                "hierarchical (DAG)",
+                "multi-label",
+                "category names",
+                "pre-trained LM (NLI)",
+            ],
+            [
+                "MetaCat",
+                "flat",
+                "single-label",
+                "a few labeled docs",
+                "HIN embedding",
+            ],
+            [
+                "MICoL",
+                "flat",
+                "multi-label",
+                "names + metadata",
+                "pre-trained LM (contrastive)",
+            ],
+        ] {
+            t.row(row.iter().map(|s| s.to_string()).collect());
+        }
+        println!("{t}");
+    });
 }

@@ -31,7 +31,7 @@ pub fn plm_scaling_curve(cfg: &BenchConfig) -> Table {
     t.note("X-Class on agnews with label names only; the same architecture pretrained longer");
     t.headers(&["pretraining steps", "final MLM loss", "X-Class accuracy"]);
     let corpus = recipes::pretraining_corpus(600, 11);
-    let d = recipes::agnews(cfg.scale, 11);
+    let d = recipes::agnews(cfg.scale, 11).unwrap();
     let mut accs = Vec::new();
     for &steps in &[150usize, 500, 1500, 3000] {
         let mut model = MiniPlm::new(PlmConfig {
@@ -70,7 +70,7 @@ pub fn plm_scaling_curve(cfg: &BenchConfig) -> Table {
 pub fn westclass_pseudo_budget(cfg: &BenchConfig) -> Table {
     let mut t = Table::new("E11b — WeSTClass pseudo-document budget");
     t.headers(&["pseudo docs / class", "accuracy"]);
-    let d = recipes::agnews(cfg.scale, 12);
+    let d = recipes::agnews(cfg.scale, 12).unwrap();
     let wv = standard_word_vectors(&d);
     let mut accs = Vec::new();
     for &n in &[5usize, 20, 80, 160] {
@@ -99,7 +99,7 @@ pub fn xclass_gmm_anchoring(cfg: &BenchConfig) -> Table {
     let mut t = Table::new("E11c — X-Class GMM anchoring: EM iterations vs drift");
     t.note("long EM runs drift from the class-seeded prior toward whatever unsupervised structure dominates");
     t.headers(&["EM iterations", "align accuracy", "final accuracy"]);
-    let d = recipes::agnews(cfg.scale, 13);
+    let d = recipes::agnews(cfg.scale, 13).unwrap();
     let plm = crate::adapted_plm(&d, 13);
     let mut finals = Vec::new();
     for &iters in &[1usize, 2, 4, 16] {
@@ -128,7 +128,7 @@ pub fn xclass_gmm_anchoring(cfg: &BenchConfig) -> Table {
 pub fn conwea_expansion_width(cfg: &BenchConfig) -> Table {
     let mut t = Table::new("E11d — ConWea seed-expansion width");
     t.headers(&["expansion words / class", "accuracy"]);
-    let d = recipes::nyt_coarse(cfg.scale, 14);
+    let d = recipes::nyt_coarse(cfg.scale, 14).unwrap();
     let plm = crate::adapted_plm(&d, 14);
     let mut accs = Vec::new();
     for &n in &[0usize, 4, 8, 16] {

@@ -41,7 +41,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         let mut micro: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
         let mut macro_: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
         for &seed in &cfg.seed_values() {
-            let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+            let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
             let sup = d.supervision_keywords();
             let wv = standard_word_vectors(&d);
             let plm = adapted_plm(&d, seed);

@@ -9,7 +9,7 @@ use structmine_text::synth::recipes;
 
 /// Run E4b: PCA scatter summary + clustering confusion matrix.
 pub fn run(cfg: &BenchConfig) -> Vec<Table> {
-    let d = recipes::nyt_coarse(cfg.scale, 7);
+    let d = recipes::nyt_coarse(cfg.scale, 7).unwrap();
     let plm = adapted_plm(&d, 7);
     let reps = structmine_plm::repr::doc_mean_reps(&plm, &d.corpus);
     let gold: Vec<usize> = d.corpus.docs.iter().map(|doc| doc.labels[0]).collect();
@@ -106,7 +106,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
 /// ASCII scatter of the PCA projection (printed by the figure binary).
 pub fn ascii_scatter(cfg: &BenchConfig) -> String {
     let plm = standard_plm();
-    let d = recipes::nyt_coarse((cfg.scale * 0.5).max(0.03), 7);
+    let d = recipes::nyt_coarse((cfg.scale * 0.5).max(0.03), 7).unwrap();
     let reps = structmine_plm::repr::doc_mean_reps(&plm, &d.corpus);
     let pca = Pca::fit(&reps, 2);
     let proj = pca.transform(&reps);

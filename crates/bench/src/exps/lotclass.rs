@@ -38,7 +38,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     for ds in DATASETS {
         let mut accs: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
         for &seed in &cfg.seed_values() {
-            let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+            let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
             let names = d.supervision_names();
             let wv = standard_word_vectors(&d);
             let plm = adapted_plm(&d, seed);

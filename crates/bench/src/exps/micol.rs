@@ -56,7 +56,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         t.headers(&["method", "P@1", "P@3", "P@5", "NDCG@3", "NDCG@5"]);
         let mut cells: Vec<Vec<[f32; 5]>> = vec![Vec::new(); methods.len()];
         for &seed in &cfg.seed_values() {
-            let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+            let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
             let plm = adapted_plm(&d, seed);
             let runs: Vec<Vec<Vec<usize>>> = vec![
                 doc2vec_ranking(&d, seed),

@@ -92,7 +92,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     for ds in DATASETS {
         let mut cells: Vec<Vec<(f32, f32)>> = vec![Vec::new(); methods.len()];
         for &seed in &cfg.seed_values() {
-            let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+            let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
             let plm = adapted_plm(&d, seed);
             let outs = [
                 weshclass_as_baseline(&d, seed),
@@ -161,7 +161,7 @@ mod tests {
 
     #[test]
     fn single_parent_view_produces_a_tree() {
-        let d = recipes::amazon_taxonomy(0.05, 1);
+        let d = recipes::amazon_taxonomy(0.05, 1).unwrap();
         assert!(!d.taxonomy.as_ref().unwrap().is_tree());
         let tree = single_parent_view(&d);
         assert!(tree.taxonomy.as_ref().unwrap().is_tree());

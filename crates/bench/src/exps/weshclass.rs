@@ -49,7 +49,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         for sup_kind in SUPERVISIONS {
             let mut cells: Vec<Vec<(f32, f32)>> = vec![Vec::new(); methods.len()];
             for &seed in &cfg.seed_values() {
-                let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+                let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
                 let wv = standard_word_vectors(&d);
                 let sup = match *sup_kind {
                     "KEYWORDS" => d.supervision_keywords(),

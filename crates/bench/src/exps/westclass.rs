@@ -60,7 +60,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
             let mut per_method_macro: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
             let mut per_method_micro: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
             for &seed in &cfg.seed_values() {
-                let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+                let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
                 let wv = standard_word_vectors(&d);
                 let sup = supervision(&d, sup_kind, seed);
 
@@ -167,7 +167,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
 /// Quick variant used by the criterion benches and tests: one dataset, one
 /// supervision, one seed.
 pub fn quick(scale: f32, seed: u64) -> f32 {
-    let d = recipes::agnews(scale, seed);
+    let d = recipes::agnews(scale, seed).unwrap();
     let wv = standard_word_vectors(&d);
     let out = WeSTClass {
         seed,

@@ -25,7 +25,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     let mut stats = Table::new("E4 — X-Class dataset statistics (synthetic stand-ins)");
     stats.headers(&["dataset", "classes", "documents", "imbalance", "criterion"]);
     for ds in DATASETS {
-        let d = recipes::by_name(ds, cfg.scale, 1).unwrap();
+        let d = recipes::by_name(ds, cfg.scale, 1).unwrap_or_else(|e| panic!("{e}"));
         let criterion = match *ds {
             "nyt-location" => "locations",
             "yelp" => "sentiment",
@@ -43,7 +43,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     stats.check(
         "imbalanced stand-ins present (nyt-small/topic/location imbalance > 5)",
         DATASETS.iter().any(|ds| {
-            let d = recipes::by_name(ds, cfg.scale, 1).unwrap();
+            let d = recipes::by_name(ds, cfg.scale, 1).unwrap_or_else(|e| panic!("{e}"));
             d.imbalance() > 5.0
         }),
     );
@@ -72,7 +72,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     for ds in DATASETS {
         let mut cells: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
         for &seed in &cfg.seed_values() {
-            let d = recipes::by_name(ds, cfg.scale, seed).unwrap();
+            let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
             let wv = standard_word_vectors(&d);
             let plm = adapted_plm(&d, seed);
             let x = XClass {
@@ -163,7 +163,7 @@ mod tests {
         let plm_free = {
             let mut stats = Table::new("check");
             for ds in DATASETS {
-                let d = recipes::by_name(ds, cfg.scale, 1).unwrap();
+                let d = recipes::by_name(ds, cfg.scale, 1).unwrap_or_else(|e| panic!("{e}"));
                 stats.row(vec![ds.to_string(), d.n_classes().to_string()]);
             }
             stats

@@ -146,11 +146,48 @@ pub fn standard_word_vectors(dataset: &structmine_text::Dataset) -> structmine_e
 /// binary calls this after printing its tables, so warm runs are visible
 /// as cache hits (`[artifact-store] hits=…`).
 pub fn log_store_summaries() {
-    eprintln!("{}", structmine_store::global().summary());
-    eprintln!("{}", structmine_plm::cache::plm_store().summary());
+    structmine_store::obs::log_info(&structmine_store::global().summary());
+    structmine_store::obs::log_info(&structmine_plm::cache::plm_store().summary());
 }
 
-/// Accuracy of all-doc predictions on the test split.
+/// Shared main-body for every table/figure binary: prints the banner
+/// through the leveled logger, runs `body` (which prints its tables to
+/// stdout), logs the store summaries, and writes a JSON run report when
+/// configured. `--report-json PATH` on the binary's command line is
+/// honored by exporting `STRUCTMINE_REPORT` before any stage runs; the
+/// report only ever goes to its own file, so stdout is byte-identical
+/// with and without reporting.
+pub fn run_table<T>(binary: &str, body: impl FnOnce(&BenchConfig) -> T) -> T {
+    structmine_store::obs::init();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        if argv[i] == "--report-json" {
+            match argv.get(i + 1) {
+                Some(path) => std::env::set_var(structmine_store::obs::REPORT_ENV, path),
+                None => {
+                    structmine_store::obs::log_warn("--report-json needs a value; ignoring");
+                }
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    let cfg = BenchConfig::from_env();
+    structmine_store::obs::log_info(&format!(
+        "running {binary} (scale={}, seeds={})...",
+        cfg.scale, cfg.seeds
+    ));
+    let out = body(&cfg);
+    log_store_summaries();
+    structmine_store::obs::write_report_if_configured(binary);
+    out
+}
+
+/// Accuracy of all-doc predictions on the test split. An empty test split
+/// yields NaN (undefined, not zero) — a synthetic recipe always has test
+/// documents, so NaN in a table marks a harness bug, never a real score.
 pub fn test_accuracy(dataset: &structmine_text::Dataset, preds: &[usize]) -> f32 {
     structmine_eval::accuracy(
         &structmine::common::test_slice(dataset, preds),
@@ -158,7 +195,8 @@ pub fn test_accuracy(dataset: &structmine_text::Dataset, preds: &[usize]) -> f32
     )
 }
 
-/// Macro-F1 of all-doc predictions on the test split.
+/// Macro-F1 of all-doc predictions on the test split. NaN on an empty test
+/// split, like [`test_accuracy`].
 pub fn test_macro_f1(dataset: &structmine_text::Dataset, preds: &[usize]) -> f32 {
     structmine_eval::macro_f1(
         &structmine::common::test_slice(dataset, preds),

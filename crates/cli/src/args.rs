@@ -8,11 +8,13 @@ USAGE:
   structmine classify --labels <a,b,c> [--method xclass|lotclass|prompt|match]
                       [--input <file>] [--tier test|standard] [--threads <n>]
                       [--no-cache | --cache-dir <dir>] [--faults <plan>]
+                      [--report-json <path>]
       Classify one document per line (stdin or --input) using only label names.
 
   structmine demo --recipe <name> [--method westclass|xclass|lotclass|conwea|prompt]
                   [--scale <f32>] [--seed <u64>] [--threads <n>]
                   [--no-cache | --cache-dir <dir>] [--faults <plan>]
+                  [--report-json <path>]
       Run a method on a synthetic benchmark recipe and report accuracy.
 
   --threads <n> caps the worker threads used for PLM inference (default: the
@@ -29,6 +31,11 @@ USAGE:
   (same syntax as the STRUCTMINE_FAULTS environment variable, e.g.
   'disk_write=0.2,disk_read=0.1,truncate=0.05;seed=7'). Outputs remain
   bitwise identical to a fault-free run; only caching behavior changes.
+
+  --report-json <path> writes a JSON run report (per-stage timings, counters,
+  config fingerprint) to <path> at process exit — same as setting the
+  STRUCTMINE_REPORT environment variable. Classification output on stdout is
+  byte-identical with or without reporting.
 
   structmine datasets
       List the available synthetic dataset recipes.
@@ -85,6 +92,9 @@ pub struct CacheArgs {
     /// `--faults <plan>`: deterministic disk-fault plan (STRUCTMINE_FAULTS
     /// syntax); validated before the store first runs.
     pub faults: Option<String>,
+    /// `--report-json <path>`: write a JSON run report (timings, counters,
+    /// config fingerprint) at process exit. Same as `STRUCTMINE_REPORT`.
+    pub report_json: Option<String>,
 }
 
 /// A parse failure with its message.
@@ -92,6 +102,23 @@ pub struct CacheArgs {
 pub struct ParseError(pub String);
 
 /// Parse `argv` (without the program name).
+/// Every flag any subcommand accepts; anything else is a usage error
+/// instead of being silently ignored.
+const KNOWN_FLAGS: &[&str] = &[
+    "labels",
+    "recipe",
+    "method",
+    "input",
+    "tier",
+    "threads",
+    "no-cache",
+    "cache-dir",
+    "faults",
+    "scale",
+    "seed",
+    "report-json",
+];
+
 pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
     let mut it = argv.iter();
     let cmd = it.next().map(|s| s.as_str()).unwrap_or("help");
@@ -102,6 +129,9 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
         let key = rest[i]
             .strip_prefix("--")
             .ok_or_else(|| ParseError(format!("expected a --flag, got {}", rest[i])))?;
+        if !KNOWN_FLAGS.contains(&key) {
+            return Err(ParseError(format!("unknown flag --{key}")));
+        }
         // Boolean flags take no value.
         if key == "no-cache" {
             flags.insert(key.to_string(), String::new());
@@ -129,6 +159,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
         no_cache: flags.contains_key("no-cache"),
         dir: flags.get("cache-dir").cloned(),
         faults: flags.get("faults").cloned(),
+        report_json: flags.get("report-json").cloned(),
     };
     if cache.no_cache && cache.dir.is_some() {
         return Err(ParseError(
@@ -345,6 +376,31 @@ mod tests {
     fn rejects_unknown_command_and_flags_without_dashes() {
         assert!(parse(&sv(&["frobnicate"])).is_err());
         assert!(parse(&sv(&["demo", "recipe", "agnews"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        // Unknown flags used to be silently swallowed; now they are a
+        // usage error like any other parse failure.
+        let e = parse(&sv(&["demo", "--recipe", "agnews", "--frobnicate", "1"]));
+        assert!(matches!(e, Err(ParseError(ref m)) if m.contains("frobnicate")));
+    }
+
+    #[test]
+    fn parses_report_json_flag() {
+        let a = parse(&sv(&[
+            "demo",
+            "--recipe",
+            "agnews",
+            "--report-json",
+            "/tmp/report.json",
+        ]))
+        .unwrap();
+        if let Args::Demo { cache, .. } = a {
+            assert_eq!(cache.report_json.as_deref(), Some("/tmp/report.json"));
+        } else {
+            panic!("wrong variant");
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ mod args;
 use args::{Args, ParseError};
 
 fn main() -> ExitCode {
+    structmine_store::obs::init();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match args::parse(&argv) {
         Ok(Args::Classify {
@@ -51,14 +52,18 @@ fn main() -> ExitCode {
             Ok(())
         }
         Err(ParseError(msg)) => {
-            eprintln!("error: {msg}\n\n{}", args::USAGE);
+            structmine_store::obs::log_warn(&format!("error: {msg}\n\n{}", args::USAGE));
             return ExitCode::from(2);
         }
     };
+    // Write the JSON run report (when configured) on success *and* failure —
+    // a failed run's partial timings and counters are exactly what you want
+    // when debugging it.
+    structmine_store::obs::write_report_if_configured("structmine");
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            structmine_store::obs::log_warn(&format!("error: {e}"));
             match e {
                 // Usage-level mistakes: exit 2, like argument parse errors.
                 PipelineError::Unknown { .. }
@@ -101,7 +106,24 @@ fn apply_cache_flags(cache: &args::CacheArgs) -> Result<(), PipelineError> {
         structmine_store::FaultPlan::parse(plan)?;
         std::env::set_var("STRUCTMINE_FAULTS", plan);
     }
+    if let Some(path) = &cache.report_json {
+        std::env::set_var(structmine_store::obs::REPORT_ENV, path);
+    }
     Ok(())
+}
+
+/// Map a dataset-construction failure into the CLI's error taxonomy: an
+/// unknown recipe name is a usage mistake (exit 2, like any unknown-name
+/// error), and any other synthesis failure is invalid input — never a panic.
+fn synth_error(e: structmine_text::synth::SynthError) -> PipelineError {
+    match e {
+        structmine_text::synth::SynthError::UnknownRecipe { name } => PipelineError::Unknown {
+            what: "recipe",
+            name,
+            expected: structmine_text::synth::ALL_RECIPES.join(", "),
+        },
+        other => PipelineError::InvalidInput(other.to_string()),
+    }
 }
 
 fn plm_tier(tier: &str) -> structmine_plm::cache::Tier {
@@ -175,11 +197,11 @@ fn classify(
     }
 
     let plm = structmine_plm::cache::pretrained(plm_tier(&tier), 0);
-    eprintln!(
+    structmine_store::obs::log_info(&format!(
         "classifying {} documents into {:?} with {method} ...",
         lines.len(),
         labels
-    );
+    ));
 
     // Build a minimal Dataset around the ad-hoc corpus.
     let n = corpus.len();
@@ -249,18 +271,12 @@ fn demo(
     seed: u64,
     exec: structmine_linalg::ExecPolicy,
 ) -> Result<(), PipelineError> {
-    let dataset = structmine_text::synth::by_name(&recipe, scale, seed).ok_or_else(|| {
-        PipelineError::Unknown {
-            what: "recipe",
-            name: recipe.clone(),
-            expected: structmine_text::synth::ALL_RECIPES.join(", "),
-        }
-    })?;
-    eprintln!(
+    let dataset = structmine_text::synth::by_name(&recipe, scale, seed).map_err(synth_error)?;
+    structmine_store::obs::log_info(&format!(
         "recipe {recipe}: {} docs, {} classes (scale {scale}, seed {seed})",
         dataset.corpus.len(),
         dataset.n_classes()
-    );
+    ));
     let preds = match method.as_str() {
         "westclass" => {
             let wv = structmine_embed::Sgns::train(
@@ -325,20 +341,27 @@ fn demo(
     let test: Vec<usize> = dataset.test_idx.iter().map(|&i| preds[i]).collect();
     let acc = structmine_eval::accuracy(&test, &dataset.test_gold());
     let macro_f1 = structmine_eval::macro_f1(&test, &dataset.test_gold(), dataset.n_classes());
-    println!("{method} on {recipe}: accuracy {acc:.3}, macro-F1 {macro_f1:.3}");
+    // The metrics return NaN on an empty test split (undefined, not zero);
+    // name the condition instead of printing "NaN" as if it were a score.
+    let fmt = |v: f32| {
+        if v.is_nan() {
+            "n/a (empty test split)".to_string()
+        } else {
+            format!("{v:.3}")
+        }
+    };
+    println!(
+        "{method} on {recipe}: accuracy {}, macro-F1 {}",
+        fmt(acc),
+        fmt(macro_f1)
+    );
     Ok(())
 }
 
 fn datasets() -> Result<(), PipelineError> {
     println!("available recipes (synthetic stand-ins; see DESIGN.md):");
     for name in structmine_text::synth::ALL_RECIPES {
-        let d = structmine_text::synth::by_name(name, 0.05, 1).ok_or_else(|| {
-            PipelineError::Unknown {
-                what: "recipe",
-                name: name.to_string(),
-                expected: "every entry of ALL_RECIPES must resolve".into(),
-            }
-        })?;
+        let d = structmine_text::synth::by_name(name, 0.05, 1).map_err(synth_error)?;
         let kind = match (&d.taxonomy, d.meta.n_users + d.meta.n_authors > 0) {
             (Some(t), _) if !t.is_tree() => "DAG multi-label",
             (Some(_), _) => "tree hierarchy",

@@ -1,0 +1,109 @@
+//! Cross-process determinism of the JSON run report and of stdout.
+//!
+//! Spawns the real `structmine` binary (via `CARGO_BIN_EXE_structmine`) so
+//! the whole report path — env flag, stage guards, counters, exit-time
+//! write — is exercised exactly as a user would hit it. Three invariants:
+//!
+//! 1. Two identical runs produce byte-identical reports after masking the
+//!    volatile fields (`*_ms`, thread ids).
+//! 2. A 1-thread and a 4-thread run differ *only* in those masked fields.
+//! 3. Classification output on stdout is byte-identical with and without
+//!    reporting — the report never leaks into the pipeline's output.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn report_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "structmine-report-{}-{tag}.json",
+        std::process::id()
+    ))
+}
+
+/// Run `structmine demo` on a tiny recipe with a fully pinned environment.
+fn run_demo(threads: usize, report: Option<&PathBuf>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_structmine"));
+    cmd.args([
+        "demo",
+        "--recipe",
+        "agnews",
+        "--method",
+        "westclass",
+        "--scale",
+        "0.05",
+        "--seed",
+        "1",
+        "--no-cache",
+        "--threads",
+        &threads.to_string(),
+    ]);
+    // Pin everything the report's config block records, so the only
+    // differences between runs are the ones each test introduces.
+    cmd.env_remove("STRUCTMINE_REPORT")
+        .env_remove("STRUCTMINE_THREADS")
+        .env_remove("STRUCTMINE_LOG")
+        .env_remove("STRUCTMINE_FAULTS");
+    if let Some(path) = report {
+        cmd.arg("--report-json").arg(path);
+    }
+    let out = cmd.output().expect("spawn structmine");
+    assert!(
+        out.status.success(),
+        "demo failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn masked(path: &PathBuf) -> String {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("reading report {}: {e}", path.display()));
+    structmine_store::obs::validate_report(&json)
+        .unwrap_or_else(|e| panic!("schema-invalid report: {e}"));
+    structmine_store::obs::masked_report(&json).expect("mask report")
+}
+
+#[test]
+fn identical_runs_produce_identical_masked_reports_and_stdout() {
+    let (p1, p2) = (report_path("run1"), report_path("run2"));
+    let a = run_demo(1, Some(&p1));
+    let b = run_demo(1, Some(&p2));
+    assert_eq!(
+        masked(&p1),
+        masked(&p2),
+        "two identical runs must agree byte-for-byte once timings are masked"
+    );
+    assert_eq!(a.stdout, b.stdout, "stdout must be deterministic");
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p2);
+}
+
+#[test]
+fn thread_count_only_changes_masked_fields_and_never_stdout() {
+    let (p1, p4) = (report_path("t1"), report_path("t4"));
+    let a = run_demo(1, Some(&p1));
+    let b = run_demo(4, Some(&p4));
+    assert_eq!(
+        masked(&p1),
+        masked(&p4),
+        "1-thread and 4-thread reports may differ only in masked fields"
+    );
+    assert_eq!(
+        a.stdout, b.stdout,
+        "thread count must not change classification output"
+    );
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p4);
+}
+
+#[test]
+fn reporting_does_not_change_stdout() {
+    let p = report_path("onoff");
+    let with = run_demo(1, Some(&p));
+    let without = run_demo(1, None);
+    assert_eq!(
+        with.stdout, without.stdout,
+        "stdout must be byte-identical with and without --report-json"
+    );
+    let _ = std::fs::remove_file(&p);
+}

@@ -168,14 +168,14 @@ mod tests {
 
     #[test]
     fn ir_tfidf_beats_chance_with_keywords() {
-        let d = recipes::agnews(0.1, 1);
+        let d = recipes::agnews(0.1, 1).unwrap();
         let acc = eval(&d, &ir_tfidf(&d, &d.supervision_keywords()));
         assert!(acc > 0.5, "IR-tfidf acc {acc}");
     }
 
     #[test]
     fn dataless_beats_ir_tfidf_shape() {
-        let d = recipes::agnews(0.1, 4);
+        let d = recipes::agnews(0.1, 4).unwrap();
         let wv = Sgns::train(
             &d.corpus,
             &SgnsConfig {
@@ -196,7 +196,7 @@ mod tests {
 
     #[test]
     fn supervised_is_a_strong_upper_bound() {
-        let d = recipes::agnews(0.1, 3);
+        let d = recipes::agnews(0.1, 3).unwrap();
         let wv = Sgns::train(
             &d.corpus,
             &SgnsConfig {
@@ -212,7 +212,7 @@ mod tests {
 
     #[test]
     fn topic_model_runs_and_beats_chance() {
-        let d = recipes::agnews(0.1, 4);
+        let d = recipes::agnews(0.1, 4).unwrap();
         let wv = Sgns::train(
             &d.corpus,
             &SgnsConfig {
@@ -227,7 +227,7 @@ mod tests {
 
     #[test]
     fn label_description_tokens_are_in_vocab() {
-        let d = recipes::dbpedia(0.05, 5);
+        let d = recipes::dbpedia(0.05, 5).unwrap();
         for toks in label_description_tokens(&d) {
             assert!(!toks.is_empty());
             assert!(toks.iter().all(|&t| (t as usize) < d.corpus.vocab.len()));

@@ -110,7 +110,7 @@ mod tests {
 
     #[test]
     fn seed_tokens_falls_back_to_names_for_doc_supervision() {
-        let d = recipes::agnews(0.05, 1);
+        let d = recipes::agnews(0.05, 1).unwrap();
         let sup = d.supervision_docs(2, 1);
         let seeds = seed_tokens(&d, &sup);
         assert_eq!(seeds, d.label_name_tokens());
@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn test_slice_projects_predictions() {
-        let d = recipes::yelp(0.05, 2);
+        let d = recipes::yelp(0.05, 2).unwrap();
         let preds: Vec<usize> = (0..d.corpus.len()).map(|i| i % 2).collect();
         let sliced = test_slice(&d, &preds);
         assert_eq!(sliced.len(), d.test_idx.len());

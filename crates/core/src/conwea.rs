@@ -132,6 +132,7 @@ impl ConWea {
         let mut split_words = Vec::new();
 
         if self.contextualize {
+            let _sub = structmine_store::context::stage_guard("conwea/contextualize");
             let distinct: Vec<TokenId> = {
                 let mut v: Vec<TokenId> = seeds.iter().flatten().copied().collect();
                 v.sort_unstable();
@@ -255,6 +256,7 @@ impl ConWea {
         // ------------------------------------------------------------------
         // 3. Iterative pseudo-labeling, expansion and classification.
         // ------------------------------------------------------------------
+        let _sub = structmine_store::context::stage_guard("conwea/pseudo-label");
         let tfidf = TfIdf::fit(&corpus);
         let features = dense_tfidf(&corpus, &tfidf);
         let mut assignments = assign_by_seed_similarity(&corpus, &tfidf, &class_seeds);
@@ -496,7 +498,7 @@ mod tests {
     fn nyt_with_polysemes() -> Dataset {
         // nyt-fine at tiny scale includes soccer & law classes whose
         // keywords share "penalty"/"court" ambiguity partners.
-        recipes::news20_fine(0.12, 21)
+        recipes::news20_fine(0.12, 21).unwrap()
     }
 
     #[test]
@@ -527,7 +529,7 @@ mod tests {
 
     #[test]
     fn expansion_grows_seed_sets() {
-        let d = recipes::agnews(0.08, 22);
+        let d = recipes::agnews(0.08, 22).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let out = ConWea {
             iterations: 1,
@@ -544,7 +546,7 @@ mod tests {
 
     #[test]
     fn dense_tfidf_matches_sparse() {
-        let d = recipes::yelp(0.05, 23);
+        let d = recipes::yelp(0.05, 23).unwrap();
         let tfidf = TfIdf::fit(&d.corpus);
         let dense = dense_tfidf(&d.corpus, &tfidf);
         let sparse = tfidf.vectorize(&d.corpus.docs[0].tokens);
@@ -557,7 +559,7 @@ mod tests {
     fn sense_split_separates_planted_polyseme() {
         // Build a corpus where "penalty" appears in soccer and law contexts;
         // the contextualized clustering should split it.
-        let d = recipes::news20_fine(0.15, 24);
+        let d = recipes::news20_fine(0.15, 24).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let penalty = d.corpus.vocab.id("penalty").unwrap();
         let occ =

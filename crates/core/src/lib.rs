@@ -30,7 +30,7 @@
 //! ```no_run
 //! use structmine::prelude::*;
 //!
-//! let data = structmine_text::synth::recipes::agnews(0.2, 7);
+//! let data = structmine_text::synth::recipes::agnews(0.2, 7).unwrap();
 //! let plm = structmine_plm::cache::pretrained(structmine_plm::cache::Tier::Standard, 7);
 //! let out = structmine::xclass::XClass::default().run(&data, &plm);
 //! let acc = structmine_eval::accuracy(

@@ -197,10 +197,17 @@ impl LotClass {
 
     /// Run LOTClass without consulting the artifact store at any stage.
     pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> LotClassOutput {
+        use structmine_store::context::with_stage_label;
         let _stage = structmine_store::context::stage_guard("lotclass/run");
-        let category_vocab = self.category_vocab(dataset, plm);
-        let pseudo = self.mcp_pseudo_labels(dataset, plm, &category_vocab);
-        self.classify(dataset, plm, category_vocab, pseudo)
+        let category_vocab = with_stage_label("lotclass/category-vocab", || {
+            self.category_vocab(dataset, plm)
+        });
+        let pseudo = with_stage_label("lotclass/mcp", || {
+            self.mcp_pseudo_labels(dataset, plm, &category_vocab)
+        });
+        with_stage_label("lotclass/classify", || {
+            self.classify(dataset, plm, category_vocab, pseudo)
+        })
     }
 
     /// Step 1: category vocabulary via MLM replacement statistics.
@@ -513,7 +520,7 @@ mod tests {
 
     #[test]
     fn category_vocab_contains_topical_words() {
-        let d = recipes::agnews(0.1, 31);
+        let d = recipes::agnews(0.1, 31).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let out = LotClass {
             self_train: false,
@@ -583,7 +590,7 @@ mod tests {
 
     #[test]
     fn lotclass_labels_most_docs_and_beats_chance() {
-        let d = recipes::agnews(0.1, 32);
+        let d = recipes::agnews(0.1, 32).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let out = LotClass::default().run(&d, &plm);
         assert!(
@@ -597,7 +604,7 @@ mod tests {
 
     #[test]
     fn self_training_does_not_regress() {
-        let d = recipes::agnews(0.08, 33);
+        let d = recipes::agnews(0.08, 33).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let out = LotClass::default().run(&d, &plm);
         let gold = d.test_gold();
@@ -611,7 +618,7 @@ mod tests {
 
     #[test]
     fn replacement_demo_shows_context_sensitivity() {
-        let d = recipes::agnews(0.05, 34);
+        let d = recipes::agnews(0.05, 34).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let v = &d.corpus.vocab;
         let id = |w: &str| v.id(w).unwrap();

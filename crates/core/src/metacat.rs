@@ -137,6 +137,7 @@ impl MetaCat {
         // ------------------------------------------------------------------
         // Build the typed graph.
         // ------------------------------------------------------------------
+        let graph_span = structmine_store::context::stage_guard("metacat/graph-embed");
         let mut g = HinGraph::new();
         let (_, docs0) = g.add_partition("doc", n_docs);
         let (_, words0) = g.add_partition("word", vocab_len);
@@ -218,6 +219,9 @@ impl MetaCat {
             },
             &edge_types,
         );
+
+        drop(graph_span);
+        let _sub = structmine_store::context::stage_guard("metacat/train");
 
         // ------------------------------------------------------------------
         // Featurize documents consistently: every document (real, labeled or
@@ -344,7 +348,7 @@ mod tests {
     }
 
     fn small() -> Dataset {
-        recipes::github_bio(0.3, 81)
+        recipes::github_bio(0.3, 81).unwrap()
     }
 
     #[test]

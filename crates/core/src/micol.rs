@@ -125,11 +125,16 @@ impl MiCoL {
 
     /// Run MICoL, bypassing the artifact store.
     pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> Vec<Vec<usize>> {
+        use structmine_store::context::with_stage_label;
         let _stage = structmine_store::context::stage_guard("micol/run");
-        let features = common::plm_features_with(dataset, plm, &self.exec);
+        let features = with_stage_label("micol/features", || {
+            common::plm_features_with(dataset, plm, &self.exec)
+        });
         let label_feats = label_features_with(dataset, plm, &self.exec);
-        let pairs = mine_pairs(dataset, self.meta_path, self.max_pairs, self.seed);
-        match self.encoder {
+        let pairs = with_stage_label("micol/mine-pairs", || {
+            mine_pairs(dataset, self.meta_path, self.max_pairs, self.seed)
+        });
+        with_stage_label("micol/rank", || match self.encoder {
             Encoder::Bi => {
                 let proj = train_bi_encoder(&features, &pairs, self, features.cols());
                 rank_by_projection(&features, &label_feats, &proj)
@@ -138,7 +143,7 @@ impl MiCoL {
                 let scorer = train_cross_encoder(&features, &pairs, self);
                 rank_by_cross(&features, &label_feats, &scorer)
             }
-        }
+        })
     }
 }
 
@@ -534,7 +539,7 @@ mod tests {
 
     #[test]
     fn meta_paths_mine_topically_coherent_pairs() {
-        let d = recipes::mag_cs(0.1, 90);
+        let d = recipes::mag_cs(0.1, 90).unwrap();
         for path in [
             MetaPath::SharedReference,
             MetaPath::CoCited,
@@ -561,7 +566,7 @@ mod tests {
 
     #[test]
     fn bi_encoder_beats_or_matches_frozen_plm() {
-        let d = recipes::mag_cs(0.1, 90);
+        let d = recipes::mag_cs(0.1, 90).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let frozen = eval_p1(&d, &plm_rep_ranking(&d, &plm));
         let micol = eval_p1(&d, &MiCoL::default().run(&d, &plm));
@@ -574,7 +579,7 @@ mod tests {
 
     #[test]
     fn cross_encoder_produces_full_rankings() {
-        let d = recipes::pubmed(0.06, 93);
+        let d = recipes::pubmed(0.06, 93).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let rankings = MiCoL {
             encoder: Encoder::Cross,
@@ -591,7 +596,7 @@ mod tests {
 
     #[test]
     fn supervised_match_improves_with_more_data() {
-        let d = recipes::mag_cs(0.1, 90);
+        let d = recipes::mag_cs(0.1, 90).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let small = supervised_match_ranking(&d, &plm, 0.05, 7);
         let large = supervised_match_ranking(&d, &plm, 1.0, 7);
@@ -609,7 +614,7 @@ mod tests {
 
     #[test]
     fn doc2vec_baseline_runs() {
-        let d = recipes::mag_cs(0.05, 95);
+        let d = recipes::mag_cs(0.05, 95).unwrap();
         let rankings = doc2vec_ranking(&d, 3);
         assert_eq!(rankings.len(), d.corpus.len());
         let p1 = eval_p1(&d, &rankings);

@@ -126,13 +126,17 @@ impl PromptClass {
     pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> PromptClassOutput {
         let _stage = structmine_store::context::stage_guard("promptclass/run");
         let n_classes = dataset.n_classes();
-        let prompt_scores = self.prompt_scores(dataset, plm);
+        let prompt_scores =
+            structmine_store::context::with_stage_label("promptclass/prompt", || {
+                self.prompt_scores(dataset, plm)
+            });
         // Normalize prompt scores into per-document distributions.
         let prompt_probs = common::softmax_rows(prompt_scores.scale(24.0));
         let zero_shot_predictions: Vec<usize> = (0..prompt_probs.rows())
             .map(|i| structmine_linalg::vector::argmax(prompt_probs.row(i)).unwrap_or(0))
             .collect();
 
+        let _sub = structmine_store::context::stage_guard("promptclass/co-train");
         let features = common::plm_features_with(dataset, plm, &self.exec);
         let mut blended = prompt_probs.clone();
         let mut clf = MlpClassifier::new(features.cols(), self.hidden, n_classes, self.seed);
@@ -212,7 +216,7 @@ mod tests {
 
     #[test]
     fn mlm_zero_shot_beats_chance() {
-        let d = recipes::agnews(0.08, 51);
+        let d = recipes::agnews(0.08, 51).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let preds = PromptClass {
             style: PromptStyle::Mlm,
@@ -225,7 +229,7 @@ mod tests {
 
     #[test]
     fn full_pipeline_improves_on_zero_shot_or_ties() {
-        let d = recipes::agnews(0.08, 52);
+        let d = recipes::agnews(0.08, 52).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let out = PromptClass {
             style: PromptStyle::Mlm,
@@ -240,7 +244,7 @@ mod tests {
 
     #[test]
     fn rtd_style_produces_valid_predictions() {
-        let d = recipes::yelp(0.06, 53);
+        let d = recipes::yelp(0.06, 53).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let out = PromptClass {
             style: PromptStyle::Rtd,

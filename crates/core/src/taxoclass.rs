@@ -119,7 +119,9 @@ impl TaxoClass {
         // 1+2. Top-down relevance search per document.
         // ------------------------------------------------------------------
         let n = dataset.corpus.len();
-        let candidates = top_down_search(dataset, plm, &hypotheses, self.beam, &self.exec);
+        let candidates = structmine_store::context::with_stage_label("taxoclass/search", || {
+            top_down_search(dataset, plm, &hypotheses, self.beam, &self.exec)
+        });
 
         // ------------------------------------------------------------------
         // 3. Core classes.
@@ -148,6 +150,7 @@ impl TaxoClass {
         // ------------------------------------------------------------------
         // 4. Multi-label classifier + self-training with ancestor closure.
         // ------------------------------------------------------------------
+        let _sub = structmine_store::context::stage_guard("taxoclass/self-train");
         let features = common::plm_features_with(dataset, plm, &self.exec);
         let mut clf = MultiLabelHead::new(features.cols(), n_classes, self.seed);
 
@@ -476,7 +479,7 @@ mod tests {
 
     #[test]
     fn taxoclass_beats_chance_on_dag() {
-        let d = recipes::amazon_taxonomy(0.08, 71);
+        let d = recipes::amazon_taxonomy(0.08, 71).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let out = TaxoClass::default().run(&d, &plm);
         let (f1, p1) = eval(&d, &out);
@@ -486,7 +489,7 @@ mod tests {
 
     #[test]
     fn predictions_are_ancestor_closed() {
-        let d = recipes::dbpedia_taxonomy(0.06, 72);
+        let d = recipes::dbpedia_taxonomy(0.06, 72).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let out = TaxoClass::default().run(&d, &plm);
         let tax = d.taxonomy.as_ref().unwrap();
@@ -502,7 +505,7 @@ mod tests {
 
     #[test]
     fn hier_zero_shot_is_weaker_or_equal() {
-        let d = recipes::amazon_taxonomy(0.06, 73);
+        let d = recipes::amazon_taxonomy(0.06, 73).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let full = TaxoClass::default().run(&d, &plm);
         let zs = hier_zero_shot(&d, &plm, 2);
@@ -516,7 +519,7 @@ mod tests {
 
     #[test]
     fn semi_supervised_baseline_runs() {
-        let d = recipes::amazon_taxonomy(0.05, 74);
+        let d = recipes::amazon_taxonomy(0.05, 74).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let out = semi_supervised(&d, &plm, 0.3, 7);
         let (f1, p1) = eval(&d, &out);

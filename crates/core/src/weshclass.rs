@@ -129,16 +129,20 @@ impl WeSHClass {
         let n_docs = dataset.corpus.len();
 
         // Local classifier per internal node with >= 2 children.
-        let mut local: std::collections::HashMap<NodeId, MlpClassifier> =
-            std::collections::HashMap::new();
-        for node in std::iter::once(taxonomy.root()).chain(taxonomy.non_root_nodes()) {
-            let children = taxonomy.children(node);
-            if children.is_empty() {
-                continue;
-            }
-            let clf = self.train_local(dataset, wv, &class_seeds, children, class_of_node);
-            local.insert(node, clf);
-        }
+        let local: std::collections::HashMap<NodeId, MlpClassifier> =
+            structmine_store::context::with_stage_label("weshclass/local-train", || {
+                let mut local = std::collections::HashMap::new();
+                for node in std::iter::once(taxonomy.root()).chain(taxonomy.non_root_nodes()) {
+                    let children = taxonomy.children(node);
+                    if children.is_empty() {
+                        continue;
+                    }
+                    let clf = self.train_local(dataset, wv, &class_seeds, children, class_of_node);
+                    local.insert(node, clf);
+                }
+                local
+            });
+        let _sub = structmine_store::context::stage_guard("weshclass/assign");
 
         // Level-by-level global assignment.
         let max_depth = taxonomy.max_depth();
@@ -419,7 +423,7 @@ mod tests {
     use structmine_text::synth::recipes;
 
     fn setup() -> (Dataset, WordVectors) {
-        let d = recipes::nyt_tree(0.15, 61);
+        let d = recipes::nyt_tree(0.15, 61).unwrap();
         let wv = Sgns::train(
             &d.corpus,
             &SgnsConfig {

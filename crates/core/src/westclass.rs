@@ -141,7 +141,10 @@ impl WeSTClass {
     ) -> WeSTClassOutput {
         let _stage = structmine_store::context::stage_guard("westclass/run");
         let n_classes = sup.n_classes().max(dataset.n_classes());
-        let keywords = self.interpret_seeds(dataset, sup, wv, n_classes);
+        let keywords = structmine_store::context::with_stage_label("westclass/seeds", || {
+            self.interpret_seeds(dataset, sup, wv, n_classes)
+        });
+        let _sub = structmine_store::context::stage_guard("westclass/train");
 
         // Fit one vMF per class on keyword embeddings.
         let vmfs: Vec<VonMisesFisher> = keywords
@@ -432,7 +435,7 @@ mod tests {
     use structmine_text::synth::recipes;
 
     fn setup() -> (Dataset, WordVectors) {
-        let d = recipes::agnews(0.12, 11);
+        let d = recipes::agnews(0.12, 11).unwrap();
         let wv = Sgns::train(
             &d.corpus,
             &SgnsConfig {

@@ -247,7 +247,9 @@ impl XClass {
         });
         let (posteriors, align_predictions) = &*align_out;
 
-        let predictions = self.classify(&doc_reps, posteriors, n_classes);
+        let predictions = structmine_store::context::with_stage_label("xclass/classify", || {
+            self.classify(&doc_reps, posteriors, n_classes)
+        });
         XClassOutput {
             predictions,
             rep_predictions,
@@ -258,14 +260,23 @@ impl XClass {
 
     /// Run X-Class without consulting the artifact store at any stage.
     pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> XClassOutput {
+        use structmine_store::context::with_stage_label;
         let _stage = structmine_store::context::stage_guard("xclass/run");
-        let (class_reps, class_words) = self.class_representations(dataset, plm);
+        let (class_reps, class_words) = with_stage_label("xclass/class-reps", || {
+            self.class_representations(dataset, plm)
+        });
         let n_classes = class_words.len();
-        let encoded = plm.encode_corpus(&dataset.corpus, &self.exec);
-        let doc_reps = self.doc_representations(dataset, plm, &class_reps, &encoded);
+        let doc_reps = with_stage_label("xclass/doc-reps", || {
+            let encoded = plm.encode_corpus(&dataset.corpus, &self.exec);
+            self.doc_representations(dataset, plm, &class_reps, &encoded)
+        });
         let rep_predictions = common::nearest_prototype(&doc_reps, &class_reps);
-        let (posteriors, align_predictions) = self.align(&doc_reps, &rep_predictions, n_classes);
-        let predictions = self.classify(&doc_reps, &posteriors, n_classes);
+        let (posteriors, align_predictions) = with_stage_label("xclass/align", || {
+            self.align(&doc_reps, &rep_predictions, n_classes)
+        });
+        let predictions = with_stage_label("xclass/classify", || {
+            self.classify(&doc_reps, &posteriors, n_classes)
+        });
         XClassOutput {
             predictions,
             rep_predictions,
@@ -464,7 +475,7 @@ mod tests {
 
     #[test]
     fn xclass_stages_all_beat_chance_and_final_is_competitive() {
-        let d = recipes::agnews(0.1, 41);
+        let d = recipes::agnews(0.1, 41).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let out = XClass::default().run(&d, &plm);
         let rep = acc(&d, &out.rep_predictions);
@@ -481,7 +492,7 @@ mod tests {
 
     #[test]
     fn class_words_include_the_name_and_expansions() {
-        let d = recipes::yelp(0.08, 42);
+        let d = recipes::yelp(0.08, 42).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let out = XClass::default().run(&d, &plm);
         let names = d.label_name_tokens();
@@ -493,7 +504,7 @@ mod tests {
 
     #[test]
     fn handles_imbalanced_datasets() {
-        let d = recipes::nyt_small(0.1, 43);
+        let d = recipes::nyt_small(0.1, 43).unwrap();
         let plm = pretrained(Tier::Test, 0);
         let out = XClass::default().run(&d, &plm);
         let fin = acc(&d, &out.predictions);

@@ -10,7 +10,7 @@ use structmine_text::synth::recipes;
 
 #[test]
 fn xclass_is_identical_across_thread_counts() {
-    let d = recipes::agnews(0.08, 17);
+    let d = recipes::agnews(0.08, 17).unwrap();
     let plm = pretrained(Tier::Test, 0);
     let one = XClass {
         exec: ExecPolicy::with_threads(1),
@@ -30,7 +30,7 @@ fn xclass_is_identical_across_thread_counts() {
 
 #[test]
 fn lotclass_is_identical_across_thread_counts() {
-    let d = recipes::agnews(0.08, 18);
+    let d = recipes::agnews(0.08, 18).unwrap();
     let plm = pretrained(Tier::Test, 0);
     let one = LotClass {
         exec: ExecPolicy::with_threads(1),
@@ -50,7 +50,7 @@ fn lotclass_is_identical_across_thread_counts() {
 
 #[test]
 fn zero_shot_entailment_is_identical_across_thread_counts() {
-    let d = recipes::agnews(0.08, 19);
+    let d = recipes::agnews(0.08, 19).unwrap();
     let plm = pretrained(Tier::Test, 0);
     let one = structmine::baselines::zero_shot_entail_with(&d, &plm, &ExecPolicy::with_threads(1));
     let four = structmine::baselines::zero_shot_entail_with(&d, &plm, &ExecPolicy::with_threads(4));

@@ -163,7 +163,7 @@ mod tests {
 
     #[test]
     fn weighted_doc_vectors_have_expected_shape() {
-        let d = recipes::yelp(0.05, 1);
+        let d = recipes::yelp(0.05, 1).unwrap();
         let wv = Sgns::train(
             &d.corpus,
             &SgnsConfig {
@@ -183,7 +183,7 @@ mod tests {
 
     #[test]
     fn pvdbow_separates_classes() {
-        let d = recipes::agnews(0.08, 2);
+        let d = recipes::agnews(0.08, 2).unwrap();
         let docs = Pvdbow {
             epochs: 5,
             dim: 16,
@@ -218,7 +218,7 @@ mod tests {
 
     #[test]
     fn mean_doc_vectors_match_manual_average() {
-        let d = recipes::yelp(0.05, 3);
+        let d = recipes::yelp(0.05, 3).unwrap();
         let wv = Sgns::train(
             &d.corpus,
             &SgnsConfig {

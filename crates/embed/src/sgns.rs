@@ -264,7 +264,7 @@ mod tests {
     use structmine_text::synth::recipes;
 
     fn trained() -> (structmine_text::Dataset, WordVectors) {
-        let d = recipes::agnews(0.15, 3);
+        let d = recipes::agnews(0.15, 3).unwrap();
         let wv = Sgns::train(
             &d.corpus,
             &SgnsConfig {
@@ -365,7 +365,7 @@ mod tests {
 
     #[test]
     fn training_is_deterministic() {
-        let d = recipes::yelp(0.05, 1);
+        let d = recipes::yelp(0.05, 1).unwrap();
         let cfg = SgnsConfig {
             epochs: 1,
             dim: 8,

@@ -1,16 +1,31 @@
 //! Single-label classification metrics.
+//!
+//! # Empty-input convention
+//!
+//! A score over zero examples is *undefined*, not zero: returning `0.0`
+//! made an empty test slice indistinguishable from a genuinely worst-case
+//! model, and table code silently printed it as a real score. [`accuracy`],
+//! [`macro_f1`] and [`micro_f1`] therefore return [`f32::NAN`] on empty
+//! input (and `macro_f1` on `n_classes == 0`). NaN propagates loudly
+//! through any aggregation and formats as `NaN` in a table — an empty
+//! input is a harness bug to surface, never a score to report. Callers
+//! that can legitimately see empty inputs must check
+//! [`f32::is_nan`] explicitly.
 
-/// Fraction of exact matches.
+/// Fraction of exact matches. Returns NaN on empty input (see the module
+/// docs for the convention).
 pub fn accuracy(pred: &[usize], gold: &[usize]) -> f32 {
     assert_eq!(pred.len(), gold.len());
     if pred.is_empty() {
-        return 0.0;
+        return f32::NAN;
     }
     pred.iter().zip(gold).filter(|(a, b)| a == b).count() as f32 / pred.len() as f32
 }
 
 /// Per-class precision/recall/F1. Returns `(precision, recall, f1)` triples
-/// indexed by class.
+/// indexed by class. Labels at or beyond `n_classes` (on either side) fall
+/// outside every tracked class and are skipped — including agreeing pairs,
+/// which previously panicked with an index out of bounds.
 pub fn per_class_f1(pred: &[usize], gold: &[usize], n_classes: usize) -> Vec<(f32, f32, f32)> {
     assert_eq!(pred.len(), gold.len());
     let mut tp = vec![0usize; n_classes];
@@ -18,7 +33,9 @@ pub fn per_class_f1(pred: &[usize], gold: &[usize], n_classes: usize) -> Vec<(f3
     let mut fn_ = vec![0usize; n_classes];
     for (&p, &g) in pred.iter().zip(gold) {
         if p == g {
-            tp[p] += 1;
+            if p < n_classes {
+                tp[p] += 1;
+            }
         } else {
             if p < n_classes {
                 fp[p] += 1;
@@ -42,17 +59,23 @@ pub fn per_class_f1(pred: &[usize], gold: &[usize], n_classes: usize) -> Vec<(f3
         .collect()
 }
 
-/// Macro-averaged F1 (unweighted mean of per-class F1).
+/// Macro-averaged F1 (unweighted mean of per-class F1). Returns NaN on
+/// empty input or `n_classes == 0` (see the module docs).
 pub fn macro_f1(pred: &[usize], gold: &[usize], n_classes: usize) -> f32 {
+    if pred.is_empty() {
+        assert_eq!(pred.len(), gold.len());
+        return f32::NAN;
+    }
     let per = per_class_f1(pred, gold, n_classes);
     if per.is_empty() {
-        return 0.0;
+        return f32::NAN;
     }
     per.iter().map(|&(_, _, f1)| f1).sum::<f32>() / per.len() as f32
 }
 
 /// Micro-averaged F1. For single-label multi-class prediction this equals
-/// accuracy (every error is one FP and one FN).
+/// accuracy (every error is one FP and one FN); it inherits accuracy's
+/// NaN-on-empty convention.
 pub fn micro_f1(pred: &[usize], gold: &[usize]) -> f32 {
     accuracy(pred, gold)
 }
@@ -101,9 +124,29 @@ mod tests {
     }
 
     #[test]
-    fn empty_input_scores_zero() {
-        assert_eq!(accuracy(&[], &[]), 0.0);
-        assert_eq!(macro_f1(&[], &[], 0), 0.0);
+    fn empty_input_is_nan_not_a_worst_score() {
+        assert!(accuracy(&[], &[]).is_nan());
+        assert!(macro_f1(&[], &[], 0).is_nan());
+        assert!(macro_f1(&[], &[], 3).is_nan());
+        assert!(micro_f1(&[], &[]).is_nan());
+        // Zero tracked classes over real examples is equally undefined.
+        assert!(macro_f1(&[0, 1], &[0, 1], 0).is_nan());
+    }
+
+    #[test]
+    fn out_of_range_labels_are_skipped_not_a_panic() {
+        // Regression: an agreeing out-of-range pair (p == g == 7 with
+        // n_classes == 2) used to hit `tp[p]` unguarded and panic.
+        let pred = vec![0, 7, 7, 1];
+        let gold = vec![0, 7, 2, 1];
+        let per = per_class_f1(&pred, &gold, 2);
+        assert_eq!(per.len(), 2);
+        // Classes 0 and 1 are perfect; the out-of-range labels contribute
+        // to no tracked class.
+        assert_eq!(per[0], (1.0, 1.0, 1.0));
+        assert_eq!(per[1], (1.0, 1.0, 1.0));
+        let mac = macro_f1(&pred, &gold, 2);
+        assert!((mac - 1.0).abs() < 1e-6, "macro {mac}");
     }
 
     #[test]
@@ -123,6 +166,35 @@ mod tests {
             let acc = accuracy(&pred, &gold);
             let mac = macro_f1(&pred, &gold, 4);
             prop_assert!((0.0..=1.0).contains(&acc));
+            prop_assert!((0.0..=1.0).contains(&mac));
+        }
+
+        #[test]
+        fn empty_never_equals_any_real_score(
+            pred in proptest::collection::vec(0usize..4, 1..64),
+        ) {
+            // Whatever a non-empty input scores, the empty input must be
+            // distinguishable from it — in particular from the worst score.
+            let gold: Vec<usize> = pred.iter().map(|&p| (p + 1) % 4).collect();
+            let real_acc = accuracy(&pred, &gold);
+            let real_mac = macro_f1(&pred, &gold, 4);
+            prop_assert!(real_acc.is_finite());
+            prop_assert!(real_mac.is_finite());
+            prop_assert!(accuracy(&[], &[]) != real_acc);
+            prop_assert!(macro_f1(&[], &[], 4) != real_mac);
+        }
+
+        #[test]
+        fn out_of_range_labels_never_panic(
+            pred in proptest::collection::vec(0usize..10, 1..64),
+            gold in proptest::collection::vec(0usize..10, 1..64),
+        ) {
+            let n = pred.len().min(gold.len());
+            // n_classes = 3 while labels go to 9: must stay bounded, never
+            // index out of range.
+            let per = per_class_f1(&pred[..n], &gold[..n], 3);
+            prop_assert_eq!(per.len(), 3);
+            let mac = macro_f1(&pred[..n], &gold[..n], 3);
             prop_assert!((0.0..=1.0).contains(&mac));
         }
 

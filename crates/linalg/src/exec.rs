@@ -137,10 +137,20 @@ where
     F: Fn(usize, &T) -> U + Sync,
 {
     let n = items.len();
+    // Counted at entry, before the serial/parallel split, so the values are
+    // identical for every thread count (they fingerprint the workload, not
+    // the schedule).
+    structmine_store::obs::counter_add("exec.par_calls", 1);
+    structmine_store::obs::counter_add("exec.par_items", n as u64);
     if !policy.is_parallel_for(n) {
+        // Serial execution is one chunk — counted so the counter key exists
+        // for every thread count (only its value is thread-dependent, and
+        // the `thread` token in the name puts it under report masking).
+        structmine_store::obs::counter_add("exec.thread_chunks", 1);
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
     let bounds = chunk_bounds(n, policy.threads);
+    structmine_store::obs::counter_add("exec.thread_chunks", bounds.len() as u64);
     let f = &f;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(bounds.len().saturating_sub(1));
@@ -191,13 +201,18 @@ where
     if row_len == 0 {
         return;
     }
+    structmine_store::obs::counter_add("exec.par_calls", 1);
+    structmine_store::obs::counter_add("exec.par_items", n_rows as u64);
     if !policy.is_parallel_for(n_rows) {
+        // One chunk, like the serial path of `par_map_chunks`.
+        structmine_store::obs::counter_add("exec.thread_chunks", 1);
         for (i, row) in out.chunks_exact_mut(row_len).enumerate() {
             f(i, row);
         }
         return;
     }
     let bounds = chunk_bounds(n_rows, policy.threads);
+    structmine_store::obs::counter_add("exec.thread_chunks", bounds.len() as u64);
     let f = &f;
     std::thread::scope(|scope| {
         let mut rest = out;

@@ -129,7 +129,7 @@ static CACHE: OnceLock<Mutex<ProcessCache>> = OnceLock::new();
 pub fn plm_store() -> &'static ArtifactStore {
     static STORE: OnceLock<ArtifactStore> = OnceLock::new();
     STORE.get_or_init(|| {
-        if std::env::var_os("STRUCTMINE_NO_CACHE").is_some() {
+        let store = if std::env::var_os("STRUCTMINE_NO_CACHE").is_some() {
             ArtifactStore::disabled()
         } else if std::env::var_os("STRUCTMINE_PLM_NO_DISK_CACHE").is_some() {
             ArtifactStore::memory_only()
@@ -139,7 +139,10 @@ pub fn plm_store() -> &'static ArtifactStore {
                     .map(std::path::PathBuf::from)
                     .unwrap_or_else(std::env::temp_dir),
             )
-        }
+        };
+        // Mirror this store's counters into the run report under `plm.*`,
+        // alongside the process store's `store.*`.
+        store.with_scope("plm")
     })
 }
 

@@ -7,25 +7,42 @@
 //! bare "worker panicked". Labels nest (a method stage may run store stages
 //! inside itself); the innermost label wins.
 //!
+//! Since the observability layer ([`crate::obs`]) landed, every guard is
+//! also a span: on drop it records its wall time, invocation count, and
+//! thread index into the global span registry under its full nesting path.
+//! Re-pushing the label that is already innermost (the memoized-store path:
+//! `run_memoized("x/predict")` wraps a compute that immediately pushes
+//! `"x/predict"` again) produces a pass-through guard that neither deepens
+//! the path nor double-counts the span.
+//!
 //! The context is per-thread. Parallel helpers join their workers on the
 //! spawning thread, so the label visible at `join()` time — where panics
 //! are reported — is the right one.
 
 use std::cell::RefCell;
+use std::time::Instant;
 
 thread_local! {
     static STAGE_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
 }
 
-/// RAII guard that pops the label it pushed, panic-safely.
+/// RAII guard that pops the label it pushed, panic-safely, and records the
+/// elapsed span into [`crate::obs`]. A pass-through guard (duplicate
+/// innermost label) does neither.
 pub struct StageGuard {
-    _priv: (),
+    start: Option<Instant>,
 }
 
 impl Drop for StageGuard {
     fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let elapsed = start.elapsed();
         STAGE_STACK.with(|s| {
-            s.borrow_mut().pop();
+            let mut stack = s.borrow_mut();
+            crate::obs::record_span(&stack, elapsed);
+            stack.pop();
         });
     }
 }
@@ -34,8 +51,19 @@ impl Drop for StageGuard {
 /// guard. Typical use: `let _stage = stage_guard("xclass/run");` as the
 /// first line of a stage's body.
 pub fn stage_guard(label: &str) -> StageGuard {
-    STAGE_STACK.with(|s| s.borrow_mut().push(label.to_string()));
-    StageGuard { _priv: () }
+    crate::obs::init();
+    let pushed = STAGE_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if stack.last().map(String::as_str) == Some(label) {
+            false
+        } else {
+            stack.push(label.to_string());
+            true
+        }
+    });
+    StageGuard {
+        start: pushed.then(Instant::now),
+    }
 }
 
 /// Run `f` with `label` as the current stage.
@@ -73,5 +101,17 @@ mod tests {
         });
         assert!(caught.is_err());
         assert_eq!(current_stage_label(), None, "guard must pop on unwind");
+    }
+
+    #[test]
+    fn duplicate_innermost_label_is_pass_through() {
+        with_stage_label("ctx-dup", || {
+            with_stage_label("ctx-dup", || {
+                assert_eq!(current_stage_label().as_deref(), Some("ctx-dup"));
+            });
+            // The inner pass-through guard must not have popped our label.
+            assert_eq!(current_stage_label().as_deref(), Some("ctx-dup"));
+        });
+        assert_eq!(current_stage_label(), None);
     }
 }

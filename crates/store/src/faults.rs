@@ -150,7 +150,7 @@ impl FaultInjector {
         static GLOBAL: OnceLock<Arc<FaultInjector>> = OnceLock::new();
         GLOBAL.get_or_init(|| match FaultPlan::from_env() {
             Ok(Some(plan)) => {
-                eprintln!("[faults] active plan: {plan:?}");
+                crate::obs::log_info(&format!("[faults] active plan: {plan:?}"));
                 FaultInjector::with_plan(plan)
             }
             Ok(None) => FaultInjector::none(),
@@ -216,7 +216,9 @@ impl FaultInjector {
         }
         let n = self.writes_completed.fetch_add(1, Ordering::Relaxed) + 1;
         if self.plan.kill_after_writes == Some(n) {
-            eprintln!("[faults] injected crash: aborting after {n} completed disk writes");
+            crate::obs::log_warn(&format!(
+                "[faults] injected crash: aborting after {n} completed disk writes"
+            ));
             std::process::abort();
         }
     }

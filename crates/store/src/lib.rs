@@ -32,6 +32,11 @@
 //!   testing the retry/degradation/resume machinery end to end.
 //! * [`context`] — a thread-local stage-label stack so deep failures
 //!   (worker panics, store warnings) can name the stage they happened in.
+//! * [`obs`] — the observability layer (DESIGN §8): every stage label is
+//!   also a wall-clock span, subsystem counters share one registry, log
+//!   output is leveled (`STRUCTMINE_LOG`), and a schema-stable JSON run
+//!   report can be written at process exit (`STRUCTMINE_REPORT` /
+//!   `--report-json`).
 //!
 //! Configuration (read once, at first use of the global store):
 //!
@@ -41,12 +46,15 @@
 //! | `STRUCTMINE_STORE_NO_DISK` | Disable the disk layer (memory sharing still on) |
 //! | `STRUCTMINE_NO_CACHE` | Disable the store entirely (every stage recomputes) |
 //! | `STRUCTMINE_FAULTS` | Deterministic fault plan, e.g. `disk_write=0.2,disk_read=0.1,truncate=0.05;seed=7` |
+//! | `STRUCTMINE_LOG` | Log level: `warn`, `info` (default), or `debug` |
+//! | `STRUCTMINE_REPORT` | Write the JSON run report to this path at process exit |
 
 pub mod context;
 pub mod error;
 pub mod faults;
 pub mod hash;
 pub mod key;
+pub mod obs;
 pub mod stage;
 pub mod store;
 

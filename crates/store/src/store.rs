@@ -117,6 +117,12 @@ pub struct ArtifactStore {
     memory_enabled: bool,
     mem: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
     stats: Stats,
+    /// When set, every [`Stats`] increment is mirrored into the global
+    /// [`obs`](crate::obs) counter registry under `<scope>.<counter>`, so
+    /// the run report's counters match this store's `[artifact-store]`
+    /// summary by construction. The process-wide store uses `"store"`, the
+    /// PLM cache `"plm"`; anonymous (test) stores mirror nothing.
+    scope: Option<String>,
     /// Fault injector consulted by every disk operation. Stores built from
     /// the environment share [`FaultInjector::global`]; tests may pin a
     /// private injector (or [`FaultInjector::none`]).
@@ -135,6 +141,7 @@ impl ArtifactStore {
             memory_enabled,
             mem: Mutex::new(HashMap::new()),
             stats: Stats::default(),
+            scope: None,
             faults,
             degraded: AtomicBool::new(false),
             disk_failures: AtomicU64::new(0),
@@ -177,6 +184,22 @@ impl ArtifactStore {
         ArtifactStore::with_dir(dir)
     }
 
+    /// Mirror this store's counters into the global [`obs`](crate::obs)
+    /// registry under `<scope>.<counter>` (e.g. `store.mem_hits`).
+    pub fn with_scope(mut self, scope: impl Into<String>) -> Self {
+        self.scope = Some(scope.into());
+        self
+    }
+
+    /// Increment one stat, mirroring it into [`obs`](crate::obs) when this
+    /// store has a scope.
+    fn bump(&self, stat: &AtomicU64, counter: crate::obs::Counter) {
+        stat.fetch_add(1, Ordering::Relaxed);
+        if let Some(scope) = &self.scope {
+            crate::obs::count(scope, counter, 1);
+        }
+    }
+
     /// The disk directory, if the disk layer is enabled.
     pub fn dir(&self) -> Option<&Path> {
         self.dir.as_deref()
@@ -216,7 +239,7 @@ impl ArtifactStore {
         if use_mem {
             if let Some(hit) = self.mem.lock().get(&id) {
                 if let Ok(typed) = Arc::clone(hit).downcast::<T>() {
-                    self.stats.mem_hits.fetch_add(1, Ordering::Relaxed);
+                    self.bump(&self.stats.mem_hits, crate::obs::Counter::MemHits);
                     return typed;
                 }
             }
@@ -224,7 +247,7 @@ impl ArtifactStore {
         if use_disk {
             match self.read_disk::<T>(key) {
                 Ok(Some(payload)) => {
-                    self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.bump(&self.stats.disk_hits, crate::obs::Counter::DiskHits);
                     let arc = Arc::new(payload);
                     if use_mem {
                         self.memoize(&id, &arc);
@@ -236,7 +259,7 @@ impl ArtifactStore {
             }
         }
 
-        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        self.bump(&self.stats.misses, crate::obs::Counter::Misses);
         let arc = Arc::new(context::with_stage_label(&key.stage, compute));
         if use_disk && !self.is_degraded() {
             if let Err(e) = self.write_disk(key, arc.as_ref()) {
@@ -266,10 +289,16 @@ impl ArtifactStore {
     fn note_read_failure(&self, e: &StoreError) {
         match e {
             StoreError::ChecksumMismatch { .. } | StoreError::MissingChecksum { .. } => {
-                self.stats.checksum_failures.fetch_add(1, Ordering::Relaxed);
+                self.bump(
+                    &self.stats.checksum_failures,
+                    crate::obs::Counter::ChecksumFailures,
+                );
             }
             StoreError::Decode { .. } => {
-                self.stats.decode_failures.fetch_add(1, Ordering::Relaxed);
+                self.bump(
+                    &self.stats.decode_failures,
+                    crate::obs::Counter::DecodeFailures,
+                );
             }
             _ => self.note_persistent_failure(e),
         }
@@ -278,15 +307,19 @@ impl ArtifactStore {
     /// Record a persistent (post-retry) disk failure; after
     /// [`DEGRADE_AFTER`] of them, demote to memory-only with one warning.
     fn note_persistent_failure(&self, e: &StoreError) {
-        self.stats
-            .persistent_failures
-            .fetch_add(1, Ordering::Relaxed);
+        self.bump(
+            &self.stats.persistent_failures,
+            crate::obs::Counter::PersistentFailures,
+        );
         let n = self.disk_failures.fetch_add(1, Ordering::Relaxed) + 1;
         if n >= DEGRADE_AFTER && !self.degraded.swap(true, Ordering::Relaxed) {
-            eprintln!(
+            if let Some(scope) = &self.scope {
+                crate::obs::count(scope, crate::obs::Counter::Degradations, 1);
+            }
+            crate::obs::log_warn(&format!(
                 "[artifact-store] WARNING: {n} persistent disk failures (last: {e}); \
                  demoting to memory-only — results stay correct but are no longer persisted"
-            );
+            ));
         }
     }
 
@@ -305,7 +338,10 @@ impl ArtifactStore {
                 Ok(r) => return Ok(r),
                 Err(e) => {
                     if matches!(e, StoreError::InjectedFault { .. }) {
-                        self.stats.injected_faults.fetch_add(1, Ordering::Relaxed);
+                        self.bump(
+                            &self.stats.injected_faults,
+                            crate::obs::Counter::InjectedFaults,
+                        );
                     }
                     if !e.is_transient() {
                         return Err(e);
@@ -318,7 +354,7 @@ impl ArtifactStore {
                             last: Box::new(e),
                         });
                     }
-                    self.stats.io_retries.fetch_add(1, Ordering::Relaxed);
+                    self.bump(&self.stats.io_retries, crate::obs::Counter::IoRetries);
                     std::thread::sleep(backoff_delay(attempt));
                     attempt += 1;
                 }
@@ -414,7 +450,7 @@ impl ArtifactStore {
             }
             result
         })?;
-        self.stats.disk_writes.fetch_add(1, Ordering::Relaxed);
+        self.bump(&self.stats.disk_writes, crate::obs::Counter::DiskWrites);
         // The fault layer may corrupt the completed file (truncate faults)
         // or crash the process here (kill_after_writes) — both simulate
         // hazards that strike *after* a successful write.
@@ -506,7 +542,7 @@ static GLOBAL: OnceLock<ArtifactStore> = OnceLock::new();
 /// `--faults`) set the corresponding environment variables before any
 /// store access.
 pub fn global() -> &'static ArtifactStore {
-    GLOBAL.get_or_init(ArtifactStore::from_env)
+    GLOBAL.get_or_init(|| ArtifactStore::from_env().with_scope("store"))
 }
 
 #[cfg(test)]
@@ -890,6 +926,30 @@ mod tests {
         assert_eq!(split_digest, digest);
         assert!(split_checksum(&body).is_none(), "no footer, no split");
         assert!(split_checksum(b"").is_none());
+    }
+
+    #[test]
+    fn scoped_store_mirrors_stats_into_obs_counters() {
+        // A unique scope isolates this test from every other store in the
+        // shared test process.
+        let scope = format!("test-scope-{}", std::process::id());
+        let store = ArtifactStore::memory_only().with_scope(&scope);
+        let s = doubler(vec![11], 1);
+        store.run(&s); // miss
+        store.run(&s); // mem hit
+        let st = store.stats();
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.mem_hits, 1);
+        assert_eq!(
+            crate::obs::counter_value(&format!("{scope}.misses")),
+            st.misses,
+            "report counters must match the [artifact-store] summary"
+        );
+        assert_eq!(
+            crate::obs::counter_value(&format!("{scope}.mem_hits")),
+            st.mem_hits
+        );
+        assert_eq!(crate::obs::counter_value(&format!("{scope}.disk_hits")), 0);
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Typed errors for the synthetic-world recipes.
+//!
+//! Recipe construction used to `unwrap()` its pool lookups, so a bad recipe
+//! or lexicon name surfaced as a panic with a backtrace. Builders now return
+//! [`SynthError`] instead; entry points (the CLI, table binaries) convert it
+//! into their own error taxonomy so bad input exits cleanly.
+
+/// A failure while building a synthetic dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// The recipe name is not in [`super::recipes::ALL_RECIPES`].
+    UnknownRecipe {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A recipe referenced a pool the standard world does not define.
+    MissingPool {
+        /// The pool (lexicon) name that failed to resolve.
+        pool: String,
+        /// The recipe (or builder) that referenced it.
+        recipe: String,
+    },
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::UnknownRecipe { name } => {
+                write!(
+                    f,
+                    "unknown recipe {name} (expected one of: {})",
+                    super::recipes::ALL_RECIPES.join(", ")
+                )
+            }
+            SynthError::MissingPool { pool, recipe } => {
+                write!(
+                    f,
+                    "recipe {recipe} references pool {pool}, which the standard world does not define"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = SynthError::UnknownRecipe {
+            name: "frob".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("frob"));
+        assert!(msg.contains("agnews"), "should list valid recipes: {msg}");
+
+        let e = SynthError::MissingPool {
+            pool: "no_such_lexicon".into(),
+            recipe: "custom".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("no_such_lexicon") && msg.contains("custom"));
+    }
+}

@@ -7,12 +7,14 @@
 //! relative orderings its tables demonstrate are preserved at laptop scale.
 
 pub mod dataset;
+pub mod error;
 pub mod lexicon;
 pub mod meta;
 pub mod recipes;
 pub mod world;
 
 pub use dataset::{Dataset, LabelSet, MetaStats};
+pub use error::SynthError;
 pub use meta::{attach_metadata, MetaConfig};
 pub use recipes::{by_name, pretraining_corpus, standard_world, ALL_RECIPES};
 pub use world::{MixComponent, PoolId, World, WorldConfig};

@@ -12,9 +12,10 @@
 
 use crate::corpus::Corpus;
 use crate::synth::dataset::{split_indices, Dataset, LabelSet, MetaStats};
+use crate::synth::error::SynthError;
 use crate::synth::lexicon::{GENERAL, TOPICS};
 use crate::synth::meta::{attach_metadata, MetaConfig};
-use crate::synth::world::{MixComponent, World, WorldConfig};
+use crate::synth::world::{MixComponent, PoolId, World, WorldConfig};
 use crate::taxonomy::Taxonomy;
 use rand::Rng;
 use structmine_linalg::rng as lrng;
@@ -22,12 +23,27 @@ use structmine_linalg::rng as lrng;
 /// Build the standard world: the general pool plus every lexicon, interned
 /// in a fixed order so token ids are stable across recipes.
 pub fn standard_world(cfg: WorldConfig) -> World {
+    standard_world_with_general(cfg).0
+}
+
+/// [`standard_world`] plus the id of the general pool — added first and
+/// unconditionally, so builders need no fallible lookup for it.
+fn standard_world_with_general(cfg: WorldConfig) -> (World, PoolId) {
     let mut w = World::new(cfg);
-    w.add_pool("general", GENERAL);
+    let general = w.add_pool("general", GENERAL);
     for (name, words) in TOPICS {
         w.add_pool(name, words);
     }
-    w
+    (w, general)
+}
+
+/// Resolve a pool by name, turning a miss into a typed [`SynthError`]
+/// instead of the panic the builders used to raise.
+fn pool(world: &World, recipe: &str, name: &str) -> Result<PoolId, SynthError> {
+    world.pool(name).ok_or_else(|| SynthError::MissingPool {
+        pool: name.to_string(),
+        recipe: recipe.to_string(),
+    })
 }
 
 /// An unlabeled general-domain corpus for pretraining the mini-PLM.
@@ -35,9 +51,8 @@ pub fn standard_world(cfg: WorldConfig) -> World {
 /// sees every topical word — including each sense of the polysemes — in
 /// context.
 pub fn pretraining_corpus(n_docs: usize, seed: u64) -> Corpus {
-    let world = standard_world(WorldConfig::default());
+    let (world, general) = standard_world_with_general(WorldConfig::default());
     let mut rng = lrng::seeded(seed);
-    let general = world.pool("general").expect("general pool");
     let n_pools = TOPICS.len();
     let mut specs = Vec::with_capacity(n_docs);
     for _ in 0..n_docs {
@@ -138,17 +153,25 @@ pub fn flat_dataset(
     world_cfg: WorldConfig,
     meta_cfg: Option<&MetaConfig>,
     seed: u64,
-) -> Dataset {
+) -> Result<Dataset, SynthError> {
     assert_eq!(classes.len(), sizes.len());
-    let world = standard_world(world_cfg);
-    let general = world.pool("general").expect("general pool");
+    let (world, general) = standard_world_with_general(world_cfg);
     let mut rng = lrng::seeded(seed);
 
+    // Resolve every class's pools up front: a bad lexicon name is a typed
+    // error before any document is generated.
+    let core_pools: Vec<PoolId> = classes
+        .iter()
+        .map(|def| pool(&world, name, def.core))
+        .collect::<Result<_, _>>()?;
+    let domain_pools: Vec<Option<PoolId>> = classes
+        .iter()
+        .map(|def| def.domain.map(|d| pool(&world, name, d)).transpose())
+        .collect::<Result<_, _>>()?;
+
     let mut specs = Vec::new();
-    for (c, (def, &n)) in classes.iter().zip(sizes).enumerate() {
-        let core = world
-            .pool(def.core)
-            .unwrap_or_else(|| panic!("pool {}", def.core));
+    for (c, (_def, &n)) in classes.iter().zip(sizes).enumerate() {
+        let core = core_pools[c];
         for _ in 0..n {
             let mut mix = vec![
                 MixComponent {
@@ -160,9 +183,8 @@ pub fn flat_dataset(
                     weight: 0.38,
                 },
             ];
-            match def.domain {
-                Some(d) => {
-                    let dp = world.pool(d).unwrap_or_else(|| panic!("pool {d}"));
+            match domain_pools[c] {
+                Some(dp) => {
                     mix.push(MixComponent {
                         pool: dp,
                         weight: 0.12,
@@ -181,7 +203,7 @@ pub fn flat_dataset(
                         break o;
                     }
                 };
-                let op = world.pool(classes[other].core).unwrap();
+                let op = core_pools[other];
                 let weight = 0.24 * (1.0 - 1.0 / classes.len() as f32);
                 mix.push(MixComponent { pool: op, weight });
             }
@@ -205,7 +227,7 @@ pub fn flat_dataset(
     }
 
     let (train_idx, test_idx) = split_indices(corpus.len(), 0.3, lrng::derive_seed(seed, 77));
-    Dataset {
+    Ok(Dataset {
         name: name.to_string(),
         corpus,
         labels,
@@ -214,7 +236,7 @@ pub fn flat_dataset(
         train_idx,
         test_idx,
         meta,
-    }
+    })
 }
 
 /// Geometric class sizes from `max` down, with the requested max/min ratio.
@@ -232,7 +254,7 @@ fn imbalanced_sizes(n_classes: usize, max: usize, ratio: f32, scale: f32) -> Vec
 // ---------------------------------------------------------------------------
 
 /// AG News stand-in: 4 balanced news topics.
-pub fn agnews(scale: f32, seed: u64) -> Dataset {
+pub fn agnews(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef::new("world", "world"),
         ClassDef::new("sports", "sports"),
@@ -251,7 +273,7 @@ pub fn agnews(scale: f32, seed: u64) -> Dataset {
 }
 
 /// NYT coarse stand-in: 5 balanced sections.
-pub fn nyt_coarse(scale: f32, seed: u64) -> Dataset {
+pub fn nyt_coarse(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef::new("politics", "politics"),
         ClassDef::new("arts", "arts"),
@@ -271,7 +293,7 @@ pub fn nyt_coarse(scale: f32, seed: u64) -> Dataset {
 }
 
 /// NYT-Small stand-in (X-Class): the 5 coarse sections, imbalanced ~16x.
-pub fn nyt_small(scale: f32, seed: u64) -> Dataset {
+pub fn nyt_small(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef::new("politics", "politics"),
         ClassDef::new("arts", "arts"),
@@ -319,7 +341,7 @@ const NYT_FINE_CLASSES: &[ClassDef] = &[
 ];
 
 /// NYT fine stand-in: 25 subtopics nested under the coarse sections.
-pub fn nyt_fine(scale: f32, seed: u64) -> Dataset {
+pub fn nyt_fine(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let sizes = vec![scaled(100, scale); NYT_FINE_CLASSES.len()];
     flat_dataset(
         "nyt-fine",
@@ -332,7 +354,7 @@ pub fn nyt_fine(scale: f32, seed: u64) -> Dataset {
 }
 
 /// NYT-Topic stand-in (X-Class): 9 topics, heavily imbalanced (~27x).
-pub fn nyt_topic(scale: f32, seed: u64) -> Dataset {
+pub fn nyt_topic(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef::new("politics", "politics"),
         ClassDef::new("sports", "sports"),
@@ -356,7 +378,7 @@ pub fn nyt_topic(scale: f32, seed: u64) -> Dataset {
 }
 
 /// NYT-Location stand-in (X-Class): 10 countries, imbalanced ~16x.
-pub fn nyt_location(scale: f32, seed: u64) -> Dataset {
+pub fn nyt_location(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef {
             name: "united states",
@@ -431,7 +453,7 @@ pub fn nyt_location(scale: f32, seed: u64) -> Dataset {
 }
 
 /// 20 Newsgroups coarse stand-in: 6 top-level groups.
-pub fn news20_coarse(scale: f32, seed: u64) -> Dataset {
+pub fn news20_coarse(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef::new("computer", "technology"),
         ClassDef::new("recreation", "sports"),
@@ -452,7 +474,7 @@ pub fn news20_coarse(scale: f32, seed: u64) -> Dataset {
 }
 
 /// 20 Newsgroups fine stand-in: 20 subgroups.
-pub fn news20_fine(scale: f32, seed: u64) -> Dataset {
+pub fn news20_fine(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef::with_domain("software", "software", "technology"),
         ClassDef::with_domain("internet", "internet", "technology"),
@@ -487,7 +509,7 @@ pub fn news20_fine(scale: f32, seed: u64) -> Dataset {
 }
 
 /// Yelp polarity stand-in: positive vs negative restaurant reviews.
-pub fn yelp(scale: f32, seed: u64) -> Dataset {
+pub fn yelp(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef {
             name: "good",
@@ -507,7 +529,7 @@ pub fn yelp(scale: f32, seed: u64) -> Dataset {
 }
 
 /// IMDB stand-in: positive vs negative movie reviews.
-pub fn imdb(scale: f32, seed: u64) -> Dataset {
+pub fn imdb(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef {
             name: "good",
@@ -527,7 +549,7 @@ pub fn imdb(scale: f32, seed: u64) -> Dataset {
 }
 
 /// Amazon polarity stand-in: positive vs negative product reviews.
-pub fn amazon_polarity(scale: f32, seed: u64) -> Dataset {
+pub fn amazon_polarity(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef {
             name: "good",
@@ -554,7 +576,7 @@ pub fn amazon_polarity(scale: f32, seed: u64) -> Dataset {
 }
 
 /// DBpedia ontology stand-in: 14 balanced entity classes.
-pub fn dbpedia(scale: f32, seed: u64) -> Dataset {
+pub fn dbpedia(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef::new("company", "ont_company"),
         ClassDef::new("school", "ont_school"),
@@ -618,7 +640,7 @@ pub fn dbpedia(scale: f32, seed: u64) -> Dataset {
 
 /// GitHub-Bio stand-in: 10 bioinformatics repo topics, small corpus, with
 /// user and tag metadata.
-pub fn github_bio(scale: f32, seed: u64) -> Dataset {
+pub fn github_bio(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef::with_domain("genetics", "bio_genetics", "software"),
         ClassDef::with_domain("immunology", "bio_immunology", "software"),
@@ -643,7 +665,7 @@ pub fn github_bio(scale: f32, seed: u64) -> Dataset {
 }
 
 /// GitHub-AI stand-in: 14 AI repo topics with user and tag metadata.
-pub fn github_ai(scale: f32, seed: u64) -> Dataset {
+pub fn github_ai(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef::with_domain("nlp", "cs_nlp", "software"),
         ClassDef::with_domain("vision", "cs_vision", "software"),
@@ -672,7 +694,7 @@ pub fn github_ai(scale: f32, seed: u64) -> Dataset {
 }
 
 /// GitHub-Sec stand-in: 3 security repo topics, larger corpus.
-pub fn github_sec(scale: f32, seed: u64) -> Dataset {
+pub fn github_sec(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef::with_domain("security", "cybersecurity", "software"),
         ClassDef::with_domain("web", "internet", "software"),
@@ -690,7 +712,7 @@ pub fn github_sec(scale: f32, seed: u64) -> Dataset {
 }
 
 /// Amazon reviews stand-in with user/product metadata: 10 product categories.
-pub fn amazon_meta(scale: f32, seed: u64) -> Dataset {
+pub fn amazon_meta(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef::new("hardware", "hardware"),
         ClassDef::new("software", "software"),
@@ -746,7 +768,7 @@ pub fn amazon_meta(scale: f32, seed: u64) -> Dataset {
 }
 
 /// Twitter stand-in: 9 hashtag topics, short documents, users + hashtags.
-pub fn twitter(scale: f32, seed: u64) -> Dataset {
+pub fn twitter(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let classes = [
         ClassDef {
             name: "food",
@@ -809,9 +831,8 @@ pub fn tree_dataset(
     docs_per_leaf: usize,
     world_cfg: WorldConfig,
     seed: u64,
-) -> Dataset {
-    let world = standard_world(world_cfg);
-    let general = world.pool("general").expect("general pool");
+) -> Result<Dataset, SynthError> {
+    let (world, general) = standard_world_with_general(world_cfg);
     let mut rng = lrng::seeded(seed);
 
     let mut taxonomy = Taxonomy::new("root");
@@ -829,9 +850,7 @@ pub fn tree_dataset(
         labels.keywords.push(kw);
         labels.descriptions.push(desc);
 
-        let dom_pool = world
-            .pool(dom_lex)
-            .unwrap_or_else(|| panic!("pool {dom_lex}"));
+        let dom_pool = pool(&world, name, dom_lex)?;
         for &(leaf_name, leaf_lex) in leaves {
             let leaf_node = taxonomy.add_node(leaf_name, &[dom_node]);
             let leaf_class = class_nodes.len();
@@ -842,9 +861,7 @@ pub fn tree_dataset(
             labels.keywords.push(kw);
             labels.descriptions.push(desc);
 
-            let leaf_pool = world
-                .pool(leaf_lex)
-                .unwrap_or_else(|| panic!("pool {leaf_lex}"));
+            let leaf_pool = pool(&world, name, leaf_lex)?;
             for _ in 0..docs_per_leaf {
                 let mut mix = vec![
                     MixComponent {
@@ -862,16 +879,13 @@ pub fn tree_dataset(
                 ];
                 // Leak words from a random sibling leaf.
                 if leaves.len() > 1 {
-                    let (other, _) = leaves[rng.gen_range(0..leaves.len())];
-                    if other != leaf_name {
-                        if let Some(op) =
-                            world.pool(leaves.iter().find(|&&(n, _)| n == other).unwrap().1)
-                        {
-                            mix.push(MixComponent {
-                                pool: op,
-                                weight: 0.15,
-                            });
-                        }
+                    let (other_name, other_lex) = leaves[rng.gen_range(0..leaves.len())];
+                    if other_name != leaf_name {
+                        let op = pool(&world, name, other_lex)?;
+                        mix.push(MixComponent {
+                            pool: op,
+                            weight: 0.15,
+                        });
                     }
                 }
                 specs.push((mix, vec![dom_class, leaf_class]));
@@ -881,7 +895,7 @@ pub fn tree_dataset(
 
     let corpus = world.gen_corpus(&mut rng, &specs);
     let (train_idx, test_idx) = split_indices(corpus.len(), 0.3, lrng::derive_seed(seed, 77));
-    Dataset {
+    Ok(Dataset {
         name: name.to_string(),
         corpus,
         labels,
@@ -890,11 +904,11 @@ pub fn tree_dataset(
         train_idx,
         test_idx,
         meta: MetaStats::default(),
-    }
+    })
 }
 
 /// NYT hierarchy stand-in for WeSHClass: 3 sections x 3 subtopics.
-pub fn nyt_tree(scale: f32, seed: u64) -> Dataset {
+pub fn nyt_tree(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let domains: &[TreeDomain] = &[
         (
             "politics",
@@ -934,7 +948,7 @@ pub fn nyt_tree(scale: f32, seed: u64) -> Dataset {
 }
 
 /// arXiv hierarchy stand-in for WeSHClass: cs / math / physics.
-pub fn arxiv_tree(scale: f32, seed: u64) -> Dataset {
+pub fn arxiv_tree(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let domains: &[TreeDomain] = &[
         (
             "computer science",
@@ -975,7 +989,7 @@ pub fn arxiv_tree(scale: f32, seed: u64) -> Dataset {
 }
 
 /// Yelp hierarchy stand-in for WeSHClass: sentiment -> venue type.
-pub fn yelp_tree(scale: f32, seed: u64) -> Dataset {
+pub fn yelp_tree(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let domains: &[TreeDomain] = &[
         (
             "good",
@@ -991,8 +1005,7 @@ pub fn yelp_tree(scale: f32, seed: u64) -> Dataset {
     // Leaf lexicons repeat across branches ("dining" under both sentiments),
     // so the *parent* pool is what separates the top level — mirroring how
     // Yelp review hierarchies share vocabulary across sentiment branches.
-    let world = standard_world(WorldConfig::default());
-    let general = world.pool("general").expect("general pool");
+    let (world, general) = standard_world_with_general(WorldConfig::default());
     let mut rng = lrng::seeded(seed);
 
     let mut taxonomy = Taxonomy::new("root");
@@ -1008,12 +1021,12 @@ pub fn yelp_tree(scale: f32, seed: u64) -> Dataset {
         labels.name_words.push(nw);
         labels.keywords.push(kw);
         labels.descriptions.push(desc);
-        let dom_pool = world.pool(dom_lex).unwrap();
+        let dom_pool = pool(&world, "yelp-tree", dom_lex)?;
         for &(leaf_name, leaf_lex) in leaves {
             let leaf_node = taxonomy.add_node(leaf_name, &[dom_node]);
             let leaf_class = class_nodes.len();
             class_nodes.push(leaf_node);
-            let leaf_pool = world.pool(leaf_lex).unwrap();
+            let leaf_pool = pool(&world, "yelp-tree", leaf_lex)?;
             let words = crate::synth::lexicon::lexicon(leaf_lex);
             labels.names.push(leaf_name.to_string());
             labels.name_words.push(vec![words[0].to_string()]);
@@ -1044,7 +1057,7 @@ pub fn yelp_tree(scale: f32, seed: u64) -> Dataset {
     }
     let corpus = world.gen_corpus(&mut rng, &specs);
     let (train_idx, test_idx) = split_indices(corpus.len(), 0.3, lrng::derive_seed(seed, 77));
-    Dataset {
+    Ok(Dataset {
         name: "yelp-tree".into(),
         corpus,
         labels,
@@ -1053,7 +1066,7 @@ pub fn yelp_tree(scale: f32, seed: u64) -> Dataset {
         train_idx,
         test_idx,
         meta: MetaStats::default(),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1075,10 +1088,20 @@ pub fn dag_dataset(
     n_docs: usize,
     meta_cfg: Option<&MetaConfig>,
     seed: u64,
-) -> Dataset {
-    let world = standard_world(WorldConfig::default());
-    let general = world.pool("general").expect("general pool");
+) -> Result<Dataset, SynthError> {
+    let (world, general) = standard_world_with_general(WorldConfig::default());
     let mut rng = lrng::seeded(seed);
+
+    // Resolve parent and leaf pools up front; bad lexicon names become
+    // typed errors before any document is generated.
+    let parent_pools: Vec<PoolId> = parents
+        .iter()
+        .map(|&(_, plex)| pool(&world, name, plex))
+        .collect::<Result<_, _>>()?;
+    let leaf_pools: Vec<PoolId> = leaves
+        .iter()
+        .map(|&(_, llex, _)| pool(&world, name, llex))
+        .collect::<Result<_, _>>()?;
 
     let mut taxonomy = Taxonomy::new("root");
     let mut labels = LabelSet::default();
@@ -1147,26 +1170,21 @@ pub fn dag_dataset(
         // Background contamination from one random unrelated leaf.
         let noise_leaf = rng.gen_range(0..leaves.len());
         if !chosen.contains(&noise_leaf) {
-            let np = world.pool(leaves[noise_leaf].1).unwrap();
             mix.push(MixComponent {
-                pool: np,
+                pool: leaf_pools[noise_leaf],
                 weight: 0.12,
             });
         }
         let mut label_set = Vec::new();
         for &l in &chosen {
-            let pool = world
-                .pool(leaves[l].1)
-                .unwrap_or_else(|| panic!("pool {}", leaves[l].1));
             mix.push(MixComponent {
-                pool,
+                pool: leaf_pools[l],
                 weight: 0.5 / k,
             });
             label_set.push(leaf_classes[l]);
             for &p in leaves[l].2 {
-                let ppool = world.pool(parents[p].1).unwrap();
                 mix.push(MixComponent {
-                    pool: ppool,
+                    pool: parent_pools[p],
                     weight: 0.17 / (k * leaves[l].2.len() as f32),
                 });
                 if !label_set.contains(&p) {
@@ -1185,7 +1203,7 @@ pub fn dag_dataset(
         None => MetaStats::default(),
     };
     let (train_idx, test_idx) = split_indices(corpus.len(), 0.3, lrng::derive_seed(seed, 77));
-    Dataset {
+    Ok(Dataset {
         name: name.to_string(),
         corpus,
         labels,
@@ -1194,11 +1212,11 @@ pub fn dag_dataset(
         train_idx,
         test_idx,
         meta,
-    }
+    })
 }
 
 /// Amazon product-taxonomy stand-in for TaxoClass: a DAG with a shared leaf.
-pub fn amazon_taxonomy(scale: f32, seed: u64) -> Dataset {
+pub fn amazon_taxonomy(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let parents: &[(&str, &str)] = &[
         ("electronics", "technology"),
         ("media", "arts"),
@@ -1228,7 +1246,7 @@ pub fn amazon_taxonomy(scale: f32, seed: u64) -> Dataset {
 }
 
 /// DBpedia-taxonomy stand-in for TaxoClass.
-pub fn dbpedia_taxonomy(scale: f32, seed: u64) -> Dataset {
+pub fn dbpedia_taxonomy(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let parents: &[(&str, &str)] = &[
         ("organisation", "ont_company"),
         ("person", "ont_politician"),
@@ -1263,7 +1281,7 @@ pub fn dbpedia_taxonomy(scale: f32, seed: u64) -> Dataset {
 
 /// MAG-CS stand-in for MICoL: multi-label CS papers with venues, authors and
 /// citations, and label descriptions.
-pub fn mag_cs(scale: f32, seed: u64) -> Dataset {
+pub fn mag_cs(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let parents: &[(&str, &str)] = &[
         ("artificial intelligence", "machine_intelligence"),
         ("computer systems", "cs_systems"),
@@ -1291,7 +1309,7 @@ pub fn mag_cs(scale: f32, seed: u64) -> Dataset {
 }
 
 /// PubMed stand-in for MICoL: multi-label biomedical papers with metadata.
-pub fn pubmed(scale: f32, seed: u64) -> Dataset {
+pub fn pubmed(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     let parents: &[(&str, &str)] = &[
         ("molecular biology", "bio_genetics"),
         ("clinical medicine", "health"),
@@ -1315,9 +1333,11 @@ pub fn pubmed(scale: f32, seed: u64) -> Dataset {
     )
 }
 
-/// Look a recipe up by name (`agnews`, `nyt-fine`, `yelp`, ...).
-pub fn by_name(name: &str, scale: f32, seed: u64) -> Option<Dataset> {
-    let d = match name {
+/// Look a recipe up by name (`agnews`, `nyt-fine`, `yelp`, ...). An
+/// unrecognized name is a typed [`SynthError::UnknownRecipe`], never a
+/// panic — entry points map it to their own error taxonomy.
+pub fn by_name(name: &str, scale: f32, seed: u64) -> Result<Dataset, SynthError> {
+    match name {
         "agnews" => agnews(scale, seed),
         "nyt-coarse" => nyt_coarse(scale, seed),
         "nyt-small" => nyt_small(scale, seed),
@@ -1342,9 +1362,10 @@ pub fn by_name(name: &str, scale: f32, seed: u64) -> Option<Dataset> {
         "dbpedia-taxonomy" => dbpedia_taxonomy(scale, seed),
         "mag-cs" => mag_cs(scale, seed),
         "pubmed" => pubmed(scale, seed),
-        _ => return None,
-    };
-    Some(d)
+        _ => Err(SynthError::UnknownRecipe {
+            name: name.to_string(),
+        }),
+    }
 }
 
 /// All recipe names accepted by [`by_name`].
@@ -1395,19 +1416,44 @@ mod tests {
     }
 
     #[test]
-    fn unknown_recipe_returns_none() {
-        assert!(by_name("not-a-dataset", 1.0, 1).is_none());
+    fn unknown_recipe_is_a_typed_error() {
+        match by_name("not-a-dataset", 1.0, 1) {
+            Err(SynthError::UnknownRecipe { name }) => assert_eq!(name, "not-a-dataset"),
+            other => panic!("expected UnknownRecipe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_pool_is_a_typed_error_not_a_panic() {
+        // Regression: a ClassDef naming a nonexistent lexicon used to
+        // panic inside the builder with a backtrace.
+        let classes = [
+            ClassDef::new("a", "sports"),
+            ClassDef::new("b", "no_such_lexicon"),
+        ];
+        match flat_dataset("custom", &classes, &[5, 5], WorldConfig::default(), None, 1) {
+            Err(SynthError::MissingPool { pool, recipe }) => {
+                assert_eq!(pool, "no_such_lexicon");
+                assert_eq!(recipe, "custom");
+            }
+            other => panic!("expected MissingPool, got {other:?}"),
+        }
+        let leaves: &[DagLeaf] = &[("x", "missing_leaf_lexicon", &[0])];
+        assert!(matches!(
+            dag_dataset("dag", &[("p", "sports")], leaves, 4, None, 1),
+            Err(SynthError::MissingPool { .. })
+        ));
     }
 
     #[test]
     fn recipes_are_deterministic() {
-        let a = agnews(0.05, 42);
-        let b = agnews(0.05, 42);
+        let a = agnews(0.05, 42).unwrap();
+        let b = agnews(0.05, 42).unwrap();
         assert_eq!(a.corpus.docs.len(), b.corpus.docs.len());
         for (x, y) in a.corpus.docs.iter().zip(&b.corpus.docs) {
             assert_eq!(x.tokens, y.tokens);
         }
-        let c = agnews(0.05, 43);
+        let c = agnews(0.05, 43).unwrap();
         assert_ne!(
             a.corpus.docs[0].tokens, c.corpus.docs[0].tokens,
             "different seeds should differ"
@@ -1429,8 +1475,8 @@ mod tests {
 
     #[test]
     fn shared_vocabulary_across_recipes_and_pretraining() {
-        let a = agnews(0.05, 1);
-        let b = yelp(0.05, 2);
+        let a = agnews(0.05, 1).unwrap();
+        let b = yelp(0.05, 2).unwrap();
         let pre = pretraining_corpus(10, 3);
         assert_eq!(a.corpus.vocab.len(), b.corpus.vocab.len());
         assert_eq!(a.corpus.vocab.id("soccer"), pre.vocab.id("soccer"));
@@ -1441,7 +1487,7 @@ mod tests {
     fn class_docs_are_topically_distinct() {
         // Documents of class c should contain more of class c's keywords
         // than documents of other classes — the core planted signal.
-        let d = agnews(0.2, 7);
+        let d = agnews(0.2, 7).unwrap();
         let kw = d.keyword_tokens();
         let mut per_class_hits = vec![vec![0f32; d.n_classes()]; d.n_classes()];
         let mut per_class_docs = vec![0usize; d.n_classes()];
@@ -1472,15 +1518,15 @@ mod tests {
 
     #[test]
     fn imbalanced_recipes_report_expected_ratio() {
-        let d = nyt_topic(0.3, 5);
+        let d = nyt_topic(0.3, 5).unwrap();
         assert!(d.imbalance() > 5.0, "imbalance {}", d.imbalance());
-        let balanced = agnews(0.1, 5);
+        let balanced = agnews(0.1, 5).unwrap();
         assert!((balanced.imbalance() - 1.0).abs() < 0.01);
     }
 
     #[test]
     fn tree_recipes_have_path_labels() {
-        let d = nyt_tree(0.1, 3);
+        let d = nyt_tree(0.1, 3).unwrap();
         let tax = d.taxonomy.as_ref().unwrap();
         assert!(tax.is_tree());
         for doc in &d.corpus.docs {
@@ -1493,7 +1539,7 @@ mod tests {
 
     #[test]
     fn dag_recipes_are_multilabel_with_ancestor_closure() {
-        let d = amazon_taxonomy(0.1, 3);
+        let d = amazon_taxonomy(0.1, 3).unwrap();
         let tax = d.taxonomy.as_ref().unwrap();
         assert!(!tax.is_tree());
         let mut any_multileaf = false;
@@ -1525,7 +1571,7 @@ mod tests {
 
     #[test]
     fn bibliographic_recipes_have_metadata() {
-        let d = mag_cs(0.05, 2);
+        let d = mag_cs(0.05, 2).unwrap();
         assert!(d.meta.n_venues > 0 && d.meta.n_authors > 0);
         let with_refs = d
             .corpus
@@ -1539,7 +1585,7 @@ mod tests {
 
     #[test]
     fn twitter_docs_are_short() {
-        let d = twitter(0.05, 2);
+        let d = twitter(0.05, 2).unwrap();
         let avg: f32 = d
             .corpus
             .docs

@@ -16,7 +16,7 @@ use structmine_text::synth::meta::user_label_agreement;
 use structmine_text::synth::recipes;
 
 fn main() {
-    let data = recipes::github_bio(0.5, 9);
+    let data = recipes::github_bio(0.5, 9).unwrap();
     println!(
         "{} repos, {} categories, {} users, {} tags",
         data.corpus.len(),

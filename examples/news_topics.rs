@@ -19,7 +19,7 @@ use structmine_plm::cache::{pretrained, Tier};
 use structmine_text::synth::recipes;
 
 fn main() {
-    let data = recipes::agnews(0.15, 7);
+    let data = recipes::agnews(0.15, 7).unwrap();
     let plm = pretrained(Tier::Test, 0);
     let gold = data.test_gold();
     let eval = |preds: &[usize]| {

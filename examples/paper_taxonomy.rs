@@ -17,7 +17,7 @@ use structmine_plm::cache::{pretrained, Tier};
 use structmine_text::synth::recipes;
 
 fn main() {
-    let data = recipes::mag_cs(0.12, 3);
+    let data = recipes::mag_cs(0.12, 3).unwrap();
     let plm = pretrained(Tier::Test, 0);
     let tax = data.taxonomy.as_ref().unwrap();
     println!(

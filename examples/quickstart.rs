@@ -17,7 +17,7 @@ fn main() {
     // 1. A corpus with four topical classes (world / sports / business /
     //    technology). Only the *names* of the classes are given to the
     //    method — no labeled documents, no keyword lists.
-    let data = recipes::agnews(0.15, 42);
+    let data = recipes::agnews(0.15, 42).unwrap();
     println!(
         "corpus: {} docs, {} classes, vocabulary {}",
         data.corpus.len(),

@@ -7,7 +7,7 @@ use structmine_text::synth::recipes;
 
 #[test]
 fn weshclass_paths_are_always_valid_tree_paths() {
-    let d = recipes::arxiv_tree(0.08, 301);
+    let d = recipes::arxiv_tree(0.08, 301).unwrap();
     let wv = structmine_embed::Sgns::train(
         &d.corpus,
         &structmine_embed::SgnsConfig {
@@ -40,7 +40,7 @@ fn weshclass_paths_are_always_valid_tree_paths() {
 
 #[test]
 fn taxoclass_outputs_are_ancestor_closed_and_contain_top1() {
-    let d = recipes::dbpedia_taxonomy(0.06, 302);
+    let d = recipes::dbpedia_taxonomy(0.06, 302).unwrap();
     let plm = pretrained(Tier::Test, 0);
     let out = TaxoClass {
         self_train_iters: 0,
@@ -61,7 +61,7 @@ fn taxoclass_outputs_are_ancestor_closed_and_contain_top1() {
 
 #[test]
 fn micol_rankings_are_permutations_of_the_label_space() {
-    let d = recipes::pubmed(0.06, 303);
+    let d = recipes::pubmed(0.06, 303).unwrap();
     let plm = pretrained(Tier::Test, 0);
     for encoder in [
         structmine::micol::Encoder::Bi,
@@ -85,7 +85,7 @@ fn micol_rankings_are_permutations_of_the_label_space() {
 fn hierarchy_supervision_modes_agree_on_structure() {
     // KEYWORDS and DOCS supervision must both produce valid paths on the
     // same tree (quality differs; structure must not).
-    let d = recipes::nyt_tree(0.08, 304);
+    let d = recipes::nyt_tree(0.08, 304).unwrap();
     let wv = structmine_embed::Sgns::train(
         &d.corpus,
         &structmine_embed::SgnsConfig {
@@ -107,7 +107,7 @@ fn hierarchy_supervision_modes_agree_on_structure() {
 
 #[test]
 fn metacat_signal_sets_produce_valid_predictions() {
-    let d = recipes::twitter(0.08, 305);
+    let d = recipes::twitter(0.08, 305).unwrap();
     let sup = d.supervision_docs(4, 2);
     let cfg = MetaCat {
         samples: 30_000,

@@ -14,7 +14,7 @@ fn test_acc(d: &Dataset, preds: &[usize]) -> f32 {
 
 #[test]
 fn name_only_pipeline_beats_chance_end_to_end() {
-    let d = recipes::agnews(0.1, 201);
+    let d = recipes::agnews(0.1, 201).unwrap();
     let plm = pretrained(Tier::Test, 0);
     let out = XClass::default().run(&d, &plm);
     let acc = test_acc(&d, &out.predictions);
@@ -24,7 +24,7 @@ fn name_only_pipeline_beats_chance_end_to_end() {
 
 #[test]
 fn methods_are_deterministic_given_seed() {
-    let d = recipes::yelp(0.06, 202);
+    let d = recipes::yelp(0.06, 202).unwrap();
     let plm = pretrained(Tier::Test, 0);
     let a = XClass {
         seed: 5,
@@ -50,7 +50,7 @@ fn methods_are_deterministic_given_seed() {
 fn plm_methods_beat_static_methods_with_names_only() {
     // The tutorial's central claim: PLM-based methods outperform
     // static-embedding methods under name-only supervision.
-    let d = recipes::agnews(0.12, 203);
+    let d = recipes::agnews(0.12, 203).unwrap();
     let plm = pretrained(Tier::Test, 0);
     let wv = structmine_embed::Sgns::train(
         &d.corpus,
@@ -76,7 +76,7 @@ fn plm_methods_beat_static_methods_with_names_only() {
 
 #[test]
 fn supervised_bound_dominates_weak_supervision() {
-    let d = recipes::nyt_coarse(0.1, 204);
+    let d = recipes::nyt_coarse(0.1, 204).unwrap();
     let plm = pretrained(Tier::Test, 0);
     let features = structmine::common::plm_features(&d, &plm);
     let sup_acc = test_acc(&d, &structmine::baselines::supervised(&d, &features, 1));
@@ -90,7 +90,7 @@ fn supervised_bound_dominates_weak_supervision() {
 
 #[test]
 fn every_flat_method_emits_predictions_for_every_doc() {
-    let d = recipes::yelp(0.06, 205);
+    let d = recipes::yelp(0.06, 205).unwrap();
     let plm = pretrained(Tier::Test, 0);
     let wv = structmine_embed::Sgns::train(
         &d.corpus,

@@ -110,8 +110,8 @@ proptest! {
 fn world_polysemes_share_ids_across_all_recipes() {
     // The polysemy invariant the ConWea experiments rely on: one token id
     // for "penalty" across every dataset built from the standard world.
-    let a = recipes::agnews(0.05, 1);
-    let b = recipes::news20_fine(0.05, 2);
+    let a = recipes::agnews(0.05, 1).unwrap();
+    let b = recipes::news20_fine(0.05, 2).unwrap();
     let penalty_a = a.corpus.vocab.id("penalty");
     let penalty_b = b.corpus.vocab.id("penalty");
     assert!(penalty_a.is_some());
