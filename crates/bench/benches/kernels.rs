@@ -1,0 +1,120 @@
+//! Criterion benchmarks for the compute kernels (DESIGN §9): the blocked
+//! packed matmul/matmul_t against an in-bench naive reference, plus one
+//! training-shaped autodiff step exercising the graph arena.
+//!
+//! Shapes mirror the two regimes the mini-PLM actually hits: "small" is an
+//! attention score product at standard tier (48-token sequence, d_head 12),
+//! "medium" is the tied MLM projection (hidden states against a vocab-sized
+//! table). Run with `cargo bench --bench kernels`; CI compiles it via
+//! `cargo bench --no-run`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use structmine_linalg::{rng, Matrix};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut r = rng::seeded(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    rng::fill_gaussian(&mut r, m.data_mut(), 0.5);
+    m
+}
+
+/// The pre-kernel i-k-j loop, kept here as the comparison baseline.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a.get(i, kk);
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out.set(i, j, out.get(i, j) + av * b.get(kk, j));
+            }
+        }
+    }
+    out
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    // Attention-score shape: (seq x d_head) · (d_head x seq).
+    let a_small = random_matrix(48, 12, 1);
+    let b_small = random_matrix(12, 48, 2);
+    // Tied-projection shape: (seq x d_model) · (d_model x vocab).
+    let a_med = random_matrix(48, 48, 3);
+    let b_med = random_matrix(48, 2000, 4);
+
+    group.bench_function("naive_small", |b| {
+        b.iter(|| black_box(naive_matmul(&a_small, &b_small)))
+    });
+    group.bench_function("blocked_small", |b| {
+        b.iter(|| black_box(a_small.matmul(&b_small)))
+    });
+    group.bench_function("naive_medium", |b| {
+        b.iter(|| black_box(naive_matmul(&a_med, &b_med)))
+    });
+    group.bench_function("blocked_medium", |b| {
+        b.iter(|| black_box(a_med.matmul(&b_med)))
+    });
+
+    // matmul_t on the same medium shape (B given row-major, as the tied
+    // embedding table actually is).
+    let bt_med = b_med.transpose();
+    group.bench_function("blocked_t_medium", |b| {
+        b.iter(|| black_box(a_med.matmul_t(&bt_med)))
+    });
+
+    // One matmul into a caller buffer: isolates the allocation saving.
+    let mut out = Matrix::zeros(a_med.rows(), b_med.cols());
+    group.bench_function("blocked_medium_into", |b| {
+        b.iter(|| {
+            a_med.matmul_into(&b_med, &mut out);
+            black_box(out.get(0, 0))
+        })
+    });
+    group.finish();
+}
+
+/// A training-shaped forward/backward step (matmul -> gelu -> fused
+/// scaled softmax -> scalar) on a reused tape: measures the arena's
+/// steady-state, allocation-free path.
+fn bench_graph_arena(c: &mut Criterion) {
+    use structmine_nn::graph::Graph;
+
+    let mut group = c.benchmark_group("graph_arena");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let x_val = random_matrix(48, 48, 5);
+    let w_val = random_matrix(48, 96, 6);
+    let ones_r = Matrix::filled(1, 48, 1.0);
+    let ones_c = Matrix::filled(96, 1, 1.0);
+    let mut g = Graph::new();
+    group.bench_function("train_step_reused_tape", |b| {
+        b.iter(|| {
+            g.reset();
+            let x = g.leaf_copied(&x_val);
+            let w = g.leaf_copied(&w_val);
+            let h = g.matmul(x, w);
+            let h = g.gelu(h);
+            let s = g.scaled_row_softmax(h, 0.25);
+            let or = g.leaf_copied(&ones_r);
+            let oc = g.leaf_copied(&ones_c);
+            let rowsum = g.matmul(or, s);
+            let loss = g.matmul(rowsum, oc);
+            g.backward(loss);
+            black_box(g.value(loss).get(0, 0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_graph_arena);
+criterion_main!(benches);

@@ -98,7 +98,12 @@ pub fn adapted_plm(
         steps,
         seed,
     });
-    let adapted = Arc::new(checkpoint.restore());
+    // The adapt stage is DiskOnly: each warm hit deserializes a fresh
+    // checkpoint (refcount 1), so the weights move straight into the model.
+    let adapted = Arc::new(match Arc::try_unwrap(checkpoint) {
+        Ok(owned) => owned.into_model(),
+        Err(shared) => shared.restore(),
+    });
     cache.lock().insert(key, Arc::clone(&adapted));
     adapted
 }

@@ -234,6 +234,56 @@ where
     });
 }
 
+/// Like [`par_fill_rows`], but hands each worker its whole contiguous row
+/// block in a single call as `f(start_row, block)`, for kernels that tile
+/// across rows. Chunk boundaries, ordering, and observability counters are
+/// identical to [`par_fill_rows`]; because every output element is still
+/// computed by exactly one thread with the same per-element arithmetic,
+/// results are bitwise identical for any thread count even though row
+/// grouping inside a block may differ.
+pub fn par_fill_row_blocks<F>(
+    policy: &ExecPolicy,
+    n_rows: usize,
+    row_len: usize,
+    out: &mut [f32],
+    f: F,
+) where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert_eq!(
+        out.len(),
+        n_rows * row_len,
+        "par_fill_row_blocks buffer shape mismatch"
+    );
+    if row_len == 0 {
+        return;
+    }
+    structmine_store::obs::counter_add("exec.par_calls", 1);
+    structmine_store::obs::counter_add("exec.par_items", n_rows as u64);
+    if !policy.is_parallel_for(n_rows) {
+        structmine_store::obs::counter_add("exec.thread_chunks", 1);
+        f(0, out);
+        return;
+    }
+    let bounds = chunk_bounds(n_rows, policy.threads);
+    structmine_store::obs::counter_add("exec.thread_chunks", bounds.len() as u64);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut handles = Vec::with_capacity(bounds.len());
+        for &(start, end) in &bounds {
+            let (chunk, tail) = rest.split_at_mut((end - start) * row_len);
+            rest = tail;
+            handles.push(scope.spawn(move || f(start, chunk)));
+        }
+        for (w, h) in handles.into_iter().enumerate() {
+            if let Err(payload) = h.join() {
+                resume_worker_panic("par_fill_row_blocks", w, bounds[w], payload);
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

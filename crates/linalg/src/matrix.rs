@@ -2,11 +2,155 @@
 //!
 //! The workspace only needs a handful of operations (matmul, transpose,
 //! element-wise arithmetic, row views), so this type favours clarity and
-//! cache-friendly loops over generality. The matmul uses the i-k-j loop
-//! order, which keeps the inner loop streaming over contiguous rows of the
-//! right-hand operand — the standard cache-friendly form for row-major data.
+//! cache-friendly loops over generality.
+//!
+//! # Matmul kernel
+//!
+//! `matmul`/`matmul_t` share one blocked kernel: the right-hand operand is
+//! packed once per call into contiguous panels of [`NR`] output columns,
+//! then output rows are produced [`MR`] at a time by a register-tiled
+//! micro-kernel that keeps an `MR x NR` accumulator tile live while
+//! streaming the panel, giving `MR` independent fused-multiply-add chains
+//! per column vector.
+//! Crucially the summation order of every output element is unchanged from
+//! the naive kernel — ascending `k`, one accumulator per element, terms
+//! with a zero left-hand factor skipped — so the blocked kernel is bitwise
+//! identical to the naive reference (up to the sign of exact zeros) and,
+//! because packing happens on the calling thread before rows are split
+//! across workers, bitwise identical for any thread count. See DESIGN §9.
 
 use serde::{Deserialize, Serialize};
+
+/// Register-tile width of the packed micro-kernel: output columns are
+/// processed in panels of `NR` independent accumulators (two 4-wide SIMD
+/// lanes after LLVM auto-vectorization).
+const NR: usize = 8;
+
+/// Register-tile height of the packed micro-kernel: `MR` output rows are
+/// produced together so the inner `k` loop carries `MR` independent
+/// accumulator chains. A single row's chain is latency-bound (each
+/// fused-multiply-add waits on the previous one); interleaving `MR` rows
+/// hides that latency without changing any row's summation order.
+const MR: usize = 4;
+
+/// Left-row count below which the packed kernel is skipped: packing costs
+/// one pass over the right operand and only pays for itself when amortized
+/// across enough output rows. The fallback uses the same per-element
+/// summation order, so the choice (a function of shape only) never changes
+/// output bits.
+const PACK_MIN_ROWS: usize = 8;
+
+thread_local! {
+    /// Per-thread scratch for the packed right-hand operand, reused across
+    /// calls so steady-state matmuls allocate nothing. Taken (not borrowed)
+    /// for the duration of a call, so a re-entrant matmul simply falls back
+    /// to a fresh allocation instead of panicking.
+    static PACK_SCRATCH: std::cell::Cell<Vec<f32>> = const { std::cell::Cell::new(Vec::new()) };
+}
+
+fn with_pack_scratch<R>(f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
+    PACK_SCRATCH.with(|cell| {
+        let mut buf = cell.take();
+        let out = f(&mut buf);
+        cell.set(buf);
+        out
+    })
+}
+
+/// A block of output rows of the packed kernel: `out = a_block * B` where
+/// `a_block` is a contiguous run of left-hand rows (`rows x k`) and `B`
+/// (`k x n`) is packed in `NR`-column panels. Panels are the outer loop so
+/// one panel (`k * NR` floats) stays in L1 while it is swept across every
+/// `MR`-row register tile of the block. Every output element remains an
+/// ascending-`k` sum in its own accumulator, zero `a` terms skipped — the
+/// exact summation order of the naive kernel — so row grouping changes
+/// instruction interleaving but never output bits.
+#[inline]
+fn packed_block_kernel(a_block: &[f32], k: usize, packed: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert!(k > 0 && n > 0);
+    let rows = a_block.len() / k;
+    let mut panel_start = 0;
+    let mut j0 = 0;
+    while j0 < n {
+        let w = NR.min(n - j0);
+        let panel = &packed[panel_start..panel_start + k * w];
+        let mut r0 = 0;
+        while r0 < rows {
+            let h = MR.min(rows - r0);
+            if w == NR && h == MR {
+                // Full register tile: MR x NR accumulators, one independent
+                // fused-multiply-add chain per row, shared panel loads.
+                let mut acc = [[0.0f32; NR]; MR];
+                for kk in 0..k {
+                    let b = &panel[kk * NR..kk * NR + NR];
+                    for (r, acc_r) in acc.iter_mut().enumerate() {
+                        let a = a_block[(r0 + r) * k + kk];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, &bv) in acc_r.iter_mut().zip(b) {
+                            *o += a * bv;
+                        }
+                    }
+                }
+                for (r, acc_r) in acc.iter().enumerate() {
+                    let o0 = (r0 + r) * n + j0;
+                    out[o0..o0 + NR].copy_from_slice(acc_r);
+                }
+            } else {
+                // Ragged edge (< MR rows left or < NR columns in the last
+                // panel): plain per-row sweep, same accumulation order.
+                for r in r0..r0 + h {
+                    let a_row = &a_block[r * k..(r + 1) * k];
+                    let mut acc = [0.0f32; NR];
+                    for (kk, &a) in a_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b = &panel[kk * w..kk * w + w];
+                        for (o, &bv) in acc[..w].iter_mut().zip(b) {
+                            *o += a * bv;
+                        }
+                    }
+                    out[r * n + j0..r * n + j0 + w].copy_from_slice(&acc[..w]);
+                }
+            }
+            r0 += h;
+        }
+        panel_start += k * w;
+        j0 += w;
+    }
+}
+
+/// Pack a logical `k x n` right-hand operand into `NR`-column panels, each
+/// panel contiguous and row-major within itself. `fill(kk, j0, w, dst)`
+/// writes logical row `kk`, columns `j0..j0+w`, into `dst`. Packing always
+/// runs on the calling thread before any row parallelism, so panel bytes —
+/// and everything computed from them — are identical for every thread
+/// count. Reports panel count via the `linalg.pack_panels` counter.
+fn pack_panels(
+    packed: &mut Vec<f32>,
+    n: usize,
+    k: usize,
+    fill: impl Fn(usize, usize, usize, &mut [f32]),
+) {
+    packed.clear();
+    packed.resize(k * n, 0.0);
+    let mut panel_start = 0;
+    let mut j0 = 0;
+    let mut panels = 0u64;
+    while j0 < n {
+        let w = NR.min(n - j0);
+        for kk in 0..k {
+            let dst = &mut packed[panel_start + kk * w..panel_start + kk * w + w];
+            fill(kk, j0, w, dst);
+        }
+        panel_start += k * w;
+        j0 += w;
+        panels += 1;
+    }
+    structmine_store::obs::counter_add("linalg.pack_panels", panels);
+}
 
 /// A dense row-major matrix of `f32`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -97,6 +241,13 @@ impl Matrix {
         &self.data
     }
 
+    /// Consume the matrix, returning its row-major buffer (for buffer
+    /// recycling arenas).
+    #[inline]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Mutably borrow the underlying row-major buffer.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f32] {
@@ -137,7 +288,9 @@ impl Matrix {
     /// Row count above which `matmul`/`matmul_t` go through the parallel
     /// executor. Each output row is still computed by exactly one thread
     /// with the serial inner loops, so results are bitwise identical to the
-    /// serial path for any thread count.
+    /// serial path for any thread count. Below the threshold the kernel
+    /// runs serially regardless of policy — a function of shape only, so
+    /// runs at different thread counts execute (and count) identically.
     const PAR_ROW_THRESHOLD: usize = 64;
 
     /// Matrix product `self * rhs`, under the process-global
@@ -146,71 +299,224 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        self.matmul_with(rhs, Self::routing_policy(self.rows))
+        self.matmul_with(rhs, crate::ExecPolicy::global())
     }
 
     /// Matrix product `self * rhs` under an explicit execution policy.
     pub fn matmul_with(&self, rhs: &Matrix, policy: &crate::ExecPolicy) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into_with(rhs, policy, &mut out);
+        out
+    }
+
+    /// Matrix product `self * rhs` written into a caller-provided matrix
+    /// (fully overwritten; prior contents are irrelevant). Lets arena-style
+    /// callers reuse output storage across steps.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != rhs.rows` or `out.shape() != (self.rows, rhs.cols)`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_into_with(rhs, crate::ExecPolicy::global(), out);
+    }
+
+    /// [`Matrix::matmul_into`] under an explicit execution policy.
+    pub fn matmul_into_with(&self, rhs: &Matrix, policy: &crate::ExecPolicy, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        crate::exec::par_fill_rows(policy, self.rows, rhs.cols, &mut out.data, |i, out_row| {
-            let a_row = self.row(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul output shape mismatch"
+        );
+        let n = rhs.cols;
+        if self.rows >= PACK_MIN_ROWS && self.cols > 0 && n > 0 {
+            with_pack_scratch(|packed| {
+                pack_panels(packed, n, self.cols, |kk, j0, w, dst| {
+                    dst.copy_from_slice(&rhs.data[kk * n + j0..kk * n + j0 + w]);
+                });
+                let k = self.cols;
+                Self::fill_row_blocks(policy, self.rows, n, &mut out.data, |start, block| {
+                    let h = block.len() / n;
+                    packed_block_kernel(
+                        &self.data[start * k..(start + h) * k],
+                        k,
+                        packed,
+                        n,
+                        block,
+                    );
+                });
+            });
+        } else {
+            // Too few rows to amortize packing: i-k-j loops straight over
+            // `rhs` rows. Same per-element summation order as the packed
+            // kernel, so the two paths agree bitwise.
+            Self::fill_rows(policy, self.rows, n, &mut out.data, |i, out_row| {
+                out_row.fill(0.0);
+                for (k, &a) in self.row(i).iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &rhs.data[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        });
-        out
+            });
+        }
     }
 
     /// Matrix product `self * rhs^T`. Avoids materializing the transpose.
     /// Parallel above the same row threshold as [`Matrix::matmul`].
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
-        self.matmul_t_with(rhs, Self::routing_policy(self.rows))
+        self.matmul_t_with(rhs, crate::ExecPolicy::global())
     }
 
     /// Matrix product `self * rhs^T` under an explicit execution policy.
     pub fn matmul_t_with(&self, rhs: &Matrix, policy: &crate::ExecPolicy) -> Matrix {
-        assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        crate::exec::par_fill_rows(policy, self.rows, rhs.rows, &mut out.data, |i, out_row| {
-            let a_row = self.row(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                *o = crate::vector::dot(a_row, rhs.row(j));
-            }
-        });
+        self.matmul_t_into_with(rhs, policy, &mut out);
         out
     }
 
-    /// The global policy for implicit routing, degraded to serial below the
-    /// row threshold so small products skip thread overhead entirely.
-    fn routing_policy(rows: usize) -> &'static crate::ExecPolicy {
-        static SERIAL: crate::ExecPolicy = crate::ExecPolicy::serial();
-        if rows >= Self::PAR_ROW_THRESHOLD {
-            crate::ExecPolicy::global()
+    /// Matrix product `self * rhs^T` written into a caller-provided matrix
+    /// (fully overwritten; prior contents are irrelevant).
+    ///
+    /// # Panics
+    /// Panics if `self.cols != rhs.cols` or `out.shape() != (self.rows, rhs.rows)`.
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_t_into_with(rhs, crate::ExecPolicy::global(), out);
+    }
+
+    /// [`Matrix::matmul_t_into`] under an explicit execution policy.
+    pub fn matmul_t_into_with(&self, rhs: &Matrix, policy: &crate::ExecPolicy, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.rows),
+            "matmul_t output shape mismatch"
+        );
+        let n = rhs.rows;
+        let k = self.cols;
+        if self.rows >= PACK_MIN_ROWS && k > 0 && n > 0 {
+            with_pack_scratch(|packed| {
+                // Packing interleaves `NR` rhs rows per panel, so the
+                // micro-kernel reads one contiguous NR-vector per k step.
+                pack_panels(packed, n, k, |kk, j0, _w, dst| {
+                    for (jj, d) in dst.iter_mut().enumerate() {
+                        *d = rhs.data[(j0 + jj) * k + kk];
+                    }
+                });
+                Self::fill_row_blocks(policy, self.rows, n, &mut out.data, |start, block| {
+                    let h = block.len() / n;
+                    packed_block_kernel(
+                        &self.data[start * k..(start + h) * k],
+                        k,
+                        packed,
+                        n,
+                        block,
+                    );
+                });
+            });
         } else {
-            &SERIAL
+            Self::fill_rows(policy, self.rows, n, &mut out.data, |i, out_row| {
+                let a_row = self.row(i);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(rhs.row(j)) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            });
         }
     }
 
-    /// Transpose.
+    /// Row-filling driver shared by both products: serial below
+    /// [`Self::PAR_ROW_THRESHOLD`] (a shape-only decision, so small
+    /// products skip executor bookkeeping identically at every thread
+    /// count), the deterministic parallel executor above it.
+    fn fill_rows<F>(
+        policy: &crate::ExecPolicy,
+        n_rows: usize,
+        row_len: usize,
+        out: &mut [f32],
+        f: F,
+    ) where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        if row_len == 0 {
+            return;
+        }
+        if n_rows < Self::PAR_ROW_THRESHOLD {
+            for (i, row) in out.chunks_exact_mut(row_len).enumerate() {
+                f(i, row);
+            }
+        } else {
+            crate::exec::par_fill_rows(policy, n_rows, row_len, out, f);
+        }
+    }
+
+    /// Block variant of [`Self::fill_rows`] for the packed kernel: the
+    /// callback receives a whole contiguous row block (`f(start_row,
+    /// block)`) so it can register-tile across rows. Same serial/parallel
+    /// threshold, so the decision stays a function of shape only.
+    fn fill_row_blocks<F>(
+        policy: &crate::ExecPolicy,
+        n_rows: usize,
+        row_len: usize,
+        out: &mut [f32],
+        f: F,
+    ) where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        if row_len == 0 {
+            return;
+        }
+        if n_rows < Self::PAR_ROW_THRESHOLD {
+            f(0, out);
+        } else {
+            crate::exec::par_fill_row_blocks(policy, n_rows, row_len, out, f);
+        }
+    }
+
+    /// Transpose, blocked into 32x32 tiles so both the source rows and the
+    /// destination columns stay within cache lines. A pure permutation —
+    /// bitwise identical to the naive element loop.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose into a caller-provided matrix (fully overwritten).
+    ///
+    /// # Panics
+    /// Panics if `out.shape() != (self.cols, self.rows)`.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        const TB: usize = 32;
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose output shape mismatch"
+        );
+        for ib in (0..self.rows).step_by(TB) {
+            let i_end = (ib + TB).min(self.rows);
+            for jb in (0..self.cols).step_by(TB) {
+                let j_end = (jb + TB).min(self.cols);
+                for i in ib..i_end {
+                    let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    for (j, &v) in row.iter().enumerate().take(j_end).skip(jb) {
+                        out.data[j * self.rows + i] = v;
+                    }
+                }
             }
         }
-        out
     }
 
     /// Element-wise addition.
@@ -241,6 +547,13 @@ impl Matrix {
     pub fn scale(&self, s: f32) -> Matrix {
         let data = self.data.iter().map(|a| a * s).collect();
         Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// In-place `self *= s` (same per-element arithmetic as [`Matrix::scale`]).
+    pub fn scale_in_place(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
     }
 
     /// In-place `self += alpha * rhs`.
@@ -364,8 +677,10 @@ mod tests {
 
         /// Parallel matmul/matmul_t are bitwise identical to serial for
         /// every thread count — the determinism contract of the exec layer.
+        /// 70 rows puts the products above PAR_ROW_THRESHOLD so the
+        /// parallel executor actually engages.
         #[test]
-        fn parallel_matmul_is_bitwise_serial(a in small_matrix(13, 7), b in small_matrix(7, 5)) {
+        fn parallel_matmul_is_bitwise_serial(a in small_matrix(70, 7), b in small_matrix(7, 5)) {
             let serial = a.matmul_with(&b, &crate::ExecPolicy::serial());
             let bt = b.transpose();
             let serial_t = a.matmul_t_with(&bt, &crate::ExecPolicy::serial());
@@ -374,6 +689,68 @@ mod tests {
                 prop_assert_eq!(a.matmul_with(&b, &policy).data(), serial.data());
                 prop_assert_eq!(a.matmul_t_with(&bt, &policy).data(), serial_t.data());
             }
+        }
+
+        /// The blocked/packed kernel agrees with a naive triple-loop
+        /// reference within tolerance for arbitrary shapes in 1..64 —
+        /// covering the packed path, the small-row fallback, and ragged
+        /// last panels. Zeros are mixed in so the `a == 0.0` skip is hit.
+        #[test]
+        fn blocked_matmul_matches_naive_reference(
+            m in 1usize..64,
+            k in 1usize..64,
+            n in 1usize..64,
+            a_pool in proptest::collection::vec(-10.0f32..10.0, 64 * 64),
+            b_pool in proptest::collection::vec(-10.0f32..10.0, 64 * 64),
+        ) {
+            // Zero out a stride of the left operand so the `a == 0.0` skip
+            // is exercised alongside dense values.
+            let mut a_data = a_pool[..m * k].to_vec();
+            for v in a_data.iter_mut().step_by(7) {
+                *v = 0.0;
+            }
+            let a = Matrix::from_vec(m, k, a_data);
+            let b = Matrix::from_vec(k, n, b_pool[..k * n].to_vec());
+            // Naive i-j-k reference, no blocking, no zero skip.
+            let mut reference = Matrix::zeros(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += a.get(i, kk) * b.get(kk, j);
+                    }
+                    reference.set(i, j, acc);
+                }
+            }
+            let blocked = a.matmul(&b);
+            let bt = b.transpose();
+            let blocked_t = a.matmul_t(&bt);
+            for i in 0..m {
+                for j in 0..n {
+                    prop_assert!((blocked.get(i, j) - reference.get(i, j)).abs() < 1e-5);
+                    prop_assert!((blocked_t.get(i, j) - reference.get(i, j)).abs() < 1e-5);
+                }
+            }
+        }
+
+        /// The `_into` variants are bitwise identical at 1 vs 4 threads and
+        /// fully overwrite stale buffer contents (the arena reuse contract).
+        #[test]
+        fn matmul_into_is_bitwise_thread_invariant(a in small_matrix(70, 9), b in small_matrix(9, 6)) {
+            let bt = b.transpose();
+            let one = crate::ExecPolicy::with_threads(1);
+            let four = crate::ExecPolicy::with_threads(4);
+            let mut out1 = Matrix::filled(70, 6, f32::NAN);
+            let mut out4 = Matrix::filled(70, 6, -7.25);
+            a.matmul_into_with(&b, &one, &mut out1);
+            a.matmul_into_with(&b, &four, &mut out4);
+            prop_assert_eq!(out1.data(), out4.data());
+            let mut t1 = Matrix::filled(70, 6, f32::NAN);
+            let mut t4 = Matrix::filled(70, 6, 3.5);
+            a.matmul_t_into_with(&bt, &one, &mut t1);
+            a.matmul_t_into_with(&bt, &four, &mut t4);
+            prop_assert_eq!(t1.data(), t4.data());
+            prop_assert_eq!(out1.data(), t1.data());
         }
 
         /// vstack then select_rows recovers the operands.

@@ -6,12 +6,98 @@
 //! backward pass can borrow values and gradients without aliasing gymnastics.
 //!
 //! The op set is exactly what the workspace needs: affine maps, activations,
-//! layer norm, row softmax (attention), embedding gather, pooling, column
-//! concat (multi-head attention), and two fused losses (softmax
+//! layer norm, row softmax (attention, plain and fused with the attention
+//! scale), the transpose-free product `a × bᵀ`, embedding gather, pooling,
+//! column concat (multi-head attention), and two fused losses (softmax
 //! cross-entropy with soft targets, sigmoid BCE). Each op's gradient is
 //! verified against finite differences in the tests.
+//!
+//! # Buffer arena
+//!
+//! Every node value, gradient, and backward intermediate is drawn from a
+//! thread-local pool of recycled buffers (see [`arena`]) and returned to it
+//! when the graph is dropped or [`Graph::reset`]. Training loops that build
+//! hundreds of same-shaped nodes per step therefore stop allocating after
+//! the first step. The arena is bitwise-transparent: a recycled buffer is
+//! always fully overwritten (or explicitly zeroed) before use, so results
+//! are byte-identical to freshly allocated storage — property-tested below.
 
 use structmine_linalg::Matrix;
+
+/// Thread-local recycling pool for matrix buffers, keyed by element count.
+///
+/// Thread-local (rather than shared) so no lock sits on the training hot
+/// path and so reuse on one thread can never observe another thread's
+/// scheduling — the pool affects only *where* buffers come from, never what
+/// is computed, keeping the exec layer's bitwise thread-count invariance
+/// intact. Reuse totals are reported through the `nn.arena_reuse_threads`
+/// counter (flushed per graph); the `threads` token keeps it under the run
+/// report's masking convention since per-thread warm-up makes the value
+/// legitimately thread-count-dependent.
+mod arena {
+    use std::cell::{Cell, RefCell};
+    use std::collections::HashMap;
+    use structmine_linalg::Matrix;
+
+    /// Buffers retained per distinct length — roughly one training step's
+    /// worth of live matrices; anything beyond that is released to the
+    /// allocator.
+    const MAX_PER_LEN: usize = 256;
+
+    thread_local! {
+        static POOL: RefCell<HashMap<usize, Vec<Vec<f32>>>> = RefCell::new(HashMap::new());
+        static REUSED: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Take a `rows x cols` matrix with unspecified contents. The caller
+    /// must fully overwrite it before the values are observable.
+    pub(crate) fn take_uninit(rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        let recycled = POOL.with(|p| p.borrow_mut().get_mut(&len).and_then(Vec::pop));
+        match recycled {
+            Some(buf) => {
+                REUSED.with(|c| c.set(c.get() + 1));
+                Matrix::from_vec(rows, cols, buf)
+            }
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Take a `rows x cols` matrix guaranteed to be all zeros.
+    pub(crate) fn take_zeroed(rows: usize, cols: usize) -> Matrix {
+        let mut m = take_uninit(rows, cols);
+        m.data_mut().fill(0.0);
+        m
+    }
+
+    /// Take a pooled copy of `src`.
+    pub(crate) fn take_copy(src: &Matrix) -> Matrix {
+        let mut m = take_uninit(src.rows(), src.cols());
+        m.data_mut().copy_from_slice(src.data());
+        m
+    }
+
+    /// Return a matrix's buffer to the pool.
+    pub(crate) fn give_back(m: Matrix) {
+        let buf = m.into_vec();
+        if buf.is_empty() {
+            return;
+        }
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            let bucket = pool.entry(buf.len()).or_default();
+            if bucket.len() < MAX_PER_LEN {
+                bucket.push(buf);
+            }
+        });
+    }
+
+    /// Flush this thread's reuse tally to the observability counter.
+    pub(crate) fn flush_reuse_counter() {
+        let n = REUSED.with(Cell::take);
+        structmine_store::obs::counter_add("nn.arena_reuse_threads", n);
+    }
+}
 
 /// Handle to a node in a [`Graph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,15 +111,25 @@ enum Op {
     Scale(NodeId, f32),
     Mul(NodeId, NodeId),
     MatMul(NodeId, NodeId),
+    /// `a × bᵀ` without materializing the transpose.
+    MatMulT(NodeId, NodeId),
     Transpose(NodeId),
     Relu(NodeId),
-    Gelu(NodeId),
+    /// (input, cached per-element tanh of the GELU inner term — reused in
+    /// the backward pass so the tanh is computed exactly once)
+    Gelu(NodeId, Matrix),
     Tanh(NodeId),
     Sigmoid(NodeId),
     RowSoftmax(NodeId),
+    /// Fused `row_softmax(s * a)` — the attention score path (scale factor
+    /// kept for the backward chain rule).
+    ScaledRowSoftmax(NodeId, f32),
     /// (input, gain, bias, cached normalized rows, cached inv-std per row)
     LayerNorm(NodeId, NodeId, NodeId, Matrix, Vec<f32>),
     SelectRows(NodeId, Vec<usize>),
+    /// Contiguous column slice `[start, start + cols)` of the input
+    /// (attention-head views of a fused QKV product).
+    SelectCols(NodeId, usize),
     MeanRows(NodeId),
     ConcatCols(Vec<NodeId>),
     /// (logits, soft target distribution, cached probabilities)
@@ -74,9 +170,33 @@ impl Graph {
         self.push(value, Op::Leaf)
     }
 
+    /// Insert a leaf holding a pooled copy of `value` — the arena-friendly
+    /// way to bind a parameter without a fresh allocation per step.
+    pub fn leaf_copied(&mut self, value: &Matrix) -> NodeId {
+        let v = arena::take_copy(value);
+        self.push(v, Op::Leaf)
+    }
+
+    /// Insert a leaf holding rows of `table` gathered by index — the
+    /// inference-path embedding lookup, which skips binding the full table
+    /// into the tape (no gradient flows back to a leaf anyway).
+    pub fn leaf_gather(&mut self, table: &Matrix, indices: &[usize]) -> NodeId {
+        let mut v = arena::take_uninit(indices.len(), table.cols());
+        for (out, &src) in indices.iter().enumerate() {
+            v.row_mut(out).copy_from_slice(table.row(src));
+        }
+        self.push(v, Op::Leaf)
+    }
+
     /// The forward value of a node.
     pub fn value(&self, id: NodeId) -> &Matrix {
         &self.nodes[id.0].value
+    }
+
+    /// Move a node's value out of the tape (leaving an empty matrix), so
+    /// callers that only need one output skip a full copy.
+    pub fn take_value(&mut self, id: NodeId) -> Matrix {
+        std::mem::replace(&mut self.nodes[id.0].value, Matrix::zeros(0, 0))
     }
 
     /// The accumulated gradient of a node (zeros if it never received one).
@@ -90,6 +210,11 @@ impl Graph {
         }
     }
 
+    /// Borrow the accumulated gradient of a node, if any.
+    pub fn grad_ref(&self, id: NodeId) -> Option<&Matrix> {
+        self.nodes[id.0].grad.as_ref()
+    }
+
     /// Number of nodes on the tape.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -100,25 +225,52 @@ impl Graph {
         self.nodes.is_empty()
     }
 
+    /// Clear the tape for the next training step, recycling every node's
+    /// value, gradient, and cached-activation storage through the arena.
+    /// Equivalent to dropping the graph and building a new one, but keeps
+    /// the node vector's capacity.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            recycle_node(node);
+        }
+        arena::flush_reuse_counter();
+    }
+
     // --- forward ops -------------------------------------------------------
 
     /// Element-wise `a + b`.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(va.shape(), vb.shape(), "add shape mismatch");
+        let mut v = arena::take_uninit(va.rows(), va.cols());
+        for (o, (x, y)) in v.data_mut().iter_mut().zip(va.data().iter().zip(vb.data())) {
+            *o = x + y;
+        }
         self.push(v, Op::Add(a, b))
     }
 
     /// Add a `1 x d` row vector to every row of `a`.
     pub fn add_row_broadcast(&mut self, a: NodeId, bias: NodeId) -> NodeId {
+        let va = &self.nodes[a.0].value;
         let b = &self.nodes[bias.0].value;
         assert_eq!(b.rows(), 1, "bias must be a row vector");
-        let v = self.nodes[a.0].value.add_row_broadcast(b.row(0));
+        assert_eq!(b.cols(), va.cols(), "broadcast length mismatch");
+        let mut v = arena::take_uninit(va.rows(), va.cols());
+        for i in 0..va.rows() {
+            for ((o, &x), &y) in v.row_mut(i).iter_mut().zip(va.row(i)).zip(b.row(0)) {
+                *o = x + y;
+            }
+        }
         self.push(v, Op::AddRowBroadcast(a, bias))
     }
 
     /// `a * s`.
     pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
-        let v = self.nodes[a.0].value.scale(s);
+        let va = &self.nodes[a.0].value;
+        let mut v = arena::take_uninit(va.rows(), va.cols());
+        for (o, &x) in v.data_mut().iter_mut().zip(va.data()) {
+            *o = x * s;
+        }
         self.push(v, Op::Scale(a, s))
     }
 
@@ -126,25 +278,37 @@ impl Graph {
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
-        let data: Vec<f32> = va
-            .data()
-            .iter()
-            .zip(vb.data())
-            .map(|(x, y)| x * y)
-            .collect();
-        let v = Matrix::from_vec(va.rows(), va.cols(), data);
+        let mut v = arena::take_uninit(va.rows(), va.cols());
+        for (o, (x, y)) in v.data_mut().iter_mut().zip(va.data().iter().zip(vb.data())) {
+            *o = x * y;
+        }
         self.push(v, Op::Mul(a, b))
     }
 
     /// Matrix product `a × b`.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        let mut v = arena::take_uninit(va.rows(), vb.cols());
+        va.matmul_into(vb, &mut v);
         self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Matrix product `a × bᵀ` without materializing the transpose —
+    /// replaces `matmul(a, transpose(b))` on the attention and tied-
+    /// projection paths (same element-wise summation order, two fewer
+    /// tape nodes, no transposed copy).
+    pub fn matmul_t(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        let mut v = arena::take_uninit(va.rows(), vb.rows());
+        va.matmul_t_into(vb, &mut v);
+        self.push(v, Op::MatMulT(a, b))
     }
 
     /// Transpose.
     pub fn transpose(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.transpose();
+        let va = &self.nodes[a.0].value;
+        let mut v = arena::take_uninit(va.cols(), va.rows());
+        va.transpose_into(&mut v);
         self.push(v, Op::Transpose(a))
     }
 
@@ -154,10 +318,25 @@ impl Graph {
         self.push(v, Op::Relu(a))
     }
 
-    /// GELU (tanh approximation).
+    /// GELU (tanh approximation). The inner tanh of each element is cached
+    /// on the op and reused by the backward pass, halving the number of
+    /// tanh evaluations per training step without changing any bit of the
+    /// result.
     pub fn gelu(&mut self, a: NodeId) -> NodeId {
-        let v = self.map_unary(a, gelu);
-        self.push(v, Op::Gelu(a))
+        let va = &self.nodes[a.0].value;
+        let mut v = arena::take_uninit(va.rows(), va.cols());
+        let mut cached_t = arena::take_uninit(va.rows(), va.cols());
+        for ((o, t), &x) in v
+            .data_mut()
+            .iter_mut()
+            .zip(cached_t.data_mut().iter_mut())
+            .zip(va.data())
+        {
+            let tanh = (GELU_C * (x + 0.044715 * x * x * x)).tanh();
+            *t = tanh;
+            *o = 0.5 * x * (1.0 + tanh);
+        }
+        self.push(v, Op::Gelu(a, cached_t))
     }
 
     /// tanh.
@@ -175,11 +354,27 @@ impl Graph {
     /// Softmax independently over each row.
     pub fn row_softmax(&mut self, a: NodeId) -> NodeId {
         let va = &self.nodes[a.0].value;
-        let mut v = va.clone();
+        let mut v = arena::take_copy(va);
         for i in 0..v.rows() {
             structmine_linalg::stats::softmax_inplace(v.row_mut(i));
         }
         self.push(v, Op::RowSoftmax(a))
+    }
+
+    /// Fused `row_softmax(s * a)` — one node instead of a Scale node plus a
+    /// RowSoftmax node, with the scaled scores never hitting the tape. The
+    /// element-wise arithmetic (multiply, then softmax) is identical to the
+    /// unfused chain, so outputs match it bitwise.
+    pub fn scaled_row_softmax(&mut self, a: NodeId, s: f32) -> NodeId {
+        let va = &self.nodes[a.0].value;
+        let mut v = arena::take_uninit(va.rows(), va.cols());
+        for (o, &x) in v.data_mut().iter_mut().zip(va.data()) {
+            *o = x * s;
+        }
+        for i in 0..v.rows() {
+            structmine_linalg::stats::softmax_inplace(v.row_mut(i));
+        }
+        self.push(v, Op::ScaledRowSoftmax(a, s))
     }
 
     /// Layer normalization over each row, with learned gain and bias
@@ -192,19 +387,28 @@ impl Graph {
         assert_eq!(g.rows(), 1);
         assert_eq!(b.rows(), 1);
         let (n, d) = va.shape();
-        let mut normalized = Matrix::zeros(n, d);
+        let mut normalized = arena::take_uninit(n, d);
         let mut inv_std = Vec::with_capacity(n);
-        let mut out = Matrix::zeros(n, d);
+        let mut out = arena::take_uninit(n, d);
         for i in 0..n {
             let row = va.row(i);
             let mean = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
             let istd = 1.0 / (var + EPS).sqrt();
             inv_std.push(istd);
-            for (j, &x) in row.iter().enumerate() {
-                let xhat = (x - mean) * istd;
-                normalized.set(i, j, xhat);
-                out.set(i, j, xhat * g.get(0, j) + b.get(0, j));
+            let norm_row = normalized.row_mut(i);
+            for (nr, &x) in norm_row.iter_mut().zip(row) {
+                *nr = (x - mean) * istd;
+            }
+            let norm_row = normalized.row(i);
+            for (((o, &xhat), &gj), &bj) in out
+                .row_mut(i)
+                .iter_mut()
+                .zip(norm_row)
+                .zip(g.row(0))
+                .zip(b.row(0))
+            {
+                *o = xhat * gj + bj;
             }
         }
         self.push(out, Op::LayerNorm(a, gain, bias, normalized, inv_std))
@@ -212,8 +416,32 @@ impl Graph {
 
     /// Gather rows of `a` by index (embedding lookup; duplicates allowed).
     pub fn select_rows(&mut self, a: NodeId, indices: &[usize]) -> NodeId {
-        let v = self.nodes[a.0].value.select_rows(indices);
+        let va = &self.nodes[a.0].value;
+        let mut v = arena::take_uninit(indices.len(), va.cols());
+        for (out, &src) in indices.iter().enumerate() {
+            v.row_mut(out).copy_from_slice(va.row(src));
+        }
         self.push(v, Op::SelectRows(a, indices.to_vec()))
+    }
+
+    /// Slice a contiguous range of `width` columns of `a` starting at
+    /// `start` (per-head views of a fused QKV projection).
+    pub fn select_cols(&mut self, a: NodeId, start: usize, width: usize) -> NodeId {
+        let va = &self.nodes[a.0].value;
+        assert!(
+            start + width <= va.cols(),
+            "select_cols out of range: {}+{} > {}",
+            start,
+            width,
+            va.cols()
+        );
+        let rows = va.rows();
+        let mut v = arena::take_uninit(rows, width);
+        for i in 0..rows {
+            v.row_mut(i)
+                .copy_from_slice(&va.row(i)[start..start + width]);
+        }
+        self.push(v, Op::SelectCols(a, start))
     }
 
     /// Mean over rows, producing a `1 x d` vector.
@@ -228,7 +456,7 @@ impl Graph {
         assert!(!parts.is_empty());
         let n = self.nodes[parts[0].0].value.rows();
         let total: usize = parts.iter().map(|p| self.nodes[p.0].value.cols()).sum();
-        let mut v = Matrix::zeros(n, total);
+        let mut v = arena::take_uninit(n, total);
         let mut off = 0;
         for &p in parts {
             let vp = &self.nodes[p.0].value;
@@ -246,7 +474,7 @@ impl Graph {
     pub fn softmax_cross_entropy(&mut self, logits: NodeId, targets: &Matrix) -> NodeId {
         let vl = &self.nodes[logits.0].value;
         assert_eq!(vl.shape(), targets.shape(), "softmax_ce shape mismatch");
-        let mut probs = vl.clone();
+        let mut probs = arena::take_copy(vl);
         let mut loss = 0.0f32;
         for i in 0..probs.rows() {
             structmine_linalg::stats::softmax_inplace(probs.row_mut(i));
@@ -258,14 +486,14 @@ impl Graph {
         }
         loss /= probs.rows().max(1) as f32;
         let v = Matrix::from_vec(1, 1, vec![loss]);
-        self.push(v, Op::SoftmaxCe(logits, targets.clone(), probs))
+        self.push(v, Op::SoftmaxCe(logits, arena::take_copy(targets), probs))
     }
 
     /// Fused sigmoid + binary cross-entropy, mean over all entries.
     pub fn sigmoid_bce(&mut self, logits: NodeId, targets: &Matrix) -> NodeId {
         let vl = &self.nodes[logits.0].value;
         assert_eq!(vl.shape(), targets.shape(), "sigmoid_bce shape mismatch");
-        let mut sig = vl.clone();
+        let mut sig = arena::take_copy(vl);
         let mut loss = 0.0f32;
         for (s, t) in sig.data_mut().iter_mut().zip(targets.data()) {
             *s = sigmoid(*s);
@@ -274,13 +502,16 @@ impl Graph {
         }
         loss /= (vl.rows() * vl.cols()).max(1) as f32;
         let v = Matrix::from_vec(1, 1, vec![loss]);
-        self.push(v, Op::SigmoidBce(logits, targets.clone(), sig))
+        self.push(v, Op::SigmoidBce(logits, arena::take_copy(targets), sig))
     }
 
     fn map_unary(&self, a: NodeId, f: impl Fn(f32) -> f32) -> Matrix {
         let va = &self.nodes[a.0].value;
-        let data: Vec<f32> = va.data().iter().map(|&x| f(x)).collect();
-        Matrix::from_vec(va.rows(), va.cols(), data)
+        let mut v = arena::take_uninit(va.rows(), va.cols());
+        for (o, &x) in v.data_mut().iter_mut().zip(va.data()) {
+            *o = f(x);
+        }
+        v
     }
 
     // --- backward ----------------------------------------------------------
@@ -296,10 +527,12 @@ impl Graph {
         );
         accumulate(
             &mut self.nodes[loss.0].grad,
-            &Matrix::from_vec(1, 1, vec![1.0]),
+            Matrix::from_vec(1, 1, vec![1.0]),
         );
         for i in (0..=loss.0).rev() {
-            let Some(grad_out) = self.nodes[i].grad.clone() else {
+            // Move the gradient out instead of cloning it; it is restored
+            // right after the contributions are computed.
+            let Some(grad_out) = self.nodes[i].grad.take() else {
                 continue;
             };
             // Temporarily take the op so parent values can be read while the
@@ -307,42 +540,70 @@ impl Graph {
             let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
             let contributions = self.backward_op(&op, i, &grad_out);
             self.nodes[i].op = op;
+            self.nodes[i].grad = Some(grad_out);
             for (id, g) in contributions {
                 self.acc(id, g);
             }
         }
     }
 
-    /// Gradient contributions of one node to its parents.
+    /// Gradient contributions of one node to its parents. Every returned
+    /// matrix comes from the arena; `acc` either moves it into an empty
+    /// gradient slot or recycles it after summing.
     fn backward_op(&self, op: &Op, node: usize, grad_out: &Matrix) -> Vec<(NodeId, Matrix)> {
         match op {
             Op::Leaf => Vec::new(),
-            Op::Add(a, b) => vec![(*a, grad_out.clone()), (*b, grad_out.clone())],
+            Op::Add(a, b) => vec![
+                (*a, arena::take_copy(grad_out)),
+                (*b, arena::take_copy(grad_out)),
+            ],
             Op::AddRowBroadcast(a, bias) => {
-                let mut bias_grad = vec![0.0f32; grad_out.cols()];
+                let mut bias_grad = arena::take_zeroed(1, grad_out.cols());
                 for r in grad_out.iter_rows() {
-                    for (bg, &g) in bias_grad.iter_mut().zip(r) {
+                    for (bg, &g) in bias_grad.row_mut(0).iter_mut().zip(r) {
                         *bg += g;
                     }
                 }
-                let cols = grad_out.cols();
-                vec![
-                    (*a, grad_out.clone()),
-                    (*bias, Matrix::from_vec(1, cols, bias_grad)),
-                ]
+                vec![(*a, arena::take_copy(grad_out)), (*bias, bias_grad)]
             }
-            Op::Scale(a, s) => vec![(*a, grad_out.scale(*s))],
+            Op::Scale(a, s) => {
+                let mut g = arena::take_copy(grad_out);
+                g.scale_in_place(*s);
+                vec![(*a, g)]
+            }
             Op::Mul(a, b) => {
                 let ga = hadamard(grad_out, &self.nodes[b.0].value);
                 let gb = hadamard(grad_out, &self.nodes[a.0].value);
                 vec![(*a, ga), (*b, gb)]
             }
             Op::MatMul(a, b) => {
-                let ga = grad_out.matmul_t(&self.nodes[b.0].value);
-                let gb = self.nodes[a.0].value.transpose().matmul(grad_out);
+                let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                let mut ga = arena::take_uninit(grad_out.rows(), vb.rows());
+                grad_out.matmul_t_into(vb, &mut ga);
+                let mut at = arena::take_uninit(va.cols(), va.rows());
+                va.transpose_into(&mut at);
+                let mut gb = arena::take_uninit(at.rows(), grad_out.cols());
+                at.matmul_into(grad_out, &mut gb);
+                arena::give_back(at);
                 vec![(*a, ga), (*b, gb)]
             }
-            Op::Transpose(a) => vec![(*a, grad_out.transpose())],
+            Op::MatMulT(a, b) => {
+                // out = A·Bᵀ, so dA = G·B and dB = Gᵀ·A.
+                let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                let mut ga = arena::take_uninit(grad_out.rows(), vb.cols());
+                grad_out.matmul_into(vb, &mut ga);
+                let mut gt = arena::take_uninit(grad_out.cols(), grad_out.rows());
+                grad_out.transpose_into(&mut gt);
+                let mut gb = arena::take_uninit(gt.rows(), va.cols());
+                gt.matmul_into(va, &mut gb);
+                arena::give_back(gt);
+                vec![(*a, ga), (*b, gb)]
+            }
+            Op::Transpose(a) => {
+                let mut g = arena::take_uninit(grad_out.cols(), grad_out.rows());
+                grad_out.transpose_into(&mut g);
+                vec![(*a, g)]
+            }
             Op::Relu(a) => {
                 let g = masked_grad(grad_out, &self.nodes[a.0].value, |x| {
                     if x > 0.0 {
@@ -353,8 +614,22 @@ impl Graph {
                 });
                 vec![(*a, g)]
             }
-            Op::Gelu(a) => {
-                vec![(*a, masked_grad(grad_out, &self.nodes[a.0].value, gelu_grad))]
+            Op::Gelu(a, cached_t) => {
+                // Same formula as recomputing gelu_grad from scratch, with
+                // the cached tanh substituted — bitwise identical, one tanh
+                // per element cheaper.
+                let x = &self.nodes[a.0].value;
+                let mut g = arena::take_uninit(grad_out.rows(), grad_out.cols());
+                for ((o, &go), (&xv, &t)) in g
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad_out.data())
+                    .zip(x.data().iter().zip(cached_t.data()))
+                {
+                    let dinner = GELU_C * (1.0 + 3.0 * 0.044715 * xv * xv);
+                    *o = go * (0.5 * (1.0 + t) + 0.5 * xv * (1.0 - t * t) * dinner);
+                }
+                vec![(*a, g)]
             }
             Op::Tanh(a) => {
                 vec![(
@@ -368,46 +643,40 @@ impl Graph {
                     masked_grad(grad_out, &self.nodes[node].value, |y| y * (1.0 - y)),
                 )]
             }
-            Op::RowSoftmax(a) => {
-                let s = &self.nodes[node].value;
-                let mut g = Matrix::zeros(s.rows(), s.cols());
-                for r in 0..s.rows() {
-                    let srow = s.row(r);
-                    let dot: f32 = grad_out.row(r).iter().zip(srow).map(|(d, v)| d * v).sum();
-                    for (c, &sv) in srow.iter().enumerate() {
-                        g.set(r, c, sv * (grad_out.get(r, c) - dot));
-                    }
-                }
-                vec![(*a, g)]
+            Op::RowSoftmax(a) => vec![(*a, self.softmax_backward(node, grad_out, 1.0))],
+            Op::ScaledRowSoftmax(a, s) => {
+                // d/dx softmax(s·x) = s · softmax_grad — the same two
+                // factors the unfused Scale∘RowSoftmax chain multiplies, in
+                // the same association.
+                vec![(*a, self.softmax_backward(node, grad_out, *s))]
             }
             Op::LayerNorm(a, gain, bias, xhat, inv_std) => {
                 let (n, d) = grad_out.shape();
-                let g_vec = self.nodes[gain.0].value.row(0).to_vec();
-                let mut ga = Matrix::zeros(n, d);
-                let mut ggain = vec![0.0f32; d];
-                let mut gbias = vec![0.0f32; d];
+                let g_row = self.nodes[gain.0].value.row(0);
+                let mut ga = arena::take_uninit(n, d);
+                let mut ggain = arena::take_zeroed(1, d);
+                let mut gbias = arena::take_zeroed(1, d);
+                let mut dxhat = vec![0.0f32; d];
                 for (r, &istd) in inv_std.iter().enumerate() {
                     let go = grad_out.row(r);
                     let xh = xhat.row(r);
-                    let dxhat: Vec<f32> = go.iter().zip(&g_vec).map(|(g, gn)| g * gn).collect();
+                    for ((dx, &g), &gn) in dxhat.iter_mut().zip(go).zip(g_row) {
+                        *dx = g * gn;
+                    }
                     let mean_dx = dxhat.iter().sum::<f32>() / d as f32;
                     let mean_dx_xh =
                         dxhat.iter().zip(xh).map(|(dx, x)| dx * x).sum::<f32>() / d as f32;
                     for c in 0..d {
                         ga.set(r, c, istd * (dxhat[c] - mean_dx - xh[c] * mean_dx_xh));
-                        ggain[c] += go[c] * xh[c];
-                        gbias[c] += go[c];
+                        ggain.row_mut(0)[c] += go[c] * xh[c];
+                        gbias.row_mut(0)[c] += go[c];
                     }
                 }
-                vec![
-                    (*a, ga),
-                    (*gain, Matrix::from_vec(1, d, ggain)),
-                    (*bias, Matrix::from_vec(1, d, gbias)),
-                ]
+                vec![(*a, ga), (*gain, ggain), (*bias, gbias)]
             }
             Op::SelectRows(a, indices) => {
                 let src = &self.nodes[a.0].value;
-                let mut g = Matrix::zeros(src.rows(), src.cols());
+                let mut g = arena::take_zeroed(src.rows(), src.cols());
                 for (out_row, &src_row) in indices.iter().enumerate() {
                     for (t, &s) in g.row_mut(src_row).iter_mut().zip(grad_out.row(out_row)) {
                         *t += s;
@@ -415,11 +684,20 @@ impl Graph {
                 }
                 vec![(*a, g)]
             }
+            Op::SelectCols(a, start) => {
+                let src = &self.nodes[a.0].value;
+                let mut g = arena::take_zeroed(src.rows(), src.cols());
+                let w = grad_out.cols();
+                for r in 0..grad_out.rows() {
+                    g.row_mut(r)[*start..*start + w].copy_from_slice(grad_out.row(r));
+                }
+                vec![(*a, g)]
+            }
             Op::MeanRows(a) => {
                 let src = &self.nodes[a.0].value;
                 let n = src.rows();
                 let inv = 1.0 / n as f32;
-                let mut g = Matrix::zeros(n, src.cols());
+                let mut g = arena::take_uninit(n, src.cols());
                 for r in 0..n {
                     for (t, &s) in g.row_mut(r).iter_mut().zip(grad_out.row(0)) {
                         *t = s * inv;
@@ -433,7 +711,7 @@ impl Graph {
                 for &p in parts {
                     let cols = self.nodes[p.0].value.cols();
                     let rows = grad_out.rows();
-                    let mut g = Matrix::zeros(rows, cols);
+                    let mut g = arena::take_uninit(rows, cols);
                     for r in 0..rows {
                         g.row_mut(r)
                             .copy_from_slice(&grad_out.row(r)[off..off + cols]);
@@ -445,42 +723,104 @@ impl Graph {
             }
             Op::SoftmaxCe(logits, targets, probs) => {
                 let scale = grad_out.get(0, 0) / probs.rows().max(1) as f32;
-                vec![(*logits, probs.sub(targets).scale(scale))]
+                vec![(*logits, scaled_diff(probs, targets, scale))]
             }
             Op::SigmoidBce(logits, targets, sig) => {
                 let n = (sig.rows() * sig.cols()).max(1) as f32;
                 let scale = grad_out.get(0, 0) / n;
-                vec![(*logits, sig.sub(targets).scale(scale))]
+                vec![(*logits, scaled_diff(sig, targets, scale))]
             }
         }
     }
 
+    /// Shared softmax Jacobian-vector product: `scale * s ⊙ (g - (g·s))`
+    /// rowwise, where `s` is this node's softmax output.
+    fn softmax_backward(&self, node: usize, grad_out: &Matrix, scale: f32) -> Matrix {
+        let s = &self.nodes[node].value;
+        let mut g = arena::take_uninit(s.rows(), s.cols());
+        for r in 0..s.rows() {
+            let srow = s.row(r);
+            let dot: f32 = grad_out.row(r).iter().zip(srow).map(|(d, v)| d * v).sum();
+            for (c, &sv) in srow.iter().enumerate() {
+                g.set(r, c, (sv * (grad_out.get(r, c) - dot)) * scale);
+            }
+        }
+        g
+    }
+
     fn acc(&mut self, id: NodeId, grad: Matrix) {
-        accumulate(&mut self.nodes[id.0].grad, &grad);
+        accumulate(&mut self.nodes[id.0].grad, grad);
     }
 }
 
-fn accumulate(slot: &mut Option<Matrix>, grad: &Matrix) {
+impl Drop for Graph {
+    /// Recycle every node's storage into the thread-local arena and flush
+    /// the reuse counter.
+    fn drop(&mut self) {
+        for node in self.nodes.drain(..) {
+            recycle_node(node);
+        }
+        arena::flush_reuse_counter();
+    }
+}
+
+fn recycle_node(node: Node) {
+    arena::give_back(node.value);
+    if let Some(g) = node.grad {
+        arena::give_back(g);
+    }
+    match node.op {
+        Op::Gelu(_, t) => arena::give_back(t),
+        Op::LayerNorm(_, _, _, xhat, _) => arena::give_back(xhat),
+        Op::SoftmaxCe(_, targets, probs) | Op::SigmoidBce(_, targets, probs) => {
+            arena::give_back(targets);
+            arena::give_back(probs);
+        }
+        _ => {}
+    }
+}
+
+/// Sum `grad` into the slot, moving it in when the slot is empty and
+/// recycling it otherwise.
+fn accumulate(slot: &mut Option<Matrix>, grad: Matrix) {
     match slot {
-        Some(g) => g.axpy(1.0, grad),
-        None => *slot = Some(grad.clone()),
+        Some(g) => {
+            g.axpy(1.0, &grad);
+            arena::give_back(grad);
+        }
+        None => *slot = Some(grad),
     }
 }
 
 fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
-    let data: Vec<f32> = a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect();
-    Matrix::from_vec(a.rows(), a.cols(), data)
+    let mut out = arena::take_uninit(a.rows(), a.cols());
+    for (o, (x, y)) in out.data_mut().iter_mut().zip(a.data().iter().zip(b.data())) {
+        *o = x * y;
+    }
+    out
 }
 
 /// grad_out ⊙ f(reference) elementwise.
 fn masked_grad(grad_out: &Matrix, reference: &Matrix, f: impl Fn(f32) -> f32) -> Matrix {
-    let data: Vec<f32> = grad_out
-        .data()
-        .iter()
-        .zip(reference.data())
-        .map(|(&g, &r)| g * f(r))
-        .collect();
-    Matrix::from_vec(grad_out.rows(), grad_out.cols(), data)
+    let mut out = arena::take_uninit(grad_out.rows(), grad_out.cols());
+    for (o, (&g, &r)) in out
+        .data_mut()
+        .iter_mut()
+        .zip(grad_out.data().iter().zip(reference.data()))
+    {
+        *o = g * f(r);
+    }
+    out
+}
+
+/// `(a - b) * scale` elementwise, pooled — the shared form of both fused
+/// loss gradients (same association as the unfused `sub` then `scale`).
+fn scaled_diff(a: &Matrix, b: &Matrix, scale: f32) -> Matrix {
+    let mut out = arena::take_uninit(a.rows(), a.cols());
+    for (o, (x, y)) in out.data_mut().iter_mut().zip(a.data().iter().zip(b.data())) {
+        *o = (x - y) * scale;
+    }
+    out
 }
 
 fn sigmoid(x: f32) -> f32 {
@@ -488,17 +828,6 @@ fn sigmoid(x: f32) -> f32 {
 }
 
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
-
-fn gelu(x: f32) -> f32 {
-    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
-}
-
-fn gelu_grad(x: f32) -> f32 {
-    let inner = GELU_C * (x + 0.044715 * x * x * x);
-    let t = inner.tanh();
-    let dinner = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
-    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
-}
 
 #[cfg(test)]
 mod tests {
@@ -568,6 +897,51 @@ mod tests {
     }
 
     #[test]
+    fn matmul_t_gradient_matches_finite_difference() {
+        let w = random_matrix(3, 4, 5);
+        check_gradient(
+            |g, x| {
+                let w = g.leaf(w.clone());
+                let y = g.matmul_t(x, w);
+                let y = g.tanh(y);
+                sum_to_scalar(g, y)
+            },
+            &random_matrix(2, 4, 6),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn matmul_t_rhs_gradient_matches_finite_difference() {
+        // Same check with the transposed operand as the differentiated leaf.
+        let a = random_matrix(2, 4, 7);
+        check_gradient(
+            |g, x| {
+                let a = g.leaf(a.clone());
+                let y = g.matmul_t(a, x);
+                let y = g.tanh(y);
+                sum_to_scalar(g, y)
+            },
+            &random_matrix(3, 4, 8),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn matmul_t_matches_matmul_of_transpose_bitwise() {
+        let a = random_matrix(5, 7, 9);
+        let b = random_matrix(6, 7, 10);
+        let mut g1 = Graph::new();
+        let (an, bn) = (g1.leaf(a.clone()), g1.leaf(b.clone()));
+        let fused = g1.matmul_t(an, bn);
+        let mut g2 = Graph::new();
+        let (an2, bn2) = (g2.leaf(a), g2.leaf(b));
+        let bt = g2.transpose(bn2);
+        let unfused = g2.matmul(an2, bt);
+        assert_eq!(g1.value(fused).data(), g2.value(unfused).data());
+    }
+
+    #[test]
     fn activations_gradients_match() {
         for act in 0..4 {
             check_gradient(
@@ -599,6 +973,50 @@ mod tests {
             &random_matrix(3, 4, 21),
             2e-2,
         );
+    }
+
+    #[test]
+    fn scaled_row_softmax_gradient_matches() {
+        let probe = random_matrix(3, 4, 22);
+        check_gradient(
+            |g, x| {
+                let s = g.scaled_row_softmax(x, 0.41);
+                let p = g.leaf(probe.clone());
+                let weighted = g.mul(s, p);
+                sum_to_scalar(g, weighted)
+            },
+            &random_matrix(3, 4, 23),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn scaled_row_softmax_matches_unfused_chain_bitwise() {
+        // Forward values AND backward gradients must equal the unfused
+        // Scale -> RowSoftmax chain bit for bit.
+        let x_val = random_matrix(4, 6, 24);
+        let probe = random_matrix(4, 6, 25);
+        let s = 0.707_f32;
+
+        let mut fused = Graph::new();
+        let x1 = fused.leaf(x_val.clone());
+        let sm1 = fused.scaled_row_softmax(x1, s);
+        let p1 = fused.leaf(probe.clone());
+        let w1 = fused.mul(sm1, p1);
+        let l1 = sum_to_scalar(&mut fused, w1);
+        fused.backward(l1);
+
+        let mut unfused = Graph::new();
+        let x2 = unfused.leaf(x_val);
+        let scaled = unfused.scale(x2, s);
+        let sm2 = unfused.row_softmax(scaled);
+        let p2 = unfused.leaf(probe);
+        let w2 = unfused.mul(sm2, p2);
+        let l2 = sum_to_scalar(&mut unfused, w2);
+        unfused.backward(l2);
+
+        assert_eq!(fused.value(sm1).data(), unfused.value(sm2).data());
+        assert_eq!(fused.grad(x1).data(), unfused.grad(x2).data());
     }
 
     #[test]
@@ -649,6 +1067,29 @@ mod tests {
             &random_matrix(3, 4, 50),
             2e-2,
         );
+    }
+
+    #[test]
+    fn select_cols_gradient_matches_finite_difference() {
+        check_gradient(
+            |g, x| {
+                let sel = g.select_cols(x, 1, 3);
+                let t = g.tanh(sel);
+                sum_to_scalar(g, t)
+            },
+            &random_matrix(4, 6, 55),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn select_cols_round_trips_concat_cols_bitwise() {
+        let x = random_matrix(5, 8, 56);
+        let mut g = Graph::new();
+        let a = g.leaf_copied(&x);
+        let parts: Vec<NodeId> = (0..4).map(|h| g.select_cols(a, h * 2, 2)).collect();
+        let back = g.concat_cols(&parts);
+        assert_eq!(g.value(back).data(), x.data());
     }
 
     #[test]
@@ -739,5 +1180,65 @@ mod tests {
         let mut g = Graph::new();
         let x = g.leaf(Matrix::zeros(2, 2));
         g.backward(x);
+    }
+
+    /// One forward/backward round of a small MLP-ish graph; returns the
+    /// loss value and the leaf gradient.
+    fn train_round(g: &mut Graph, x_val: &Matrix, w_val: &Matrix) -> (f32, Matrix) {
+        let x = g.leaf(x_val.clone());
+        let w = g.leaf(w_val.clone());
+        let h = g.matmul(x, w);
+        let h = g.gelu(h);
+        let s = g.scaled_row_softmax(h, 0.5);
+        let loss = sum_to_scalar(g, s);
+        g.backward(loss);
+        (g.value(loss).get(0, 0), g.grad(x))
+    }
+
+    #[test]
+    fn arena_reuse_is_bitwise_transparent() {
+        // Running the same step through one reset() graph, a reused-after-
+        // drop pool, and completely fresh state must agree bit for bit —
+        // recycled buffers may not leak any stale content.
+        let x_val = random_matrix(6, 5, 110);
+        let w_val = random_matrix(5, 4, 111);
+
+        let mut reused = Graph::new();
+        let (l1, g1) = train_round(&mut reused, &x_val, &w_val);
+        reused.reset();
+        let (l2, g2) = train_round(&mut reused, &x_val, &w_val);
+        drop(reused);
+        // Pool is now warm; a new graph draws recycled buffers.
+        let mut warm = Graph::new();
+        let (l3, g3) = train_round(&mut warm, &x_val, &w_val);
+
+        assert_eq!(l1.to_bits(), l2.to_bits());
+        assert_eq!(l1.to_bits(), l3.to_bits());
+        assert_eq!(g1.data(), g2.data());
+        assert_eq!(g1.data(), g3.data());
+    }
+
+    #[test]
+    fn reset_clears_tape_and_take_value_moves() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::filled(2, 2, 3.0));
+        let y = g.scale(x, 2.0);
+        assert_eq!(g.len(), 2);
+        let v = g.take_value(y);
+        assert_eq!(v, Matrix::filled(2, 2, 6.0));
+        assert_eq!(g.value(y).shape(), (0, 0));
+        g.reset();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn leaf_gather_matches_select_rows() {
+        let table = random_matrix(7, 3, 120);
+        let ids = [4usize, 0, 6, 4];
+        let mut g = Graph::new();
+        let gathered = g.leaf_gather(&table, &ids);
+        let t = g.leaf(table.clone());
+        let selected = g.select_rows(t, &ids);
+        assert_eq!(g.value(gathered).data(), g.value(selected).data());
     }
 }

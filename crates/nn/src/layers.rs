@@ -74,6 +74,10 @@ impl Embedding {
     }
 
     /// Gather embeddings for a token-id sequence, yielding `len x d`.
+    ///
+    /// On an inference (non-recording) binding no gradient ever flows back
+    /// to the table, so only the addressed rows are gathered as a leaf
+    /// instead of copying the whole `vocab x d` table into the tape.
     pub fn forward(
         &self,
         store: &ParamStore,
@@ -81,6 +85,9 @@ impl Embedding {
         binding: &mut Binding,
         ids: &[usize],
     ) -> NodeId {
+        if !binding.is_recording() {
+            return g.leaf_gather(store.value(self.table), ids);
+        }
         let table = store.bind(g, self.table, binding);
         g.select_rows(table, ids)
     }

@@ -99,24 +99,54 @@ impl ParamStore {
         }
     }
 
-    /// Copy the parameter into `graph` as a leaf and record the pairing.
+    /// Copy the parameter into `graph` as a leaf (through the graph's buffer
+    /// arena) and, on recording bindings, record the pairing for the
+    /// optimizer step.
     pub fn bind(&self, graph: &mut Graph, id: ParamId, binding: &mut Binding) -> NodeId {
-        let node = graph.leaf(self.values[id.0].clone());
-        binding.pairs.push((id, node));
+        let node = graph.leaf_copied(&self.values[id.0]);
+        if binding.recording {
+            binding.pairs.push((id, node));
+        }
         node
     }
 }
 
 /// The `(parameter, graph leaf)` pairs of one training step.
-#[derive(Default)]
 pub struct Binding {
     pairs: Vec<(ParamId, NodeId)>,
+    recording: bool,
+}
+
+impl Default for Binding {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Binding {
-    /// An empty binding.
+    /// An empty binding that records parameter/leaf pairs for a later
+    /// optimizer step.
     pub fn new() -> Self {
-        Self::default()
+        Binding {
+            pairs: Vec::new(),
+            recording: true,
+        }
+    }
+
+    /// A non-recording binding for forward-only passes: no pairs are kept
+    /// (nothing will read gradients), which lets layers take cheaper paths —
+    /// e.g. [`crate::layers::Embedding::forward`] gathers just the rows it
+    /// needs instead of copying the whole table into the tape.
+    pub fn inference() -> Self {
+        Binding {
+            pairs: Vec::new(),
+            recording: false,
+        }
+    }
+
+    /// Whether this binding records pairs (false for [`Binding::inference`]).
+    pub fn is_recording(&self) -> bool {
+        self.recording
     }
 
     /// Iterate over recorded pairs.
@@ -178,10 +208,31 @@ impl Adam {
         let mut by_param: std::collections::HashMap<usize, Matrix> =
             std::collections::HashMap::new();
         for &(pid, nid) in binding.pairs.iter() {
-            let g = graph.grad(nid);
+            // A leaf with no accumulated gradient still participates as an
+            // all-zeros contribution (its entry must exist so m/v decay even
+            // when the parameter got no signal this step).
             match by_param.entry(pid.0) {
-                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().axpy(1.0, &g),
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    match graph.grad_ref(nid) {
+                        Some(g) => e.get_mut().axpy(1.0, g),
+                        // Keep the historical `+= 0.0` pass so bit patterns
+                        // match the old zeros-materializing path exactly
+                        // (it canonicalizes any -0.0 to +0.0).
+                        None => {
+                            for x in e.get_mut().data_mut() {
+                                *x += 0.0;
+                            }
+                        }
+                    }
+                }
                 std::collections::hash_map::Entry::Vacant(e) => {
+                    let g = match graph.grad_ref(nid) {
+                        Some(g) => g.clone(),
+                        None => {
+                            let p = &store.values[pid.0];
+                            Matrix::zeros(p.rows(), p.cols())
+                        }
+                    };
                     e.insert(g);
                 }
             }
@@ -198,7 +249,7 @@ impl Adam {
             if norm > self.clip {
                 let s = self.clip / norm;
                 for (_, g) in &mut grads {
-                    *g = g.scale(s);
+                    g.scale_in_place(s);
                 }
             }
         }

@@ -56,6 +56,15 @@ impl PlmCheckpoint {
         model.import_weights(self.weights.clone());
         model
     }
+
+    /// Rebuild the model, consuming the checkpoint — moves the weights in
+    /// instead of deep-cloning them. Preferred on warm cache hits, where
+    /// the deserialized checkpoint has no other owner.
+    pub fn into_model(self) -> MiniPlm {
+        let mut model = MiniPlm::new(self.config);
+        model.import_weights(self.weights);
+        model
+    }
 }
 
 /// Stage: continue pretraining a base model on a target corpus

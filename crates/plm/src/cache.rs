@@ -162,7 +162,13 @@ pub fn pretrained(tier: Tier, seed: u64) -> Arc<MiniPlm> {
         model_config: tier.model_config(corpus.vocab.len()),
         pretrain_config: tier.pretrain_config(seed),
     });
-    let arc = Arc::new(ckpt.restore());
+    // DiskOnly stages hand back a freshly deserialized checkpoint with no
+    // other owner, so the weights can be moved into the model instead of
+    // deep-cloned; fall back to restore() if the Arc is ever shared.
+    let arc = Arc::new(match Arc::try_unwrap(ckpt) {
+        Ok(owned) => owned.into_model(),
+        Err(shared) => shared.restore(),
+    });
     cache
         .lock()
         .entry((tier, seed))

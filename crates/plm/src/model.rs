@@ -27,6 +27,36 @@ struct Block {
     ff2: Linear,
 }
 
+impl Block {
+    /// Concatenate the per-head q/k/v projection weights and biases
+    /// column-wise into one `d_model x 3*d_model` weight (head-major
+    /// `[q_h | k_h | v_h]` triples) plus its `1 x 3*d_model` bias, so the
+    /// inference path can run one wide matmul instead of `3 * n_heads`
+    /// narrow ones. Rebuilt on every call — never cached — so a training
+    /// step can't leave it stale; the copy is trivial next to the matmul
+    /// it fuses. Each fused output element is the same ascending-`k` dot
+    /// product the per-head matmuls compute, so results are bitwise
+    /// identical.
+    fn fused_qkv(&self, store: &ParamStore) -> (Matrix, Matrix) {
+        let first = store.value(self.heads[0].0.weight());
+        let (d_in, dh) = first.shape();
+        let total = self.heads.len() * 3 * dh;
+        let mut w = Matrix::zeros(d_in, total);
+        let mut b = Matrix::zeros(1, total);
+        for (h, (wq, wk, wv)) in self.heads.iter().enumerate() {
+            for (slot, lin) in [wq, wk, wv].into_iter().enumerate() {
+                let off = (h * 3 + slot) * dh;
+                let src = store.value(lin.weight());
+                for r in 0..d_in {
+                    w.row_mut(r)[off..off + dh].copy_from_slice(src.row(r));
+                }
+                b.row_mut(0)[off..off + dh].copy_from_slice(store.value(lin.bias()).row(0));
+            }
+        }
+        (w, b)
+    }
+}
+
 /// The mini pre-trained language model.
 pub struct MiniPlm {
     /// Architecture.
@@ -215,7 +245,7 @@ impl MiniPlm {
         let mut g = Graph::new();
         let bound = self.bound();
         let h = bound.encode(&mut g, tokens);
-        g.value(h).clone()
+        g.take_value(h)
     }
 
     /// MLM distribution at `position` of the (already wrapped) sequence.
@@ -344,9 +374,11 @@ pub struct BoundPlm<'m> {
 }
 
 impl BoundPlm<'_> {
-    /// Encode a wrapped sequence to final hidden states (`len x d`).
+    /// Encode a wrapped sequence to final hidden states (`len x d`). Uses a
+    /// non-recording binding, so the embedding lookup gathers only the
+    /// addressed rows instead of copying the full table into the tape.
     pub fn encode(&self, g: &mut Graph, tokens: &[TokenId]) -> NodeId {
-        self.encode_with_binding(g, &mut Binding::new(), tokens)
+        self.encode_with_binding(g, &mut Binding::inference(), tokens)
     }
 
     /// Encode while recording parameter bindings (training path).
@@ -368,15 +400,35 @@ impl BoundPlm<'_> {
         for block in &m.blocks {
             let normed = block.ln1.forward(&m.store, g, binding, x);
             let mut ctxs = Vec::with_capacity(m.config.n_heads);
-            for (wq, wk, wv) in &block.heads {
-                let q = wq.forward(&m.store, g, binding, normed);
-                let k = wk.forward(&m.store, g, binding, normed);
-                let v = wv.forward(&m.store, g, binding, normed);
-                let kt = g.transpose(k);
-                let scores = g.matmul(q, kt);
-                let scaled = g.scale(scores, scale);
-                let attn = g.row_softmax(scaled);
-                ctxs.push(g.matmul(attn, v));
+            if binding.is_recording() {
+                for (wq, wk, wv) in &block.heads {
+                    let q = wq.forward(&m.store, g, binding, normed);
+                    let k = wk.forward(&m.store, g, binding, normed);
+                    let v = wv.forward(&m.store, g, binding, normed);
+                    // q·kᵀ without materializing the transpose, then the
+                    // 1/sqrt(d_head) scale fused into the softmax node.
+                    let scores = g.matmul_t(q, k);
+                    let attn = g.scaled_row_softmax(scores, scale);
+                    ctxs.push(g.matmul(attn, v));
+                }
+            } else {
+                // Inference: one wide fused QKV matmul replaces the
+                // 3*n_heads narrow per-head projections (same bits, far
+                // better kernel efficiency); heads become column slices.
+                let (fw, fb) = block.fused_qkv(&m.store);
+                let wnode = g.leaf(fw);
+                let bnode = g.leaf(fb);
+                let proj = g.matmul(normed, wnode);
+                let qkv = g.add_row_broadcast(proj, bnode);
+                let dh = m.config.d_head();
+                for h in 0..m.config.n_heads {
+                    let q = g.select_cols(qkv, (h * 3) * dh, dh);
+                    let k = g.select_cols(qkv, (h * 3 + 1) * dh, dh);
+                    let v = g.select_cols(qkv, (h * 3 + 2) * dh, dh);
+                    let scores = g.matmul_t(q, k);
+                    let attn = g.scaled_row_softmax(scores, scale);
+                    ctxs.push(g.matmul(attn, v));
+                }
             }
             let ctx = g.concat_cols(&ctxs);
             let attn_out = block.wo.forward(&m.store, g, binding, ctx);
@@ -393,7 +445,7 @@ impl BoundPlm<'_> {
     /// MLM logits at the given positions: `positions.len() x vocab`, using
     /// the tied token-embedding matrix plus the output bias.
     pub fn mlm_logits(&self, g: &mut Graph, hidden: NodeId, positions: &[usize]) -> NodeId {
-        self.mlm_logits_with_binding(g, &mut Binding::new(), hidden, positions)
+        self.mlm_logits_with_binding(g, &mut Binding::inference(), hidden, positions)
     }
 
     /// MLM logits recording bindings (training path).
@@ -407,15 +459,14 @@ impl BoundPlm<'_> {
         let m = self.model;
         let sel = g.select_rows(hidden, positions);
         let table = m.tok.bind_table(&m.store, g, binding);
-        let tt = g.transpose(table);
-        let logits = g.matmul(sel, tt);
+        let logits = g.matmul_t(sel, table);
         let bias = m.store.bind(g, m.mlm_bias, binding);
         g.add_row_broadcast(logits, bias)
     }
 
     /// RTD logits: one scalar per position (`len x 1`).
     pub fn rtd_logits(&self, g: &mut Graph, hidden: NodeId) -> NodeId {
-        self.rtd_logits_with_binding(g, &mut Binding::new(), hidden)
+        self.rtd_logits_with_binding(g, &mut Binding::inference(), hidden)
     }
 
     /// RTD logits recording bindings.
@@ -431,7 +482,7 @@ impl BoundPlm<'_> {
 
     /// NLI logits from the `[CLS]` row (`1 x 2`; class 1 = entail).
     pub fn nli_logits(&self, g: &mut Graph, hidden: NodeId) -> NodeId {
-        self.nli_logits_with_binding(g, &mut Binding::new(), hidden)
+        self.nli_logits_with_binding(g, &mut Binding::inference(), hidden)
     }
 
     /// NLI logits recording bindings.
@@ -502,6 +553,29 @@ mod tests {
         assert!(top
             .iter()
             .all(|&(t, _)| t >= structmine_text::vocab::N_SPECIAL as u32));
+    }
+
+    #[test]
+    fn fused_inference_encode_matches_recording_path_bitwise() {
+        // The inference path runs one fused QKV matmul per block instead of
+        // 3 * n_heads per-head projections; both must produce the exact
+        // same bits (the fused product computes each element with the same
+        // ascending-k summation order).
+        let m = model();
+        let seq = m.wrap(&[7, 8, 9, 12, 30, 31, 9, 7]);
+        let bound = m.bound();
+        let mut g = Graph::new();
+        let inference = bound.encode(&mut g, &seq);
+        let inference = g.take_value(inference);
+        let mut g2 = Graph::new();
+        let mut binding = Binding::new();
+        let recording = bound.encode_with_binding(&mut g2, &mut binding, &seq);
+        let recording = g2.take_value(recording);
+        assert_eq!(
+            inference.data(),
+            recording.data(),
+            "fused inference encode diverged from the training path"
+        );
     }
 
     #[test]

@@ -85,6 +85,10 @@ pub fn pretrain(model: &mut MiniPlm, corpus: &Corpus, cfg: &PretrainConfig) -> P
     let mut adam = model.optimizer(cfg.lr);
     let vocab_size = model.config.vocab_size;
     let mut mlm_losses = Vec::with_capacity(cfg.steps);
+    // One tape reused across all steps: reset() recycles every node's
+    // storage through the graph arena, so steady-state steps stop
+    // allocating matrix buffers entirely.
+    let mut g = Graph::new();
 
     for step in 0..cfg.steps {
         // Linear warmup for 5% then linear decay to 10%.
@@ -96,7 +100,7 @@ pub fn pretrain(model: &mut MiniPlm, corpus: &Corpus, cfg: &PretrainConfig) -> P
         };
         adam.set_lr(lr.max(cfg.lr * 0.05));
 
-        let mut g = Graph::new();
+        g.reset();
         let mut binding = Binding::new();
         let bound = model.bound();
         let mut total_loss = None;

@@ -17,25 +17,40 @@ pub struct Criterion {
     measurement_time: Duration,
     warm_up_time: Duration,
     results: Vec<(String, Duration)>,
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        // Like real criterion, the first free-standing CLI argument is a
+        // substring filter: `cargo bench -- parallel_encode` runs only the
+        // benchmarks whose full name contains "parallel_encode".
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
         Criterion {
             sample_size: 10,
             measurement_time: Duration::from_secs(5),
             warm_up_time: Duration::from_millis(500),
             results: Vec::new(),
+            filter,
         }
     }
 }
 
 impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| name.contains(f))
+    }
+
     /// Benchmark one closure under `name`.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        if !self.matches(name) {
+            return self;
+        }
         let cfg = BenchConfig {
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
@@ -111,6 +126,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{name}", self.prefix);
+        if !self.parent.matches(&full) {
+            return self;
+        }
         let mean = run_bench(&full, &self.cfg, &mut f);
         self.parent.results.push((full, mean));
         self
@@ -214,7 +232,11 @@ mod tests {
 
     #[test]
     fn bench_function_collects_samples() {
-        let mut c = Criterion::default();
+        // The surrounding test harness's own CLI args must not filter here.
+        let mut c = Criterion {
+            filter: None,
+            ..Criterion::default()
+        };
         let mut group = c.benchmark_group("g");
         group.sample_size(3);
         group.warm_up_time(Duration::from_millis(1));
