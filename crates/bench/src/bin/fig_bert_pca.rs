@@ -3,9 +3,10 @@
 
 fn main() {
     structmine_bench::run_table("fig_bert_pca", |cfg| {
-        for table in structmine_bench::exps::figures::run(cfg) {
+        for table in structmine_bench::exps::figures::run(cfg)? {
             println!("{table}");
         }
-        println!("{}", structmine_bench::exps::figures::ascii_scatter(cfg));
+        println!("{}", structmine_bench::exps::figures::ascii_scatter(cfg)?);
+        Ok(())
     });
 }

@@ -6,7 +6,7 @@ use std::io::Write;
 fn main() {
     let all_ok = structmine_bench::run_table("run_all", |cfg| {
         let started = std::time::Instant::now();
-        let tables = structmine_bench::exps::run_all(cfg);
+        let tables = structmine_bench::exps::run_all(cfg)?;
         let mut report = String::from("# structmine benchmark report\n\n");
         report.push_str(&format!(
             "scale={}, seeds={}, wall time {:?}\n\n",
@@ -23,7 +23,7 @@ fn main() {
         }
         let mut f = std::fs::File::create("bench_report.md").expect("create bench_report.md");
         f.write_all(report.as_bytes()).expect("write report");
-        all_ok
+        Ok(all_ok)
     });
     println!(
         "\n{} — report written to bench_report.md",

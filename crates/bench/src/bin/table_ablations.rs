@@ -3,8 +3,9 @@
 
 fn main() {
     structmine_bench::run_table("table_ablations", |cfg| {
-        for table in structmine_bench::exps::ablations::run(cfg) {
+        for table in structmine_bench::exps::ablations::run(cfg)? {
             println!("{table}");
         }
+        Ok(())
     });
 }

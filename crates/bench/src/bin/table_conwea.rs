@@ -2,8 +2,9 @@
 
 fn main() {
     structmine_bench::run_table("table_conwea", |cfg| {
-        for table in structmine_bench::exps::conwea::run(cfg) {
+        for table in structmine_bench::exps::conwea::run(cfg)? {
             println!("{table}");
         }
+        Ok(())
     });
 }

@@ -2,8 +2,9 @@
 
 fn main() {
     structmine_bench::run_table("table_lotclass", |cfg| {
-        for table in structmine_bench::exps::lotclass::run(cfg) {
+        for table in structmine_bench::exps::lotclass::run(cfg)? {
             println!("{table}");
         }
+        Ok(())
     });
 }

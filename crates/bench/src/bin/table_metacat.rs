@@ -2,8 +2,9 @@
 
 fn main() {
     structmine_bench::run_table("table_metacat", |cfg| {
-        for table in structmine_bench::exps::metacat::run(cfg) {
+        for table in structmine_bench::exps::metacat::run(cfg)? {
             println!("{table}");
         }
+        Ok(())
     });
 }

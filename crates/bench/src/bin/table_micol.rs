@@ -2,8 +2,9 @@
 
 fn main() {
     structmine_bench::run_table("table_micol", |cfg| {
-        for table in structmine_bench::exps::micol::run(cfg) {
+        for table in structmine_bench::exps::micol::run(cfg)? {
             println!("{table}");
         }
+        Ok(())
     });
 }

@@ -2,8 +2,9 @@
 
 fn main() {
     structmine_bench::run_table("table_promptclass", |cfg| {
-        for table in structmine_bench::exps::promptclass::run(cfg) {
+        for table in structmine_bench::exps::promptclass::run(cfg)? {
             println!("{table}");
         }
+        Ok(())
     });
 }

@@ -2,8 +2,9 @@
 
 fn main() {
     structmine_bench::run_table("table_taxoclass", |cfg| {
-        for table in structmine_bench::exps::taxoclass::run(cfg) {
+        for table in structmine_bench::exps::taxoclass::run(cfg)? {
             println!("{table}");
         }
+        Ok(())
     });
 }

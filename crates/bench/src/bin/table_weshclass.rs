@@ -2,8 +2,9 @@
 
 fn main() {
     structmine_bench::run_table("table_weshclass", |cfg| {
-        for table in structmine_bench::exps::weshclass::run(cfg) {
+        for table in structmine_bench::exps::weshclass::run(cfg)? {
             println!("{table}");
         }
+        Ok(())
     });
 }

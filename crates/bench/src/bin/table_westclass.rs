@@ -2,8 +2,9 @@
 
 fn main() {
     structmine_bench::run_table("table_westclass", |cfg| {
-        for table in structmine_bench::exps::westclass::run(cfg) {
+        for table in structmine_bench::exps::westclass::run(cfg)? {
             println!("{table}");
         }
+        Ok(())
     });
 }

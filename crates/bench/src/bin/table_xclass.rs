@@ -2,8 +2,9 @@
 
 fn main() {
     structmine_bench::run_table("table_xclass", |cfg| {
-        for table in structmine_bench::exps::xclass::run(cfg) {
+        for table in structmine_bench::exps::xclass::run(cfg)? {
             println!("{table}");
         }
+        Ok(())
     });
 }

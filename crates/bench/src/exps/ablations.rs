@@ -13,25 +13,25 @@ use structmine::conwea::ConWea;
 use structmine::westclass::WeSTClass;
 use structmine::xclass::XClass;
 use structmine_plm::{pretrain, MiniPlm, PlmConfig, PretrainConfig};
-use structmine_text::synth::recipes;
+use structmine_text::synth::{recipes, SynthError};
 
 /// Run all ablations.
-pub fn run(cfg: &BenchConfig) -> Vec<Table> {
-    vec![
-        plm_scaling_curve(cfg),
-        westclass_pseudo_budget(cfg),
-        xclass_gmm_anchoring(cfg),
-        conwea_expansion_width(cfg),
-    ]
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+    Ok(vec![
+        plm_scaling_curve(cfg)?,
+        westclass_pseudo_budget(cfg)?,
+        xclass_gmm_anchoring(cfg)?,
+        conwea_expansion_width(cfg)?,
+    ])
 }
 
 /// Downstream X-Class accuracy as a function of PLM pretraining steps.
-pub fn plm_scaling_curve(cfg: &BenchConfig) -> Table {
+pub fn plm_scaling_curve(cfg: &BenchConfig) -> Result<Table, SynthError> {
     let mut t = Table::new("E11a — PLM pretraining compute vs downstream weak classification");
     t.note("X-Class on agnews with label names only; the same architecture pretrained longer");
     t.headers(&["pretraining steps", "final MLM loss", "X-Class accuracy"]);
     let corpus = recipes::pretraining_corpus(600, 11);
-    let d = recipes::agnews(cfg.scale, 11).unwrap();
+    let d = recipes::agnews(cfg.scale, 11)?;
     let mut accs = Vec::new();
     for &steps in &[150usize, 500, 1500, 3000] {
         let mut model = MiniPlm::new(PlmConfig {
@@ -63,14 +63,14 @@ pub fn plm_scaling_curve(cfg: &BenchConfig) -> Table {
         format!("more pretraining helps downstream weak supervision ({first:.3} -> {last:.3})"),
         last > first,
     );
-    t
+    Ok(t)
 }
 
 /// WeSTClass accuracy vs pseudo-document budget.
-pub fn westclass_pseudo_budget(cfg: &BenchConfig) -> Table {
+pub fn westclass_pseudo_budget(cfg: &BenchConfig) -> Result<Table, SynthError> {
     let mut t = Table::new("E11b — WeSTClass pseudo-document budget");
     t.headers(&["pseudo docs / class", "accuracy"]);
-    let d = recipes::agnews(cfg.scale, 12).unwrap();
+    let d = recipes::agnews(cfg.scale, 12)?;
     let wv = standard_word_vectors(&d);
     let mut accs = Vec::new();
     for &n in &[5usize, 20, 80, 160] {
@@ -91,15 +91,15 @@ pub fn westclass_pseudo_budget(cfg: &BenchConfig) -> Table {
         ),
         accs[2] >= accs[0] - 0.02,
     );
-    t
+    Ok(t)
 }
 
 /// X-Class: EM iterations of the alignment GMM (anchoring vs drift).
-pub fn xclass_gmm_anchoring(cfg: &BenchConfig) -> Table {
+pub fn xclass_gmm_anchoring(cfg: &BenchConfig) -> Result<Table, SynthError> {
     let mut t = Table::new("E11c — X-Class GMM anchoring: EM iterations vs drift");
     t.note("long EM runs drift from the class-seeded prior toward whatever unsupervised structure dominates");
     t.headers(&["EM iterations", "align accuracy", "final accuracy"]);
-    let d = recipes::agnews(cfg.scale, 13).unwrap();
+    let d = recipes::agnews(cfg.scale, 13)?;
     let plm = crate::adapted_plm(&d, 13);
     let mut finals = Vec::new();
     for &iters in &[1usize, 2, 4, 16] {
@@ -121,14 +121,14 @@ pub fn xclass_gmm_anchoring(cfg: &BenchConfig) -> Table {
         ),
         finals[0] >= finals[3] - 0.02,
     );
-    t
+    Ok(t)
 }
 
 /// ConWea: seed-expansion width.
-pub fn conwea_expansion_width(cfg: &BenchConfig) -> Table {
+pub fn conwea_expansion_width(cfg: &BenchConfig) -> Result<Table, SynthError> {
     let mut t = Table::new("E11d — ConWea seed-expansion width");
     t.headers(&["expansion words / class", "accuracy"]);
-    let d = recipes::nyt_coarse(cfg.scale, 14).unwrap();
+    let d = recipes::nyt_coarse(cfg.scale, 14)?;
     let plm = crate::adapted_plm(&d, 14);
     let mut accs = Vec::new();
     for &n in &[0usize, 4, 8, 16] {
@@ -150,5 +150,5 @@ pub fn conwea_expansion_width(cfg: &BenchConfig) -> Table {
         ),
         accs[2] >= accs[0] - 0.02,
     );
-    t
+    Ok(t)
 }

@@ -7,12 +7,12 @@ use structmine::baselines;
 use structmine::conwea::ConWea;
 use structmine::westclass::WeSTClass;
 use structmine_eval::MeanStd;
-use structmine_text::synth::recipes;
+use structmine_text::synth::{recipes, SynthError};
 
 const DATASETS: &[&str] = &["nyt-coarse", "nyt-fine", "20news-coarse", "20news-fine"];
 
 /// Run E2.
-pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
     let mut t = Table::new("E2 — ConWea reproduction (Micro-F1 / Macro-F1, test split)");
     t.note(format!(
         "seeds={}, scale={}; paper reference (NYT 5-class micro): IR-TF-IDF 0.65, \
@@ -41,7 +41,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         let mut micro: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
         let mut macro_: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
         for &seed in &cfg.seed_values() {
-            let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
+            let d = recipes::by_name(ds, cfg.scale, seed)?;
             let sup = d.supervision_keywords();
             let wv = standard_word_vectors(&d);
             let plm = adapted_plm(&d, seed);
@@ -149,7 +149,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         ),
         mean("Supervised") >= mean("ConWea") - 0.02,
     );
-    vec![t]
+    Ok(vec![t])
 }
 
 #[cfg(test)]
@@ -163,7 +163,7 @@ mod tests {
             scale: 0.05,
             seeds: 1,
         };
-        let tables = run(&cfg);
+        let tables = run(&cfg).unwrap();
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].rows.len(), 7);
         assert_eq!(tables[0].rows[0].len(), 1 + DATASETS.len());

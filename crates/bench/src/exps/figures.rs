@@ -5,11 +5,11 @@
 use crate::{adapted_plm, standard_plm, BenchConfig, Table};
 use structmine_cluster::{confusion_matrix, kmeans, map_clusters_to_classes};
 use structmine_linalg::Pca;
-use structmine_text::synth::recipes;
+use structmine_text::synth::{recipes, SynthError};
 
 /// Run E4b: PCA scatter summary + clustering confusion matrix.
-pub fn run(cfg: &BenchConfig) -> Vec<Table> {
-    let d = recipes::nyt_coarse(cfg.scale, 7).unwrap();
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+    let d = recipes::nyt_coarse(cfg.scale, 7)?;
     let plm = adapted_plm(&d, 7);
     let reps = structmine_plm::repr::doc_mean_reps(&plm, &d.corpus);
     let gold: Vec<usize> = d.corpus.docs.iter().map(|doc| doc.labels[0]).collect();
@@ -100,13 +100,13 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         ),
         acc > 2.0 / k as f32,
     );
-    vec![fig1, fig2]
+    Ok(vec![fig1, fig2])
 }
 
 /// ASCII scatter of the PCA projection (printed by the figure binary).
-pub fn ascii_scatter(cfg: &BenchConfig) -> String {
+pub fn ascii_scatter(cfg: &BenchConfig) -> Result<String, SynthError> {
     let plm = standard_plm();
-    let d = recipes::nyt_coarse((cfg.scale * 0.5).max(0.03), 7).unwrap();
+    let d = recipes::nyt_coarse((cfg.scale * 0.5).max(0.03), 7)?;
     let reps = structmine_plm::repr::doc_mean_reps(&plm, &d.corpus);
     let pca = Pca::fit(&reps, 2);
     let proj = pca.transform(&reps);
@@ -131,7 +131,7 @@ pub fn ascii_scatter(cfg: &BenchConfig) -> String {
         out.push_str(&row.into_iter().collect::<String>());
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -144,7 +144,8 @@ mod tests {
         let s = ascii_scatter(&BenchConfig {
             scale: 0.06,
             seeds: 1,
-        });
+        })
+        .unwrap();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 25);
         assert!(lines[1..].iter().all(|l| l.chars().count() == 72));

@@ -8,12 +8,12 @@ use structmine::baselines;
 use structmine::lotclass::{replacement_demo, LotClass};
 use structmine::westclass::WeSTClass;
 use structmine_eval::MeanStd;
-use structmine_text::synth::recipes;
+use structmine_text::synth::{recipes, SynthError};
 
 const DATASETS: &[&str] = &["agnews", "dbpedia", "imdb", "amazon"];
 
 /// Run E3.
-pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
     let mut t = Table::new("E3 — LOTClass reproduction (accuracy, label names only)");
     t.note(format!(
         "seeds={}, scale={}; paper reference (AG News): Dataless 0.696, WeSTClass 0.823, \
@@ -38,7 +38,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     for ds in DATASETS {
         let mut accs: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
         for &seed in &cfg.seed_values() {
-            let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
+            let d = recipes::by_name(ds, cfg.scale, seed)?;
             let names = d.supervision_names();
             let wv = standard_word_vectors(&d);
             let plm = adapted_plm(&d, seed);
@@ -114,7 +114,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         mean("Supervised") >= mean("LOTClass") - 0.02,
     );
 
-    vec![t, table1_demo()]
+    Ok(vec![t, table1_demo()])
 }
 
 /// E3b — the paper's Table 1: MLM replacements for one surface word under

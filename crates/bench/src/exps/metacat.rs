@@ -7,7 +7,7 @@ use crate::{standard_word_vectors, BenchConfig, Table};
 use structmine::metacat::{MetaCat, SignalSet};
 use structmine::westclass::WeSTClass;
 use structmine_eval::MeanStd;
-use structmine_text::synth::recipes;
+use structmine_text::synth::{recipes, SynthError};
 
 const DATASETS: &[&str] = &[
     "github-bio",
@@ -19,7 +19,7 @@ const DATASETS: &[&str] = &[
 const DOCS_PER_CLASS: usize = 5;
 
 /// Run E8.
-pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
     let mut micro_t = Table::new("E8 — MetaCat reproduction (Micro-F1, 5 labeled docs/class)");
     micro_t.note(format!(
         "seeds={}, scale={}; paper reference (GitHub-Bio micro): CNN 0.223, WeSTClass 0.368, \
@@ -47,7 +47,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         let mut micro: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
         let mut macro_: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
         for &seed in &cfg.seed_values() {
-            let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
+            let d = recipes::by_name(ds, cfg.scale, seed)?;
             let sup = d.supervision_docs(DOCS_PER_CLASS, seed);
             let wv = standard_word_vectors(&d);
             let cfg_mc = MetaCat {
@@ -129,5 +129,5 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         ),
         small_mean("MetaCat") > small_mean("WeSTClass (text)") - 0.01,
     );
-    vec![micro_t, macro_t]
+    Ok(vec![micro_t, macro_t])
 }

@@ -9,7 +9,7 @@ use structmine::micol::{
     supervised_match_ranking, Encoder, MetaPath, MiCoL,
 };
 use structmine_eval::{ndcg_at_k, precision_at_k, MeanStd};
-use structmine_text::synth::recipes;
+use structmine_text::synth::{recipes, SynthError};
 use structmine_text::Dataset;
 
 const DATASETS: &[&str] = &["mag-cs", "pubmed"];
@@ -27,7 +27,7 @@ fn eval(d: &Dataset, rankings: &[Vec<usize>]) -> [f32; 5] {
 }
 
 /// Run E9.
-pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
     let methods: &[&str] = &[
         "Doc2Vec",
         "PLM rep (SciBERT-like)",
@@ -56,7 +56,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         t.headers(&["method", "P@1", "P@3", "P@5", "NDCG@3", "NDCG@5"]);
         let mut cells: Vec<Vec<[f32; 5]>> = vec![Vec::new(); methods.len()];
         for &seed in &cfg.seed_values() {
-            let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
+            let d = recipes::by_name(ds, cfg.scale, seed)?;
             let plm = adapted_plm(&d, seed);
             let runs: Vec<Vec<Vec<usize>>> = vec![
                 doc2vec_ranking(&d, seed),
@@ -162,5 +162,5 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         ),
         mean("MATCH-sup (100%)") >= mean("MATCH-sup (10%)") - 0.02,
     );
-    tables
+    Ok(tables)
 }

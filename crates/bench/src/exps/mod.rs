@@ -14,19 +14,20 @@ pub mod westclass;
 pub mod xclass;
 
 use crate::{BenchConfig, Table};
+use structmine_text::synth::SynthError;
 
 /// Run every experiment, in paper order. Expensive; used by `run_all`.
-pub fn run_all(cfg: &BenchConfig) -> Vec<Table> {
+pub fn run_all(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
     let mut tables = Vec::new();
-    tables.extend(westclass::run(cfg));
-    tables.extend(conwea::run(cfg));
-    tables.extend(lotclass::run(cfg));
-    tables.extend(xclass::run(cfg));
-    tables.extend(figures::run(cfg));
-    tables.extend(promptclass::run(cfg));
-    tables.extend(weshclass::run(cfg));
-    tables.extend(taxoclass::run(cfg));
-    tables.extend(metacat::run(cfg));
-    tables.extend(micol::run(cfg));
-    tables
+    tables.extend(westclass::run(cfg)?);
+    tables.extend(conwea::run(cfg)?);
+    tables.extend(lotclass::run(cfg)?);
+    tables.extend(xclass::run(cfg)?);
+    tables.extend(figures::run(cfg)?);
+    tables.extend(promptclass::run(cfg)?);
+    tables.extend(weshclass::run(cfg)?);
+    tables.extend(taxoclass::run(cfg)?);
+    tables.extend(metacat::run(cfg)?);
+    tables.extend(micol::run(cfg)?);
+    Ok(tables)
 }

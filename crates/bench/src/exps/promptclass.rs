@@ -6,12 +6,12 @@ use crate::table::ms;
 use crate::{adapted_plm, BenchConfig, Table};
 use structmine::promptclass::{PromptClass, PromptStyle};
 use structmine_eval::MeanStd;
-use structmine_text::synth::recipes;
+use structmine_text::synth::{recipes, SynthError};
 
 const DATASETS: &[&str] = &["agnews", "20news-coarse", "yelp", "imdb"];
 
 /// Run E5.
-pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
     let mut t = Table::new("E5 — PromptClass reproduction (Micro-F1 / Macro-F1)");
     t.note(format!(
         "seeds={}, scale={}; paper reference (AG News micro): RoBERTa 0-shot 0.581, \
@@ -39,7 +39,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         let mut micro: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
         let mut macro_: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
         for &seed in &cfg.seed_values() {
-            let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
+            let d = recipes::by_name(ds, cfg.scale, seed)?;
             let plm = adapted_plm(&d, seed);
             let mlm_full = PromptClass {
                 style: PromptStyle::Mlm,
@@ -124,5 +124,5 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         mean("Fully supervised")
             >= mean("PromptClass RTD+RTD").max(mean("PromptClass RTD+head")) - 0.03,
     );
-    vec![t]
+    Ok(vec![t])
 }

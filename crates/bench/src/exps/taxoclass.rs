@@ -7,7 +7,7 @@ use crate::{adapted_plm, standard_word_vectors, BenchConfig, Table};
 use structmine::taxoclass::{hier_zero_shot, semi_supervised, TaxoClass, TaxoClassOutput};
 use structmine::weshclass::WeSHClass;
 use structmine_eval::{example_f1, precision_at_1_sets, MeanStd};
-use structmine_text::synth::recipes;
+use structmine_text::synth::{recipes, SynthError};
 use structmine_text::Dataset;
 
 const DATASETS: &[&str] = &["amazon-taxonomy", "dbpedia-taxonomy"];
@@ -67,7 +67,7 @@ fn single_parent_view(d: &Dataset) -> Dataset {
 }
 
 /// Run E7.
-pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
     let mut t = Table::new("E7 — TaxoClass reproduction (Example-F1 / P@1)");
     t.note(format!(
         "seeds={}, scale={}; paper reference (Amazon): WeSHClass 0.246/0.577, SS-PCEM 0.292/0.537, \
@@ -92,7 +92,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
     for ds in DATASETS {
         let mut cells: Vec<Vec<(f32, f32)>> = vec![Vec::new(); methods.len()];
         for &seed in &cfg.seed_values() {
-            let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
+            let d = recipes::by_name(ds, cfg.scale, seed)?;
             let plm = adapted_plm(&d, seed);
             let outs = [
                 weshclass_as_baseline(&d, seed),
@@ -152,7 +152,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         ),
         mean("TaxoClass") >= mean("Semi-supervised (30%)") - 0.02,
     );
-    vec![t]
+    Ok(vec![t])
 }
 
 #[cfg(test)]

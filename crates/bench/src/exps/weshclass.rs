@@ -6,7 +6,7 @@ use crate::table::ms;
 use crate::{standard_word_vectors, BenchConfig, Table};
 use structmine::weshclass::{path_macro_f1, path_micro_f1, WeSHClass};
 use structmine_eval::MeanStd;
-use structmine_text::synth::recipes;
+use structmine_text::synth::{recipes, SynthError};
 use structmine_text::Dataset;
 
 const DATASETS: &[&str] = &["nyt-tree", "arxiv-tree", "yelp-tree"];
@@ -26,7 +26,7 @@ fn eval(d: &Dataset, out: &structmine::weshclass::WeSHClassOutput) -> (f32, f32)
 }
 
 /// Run E6.
-pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
     let mut t = Table::new("E6 — WeSHClass reproduction (Macro-F1 / Micro-F1 over path labels)");
     t.note(format!(
         "seeds={}, scale={}; paper reference (NYT keywords macro/micro): WeSTClass 0.386/0.772, \
@@ -49,7 +49,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         for sup_kind in SUPERVISIONS {
             let mut cells: Vec<Vec<(f32, f32)>> = vec![Vec::new(); methods.len()];
             for &seed in &cfg.seed_values() {
-                let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
+                let d = recipes::by_name(ds, cfg.scale, seed)?;
                 let wv = standard_word_vectors(&d);
                 let sup = match *sup_kind {
                     "KEYWORDS" => d.supervision_keywords(),
@@ -126,5 +126,5 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         ),
         mean("WeSHClass") >= mean("No-self-train") - 0.01,
     );
-    vec![t]
+    Ok(vec![t])
 }

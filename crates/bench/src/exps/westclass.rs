@@ -7,7 +7,7 @@ use crate::{standard_word_vectors, BenchConfig, Table};
 use structmine::baselines;
 use structmine::westclass::WeSTClass;
 use structmine_eval::MeanStd;
-use structmine_text::synth::recipes;
+use structmine_text::synth::{recipes, SynthError};
 use structmine_text::{Dataset, Supervision};
 
 const DATASETS: &[&str] = &["nyt-coarse", "agnews", "yelp"];
@@ -23,7 +23,7 @@ fn supervision(d: &Dataset, kind: &str, seed: u64) -> Supervision {
 }
 
 /// Run E1.
-pub fn run(cfg: &BenchConfig) -> Vec<Table> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
     let mut macro_t = Table::new("E1 — WeSTClass reproduction (Macro-F1, test split)");
     macro_t.note(format!(
         "synthetic stand-ins at scale {} over {} seed(s); paper reference (NYT, Macro-F1): \
@@ -60,7 +60,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
             let mut per_method_macro: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
             let mut per_method_micro: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
             for &seed in &cfg.seed_values() {
-                let d = recipes::by_name(ds, cfg.scale, seed).unwrap_or_else(|e| panic!("{e}"));
+                let d = recipes::by_name(ds, cfg.scale, seed)?;
                 let wv = standard_word_vectors(&d);
                 let sup = supervision(&d, sup_kind, seed);
 
@@ -161,20 +161,20 @@ pub fn run(cfg: &BenchConfig) -> Vec<Table> {
         ),
         mean("WeSTClass-CNN") > mean("TopicModel"),
     );
-    vec![macro_t, micro_t]
+    Ok(vec![macro_t, micro_t])
 }
 
 /// Quick variant used by the criterion benches and tests: one dataset, one
 /// supervision, one seed.
-pub fn quick(scale: f32, seed: u64) -> f32 {
-    let d = recipes::agnews(scale, seed).unwrap();
+pub fn quick(scale: f32, seed: u64) -> Result<f32, SynthError> {
+    let d = recipes::agnews(scale, seed)?;
     let wv = standard_word_vectors(&d);
     let out = WeSTClass {
         seed,
         ..Default::default()
     }
     .run(&d, &d.supervision_names(), &wv);
-    crate::test_accuracy(&d, &out.predictions)
+    Ok(crate::test_accuracy(&d, &out.predictions))
 }
 
 #[cfg(test)]
@@ -188,7 +188,7 @@ mod tests {
             scale: 0.15,
             seeds: 1,
         };
-        let tables = run(&cfg);
+        let tables = run(&cfg).unwrap();
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].rows.len(), 7);
         assert_eq!(

@@ -9,9 +9,13 @@ USAGE:
                       [--input <file>] [--tier test|standard] [--threads <n>]
                       [--no-cache | --cache-dir <dir>] [--faults <plan>]
                       [--report-json <path>]
-      Classify one document per line (stdin or --input) using only label names.
+      Classify one document per line (stdin or --input) using only label
+      names; prints one 'label<TAB>confidence<TAB>doc' line per input. Runs
+      through the same Engine as structmine-serve, so output is byte-identical
+      to the server's /classify responses.
 
-  structmine demo --recipe <name> [--method westclass|xclass|lotclass|conwea|prompt]
+  structmine demo --recipe <name>
+                  [--method westclass|xclass|lotclass|conwea|prompt|match|supervised]
                   [--scale <f32>] [--seed <u64>] [--threads <n>]
                   [--no-cache | --cache-dir <dir>] [--faults <plan>]
                   [--report-json <path>]

@@ -7,10 +7,12 @@
 //! structmine datasets
 //! ```
 //!
-//! `classify` reads one document per line (stdin or `--input`), tokenizes it
-//! against the standard-world vocabulary, and classifies every line using
-//! only the given label names. `demo` runs a method on a synthetic recipe
-//! and reports test accuracy. `datasets` lists the available recipes.
+//! `classify` reads one document per line (stdin or `--input`) and routes it
+//! through [`structmine_engine::Engine`] — the same load-once/run-many entry
+//! point used by `structmine-serve` — printing one
+//! `label<TAB>confidence<TAB>doc` line per input. `demo` runs a method on a
+//! synthetic recipe and reports test accuracy. `datasets` lists the
+//! available recipes.
 //!
 //! Failures surface as [`PipelineError`]s: usage-level mistakes (unknown
 //! method/recipe, malformed `--faults` plan, bad input) exit with code 2,
@@ -126,6 +128,16 @@ fn synth_error(e: structmine_text::synth::SynthError) -> PipelineError {
     }
 }
 
+/// Map an [`EngineError`] into the CLI's error taxonomy. Dataset-synthesis
+/// failures reuse [`synth_error`]; everything else (bad labels, a method
+/// that cannot serve) is a usage-level mistake.
+fn engine_error(e: structmine_engine::EngineError) -> PipelineError {
+    match e {
+        structmine_engine::EngineError::Synth(s) => synth_error(s),
+        other => PipelineError::InvalidInput(other.to_string()),
+    }
+}
+
 fn plm_tier(tier: &str) -> structmine_plm::cache::Tier {
     if tier == "standard" {
         structmine_plm::cache::Tier::Standard
@@ -162,104 +174,30 @@ fn classify(
         return Err(PipelineError::InvalidInput("no input documents".into()));
     }
 
-    // Tokenize against the standard-world vocabulary (what the PLM knows).
-    let world = structmine_text::synth::standard_world(Default::default());
-    let vocab = world.vocab().clone();
-    let mut corpus = structmine_text::Corpus::new(vocab);
-    for line in &lines {
-        let toks = structmine_text::tokenize::encode(line, &corpus.vocab)
-            .into_iter()
-            .filter(|&t| t != structmine_text::vocab::UNK)
-            .collect::<Vec<_>>();
-        for &t in &toks {
-            corpus.vocab.bump(t);
-        }
-        let mut doc = structmine_text::Doc::from_tokens(toks);
-        doc.labels = vec![0]; // placeholder; gold labels are unknown
-        corpus.docs.push(doc);
-    }
-
-    let name_tokens: Vec<Vec<structmine_text::vocab::TokenId>> = labels
-        .iter()
-        .map(|l| {
-            structmine_text::tokenize::encode(l, &corpus.vocab)
-                .into_iter()
-                .filter(|&t| t != structmine_text::vocab::UNK)
-                .collect()
-        })
-        .collect();
-    if name_tokens.iter().any(|t| t.is_empty()) {
-        return Err(PipelineError::InvalidInput(
-            "every label must contain at least one standard-world word \
-             (try e.g. sports, business, technology, politics, health)"
-                .into(),
-        ));
-    }
-
-    let plm = structmine_plm::cache::pretrained(plm_tier(&tier), 0);
+    let kind = structmine_engine::MethodKind::parse(&method)
+        .filter(|k| k.servable())
+        .ok_or_else(|| PipelineError::Unknown {
+            what: "method",
+            name: method.clone(),
+            expected: "xclass, lotclass, prompt, match".into(),
+        })?;
     structmine_store::obs::log_info(&format!(
         "classifying {} documents into {:?} with {method} ...",
         lines.len(),
         labels
     ));
 
-    // Build a minimal Dataset around the ad-hoc corpus.
-    let n = corpus.len();
-    let dataset = structmine_text::Dataset {
-        name: "cli".into(),
-        corpus,
-        labels: structmine_text::LabelSet {
-            names: labels.clone(),
-            name_words: labels.iter().map(|l| vec![l.clone()]).collect(),
-            keywords: labels.iter().map(|l| vec![l.clone()]).collect(),
-            descriptions: labels
-                .iter()
-                .map(|l| format!("category about {l}"))
-                .collect(),
-        },
-        taxonomy: None,
-        class_nodes: vec![],
-        train_idx: (0..n).collect(),
-        test_idx: vec![],
-        meta: Default::default(),
-    };
-
-    let preds = match method.as_str() {
-        "xclass" => {
-            structmine::xclass::XClass {
-                exec,
-                ..Default::default()
-            }
-            .run(&dataset, &plm)
-            .predictions
-        }
-        "lotclass" => {
-            structmine::lotclass::LotClass {
-                exec,
-                ..Default::default()
-            }
-            .run(&dataset, &plm)
-            .predictions
-        }
-        "prompt" => {
-            structmine::promptclass::PromptClass {
-                exec,
-                ..Default::default()
-            }
-            .run(&dataset, &plm)
-            .predictions
-        }
-        "match" => structmine::baselines::bert_simple_match(&dataset, &plm),
-        other => {
-            return Err(PipelineError::Unknown {
-                what: "method",
-                name: other.to_string(),
-                expected: "xclass, lotclass, prompt, match".into(),
-            })
-        }
-    };
-    for (line, &p) in lines.iter().zip(&preds) {
-        println!("{}\t{}", labels[p], line);
+    let engine = structmine_engine::Engine::load(structmine_engine::EngineConfig {
+        source: structmine_engine::EngineSource::Labels(labels),
+        method: kind,
+        plm: structmine_engine::PlmSpec::Pretrained(plm_tier(&tier)),
+        seed: None,
+        exec,
+    })
+    .map_err(engine_error)?;
+    let preds = engine.classify(&lines).map_err(engine_error)?;
+    for (pred, line) in preds.iter().zip(&lines) {
+        println!("{}", structmine_engine::format_prediction_line(pred, line));
     }
     Ok(())
 }
@@ -271,73 +209,31 @@ fn demo(
     seed: u64,
     exec: structmine_linalg::ExecPolicy,
 ) -> Result<(), PipelineError> {
-    let dataset = structmine_text::synth::by_name(&recipe, scale, seed).map_err(synth_error)?;
+    let kind =
+        structmine_engine::MethodKind::parse(&method).ok_or_else(|| PipelineError::Unknown {
+            what: "method",
+            name: method.clone(),
+            expected: "westclass, xclass, lotclass, conwea, prompt, match, supervised".into(),
+        })?;
+    let engine = structmine_engine::Engine::load(structmine_engine::EngineConfig {
+        source: structmine_engine::EngineSource::Recipe {
+            name: recipe.clone(),
+            scale,
+            seed,
+        },
+        method: kind,
+        plm: structmine_engine::PlmSpec::Pretrained(structmine_plm::cache::Tier::Test),
+        seed: None,
+        exec,
+    })
+    .map_err(engine_error)?;
+    let dataset = engine.dataset();
     structmine_store::obs::log_info(&format!(
         "recipe {recipe}: {} docs, {} classes (scale {scale}, seed {seed})",
         dataset.corpus.len(),
         dataset.n_classes()
     ));
-    let preds = match method.as_str() {
-        "westclass" => {
-            let wv = structmine_embed::Sgns::train(
-                &dataset.corpus,
-                &structmine_embed::SgnsConfig {
-                    epochs: 4,
-                    ..Default::default()
-                },
-            );
-            structmine::westclass::WeSTClass {
-                exec,
-                ..Default::default()
-            }
-            .run(&dataset, &dataset.supervision_names(), &wv)
-            .predictions
-        }
-        "xclass" | "lotclass" | "prompt" | "conwea" => {
-            let plm = structmine_plm::cache::pretrained(structmine_plm::cache::Tier::Test, 0);
-            match method.as_str() {
-                "xclass" => {
-                    structmine::xclass::XClass {
-                        exec,
-                        ..Default::default()
-                    }
-                    .run(&dataset, &plm)
-                    .predictions
-                }
-                "lotclass" => {
-                    structmine::lotclass::LotClass {
-                        exec,
-                        ..Default::default()
-                    }
-                    .run(&dataset, &plm)
-                    .predictions
-                }
-                "conwea" => {
-                    structmine::conwea::ConWea {
-                        exec,
-                        ..Default::default()
-                    }
-                    .run(&dataset, &dataset.supervision_keywords(), &plm)
-                    .predictions
-                }
-                _ => {
-                    structmine::promptclass::PromptClass {
-                        exec,
-                        ..Default::default()
-                    }
-                    .run(&dataset, &plm)
-                    .predictions
-                }
-            }
-        }
-        other => {
-            return Err(PipelineError::Unknown {
-                what: "method",
-                name: other.to_string(),
-                expected: "westclass, xclass, lotclass, conwea, prompt".into(),
-            })
-        }
-    };
+    let preds = engine.fitted_predictions().map_err(engine_error)?;
     let test: Vec<usize> = dataset.test_idx.iter().map(|&i| preds[i]).collect();
     let acc = structmine_eval::accuracy(&test, &dataset.test_gold());
     let macro_f1 = structmine_eval::macro_f1(&test, &dataset.test_gold(), dataset.n_classes());

@@ -15,7 +15,7 @@
 
 use crate::common;
 use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
-use structmine_linalg::vector;
+use structmine_linalg::{vector, Matrix};
 use structmine_nn::classifiers::{MlpClassifier, TrainConfig};
 use structmine_nn::selftrain::{self, SelfTrainConfig};
 use structmine_plm::MiniPlm;
@@ -323,8 +323,22 @@ impl LotClass {
         dataset: &Dataset,
         plm: &MiniPlm,
         category_vocab: Vec<Vec<TokenId>>,
-        (pseudo_docs, pseudo_labels): (Vec<usize>, Vec<usize>),
+        pseudo: (Vec<usize>, Vec<usize>),
     ) -> LotClassOutput {
+        self.classify_full(dataset, plm, category_vocab, pseudo).0
+    }
+
+    /// Step 3, additionally returning the trained classifier (after
+    /// self-training) — the serving layer freezes it inside a
+    /// [`LotClassModel`]. Deterministic: the classifier's predictions on the
+    /// corpus features equal [`LotClassOutput::predictions`].
+    fn classify_full(
+        &self,
+        dataset: &Dataset,
+        plm: &MiniPlm,
+        category_vocab: Vec<Vec<TokenId>>,
+        (pseudo_docs, pseudo_labels): (Vec<usize>, Vec<usize>),
+    ) -> (LotClassOutput, MlpClassifier) {
         let n_classes = category_vocab.len();
         let features = common::plm_features_with(dataset, plm, &self.exec);
         let mut clf = MlpClassifier::new(features.cols(), self.hidden, n_classes, self.seed);
@@ -354,11 +368,45 @@ impl LotClass {
         }
         let predictions = clf.predict(&features);
 
-        LotClassOutput {
-            predictions,
-            pretrain_predictions,
-            category_vocab,
-            n_pseudo_labeled: pseudo_docs.len(),
+        (
+            LotClassOutput {
+                predictions,
+                pretrain_predictions,
+                category_vocab,
+                n_pseudo_labeled: pseudo_docs.len(),
+            },
+            clf,
+        )
+    }
+
+    /// Fit a frozen per-document serving model: category vocabulary and MCP
+    /// pseudo labels run (or replay from the warm store) exactly as in
+    /// [`LotClass::run`], and the step-3 classifier is retained instead of
+    /// being discarded. The model scores one document from its mean-pooled
+    /// PLM representation, so its output never depends on the batch.
+    pub fn fit_model(&self, dataset: &Dataset, plm: &MiniPlm) -> LotClassModel {
+        use structmine_store::Stage;
+        let _stage = structmine_store::context::stage_guard("lotclass/fit-model");
+        let store = structmine_store::global();
+        let vocab_stage = CategoryVocabStage {
+            cfg: self,
+            dataset,
+            plm,
+        };
+        let vocab_key = vocab_stage.key();
+        let category_vocab = store.run(&vocab_stage);
+        let mcp = store.run(&McpStage {
+            cfg: self,
+            dataset,
+            plm,
+            category_vocab: &category_vocab,
+            upstream: &vocab_key,
+        });
+        let (output, clf) =
+            self.classify_full(dataset, plm, (*category_vocab).clone(), (*mcp).clone());
+        LotClassModel {
+            category_vocab: output.category_vocab,
+            clf,
         }
     }
 
@@ -483,6 +531,30 @@ impl LotClass {
     }
 }
 
+/// A frozen LOTClass serving model: the discovered category vocabularies
+/// plus the trained (self-trained) classifier over mean-pooled PLM
+/// features. Applies a per-document rule, so a document's output never
+/// depends on its batch.
+pub struct LotClassModel {
+    /// The discovered category vocabularies.
+    pub category_vocab: Vec<Vec<TokenId>>,
+    clf: MlpClassifier,
+}
+
+impl LotClassModel {
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.clf.n_classes()
+    }
+
+    /// Per-class probabilities for one document's mean-pooled PLM
+    /// representation (see [`MiniPlm::mean_embed`]).
+    pub fn predict_proba(&self, mean_rep: &[f32]) -> Vec<f32> {
+        let x = Matrix::from_rows(&[mean_rep]);
+        self.clf.predict_proba(&x).row(0).to_vec()
+    }
+}
+
 /// The paper's Table 1 demo: MLM predictions for the same surface word in
 /// two different contexts. Returns the top replacement words per context.
 pub fn replacement_demo(
@@ -600,6 +672,24 @@ mod tests {
         );
         let acc = accuracy(&common::test_slice(&d, &out.predictions), &d.test_gold());
         assert!(acc > 0.5, "LOTClass acc {acc}");
+    }
+
+    #[test]
+    fn fitted_model_reproduces_run_predictions_per_document() {
+        let d = recipes::agnews(0.06, 35).unwrap();
+        let plm = pretrained(Tier::Test, 0);
+        let cfg = LotClass::default();
+        let out = cfg.run(&d, &plm);
+        let model = cfg.fit_model(&d, &plm);
+        assert_eq!(model.n_classes(), d.n_classes());
+        for (i, doc) in d.corpus.docs.iter().enumerate() {
+            let probs = model.predict_proba(&plm.mean_embed(&doc.tokens));
+            let pred = vector::argmax(&probs).unwrap_or(0);
+            assert_eq!(
+                pred, out.predictions[i],
+                "doc {i} diverges from the batch pipeline"
+            );
+        }
     }
 
     #[test]

@@ -346,27 +346,12 @@ impl XClass {
     ) -> Matrix {
         let n = dataset.corpus.len();
         let d = plm.config.d_model;
-        let n_classes = class_reps.rows();
         let mut doc_reps = Matrix::zeros(n, d);
         for rep_out in encoded {
-            let toks = &rep_out.tokens;
-            if toks.rows() == 0 {
+            if rep_out.tokens.rows() == 0 {
                 continue;
             }
-            // Attention: each token's weight is its best class similarity.
-            let mut weights: Vec<f32> = (0..toks.rows())
-                .map(|r| {
-                    (0..n_classes)
-                        .map(|c| vector::cosine(toks.row(r), class_reps.row(c)))
-                        .fold(f32::NEG_INFINITY, f32::max)
-                        * self.attention_temp
-                })
-                .collect();
-            stats::softmax_inplace(&mut weights);
-            let mut rep = vec![0.0f32; d];
-            for (r, &w) in weights.iter().enumerate() {
-                vector::axpy(&mut rep, w, toks.row(r));
-            }
+            let rep = attention_doc_rep(&rep_out.tokens, class_reps, self.attention_temp);
             doc_reps.row_mut(rep_out.doc).copy_from_slice(&rep);
         }
         doc_reps
@@ -432,6 +417,20 @@ impl XClass {
     /// Step 4: confident-subset classifier over the class-oriented
     /// representations.
     fn classify(&self, doc_reps: &Matrix, posteriors: &Matrix, n_classes: usize) -> Vec<usize> {
+        self.train_classifier(doc_reps, posteriors, n_classes)
+            .predict(doc_reps)
+    }
+
+    /// Train the step-4 classifier and return it (instead of discarding it
+    /// after predicting) — the serving layer freezes this classifier inside
+    /// an [`XClassModel`]. Deterministic: the returned classifier's
+    /// predictions on `doc_reps` equal [`XClassOutput::predictions`].
+    fn train_classifier(
+        &self,
+        doc_reps: &Matrix,
+        posteriors: &Matrix,
+        n_classes: usize,
+    ) -> MlpClassifier {
         let n = doc_reps.rows();
         let quota = ((n as f32 * self.confident_fraction) / n_classes as f32).ceil() as usize;
         let (train_docs, train_labels) = common::most_confident_per_class(posteriors, quota.max(1));
@@ -453,7 +452,127 @@ impl XClass {
                 },
             );
         }
-        clf.predict(features)
+        clf
+    }
+
+    /// Fit a frozen per-document serving model: the staged pipeline runs
+    /// (or replays from the warm store) exactly as in [`XClass::run`], and
+    /// the step-4 classifier is retained together with the class
+    /// representations instead of being discarded. The returned model
+    /// applies a *per-document* rule, so its predictions are independent of
+    /// how documents are batched.
+    pub fn fit_model(&self, dataset: &Dataset, plm: &MiniPlm) -> XClassModel {
+        use structmine_store::Stage;
+        let _stage = structmine_store::context::stage_guard("xclass/fit-model");
+        let store = structmine_store::global();
+        let class_stage = ClassRepsStage {
+            cfg: self,
+            dataset,
+            plm,
+        };
+        let class_key = class_stage.key();
+        let class_out = store.run(&class_stage);
+        let (class_reps, class_words) = &*class_out;
+        let n_classes = class_words.len();
+
+        let doc_stage = DocRepsStage {
+            cfg: self,
+            dataset,
+            plm,
+            class_reps,
+            upstream: &class_key,
+        };
+        let doc_key = doc_stage.key();
+        let doc_reps = store.run(&doc_stage);
+        let rep_predictions = common::nearest_prototype(&doc_reps, class_reps);
+        let align_out = store.run(&AlignStage {
+            cfg: self,
+            doc_reps: &doc_reps,
+            rep_predictions: &rep_predictions,
+            n_classes,
+            upstream: &doc_key,
+        });
+        let (posteriors, _) = &*align_out;
+        let clf = self.train_classifier(&doc_reps, posteriors, n_classes);
+        XClassModel {
+            class_reps: class_reps.clone(),
+            class_words: class_words.clone(),
+            attention_temp: self.attention_temp,
+            clf,
+        }
+    }
+}
+
+/// Attention weights of one encoded document's tokens (`len` values summing
+/// to 1): each token's weight is its best class-representation cosine,
+/// sharpened by `attention_temp` and softmax-normalized. Purely per-document
+/// — independent of every other document in the batch.
+pub fn attention_weights(tokens: &Matrix, class_reps: &Matrix, attention_temp: f32) -> Vec<f32> {
+    let n_classes = class_reps.rows();
+    let mut weights: Vec<f32> = (0..tokens.rows())
+        .map(|r| {
+            (0..n_classes)
+                .map(|c| vector::cosine(tokens.row(r), class_reps.row(c)))
+                .fold(f32::NEG_INFINITY, f32::max)
+                * attention_temp
+        })
+        .collect();
+    stats::softmax_inplace(&mut weights);
+    weights
+}
+
+/// Class-oriented representation of one encoded document: the
+/// attention-weighted average of its token representations (step 2's
+/// per-document rule). Returns zeros for an empty document.
+pub fn attention_doc_rep(tokens: &Matrix, class_reps: &Matrix, attention_temp: f32) -> Vec<f32> {
+    let d = class_reps.cols();
+    if tokens.rows() == 0 {
+        return vec![0.0; d];
+    }
+    let weights = attention_weights(tokens, class_reps, attention_temp);
+    let mut rep = vec![0.0f32; d];
+    for (r, &w) in weights.iter().enumerate() {
+        vector::axpy(&mut rep, w, tokens.row(r));
+    }
+    rep
+}
+
+/// A frozen X-Class serving model: the expanded class representations plus
+/// the trained step-4 classifier. [`XClassModel::predict_proba`] applies
+/// X-Class's per-document rule — attention representation, then classifier
+/// forward pass — so a document's output never depends on its batch.
+pub struct XClassModel {
+    /// Expanded class representations (`k x d_model`).
+    pub class_reps: Matrix,
+    /// The words backing each class representation.
+    pub class_words: Vec<Vec<TokenId>>,
+    /// Attention sharpness the model was fitted with.
+    pub attention_temp: f32,
+    clf: MlpClassifier,
+}
+
+impl XClassModel {
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_reps.rows()
+    }
+
+    /// The class-oriented representation of one encoded document.
+    pub fn doc_rep(&self, tokens: &Matrix) -> Vec<f32> {
+        attention_doc_rep(tokens, &self.class_reps, self.attention_temp)
+    }
+
+    /// Per-class probabilities for one encoded document.
+    pub fn predict_proba(&self, tokens: &Matrix) -> Vec<f32> {
+        let rep = self.doc_rep(tokens);
+        let rep_ref: &[f32] = &rep;
+        let x = Matrix::from_rows(&[rep_ref]);
+        self.clf.predict_proba(&x).row(0).to_vec()
+    }
+
+    /// Attention weight of every token in one encoded document.
+    pub fn attention(&self, tokens: &Matrix) -> Vec<f32> {
+        attention_weights(tokens, &self.class_reps, self.attention_temp)
     }
 }
 
@@ -499,6 +618,26 @@ mod tests {
         for (c, words) in out.class_words.iter().enumerate() {
             assert!(words.len() > names[c].len(), "class {c} not expanded");
             assert!(names[c].iter().all(|t| words.contains(t)));
+        }
+    }
+
+    #[test]
+    fn fitted_model_reproduces_run_predictions_per_document() {
+        let d = recipes::agnews(0.06, 44).unwrap();
+        let plm = pretrained(Tier::Test, 0);
+        let cfg = XClass::default();
+        let out = cfg.run(&d, &plm);
+        let model = cfg.fit_model(&d, &plm);
+        assert_eq!(model.n_classes(), d.n_classes());
+        let encoded = plm.encode_corpus(&d.corpus, &ExecPolicy::serial());
+        for rep in &encoded {
+            let probs = model.predict_proba(&rep.tokens);
+            let pred = vector::argmax(&probs).unwrap_or(0);
+            assert_eq!(
+                pred, out.predictions[rep.doc],
+                "doc {} diverges from the batch pipeline",
+                rep.doc
+            );
         }
     }
 

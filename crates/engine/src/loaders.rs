@@ -1,0 +1,98 @@
+//! Artifact loaders shared by every engine front-end: the standard and
+//! corpus-adapted PLMs plus the harness's SGNS word vectors, each memoized
+//! through the global artifact store so a warm load is sub-second.
+//!
+//! These used to live in `structmine-bench`; they moved here so the CLI,
+//! the bench tables, and `structmine-serve` all warm the same artifacts
+//! through one code path.
+
+/// The standard pretrained PLM shared by all PLM-based experiments.
+/// `STRUCTMINE_PLM_TIER=test` downgrades to the test tier for smoke and
+/// fault-injection runs (any other value keeps the standard tier).
+pub fn standard_plm() -> std::sync::Arc<structmine_plm::MiniPlm> {
+    let tier = match std::env::var("STRUCTMINE_PLM_TIER") {
+        Ok(v) if v.eq_ignore_ascii_case("test") => structmine_plm::cache::Tier::Test,
+        _ => structmine_plm::cache::Tier::Standard,
+    };
+    structmine_plm::cache::pretrained(tier, 0)
+}
+
+/// A copy of the standard PLM *adapted to the dataset's corpus* by
+/// continued MLM pretraining — the "further pretrain BERT on the task
+/// corpus" step every method paper performs. The most expensive per-dataset
+/// step in the harness, so its checkpoint goes through the artifact store's
+/// disk layer (shared across processes and table binaries); the restored
+/// model is additionally shared per (dataset, steps, seed) as an `Arc`
+/// within the process.
+pub fn adapted_plm(
+    dataset: &structmine_text::Dataset,
+    seed: u64,
+) -> std::sync::Arc<structmine_plm::MiniPlm> {
+    use parking_lot::Mutex;
+    use std::sync::{Arc, OnceLock};
+    type AdaptedCache = std::collections::HashMap<(u128, usize, u64), Arc<structmine_plm::MiniPlm>>;
+    static CACHE: OnceLock<Mutex<AdaptedCache>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+    let steps = std::env::var("STRUCTMINE_ADAPT_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    let key = (dataset.fingerprint(), steps, seed);
+    if let Some(m) = cache.lock().get(&key) {
+        return Arc::clone(m);
+    }
+    let base = standard_plm();
+    let checkpoint = structmine_store::global().run(&structmine_plm::artifacts::AdaptPlm {
+        base: &base,
+        corpus: &dataset.corpus,
+        steps,
+        seed,
+    });
+    // The adapt stage is DiskOnly: each warm hit deserializes a fresh
+    // checkpoint (refcount 1), so the weights move straight into the model.
+    let adapted = Arc::new(match Arc::try_unwrap(checkpoint) {
+        Ok(owned) => owned.into_model(),
+        Err(shared) => shared.restore(),
+    });
+    cache.lock().insert(key, Arc::clone(&adapted));
+    adapted
+}
+
+/// Stage: train the harness's standard SGNS word vectors on a dataset's
+/// corpus (static-embedding methods).
+struct TrainSgns<'a> {
+    corpus: &'a structmine_text::Corpus,
+    cfg: structmine_embed::SgnsConfig,
+}
+
+impl structmine_store::Stage for TrainSgns<'_> {
+    type Output = structmine_embed::WordVectors;
+
+    fn name(&self) -> &'static str {
+        "embed/sgns-word-vectors"
+    }
+
+    fn fingerprint(&self, h: &mut structmine_store::StableHasher) {
+        use structmine_store::StableHash;
+        self.corpus.stable_hash(h);
+        self.cfg.stable_hash(h);
+    }
+
+    fn compute(&self) -> structmine_embed::WordVectors {
+        structmine_embed::Sgns::train(self.corpus, &self.cfg)
+    }
+}
+
+/// Train standard word vectors on a dataset (static-embedding methods),
+/// memoized through the global artifact store.
+pub fn standard_word_vectors(dataset: &structmine_text::Dataset) -> structmine_embed::WordVectors {
+    let stage = TrainSgns {
+        corpus: &dataset.corpus,
+        cfg: structmine_embed::SgnsConfig {
+            epochs: 4,
+            dim: 32,
+            ..Default::default()
+        },
+    };
+    (*structmine_store::global().run(&stage)).clone()
+}

@@ -1,0 +1,161 @@
+//! Batching invariance: a document's prediction from `Engine::classify` is
+//! byte-identical whether the document is classified alone, in any batch,
+//! in any partition of a batch, at any thread count.
+//!
+//! This is the contract `structmine-serve`'s micro-batcher relies on to
+//! coalesce concurrent requests: flushing N queued requests as one
+//! `classify` call must produce exactly the bytes each request would have
+//! gotten alone. Confidences are compared via `f32::to_bits` — bitwise,
+//! not approximately.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use structmine_engine::{Engine, EngineConfig, EngineSource, MethodKind, PlmSpec, Prediction};
+use structmine_linalg::ExecPolicy;
+
+const WORDS: &[&str] = &[
+    "striker",
+    "goal",
+    "keeper",
+    "match",
+    "coach",
+    "market",
+    "stock",
+    "company",
+    "earnings",
+    "investor",
+    "senator",
+    "election",
+    "campaign",
+    "debate",
+    "processor",
+    "chip",
+    "software",
+    "device",
+    "vaccine",
+    "doctor",
+    "the",
+    "a",
+    "won",
+    "fell",
+];
+
+fn random_docs(rng: &mut StdRng, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(3..12);
+            (0..len)
+                .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+/// Split `docs` at random cut points into 1..=4 consecutive chunks.
+fn random_partition(rng: &mut StdRng, n: usize) -> Vec<std::ops::Range<usize>> {
+    let pieces = rng.gen_range(1..5.min(n + 1));
+    let mut cuts: Vec<usize> = (0..pieces - 1).map(|_| rng.gen_range(1..n)).collect();
+    cuts.push(0);
+    cuts.push(n);
+    cuts.sort_unstable();
+    cuts.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+fn load(method: MethodKind, threads: usize) -> Engine {
+    Engine::load(EngineConfig {
+        source: EngineSource::Labels(
+            ["sports", "business", "politics", "technology"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        ),
+        method,
+        plm: PlmSpec::Pretrained(structmine_plm::cache::Tier::Test),
+        seed: None,
+        exec: ExecPolicy::with_threads(threads),
+    })
+    .expect("engine loads")
+}
+
+fn assert_bitwise_eq(a: &Prediction, b: &Prediction, context: &str) {
+    assert_eq!(a.label, b.label, "label differs: {context}");
+    assert_eq!(
+        a.confidence.to_bits(),
+        b.confidence.to_bits(),
+        "confidence bits differ ({} vs {}): {context}",
+        a.confidence,
+        b.confidence
+    );
+}
+
+fn check_invariance(method: MethodKind) {
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    let engines: Vec<(usize, Engine)> = [1usize, 4].iter().map(|&t| (t, load(method, t))).collect();
+    // The 1-thread engine classifying one document at a time is the
+    // reference everything else must match bitwise.
+    let (_, reference) = &engines[0];
+
+    for round in 0..6 {
+        let n = rng.gen_range(2..10);
+        let docs = random_docs(&mut rng, n);
+        let singles: Vec<Prediction> = docs
+            .iter()
+            .map(|d| {
+                reference
+                    .classify(std::slice::from_ref(d))
+                    .expect("classify one")[0]
+                    .clone()
+            })
+            .collect();
+
+        for (threads, engine) in &engines {
+            // Whole batch at once.
+            let batched = engine.classify(&docs).expect("classify batch");
+            assert_eq!(batched.len(), docs.len());
+            for (i, (b, s)) in batched.iter().zip(&singles).enumerate() {
+                assert_bitwise_eq(
+                    b,
+                    s,
+                    &format!("{method:?} round {round} doc {i} batched, {threads} thread(s)"),
+                );
+            }
+            // A random partition of the same batch.
+            for range in random_partition(&mut rng, docs.len()) {
+                let part = engine
+                    .classify(&docs[range.clone()])
+                    .expect("classify part");
+                for (off, p) in part.iter().enumerate() {
+                    assert_bitwise_eq(
+                        p,
+                        &singles[range.start + off],
+                        &format!(
+                            "{method:?} round {round} doc {} in partition {range:?}, {threads} thread(s)",
+                            range.start + off
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn match_predictions_are_batching_invariant() {
+    check_invariance(MethodKind::Match);
+}
+
+#[test]
+fn xclass_predictions_are_batching_invariant() {
+    check_invariance(MethodKind::XClass);
+}
+
+#[test]
+fn lotclass_predictions_are_batching_invariant() {
+    check_invariance(MethodKind::LotClass);
+}
+
+#[test]
+fn prompt_predictions_are_batching_invariant() {
+    check_invariance(MethodKind::Prompt);
+}

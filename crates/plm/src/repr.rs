@@ -43,25 +43,41 @@ impl MiniPlm {
     pub fn encode_corpus(&self, corpus: &Corpus, policy: &ExecPolicy) -> Vec<DocRep> {
         encode_corpus(self, corpus, policy)
     }
+
+    /// Encode a batch of ad-hoc token sequences (no [`Corpus`] required),
+    /// sharing the work across the policy's threads. Each sequence is
+    /// encoded by exactly the per-document code [`MiniPlm::encode_corpus`]
+    /// uses, so a document's [`DocRep`] is bitwise identical whether it is
+    /// encoded alone, inside any batch, or as part of a corpus — the
+    /// invariant the serving layer's micro-batching relies on.
+    pub fn encode_docs(&self, docs: &[Vec<TokenId>], policy: &ExecPolicy) -> Vec<DocRep> {
+        par_map_chunks(policy, docs, |i, tokens| encode_one(self, i, tokens))
+    }
+}
+
+/// Encode one token sequence into a [`DocRep`] — the single per-document
+/// code path shared by corpus-level and ad-hoc batched encoding.
+fn encode_one(model: &MiniPlm, i: usize, tokens: &[TokenId]) -> DocRep {
+    let seq = model.wrap(tokens);
+    let h = model.encode(&seq);
+    let body: Vec<usize> = (1..seq.len() - 1).collect();
+    let rows: Vec<&[f32]> = body.iter().map(|&r| h.row(r)).collect();
+    let mean = if rows.is_empty() {
+        h.row(0).to_vec()
+    } else {
+        vector::mean_of(&rows, model.config.d_model)
+    };
+    DocRep {
+        doc: i,
+        tokens: h.select_rows(&body),
+        mean,
+    }
 }
 
 /// Free-function form of [`MiniPlm::encode_corpus`].
 pub fn encode_corpus(model: &MiniPlm, corpus: &Corpus, policy: &ExecPolicy) -> Vec<DocRep> {
     par_map_chunks(policy, &corpus.docs, |i, doc| {
-        let seq = model.wrap(&doc.tokens);
-        let h = model.encode(&seq);
-        let body: Vec<usize> = (1..seq.len() - 1).collect();
-        let rows: Vec<&[f32]> = body.iter().map(|&r| h.row(r)).collect();
-        let mean = if rows.is_empty() {
-            h.row(0).to_vec()
-        } else {
-            vector::mean_of(&rows, model.config.d_model)
-        };
-        DocRep {
-            doc: i,
-            tokens: h.select_rows(&body),
-            mean,
-        }
+        encode_one(model, i, &doc.tokens)
     })
 }
 
@@ -291,6 +307,28 @@ mod tests {
             let tokens = &corpus.docs[i].tokens;
             assert_eq!(rep.tokens.data(), token_reps(&model, tokens).data());
             assert_eq!(rep.mean, model.mean_embed(tokens));
+        }
+    }
+
+    #[test]
+    fn encode_docs_matches_encode_corpus_for_any_batching() {
+        let corpus = recipes::pretraining_corpus(7, 11);
+        let model = MiniPlm::new(PlmConfig::tiny(corpus.vocab.len()));
+        let whole = model.encode_corpus(&corpus, &ExecPolicy::serial());
+        let docs: Vec<Vec<TokenId>> = corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+        // Whole batch, singleton batches, and an uneven split must all
+        // reproduce the corpus encode bitwise.
+        let batched = model.encode_docs(&docs, &ExecPolicy::with_threads(3));
+        for (a, b) in batched.iter().zip(&whole) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.tokens.data(), b.tokens.data());
+            assert_eq!(a.mean, b.mean);
+        }
+        for (i, doc) in docs.iter().enumerate() {
+            let solo = model.encode_docs(std::slice::from_ref(doc), &ExecPolicy::serial());
+            assert_eq!(solo.len(), 1);
+            assert_eq!(solo[0].tokens.data(), whole[i].tokens.data());
+            assert_eq!(solo[0].mean, whole[i].mean);
         }
     }
 

@@ -1,0 +1,185 @@
+//! Adaptive micro-batching over one [`Engine`].
+//!
+//! Requests enter a bounded admission queue; a single batcher thread
+//! coalesces whatever is queued into one `Engine::classify` call, flushing
+//! when the batch reaches `max_batch` documents or when `flush_us` has
+//! elapsed since the oldest queued request arrived — whichever comes first.
+//!
+//! Coalescing is *free* of output risk: every engine method scores each
+//! document independently (index-ordered chunking, per-row forward passes),
+//! so a document's prediction is byte-identical whether it is classified
+//! alone or inside any batch. The batching-invariance property test in
+//! `structmine-engine` pins that contract; this module merely relies on it.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use structmine_engine::{Engine, Prediction};
+use structmine_store::obs;
+
+/// Batching knobs (`--max-batch`, `--flush-us`, `--queue-cap`).
+#[derive(Clone, Copy, Debug)]
+pub struct BatcherConfig {
+    /// Flush once this many documents are queued.
+    pub max_batch: usize,
+    /// Flush this many microseconds after the oldest queued request.
+    pub flush_us: u64,
+    /// Bounded admission queue length, in *requests*; an arriving request
+    /// that finds the queue full is rejected with 503 instead of piling up.
+    pub queue_cap: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch: 32,
+            flush_us: 2_000,
+            queue_cap: 64,
+        }
+    }
+}
+
+/// One queued request: its documents and the channel its reply goes to.
+struct Job {
+    lines: Vec<String>,
+    reply: mpsc::Sender<Result<Vec<Prediction>, String>>,
+}
+
+/// A cloneable handle for submitting work to the batcher thread.
+#[derive(Clone)]
+pub struct BatchQueue {
+    tx: mpsc::SyncSender<Job>,
+}
+
+impl BatchQueue {
+    /// Submit `lines` for classification. Returns the receiver the reply
+    /// will arrive on, or `None` when the admission queue is full (503).
+    pub fn submit(
+        &self,
+        lines: Vec<String>,
+    ) -> Option<mpsc::Receiver<Result<Vec<Prediction>, String>>> {
+        let (reply, rx) = mpsc::channel();
+        match self.tx.try_send(Job { lines, reply }) {
+            Ok(()) => Some(rx),
+            Err(_) => {
+                obs::counter_add("serve.rejections", 1);
+                None
+            }
+        }
+    }
+}
+
+/// The batcher thread plus its admission queue. Dropping the last
+/// [`BatchQueue`] *and* calling [`Batcher::shutdown`] drains the queue,
+/// flushes the final micro-batch, and joins the thread.
+pub struct Batcher {
+    queue: BatchQueue,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawn the batcher thread over `engine`.
+    pub fn start(engine: Arc<Engine>, cfg: BatcherConfig) -> Batcher {
+        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_cap.max(1));
+        let handle = std::thread::Builder::new()
+            .name("serve-batcher".into())
+            .spawn(move || run(engine, cfg, rx))
+            .expect("spawn batcher thread");
+        Batcher {
+            queue: BatchQueue { tx },
+            handle: Some(handle),
+        }
+    }
+
+    /// A handle for submitting requests.
+    pub fn queue(&self) -> BatchQueue {
+        self.queue.clone()
+    }
+
+    /// Close the queue and wait for the final micro-batch to flush.
+    pub fn shutdown(mut self) {
+        // Replace the held sender with a dangling one so the channel
+        // disconnects once in-flight handlers drop their clones.
+        let (dangling, _) = mpsc::sync_channel(1);
+        self.queue.tx = dangling;
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Why a batch was flushed; becomes a counter name on the run report.
+enum Flush {
+    Size,
+    Deadline,
+    Drain,
+}
+
+fn run(engine: Arc<Engine>, cfg: BatcherConfig, rx: mpsc::Receiver<Job>) {
+    while let Ok(first) = rx.recv() {
+        let deadline = Instant::now() + Duration::from_micros(cfg.flush_us);
+        let mut jobs = vec![first];
+        let mut n_docs = jobs[0].lines.len();
+        let mut flush = Flush::Size;
+        while n_docs < cfg.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                flush = Flush::Deadline;
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => {
+                    n_docs += job.lines.len();
+                    jobs.push(job);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    flush = Flush::Deadline;
+                    break;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    flush = Flush::Drain;
+                    break;
+                }
+            }
+        }
+        obs::counter_add(
+            match flush {
+                Flush::Size => "serve.flushes_size",
+                Flush::Deadline => "serve.flushes_deadline",
+                Flush::Drain => "serve.flushes_drain",
+            },
+            1,
+        );
+        classify_batch(&engine, jobs, n_docs);
+    }
+}
+
+/// One coalesced `Engine::classify` call, results scattered back per job.
+fn classify_batch(engine: &Engine, jobs: Vec<Job>, n_docs: usize) {
+    obs::counter_add("serve.batches", 1);
+    obs::counter_add("serve.docs", n_docs as u64);
+    let all: Vec<String> = jobs.iter().flat_map(|j| j.lines.iter().cloned()).collect();
+    let result = {
+        let _span = obs::span("serve/batch-classify");
+        engine.classify(&all)
+    };
+    match result {
+        Ok(preds) => {
+            let mut offset = 0;
+            for job in jobs {
+                let n = job.lines.len();
+                // A receiver may have hung up (client gone); that is its
+                // problem, not the batch's.
+                let _ = job.reply.send(Ok(preds[offset..offset + n].to_vec()));
+                offset += n;
+            }
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            for job in jobs {
+                let _ = job.reply.send(Err(msg.clone()));
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! `structmine-serve` — an HTTP/1.1 classification server over the
+//! load-once/run-many [`structmine_engine::Engine`] (DESIGN §10).
+//!
+//! The library exposes the server so tests and the `bench_serve` load
+//! generator can run it in-process; the `structmine-serve` binary adds flag
+//! parsing and signal handling on top.
+//!
+//! Invariants, pinned by `tests/serve_smoke.rs`:
+//! - a `/classify` response is byte-identical to `structmine classify` on
+//!   the same documents (both go through [`Engine::classify`] and
+//!   [`structmine_engine::format_prediction_line`]);
+//! - concurrent requests coalesced into one micro-batch get the same bytes
+//!   as sequential ones (batching invariance, proven at the engine layer);
+//! - `/stats` is the live JSON run report, schema-identical to the one
+//!   written by `STRUCTMINE_REPORT` at exit.
+
+pub mod batcher;
+pub mod http;
+pub mod server;
+
+pub use batcher::{BatchQueue, Batcher, BatcherConfig};
+pub use server::{ServeConfig, Server};
+
+pub use structmine_engine::Engine;

@@ -1,0 +1,224 @@
+//! The HTTP server: bounded accept loop, one handler thread per
+//! connection, all classification funneled through the [`Batcher`].
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use structmine_engine::{format_prediction_line, Engine};
+use structmine_store::obs;
+
+use crate::batcher::{BatchQueue, Batcher, BatcherConfig};
+use crate::http::{self, HttpError, Request};
+
+/// Server knobs: where to listen plus the batching configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// TCP port on 127.0.0.1; `0` lets the OS pick (tests, benches).
+    pub port: u16,
+    /// Micro-batching knobs.
+    pub batch: BatcherConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 7878,
+            batch: BatcherConfig::default(),
+        }
+    }
+}
+
+/// A running server. [`Server::stop`] (also called on drop) stops
+/// accepting, drains in-flight connections, then flushes the batcher.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    batcher: Option<Batcher>,
+}
+
+impl Server {
+    /// Bind `127.0.0.1:port` and start serving `engine`.
+    pub fn start(engine: Arc<Engine>, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        // Non-blocking accept so the loop can observe the shutdown flag.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let batcher = Batcher::start(engine, cfg.batch);
+        let queue = batcher.queue();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_handle = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, queue, flag))
+            .expect("spawn accept thread");
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            batcher: Some(batcher),
+        })
+    }
+
+    /// The bound address (relevant with `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, finish in-flight requests,
+    /// flush the final micro-batch. Idempotent.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(b) = self.batcher.take() {
+            b.shutdown();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, queue: BatchQueue, shutdown: Arc<AtomicBool>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let q = queue.clone();
+                let h = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || handle_connection(stream, q))
+                    .expect("spawn connection thread");
+                handlers.push(h);
+                // Reap finished handlers so the vec stays bounded under load.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                obs::log_warn(&format!("[serve] accept error: {e}"));
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    // Drain: every accepted connection gets its response before the
+    // batcher (whose queue this thread's `queue` clone keeps open) closes.
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, queue: BatchQueue) {
+    let _span = obs::span("serve/request");
+    obs::counter_add("serve.requests", 1);
+    // A stuck client must not pin a handler thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let request = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(HttpError::Io(_)) => return,
+        Err(e @ HttpError::BadRequest(_)) => {
+            respond_text(&mut stream, 400, "Bad Request", &format!("{e}\n"));
+            return;
+        }
+        Err(e @ HttpError::TooLarge(_)) => {
+            respond_text(&mut stream, 413, "Payload Too Large", &format!("{e}\n"));
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => respond_text(&mut stream, 200, "OK", "ok\n"),
+        ("GET", "/stats") => {
+            let report = obs::report("structmine-serve");
+            match serde_json::to_string(&report) {
+                Ok(mut json) => {
+                    json.push('\n');
+                    let _ = http::write_response(
+                        &mut stream,
+                        200,
+                        "OK",
+                        "application/json",
+                        json.as_bytes(),
+                    );
+                }
+                Err(e) => respond_text(
+                    &mut stream,
+                    500,
+                    "Internal Server Error",
+                    &format!("serialize report: {e}\n"),
+                ),
+            }
+        }
+        ("POST", "/classify") => classify_route(&mut stream, &queue, &request),
+        _ => respond_text(
+            &mut stream,
+            404,
+            "Not Found",
+            "routes: GET /healthz, GET /stats, POST /classify\n",
+        ),
+    }
+}
+
+/// `POST /classify`: body is one document per line; the response body is
+/// one `label<TAB>confidence<TAB>doc` line per input document —
+/// byte-identical to `structmine classify` on the same documents.
+fn classify_route(stream: &mut TcpStream, queue: &BatchQueue, request: &Request) {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(s) => s,
+        Err(_) => {
+            respond_text(stream, 400, "Bad Request", "body must be UTF-8 text\n");
+            return;
+        }
+    };
+    let lines: Vec<String> = body
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.to_string())
+        .collect();
+    if lines.is_empty() {
+        respond_text(stream, 400, "Bad Request", "no input documents\n");
+        return;
+    }
+    let rx = match queue.submit(lines.clone()) {
+        Some(rx) => rx,
+        None => {
+            respond_text(
+                stream,
+                503,
+                "Service Unavailable",
+                "admission queue full; retry later\n",
+            );
+            return;
+        }
+    };
+    match rx.recv() {
+        Ok(Ok(preds)) => {
+            let mut out = String::new();
+            for (pred, line) in preds.iter().zip(&lines) {
+                out.push_str(&format_prediction_line(pred, line));
+                out.push('\n');
+            }
+            let _ = http::write_response(stream, 200, "OK", "text/plain", out.as_bytes());
+        }
+        Ok(Err(msg)) => respond_text(stream, 400, "Bad Request", &format!("{msg}\n")),
+        Err(_) => respond_text(
+            stream,
+            500,
+            "Internal Server Error",
+            "batcher exited before replying\n",
+        ),
+    }
+}
+
+fn respond_text(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    let _ = http::write_response(stream, status, reason, "text/plain", body.as_bytes());
+    let _ = stream.flush();
+}

@@ -1,0 +1,167 @@
+//! In-process server smoke: concurrent `/classify` requests return exactly
+//! the bytes the CLI path produces for the same documents, and `/stats`
+//! parses against the run-report schema.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use structmine_engine::{
+    format_prediction_line, Engine, EngineConfig, EngineSource, MethodKind, PlmSpec,
+};
+use structmine_serve::{BatcherConfig, ServeConfig, Server};
+
+const DOCS: &[&str] = &[
+    "the striker scored a goal and the keeper was offside",
+    "the stock market fell as the company reported earnings",
+    "the senator won the election after the campaign debate",
+    "the processor chip in the new device runs fast software",
+];
+
+fn load_engine() -> Engine {
+    Engine::load(EngineConfig {
+        source: EngineSource::Labels(
+            ["sports", "business", "politics", "technology"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        ),
+        method: MethodKind::Match,
+        plm: PlmSpec::Pretrained(structmine_plm::cache::Tier::Test),
+        seed: None,
+        exec: structmine_linalg::ExecPolicy::default(),
+    })
+    .expect("engine loads")
+}
+
+fn request(addr: &SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post_classify(addr: &SocketAddr, body: &str) -> (u16, String) {
+    request(
+        addr,
+        &format!(
+            "POST /classify HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn concurrent_requests_match_cli_bytes_and_stats_parses() {
+    let engine = load_engine();
+    engine.warm().expect("warm");
+
+    // The reference: what `structmine classify` prints for these documents.
+    let lines: Vec<String> = DOCS.iter().map(|s| s.to_string()).collect();
+    let expected: String = engine
+        .classify(&lines)
+        .expect("cli-path classify")
+        .iter()
+        .zip(&lines)
+        .map(|(p, l)| format_prediction_line(p, l) + "\n")
+        .collect();
+
+    let mut server = Server::start(
+        Arc::new(engine),
+        ServeConfig {
+            port: 0,
+            // A tight flush deadline plus a small size cap so the
+            // concurrent wave below actually exercises coalescing.
+            batch: BatcherConfig {
+                max_batch: 8,
+                flush_us: 3_000,
+                queue_cap: 64,
+            },
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Health first.
+    let (status, body) = request(&addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // A wave of concurrent whole-set requests: every response must carry
+    // the exact CLI bytes, however the batcher coalesced them.
+    let responses: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let body = lines.join("\n");
+                scope.spawn(move || post_classify(&addr, &body))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (status, body) in &responses {
+        assert_eq!(*status, 200);
+        assert_eq!(
+            body, &expected,
+            "a concurrent response must be byte-identical to the CLI output"
+        );
+    }
+
+    // Single-document requests agree with the corresponding CLI line.
+    for (i, doc) in DOCS.iter().enumerate() {
+        let (status, body) = post_classify(&addr, doc);
+        assert_eq!(status, 200);
+        assert_eq!(body, expected.lines().nth(i).unwrap().to_string() + "\n");
+    }
+
+    // /stats is a live, schema-valid run report with the serve counters.
+    let (status, body) = request(&addr, "GET /stats HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 200);
+    let report = structmine_store::obs::validate_report(&body)
+        .unwrap_or_else(|e| panic!("/stats failed schema validation: {e}"));
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(
+        json.contains("serve.requests"),
+        "report should count serve requests: {json}"
+    );
+    assert!(json.contains("serve.batches"));
+
+    // Bad requests are answered, not dropped.
+    let (status, _) = post_classify(&addr, "\n\n");
+    assert_eq!(status, 400, "empty body is a client error");
+    let (status, _) = request(&addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 404);
+
+    server.stop();
+}
+
+#[test]
+fn oversized_bodies_are_rejected() {
+    let engine = load_engine();
+    let mut server = Server::start(
+        Arc::new(engine),
+        ServeConfig {
+            port: 0,
+            ..Default::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+    let (status, _) = request(
+        &addr,
+        &format!(
+            "POST /classify HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+            2 * 1024 * 1024
+        ),
+    );
+    assert_eq!(status, 413);
+    server.stop();
+}
