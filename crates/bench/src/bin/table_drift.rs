@@ -1,0 +1,10 @@
+//! Prints the streaming topic-drift table (see DESIGN.md §3 and §11).
+
+fn main() {
+    structmine_bench::run_table("table_drift", |cfg| {
+        for table in structmine_bench::exps::drift::run(cfg)? {
+            println!("{table}");
+        }
+        Ok(())
+    });
+}

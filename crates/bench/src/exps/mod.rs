@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod conwea;
+pub mod drift;
 pub mod figures;
 pub mod lotclass;
 pub mod metacat;
@@ -29,5 +30,6 @@ pub fn run_all(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
     tables.extend(taxoclass::run(cfg)?);
     tables.extend(metacat::run(cfg)?);
     tables.extend(micol::run(cfg)?);
+    tables.extend(drift::run(cfg)?);
     Ok(tables)
 }

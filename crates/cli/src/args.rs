@@ -14,6 +14,17 @@ USAGE:
       through the same Engine as structmine-serve, so output is byte-identical
       to the server's /classify responses.
 
+  structmine ingest --labels <a,b,c> [--method xclass|lotclass|prompt|match]
+                    [--input <file>] [--tier test|standard] [--threads <n>]
+                    [--no-cache | --cache-dir <dir>] [--faults <plan>]
+                    [--report-json <path>]
+      Stream documents into a generational corpus. Reads stdin (or --input);
+      each blank-line-delimited batch is appended as the corpus's next
+      generation and classified immediately — 'generation<TAB>g' then one
+      prediction line per document, flushed per batch, so
+      'tail -f log | structmine ingest ...' works. The serving rule stays
+      frozen, so prediction lines are byte-identical to classify.
+
   structmine demo --recipe <name>
                   [--method westclass|xclass|lotclass|conwea|prompt|match|supervised]
                   [--scale <f32>] [--seed <u64>] [--threads <n>]
@@ -57,6 +68,21 @@ pub enum Args {
         /// Method name.
         method: String,
         /// Input path; `None` = stdin.
+        input: Option<String>,
+        /// PLM tier.
+        tier: String,
+        /// Worker threads for PLM inference; `None` = environment default.
+        threads: Option<usize>,
+        /// Artifact-store configuration.
+        cache: CacheArgs,
+    },
+    /// Stream documents as generational corpus deltas.
+    Ingest {
+        /// Label names (comma separated on the command line).
+        labels: Vec<String>,
+        /// Method name.
+        method: String,
+        /// Input path; `None` = stdin (streaming, batch per blank line).
         input: Option<String>,
         /// PLM tier.
         tier: String,
@@ -172,10 +198,10 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
     }
 
     match cmd {
-        "classify" => {
+        "classify" | "ingest" => {
             let labels: Vec<String> = flags
                 .get("labels")
-                .ok_or_else(|| ParseError("classify requires --labels a,b,c".into()))?
+                .ok_or_else(|| ParseError(format!("{cmd} requires --labels a,b,c")))?
                 .split(',')
                 .map(|s| s.trim().to_lowercase())
                 .filter(|s| !s.is_empty())
@@ -183,16 +209,30 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
             if labels.len() < 2 {
                 return Err(ParseError("need at least two labels".into()));
             }
-            Ok(Args::Classify {
-                labels,
-                method: flags
-                    .get("method")
-                    .cloned()
-                    .unwrap_or_else(|| "xclass".into()),
-                input: flags.get("input").cloned(),
-                tier: flags.get("tier").cloned().unwrap_or_else(|| "test".into()),
-                threads,
-                cache,
+            let method = flags
+                .get("method")
+                .cloned()
+                .unwrap_or_else(|| "xclass".into());
+            let input = flags.get("input").cloned();
+            let tier = flags.get("tier").cloned().unwrap_or_else(|| "test".into());
+            Ok(if cmd == "classify" {
+                Args::Classify {
+                    labels,
+                    method,
+                    input,
+                    tier,
+                    threads,
+                    cache,
+                }
+            } else {
+                Args::Ingest {
+                    labels,
+                    method,
+                    input,
+                    tier,
+                    threads,
+                    cache,
+                }
             })
         }
         "demo" => Ok(Args::Demo {
@@ -248,6 +288,28 @@ mod tests {
                 cache: CacheArgs::default(),
             }
         );
+    }
+
+    #[test]
+    fn parses_ingest_with_defaults() {
+        let a = parse(&sv(&["ingest", "--labels", "sports,business"])).unwrap();
+        assert_eq!(
+            a,
+            Args::Ingest {
+                labels: vec!["sports".into(), "business".into()],
+                method: "xclass".into(),
+                input: None,
+                tier: "test".into(),
+                threads: None,
+                cache: CacheArgs::default(),
+            }
+        );
+    }
+
+    #[test]
+    fn ingest_requires_labels() {
+        let e = parse(&sv(&["ingest"]));
+        assert!(matches!(e, Err(ParseError(ref m)) if m.contains("ingest requires --labels")));
     }
 
     #[test]

@@ -3,6 +3,8 @@
 //! ```text
 //! structmine classify --labels sports,business,technology [--method xclass]
 //!                     [--input docs.txt] [--tier test|standard]
+//! structmine ingest   --labels sports,business,technology [--method xclass]
+//!                     [--input docs.txt] [--tier test|standard]
 //! structmine demo     --recipe agnews [--method westclass] [--scale 0.15]
 //! structmine datasets
 //! ```
@@ -10,9 +12,12 @@
 //! `classify` reads one document per line (stdin or `--input`) and routes it
 //! through [`structmine_engine::Engine`] — the same load-once/run-many entry
 //! point used by `structmine-serve` — printing one
-//! `label<TAB>confidence<TAB>doc` line per input. `demo` runs a method on a
-//! synthetic recipe and reports test accuracy. `datasets` lists the
-//! available recipes.
+//! `label<TAB>confidence<TAB>doc` line per input. `ingest` streams documents
+//! into a generational corpus: each blank-line-delimited batch becomes the
+//! next generation and is classified immediately (receipt line plus the
+//! same prediction lines `classify` prints), flushed per batch so piping
+//! `tail -f` works. `demo` runs a method on a synthetic recipe and reports
+//! test accuracy. `datasets` lists the available recipes.
 //!
 //! Failures surface as [`PipelineError`]s: usage-level mistakes (unknown
 //! method/recipe, malformed `--faults` plan, bad input) exit with code 2,
@@ -39,6 +44,15 @@ fn main() -> ExitCode {
             cache,
         }) => apply_cache_flags(&cache)
             .and_then(|()| classify(labels, method, input, tier, policy(threads))),
+        Ok(Args::Ingest {
+            labels,
+            method,
+            input,
+            tier,
+            threads,
+            cache,
+        }) => apply_cache_flags(&cache)
+            .and_then(|()| ingest(labels, method, input, tier, policy(threads))),
         Ok(Args::Demo {
             recipe,
             method,
@@ -174,30 +188,112 @@ fn classify(
         return Err(PipelineError::InvalidInput("no input documents".into()));
     }
 
-    let kind = structmine_engine::MethodKind::parse(&method)
-        .filter(|k| k.servable())
-        .ok_or_else(|| PipelineError::Unknown {
-            what: "method",
-            name: method.clone(),
-            expected: "xclass, lotclass, prompt, match".into(),
-        })?;
     structmine_store::obs::log_info(&format!(
         "classifying {} documents into {:?} with {method} ...",
         lines.len(),
         labels
     ));
-
-    let engine = structmine_engine::Engine::load(structmine_engine::EngineConfig {
-        source: structmine_engine::EngineSource::Labels(labels),
-        method: kind,
-        plm: structmine_engine::PlmSpec::Pretrained(plm_tier(&tier)),
-        seed: None,
-        exec,
-    })
-    .map_err(engine_error)?;
+    let engine = serving_engine(labels, &method, &tier, exec)?;
     let preds = engine.classify(&lines).map_err(engine_error)?;
     for (pred, line) in preds.iter().zip(&lines) {
         println!("{}", structmine_engine::format_prediction_line(pred, line));
+    }
+    Ok(())
+}
+
+/// Load a label-names serving engine for `classify` / `ingest`, rejecting
+/// non-servable methods as a usage error.
+fn serving_engine(
+    labels: Vec<String>,
+    method: &str,
+    tier: &str,
+    exec: structmine_linalg::ExecPolicy,
+) -> Result<structmine_engine::Engine, PipelineError> {
+    let kind = structmine_engine::MethodKind::parse(method)
+        .filter(|k| k.servable())
+        .ok_or_else(|| PipelineError::Unknown {
+            what: "method",
+            name: method.to_string(),
+            expected: "xclass, lotclass, prompt, match".into(),
+        })?;
+    structmine_engine::Engine::load(structmine_engine::EngineConfig {
+        source: structmine_engine::EngineSource::Labels(labels),
+        method: kind,
+        plm: structmine_engine::PlmSpec::Pretrained(plm_tier(tier)),
+        seed: None,
+        exec,
+    })
+    .map_err(engine_error)
+}
+
+/// `structmine ingest`: stream blank-line-delimited batches of documents
+/// into a generational corpus. Each batch is appended as the next
+/// generation and classified immediately — a `generation<TAB>g` receipt
+/// line, then one prediction line per document, flushed per batch so
+/// `tail -f log | structmine ingest ...` emits results as batches arrive.
+fn ingest(
+    labels: Vec<String>,
+    method: String,
+    input: Option<String>,
+    tier: String,
+    exec: structmine_linalg::ExecPolicy,
+) -> Result<(), PipelineError> {
+    use std::io::Write as _;
+    let engine = serving_engine(labels, &method, &tier, exec)?;
+    engine.warm().map_err(engine_error)?;
+
+    let mut total = 0usize;
+    let mut flush_batch = |batch: &mut Vec<String>| -> Result<(), PipelineError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let ingested = engine.ingest(batch).map_err(engine_error)?;
+        let out = std::io::stdout();
+        let mut out = out.lock();
+        let _ = writeln!(out, "generation\t{}", ingested.generation);
+        for (pred, line) in ingested.predictions.iter().zip(batch.iter()) {
+            let _ = writeln!(
+                out,
+                "{}",
+                structmine_engine::format_prediction_line(pred, line)
+            );
+        }
+        let _ = out.flush();
+        total += batch.len();
+        batch.clear();
+        Ok(())
+    };
+
+    let mut batch: Vec<String> = Vec::new();
+    match &input {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| PipelineError::Io {
+                context: format!("reading --input {path}"),
+                source: e,
+            })?;
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    flush_batch(&mut batch)?;
+                } else {
+                    batch.push(line.to_string());
+                }
+            }
+        }
+        None => {
+            // Streaming: each line arrives as it is written to the pipe; a
+            // blank line closes the current batch.
+            for line in std::io::stdin().lock().lines().map_while(Result::ok) {
+                if line.trim().is_empty() {
+                    flush_batch(&mut batch)?;
+                } else {
+                    batch.push(line);
+                }
+            }
+        }
+    }
+    flush_batch(&mut batch)?;
+    if total == 0 {
+        return Err(PipelineError::InvalidInput("no input documents".into()));
     }
     Ok(())
 }

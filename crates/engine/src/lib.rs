@@ -31,10 +31,12 @@ use structmine::westclass::WeSTClass;
 use structmine::xclass::{XClass, XClassModel, XClassOutput};
 use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{stats, vector, Matrix};
+use structmine_plm::artifacts::EncodeDeltaCorpus;
 use structmine_plm::MiniPlm;
+use structmine_text::delta::{DeltaCorpus, DeltaError, Generation};
 use structmine_text::synth::SynthError;
 use structmine_text::vocab::TokenId;
-use structmine_text::Dataset;
+use structmine_text::{Dataset, Doc};
 
 pub mod loaders;
 
@@ -172,6 +174,14 @@ pub enum EngineError {
         /// The hosted method's CLI name.
         hosted: &'static str,
     },
+    /// A corpus delta was rejected (out of order, duplicate, bad tokens).
+    Delta(DeltaError),
+    /// The configured generation ceiling (`STRUCTMINE_GENERATION_LIMIT`)
+    /// was reached; the corpus accepts no further deltas.
+    GenerationLimit {
+        /// The configured ceiling.
+        limit: Generation,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -192,6 +202,12 @@ impl std::fmt::Display for EngineError {
                            (this engine hosts {hosted})"
                 )
             }
+            EngineError::Delta(e) => write!(f, "{e}"),
+            EngineError::GenerationLimit { limit } => write!(
+                f,
+                "generation limit {limit} reached (STRUCTMINE_GENERATION_LIMIT); \
+                 no further deltas accepted"
+            ),
         }
     }
 }
@@ -202,6 +218,17 @@ impl From<SynthError> for EngineError {
     fn from(e: SynthError) -> Self {
         EngineError::Synth(e)
     }
+}
+
+/// The receipt of one accepted ingest delta.
+#[derive(Clone, Debug)]
+pub struct Ingested {
+    /// The generation the corpus reached by applying the delta.
+    pub generation: Generation,
+    /// Predictions for the delta's documents, in input order — computed
+    /// from the delta's freshly appended doc reps, byte-identical to
+    /// [`Engine::classify`] on the same lines.
+    pub predictions: Vec<Prediction>,
 }
 
 /// One document's classification.
@@ -246,6 +273,16 @@ enum ServeModel {
     },
 }
 
+/// The engine's streaming state: the generational corpus (base = the fit
+/// dataset's corpus) plus the predictions made for every ingested document.
+/// Built lazily on the first [`Engine::ingest`]; the serving rule itself
+/// stays frozen on the generation-0 fit, so `classify` output is unaffected
+/// by ingestion.
+struct IngestState {
+    delta: DeltaCorpus,
+    preds: Vec<Prediction>,
+}
+
 /// A loaded classification engine: dataset + PLM + lazily fitted models.
 ///
 /// `Engine` is `Send + Sync`; clones of the fitted state are shared via
@@ -260,6 +297,7 @@ pub struct Engine {
     model: Mutex<Option<Arc<ServeModel>>>,
     xout: Mutex<Option<Arc<XClassOutput>>>,
     preds: Mutex<Option<Arc<Vec<usize>>>>,
+    ingest: Mutex<Option<IngestState>>,
 }
 
 impl Engine {
@@ -293,6 +331,7 @@ impl Engine {
             model: Mutex::new(None),
             xout: Mutex::new(None),
             preds: Mutex::new(None),
+            ingest: Mutex::new(None),
         })
     }
 
@@ -331,6 +370,102 @@ impl Engine {
         let model = self.serve_model()?;
         let docs: Vec<Vec<TokenId>> = lines.iter().map(|l| self.tokenize(l)).collect();
         Ok(self.proba_for_tokens(&model, &docs))
+    }
+
+    /// The corpus's current generation (0 until the first ingest).
+    pub fn generation(&self) -> Generation {
+        self.ingest
+            .lock()
+            .as_ref()
+            .map_or(0, |s| s.delta.generation())
+    }
+
+    /// Predictions for every document ingested so far, in stream order.
+    pub fn ingested_predictions(&self) -> Vec<Prediction> {
+        self.ingest
+            .lock()
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.preds.clone())
+    }
+
+    /// Ingest a batch of raw text documents as the corpus's next
+    /// generation and classify them.
+    ///
+    /// The documents are tokenized against the frozen fit vocabulary (the
+    /// same closed-vocabulary path `classify` uses) and appended as a
+    /// [`DeltaCorpus`] delta; corpus statistics update incrementally. The
+    /// new documents are then encoded through the generation-keyed
+    /// [`EncodeDeltaCorpus`] stage — a warm store re-encodes **only** this
+    /// delta's docs, reusing every earlier generation — and classified with
+    /// the frozen serving rule, reusing those freshly appended reps. The
+    /// serving rule itself never refits, so `classify` output is unchanged
+    /// by ingestion and each returned prediction is byte-identical to
+    /// `classify` on the same line.
+    pub fn ingest(&self, lines: &[String]) -> Result<Ingested, EngineError> {
+        let _stage = structmine_store::context::stage_guard("engine/ingest");
+        let model = self.serve_model()?; // transductive methods refuse here
+        let mut slot = self.ingest.lock();
+        let st = slot.get_or_insert_with(|| IngestState {
+            delta: DeltaCorpus::from_corpus(self.dataset.corpus.clone()),
+            preds: Vec::new(),
+        });
+        if let Some(limit) = generation_limit() {
+            if st.delta.generation() >= limit {
+                return Err(EngineError::GenerationLimit { limit });
+            }
+        }
+        let docs: Vec<Doc> = lines
+            .iter()
+            .map(|l| Doc::from_tokens(self.tokenize(l)))
+            .collect();
+        let delta = st.delta.next_delta(docs);
+        let generation = st.delta.apply(delta).map_err(EngineError::Delta)?;
+        let range = st.delta.gen_range(generation);
+
+        let probs: Vec<Vec<f32>> = match &*model {
+            // Prompting scores straight from tokens; no doc reps to refresh.
+            ServeModel::Prompt => {
+                let toks: Vec<Vec<TokenId>> = st.delta.corpus().docs[range]
+                    .iter()
+                    .map(|d| d.tokens.clone())
+                    .collect();
+                self.proba_for_tokens(&model, &toks)
+            }
+            _ => {
+                let reps = structmine_store::global().run_delta(&EncodeDeltaCorpus {
+                    model: self.plm_ref().as_ref(),
+                    delta: &st.delta,
+                    exec: self.exec,
+                });
+                let fresh = &reps[range];
+                match &*model {
+                    ServeModel::XClass(m) => {
+                        fresh.iter().map(|r| m.predict_proba(&r.tokens)).collect()
+                    }
+                    ServeModel::LotClass(m) => {
+                        fresh.iter().map(|r| m.predict_proba(&r.mean)).collect()
+                    }
+                    ServeModel::Match { prototypes } => fresh
+                        .iter()
+                        .map(|r| {
+                            let scores: Vec<f32> = (0..prototypes.rows())
+                                .map(|c| vector::cosine(&r.mean, prototypes.row(c)))
+                                .collect();
+                            sharpened_softmax(scores)
+                        })
+                        .collect(),
+                    ServeModel::Prompt => unreachable!("handled above"),
+                }
+            }
+        };
+        let predictions: Vec<Prediction> = probs.iter().map(|p| self.to_prediction(p)).collect();
+        st.preds.extend(predictions.iter().cloned());
+        structmine_store::obs::counter_add("engine.generation", 1);
+        structmine_store::obs::counter_add("engine.ingested_docs", lines.len() as u64);
+        Ok(Ingested {
+            generation,
+            predictions,
+        })
     }
 
     /// Explain one document: per-class probabilities plus per-token
@@ -569,6 +704,15 @@ impl Engine {
     }
 }
 
+/// The optional generation ceiling: `STRUCTMINE_GENERATION_LIMIT=<n>`
+/// caps how many ingest deltas an engine accepts (malformed values are
+/// ignored). Unset means unlimited.
+fn generation_limit() -> Option<Generation> {
+    std::env::var("STRUCTMINE_GENERATION_LIMIT")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+}
+
 /// Turn raw per-class scores into a probability row, with the same
 /// sharpening PromptClass applies before its softmax.
 fn sharpened_softmax(mut scores: Vec<f32>) -> Vec<f32> {
@@ -723,6 +867,90 @@ mod tests {
         assert_eq!(ex.probabilities.len(), 3);
         let total: f32 = ex.token_weights.iter().sum();
         assert!((total - 1.0).abs() < 1e-4, "attention sums to {total}");
+    }
+
+    fn test_engine_threads(method: MethodKind, threads: usize) -> Engine {
+        Engine::load(EngineConfig {
+            source: EngineSource::Labels(vec![
+                "sports".into(),
+                "business".into(),
+                "technology".into(),
+            ]),
+            method,
+            plm: PlmSpec::Pretrained(structmine_plm::cache::Tier::Test),
+            seed: None,
+            exec: ExecPolicy::with_threads(threads),
+        })
+        .unwrap()
+    }
+
+    fn stream_lines() -> Vec<String> {
+        vec![
+            "the team won the game in the final match".to_string(),
+            "the company reported strong market earnings".to_string(),
+            "the new software system runs on every computer".to_string(),
+            "the coach praised the players after the season".to_string(),
+        ]
+    }
+
+    #[test]
+    fn ingest_predictions_match_classify_bitwise() {
+        for method in [MethodKind::Match, MethodKind::XClass, MethodKind::Prompt] {
+            let engine = test_engine(method);
+            let lines = stream_lines();
+            let classified = engine.classify(&lines).unwrap();
+            let ingested = engine.ingest(&lines).unwrap();
+            assert_eq!(ingested.generation, 1);
+            assert_eq!(
+                ingested.predictions,
+                classified,
+                "{} ingest diverged from classify",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn k_ingests_equal_one_ingest_across_thread_counts() {
+        let lines = stream_lines();
+        // One engine takes the stream as two deltas, another as one; a
+        // third runs at a different thread count. All predictions must be
+        // byte-identical, and the generation counters must reflect the
+        // split.
+        let split = test_engine_threads(MethodKind::Match, 1);
+        split.ingest(&lines[..2]).unwrap();
+        split.ingest(&lines[2..]).unwrap();
+        assert_eq!(split.generation(), 2);
+
+        let whole = test_engine_threads(MethodKind::Match, 4);
+        whole.ingest(&lines).unwrap();
+        assert_eq!(whole.generation(), 1);
+
+        assert_eq!(split.ingested_predictions(), whole.ingested_predictions());
+        assert_eq!(
+            whole.ingested_predictions(),
+            whole.classify(&lines).unwrap()
+        );
+    }
+
+    #[test]
+    fn classify_is_unchanged_by_ingestion() {
+        let engine = test_engine(MethodKind::Match);
+        let probe = vec!["the market rallied after the earnings report".to_string()];
+        let before = engine.classify(&probe).unwrap();
+        engine.ingest(&stream_lines()).unwrap();
+        let after = engine.classify(&probe).unwrap();
+        assert_eq!(before, after, "ingest must not move the serving rule");
+    }
+
+    #[test]
+    fn generation_starts_at_zero_and_counts_deltas() {
+        let engine = test_engine(MethodKind::Match);
+        assert_eq!(engine.generation(), 0);
+        assert!(engine.ingested_predictions().is_empty());
+        engine.ingest(&stream_lines()[..1]).unwrap();
+        assert_eq!(engine.generation(), 1);
+        assert_eq!(engine.ingested_predictions().len(), 1);
     }
 
     #[test]

@@ -51,8 +51,17 @@ impl MiniPlm {
     /// encoded alone, inside any batch, or as part of a corpus — the
     /// invariant the serving layer's micro-batching relies on.
     pub fn encode_docs(&self, docs: &[Vec<TokenId>], policy: &ExecPolicy) -> Vec<DocRep> {
+        count_encoded(docs.len());
         par_map_chunks(policy, docs, |i, tokens| encode_one(self, i, tokens))
     }
+}
+
+/// Mirror every corpus-level document encode into the run report
+/// (`plm.docs_encoded`). The streaming equivalence tests and the `/stats`
+/// route use this to assert that a warm delta refresh encodes only the
+/// delta's documents.
+fn count_encoded(n: usize) {
+    structmine_store::obs::counter_add("plm.docs_encoded", n as u64);
 }
 
 /// Encode one token sequence into a [`DocRep`] — the single per-document
@@ -76,20 +85,60 @@ fn encode_one(model: &MiniPlm, i: usize, tokens: &[TokenId]) -> DocRep {
 
 /// Free-function form of [`MiniPlm::encode_corpus`].
 pub fn encode_corpus(model: &MiniPlm, corpus: &Corpus, policy: &ExecPolicy) -> Vec<DocRep> {
+    count_encoded(corpus.len());
     par_map_chunks(policy, &corpus.docs, |i, doc| {
         encode_one(model, i, &doc.tokens)
+    })
+}
+
+/// Encode a contiguous doc-index range of a corpus. Each [`DocRep::doc`]
+/// carries the document's **absolute** corpus index, and every document
+/// goes through the same per-document code path as [`encode_corpus`], so
+/// concatenating range encodes in order is bitwise identical to one whole-
+/// corpus encode — the invariant the generation-delta stages rely on.
+pub fn encode_corpus_range(
+    model: &MiniPlm,
+    corpus: &Corpus,
+    range: std::ops::Range<usize>,
+    policy: &ExecPolicy,
+) -> Vec<DocRep> {
+    let start = range.start;
+    count_encoded(range.len());
+    par_map_chunks(policy, &corpus.docs[range], |i, doc| {
+        encode_one(model, start + i, &doc.tokens)
     })
 }
 
 /// Average-pooled representation of every document (`n x d`), using the
 /// given execution policy.
 pub fn doc_mean_reps_with(model: &MiniPlm, corpus: &Corpus, policy: &ExecPolicy) -> Matrix {
-    let means = par_map_chunks(policy, &corpus.docs, |_, doc| model.mean_embed(&doc.tokens));
-    let rows: Vec<&[f32]> = means.iter().map(Vec::as_slice).collect();
-    if rows.is_empty() {
-        Matrix::zeros(0, model.config.d_model)
+    let rows = doc_mean_rows_range(model, corpus, 0..corpus.len(), policy);
+    rows_to_matrix(rows, model.config.d_model)
+}
+
+/// Mean-pooled rows for a contiguous doc-index range, in document order.
+/// Row values are computed by [`MiniPlm::mean_embed`] exactly as
+/// [`doc_mean_reps_with`] computes them, so appending range results
+/// reproduces the whole-corpus matrix bitwise.
+pub fn doc_mean_rows_range(
+    model: &MiniPlm,
+    corpus: &Corpus,
+    range: std::ops::Range<usize>,
+    policy: &ExecPolicy,
+) -> Vec<Vec<f32>> {
+    count_encoded(range.len());
+    par_map_chunks(policy, &corpus.docs[range], |_, doc| {
+        model.mean_embed(&doc.tokens)
+    })
+}
+
+/// Stack owned rows into a matrix (empty input keeps the column count).
+pub(crate) fn rows_to_matrix(rows: Vec<Vec<f32>>, d_model: usize) -> Matrix {
+    let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+    if refs.is_empty() {
+        Matrix::zeros(0, d_model)
     } else {
-        Matrix::from_rows(&rows)
+        Matrix::from_rows(&refs)
     }
 }
 

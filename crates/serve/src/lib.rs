@@ -12,7 +12,11 @@
 //! - concurrent requests coalesced into one micro-batch get the same bytes
 //!   as sequential ones (batching invariance, proven at the engine layer);
 //! - `/stats` is the live JSON run report, schema-identical to the one
-//!   written by `STRUCTMINE_REPORT` at exit.
+//!   written by `STRUCTMINE_REPORT` at exit;
+//! - a `/ingest` response (after its `generation<TAB>g` receipt line)
+//!   byte-matches `/classify` on the same documents: the serving rule stays
+//!   frozen at generation 0, and the delta's freshly encoded doc reps go
+//!   through the same per-document code paths.
 
 pub mod batcher;
 pub mod http;

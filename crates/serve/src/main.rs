@@ -10,9 +10,11 @@
 //! Every flag falls back to a `STRUCTMINE_SERVE_*` environment variable
 //! (`STRUCTMINE_SERVE_PORT`, `_MAX_BATCH`, `_FLUSH_US`, `_QUEUE_CAP`,
 //! `_LABELS`, `_METHOD`, `_TIER`). Routes: `GET /healthz`, `GET /stats`
-//! (live JSON run report), `POST /classify` (one document per line in, one
-//! `label<TAB>confidence<TAB>doc` line out — byte-identical to
-//! `structmine classify`).
+//! (live JSON run report, including generation counters), `POST /classify`
+//! (one document per line in, one `label<TAB>confidence<TAB>doc` line out —
+//! byte-identical to `structmine classify`), and `POST /ingest` (append the
+//! documents as the corpus's next generation; a `generation<TAB>g` receipt
+//! line, then the same prediction lines `/classify` would emit).
 //!
 //! SIGTERM / SIGINT trigger a graceful shutdown: stop accepting, answer
 //! in-flight requests, flush the final micro-batch, write the JSON run

@@ -47,13 +47,13 @@ impl Server {
         // Non-blocking accept so the loop can observe the shutdown flag.
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let batcher = Batcher::start(engine, cfg.batch);
+        let batcher = Batcher::start(Arc::clone(&engine), cfg.batch);
         let queue = batcher.queue();
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
         let accept_handle = std::thread::Builder::new()
             .name("serve-accept".into())
-            .spawn(move || accept_loop(listener, queue, flag))
+            .spawn(move || accept_loop(listener, queue, engine, flag))
             .expect("spawn accept thread");
         Ok(Server {
             addr,
@@ -87,15 +87,21 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, queue: BatchQueue, shutdown: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    queue: BatchQueue,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+) {
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let q = queue.clone();
+                let e = Arc::clone(&engine);
                 let h = std::thread::Builder::new()
                     .name("serve-conn".into())
-                    .spawn(move || handle_connection(stream, q))
+                    .spawn(move || handle_connection(stream, q, e))
                     .expect("spawn connection thread");
                 handlers.push(h);
                 // Reap finished handlers so the vec stays bounded under load.
@@ -117,7 +123,7 @@ fn accept_loop(listener: TcpListener, queue: BatchQueue, shutdown: Arc<AtomicBoo
     }
 }
 
-fn handle_connection(mut stream: TcpStream, queue: BatchQueue) {
+fn handle_connection(mut stream: TcpStream, queue: BatchQueue, engine: Arc<Engine>) {
     let _span = obs::span("serve/request");
     obs::counter_add("serve.requests", 1);
     // A stuck client must not pin a handler thread forever.
@@ -158,11 +164,12 @@ fn handle_connection(mut stream: TcpStream, queue: BatchQueue) {
             }
         }
         ("POST", "/classify") => classify_route(&mut stream, &queue, &request),
+        ("POST", "/ingest") => ingest_route(&mut stream, &engine, &request),
         _ => respond_text(
             &mut stream,
             404,
             "Not Found",
-            "routes: GET /healthz, GET /stats, POST /classify\n",
+            "routes: GET /healthz, GET /stats, POST /classify, POST /ingest\n",
         ),
     }
 }
@@ -215,6 +222,48 @@ fn classify_route(stream: &mut TcpStream, queue: &BatchQueue, request: &Request)
             "Internal Server Error",
             "batcher exited before replying\n",
         ),
+    }
+}
+
+/// `POST /ingest`: body is one document per line; the batch is appended to
+/// the engine's corpus as its next generation and classified. The response
+/// is a `generation<TAB>g` receipt line followed by one prediction line per
+/// document — `tail -n +2` of the body byte-matches `POST /classify` (and
+/// the CLI) on the same documents, because the serving rule is frozen at
+/// generation 0.
+///
+/// Ingestion bypasses the micro-batcher on purpose: deltas are stateful and
+/// strictly ordered (generation N+1 follows N), while the batcher exists to
+/// coalesce stateless per-document work. The engine serializes concurrent
+/// ingests internally.
+fn ingest_route(stream: &mut TcpStream, engine: &Engine, request: &Request) {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(s) => s,
+        Err(_) => {
+            respond_text(stream, 400, "Bad Request", "body must be UTF-8 text\n");
+            return;
+        }
+    };
+    let lines: Vec<String> = body
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.to_string())
+        .collect();
+    if lines.is_empty() {
+        respond_text(stream, 400, "Bad Request", "no input documents\n");
+        return;
+    }
+    match engine.ingest(&lines) {
+        Ok(ingested) => {
+            obs::counter_add("serve.ingests", 1);
+            let mut out = format!("generation\t{}\n", ingested.generation);
+            for (pred, line) in ingested.predictions.iter().zip(&lines) {
+                out.push_str(&format_prediction_line(pred, line));
+                out.push('\n');
+            }
+            let _ = http::write_response(stream, 200, "OK", "text/plain", out.as_bytes());
+        }
+        Err(e) => respond_text(stream, 400, "Bad Request", &format!("{e}\n")),
     }
 }
 

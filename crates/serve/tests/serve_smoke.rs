@@ -165,3 +165,85 @@ fn oversized_bodies_are_rejected() {
     assert_eq!(status, 413);
     server.stop();
 }
+
+fn post_ingest(addr: &SocketAddr, body: &str) -> (u16, String) {
+    request(
+        addr,
+        &format!(
+            "POST /ingest HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn ingest_appends_generations_and_matches_classify_bytes() {
+    let engine = load_engine();
+    engine.warm().expect("warm");
+
+    let lines: Vec<String> = DOCS.iter().map(|s| s.to_string()).collect();
+    let expected: String = engine
+        .classify(&lines)
+        .expect("cli-path classify")
+        .iter()
+        .zip(&lines)
+        .map(|(p, l)| format_prediction_line(p, l) + "\n")
+        .collect();
+
+    let mut server = Server::start(
+        Arc::new(engine),
+        ServeConfig {
+            port: 0,
+            ..Default::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Two deltas; each response is a generation receipt plus exactly the
+    // prediction lines /classify (and the CLI) would emit.
+    let (status, body) = post_ingest(&addr, &lines[..2].join("\n"));
+    assert_eq!(status, 200);
+    let mut it = body.lines();
+    assert_eq!(it.next(), Some("generation\t1"));
+    let rest: String = it.map(|l| l.to_string() + "\n").collect();
+    let first_two: String = expected
+        .lines()
+        .take(2)
+        .map(|l| l.to_string() + "\n")
+        .collect();
+    assert_eq!(
+        rest, first_two,
+        "/ingest predictions must match /classify bytes"
+    );
+
+    let (status, body) = post_ingest(&addr, &lines[2..].join("\n"));
+    assert_eq!(status, 200);
+    assert_eq!(body.lines().next(), Some("generation\t2"));
+
+    // Classify after ingestion: the serving rule is frozen, bytes unchanged.
+    let (status, body) = post_classify(&addr, &lines.join("\n"));
+    assert_eq!(status, 200);
+    assert_eq!(body, expected, "ingest must not move the serving rule");
+
+    // /stats now carries the engine's generation counters.
+    let (status, body) = request(&addr, "GET /stats HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 200);
+    let report = structmine_store::obs::validate_report(&body)
+        .unwrap_or_else(|e| panic!("/stats failed schema validation: {e}"));
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(
+        json.contains("serve.ingests"),
+        "report should count ingests: {json}"
+    );
+    assert!(
+        json.contains("engine.generation"),
+        "report should carry the live generation: {json}"
+    );
+
+    // Empty deltas are client errors, not silent no-ops.
+    let (status, _) = post_ingest(&addr, "\n\n");
+    assert_eq!(status, 400);
+
+    server.stop();
+}

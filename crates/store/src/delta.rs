@@ -1,0 +1,384 @@
+//! Generation-keyed incremental stages (DESIGN §11).
+//!
+//! A [`DeltaStage`] is a [`Stage`](crate::Stage)-like pipeline step over an
+//! append-only input (a `DeltaCorpus` upstream): its artifact at generation
+//! g is `refresh(artifact_{g-1}, delta_g)`, with generation 0 computed from
+//! the base input alone.
+//!
+//! ## Keying
+//!
+//! Instead of fingerprinting the whole merged input, each generation's
+//! artifact key **chains** on the previous one:
+//!
+//! ```text
+//! key_0 = H(name, version, 0, base_fingerprint)
+//! key_g = H(name, version, g, key_{g-1}.digest, delta_fingerprint_g)
+//! ```
+//!
+//! This is the "(upstream key, generation)" scheme: key_g commits to the
+//! exact sequence of deltas 1..=g, so editing delta j changes keys j..N
+//! (those artifacts recompute) while keys 0..j-1 — and their cached
+//! artifacts — survive untouched. Out-of-order or duplicate deltas cannot
+//! produce a colliding key because the generation number itself is hashed.
+//!
+//! ## Refresh walk
+//!
+//! [`ArtifactStore::run_delta`] probes the chain from the target generation
+//! backwards with [`ArtifactStore::peek`] until it finds the newest cached
+//! artifact (or computes the base), then rolls forward one `refresh` per
+//! missing generation through the ordinary memoizing
+//! [`ArtifactStore::get_or_compute`] path. Per-generation hit/miss counters
+//! are mirrored into [`obs`](crate::obs) as
+//! `<scope>.generation.<g>.hits|misses`, so `/stats` exposes how much of
+//! the chain each refresh reused.
+
+use crate::hash::StableHasher;
+use crate::key::ArtifactKey;
+use crate::stage::{Artifact, Persistence};
+use crate::store::ArtifactStore;
+use std::sync::Arc;
+
+/// A pipeline step over an append-only input, refreshed per generation.
+pub trait DeltaStage {
+    /// The artifact type produced at every generation.
+    type Output: Artifact;
+
+    /// Stable stage name, e.g. `"plm/encode-delta"`.
+    fn name(&self) -> &'static str;
+
+    /// Bump to invalidate all cached artifacts after a code change.
+    fn version(&self) -> u32 {
+        1
+    }
+
+    /// Which store layers the per-generation artifacts may live in.
+    fn persistence(&self) -> Persistence {
+        Persistence::Full
+    }
+
+    /// The target generation (the upstream input's current generation).
+    fn generation(&self) -> u64;
+
+    /// Everything the generation-0 artifact depends on (base corpus
+    /// fingerprint, model fingerprint, config — but never execution
+    /// policy).
+    fn base_fingerprint(&self, h: &mut StableHasher);
+
+    /// Everything generation `g`'s delta contributes (g >= 1). The previous
+    /// key's digest and `g` itself are mixed in by the chain, not here.
+    fn delta_fingerprint(&self, h: &mut StableHasher, g: u64);
+
+    /// Compute the generation-0 artifact from the base input.
+    fn compute_base(&self) -> Self::Output;
+
+    /// Fold generation `g`'s delta into the previous artifact. Must equal
+    /// what `compute_base` over the concatenated input would produce —
+    /// byte-identically — for the chain to honor the store's warm == cold
+    /// contract.
+    fn refresh(&self, previous: &Self::Output, g: u64) -> Self::Output;
+
+    /// The chained keys for generations `0..=upto` (see module docs).
+    fn key_chain(&self, upto: u64) -> Vec<ArtifactKey> {
+        let mut keys = Vec::with_capacity(upto as usize + 1);
+        let mut key = ArtifactKey::new(self.name(), self.version(), |h| {
+            h.write_u64(0);
+            self.base_fingerprint(h);
+        });
+        for g in 1..=upto {
+            let prev_digest = crate::fingerprint_of(&key);
+            keys.push(key);
+            key = ArtifactKey::new(self.name(), self.version(), |h| {
+                h.write_u64(g);
+                h.write_u128(prev_digest);
+                self.delta_fingerprint(h, g);
+            });
+        }
+        keys.push(key);
+        keys
+    }
+
+    /// The key of the artifact at the target generation.
+    fn key(&self) -> ArtifactKey {
+        self.key_chain(self.generation())
+            .pop()
+            .expect("key_chain is never empty")
+    }
+}
+
+/// How many trailing generations to keep in the in-process layer
+/// (`STRUCTMINE_GENERATION_KEEP`); `None` keeps the whole chain.
+fn generation_keep() -> Option<u64> {
+    std::env::var("STRUCTMINE_GENERATION_KEEP")
+        .ok()?
+        .parse()
+        .ok()
+}
+
+impl ArtifactStore {
+    /// Run a [`DeltaStage`] at its target generation, reusing the newest
+    /// cached generation and computing only the missing refreshes.
+    ///
+    /// Like [`ArtifactStore::run`], this never fails: a fully cold chain
+    /// simply computes the base and every refresh.
+    pub fn run_delta<S: DeltaStage>(&self, stage: &S) -> Arc<S::Output> {
+        let target = stage.generation();
+        let keys = stage.key_chain(target);
+        let persistence = stage.persistence();
+
+        // Probe newest-first for the most advanced cached artifact.
+        let mut found: Option<(u64, Arc<S::Output>)> = None;
+        for g in (0..=target).rev() {
+            if let Some(hit) = self.peek::<S::Output>(&keys[g as usize], persistence) {
+                self.generation_count(g, "hits");
+                found = Some((g, hit));
+                break;
+            }
+            self.generation_count(g, "misses");
+        }
+        let (mut g, mut current) = match found {
+            Some(pair) => pair,
+            None => (
+                0,
+                self.get_or_compute(&keys[0], persistence, || stage.compute_base()),
+            ),
+        };
+        while g < target {
+            g += 1;
+            let prev = Arc::clone(&current);
+            current =
+                self.get_or_compute(&keys[g as usize], persistence, || stage.refresh(&prev, g));
+        }
+
+        // Optionally bound memory: evict generations older than the
+        // trailing `STRUCTMINE_GENERATION_KEEP` window. Disk copies (for
+        // persisted stages) are kept, so this trades recompute/reread for
+        // memory, never correctness.
+        if let Some(keep) = generation_keep() {
+            for old in keys.iter().take((target + 1).saturating_sub(keep) as usize) {
+                self.forget(old);
+            }
+        }
+        current
+    }
+
+    /// Mirror one per-generation chain event into the obs registry as
+    /// `<scope>.generation.<g>.<what>` (scopeless test stores mirror
+    /// nothing, like the built-in counters).
+    fn generation_count(&self, g: u64, what: &str) {
+        if let Some(scope) = self.scope() {
+            crate::obs::counter_add(&format!("{scope}.generation.{g}.{what}"), 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Running sums over a base vector plus per-generation extensions: the
+    /// artifact at generation g is the prefix-sum vector of the
+    /// concatenation, so refresh must continue from the previous artifact's
+    /// last element to match a cold build.
+    struct RunningSum<'a> {
+        base: &'a [u64],
+        deltas: &'a [Vec<u64>],
+        base_calls: AtomicUsize,
+        refresh_calls: AtomicUsize,
+    }
+
+    impl<'a> RunningSum<'a> {
+        fn new(base: &'a [u64], deltas: &'a [Vec<u64>]) -> Self {
+            RunningSum {
+                base,
+                deltas,
+                base_calls: AtomicUsize::new(0),
+                refresh_calls: AtomicUsize::new(0),
+            }
+        }
+
+        fn extend(mut acc: Vec<u64>, items: &[u64]) -> Vec<u64> {
+            let mut run = acc.last().copied().unwrap_or(0);
+            for &x in items {
+                run += x;
+                acc.push(run);
+            }
+            acc
+        }
+    }
+
+    impl DeltaStage for RunningSum<'_> {
+        type Output = Vec<u64>;
+        fn name(&self) -> &'static str {
+            "test/running-sum"
+        }
+        fn persistence(&self) -> Persistence {
+            Persistence::MemoryOnly
+        }
+        fn generation(&self) -> u64 {
+            self.deltas.len() as u64
+        }
+        fn base_fingerprint(&self, h: &mut StableHasher) {
+            crate::StableHash::stable_hash(&self.base, h);
+        }
+        fn delta_fingerprint(&self, h: &mut StableHasher, g: u64) {
+            crate::StableHash::stable_hash(&self.deltas[g as usize - 1], h);
+        }
+        fn compute_base(&self) -> Vec<u64> {
+            self.base_calls.fetch_add(1, Ordering::Relaxed);
+            Self::extend(Vec::new(), self.base)
+        }
+        fn refresh(&self, previous: &Vec<u64>, g: u64) -> Vec<u64> {
+            self.refresh_calls.fetch_add(1, Ordering::Relaxed);
+            Self::extend(previous.clone(), &self.deltas[g as usize - 1])
+        }
+    }
+
+    #[test]
+    fn warm_chain_computes_only_the_new_generation() {
+        let store = ArtifactStore::memory_only();
+        let base = [1, 2, 3];
+        let d1 = vec![vec![10, 10]];
+        let d2 = vec![vec![10, 10], vec![5]];
+
+        let s1 = RunningSum::new(&base, &d1);
+        let out1 = store.run_delta(&s1);
+        assert_eq!(*out1, vec![1, 3, 6, 16, 26]);
+        assert_eq!(s1.base_calls.load(Ordering::Relaxed), 1);
+        assert_eq!(s1.refresh_calls.load(Ordering::Relaxed), 1);
+
+        // Same chain one generation further: only refresh(2) runs.
+        let s2 = RunningSum::new(&base, &d2);
+        let out2 = store.run_delta(&s2);
+        assert_eq!(*out2, vec![1, 3, 6, 16, 26, 31]);
+        assert_eq!(s2.base_calls.load(Ordering::Relaxed), 0, "base was cached");
+        assert_eq!(
+            s2.refresh_calls.load(Ordering::Relaxed),
+            1,
+            "generation 1 was cached; only generation 2 may compute"
+        );
+    }
+
+    #[test]
+    fn warm_equals_cold_bitwise() {
+        let base = [7, 1];
+        let deltas = vec![vec![2], vec![9, 9], vec![4]];
+        // Warm: three incremental runs against one store.
+        let store = ArtifactStore::memory_only();
+        let mut warm = Vec::new();
+        for upto in 1..=deltas.len() {
+            let s = RunningSum::new(&base, &deltas[..upto]);
+            warm = (*store.run_delta(&s)).clone();
+        }
+        // Cold: a disabled store recomputes the whole chain from scratch.
+        let cold_store = ArtifactStore::disabled();
+        let s = RunningSum::new(&base, &deltas);
+        let cold = cold_store.run_delta(&s);
+        assert_eq!(warm, *cold);
+        assert_eq!(s.base_calls.load(Ordering::Relaxed), 1);
+        assert_eq!(s.refresh_calls.load(Ordering::Relaxed), deltas.len());
+    }
+
+    #[test]
+    fn editing_a_delta_invalidates_its_suffix_only() {
+        let base = [1];
+        let a = vec![vec![1], vec![2], vec![3]];
+        // Same chain with generation 2's delta edited.
+        let b = vec![vec![1], vec![20], vec![3]];
+        let sa = RunningSum::new(&base, &a);
+        let sb = RunningSum::new(&base, &b);
+        let ka = sa.key_chain(3);
+        let kb = sb.key_chain(3);
+        assert_eq!(ka[0], kb[0], "base key must survive a later-delta edit");
+        assert_eq!(ka[1], kb[1], "keys before the edit must survive");
+        assert_ne!(ka[2], kb[2], "the edited generation must re-key");
+        assert_ne!(ka[3], kb[3], "every later generation must re-key too");
+
+        // And the store actually recomputes the changed suffix.
+        let store = ArtifactStore::memory_only();
+        store.run_delta(&sa);
+        let out = store.run_delta(&sb);
+        assert_eq!(*out, vec![1, 2, 22, 25]);
+        assert_eq!(sb.base_calls.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            sb.refresh_calls.load(Ordering::Relaxed),
+            2,
+            "generations 2 and 3 recompute; generation 1 is reused"
+        );
+    }
+
+    #[test]
+    fn generation_number_is_part_of_the_key() {
+        // Identical content at different chain positions must not collide.
+        let base = [1];
+        let deltas = vec![vec![5], vec![5]];
+        let s = RunningSum::new(&base, &deltas);
+        let keys = s.key_chain(2);
+        assert_ne!(keys[1], keys[2]);
+    }
+
+    #[test]
+    fn disk_layer_resumes_a_chain_across_stores() {
+        let dir =
+            std::env::temp_dir().join(format!("structmine-delta-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        struct PersistedSum<'a>(RunningSum<'a>);
+        impl DeltaStage for PersistedSum<'_> {
+            type Output = Vec<u64>;
+            fn name(&self) -> &'static str {
+                "test/running-sum-disk"
+            }
+            fn persistence(&self) -> Persistence {
+                Persistence::Full
+            }
+            fn generation(&self) -> u64 {
+                self.0.generation()
+            }
+            fn base_fingerprint(&self, h: &mut StableHasher) {
+                self.0.base_fingerprint(h)
+            }
+            fn delta_fingerprint(&self, h: &mut StableHasher, g: u64) {
+                self.0.delta_fingerprint(h, g)
+            }
+            fn compute_base(&self) -> Vec<u64> {
+                self.0.compute_base()
+            }
+            fn refresh(&self, previous: &Vec<u64>, g: u64) -> Vec<u64> {
+                self.0.refresh(previous, g)
+            }
+        }
+
+        let base = [3, 3];
+        let deltas = vec![vec![1], vec![2]];
+        let first = ArtifactStore::with_dir_and_faults(&dir, crate::FaultInjector::none());
+        let s = PersistedSum(RunningSum::new(&base, &deltas[..1]));
+        first.run_delta(&s);
+
+        // A fresh store (new process, cold memory) extends the chain from
+        // the persisted generation-1 artifact.
+        let second = ArtifactStore::with_dir_and_faults(&dir, crate::FaultInjector::none());
+        let s2 = PersistedSum(RunningSum::new(&base, &deltas));
+        let out = second.run_delta(&s2);
+        assert_eq!(*out, vec![3, 6, 7, 9]);
+        assert_eq!(s2.0.base_calls.load(Ordering::Relaxed), 0);
+        assert_eq!(s2.0.refresh_calls.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forget_evicts_only_the_memory_layer() {
+        let store = ArtifactStore::memory_only();
+        let base = [1];
+        let deltas = vec![vec![1]];
+        let s = RunningSum::new(&base, &deltas);
+        let key = s.key();
+        store.run_delta(&s);
+        assert!(store
+            .peek::<Vec<u64>>(&key, Persistence::MemoryOnly)
+            .is_some());
+        store.forget(&key);
+        assert!(store
+            .peek::<Vec<u64>>(&key, Persistence::MemoryOnly)
+            .is_none());
+    }
+}

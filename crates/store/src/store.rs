@@ -228,6 +228,9 @@ impl ArtifactStore {
         persistence: Persistence,
         compute: impl FnOnce() -> T,
     ) -> Arc<T> {
+        if let Some(hit) = self.peek(key, persistence) {
+            return hit;
+        }
         let id = key.id();
         let degraded = self.is_degraded();
         // After demotion, disk-only artifacts are held in memory instead:
@@ -235,29 +238,6 @@ impl ArtifactStore {
         // disk from turning every checkpoint lookup into a recompute.
         let use_mem = self.memory_enabled && (persistence != Persistence::DiskOnly || degraded);
         let use_disk = self.dir.is_some() && !degraded && persistence != Persistence::MemoryOnly;
-
-        if use_mem {
-            if let Some(hit) = self.mem.lock().get(&id) {
-                if let Ok(typed) = Arc::clone(hit).downcast::<T>() {
-                    self.bump(&self.stats.mem_hits, crate::obs::Counter::MemHits);
-                    return typed;
-                }
-            }
-        }
-        if use_disk {
-            match self.read_disk::<T>(key) {
-                Ok(Some(payload)) => {
-                    self.bump(&self.stats.disk_hits, crate::obs::Counter::DiskHits);
-                    let arc = Arc::new(payload);
-                    if use_mem {
-                        self.memoize(&id, &arc);
-                    }
-                    return arc;
-                }
-                Ok(None) => {} // clean miss (absent or stale artifact)
-                Err(e) => self.note_read_failure(&e), // failed read = miss
-            }
-        }
 
         self.bump(&self.stats.misses, crate::obs::Counter::Misses);
         let arc = Arc::new(context::with_stage_label(&key.stage, compute));
@@ -270,6 +250,55 @@ impl ArtifactStore {
             self.memoize(&id, &arc);
         }
         arc
+    }
+
+    /// Look up `key` in the configured layers *without* computing on a
+    /// miss. A hit bumps the usual hit counters (and memoizes a disk hit);
+    /// a miss bumps nothing — the caller decides whether to compute. The
+    /// delta-stage machinery ([`ArtifactStore::run_delta`]) uses this to
+    /// probe a generation chain for the newest cached artifact.
+    pub fn peek<T: Artifact>(&self, key: &ArtifactKey, persistence: Persistence) -> Option<Arc<T>> {
+        let id = key.id();
+        let degraded = self.is_degraded();
+        let use_mem = self.memory_enabled && (persistence != Persistence::DiskOnly || degraded);
+        let use_disk = self.dir.is_some() && !degraded && persistence != Persistence::MemoryOnly;
+
+        if use_mem {
+            if let Some(hit) = self.mem.lock().get(&id) {
+                if let Ok(typed) = Arc::clone(hit).downcast::<T>() {
+                    self.bump(&self.stats.mem_hits, crate::obs::Counter::MemHits);
+                    return Some(typed);
+                }
+            }
+        }
+        if use_disk {
+            match self.read_disk::<T>(key) {
+                Ok(Some(payload)) => {
+                    self.bump(&self.stats.disk_hits, crate::obs::Counter::DiskHits);
+                    let arc = Arc::new(payload);
+                    if use_mem {
+                        self.memoize(&id, &arc);
+                    }
+                    return Some(arc);
+                }
+                Ok(None) => {} // clean miss (absent or stale artifact)
+                Err(e) => self.note_read_failure(&e), // failed read = miss
+            }
+        }
+        None
+    }
+
+    /// Evict one artifact from the in-process layer (disk files are kept).
+    /// Generation retention (`STRUCTMINE_GENERATION_KEEP`) uses this to
+    /// bound memory across long delta chains.
+    pub fn forget(&self, key: &ArtifactKey) {
+        self.mem.lock().remove(&key.id());
+    }
+
+    /// The obs-mirroring scope, for modules that add their own counters
+    /// under this store's namespace (e.g. per-generation hit rates).
+    pub(crate) fn scope(&self) -> Option<&str> {
+        self.scope.as_deref()
     }
 
     fn memoize<T: Artifact>(&self, id: &str, arc: &Arc<T>) {

@@ -7,6 +7,9 @@
 //!   (`[PAD]`, `[UNK]`, `[MASK]`, `[CLS]`, `[SEP]`).
 //! * [`corpus::Doc`] / [`corpus::Corpus`] — tokenized documents with optional
 //!   labels and metadata (users, tags, venues, authors, references).
+//! * [`delta::DeltaCorpus`] — append-only corpus generations whose
+//!   vocabulary/df/TF-IDF stats update incrementally yet stay byte-identical
+//!   to a from-scratch build (DESIGN §11).
 //! * [`tfidf::TfIdf`] — sparse TF-IDF vectors and cosine retrieval.
 //! * [`taxonomy::Taxonomy`] — label hierarchies, both trees (WeSHClass) and
 //!   DAGs (TaxoClass).
@@ -18,6 +21,7 @@
 //!   stand-ins preserve the behaviours the tutorial's tables demonstrate.
 
 pub mod corpus;
+pub mod delta;
 pub mod supervision;
 pub mod synth;
 pub mod taxonomy;
@@ -26,6 +30,7 @@ pub mod tokenize;
 pub mod vocab;
 
 pub use corpus::{Corpus, Doc};
+pub use delta::{CorpusDelta, DeltaCorpus, DeltaError, Generation};
 pub use supervision::Supervision;
 pub use synth::dataset::{Dataset, LabelSet};
 pub use taxonomy::Taxonomy;

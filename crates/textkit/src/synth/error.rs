@@ -20,6 +20,11 @@ pub enum SynthError {
         /// The recipe (or builder) that referenced it.
         recipe: String,
     },
+    /// Metadata synthesis was asked to decorate an unlabeled document.
+    UnlabeledDoc {
+        /// Corpus index of the offending document.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for SynthError {
@@ -36,6 +41,12 @@ impl std::fmt::Display for SynthError {
                 write!(
                     f,
                     "recipe {recipe} references pool {pool}, which the standard world does not define"
+                )
+            }
+            SynthError::UnlabeledDoc { index } => {
+                write!(
+                    f,
+                    "metadata synthesis requires labeled documents, but document {index} has no labels"
                 )
             }
         }

@@ -10,6 +10,7 @@
 
 use crate::corpus::Corpus;
 use crate::synth::dataset::MetaStats;
+use crate::synth::error::SynthError;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -80,13 +81,15 @@ impl MetaConfig {
 /// Attach metadata to every document of `corpus` in place.
 ///
 /// Documents must already carry labels; a document's "home" class is its
-/// first label. Returns the resulting entity cardinalities.
+/// first label — an unlabeled document is a typed
+/// [`SynthError::UnlabeledDoc`], never a panic. Returns the resulting
+/// entity cardinalities.
 pub fn attach_metadata(
     corpus: &mut Corpus,
     n_classes: usize,
     cfg: &MetaConfig,
     rng: &mut StdRng,
-) -> MetaStats {
+) -> Result<MetaStats, SynthError> {
     let n_users = cfg.users_per_class * n_classes;
     let n_tags = cfg.tags_per_class * n_classes;
     let n_venues = cfg.venues_per_class * n_classes;
@@ -100,7 +103,7 @@ pub fn attach_metadata(
         let home = *corpus.docs[i]
             .labels
             .first()
-            .expect("attach_metadata requires labeled documents");
+            .ok_or(SynthError::UnlabeledDoc { index: i })?;
         debug_assert!(home < n_classes);
 
         if cfg.users_per_class > 0 {
@@ -179,12 +182,12 @@ pub fn attach_metadata(
         earlier_all.push(i);
     }
 
-    MetaStats {
+    Ok(MetaStats {
         n_users,
         n_tags,
         n_venues,
         n_authors,
-    }
+    })
 }
 
 /// Fraction of documents whose user's preferred class matches the document's
@@ -232,7 +235,8 @@ mod tests {
     #[test]
     fn social_config_attaches_users_and_tags() {
         let mut c = labeled_corpus(200, 4);
-        let stats = attach_metadata(&mut c, 4, &MetaConfig::social(), &mut lrng::seeded(1));
+        let stats =
+            attach_metadata(&mut c, 4, &MetaConfig::social(), &mut lrng::seeded(1)).unwrap();
         assert_eq!(stats.n_users, 32);
         assert_eq!(stats.n_tags, 16);
         assert!(c
@@ -248,7 +252,7 @@ mod tests {
     #[test]
     fn users_correlate_with_labels() {
         let mut c = labeled_corpus(1000, 4);
-        attach_metadata(&mut c, 4, &MetaConfig::social(), &mut lrng::seeded(2));
+        attach_metadata(&mut c, 4, &MetaConfig::social(), &mut lrng::seeded(2)).unwrap();
         let agreement = user_label_agreement(&c, 8);
         assert!(agreement > 0.8, "agreement {agreement}");
     }
@@ -261,7 +265,8 @@ mod tests {
             3,
             &MetaConfig::bibliographic(),
             &mut lrng::seeded(3),
-        );
+        )
+        .unwrap();
         assert_eq!(stats.n_venues, 6);
         assert_eq!(stats.n_authors, 30);
         for (i, d) in c.docs.iter().enumerate() {
@@ -281,7 +286,8 @@ mod tests {
             3,
             &MetaConfig::bibliographic(),
             &mut lrng::seeded(4),
-        );
+        )
+        .unwrap();
         let mut same = 0usize;
         let mut total = 0usize;
         for d in c.docs.iter().skip(30) {
@@ -299,7 +305,8 @@ mod tests {
     #[test]
     fn tags_stay_in_range_and_dedupe() {
         let mut c = labeled_corpus(150, 5);
-        let stats = attach_metadata(&mut c, 5, &MetaConfig::social(), &mut lrng::seeded(5));
+        let stats =
+            attach_metadata(&mut c, 5, &MetaConfig::social(), &mut lrng::seeded(5)).unwrap();
         for d in &c.docs {
             let set: std::collections::HashSet<_> = d.tags.iter().collect();
             assert_eq!(set.len(), d.tags.len());
@@ -308,11 +315,25 @@ mod tests {
     }
 
     #[test]
+    fn unlabeled_doc_is_a_typed_error_not_a_panic() {
+        // Regression: an unlabeled document used to panic inside the
+        // metadata loop with a backtrace.
+        let mut vocab = Vocab::new();
+        let w = vocab.intern("w");
+        let mut c = Corpus::new(vocab);
+        c.docs.push(Doc::from_tokens(vec![w])); // no labels
+        match attach_metadata(&mut c, 2, &MetaConfig::social(), &mut lrng::seeded(1)) {
+            Err(SynthError::UnlabeledDoc { index }) => assert_eq!(index, 0),
+            other => panic!("expected UnlabeledDoc, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn deterministic_under_seed() {
         let mut a = labeled_corpus(100, 2);
         let mut b = labeled_corpus(100, 2);
-        attach_metadata(&mut a, 2, &MetaConfig::social(), &mut lrng::seeded(9));
-        attach_metadata(&mut b, 2, &MetaConfig::social(), &mut lrng::seeded(9));
+        attach_metadata(&mut a, 2, &MetaConfig::social(), &mut lrng::seeded(9)).unwrap();
+        attach_metadata(&mut b, 2, &MetaConfig::social(), &mut lrng::seeded(9)).unwrap();
         for (x, y) in a.docs.iter().zip(&b.docs) {
             assert_eq!(x.user, y.user);
             assert_eq!(x.tags, y.tags);

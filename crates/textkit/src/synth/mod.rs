@@ -16,5 +16,7 @@ pub mod world;
 pub use dataset::{Dataset, LabelSet, MetaStats};
 pub use error::SynthError;
 pub use meta::{attach_metadata, MetaConfig};
-pub use recipes::{by_name, pretraining_corpus, standard_world, ALL_RECIPES};
+pub use recipes::{
+    by_name, drift_stream, pretraining_corpus, standard_world, topic_drift, DriftBatch, ALL_RECIPES,
+};
 pub use world::{MixComponent, PoolId, World, WorldConfig};

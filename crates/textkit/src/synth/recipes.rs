@@ -213,7 +213,7 @@ pub fn flat_dataset(
     let mut corpus = world.gen_corpus(&mut rng, &specs);
 
     let meta = match meta_cfg {
-        Some(cfg) => attach_metadata(&mut corpus, classes.len(), cfg, &mut rng),
+        Some(cfg) => attach_metadata(&mut corpus, classes.len(), cfg, &mut rng)?,
         None => MetaStats::default(),
     };
 
@@ -1199,7 +1199,7 @@ pub fn dag_dataset(
 
     let mut corpus = world.gen_corpus(&mut rng, &specs);
     let meta = match meta_cfg {
-        Some(cfg) => attach_metadata(&mut corpus, labels.len(), cfg, &mut rng),
+        Some(cfg) => attach_metadata(&mut corpus, labels.len(), cfg, &mut rng)?,
         None => MetaStats::default(),
     };
     let (train_idx, test_idx) = split_indices(corpus.len(), 0.3, lrng::derive_seed(seed, 77));
@@ -1333,6 +1333,132 @@ pub fn pubmed(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Streaming topic-drift recipe
+// ---------------------------------------------------------------------------
+
+/// The drifting classes: each has a *core* lexicon that dominates early
+/// generations and a *domain* lexicon the vocabulary shifts toward as the
+/// stream drifts (sports coverage narrows to soccer, business to stocks,
+/// technology to software).
+const DRIFT_CLASSES: &[ClassDef] = &[
+    ClassDef::with_domain("sports", "sports", "soccer"),
+    ClassDef::with_domain("business", "business", "stocks"),
+    ClassDef::with_domain("technology", "technology", "software"),
+];
+
+/// Topic-drift stand-in, generation 0: the balanced fit corpus a streaming
+/// engine trains its serving rule on. The drifted continuation of this
+/// world comes from [`drift_stream`].
+pub fn topic_drift(scale: f32, seed: u64) -> Result<Dataset, SynthError> {
+    let sizes = vec![scaled(220, scale); DRIFT_CLASSES.len()];
+    flat_dataset(
+        "topic-drift",
+        DRIFT_CLASSES,
+        &sizes,
+        WorldConfig::default(),
+        None,
+        seed,
+    )
+}
+
+/// One generation of a drifting stream: rendered documents (every word in
+/// the standard-world vocabulary, so a closed-vocabulary tokenizer loses
+/// nothing) plus their gold class labels.
+#[derive(Clone, Debug)]
+pub struct DriftBatch {
+    /// One document per line, rendered with the standard-world vocabulary.
+    pub lines: Vec<String>,
+    /// Gold class index per line (into [`topic_drift`]'s label set).
+    pub labels: Vec<usize>,
+}
+
+/// The drifting continuation of [`topic_drift`]: `generations` batches in
+/// which both the class priors and the vocabulary shift monotonically with
+/// generation number.
+///
+/// * **Prior drift** — generation 1 starts near [`topic_drift`]'s balanced
+///   priors; by the final generation the last class receives ~4x the mass
+///   of the first (a geometric tilt ramped linearly in `g`).
+/// * **Vocabulary drift** — each class's mixture moves weight from its
+///   broad *core* lexicon to its narrower *domain* lexicon (0.42/0.06 at
+///   the start to 0.12/0.36 at the end), so late-stream documents of the
+///   same class are written in words the fit corpus barely used.
+///
+/// Deterministic in (`scale`, `seed`, `generations`); batch `g` does not
+/// depend on whether earlier batches were generated.
+pub fn drift_stream(
+    scale: f32,
+    seed: u64,
+    generations: usize,
+) -> Result<Vec<DriftBatch>, SynthError> {
+    let (world, general) = standard_world_with_general(WorldConfig::default());
+    let core_pools: Vec<PoolId> = DRIFT_CLASSES
+        .iter()
+        .map(|def| pool(&world, "topic-drift", def.core))
+        .collect::<Result<_, _>>()?;
+    let domain_pools: Vec<PoolId> = DRIFT_CLASSES
+        .iter()
+        .map(|def| pool(&world, "topic-drift", def.domain.unwrap_or(def.core)))
+        .collect::<Result<_, _>>()?;
+
+    let per_gen = scaled(60, scale);
+    let k = DRIFT_CLASSES.len();
+    let mut batches = Vec::with_capacity(generations);
+    for g in 1..=generations {
+        // Each generation gets its own derived seed so the batch is
+        // reproducible in isolation (a resumed stream regenerates
+        // identical deltas without replaying its prefix).
+        let mut rng = lrng::seeded(lrng::derive_seed(seed, 1000 + g as u64));
+        let t = g as f32 / generations.max(1) as f32;
+
+        // Class priors tilt geometrically toward the last class.
+        let tilt = 1.0 + 3.0 * t;
+        let weights: Vec<f32> = (0..k)
+            .map(|c| tilt.powf(c as f32 / (k - 1).max(1) as f32))
+            .collect();
+        let total: f32 = weights.iter().sum();
+
+        let mut specs = Vec::with_capacity(per_gen);
+        let mut labels = Vec::with_capacity(per_gen);
+        for _ in 0..per_gen {
+            let mut u = rng.gen::<f32>() * total;
+            let mut c = k - 1;
+            for (i, &w) in weights.iter().enumerate() {
+                if u < w {
+                    c = i;
+                    break;
+                }
+                u -= w;
+            }
+            let mix = vec![
+                MixComponent {
+                    pool: core_pools[c],
+                    weight: 0.42 - 0.30 * t,
+                },
+                MixComponent {
+                    pool: domain_pools[c],
+                    weight: 0.06 + 0.30 * t,
+                },
+                MixComponent {
+                    pool: general,
+                    weight: 0.52,
+                },
+            ];
+            specs.push((mix, vec![c]));
+            labels.push(c);
+        }
+        let corpus = world.gen_corpus(&mut rng, &specs);
+        let lines = corpus
+            .docs
+            .iter()
+            .map(|d| crate::tokenize::decode(&d.tokens, &corpus.vocab))
+            .collect();
+        batches.push(DriftBatch { lines, labels });
+    }
+    Ok(batches)
+}
+
 /// Look a recipe up by name (`agnews`, `nyt-fine`, `yelp`, ...). An
 /// unrecognized name is a typed [`SynthError::UnknownRecipe`], never a
 /// panic — entry points map it to their own error taxonomy.
@@ -1362,6 +1488,7 @@ pub fn by_name(name: &str, scale: f32, seed: u64) -> Result<Dataset, SynthError>
         "dbpedia-taxonomy" => dbpedia_taxonomy(scale, seed),
         "mag-cs" => mag_cs(scale, seed),
         "pubmed" => pubmed(scale, seed),
+        "topic-drift" => topic_drift(scale, seed),
         _ => Err(SynthError::UnknownRecipe {
             name: name.to_string(),
         }),
@@ -1394,6 +1521,7 @@ pub const ALL_RECIPES: &[&str] = &[
     "dbpedia-taxonomy",
     "mag-cs",
     "pubmed",
+    "topic-drift",
 ];
 
 #[cfg(test)]
@@ -1581,6 +1709,78 @@ mod tests {
             .count();
         assert!(with_refs > d.corpus.len() / 2);
         assert!(!d.labels.descriptions[0].is_empty());
+    }
+
+    #[test]
+    fn drift_stream_is_deterministic_and_in_vocabulary() {
+        let a = drift_stream(0.2, 9, 4).unwrap();
+        let b = drift_stream(0.2, 9, 4).unwrap();
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.lines, y.lines);
+            assert_eq!(x.labels, y.labels);
+        }
+        // Batch g is independent of how many generations were requested
+        // after it (a resumed stream regenerates identical deltas).
+        let prefix = drift_stream(0.2, 9, 4).unwrap();
+        assert_eq!(prefix[0].lines, a[0].lines);
+        // Every rendered word round-trips through the standard-world
+        // vocabulary — a closed-vocabulary tokenizer loses nothing.
+        let d = topic_drift(0.05, 9).unwrap();
+        for batch in &a {
+            for line in &batch.lines {
+                let toks = crate::tokenize::encode(line, &d.corpus.vocab);
+                assert!(
+                    toks.iter().all(|&t| t != crate::vocab::UNK),
+                    "drift line left the fit vocabulary: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drift_stream_shifts_priors_and_vocabulary() {
+        let batches = drift_stream(1.0, 3, 6).unwrap();
+        let k = DRIFT_CLASSES.len();
+        let share = |b: &DriftBatch, c: usize| {
+            b.labels.iter().filter(|&&l| l == c).count() as f32 / b.labels.len() as f32
+        };
+        // Prior drift: the last class gains mass from first to last batch.
+        let first = batches.first().unwrap();
+        let last = batches.last().unwrap();
+        assert!(
+            share(last, k - 1) > share(first, k - 1) + 0.05,
+            "class priors did not tilt: {} -> {}",
+            share(first, k - 1),
+            share(last, k - 1)
+        );
+        // Vocabulary drift: domain words overtake core words per class.
+        let domain_words = crate::synth::lexicon::lexicon("soccer");
+        let core_words = crate::synth::lexicon::lexicon("sports");
+        let rate = |b: &DriftBatch, words: &[&str]| {
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            for (line, &l) in b.lines.iter().zip(&b.labels) {
+                if l != 0 {
+                    continue;
+                }
+                for w in line.split(' ') {
+                    total += 1;
+                    if words.contains(&w) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits as f32 / total.max(1) as f32
+        };
+        assert!(
+            rate(last, domain_words) > rate(first, domain_words),
+            "domain vocabulary should rise across the stream"
+        );
+        assert!(
+            rate(last, core_words) < rate(first, core_words),
+            "core vocabulary should fade across the stream"
+        );
     }
 
     #[test]
