@@ -9,7 +9,9 @@ use structmine_eval::MeanStd;
 use structmine_linalg::ExecPolicy;
 use structmine_text::synth::{recipes, SynthError};
 
-const DATASETS: &[&str] = &[
+/// The E4 dataset list. Public because the sharded encode phase
+/// (`crate::shard_phase`) pre-warms exactly these cells.
+pub const DATASETS: &[&str] = &[
     "agnews",
     "20news-coarse",
     "nyt-small",

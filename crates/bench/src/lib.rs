@@ -13,6 +13,7 @@
 //!   fault-injection runs that exercise the full pipeline cheaply.
 
 pub mod exps;
+mod shard_phase;
 pub mod table;
 
 pub use table::Table;
@@ -83,12 +84,22 @@ pub fn log_store_summaries() {
 /// logged and the process exits with code 2 — after the store summaries
 /// and the run report, whose partial timings are exactly what you want
 /// when debugging the failed run.
+///
+/// `--shards N` (or `STRUCTMINE_SHARDS`) runs the sharded encode phase
+/// (DESIGN §12) before the body: N supervised worker processes pre-compute
+/// the E4 cell representations shard-by-shard, the coordinator merges them
+/// in shard-index order, and the body replays the canonical artifacts —
+/// stdout stays byte-identical for any shard count.
 pub fn run_table<T>(
     binary: &str,
     body: impl FnOnce(&BenchConfig) -> Result<T, structmine_text::synth::SynthError>,
 ) -> T {
     structmine_store::obs::init();
+    // Worker mode first: a coordinator-spawned worker runs its encode job
+    // and exits inside `maybe_worker`, ignoring argv entirely.
+    shard_phase::maybe_worker();
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut shards_flag: Option<usize> = None;
     let mut i = 0;
     while i < argv.len() {
         if argv[i] == "--report-json" {
@@ -96,6 +107,19 @@ pub fn run_table<T>(
                 Some(path) => std::env::set_var(structmine_store::obs::REPORT_ENV, path),
                 None => {
                     structmine_store::obs::log_warn("--report-json needs a value; ignoring");
+                }
+            }
+            i += 2;
+        } else if argv[i] == "--shards" {
+            match argv.get(i + 1).map(|v| structmine_shard::parse_shards(v)) {
+                Some(Ok(n)) => shards_flag = Some(n),
+                Some(Err(e)) => {
+                    structmine_store::obs::log_warn(&format!("error: {e}"));
+                    std::process::exit(2);
+                }
+                None => {
+                    structmine_store::obs::log_warn("--shards needs a value");
+                    std::process::exit(2);
                 }
             }
             i += 2;
@@ -108,6 +132,27 @@ pub fn run_table<T>(
         "running {binary} (scale={}, seeds={})...",
         cfg.scale, cfg.seeds
     ));
+    let shards = match shards_flag {
+        Some(n) => Some(n),
+        None => match structmine_shard::shards_from_env() {
+            Ok(v) => v,
+            Err(e) => {
+                structmine_store::obs::log_warn(&format!("error: {e}"));
+                std::process::exit(2);
+            }
+        },
+    };
+    if let Some(n) = shards {
+        if let Err(e) = shard_phase::encode_phase(&cfg, n) {
+            structmine_store::obs::log_warn(&format!("error: {e}"));
+            let code = if structmine_shard::worker::is_transient(&e) {
+                1
+            } else {
+                2
+            };
+            std::process::exit(code);
+        }
+    }
     let out = body(&cfg);
     log_store_summaries();
     structmine_store::obs::write_report_if_configured(binary);

@@ -25,6 +25,16 @@ USAGE:
       'tail -f log | structmine ingest ...' works. The serving rule stays
       frozen, so prediction lines are byte-identical to classify.
 
+  structmine shard --labels <a,b,c> [--shards <n>] [--method xclass|lotclass|prompt|match]
+                   [--input <file>] [--tier test|standard] [--threads <n>]
+                   [--cache-dir <dir>] [--faults <plan>] [--report-json <path>]
+      Classify like `classify`, but split the documents into <n> index-ordered
+      shards and run one supervised worker process per shard (DESIGN §12).
+      Workers share the artifact store; crashed workers restart and resume
+      from it; persistent failures degrade to in-process execution. Merged
+      stdout is byte-identical to `classify` for any shard count. <n>
+      defaults to STRUCTMINE_SHARDS, else 1.
+
   structmine demo --recipe <name>
                   [--method westclass|xclass|lotclass|conwea|prompt|match|supervised]
                   [--scale <f32>] [--seed <u64>] [--threads <n>]
@@ -73,6 +83,23 @@ pub enum Args {
         tier: String,
         /// Worker threads for PLM inference; `None` = environment default.
         threads: Option<usize>,
+        /// Artifact-store configuration.
+        cache: CacheArgs,
+    },
+    /// Classify documents through sharded worker processes.
+    Shard {
+        /// Label names (comma separated on the command line).
+        labels: Vec<String>,
+        /// Method name.
+        method: String,
+        /// Input path; `None` = stdin.
+        input: Option<String>,
+        /// PLM tier.
+        tier: String,
+        /// Worker threads for PLM inference; `None` = environment default.
+        threads: Option<usize>,
+        /// Worker processes; `None` = `STRUCTMINE_SHARDS`, else 1.
+        shards: Option<usize>,
         /// Artifact-store configuration.
         cache: CacheArgs,
     },
@@ -146,6 +173,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "faults",
     "scale",
     "seed",
+    "shards",
     "report-json",
 ];
 
@@ -197,8 +225,13 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
         ));
     }
 
+    let shards = flags
+        .get("shards")
+        .map(|s| structmine_shard::parse_shards(s).map_err(|e| ParseError(e.to_string())))
+        .transpose()?;
+
     match cmd {
-        "classify" | "ingest" => {
+        "classify" | "ingest" | "shard" => {
             let labels: Vec<String> = flags
                 .get("labels")
                 .ok_or_else(|| ParseError(format!("{cmd} requires --labels a,b,c")))?
@@ -215,24 +248,32 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
                 .unwrap_or_else(|| "xclass".into());
             let input = flags.get("input").cloned();
             let tier = flags.get("tier").cloned().unwrap_or_else(|| "test".into());
-            Ok(if cmd == "classify" {
-                Args::Classify {
+            Ok(match cmd {
+                "classify" => Args::Classify {
                     labels,
                     method,
                     input,
                     tier,
                     threads,
                     cache,
-                }
-            } else {
-                Args::Ingest {
+                },
+                "shard" => Args::Shard {
+                    labels,
+                    method,
+                    input,
+                    tier,
+                    threads,
+                    shards,
+                    cache,
+                },
+                _ => Args::Ingest {
                     labels,
                     method,
                     input,
                     tier,
                     threads,
                     cache,
-                }
+                },
             })
         }
         "demo" => Ok(Args::Demo {
@@ -467,6 +508,28 @@ mod tests {
         } else {
             panic!("wrong variant");
         }
+    }
+
+    #[test]
+    fn parses_shard_command() {
+        let a = parse(&sv(&["shard", "--labels", "a,b", "--shards", "4"])).unwrap();
+        assert_eq!(
+            a,
+            Args::Shard {
+                labels: vec!["a".into(), "b".into()],
+                method: "xclass".into(),
+                input: None,
+                tier: "test".into(),
+                threads: None,
+                shards: Some(4),
+                cache: CacheArgs::default(),
+            }
+        );
+        let a = parse(&sv(&["shard", "--labels", "a,b"])).unwrap();
+        assert!(matches!(a, Args::Shard { shards: None, .. }));
+        assert!(parse(&sv(&["shard", "--labels", "a,b", "--shards", "0"])).is_err());
+        assert!(parse(&sv(&["shard", "--labels", "a,b", "--shards", "65"])).is_err());
+        assert!(parse(&sv(&["shard", "--labels", "a,b", "--shards", "many"])).is_err());
     }
 
     #[test]

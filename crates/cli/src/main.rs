@@ -33,6 +33,17 @@ use args::{Args, ParseError};
 
 fn main() -> ExitCode {
     structmine_store::obs::init();
+    // Worker mode (DESIGN §12): when a supervising coordinator points
+    // STRUCTMINE_WORKER_SPEC at a spec file, this process is a shard worker
+    // — it runs exactly the job the spec names and exits, ignoring argv.
+    match structmine_shard::WorkerSpec::from_env() {
+        Ok(Some(spec)) => return worker_main(&spec),
+        Ok(None) => {}
+        Err(e) => {
+            structmine_store::obs::log_warn(&format!("error: {e}"));
+            return ExitCode::from(2);
+        }
+    }
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match args::parse(&argv) {
         Ok(Args::Classify {
@@ -44,6 +55,16 @@ fn main() -> ExitCode {
             cache,
         }) => apply_cache_flags(&cache)
             .and_then(|()| classify(labels, method, input, tier, policy(threads))),
+        Ok(Args::Shard {
+            labels,
+            method,
+            input,
+            tier,
+            threads,
+            shards,
+            cache,
+        }) => apply_cache_flags(&cache)
+            .and_then(|()| shard(labels, method, input, tier, shards, policy(threads))),
         Ok(Args::Ingest {
             labels,
             method,
@@ -81,10 +102,15 @@ fn main() -> ExitCode {
         Err(e) => {
             structmine_store::obs::log_warn(&format!("error: {e}"));
             match e {
-                // Usage-level mistakes: exit 2, like argument parse errors.
+                // Usage-level mistakes and persistent shard failures (a
+                // retry cannot fix them): exit 2, like argument parse
+                // errors.
                 PipelineError::Unknown { .. }
                 | PipelineError::InvalidFaultPlan(_)
-                | PipelineError::InvalidInput(_) => ExitCode::from(2),
+                | PipelineError::InvalidInput(_)
+                | PipelineError::Shard {
+                    transient: false, ..
+                } => ExitCode::from(2),
                 _ => ExitCode::FAILURE,
             }
         }
@@ -160,15 +186,11 @@ fn plm_tier(tier: &str) -> structmine_plm::cache::Tier {
     }
 }
 
-fn classify(
-    labels: Vec<String>,
-    method: String,
-    input: Option<String>,
-    tier: String,
-    exec: structmine_linalg::ExecPolicy,
-) -> Result<(), PipelineError> {
-    // Read documents.
-    let lines: Vec<String> = match &input {
+/// Read non-empty document lines from `--input` (or stdin), erroring on an
+/// empty document set. Shared by `classify` and the shard coordinator, so
+/// both commands see the identical line list.
+fn read_documents(input: &Option<String>) -> Result<Vec<String>, PipelineError> {
+    let lines: Vec<String> = match input {
         Some(path) => std::fs::read_to_string(path)
             .map_err(|e| PipelineError::Io {
                 context: format!("reading --input {path}"),
@@ -187,7 +209,17 @@ fn classify(
     if lines.is_empty() {
         return Err(PipelineError::InvalidInput("no input documents".into()));
     }
+    Ok(lines)
+}
 
+fn classify(
+    labels: Vec<String>,
+    method: String,
+    input: Option<String>,
+    tier: String,
+    exec: structmine_linalg::ExecPolicy,
+) -> Result<(), PipelineError> {
+    let lines = read_documents(&input)?;
     structmine_store::obs::log_info(&format!(
         "classifying {} documents into {:?} with {method} ...",
         lines.len(),
@@ -224,6 +256,157 @@ fn serving_engine(
         exec,
     })
     .map_err(engine_error)
+}
+
+/// Field separator inside a worker job string (unit separator: cannot
+/// occur in labels, method names, tiers, or paths the CLI builds).
+const JOB_SEP: char = '\u{1f}';
+
+/// Render a classify job for worker `i` of the shard run. The worker
+/// derives its own document range from its spec, so every worker gets the
+/// same job string.
+fn encode_classify_job(
+    labels: &[String],
+    method: &str,
+    tier: &str,
+    input: &std::path::Path,
+) -> String {
+    [
+        "classify",
+        &labels.join(","),
+        method,
+        tier,
+        &input.display().to_string(),
+    ]
+    .join(&JOB_SEP.to_string())
+}
+
+/// Worker-mode entry: run the spec's job under the shard runtime
+/// (heartbeat, atomic publish), mapping errors onto the exit-status
+/// taxonomy the coordinator supervises by — exit 2 persistent, exit 1
+/// transient.
+fn worker_main(spec: &structmine_shard::WorkerSpec) -> ExitCode {
+    let result = structmine_shard::worker::run_job(spec, worker_job);
+    structmine_store::obs::write_report_if_configured("structmine-worker");
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            structmine_store::obs::log_warn(&format!("worker {} error: {e}", spec.shard_index));
+            if structmine_shard::worker::is_transient(&e) {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::from(2)
+            }
+        }
+    }
+}
+
+/// Decode and run one worker job. Also the coordinator's in-process
+/// fallback when a worker is shed — identical code path, identical bytes.
+fn worker_job(spec: &structmine_shard::WorkerSpec) -> Result<Vec<u8>, PipelineError> {
+    let parts: Vec<&str> = spec.job.split(JOB_SEP).collect();
+    match parts.as_slice() {
+        ["classify", labels, method, tier, input] => {
+            let labels: Vec<String> = labels.split(',').map(str::to_string).collect();
+            let lines = read_documents(&Some(input.to_string()))?;
+            let range =
+                structmine_shard::shard_range(lines.len(), spec.shard_index, spec.shard_count);
+            let engine = serving_engine(labels, method, tier, policy(None))?;
+            // Encode this worker's shard of the fit corpus through the
+            // shared store: the lease-claimed, content-addressed shard
+            // artifact is what a restarted incarnation resumes from.
+            engine
+                .shard_encode(spec.shard_index, spec.shard_count)
+                .map_err(engine_error)?;
+            let slice = &lines[range];
+            let preds = engine.classify(slice).map_err(engine_error)?;
+            let mut out = String::new();
+            for (pred, line) in preds.iter().zip(slice) {
+                out.push_str(&structmine_engine::format_prediction_line(pred, line));
+                out.push('\n');
+            }
+            Ok(out.into_bytes())
+        }
+        _ => Err(PipelineError::InvalidInput(format!(
+            "unrecognized worker job: {}",
+            spec.job
+        ))),
+    }
+}
+
+/// `structmine shard`: classify through a supervising coordinator and N
+/// worker processes (DESIGN §12). Stdout is byte-identical to `classify`
+/// for any shard count; worker crashes restart and resume from the shared
+/// artifact store; persistent failures degrade to in-process execution.
+fn shard(
+    labels: Vec<String>,
+    method: String,
+    input: Option<String>,
+    tier: String,
+    shards: Option<usize>,
+    _exec: structmine_linalg::ExecPolicy,
+) -> Result<(), PipelineError> {
+    use std::io::Write as _;
+    let shards = match shards {
+        Some(n) => n,
+        None => structmine_shard::shards_from_env()?.unwrap_or(1),
+    };
+    // Reject usage mistakes before any process is spawned.
+    structmine_engine::MethodKind::parse(&method)
+        .filter(|k| k.servable())
+        .ok_or_else(|| PipelineError::Unknown {
+            what: "method",
+            name: method.clone(),
+            expected: "xclass, lotclass, prompt, match".into(),
+        })?;
+    let lines = read_documents(&input)?;
+
+    let work_dir = std::env::temp_dir().join(format!("structmine-shard-{}", std::process::id()));
+    std::fs::create_dir_all(&work_dir).map_err(|e| PipelineError::Io {
+        context: format!("creating shard work dir {}", work_dir.display()),
+        source: e,
+    })?;
+    let input_path = work_dir.join("input.txt");
+    std::fs::write(&input_path, lines.join("\n") + "\n").map_err(|e| PipelineError::Io {
+        context: format!("writing shard input {}", input_path.display()),
+        source: e,
+    })?;
+
+    structmine_store::obs::log_info(&format!(
+        "sharding {} documents across {shards} worker(s) with {method} ...",
+        lines.len()
+    ));
+    let cfg = structmine_shard::SupervisorConfig::from_env(shards);
+    let sup = structmine_shard::Supervisor::new(cfg, &work_dir);
+    let exe = std::env::current_exe().map_err(|e| PipelineError::Io {
+        context: "resolving current executable for worker spawn".into(),
+        source: e,
+    })?;
+    let make = |_i: usize, _spec: &std::path::Path| std::process::Command::new(&exe);
+    let jobs = vec![encode_classify_job(&labels, &method, &tier, &input_path); shards];
+    let (outputs, outcomes) = sup.run(&jobs, &make, &worker_job)?;
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for path in &outputs {
+        let bytes = std::fs::read(path).map_err(|e| PipelineError::Io {
+            context: format!("reading shard output {}", path.display()),
+            source: e,
+        })?;
+        out.write_all(&bytes).map_err(|e| PipelineError::Io {
+            context: "writing merged output".into(),
+            source: e,
+        })?;
+    }
+    let _ = out.flush();
+    structmine_store::obs::log_info(&format!(
+        "shard run complete: {} worker(s), {} restart(s), {} degraded",
+        outcomes.len(),
+        outcomes.iter().map(|o| u64::from(o.restarts)).sum::<u64>(),
+        outcomes.iter().filter(|o| o.degraded).count(),
+    ));
+    let _ = std::fs::remove_dir_all(&work_dir);
+    Ok(())
 }
 
 /// `structmine ingest`: stream blank-line-delimited batches of documents

@@ -31,8 +31,9 @@ use structmine::westclass::WeSTClass;
 use structmine::xclass::{XClass, XClassModel, XClassOutput};
 use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{stats, vector, Matrix};
-use structmine_plm::artifacts::EncodeDeltaCorpus;
+use structmine_plm::artifacts::{DocMeanReps, DocMeanRepsShard, EncodeDeltaCorpus};
 use structmine_plm::MiniPlm;
+use structmine_shard::shard_range;
 use structmine_text::delta::{DeltaCorpus, DeltaError, Generation};
 use structmine_text::synth::SynthError;
 use structmine_text::vocab::TokenId;
@@ -182,6 +183,13 @@ pub enum EngineError {
         /// The configured ceiling.
         limit: Generation,
     },
+    /// An engine invariant broke — a bug or unsupported internal state,
+    /// not a usage error. Servers map this onto HTTP 500; the CLI treats
+    /// it as a persistent failure.
+    Internal {
+        /// What went wrong.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -208,6 +216,7 @@ impl std::fmt::Display for EngineError {
                 "generation limit {limit} reached (STRUCTMINE_GENERATION_LIMIT); \
                  no further deltas accepted"
             ),
+            EngineError::Internal { what } => write!(f, "internal engine error: {what}"),
         }
     }
 }
@@ -369,7 +378,7 @@ impl Engine {
         let _stage = structmine_store::context::stage_guard("engine/classify");
         let model = self.serve_model()?;
         let docs: Vec<Vec<TokenId>> = lines.iter().map(|l| self.tokenize(l)).collect();
-        Ok(self.proba_for_tokens(&model, &docs))
+        self.proba_for_tokens(&model, &docs)
     }
 
     /// The corpus's current generation (0 until the first ingest).
@@ -429,11 +438,11 @@ impl Engine {
                     .iter()
                     .map(|d| d.tokens.clone())
                     .collect();
-                self.proba_for_tokens(&model, &toks)
+                self.proba_for_tokens(&model, &toks)?
             }
             _ => {
                 let reps = structmine_store::global().run_delta(&EncodeDeltaCorpus {
-                    model: self.plm_ref().as_ref(),
+                    model: self.plm_ref()?.as_ref(),
                     delta: &st.delta,
                     exec: self.exec,
                 });
@@ -454,7 +463,11 @@ impl Engine {
                             sharpened_softmax(scores)
                         })
                         .collect(),
-                    ServeModel::Prompt => unreachable!("handled above"),
+                    ServeModel::Prompt => {
+                        return Err(EngineError::Internal {
+                            what: "prompt rule reached the rep-based ingest path".into(),
+                        })
+                    }
                 }
             }
         };
@@ -480,7 +493,7 @@ impl Engine {
         let mut token_weights = Vec::new();
         let probs = match &*model {
             ServeModel::XClass(m) => {
-                let plm = self.plm_ref();
+                let plm = self.plm_ref()?;
                 let rep = &plm.encode_docs(std::slice::from_ref(&tokens), &self.exec)[0];
                 if rep.tokens.rows() > 0 {
                     token_weights = m.attention(&rep.tokens);
@@ -491,7 +504,7 @@ impl Engine {
                 m.predict_proba(&rep.tokens)
             }
             _ => self
-                .proba_for_tokens(&model, std::slice::from_ref(&tokens))
+                .proba_for_tokens(&model, std::slice::from_ref(&tokens))?
                 .remove(0),
         };
         let probabilities = self
@@ -525,7 +538,7 @@ impl Engine {
                 if let Some(s) = self.seed {
                     cfg.seed = s;
                 }
-                cfg.run(d, self.plm_ref()).predictions
+                cfg.run(d, self.plm_ref()?).predictions
             }
             MethodKind::Prompt => {
                 let mut cfg = PromptClass {
@@ -535,9 +548,9 @@ impl Engine {
                 if let Some(s) = self.seed {
                     cfg.seed = s;
                 }
-                cfg.run(d, self.plm_ref()).predictions
+                cfg.run(d, self.plm_ref()?).predictions
             }
-            MethodKind::Match => baselines::bert_simple_match(d, self.plm_ref()),
+            MethodKind::Match => baselines::bert_simple_match(d, self.plm_ref()?),
             MethodKind::WeSTClass => {
                 let wv = loaders::standard_word_vectors(d);
                 let mut cfg = WeSTClass {
@@ -557,11 +570,11 @@ impl Engine {
                 if let Some(s) = self.seed {
                     cfg.seed = s;
                 }
-                cfg.run(d, &d.supervision_keywords(), self.plm_ref())
+                cfg.run(d, &d.supervision_keywords(), self.plm_ref()?)
                     .predictions
             }
             MethodKind::Supervised => {
-                let features = common::plm_features_with(d, self.plm_ref(), &self.exec);
+                let features = common::plm_features_with(d, self.plm_ref()?, &self.exec);
                 baselines::supervised(d, &features, self.seed.unwrap_or(0))
             }
         };
@@ -583,15 +596,82 @@ impl Engine {
         if let Some(out) = self.xout.lock().as_ref() {
             return Ok(Arc::clone(out));
         }
-        let out = Arc::new(self.xclass_config().run(&self.dataset, self.plm_ref()));
+        let out = Arc::new(self.xclass_config().run(&self.dataset, self.plm_ref()?));
         *self.xout.lock() = Some(Arc::clone(&out));
         Ok(out)
     }
 
-    fn plm_ref(&self) -> &Arc<MiniPlm> {
-        self.plm
-            .as_ref()
-            .expect("methods that reach the PLM always load one")
+    /// Compute (and persist) one shard of the fit corpus's mean-rep matrix
+    /// (DESIGN §12): the [`DocMeanRepsShard`] stage for this worker's
+    /// index-ordered document range, run through the shared artifact store.
+    /// The artifact is content-addressed on the range, so a restarted
+    /// worker resumes from whatever its previous incarnation published.
+    pub fn shard_encode(&self, shard_index: usize, shard_count: usize) -> Result<(), EngineError> {
+        let plm = self.plm_ref()?;
+        let range = self.checked_range(shard_index, shard_count)?;
+        structmine_store::global().run(&DocMeanRepsShard {
+            model: plm.as_ref(),
+            corpus: &self.dataset.corpus,
+            range,
+            exec: self.exec,
+        });
+        Ok(())
+    }
+
+    /// Merge the `shard_count` shard artifacts in index order and publish
+    /// the result under the canonical [`DocMeanReps`] key. Because every
+    /// row is a per-document computation, the merged matrix is bitwise
+    /// identical to an unsharded run — downstream consumers (method fits,
+    /// bench tables) find it warm and cannot tell the difference.
+    pub fn shard_merge(&self, shard_count: usize) -> Result<(), EngineError> {
+        if shard_count == 0 {
+            return Err(EngineError::Internal {
+                what: "cannot merge zero shards".into(),
+            });
+        }
+        let plm = self.plm_ref()?;
+        let corpus = &self.dataset.corpus;
+        let store = structmine_store::global();
+        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(corpus.len());
+        for index in 0..shard_count {
+            let range = self.checked_range(index, shard_count)?;
+            let shard = store.run(&DocMeanRepsShard {
+                model: plm.as_ref(),
+                corpus,
+                range,
+                exec: self.exec,
+            });
+            rows.extend((0..shard.rows()).map(|r| shard.row(r).to_vec()));
+        }
+        let merged = structmine_plm::repr::rows_to_matrix(rows, plm.config.d_model);
+        store.publish(
+            &DocMeanReps {
+                model: plm.as_ref(),
+                corpus,
+                exec: self.exec,
+            },
+            merged,
+        );
+        Ok(())
+    }
+
+    fn checked_range(
+        &self,
+        index: usize,
+        count: usize,
+    ) -> Result<std::ops::Range<usize>, EngineError> {
+        if count == 0 || index >= count {
+            return Err(EngineError::Internal {
+                what: format!("shard {index} of {count} is out of range"),
+            });
+        }
+        Ok(shard_range(self.dataset.corpus.len(), index, count))
+    }
+
+    fn plm_ref(&self) -> Result<&Arc<MiniPlm>, EngineError> {
+        self.plm.as_ref().ok_or_else(|| EngineError::Internal {
+            what: "the hosted method reached for the PLM but none was loaded".into(),
+        })
     }
 
     fn xclass_config(&self) -> XClass {
@@ -630,7 +710,7 @@ impl Engine {
         let model = match self.method {
             MethodKind::XClass => ServeModel::XClass(
                 self.xclass_config()
-                    .fit_model(&self.dataset, self.plm_ref()),
+                    .fit_model(&self.dataset, self.plm_ref()?),
             ),
             MethodKind::LotClass => {
                 let mut cfg = LotClass {
@@ -640,11 +720,11 @@ impl Engine {
                 if let Some(s) = self.seed {
                     cfg.seed = s;
                 }
-                ServeModel::LotClass(cfg.fit_model(&self.dataset, self.plm_ref()))
+                ServeModel::LotClass(cfg.fit_model(&self.dataset, self.plm_ref()?))
             }
             MethodKind::Prompt => ServeModel::Prompt,
             MethodKind::Match => {
-                let plm = self.plm_ref();
+                let plm = self.plm_ref()?;
                 let mut prototypes = Matrix::zeros(self.name_tokens.len(), plm.config.d_model);
                 for (c, name) in self.name_tokens.iter().enumerate() {
                     prototypes.row_mut(c).copy_from_slice(&plm.mean_embed(name));
@@ -666,20 +746,24 @@ impl Engine {
     /// Every branch applies an independent per-document rule via
     /// index-ordered chunking, so the rows are bitwise independent of
     /// batch composition and thread count.
-    fn proba_for_tokens(&self, model: &ServeModel, docs: &[Vec<TokenId>]) -> Vec<Vec<f32>> {
-        match model {
+    fn proba_for_tokens(
+        &self,
+        model: &ServeModel,
+        docs: &[Vec<TokenId>],
+    ) -> Result<Vec<Vec<f32>>, EngineError> {
+        Ok(match model {
             ServeModel::XClass(m) => {
-                let reps = self.plm_ref().encode_docs(docs, &self.exec);
+                let reps = self.plm_ref()?.encode_docs(docs, &self.exec);
                 reps.iter().map(|r| m.predict_proba(&r.tokens)).collect()
             }
             ServeModel::LotClass(m) => {
-                let plm = self.plm_ref();
+                let plm = self.plm_ref()?;
                 par_map_chunks(&self.exec, docs, |_, toks| {
                     m.predict_proba(&plm.mean_embed(toks))
                 })
             }
             ServeModel::Prompt => {
-                let plm = self.plm_ref();
+                let plm = self.plm_ref()?;
                 let vocab = &self.dataset.corpus.vocab;
                 par_map_chunks(&self.exec, docs, |_, toks| {
                     sharpened_softmax(structmine_plm::prompt::rtd_label_scores(
@@ -691,7 +775,7 @@ impl Engine {
                 })
             }
             ServeModel::Match { prototypes } => {
-                let plm = self.plm_ref();
+                let plm = self.plm_ref()?;
                 par_map_chunks(&self.exec, docs, |_, toks| {
                     let rep = plm.mean_embed(toks);
                     let scores: Vec<f32> = (0..prototypes.rows())
@@ -700,7 +784,7 @@ impl Engine {
                     sharpened_softmax(scores)
                 })
             }
-        }
+        })
     }
 }
 
@@ -951,6 +1035,28 @@ mod tests {
         engine.ingest(&stream_lines()[..1]).unwrap();
         assert_eq!(engine.generation(), 1);
         assert_eq!(engine.ingested_predictions().len(), 1);
+    }
+
+    #[test]
+    fn shard_merge_publishes_the_canonical_matrix_bitwise() {
+        let engine = test_engine(MethodKind::Match);
+        for i in 0..3 {
+            engine.shard_encode(i, 3).unwrap();
+        }
+        engine.shard_merge(3).unwrap();
+        let plm = engine.plm_ref().unwrap();
+        let stage = DocMeanReps {
+            model: plm.as_ref(),
+            corpus: &engine.dataset.corpus,
+            exec: ExecPolicy::serial(),
+        };
+        use structmine_store::Stage as _;
+        let published: Arc<Matrix> = structmine_store::global()
+            .peek(&stage.key(), stage.persistence())
+            .expect("merge must publish the canonical DocMeanReps artifact");
+        assert_eq!(published.data(), stage.compute().data());
+        assert!(engine.shard_encode(3, 3).is_err(), "index out of range");
+        assert!(engine.shard_merge(0).is_err(), "zero shards is invalid");
     }
 
     #[test]

@@ -176,6 +176,45 @@ impl Stage for DocMeanReps<'_> {
     }
 }
 
+/// Stage: the mean-rep rows for one contiguous document range of a corpus
+/// — a shard of [`DocMeanReps`]. Workers in a sharded run
+/// (`structmine-shard`, DESIGN §12) each compute their index-ordered
+/// range; because every row is a per-document computation with its
+/// absolute index, concatenating shard matrices in range order is bitwise
+/// identical to the whole-corpus stage. Persisted like [`DocMeanReps`], so
+/// a crashed worker's restart resumes from the shard artifact on disk.
+pub struct DocMeanRepsShard<'a> {
+    /// The encoder.
+    pub model: &'a MiniPlm,
+    /// The corpus the range indexes into.
+    pub corpus: &'a Corpus,
+    /// The half-open document range this shard owns.
+    pub range: std::ops::Range<usize>,
+    /// How to share the per-document encodes across threads.
+    pub exec: ExecPolicy,
+}
+
+impl Stage for DocMeanRepsShard<'_> {
+    type Output = Matrix;
+
+    fn name(&self) -> &'static str {
+        "plm/doc-mean-reps-shard"
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_u128(self.model.fingerprint());
+        self.corpus.stable_hash(h);
+        self.range.start.stable_hash(h);
+        self.range.end.stable_hash(h);
+    }
+
+    fn compute(&self) -> Matrix {
+        let rows =
+            repr::doc_mean_rows_range(self.model, self.corpus, self.range.clone(), &self.exec);
+        repr::rows_to_matrix(rows, self.model.config.d_model)
+    }
+}
+
 /// Delta stage: encode a [`DeltaCorpus`] generation by generation
 /// ([`repr::encode_corpus_range`]). Generation 0 encodes the base corpus;
 /// each refresh encodes **only** that generation's documents and appends
@@ -470,6 +509,42 @@ mod tests {
         assert!(std::sync::Arc::ptr_eq(&first, &again));
         assert_eq!(store.stats().mem_hits, hits_before + 1);
         assert_eq!(store.stats().misses, 2, "base + one refresh, computed once");
+    }
+
+    #[test]
+    fn shard_stages_concatenate_to_the_whole_matrix_bitwise() {
+        let (model, corpus) = tiny_model_and_corpus();
+        let whole = DocMeanReps {
+            model: &model,
+            corpus: &corpus,
+            exec: ExecPolicy::serial(),
+        }
+        .compute();
+        let total = corpus.len();
+        for count in [1usize, 3, 4] {
+            let mut rows: Vec<Vec<f32>> = Vec::new();
+            let (base, extra) = (total / count, total % count);
+            let mut start = 0;
+            for i in 0..count {
+                let len = base + usize::from(i < extra);
+                let shard = DocMeanRepsShard {
+                    model: &model,
+                    corpus: &corpus,
+                    range: start..start + len,
+                    exec: ExecPolicy::with_threads(1 + i % 2),
+                }
+                .compute();
+                rows.extend((0..shard.rows()).map(|r| shard.row(r).to_vec()));
+                start += len;
+            }
+            let merged = repr::rows_to_matrix(rows, model.config.d_model);
+            assert_eq!(merged.shape(), whole.shape());
+            assert_eq!(
+                merged.data(),
+                whole.data(),
+                "{count}-way shard merge must be bitwise identical"
+            );
+        }
     }
 
     #[test]

@@ -133,7 +133,9 @@ pub fn doc_mean_rows_range(
 }
 
 /// Stack owned rows into a matrix (empty input keeps the column count).
-pub(crate) fn rows_to_matrix(rows: Vec<Vec<f32>>, d_model: usize) -> Matrix {
+/// Public so the shard coordinator can merge per-shard row blocks back
+/// into the canonical whole-corpus matrix.
+pub fn rows_to_matrix(rows: Vec<Vec<f32>>, d_model: usize) -> Matrix {
     let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
     if refs.is_empty() {
         Matrix::zeros(0, d_model)

@@ -79,17 +79,18 @@ pub struct Batcher {
 }
 
 impl Batcher {
-    /// Spawn the batcher thread over `engine`.
-    pub fn start(engine: Arc<Engine>, cfg: BatcherConfig) -> Batcher {
+    /// Spawn the batcher thread over `engine`. A failed spawn is an IO
+    /// error for the caller to surface — a server without a batcher cannot
+    /// answer anything, so it must not start.
+    pub fn start(engine: Arc<Engine>, cfg: BatcherConfig) -> std::io::Result<Batcher> {
         let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_cap.max(1));
         let handle = std::thread::Builder::new()
             .name("serve-batcher".into())
-            .spawn(move || run(engine, cfg, rx))
-            .expect("spawn batcher thread");
-        Batcher {
+            .spawn(move || run(engine, cfg, rx))?;
+        Ok(Batcher {
             queue: BatchQueue { tx },
             handle: Some(handle),
-        }
+        })
     }
 
     /// A handle for submitting requests.

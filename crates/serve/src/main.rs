@@ -4,12 +4,15 @@
 //! structmine-serve --labels sports,business,technology [--method xclass]
 //!                  [--tier test|standard] [--port 7878] [--max-batch 32]
 //!                  [--flush-us 2000] [--queue-cap 64] [--threads <n>]
+//!                  [--socket-timeout-ms 10000]
 //!                  [--no-cache | --cache-dir <dir>] [--report-json <path>]
 //! ```
 //!
 //! Every flag falls back to a `STRUCTMINE_SERVE_*` environment variable
 //! (`STRUCTMINE_SERVE_PORT`, `_MAX_BATCH`, `_FLUSH_US`, `_QUEUE_CAP`,
-//! `_LABELS`, `_METHOD`, `_TIER`). Routes: `GET /healthz`, `GET /stats`
+//! `_LABELS`, `_METHOD`, `_TIER`, `_SOCKET_TIMEOUT_MS`). Routes:
+//! `GET /healthz` (renders the process health registry: `200 ok`,
+//! `200 degraded: …`, or `503 unusable: …`), `GET /stats`
 //! (live JSON run report, including generation counters), `POST /classify`
 //! (one document per line in, one `label<TAB>confidence<TAB>doc` line out —
 //! byte-identical to `structmine classify`), and `POST /ingest` (append the
@@ -55,6 +58,7 @@ fn usage() -> ! {
         "usage: structmine-serve --labels <a,b,c> [--method xclass|lotclass|prompt|match]\n\
          \x20                       [--tier test|standard] [--port 7878] [--max-batch 32]\n\
          \x20                       [--flush-us 2000] [--queue-cap 64] [--threads <n>]\n\
+         \x20                       [--socket-timeout-ms 10000]\n\
          \x20                       [--no-cache | --cache-dir <dir>] [--report-json <path>]"
     );
     std::process::exit(2);
@@ -113,6 +117,7 @@ fn main() {
                 | "max-batch"
                 | "flush-us"
                 | "queue-cap"
+                | "socket-timeout-ms"
                 | "threads"
                 | "no-cache"
                 | "cache-dir"
@@ -183,6 +188,10 @@ fn main() {
                 &flag_or_env(&flags, "queue-cap").unwrap_or_else(|| "64".into()),
             ),
         },
+        socket_timeout_ms: parse_num(
+            "socket-timeout-ms",
+            &flag_or_env(&flags, "socket-timeout-ms").unwrap_or_else(|| "10000".into()),
+        ),
     };
 
     obs::log_info(&format!(

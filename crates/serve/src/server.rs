@@ -20,6 +20,12 @@ pub struct ServeConfig {
     pub port: u16,
     /// Micro-batching knobs.
     pub batch: BatcherConfig,
+    /// Socket read *and* write deadline in milliseconds
+    /// (`--socket-timeout-ms`); `0` disables. A client that stalls
+    /// mid-request or stops reading its response loses its connection at
+    /// the deadline instead of pinning a handler thread — a slow client
+    /// can never wedge the batcher or a graceful shutdown.
+    pub socket_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -27,6 +33,7 @@ impl Default for ServeConfig {
         ServeConfig {
             port: 7878,
             batch: BatcherConfig::default(),
+            socket_timeout_ms: 10_000,
         }
     }
 }
@@ -47,14 +54,14 @@ impl Server {
         // Non-blocking accept so the loop can observe the shutdown flag.
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let batcher = Batcher::start(Arc::clone(&engine), cfg.batch);
+        let batcher = Batcher::start(Arc::clone(&engine), cfg.batch)?;
         let queue = batcher.queue();
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
+        let timeout = socket_timeout(cfg.socket_timeout_ms);
         let accept_handle = std::thread::Builder::new()
             .name("serve-accept".into())
-            .spawn(move || accept_loop(listener, queue, engine, flag))
-            .expect("spawn accept thread");
+            .spawn(move || accept_loop(listener, queue, engine, flag, timeout))?;
         Ok(Server {
             addr,
             shutdown,
@@ -87,25 +94,50 @@ impl Drop for Server {
     }
 }
 
+/// Resolve the configured deadline: `0` means no timeout at all (`None` —
+/// `set_read_timeout(Some(ZERO))` is an error, not "disabled").
+fn socket_timeout(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
 fn accept_loop(
     listener: TcpListener,
     queue: BatchQueue,
     engine: Arc<Engine>,
     shutdown: Arc<AtomicBool>,
+    timeout: Option<Duration>,
 ) {
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                // Both deadlines up front: a client that stalls sending its
+                // request *or* stops reading its response is disconnected,
+                // so handler threads (and shutdown's join) stay bounded.
+                let _ = stream.set_read_timeout(timeout);
+                let _ = stream.set_write_timeout(timeout);
                 let q = queue.clone();
                 let e = Arc::clone(&engine);
-                let h = std::thread::Builder::new()
+                match std::thread::Builder::new()
                     .name("serve-conn".into())
                     .spawn(move || handle_connection(stream, q, e))
-                    .expect("spawn connection thread");
-                handlers.push(h);
-                // Reap finished handlers so the vec stays bounded under load.
-                handlers.retain(|h| !h.is_finished());
+                {
+                    Ok(h) => {
+                        handlers.push(h);
+                        // Reap finished handlers so the vec stays bounded
+                        // under load.
+                        handlers.retain(|h| !h.is_finished());
+                    }
+                    Err(e) => {
+                        // Thread exhaustion is load, not corruption: the
+                        // connection is closed (client retries) and the
+                        // server keeps accepting.
+                        obs::counter_add("serve.spawn_failures", 1);
+                        obs::log_warn(&format!(
+                            "[serve] spawn connection thread failed ({e}); dropping connection"
+                        ));
+                    }
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -123,14 +155,28 @@ fn accept_loop(
     }
 }
 
+/// True when an IO error is a socket deadline expiring (the two kinds the
+/// platform may report for a timed-out read/write).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 fn handle_connection(mut stream: TcpStream, queue: BatchQueue, engine: Arc<Engine>) {
     let _span = obs::span("serve/request");
     obs::counter_add("serve.requests", 1);
-    // A stuck client must not pin a handler thread forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let request = match http::read_request(&mut stream) {
         Ok(r) => r,
-        Err(HttpError::Io(_)) => return,
+        Err(HttpError::Io(e)) => {
+            // A stalled client hit the socket deadline (or hung up); there
+            // is nobody left to answer, only the counter to bump.
+            if is_timeout(&e) {
+                obs::counter_add("serve.timeouts", 1);
+            }
+            return;
+        }
         Err(e @ HttpError::BadRequest(_)) => {
             respond_text(&mut stream, 400, "Bad Request", &format!("{e}\n"));
             return;
@@ -141,19 +187,24 @@ fn handle_connection(mut stream: TcpStream, queue: BatchQueue, engine: Arc<Engin
         }
     };
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => respond_text(&mut stream, 200, "OK", "ok\n"),
+        ("GET", "/healthz") => {
+            // Render the process health registry (DESIGN §12): degraded
+            // subsystems still answer 200 with a body naming each step;
+            // an unusable process fails the probe with 503.
+            let (status, body) = structmine_store::health::health_body();
+            let reason = if status == 200 {
+                "OK"
+            } else {
+                "Service Unavailable"
+            };
+            respond_text(&mut stream, status, reason, &body);
+        }
         ("GET", "/stats") => {
             let report = obs::report("structmine-serve");
             match serde_json::to_string(&report) {
                 Ok(mut json) => {
                     json.push('\n');
-                    let _ = http::write_response(
-                        &mut stream,
-                        200,
-                        "OK",
-                        "application/json",
-                        json.as_bytes(),
-                    );
+                    send_response(&mut stream, 200, "OK", "application/json", json.as_bytes());
                 }
                 Err(e) => respond_text(
                     &mut stream,
@@ -213,15 +264,22 @@ fn classify_route(stream: &mut TcpStream, queue: &BatchQueue, request: &Request)
                 out.push_str(&format_prediction_line(pred, line));
                 out.push('\n');
             }
-            let _ = http::write_response(stream, 200, "OK", "text/plain", out.as_bytes());
+            send_response(stream, 200, "OK", "text/plain", out.as_bytes());
         }
         Ok(Err(msg)) => respond_text(stream, 400, "Bad Request", &format!("{msg}\n")),
-        Err(_) => respond_text(
-            stream,
-            500,
-            "Internal Server Error",
-            "batcher exited before replying\n",
-        ),
+        Err(_) => {
+            // The reply channel disconnected with the request still
+            // outstanding: the batcher thread is gone while the server is
+            // accepting, so classification can never be answered again —
+            // mark the process unusable and /healthz starts failing.
+            structmine_store::health::set_unusable("batcher exited before replying");
+            respond_text(
+                stream,
+                500,
+                "Internal Server Error",
+                "batcher exited before replying\n",
+            );
+        }
     }
 }
 
@@ -261,13 +319,31 @@ fn ingest_route(stream: &mut TcpStream, engine: &Engine, request: &Request) {
                 out.push_str(&format_prediction_line(pred, line));
                 out.push('\n');
             }
-            let _ = http::write_response(stream, 200, "OK", "text/plain", out.as_bytes());
+            send_response(stream, 200, "OK", "text/plain", out.as_bytes());
         }
         Err(e) => respond_text(stream, 400, "Bad Request", &format!("{e}\n")),
     }
 }
 
 fn respond_text(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
-    let _ = http::write_response(stream, status, reason, "text/plain", body.as_bytes());
+    send_response(stream, status, reason, "text/plain", body.as_bytes());
     let _ = stream.flush();
+}
+
+/// Write a response, counting a write-side socket deadline under the same
+/// `serve.timeouts` counter as a read-side one: a client that stops
+/// reading its response is the same slowloris shape as one that stops
+/// sending its request.
+fn send_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) {
+    if let Err(e) = http::write_response(stream, status, reason, content_type, body) {
+        if is_timeout(&e) {
+            obs::counter_add("serve.timeouts", 1);
+        }
+    }
 }

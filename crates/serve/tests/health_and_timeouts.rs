@@ -1,0 +1,137 @@
+//! Robustness coverage for the serve layer, in its own process (the
+//! health registry is process-global, so these tests must not share a
+//! binary with the smoke tests that expect a pristine `/healthz`):
+//!
+//! * the `/healthz` ladder — ok → degraded (still 200) → unusable (503);
+//! * socket deadlines — a stalled (slowloris) client is disconnected at
+//!   the deadline, counted under `serve.timeouts`, and can never wedge the
+//!   batcher or a graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use structmine_engine::{Engine, EngineConfig, EngineSource, MethodKind, PlmSpec};
+use structmine_serve::{ServeConfig, Server};
+
+fn load_engine() -> Engine {
+    Engine::load(EngineConfig {
+        source: EngineSource::Labels(
+            ["sports", "business"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        ),
+        method: MethodKind::Match,
+        plm: PlmSpec::Pretrained(structmine_plm::cache::Tier::Test),
+        seed: None,
+        exec: structmine_linalg::ExecPolicy::default(),
+    })
+    .expect("engine loads")
+}
+
+fn request(addr: &SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn healthz(addr: &SocketAddr) -> (u16, String) {
+    request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+}
+
+/// One test fn drives the whole ladder: the registry is process-global and
+/// `set_unusable` is sticky, so the ordering must be controlled here, not
+/// left to the test harness's thread scheduling.
+#[test]
+fn healthz_renders_the_degradation_ladder_and_slow_clients_time_out() {
+    let engine = load_engine();
+    engine.warm().expect("warm");
+    let mut server = Server::start(
+        Arc::new(engine),
+        ServeConfig {
+            port: 0,
+            socket_timeout_ms: 250,
+            ..Default::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Healthy process: plain ok.
+    assert_eq!(healthz(&addr), (200, "ok\n".to_string()));
+
+    // A slowloris client: opens the connection, sends half a request line,
+    // then stalls. The handler must cut it loose at the socket deadline
+    // while healthy clients keep getting answers.
+    let mut stalled = TcpStream::connect(addr).expect("connect stalled client");
+    stalled
+        .write_all(b"POST /classify HT")
+        .expect("write partial request");
+
+    let body = "the striker scored a goal";
+    let started = Instant::now();
+    let (status, _) = request(
+        &addr,
+        &format!(
+            "POST /classify HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(status, 200, "a stalled client must not block healthy ones");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "healthy request took {:?} behind a stalled client",
+        started.elapsed()
+    );
+
+    // Past the deadline the stalled connection is dead and counted.
+    std::thread::sleep(Duration::from_millis(600));
+    let (status, stats) = request(&addr, "GET /stats HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(
+        stats.contains("serve.timeouts"),
+        "stalled client must be counted under serve.timeouts: {stats}"
+    );
+    let mut probe = [0u8; 64];
+    let n = stalled.read(&mut probe).unwrap_or(0);
+    assert_eq!(n, 0, "the server must have closed the stalled connection");
+
+    // Degraded: still 200, body names the step.
+    structmine_store::health::note_degraded("store: memory-only (test)");
+    let (status, body) = healthz(&addr);
+    assert_eq!(status, 200, "a degraded process still answers");
+    assert!(
+        body.starts_with("degraded: ") && body.contains("memory-only"),
+        "degraded body must name the step: {body:?}"
+    );
+
+    // Unusable: the probe fails.
+    structmine_store::health::set_unusable("batcher thread died (test)");
+    let (status, body) = healthz(&addr);
+    assert_eq!(status, 503, "an unusable process must fail the probe");
+    assert!(body.contains("batcher thread died"), "body: {body:?}");
+
+    // Shutdown must complete promptly even though a slow client connected
+    // this session — the deadline guarantees no handler thread is pinned.
+    let started = Instant::now();
+    server.stop();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "shutdown wedged for {:?}",
+        started.elapsed()
+    );
+    structmine_store::health::reset();
+}

@@ -87,6 +87,7 @@ fn concurrent_requests_match_cli_bytes_and_stats_parses() {
                 flush_us: 3_000,
                 queue_cap: 64,
             },
+            ..Default::default()
         },
     )
     .expect("server starts");

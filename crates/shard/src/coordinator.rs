@@ -1,0 +1,557 @@
+//! The supervising coordinator: spawn, watch, restart, shed, merge.
+
+use crate::plan::MAX_SHARDS;
+use crate::spec::{WorkerSpec, SPEC_ENV};
+use crate::worker::write_output_atomic;
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use structmine_store::{health, obs, FaultPlan, PipelineError};
+
+/// Supervisor policy knobs. Defaults are deliberately lopsided: heartbeats
+/// are cheap (100 ms), the deadline is generous (30 s) because workers do
+/// real PLM work between beats, and the restart budget matches the store's
+/// retry budget shape.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorConfig {
+    /// Worker processes to run (= shard count).
+    pub shards: usize,
+    /// Worker heartbeat interval, milliseconds.
+    pub heartbeat_ms: u64,
+    /// Heartbeat staleness past which a worker is killed, milliseconds.
+    pub deadline_ms: u64,
+    /// Restarts allowed per worker before it is shed.
+    pub max_restarts: u32,
+}
+
+impl SupervisorConfig {
+    /// Defaults for `shards` workers, overridable via
+    /// `STRUCTMINE_SHARD_HEARTBEAT_MS`, `STRUCTMINE_SHARD_DEADLINE_MS`,
+    /// and `STRUCTMINE_SHARD_MAX_RESTARTS`.
+    pub fn from_env(shards: usize) -> SupervisorConfig {
+        fn env_num<T: std::str::FromStr>(name: &str, default: T) -> T {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(default)
+        }
+        SupervisorConfig {
+            shards,
+            heartbeat_ms: env_num("STRUCTMINE_SHARD_HEARTBEAT_MS", 100),
+            deadline_ms: env_num("STRUCTMINE_SHARD_DEADLINE_MS", 30_000),
+            max_restarts: env_num("STRUCTMINE_SHARD_MAX_RESTARTS", 3),
+        }
+    }
+}
+
+/// What happened to one worker, for the coordinator's report and tests.
+#[derive(Clone, Debug)]
+pub struct WorkerOutcome {
+    /// The shard this worker owned.
+    pub shard_index: usize,
+    /// Restarts consumed (0 for a clean run).
+    pub restarts: u32,
+    /// True when the shard was shed to in-process execution.
+    pub degraded: bool,
+}
+
+/// Deterministic backoff before restart `attempt` (1-based): 1, 2, 4 ms —
+/// the same shape as the store's IO retry backoff.
+fn backoff_delay(attempt: u32) -> Duration {
+    Duration::from_millis(1u64 << (attempt.saturating_sub(1)).min(4))
+}
+
+/// Poll interval of the supervision loop.
+const POLL: Duration = Duration::from_millis(10);
+
+/// One supervised worker slot.
+struct Slot {
+    spec: WorkerSpec,
+    spec_path: PathBuf,
+    child: Option<Child>,
+    started: Instant,
+    spawned_at: Instant,
+    incarnation: u32,
+    restarts: u32,
+    degraded: bool,
+    done: bool,
+}
+
+/// The supervising coordinator. Front-ends hand it one job string per
+/// shard, a command factory that re-enters their own binary in worker
+/// mode, and an in-process fallback for the bottom of the degradation
+/// ladder; they get back the per-shard output paths in shard-index order.
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    work_dir: PathBuf,
+}
+
+impl Supervisor {
+    /// A supervisor writing specs/heartbeats/outputs under `work_dir`
+    /// (created on demand).
+    pub fn new(cfg: SupervisorConfig, work_dir: impl Into<PathBuf>) -> Supervisor {
+        assert!(
+            cfg.shards >= 1 && cfg.shards <= MAX_SHARDS,
+            "shard count out of range"
+        );
+        Supervisor {
+            cfg,
+            work_dir: work_dir.into(),
+        }
+    }
+
+    /// Run `jobs[i]` on worker `i` for every shard and return the output
+    /// paths in shard-index order. `make_command` builds the worker
+    /// process (typically `current_exe()` with a `worker` argument); the
+    /// supervisor adds the spec/fault/lease environment. `fallback` runs a
+    /// shard in-process when its worker is shed.
+    ///
+    /// With `shards == 1` the supervisor still spawns the single worker —
+    /// byte-equality of 1-way vs N-way output is the acceptance contract,
+    /// so both sides must run the identical code path.
+    pub fn run(
+        &self,
+        jobs: &[String],
+        make_command: &dyn Fn(usize, &Path) -> Command,
+        fallback: &dyn Fn(&WorkerSpec) -> Result<Vec<u8>, PipelineError>,
+    ) -> Result<(Vec<PathBuf>, Vec<WorkerOutcome>), PipelineError> {
+        assert_eq!(jobs.len(), self.cfg.shards, "one job per shard");
+        std::fs::create_dir_all(&self.work_dir).map_err(|e| PipelineError::Io {
+            context: format!("creating shard work dir {}", self.work_dir.display()),
+            source: e,
+        })?;
+        let plan = FaultPlan::from_env()?.unwrap_or_default();
+
+        let mut slots: Vec<Slot> = Vec::with_capacity(self.cfg.shards);
+        for (i, job) in jobs.iter().enumerate() {
+            let spec = WorkerSpec {
+                shard_index: i,
+                shard_count: self.cfg.shards,
+                job: job.clone(),
+                out: self
+                    .work_dir
+                    .join(format!("out-{i}"))
+                    .to_string_lossy()
+                    .into_owned(),
+                heartbeat: self
+                    .work_dir
+                    .join(format!("heartbeat-{i}"))
+                    .to_string_lossy()
+                    .into_owned(),
+                heartbeat_ms: self.cfg.heartbeat_ms,
+            };
+            // A leftover output from a previous (crashed) coordinator run
+            // is already complete — the atomic rename guarantees it — but
+            // it may belong to a different job string, so start clean; the
+            // *store* is the resume substrate, not the output files.
+            let _ = std::fs::remove_file(&spec.out);
+            let spec_path = self.work_dir.join(format!("spec-{i}.json"));
+            spec.save(&spec_path)?;
+            let now = Instant::now();
+            slots.push(Slot {
+                spec,
+                spec_path,
+                child: None,
+                started: now,
+                spawned_at: now,
+                incarnation: 0,
+                restarts: 0,
+                degraded: false,
+                done: false,
+            });
+        }
+
+        obs::counter_add("shard.workers", self.cfg.shards as u64);
+        for slot in slots.iter_mut() {
+            self.spawn(slot, &plan, make_command)?;
+        }
+
+        while slots.iter().any(|s| !s.done) {
+            for slot in slots.iter_mut().filter(|s| !s.done) {
+                self.step(slot, &plan, make_command, fallback)?;
+            }
+            std::thread::sleep(POLL);
+        }
+
+        let outputs = slots
+            .iter()
+            .map(|s| PathBuf::from(&s.spec.out))
+            .collect::<Vec<_>>();
+        for (i, out) in outputs.iter().enumerate() {
+            if !out.exists() {
+                return Err(PipelineError::Shard {
+                    context: format!("worker {i}"),
+                    transient: false,
+                    detail: format!("completed without publishing {}", out.display()),
+                });
+            }
+        }
+        let outcomes = slots
+            .iter()
+            .map(|s| WorkerOutcome {
+                shard_index: s.spec.shard_index,
+                restarts: s.restarts,
+                degraded: s.degraded,
+            })
+            .collect();
+        Ok((outputs, outcomes))
+    }
+
+    /// Spawn (or respawn) a slot's worker process.
+    fn spawn(
+        &self,
+        slot: &mut Slot,
+        plan: &FaultPlan,
+        make_command: &dyn Fn(usize, &Path) -> Command,
+    ) -> Result<(), PipelineError> {
+        let i = slot.spec.shard_index;
+        let mut cmd = make_command(i, &slot.spec_path);
+        cmd.env(SPEC_ENV, &slot.spec_path)
+            .env("STRUCTMINE_LEASE", "1")
+            .env(
+                obs::REPORT_ENV,
+                self.work_dir.join(format!("report-{i}.json")),
+            )
+            // A worker must never become a coordinator itself.
+            .env_remove("STRUCTMINE_SHARDS")
+            .stdout(Stdio::null());
+        let worker_plan = plan.for_worker(i as u64, slot.incarnation);
+        let rendered = worker_plan.to_plan_string();
+        if rendered.is_empty() {
+            cmd.env_remove("STRUCTMINE_FAULTS");
+        } else {
+            cmd.env("STRUCTMINE_FAULTS", &rendered);
+        }
+        // A fresh heartbeat baseline: the deadline clock starts at spawn,
+        // not at some stale file from the previous incarnation.
+        let _ = std::fs::remove_file(&slot.spec.heartbeat);
+        obs::log_debug(&format!(
+            "[shard] spawning worker {i} (incarnation {})",
+            slot.incarnation
+        ));
+        match cmd.spawn() {
+            Ok(child) => {
+                slot.child = Some(child);
+                slot.spawned_at = Instant::now();
+                Ok(())
+            }
+            Err(e) => Err(PipelineError::Io {
+                context: format!("spawning worker {i}"),
+                source: e,
+            }),
+        }
+    }
+
+    /// One supervision step for one live slot: reap exits, enforce the
+    /// heartbeat deadline, restart transients, shed persistents.
+    fn step(
+        &self,
+        slot: &mut Slot,
+        plan: &FaultPlan,
+        make_command: &dyn Fn(usize, &Path) -> Command,
+        fallback: &dyn Fn(&WorkerSpec) -> Result<Vec<u8>, PipelineError>,
+    ) -> Result<(), PipelineError> {
+        let i = slot.spec.shard_index;
+        let stale = self.heartbeat_stale(slot);
+        let Some(child) = slot.child.as_mut() else {
+            return Ok(());
+        };
+        let status = match child.try_wait() {
+            Ok(Some(status)) => status,
+            Ok(None) => {
+                if stale {
+                    obs::log_warn(&format!(
+                        "[shard] worker {i} missed its heartbeat deadline ({} ms); killing",
+                        self.cfg.deadline_ms
+                    ));
+                    obs::counter_add("shard.deadline_kills", 1);
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    self.note_transient(slot, plan, make_command, fallback)?;
+                }
+                return Ok(());
+            }
+            Err(e) => {
+                return Err(PipelineError::Io {
+                    context: format!("waiting on worker {i}"),
+                    source: e,
+                })
+            }
+        };
+        slot.child = None;
+        match status.code() {
+            Some(0) => {
+                if Path::new(&slot.spec.out).exists() {
+                    self.finish(slot);
+                } else {
+                    // Exit 0 without output is a worker bug; treat as
+                    // persistent rather than restarting what would likely
+                    // repeat it.
+                    obs::log_warn(&format!(
+                        "[shard] worker {i} exited 0 without publishing output"
+                    ));
+                    self.shed(slot, fallback)?;
+                }
+                Ok(())
+            }
+            Some(2) => {
+                obs::log_warn(&format!("[shard] worker {i} failed persistently (exit 2)"));
+                self.shed(slot, fallback)
+            }
+            Some(code) => {
+                obs::log_warn(&format!("[shard] worker {i} exited {code} (transient)"));
+                self.note_transient(slot, plan, make_command, fallback)
+            }
+            None => {
+                obs::log_warn(&format!("[shard] worker {i} died on a signal (transient)"));
+                self.note_transient(slot, plan, make_command, fallback)
+            }
+        }
+    }
+
+    fn heartbeat_stale(&self, slot: &Slot) -> bool {
+        let deadline = Duration::from_millis(self.cfg.deadline_ms);
+        match std::fs::metadata(&slot.spec.heartbeat).and_then(|m| m.modified()) {
+            Ok(modified) => modified
+                .elapsed()
+                .map(|age| age > deadline)
+                .unwrap_or(false),
+            // No heartbeat file yet: measure from spawn, so a worker that
+            // never starts beating still trips the deadline.
+            Err(_) => slot.spawned_at.elapsed() > deadline,
+        }
+    }
+
+    /// A transient failure: restart with deterministic backoff while the
+    /// budget lasts, then shed.
+    fn note_transient(
+        &self,
+        slot: &mut Slot,
+        plan: &FaultPlan,
+        make_command: &dyn Fn(usize, &Path) -> Command,
+        fallback: &dyn Fn(&WorkerSpec) -> Result<Vec<u8>, PipelineError>,
+    ) -> Result<(), PipelineError> {
+        let i = slot.spec.shard_index;
+        if slot.restarts >= self.cfg.max_restarts {
+            obs::log_warn(&format!(
+                "[shard] worker {i} exhausted its restart budget ({})",
+                self.cfg.max_restarts
+            ));
+            return self.shed(slot, fallback);
+        }
+        slot.restarts += 1;
+        slot.incarnation += 1;
+        obs::counter_add("shard.restarts", 1);
+        std::thread::sleep(backoff_delay(slot.restarts));
+        obs::log_info(&format!(
+            "[shard] restarting worker {i} (attempt {}/{})",
+            slot.restarts, self.cfg.max_restarts
+        ));
+        self.spawn(slot, plan, make_command)
+    }
+
+    /// The degradation ladder's bottom: shed the worker and run its shard
+    /// in-process, serially. Exactly one warning per shed worker.
+    fn shed(
+        &self,
+        slot: &mut Slot,
+        fallback: &dyn Fn(&WorkerSpec) -> Result<Vec<u8>, PipelineError>,
+    ) -> Result<(), PipelineError> {
+        let i = slot.spec.shard_index;
+        obs::log_warn(&format!(
+            "[shard] WARNING: degrading shard {i} to in-process execution \
+             — output stays byte-identical, capacity is reduced"
+        ));
+        obs::counter_add("shard.degraded_steps", 1);
+        health::note_degraded(&format!("shard: worker {i} shed to in-process"));
+        slot.degraded = true;
+        let bytes = fallback(&slot.spec).map_err(|e| PipelineError::Shard {
+            context: format!("worker {i} in-process fallback"),
+            transient: false,
+            detail: e.to_string(),
+        })?;
+        write_output_atomic(Path::new(&slot.spec.out), &bytes)?;
+        self.finish(slot);
+        Ok(())
+    }
+
+    /// Mark a slot complete: attribute its wall time as a
+    /// `shard/worker-<i>` span and fold its run report into ours.
+    fn finish(&self, slot: &mut Slot) {
+        slot.done = true;
+        let i = slot.spec.shard_index;
+        let root = format!("shard/worker-{i}");
+        obs::record_span_at(std::slice::from_ref(&root), slot.started.elapsed());
+        self.import_worker_report(i, &root);
+        obs::log_info(&format!(
+            "[shard] worker {i} complete ({} restart(s){})",
+            slot.restarts,
+            if slot.degraded { ", degraded" } else { "" }
+        ));
+    }
+
+    /// Import a finished worker's run report: its counters land under
+    /// `shard.w<i>.*`, its root spans nest under `shard/worker-<i>` — so
+    /// the coordinator's single report names every worker's work.
+    fn import_worker_report(&self, i: usize, root: &str) {
+        let path = self.work_dir.join(format!("report-{i}.json"));
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return; // a shed or crashed-out worker may have no report
+        };
+        let Ok(report) = obs::validate_report(&text) else {
+            obs::log_warn(&format!(
+                "[shard] worker {i} report {} failed validation; skipping import",
+                path.display()
+            ));
+            return;
+        };
+        let lookup = |map: &Value, key: &str| -> Option<Value> {
+            match map {
+                Value::Map(entries) => entries
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.clone()),
+                _ => None,
+            }
+        };
+        if let Some(Value::Map(counters)) = lookup(&report, "counters") {
+            for (name, value) in counters {
+                if let Value::UInt(v) = value {
+                    obs::counter_add(&format!("shard.w{i}.{name}"), v);
+                }
+            }
+        }
+        if let Some(spans) = lookup(&report, "spans") {
+            if let Some(Value::Seq(tree)) = lookup(&spans, "tree") {
+                for node in tree {
+                    let (Some(Value::Str(label)), Some(wall)) =
+                        (lookup(&node, "label"), lookup(&node, "wall_ms"))
+                    else {
+                        continue;
+                    };
+                    let wall_ms = match wall {
+                        Value::Float(f) => f,
+                        Value::UInt(u) => u as f64,
+                        _ => continue,
+                    };
+                    obs::record_span_at(
+                        &[root.to_string(), label],
+                        Duration::from_nanos((wall_ms * 1.0e6).max(0.0) as u64),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        assert_eq!(backoff_delay(1), Duration::from_millis(1));
+        assert_eq!(backoff_delay(2), Duration::from_millis(2));
+        assert_eq!(backoff_delay(3), Duration::from_millis(4));
+        assert_eq!(backoff_delay(100), Duration::from_millis(16));
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = SupervisorConfig::from_env(4);
+        assert_eq!(cfg.shards, 4);
+        assert!(cfg.heartbeat_ms >= 1);
+        assert!(cfg.deadline_ms > cfg.heartbeat_ms);
+        assert!(cfg.max_restarts >= 1);
+    }
+
+    /// End-to-end supervision with `/bin/sh` workers: success, targeted
+    /// kill_worker chaos via restart, and shedding on persistent failure.
+    #[test]
+    fn supervisor_restarts_transients_and_sheds_persistents() {
+        let dir = std::env::temp_dir().join(format!("structmine-sup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SupervisorConfig {
+            shards: 3,
+            heartbeat_ms: 20,
+            deadline_ms: 5_000,
+            max_restarts: 2,
+        };
+        let sup = Supervisor::new(cfg, &dir);
+        // Worker 0 succeeds; worker 1 crashes transiently (exit 7) on its
+        // first incarnation only (a marker file distinguishes incarnations);
+        // worker 2 fails persistently (exit 2) every time.
+        let marker = dir.join("w1-tried");
+        let jobs: Vec<String> = (0..3).map(|i| format!("job-{i}")).collect();
+        let make = |i: usize, spec_path: &Path| -> Command {
+            let spec = WorkerSpec::load(spec_path).unwrap();
+            let script = match i {
+                0 => format!("printf 'shard-0\\n' > '{}.tmp' && mv '{}.tmp' '{}'", spec.out, spec.out, spec.out),
+                1 => format!(
+                    "if [ -e '{m}' ]; then printf 'shard-1\\n' > '{o}.tmp' && mv '{o}.tmp' '{o}'; else touch '{m}'; exit 7; fi",
+                    m = marker.display(),
+                    o = spec.out,
+                ),
+                _ => "exit 2".to_string(),
+            };
+            let mut cmd = Command::new("/bin/sh");
+            cmd.arg("-c").arg(script);
+            cmd
+        };
+        let fallback = |spec: &WorkerSpec| -> Result<Vec<u8>, PipelineError> {
+            Ok(format!("shard-{}-fallback\n", spec.shard_index).into_bytes())
+        };
+        let (outputs, outcomes) = sup.run(&jobs, &make, &fallback).unwrap();
+        let merged: String = outputs
+            .iter()
+            .map(|p| std::fs::read_to_string(p).unwrap())
+            .collect();
+        assert_eq!(merged, "shard-0\nshard-1\nshard-2-fallback\n");
+        assert_eq!(outcomes[0].restarts, 0);
+        assert!(!outcomes[0].degraded);
+        assert_eq!(outcomes[1].restarts, 1, "one transient crash, one restart");
+        assert!(!outcomes[1].degraded);
+        assert!(outcomes[2].degraded, "exit 2 must shed, not restart");
+        assert_eq!(outcomes[2].restarts, 0, "persistent failures skip restarts");
+        assert!(
+            health::degradations()
+                .iter()
+                .any(|r| r.contains("worker 2")),
+            "shedding must land in the health registry"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A worker that hangs (sleeps far past the deadline without beating)
+    /// is killed and — with no restart budget — shed to the fallback.
+    #[test]
+    fn hung_worker_trips_the_deadline() {
+        let dir = std::env::temp_dir().join(format!("structmine-hang-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SupervisorConfig {
+            shards: 1,
+            heartbeat_ms: 10,
+            deadline_ms: 150,
+            max_restarts: 0,
+        };
+        let sup = Supervisor::new(cfg, &dir);
+        let make = |_i: usize, _spec: &Path| -> Command {
+            let mut cmd = Command::new("/bin/sh");
+            cmd.arg("-c").arg("sleep 30");
+            cmd
+        };
+        let fallback =
+            |_spec: &WorkerSpec| -> Result<Vec<u8>, PipelineError> { Ok(b"rescued\n".to_vec()) };
+        let start = Instant::now();
+        let (outputs, outcomes) = sup.run(&["hang".to_string()], &make, &fallback).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "the deadline, not the sleep, must bound the wait"
+        );
+        assert_eq!(std::fs::read(&outputs[0]).unwrap(), b"rescued\n");
+        assert!(outcomes[0].degraded);
+        assert!(obs::counter_value("shard.deadline_kills") >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

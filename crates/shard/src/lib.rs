@@ -1,0 +1,53 @@
+//! Sharded multi-process execution (DESIGN §12).
+//!
+//! The determinism contract says output bytes are identical for any thread
+//! count; this crate generalizes it across *process* boundaries. A
+//! [`Supervisor`] splits work into index-ordered shards, spawns one worker
+//! process per shard (the existing binaries re-entered via a `worker` mode,
+//! see [`spec`]), and merges results in shard-index order — so 1-way and
+//! 4-way runs produce byte-identical output. The shared artifact store is
+//! the coordination substrate: workers publish through its atomic
+//! temp-then-rename discipline, claim expensive stages via cross-process
+//! leases (`structmine_store::lease`), and a crashed worker's restart
+//! resumes from whatever the store already holds.
+//!
+//! The failure model is explicit:
+//!
+//! * **Heartbeats & deadlines** — each worker touches a heartbeat file
+//!   ([`worker::Heartbeat`]); the coordinator kills workers whose heartbeat
+//!   goes stale past the deadline and treats the kill as transient.
+//! * **Exit-status taxonomy** — exit 0 is success; exit 2 is *persistent*
+//!   (usage/config errors a retry cannot fix); any other exit code or a
+//!   signal death is *transient*.
+//! * **Bounded deterministic restart** — transient failures restart the
+//!   worker up to `max_restarts` times with the store's exponential
+//!   backoff (1, 2, 4 ms), the restarted incarnation running fault-clean
+//!   of any targeted `kill_worker` clause.
+//! * **Degradation ladder** — a persistent failure (or an exhausted
+//!   restart budget) sheds that worker: the coordinator runs the shard
+//!   in-process instead, with exactly one warning per shed worker, and
+//!   records the step in the process health registry
+//!   (`structmine_store::health`).
+//!
+//! Observability: the coordinator attributes each worker's lifetime as a
+//! `shard/worker-<i>` span, imports the worker's own root spans and
+//! counters from its per-worker run report, and counts spawns, restarts,
+//! deadline kills, and degradation steps under `shard.*`.
+//!
+//! | Knob | Effect |
+//! |---|---|
+//! | `--shards N` / `STRUCTMINE_SHARDS` | Number of worker processes (1 = in-process, no spawning) |
+//! | `STRUCTMINE_SHARD_HEARTBEAT_MS` | Worker heartbeat interval (default 100) |
+//! | `STRUCTMINE_SHARD_DEADLINE_MS` | Stale-heartbeat kill threshold (default 30000) |
+//! | `STRUCTMINE_SHARD_MAX_RESTARTS` | Restart budget per worker (default 3) |
+//! | `STRUCTMINE_FAULTS=kill_worker=i@after_writes=N` | Targeted chaos: worker `i`'s first incarnation aborts after `N` store writes |
+
+pub mod coordinator;
+pub mod plan;
+pub mod spec;
+pub mod worker;
+
+pub use coordinator::{Supervisor, SupervisorConfig, WorkerOutcome};
+pub use plan::{parse_shards, shard_range, shards_from_env};
+pub use spec::{WorkerSpec, SPEC_ENV};
+pub use worker::{write_output_atomic, Heartbeat};

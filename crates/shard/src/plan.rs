@@ -1,0 +1,97 @@
+//! Index-ordered shard planning.
+//!
+//! Shards are contiguous, index-ordered ranges over the item list, so
+//! concatenating per-shard results in shard order reproduces the unsharded
+//! order exactly — the merge step of the bitwise-determinism contract.
+
+use std::ops::Range;
+use structmine_store::PipelineError;
+
+/// Upper bound on `--shards`: far above any sane process count on one
+/// machine, low enough to catch `--shards 40000` typos.
+pub const MAX_SHARDS: usize = 64;
+
+/// The half-open item range owned by shard `index` of `count` over `total`
+/// items. Ranges are contiguous and index-ordered; the first `total %
+/// count` shards carry one extra item. Every item belongs to exactly one
+/// shard, and shards beyond `total` come out empty rather than panicking.
+pub fn shard_range(total: usize, index: usize, count: usize) -> Range<usize> {
+    assert!(count > 0, "shard count must be positive");
+    assert!(index < count, "shard index {index} out of {count}");
+    let base = total / count;
+    let extra = total % count;
+    let start = index * base + index.min(extra);
+    let len = base + usize::from(index < extra);
+    start..(start + len).min(total)
+}
+
+/// Parse a `--shards` / `STRUCTMINE_SHARDS` value: an integer in
+/// `1..=`[`MAX_SHARDS`].
+pub fn parse_shards(value: &str) -> Result<usize, PipelineError> {
+    let n: usize = value.trim().parse().map_err(|_| PipelineError::Unknown {
+        what: "shard count",
+        name: value.to_string(),
+        expected: format!("an integer in 1..={MAX_SHARDS}"),
+    })?;
+    if n == 0 || n > MAX_SHARDS {
+        return Err(PipelineError::InvalidInput(format!(
+            "shard count {n} is outside 1..={MAX_SHARDS}"
+        )));
+    }
+    Ok(n)
+}
+
+/// The shard count from `STRUCTMINE_SHARDS`, if set. A malformed value is
+/// a hard error, like a malformed fault plan: silently running unsharded
+/// would make every sharding test pass vacuously.
+pub fn shards_from_env() -> Result<Option<usize>, PipelineError> {
+    match std::env::var("STRUCTMINE_SHARDS") {
+        Ok(s) if !s.trim().is_empty() => parse_shards(&s).map(Some),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_in_index_order() {
+        for total in [0usize, 1, 5, 7, 8, 100] {
+            for count in [1usize, 2, 3, 4, 7, 11] {
+                let mut covered = Vec::new();
+                let mut prev_end = 0;
+                for i in 0..count {
+                    let r = shard_range(total, i, count);
+                    assert_eq!(r.start, prev_end, "shards must be contiguous");
+                    prev_end = r.end;
+                    covered.extend(r);
+                }
+                assert_eq!(
+                    covered,
+                    (0..total).collect::<Vec<_>>(),
+                    "total={total} count={count} must partition in order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_is_balanced_within_one() {
+        let sizes: Vec<usize> = (0..4).map(|i| shard_range(10, i, 4).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn parse_rejects_nonsense() {
+        assert_eq!(parse_shards("4").unwrap(), 4);
+        assert_eq!(parse_shards(" 1 ").unwrap(), 1);
+        assert!(parse_shards("0").is_err());
+        assert!(parse_shards("65").is_err());
+        assert!(parse_shards("four").is_err());
+        assert!(parse_shards("-1").is_err());
+    }
+}

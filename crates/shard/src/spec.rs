@@ -1,0 +1,93 @@
+//! The coordinator→worker contract: a spec file naming the shard, the job,
+//! and the paths the worker must use.
+//!
+//! Workers are not a separate binary — each front-end (the CLI, the bench
+//! tables) re-enters itself in worker mode when [`SPEC_ENV`] names a spec
+//! file. The `job` field is an opaque string the front-end interprets (the
+//! shard layer neither parses nor constrains it), which keeps this crate
+//! free of engine/bench dependencies.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use structmine_store::PipelineError;
+
+/// Environment variable naming the worker's spec file. Set per worker by
+/// the [`Supervisor`](crate::Supervisor); its presence is what switches a
+/// binary into worker mode.
+pub const SPEC_ENV: &str = "STRUCTMINE_WORKER_SPEC";
+
+/// Everything one worker process needs to know.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkerSpec {
+    /// This worker's shard (also its identity in logs, spans, and faults).
+    pub shard_index: usize,
+    /// Total number of shards in the run.
+    pub shard_count: usize,
+    /// Front-end-interpreted job description (opaque to the shard layer).
+    pub job: String,
+    /// Where the worker must atomically write its result bytes.
+    pub out: String,
+    /// Heartbeat file the worker touches every heartbeat interval.
+    pub heartbeat: String,
+    /// Heartbeat interval in milliseconds.
+    pub heartbeat_ms: u64,
+}
+
+impl WorkerSpec {
+    /// Write the spec as JSON (plain write: the file is created before the
+    /// worker is spawned, so no reader can race it).
+    pub fn save(&self, path: &Path) -> Result<(), PipelineError> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| PipelineError::InvalidInput(format!("serialize worker spec: {e:?}")))?;
+        std::fs::write(path, json).map_err(|e| PipelineError::Io {
+            context: format!("writing worker spec {}", path.display()),
+            source: e,
+        })
+    }
+
+    /// Read a spec back.
+    pub fn load(path: &Path) -> Result<WorkerSpec, PipelineError> {
+        let text = std::fs::read_to_string(path).map_err(|e| PipelineError::Io {
+            context: format!("reading worker spec {}", path.display()),
+            source: e,
+        })?;
+        serde_json::from_str(&text).map_err(|e| {
+            PipelineError::InvalidInput(format!(
+                "worker spec {} does not parse: {e:?}",
+                path.display()
+            ))
+        })
+    }
+
+    /// The spec named by [`SPEC_ENV`], if this process is a worker.
+    pub fn from_env() -> Result<Option<WorkerSpec>, PipelineError> {
+        match std::env::var(SPEC_ENV) {
+            Ok(path) if !path.trim().is_empty() => WorkerSpec::load(Path::new(&path)).map(Some),
+            _ => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("structmine-spec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = WorkerSpec {
+            shard_index: 2,
+            shard_count: 4,
+            job: "classify labels=a,b method=xclass".into(),
+            out: "/tmp/out-2".into(),
+            heartbeat: "/tmp/hb-2".into(),
+            heartbeat_ms: 100,
+        };
+        let path = dir.join("spec.json");
+        spec.save(&path).unwrap();
+        assert_eq!(WorkerSpec::load(&path).unwrap(), spec);
+        assert!(WorkerSpec::load(&dir.join("absent.json")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,172 @@
+//! Worker-side runtime: heartbeat, atomic output, and the job wrapper
+//! front-ends call from worker mode.
+
+use crate::spec::WorkerSpec;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use structmine_store::{obs, PipelineError};
+
+/// A background thread that proves this worker is alive by rewriting its
+/// heartbeat file every interval. The coordinator compares the file's
+/// mtime against the deadline; a worker that hangs (or loses this thread)
+/// goes stale and gets killed as transient.
+pub struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Start beating on `path` every `interval`. The first beat is written
+    /// synchronously so the coordinator never observes a started worker
+    /// with no heartbeat file at all.
+    pub fn start(path: &Path, interval: Duration) -> Heartbeat {
+        let beat = {
+            let path = path.to_path_buf();
+            move || {
+                let _ = std::fs::write(&path, format!("{}\n", std::process::id()));
+            }
+        };
+        beat();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("shard-heartbeat".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(interval);
+                        beat();
+                    }
+                })
+                .ok()
+        };
+        Heartbeat { stop, handle }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Write `bytes` to `path` with the store's temp-then-rename discipline:
+/// the coordinator either finds the complete result or nothing — never a
+/// torn file, even if the worker is killed mid-write.
+pub fn write_output_atomic(path: &Path, bytes: &[u8]) -> Result<(), PipelineError> {
+    let io = |context: String| move |e: std::io::Error| PipelineError::Io { context, source: e };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(io(format!("creating output dir {}", parent.display())))?;
+        }
+    }
+    let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+    std::fs::write(&tmp, bytes).map_err(io(format!("writing shard output {}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        PipelineError::Io {
+            context: format!("publishing shard output {}", path.display()),
+            source: e,
+        }
+    })
+}
+
+/// Run one worker job under the runtime: heartbeat up, job computed, result
+/// atomically published to the spec's `out` path. The front-end supplies
+/// the job body (it alone understands `spec.job`) and maps the returned
+/// error to its exit taxonomy — exit 2 for persistent errors, exit 1 for
+/// transient ones.
+pub fn run_job(
+    spec: &WorkerSpec,
+    job: impl FnOnce(&WorkerSpec) -> Result<Vec<u8>, PipelineError>,
+) -> Result<(), PipelineError> {
+    let _hb = Heartbeat::start(
+        Path::new(&spec.heartbeat),
+        Duration::from_millis(spec.heartbeat_ms.max(1)),
+    );
+    let _span = obs::span(&format!("shard/worker-job-{}", spec.shard_index));
+    obs::log_info(&format!(
+        "[shard] worker {}/{} starting: {}",
+        spec.shard_index, spec.shard_count, spec.job
+    ));
+    let bytes = job(spec)?;
+    write_output_atomic(Path::new(&spec.out), &bytes)?;
+    obs::log_info(&format!(
+        "[shard] worker {} wrote {} bytes",
+        spec.shard_index,
+        bytes.len()
+    ));
+    Ok(())
+}
+
+/// True when `err` is worth a restart. Mirrors the store's taxonomy:
+/// IO-shaped failures are transient, everything structural (bad input,
+/// unknown names, invalid fault plans) is persistent.
+pub fn is_transient(err: &PipelineError) -> bool {
+    match err {
+        PipelineError::Io { .. } => true,
+        PipelineError::Store { source, .. } => source.is_transient(),
+        PipelineError::Shard { transient, .. } => *transient,
+        PipelineError::InvalidFaultPlan(_)
+        | PipelineError::Unknown { .. }
+        | PipelineError::InvalidInput(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_keeps_the_file_fresh() {
+        let dir = std::env::temp_dir().join(format!("structmine-hb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hb");
+        {
+            let _hb = Heartbeat::start(&path, Duration::from_millis(5));
+            assert!(path.exists(), "first beat must be synchronous");
+            let first = std::fs::metadata(&path).unwrap().modified().unwrap();
+            std::thread::sleep(Duration::from_millis(40));
+            let later = std::fs::metadata(&path).unwrap().modified().unwrap();
+            assert!(later >= first, "heartbeat must keep touching the file");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_job_publishes_atomically_and_reports_errors() {
+        let dir = std::env::temp_dir().join(format!("structmine-runjob-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = WorkerSpec {
+            shard_index: 0,
+            shard_count: 1,
+            job: "noop".into(),
+            out: dir.join("out").to_string_lossy().into_owned(),
+            heartbeat: dir.join("hb").to_string_lossy().into_owned(),
+            heartbeat_ms: 50,
+        };
+        run_job(&spec, |_| Ok(b"payload\n".to_vec())).unwrap();
+        assert_eq!(std::fs::read(&spec.out).unwrap(), b"payload\n");
+
+        let failing = run_job(&spec, |_| {
+            Err(PipelineError::InvalidInput("empty shard".into()))
+        });
+        assert!(failing.is_err());
+        assert!(
+            !is_transient(&failing.unwrap_err()),
+            "bad input is persistent"
+        );
+        let io_err = PipelineError::Io {
+            context: "x".into(),
+            source: std::io::Error::other("disk"),
+        };
+        assert!(is_transient(&io_err));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

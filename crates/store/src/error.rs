@@ -205,7 +205,7 @@ impl std::fmt::Display for FaultPlanError {
             FaultPlanError::UnknownKey(key) => write!(
                 f,
                 "unknown fault plan key {key:?} (known: disk_write, disk_read, truncate, \
-                 kill_after_writes, seed)"
+                 kill_after_writes, kill_worker, seed)"
             ),
             FaultPlanError::BadValue { key, value } => {
                 write!(f, "fault plan value {value:?} for {key} does not parse")
@@ -252,6 +252,17 @@ pub enum PipelineError {
     /// Input was structurally invalid (empty document set, unencodable
     /// label, …).
     InvalidInput(String),
+    /// A sharded run failed in the coordinator/worker layer. `transient`
+    /// distinguishes crashes worth restarting (signals, IO) from persistent
+    /// failures (usage errors, exhausted restart budgets) that map to exit 2.
+    Shard {
+        /// What failed, e.g. `"worker 2"` or `"coordinator"`.
+        context: String,
+        /// True when a retry could plausibly succeed.
+        transient: bool,
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -268,6 +279,19 @@ impl std::fmt::Display for PipelineError {
                 expected,
             } => write!(f, "unknown {what} {name:?} (expected one of: {expected})"),
             PipelineError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            PipelineError::Shard {
+                context,
+                transient,
+                detail,
+            } => write!(
+                f,
+                "sharded run: {context} failed ({}): {detail}",
+                if *transient {
+                    "transient"
+                } else {
+                    "persistent"
+                }
+            ),
         }
     }
 }

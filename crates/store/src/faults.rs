@@ -23,6 +23,7 @@
 //! | `disk_read=P` | each read attempt fails with probability `P` |
 //! | `truncate=P` | each *completed* write is then truncated in place with probability `P` (silent corruption; caught later by the checksum footer) |
 //! | `kill_after_writes=N` | `abort()` the process right after the `N`-th completed disk write (crash-at-a-stage-boundary simulation) |
+//! | `kill_worker=i@after_writes=N` | targeted chaos for sharded runs: the coordinator rewrites worker `i`'s first incarnation to run under `kill_after_writes=N`; single-process injectors parse but ignore the clause |
 //! | `seed=S` | seed of the decision stream (default 0) |
 //!
 //! Under any plan the pipeline's *outputs* are unchanged — faults only ever
@@ -49,6 +50,11 @@ pub struct FaultPlan {
     pub truncate: f64,
     /// Abort the process after this many completed disk writes.
     pub kill_after_writes: Option<u64>,
+    /// Targeted chaos for sharded runs, `(worker_index, after_writes)`: the
+    /// shard coordinator translates this into `kill_after_writes` for the
+    /// first incarnation of worker `worker_index` only. Single-process
+    /// injectors parse the clause but never act on it themselves.
+    pub kill_worker: Option<(u64, u64)>,
     /// Seed of the deterministic decision stream.
     pub seed: u64,
 }
@@ -91,6 +97,16 @@ impl FaultPlan {
                 "kill_after_writes" => {
                     plan.kill_after_writes = Some(value.parse().map_err(|_| bad())?);
                 }
+                "kill_worker" => {
+                    // `kill_worker=i@after_writes=N` — the whole clause is one
+                    // `key=value` entry, so `value` here is `i@after_writes=N`.
+                    let (worker, rest) = value.split_once('@').ok_or_else(&bad)?;
+                    let writes = rest.trim().strip_prefix("after_writes=").ok_or_else(&bad)?;
+                    plan.kill_worker = Some((
+                        worker.trim().parse().map_err(|_| bad())?,
+                        writes.trim().parse().map_err(|_| bad())?,
+                    ));
+                }
                 "seed" => plan.seed = value.parse().map_err(|_| bad())?,
                 _ => return Err(FaultPlanError::UnknownKey(key.to_string())),
             }
@@ -106,12 +122,58 @@ impl FaultPlan {
         }
     }
 
-    /// True when the plan injects anything at all.
+    /// True when the plan injects anything at all. A `kill_worker` clause
+    /// counts: it injects nothing in *this* process, but a shard coordinator
+    /// sharing the environment will translate it into a worker crash, so
+    /// exact cache-traffic assertions are off the table either way.
     pub fn is_active(&self) -> bool {
         self.disk_write > 0.0
             || self.disk_read > 0.0
             || self.truncate > 0.0
             || self.kill_after_writes.is_some()
+            || self.kill_worker.is_some()
+    }
+
+    /// Render the plan back into the `STRUCTMINE_FAULTS` syntax, omitting
+    /// defaults. The shard coordinator uses this to propagate the plan to
+    /// workers — typically via [`FaultPlan::for_worker`], which strips the
+    /// coordinator-only `kill_worker` clause.
+    pub fn to_plan_string(&self) -> String {
+        let mut parts = Vec::new();
+        if self.disk_write > 0.0 {
+            parts.push(format!("disk_write={}", self.disk_write));
+        }
+        if self.disk_read > 0.0 {
+            parts.push(format!("disk_read={}", self.disk_read));
+        }
+        if self.truncate > 0.0 {
+            parts.push(format!("truncate={}", self.truncate));
+        }
+        if let Some(n) = self.kill_after_writes {
+            parts.push(format!("kill_after_writes={n}"));
+        }
+        if let Some((w, n)) = self.kill_worker {
+            parts.push(format!("kill_worker={w}@after_writes={n}"));
+        }
+        if self.seed != 0 {
+            parts.push(format!("seed={}", self.seed));
+        }
+        parts.join(",")
+    }
+
+    /// The plan a shard worker should run under. Strips `kill_worker` and,
+    /// when `worker_index` is the targeted worker and this is its first
+    /// incarnation (`incarnation == 0`), arms `kill_after_writes` instead —
+    /// targeted, deterministic, and bounded chaos: the restart runs clean.
+    pub fn for_worker(&self, worker_index: u64, incarnation: u32) -> FaultPlan {
+        let mut plan = *self;
+        plan.kill_worker = None;
+        if let Some((target, writes)) = self.kill_worker {
+            if target == worker_index && incarnation == 0 {
+                plan.kill_after_writes = Some(writes);
+            }
+        }
+        plan
     }
 }
 
@@ -284,6 +346,42 @@ mod tests {
             FaultPlan::parse("kill_after_writes=-1"),
             Err(FaultPlanError::BadValue { .. })
         ));
+    }
+
+    #[test]
+    fn parses_kill_worker_clause_and_round_trips() {
+        let plan = FaultPlan::parse("disk_write=0.25,kill_worker=2@after_writes=5;seed=7").unwrap();
+        assert_eq!(plan.kill_worker, Some((2, 5)));
+        assert!(plan.is_active());
+        let rendered = plan.to_plan_string();
+        assert_eq!(FaultPlan::parse(&rendered).unwrap(), plan);
+        assert_eq!(FaultPlan::default().to_plan_string(), "");
+
+        for bad in [
+            "kill_worker=2",
+            "kill_worker=2@writes=5",
+            "kill_worker=x@after_writes=5",
+            "kill_worker=2@after_writes=y",
+        ] {
+            assert!(
+                matches!(FaultPlan::parse(bad), Err(FaultPlanError::BadValue { .. })),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn for_worker_targets_first_incarnation_only() {
+        let plan = FaultPlan::parse("disk_read=0.1,kill_worker=1@after_writes=3,seed=4").unwrap();
+        let w0 = plan.for_worker(0, 0);
+        assert_eq!(w0.kill_after_writes, None);
+        assert_eq!(w0.kill_worker, None);
+        assert_eq!(w0.disk_read, 0.1);
+        let w1 = plan.for_worker(1, 0);
+        assert_eq!(w1.kill_after_writes, Some(3));
+        assert_eq!(w1.kill_worker, None);
+        let w1_restart = plan.for_worker(1, 1);
+        assert_eq!(w1_restart.kill_after_writes, None, "restarts run clean");
     }
 
     #[test]

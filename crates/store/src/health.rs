@@ -1,0 +1,115 @@
+//! Process-wide health registry: the degradation ladder, made visible.
+//!
+//! Subsystems that shed capability while staying correct record the step
+//! here — the store demoting itself to memory-only, the shard coordinator
+//! shedding a worker — and subsystems that become *unable to answer* (a
+//! dead batcher thread, an engine that failed to load) mark the process
+//! unusable. `structmine-serve`'s `/healthz` renders the registry:
+//!
+//! * healthy → `200` with body `ok`
+//! * degraded → still `200` (the process answers correctly, just with less
+//!   capacity or persistence) with a body naming each degradation step
+//! * unusable → `503`
+//!
+//! The rendering lives in the pure [`health_body_for`] so it can be unit
+//! tested without a process in any particular state.
+
+use parking_lot::Mutex;
+use std::sync::OnceLock;
+
+fn degradations_cell() -> &'static Mutex<Vec<String>> {
+    static CELL: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn unusable_cell() -> &'static Mutex<Option<String>> {
+    static CELL: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(None))
+}
+
+/// Record one degradation step (idempotent per distinct reason): the
+/// process still answers correctly, with reduced capability.
+pub fn note_degraded(reason: &str) {
+    let mut list = degradations_cell().lock();
+    if !list.iter().any(|r| r == reason) {
+        list.push(reason.to_string());
+    }
+}
+
+/// Every degradation step recorded so far, in the order they happened.
+pub fn degradations() -> Vec<String> {
+    degradations_cell().lock().clone()
+}
+
+/// Mark the process unable to answer requests (first reason wins).
+pub fn set_unusable(reason: &str) {
+    let mut cell = unusable_cell().lock();
+    if cell.is_none() {
+        *cell = Some(reason.to_string());
+    }
+}
+
+/// The unusable reason, if the process has one.
+pub fn unusable() -> Option<String> {
+    unusable_cell().lock().clone()
+}
+
+/// Render the current registry as an HTTP health answer.
+pub fn health_body() -> (u16, String) {
+    health_body_for(&degradations(), unusable().as_deref())
+}
+
+/// Pure rendering rule for `/healthz` (see module docs for the ladder).
+pub fn health_body_for(degradations: &[String], unusable: Option<&str>) -> (u16, String) {
+    if let Some(reason) = unusable {
+        return (503, format!("unusable: {reason}\n"));
+    }
+    if degradations.is_empty() {
+        (200, "ok\n".to_string())
+    } else {
+        (200, format!("degraded: {}\n", degradations.join("; ")))
+    }
+}
+
+/// Test hook: reset the registry to healthy.
+pub fn reset() {
+    degradations_cell().lock().clear();
+    *unusable_cell().lock() = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_covers_the_ladder() {
+        let (code, body) = health_body_for(&[], None);
+        assert_eq!((code, body.as_str()), (200, "ok\n"));
+
+        let degr = vec![
+            "store: memory-only".to_string(),
+            "shard: worker 2 shed".to_string(),
+        ];
+        let (code, body) = health_body_for(&degr, None);
+        assert_eq!(code, 200, "degraded still answers 200");
+        assert_eq!(body, "degraded: store: memory-only; shard: worker 2 shed\n");
+
+        let (code, body) = health_body_for(&degr, Some("batcher thread died"));
+        assert_eq!(code, 503, "an unusable process must fail the probe");
+        assert!(body.contains("batcher thread died"));
+    }
+
+    #[test]
+    fn degradations_dedup_and_order() {
+        // The registry is process-global; make the reasons unique to this
+        // test so parallel tests cannot interfere.
+        let a = format!("t-{}-a", line!());
+        let b = format!("t-{}-b", line!());
+        note_degraded(&a);
+        note_degraded(&b);
+        note_degraded(&a); // idempotent per reason: one warning, one entry
+        let all = degradations();
+        let ours: Vec<_> = all.iter().filter(|r| **r == a || **r == b).collect();
+        assert_eq!(ours, vec![&a, &b]);
+    }
+}

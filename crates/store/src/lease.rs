@@ -1,0 +1,175 @@
+//! Cross-process lease/claim on stage keys.
+//!
+//! Sharded runs put several worker processes behind one disk store. The
+//! store's temp-then-rename discipline already makes racing writers *safe*
+//! (the slot always holds a complete artifact); leases make them *cheap*:
+//! before computing an expensive disk-persisted stage, a worker claims the
+//! stage key, and every other worker waits for the artifact to appear
+//! instead of recomputing it.
+//!
+//! A lease is a file under `<store_dir>/leases/` named by the stage key's
+//! id, created with `O_EXCL` (`create_new`) so exactly one process wins the
+//! claim. The file body is the holder's pid. A lease is **stale** when its
+//! holder is no longer alive (`/proc/<pid>` on Linux) or, where pid
+//! liveness cannot be checked, when the file has not been refreshed within
+//! [`LEASE_TTL`]. Stale leases are broken and re-claimed — this is what
+//! lets a rerun recover after a coordinator or worker crash with zero
+//! manual intervention.
+//!
+//! Leases are an optimization, never a correctness gate: if claiming fails
+//! in any unexpected way the caller just computes locally, and the store's
+//! atomic publish keeps the result correct.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Freshness window for holders whose pid liveness cannot be checked.
+pub const LEASE_TTL: Duration = Duration::from_secs(60);
+
+/// How long a waiter polls for the holder's artifact before giving up and
+/// computing locally (duplicated work, still correct).
+pub const LEASE_WAIT_CAP: Duration = Duration::from_secs(300);
+
+/// Poll interval while waiting on another process's lease.
+pub const LEASE_POLL: Duration = Duration::from_millis(25);
+
+/// True when cross-process leasing is enabled for this process. The shard
+/// coordinator sets `STRUCTMINE_LEASE=1` in every worker's environment;
+/// single-process runs skip the lease files entirely.
+pub fn enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var_os("STRUCTMINE_LEASE").is_some())
+}
+
+/// The lease directory under a store directory.
+pub fn lease_dir(store_dir: &Path) -> PathBuf {
+    store_dir.join("leases")
+}
+
+/// A held claim on one stage key. Dropping the guard releases the claim
+/// (removes the lease file); a crashed holder's file is reaped as stale.
+pub struct Lease {
+    path: PathBuf,
+}
+
+impl Lease {
+    /// Claim `id` under `leases_dir`. Returns `None` when another live
+    /// process holds the claim (the caller should wait) — and, to stay an
+    /// optimization rather than a gate, also on unexpected IO errors (the
+    /// caller then computes locally).
+    pub fn try_acquire(leases_dir: &Path, id: &str) -> Option<Lease> {
+        if std::fs::create_dir_all(leases_dir).is_err() {
+            return None;
+        }
+        let path = leases_dir.join(format!("{id}.lease"));
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    return Some(Lease { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if !is_stale(&path) {
+                        return None;
+                    }
+                    // Break the stale lease and retry the claim once. Two
+                    // breakers can race here; `create_new` still admits only
+                    // one winner, and the loser waits like any other waiter.
+                    let _ = std::fs::remove_file(&path);
+                }
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// True when the lease file at `path` belongs to a dead or silent holder.
+/// A vanished file counts as stale: the claim is free to retry.
+fn is_stale(path: &Path) -> bool {
+    let pid: Option<u32> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| s.trim().parse().ok());
+    match pid {
+        Some(pid) if cfg!(target_os = "linux") => !Path::new(&format!("/proc/{pid}")).exists(),
+        _ => {
+            // No readable pid (or no /proc): fall back to the TTL.
+            match std::fs::metadata(path).and_then(|m| m.modified()) {
+                Ok(modified) => modified
+                    .elapsed()
+                    .map(|age| age > LEASE_TTL)
+                    .unwrap_or(false),
+                Err(e) => e.kind() == std::io::ErrorKind::NotFound,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("structmine-lease-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn second_claim_loses_until_release() {
+        let dir = tmp("claim");
+        let held = Lease::try_acquire(&dir, "stage-abc").expect("first claim wins");
+        assert!(
+            Lease::try_acquire(&dir, "stage-abc").is_none(),
+            "live holder must block a second claim"
+        );
+        assert!(
+            Lease::try_acquire(&dir, "stage-other").is_some(),
+            "claims on other keys are independent"
+        );
+        drop(held);
+        assert!(
+            Lease::try_acquire(&dir, "stage-abc").is_some(),
+            "released claim must be re-claimable"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_holder_lease_is_broken() {
+        let dir = tmp("stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Forge a lease held by a pid that cannot be alive (pid_max on
+        // Linux defaults well below this).
+        std::fs::write(dir.join("stage-dead.lease"), "999999999").unwrap();
+        assert!(
+            Lease::try_acquire(&dir, "stage-dead").is_some(),
+            "a dead holder's lease must be reaped and re-claimed"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn release_removes_the_file() {
+        let dir = tmp("release");
+        let path = dir.join("k.lease");
+        {
+            let _l = Lease::try_acquire(&dir, "k").unwrap();
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "drop must remove the lease file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

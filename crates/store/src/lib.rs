@@ -30,6 +30,13 @@
 //!   `STRUCTMINE_FAULTS` that makes disk reads/writes fail, truncates
 //!   completed writes, or kills the process at a write boundary — for
 //!   testing the retry/degradation/resume machinery end to end.
+//! * [`lease`] — cross-process lease/claim on stage keys: under
+//!   `STRUCTMINE_LEASE` (set by the shard coordinator), sibling worker
+//!   processes claim a stage before computing it and wait on the holder's
+//!   artifact instead of duplicating the work. Stale leases (dead holders)
+//!   are reaped, so crash-and-rerun recovers with no manual cleanup.
+//! * [`health`] — process-wide degradation/unusable registry rendered by
+//!   `structmine-serve`'s `/healthz`.
 //! * [`context`] — a thread-local stage-label stack so deep failures
 //!   (worker panics, store warnings) can name the stage they happened in.
 //! * [`obs`] — the observability layer (DESIGN §8): every stage label is
@@ -46,6 +53,7 @@
 //! | `STRUCTMINE_STORE_NO_DISK` | Disable the disk layer (memory sharing still on) |
 //! | `STRUCTMINE_NO_CACHE` | Disable the store entirely (every stage recomputes) |
 //! | `STRUCTMINE_FAULTS` | Deterministic fault plan, e.g. `disk_write=0.2,disk_read=0.1,truncate=0.05;seed=7` |
+//! | `STRUCTMINE_LEASE` | Enable cross-process stage leases (set by the shard coordinator for its workers) |
 //! | `STRUCTMINE_LOG` | Log level: `warn`, `info` (default), or `debug` |
 //! | `STRUCTMINE_REPORT` | Write the JSON run report to this path at process exit |
 
@@ -54,7 +62,9 @@ pub mod delta;
 pub mod error;
 pub mod faults;
 pub mod hash;
+pub mod health;
 pub mod key;
+pub mod lease;
 pub mod obs;
 pub mod stage;
 pub mod store;
@@ -64,5 +74,6 @@ pub use error::{FaultPlanError, IoOp, PipelineError, StoreError};
 pub use faults::{FaultInjector, FaultPlan};
 pub use hash::{fingerprint_of, StableHash, StableHasher};
 pub use key::ArtifactKey;
+pub use lease::Lease;
 pub use stage::{Artifact, Persistence, Stage};
 pub use store::{global, ArtifactStore, StatsSnapshot};

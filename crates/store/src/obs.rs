@@ -202,6 +202,16 @@ pub fn span(label: &str) -> crate::context::StageGuard {
     crate::context::stage_guard(label)
 }
 
+/// Record one closed span at an explicit path, bypassing the thread-local
+/// guard stack. The shard coordinator uses this to attribute each worker
+/// process's lifetime (`shard/worker-<i>`) and to import spans from worker
+/// run reports into its own aggregated report — work that happened in
+/// another process and therefore never crossed a local guard.
+pub fn record_span_at(path: &[String], elapsed: Duration) {
+    init();
+    record_span(path, elapsed);
+}
+
 /// Total recorded wall time of root (depth-1) spans, in nanoseconds. The
 /// report's `attributed_ms` comes from this; the CI smoke asserts it covers
 /// ≥ 90% of `total_wall_ms`.

@@ -212,9 +212,89 @@ impl ArtifactStore {
     }
 
     /// Run a [`Stage`] memoized: return the stored artifact when the key
-    /// hits, otherwise compute, store, and return.
+    /// hits, otherwise compute, store, and return. Under `STRUCTMINE_LEASE`
+    /// (set by the shard coordinator for its workers) disk-persisted stages
+    /// additionally go through the cross-process lease protocol so sibling
+    /// worker processes never compute the same stage twice.
     pub fn run<S: Stage>(&self, stage: &S) -> Arc<S::Output> {
+        if crate::lease::enabled() {
+            return self.run_leased(stage);
+        }
         self.get_or_compute(&stage.key(), stage.persistence(), || stage.compute())
+    }
+
+    /// Run a [`Stage`] under the cross-process lease protocol (see
+    /// [`lease`](crate::lease)): claim the stage key before computing; on a
+    /// lost claim, wait for the holder's artifact to land on disk instead
+    /// of recomputing. Falls back to a plain compute when the disk layer is
+    /// unavailable or the wait cap expires — leases are an optimization,
+    /// never a correctness gate.
+    pub fn run_leased<S: Stage>(&self, stage: &S) -> Arc<S::Output> {
+        let key = stage.key();
+        let persistence = stage.persistence();
+        if let Some(hit) = self.peek(&key, persistence) {
+            return hit;
+        }
+        let leasable =
+            self.dir.is_some() && !self.is_degraded() && persistence != Persistence::MemoryOnly;
+        if !leasable {
+            return self.get_or_compute(&key, persistence, || stage.compute());
+        }
+        let leases = crate::lease::lease_dir(self.dir.as_deref().expect("leasable implies dir"));
+        let id = key.id();
+        let deadline = std::time::Instant::now() + crate::lease::LEASE_WAIT_CAP;
+        loop {
+            match crate::lease::Lease::try_acquire(&leases, &id) {
+                Some(_claim) => {
+                    // Re-check under the claim: the previous holder may have
+                    // published between our peek and our acquire.
+                    if let Some(hit) = self.peek(&key, persistence) {
+                        return hit;
+                    }
+                    return self.get_or_compute(&key, persistence, || stage.compute());
+                }
+                None => {
+                    if let Some(hit) = self.peek(&key, persistence) {
+                        return hit;
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        // A live holder that never publishes (e.g. its disk
+                        // writes keep failing). Duplicate the work locally —
+                        // correct, just not shared.
+                        crate::obs::log_warn(&format!(
+                            "[lease] wait cap expired on {}; computing locally",
+                            key.stage
+                        ));
+                        return self.get_or_compute(&key, persistence, || stage.compute());
+                    }
+                    std::thread::sleep(crate::lease::LEASE_POLL);
+                }
+            }
+        }
+    }
+
+    /// Insert an externally computed value under a stage's key — the shard
+    /// coordinator uses this to publish a merged artifact (assembled from
+    /// per-shard pieces) so downstream single-process consumers find it
+    /// warm under the canonical key. Publishing is authoritative: it
+    /// overwrites any in-memory memo for the key.
+    pub fn publish<S: Stage>(&self, stage: &S, value: S::Output) -> Arc<S::Output> {
+        let key = stage.key();
+        let persistence = stage.persistence();
+        let arc = Arc::new(value);
+        let degraded = self.is_degraded();
+        let use_mem = self.memory_enabled && (persistence != Persistence::DiskOnly || degraded);
+        let use_disk = self.dir.is_some() && !degraded && persistence != Persistence::MemoryOnly;
+        if use_disk {
+            if let Err(e) = self.write_disk(&key, arc.as_ref()) {
+                self.note_persistent_failure(&e);
+            }
+        }
+        if use_mem || (self.memory_enabled && self.is_degraded()) {
+            let clone: Arc<dyn Any + Send + Sync> = Arc::clone(&arc) as Arc<dyn Any + Send + Sync>;
+            self.mem.lock().insert(key.id(), clone);
+        }
+        arc
     }
 
     /// Memoize an ad-hoc computation under `key`.
@@ -344,6 +424,11 @@ impl ArtifactStore {
         if n >= DEGRADE_AFTER && !self.degraded.swap(true, Ordering::Relaxed) {
             if let Some(scope) = &self.scope {
                 crate::obs::count(scope, crate::obs::Counter::Degradations, 1);
+            }
+            // Scoped stores are the long-lived, process-level ones; their
+            // demotion is a process-health fact `/healthz` should surface.
+            if let Some(scope) = &self.scope {
+                crate::health::note_degraded(&format!("{scope}: demoted to memory-only"));
             }
             crate::obs::log_warn(&format!(
                 "[artifact-store] WARNING: {n} persistent disk failures (last: {e}); \
