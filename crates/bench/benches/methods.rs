@@ -55,6 +55,30 @@ fn bench_parallel_encode(c: &mut Criterion) {
     group.finish();
 }
 
+/// Exact vs Fast precision tier on the same single-thread corpus encode
+/// (DESIGN §13): the Fast tier's polynomial `tanh`/`exp`, fused GELU
+/// forward, and branchless matmul are the first lever past the Exact
+/// tier's bit-identity ceiling. The ratio between these two rows is the
+/// number `BENCH_kernels.json` records.
+fn bench_precision_tiers(c: &mut Criterion) {
+    let plm = standard_plm();
+    let d = recipes::agnews(SCALE, 1).unwrap();
+    let mut group = c.benchmark_group("precision_encode");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (name, precision) in [
+        ("exact", structmine_linalg::Precision::Exact),
+        ("fast", structmine_linalg::Precision::Fast),
+    ] {
+        let policy = structmine_linalg::ExecPolicy::with_threads(1).with_precision(precision);
+        group.bench_function(&format!("encode_corpus_{name}_t1"), |b| {
+            b.iter(|| std::hint::black_box(plm.encode_corpus(&d.corpus, &policy)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_flat_methods(c: &mut Criterion) {
     let plm = standard_plm();
     let mut group = c.benchmark_group("flat_methods");
@@ -160,6 +184,7 @@ criterion_group!(
     benches,
     bench_substrates,
     bench_parallel_encode,
+    bench_precision_tiers,
     bench_flat_methods,
     bench_structured_methods
 );

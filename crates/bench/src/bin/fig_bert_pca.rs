@@ -7,6 +7,6 @@ fn main() {
             println!("{table}");
         }
         println!("{}", structmine_bench::exps::figures::ascii_scatter(cfg)?);
-        Ok(())
+        Ok::<(), structmine_bench::BenchError>(())
     });
 }

@@ -3,7 +3,7 @@
 
 fn main() {
     structmine_bench::run_table("fig_lotclass_mlm", |_cfg| {
-        println!("{}", structmine_bench::exps::lotclass::table1_demo());
-        Ok(())
+        println!("{}", structmine_bench::exps::lotclass::table1_demo()?);
+        Ok::<(), structmine_bench::BenchError>(())
     });
 }

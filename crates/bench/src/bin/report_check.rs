@@ -3,15 +3,18 @@
 //!
 //! ```text
 //! report_check <report.json> [--min-coverage 0.9] [--expect-stages a,b,c]
+//!              [--expect-env KEY=VALUE]
 //! ```
 //!
 //! Checks, in order: the report parses and matches the schema
 //! (`schema_version`, config fingerprint shape, counters, span tree); the
 //! per-stage timings attribute at least `--min-coverage` of the process
 //! wall time (default 0.9); every `--expect-stages` label appears in the
-//! span tree. Exits 2 on usage errors, 1 on a failed check, 0 when the
-//! report is healthy — CI runs this against a Test-tier `table_xclass`
-//! report.
+//! span tree; every `--expect-env KEY=VALUE` pair appears in
+//! `config.env` (the fingerprint's input set — CI asserts the precision
+//! tier landed there). Exits 2 on usage errors, 1 on a failed check, 0
+//! when the report is healthy — CI runs this against a Test-tier
+//! `table_xclass` report.
 
 use structmine_store::obs;
 
@@ -25,6 +28,7 @@ fn main() {
     let mut path = None;
     let mut min_coverage = 0.9f64;
     let mut expect_stages: Vec<String> = Vec::new();
+    let mut expect_env: Vec<(String, String)> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -47,6 +51,14 @@ fn main() {
                     .collect();
                 i += 2;
             }
+            "--expect-env" => {
+                let v = argv
+                    .get(i + 1)
+                    .and_then(|s| s.split_once('='))
+                    .unwrap_or_else(|| fail("--expect-env needs KEY=VALUE", 2));
+                expect_env.push((v.0.to_string(), v.1.to_string()));
+                i += 2;
+            }
             other if path.is_none() && !other.starts_with("--") => {
                 path = Some(other.to_string());
                 i += 1;
@@ -56,7 +68,8 @@ fn main() {
     }
     let path = path.unwrap_or_else(|| {
         fail(
-            "usage: report_check <report.json> [--min-coverage 0.9] [--expect-stages a,b,c]",
+            "usage: report_check <report.json> [--min-coverage 0.9] [--expect-stages a,b,c] \
+             [--expect-env KEY=VALUE]",
             2,
         )
     });
@@ -90,6 +103,18 @@ fn main() {
             &format!("expected stages missing from the report: {missing:?} (present: {labels:?})"),
             1,
         );
+    }
+
+    for (key, want) in &expect_env {
+        let got = obs::report_config_env(&report, key)
+            .unwrap_or_else(|e| fail(&format!("config env unavailable: {e}"), 1));
+        match got {
+            Some(v) if &v == want => {}
+            other => fail(
+                &format!("config.env expected {key}={want}, found {other:?}"),
+                1,
+            ),
+        }
     }
 
     println!(

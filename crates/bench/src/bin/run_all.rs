@@ -21,9 +21,9 @@ fn main() {
             report.push('\n');
             all_ok &= t.all_checks_pass();
         }
-        let mut f = std::fs::File::create("bench_report.md").expect("create bench_report.md");
-        f.write_all(report.as_bytes()).expect("write report");
-        Ok(all_ok)
+        let mut f = std::fs::File::create("bench_report.md")?;
+        f.write_all(report.as_bytes())?;
+        Ok::<bool, structmine_bench::BenchError>(all_ok)
     });
     println!(
         "\n{} — report written to bench_report.md",

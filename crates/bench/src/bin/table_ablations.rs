@@ -6,6 +6,6 @@ fn main() {
         for table in structmine_bench::exps::ablations::run(cfg)? {
             println!("{table}");
         }
-        Ok(())
+        Ok::<(), structmine_bench::BenchError>(())
     });
 }

@@ -5,6 +5,6 @@ fn main() {
         for table in structmine_bench::exps::lotclass::run(cfg)? {
             println!("{table}");
         }
-        Ok(())
+        Ok::<(), structmine_bench::BenchError>(())
     });
 }

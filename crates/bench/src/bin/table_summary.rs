@@ -80,6 +80,6 @@ fn main() {
             t.row(row.iter().map(|s| s.to_string()).collect());
         }
         println!("{t}");
-        Ok(())
+        Ok::<(), structmine_bench::BenchError>(())
     });
 }

@@ -5,6 +5,6 @@ fn main() {
         for table in structmine_bench::exps::westclass::run(cfg)? {
             println!("{table}");
         }
-        Ok(())
+        Ok::<(), structmine_bench::BenchError>(())
     });
 }

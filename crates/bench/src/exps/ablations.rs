@@ -8,15 +8,15 @@
 //! * ConWea's seed-expansion width.
 
 use crate::table::f3;
-use crate::{standard_word_vectors, BenchConfig, Table};
+use crate::{standard_word_vectors, BenchConfig, BenchError, Table};
 use structmine::conwea::ConWea;
 use structmine::westclass::WeSTClass;
 use structmine::xclass::XClass;
 use structmine_plm::{pretrain, MiniPlm, PlmConfig, PretrainConfig};
-use structmine_text::synth::{recipes, SynthError};
+use structmine_text::synth::recipes;
 
 /// Run all ablations.
-pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
     Ok(vec![
         plm_scaling_curve(cfg)?,
         westclass_pseudo_budget(cfg)?,
@@ -26,7 +26,7 @@ pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
 }
 
 /// Downstream X-Class accuracy as a function of PLM pretraining steps.
-pub fn plm_scaling_curve(cfg: &BenchConfig) -> Result<Table, SynthError> {
+pub fn plm_scaling_curve(cfg: &BenchConfig) -> Result<Table, BenchError> {
     let mut t = Table::new("E11a — PLM pretraining compute vs downstream weak classification");
     t.note("X-Class on agnews with label names only; the same architecture pretrained longer");
     t.headers(&["pretraining steps", "final MLM loss", "X-Class accuracy"]);
@@ -67,7 +67,7 @@ pub fn plm_scaling_curve(cfg: &BenchConfig) -> Result<Table, SynthError> {
 }
 
 /// WeSTClass accuracy vs pseudo-document budget.
-pub fn westclass_pseudo_budget(cfg: &BenchConfig) -> Result<Table, SynthError> {
+pub fn westclass_pseudo_budget(cfg: &BenchConfig) -> Result<Table, BenchError> {
     let mut t = Table::new("E11b — WeSTClass pseudo-document budget");
     t.headers(&["pseudo docs / class", "accuracy"]);
     let d = recipes::agnews(cfg.scale, 12)?;
@@ -95,7 +95,7 @@ pub fn westclass_pseudo_budget(cfg: &BenchConfig) -> Result<Table, SynthError> {
 }
 
 /// X-Class: EM iterations of the alignment GMM (anchoring vs drift).
-pub fn xclass_gmm_anchoring(cfg: &BenchConfig) -> Result<Table, SynthError> {
+pub fn xclass_gmm_anchoring(cfg: &BenchConfig) -> Result<Table, BenchError> {
     let mut t = Table::new("E11c — X-Class GMM anchoring: EM iterations vs drift");
     t.note("long EM runs drift from the class-seeded prior toward whatever unsupervised structure dominates");
     t.headers(&["EM iterations", "align accuracy", "final accuracy"]);
@@ -125,7 +125,7 @@ pub fn xclass_gmm_anchoring(cfg: &BenchConfig) -> Result<Table, SynthError> {
 }
 
 /// ConWea: seed-expansion width.
-pub fn conwea_expansion_width(cfg: &BenchConfig) -> Result<Table, SynthError> {
+pub fn conwea_expansion_width(cfg: &BenchConfig) -> Result<Table, BenchError> {
     let mut t = Table::new("E11d — ConWea seed-expansion width");
     t.headers(&["expansion words / class", "accuracy"]);
     let d = recipes::nyt_coarse(cfg.scale, 14)?;

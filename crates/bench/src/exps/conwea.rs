@@ -2,17 +2,17 @@
 //! NYT/20News stand-ins, with the NoCon / NoExpan / WSD ablations.
 
 use crate::table::ms;
-use crate::{adapted_plm, standard_word_vectors, BenchConfig, Table};
+use crate::{adapted_plm, standard_word_vectors, BenchConfig, BenchError, Table};
 use structmine::baselines;
 use structmine::conwea::ConWea;
 use structmine::westclass::WeSTClass;
 use structmine_eval::MeanStd;
-use structmine_text::synth::{recipes, SynthError};
+use structmine_text::synth::recipes;
 
 const DATASETS: &[&str] = &["nyt-coarse", "nyt-fine", "20news-coarse", "20news-fine"];
 
 /// Run E2.
-pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
     let mut t = Table::new("E2 — ConWea reproduction (Micro-F1 / Macro-F1, test split)");
     t.note(format!(
         "seeds={}, scale={}; paper reference (NYT 5-class micro): IR-TF-IDF 0.65, \

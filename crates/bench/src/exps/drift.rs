@@ -10,11 +10,11 @@
 //! rule holds up as the stream leaves its fit distribution.
 
 use crate::table::ms;
-use crate::{BenchConfig, Table};
+use crate::{BenchConfig, BenchError, Table};
 use structmine_engine::{Engine, EngineConfig, EngineSource, MethodKind, PlmSpec};
 use structmine_eval::MeanStd;
 use structmine_linalg::ExecPolicy;
-use structmine_text::synth::{drift_stream, topic_drift, SynthError};
+use structmine_text::synth::{drift_stream, topic_drift};
 
 /// The servable methods the drift table reports on.
 const METHODS: &[MethodKind] = &[MethodKind::XClass, MethodKind::Match];
@@ -23,7 +23,7 @@ const METHODS: &[MethodKind] = &[MethodKind::XClass, MethodKind::Match];
 const GENERATIONS: usize = 4;
 
 /// Run E11.
-pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
     let mut t = Table::new("E11 — topic drift (accuracy per ingested generation)");
     t.note(format!(
         "seeds={}, scale={}; rule frozen on the pre-drift fit corpus, each \
@@ -49,12 +49,9 @@ pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
                 plm: PlmSpec::Adapted { seed },
                 seed: Some(seed),
                 exec: ExecPolicy::default(),
-            })
-            .expect("dataset-sourced engines load infallibly");
+            })?;
             for (g, batch) in stream.iter().enumerate() {
-                let ingested = engine
-                    .ingest(&batch.lines)
-                    .expect("in-order deltas are accepted");
+                let ingested = engine.ingest(&batch.lines)?;
                 let preds: Vec<usize> = ingested.predictions.iter().map(|p| p.class).collect();
                 cells[m][g].push(structmine_eval::accuracy(&preds, &batch.labels));
             }

@@ -2,13 +2,13 @@
 //! Figure 1 (2-D PCA of average-pooled representations colored by domain)
 //! and Figure 2 (confusion matrix of k=5 clustering against domains).
 
-use crate::{adapted_plm, standard_plm, BenchConfig, Table};
+use crate::{adapted_plm, standard_plm, BenchConfig, BenchError, Table};
 use structmine_cluster::{confusion_matrix, kmeans, map_clusters_to_classes};
 use structmine_linalg::Pca;
-use structmine_text::synth::{recipes, SynthError};
+use structmine_text::synth::recipes;
 
 /// Run E4b: PCA scatter summary + clustering confusion matrix.
-pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
     let d = recipes::nyt_coarse(cfg.scale, 7)?;
     let plm = adapted_plm(&d, 7);
     let reps = structmine_plm::repr::doc_mean_reps(&plm, &d.corpus);
@@ -104,7 +104,7 @@ pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
 }
 
 /// ASCII scatter of the PCA projection (printed by the figure binary).
-pub fn ascii_scatter(cfg: &BenchConfig) -> Result<String, SynthError> {
+pub fn ascii_scatter(cfg: &BenchConfig) -> Result<String, BenchError> {
     let plm = standard_plm();
     let d = recipes::nyt_coarse((cfg.scale * 0.5).max(0.03), 7)?;
     let reps = structmine_plm::repr::doc_mean_reps(&plm, &d.corpus);

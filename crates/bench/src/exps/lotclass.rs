@@ -3,17 +3,17 @@
 //! the Table-1 MLM replacement demo (E3b).
 
 use crate::table::ms;
-use crate::{adapted_plm, standard_plm, standard_word_vectors, BenchConfig, Table};
+use crate::{adapted_plm, standard_plm, standard_word_vectors, BenchConfig, BenchError, Table};
 use structmine::baselines;
 use structmine::lotclass::{replacement_demo, LotClass};
 use structmine::westclass::WeSTClass;
 use structmine_eval::MeanStd;
-use structmine_text::synth::{recipes, SynthError};
+use structmine_text::synth::recipes;
 
 const DATASETS: &[&str] = &["agnews", "dbpedia", "imdb", "amazon"];
 
 /// Run E3.
-pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
     let mut t = Table::new("E3 — LOTClass reproduction (accuracy, label names only)");
     t.note(format!(
         "seeds={}, scale={}; paper reference (AG News): Dataless 0.696, WeSTClass 0.823, \
@@ -114,34 +114,38 @@ pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
         mean("Supervised") >= mean("LOTClass") - 0.02,
     );
 
-    Ok(vec![t, table1_demo()])
+    Ok(vec![t, table1_demo()?])
 }
 
 /// E3b — the paper's Table 1: MLM replacements for one surface word under
 /// two different contexts.
-pub fn table1_demo() -> Table {
+pub fn table1_demo() -> Result<Table, BenchError> {
     let plm = standard_plm();
     let corpus = recipes::pretraining_corpus(2, 1);
     let v = &corpus.vocab;
-    let id = |w: &str| v.id(w).expect("demo word in vocabulary");
+    let id = |w: &str| {
+        v.id(w).ok_or_else(|| {
+            BenchError::Invalid(format!("demo word '{w}' missing from the pretraining vocabulary"))
+        })
+    };
     // "pitch" as the playing surface vs as a musical property.
     let soccer_ctx = vec![
-        id("soccer"),
-        id("striker"),
-        id("pitch"),
-        id("goal"),
-        id("keeper"),
-        id("offside"),
+        id("soccer")?,
+        id("striker")?,
+        id("pitch")?,
+        id("goal")?,
+        id("keeper")?,
+        id("offside")?,
     ];
     let music_ctx = vec![
-        id("band"),
-        id("singer"),
-        id("pitch"),
-        id("melody"),
-        id("concert"),
-        id("chorus"),
+        id("band")?,
+        id("singer")?,
+        id("pitch")?,
+        id("melody")?,
+        id("concert")?,
+        id("chorus")?,
     ];
-    let demos = replacement_demo(&plm, v, &[soccer_ctx, music_ctx], id("pitch"), 8);
+    let demos = replacement_demo(&plm, v, &[soccer_ctx, music_ctx], id("pitch")?, 8);
 
     let mut t = Table::new("E3b — LOTClass Table 1: MLM predictions for 'pitch' in two contexts");
     t.note("paper analogue: BERT's replacements for 'sports' differ between a sports story and a gadget story");
@@ -182,7 +186,7 @@ pub fn table1_demo() -> Table {
         format!("replacements are context-topical (soccer {soccer_hits}/8, music {music_hits}/8)"),
         soccer_hits >= 2 && music_hits >= 2,
     );
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -191,7 +195,7 @@ mod tests {
 
     #[test]
     fn table1_demo_runs_and_differs() {
-        let t = table1_demo();
+        let t = table1_demo().unwrap();
         assert_eq!(t.rows.len(), 2);
         assert!(
             t.checks[0].1,

@@ -3,11 +3,11 @@
 //! documents, against text-only and graph-only baselines.
 
 use crate::table::ms;
-use crate::{standard_word_vectors, BenchConfig, Table};
+use crate::{standard_word_vectors, BenchConfig, BenchError, Table};
 use structmine::metacat::{MetaCat, SignalSet};
 use structmine::westclass::WeSTClass;
 use structmine_eval::MeanStd;
-use structmine_text::synth::{recipes, SynthError};
+use structmine_text::synth::recipes;
 
 const DATASETS: &[&str] = &[
     "github-bio",
@@ -19,7 +19,7 @@ const DATASETS: &[&str] = &[
 const DOCS_PER_CLASS: usize = 5;
 
 /// Run E8.
-pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
     let mut micro_t = Table::new("E8 — MetaCat reproduction (Micro-F1, 5 labeled docs/class)");
     micro_t.note(format!(
         "seeds={}, scale={}; paper reference (GitHub-Bio micro): CNN 0.223, WeSTClass 0.368, \

@@ -3,13 +3,13 @@
 //! supervised MATCH-style rows at growing supervision sizes.
 
 use crate::table::ms;
-use crate::{adapted_plm, BenchConfig, Table};
+use crate::{adapted_plm, BenchConfig, BenchError, Table};
 use structmine::micol::{
     augmentation_contrastive_ranking, doc2vec_ranking, entail_ranking, plm_rep_ranking,
     supervised_match_ranking, Encoder, MetaPath, MiCoL,
 };
 use structmine_eval::{ndcg_at_k, precision_at_k, MeanStd};
-use structmine_text::synth::{recipes, SynthError};
+use structmine_text::synth::recipes;
 use structmine_text::Dataset;
 
 const DATASETS: &[&str] = &["mag-cs", "pubmed"];
@@ -27,7 +27,7 @@ fn eval(d: &Dataset, rankings: &[Vec<usize>]) -> [f32; 5] {
 }
 
 /// Run E9.
-pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
     let methods: &[&str] = &[
         "Doc2Vec",
         "PLM rep (SciBERT-like)",
@@ -125,7 +125,9 @@ pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
     .iter()
     .map(|m| mean(m))
     .fold(f32::NEG_INFINITY, f32::max);
-    let t = tables.last_mut().unwrap();
+    let t = tables
+        .last_mut()
+        .ok_or_else(|| BenchError::Invalid("E8 produced no tables".into()))?;
     t.check(
         format!(
             "best MICoL ({best_micol:.3}) beats Doc2Vec ({:.3})",

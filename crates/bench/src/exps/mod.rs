@@ -14,11 +14,10 @@ pub mod weshclass;
 pub mod westclass;
 pub mod xclass;
 
-use crate::{BenchConfig, Table};
-use structmine_text::synth::SynthError;
+use crate::{BenchConfig, BenchError, Table};
 
 /// Run every experiment, in paper order. Expensive; used by `run_all`.
-pub fn run_all(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+pub fn run_all(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
     let mut tables = Vec::new();
     tables.extend(westclass::run(cfg)?);
     tables.extend(conwea::run(cfg)?);

@@ -3,15 +3,15 @@
 //! RTD-style) and three full-pipeline pairings.
 
 use crate::table::ms;
-use crate::{adapted_plm, BenchConfig, Table};
+use crate::{adapted_plm, BenchConfig, BenchError, Table};
 use structmine::promptclass::{PromptClass, PromptStyle};
 use structmine_eval::MeanStd;
-use structmine_text::synth::{recipes, SynthError};
+use structmine_text::synth::recipes;
 
 const DATASETS: &[&str] = &["agnews", "20news-coarse", "yelp", "imdb"];
 
 /// Run E5.
-pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
     let mut t = Table::new("E5 — PromptClass reproduction (Micro-F1 / Macro-F1)");
     t.note(format!(
         "seeds={}, scale={}; paper reference (AG News micro): RoBERTa 0-shot 0.581, \

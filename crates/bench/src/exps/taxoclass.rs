@@ -3,11 +3,11 @@
 //! semi-supervised heads, and Hier-0Shot-TC.
 
 use crate::table::ms;
-use crate::{adapted_plm, standard_word_vectors, BenchConfig, Table};
+use crate::{adapted_plm, standard_word_vectors, BenchConfig, BenchError, Table};
 use structmine::taxoclass::{hier_zero_shot, semi_supervised, TaxoClass, TaxoClassOutput};
 use structmine::weshclass::WeSHClass;
 use structmine_eval::{example_f1, precision_at_1_sets, MeanStd};
-use structmine_text::synth::{recipes, SynthError};
+use structmine_text::synth::recipes;
 use structmine_text::Dataset;
 
 const DATASETS: &[&str] = &["amazon-taxonomy", "dbpedia-taxonomy"];
@@ -25,11 +25,11 @@ fn eval(d: &Dataset, out: &TaxoClassOutput) -> (f32, f32) {
 
 /// WeSHClass pressed into multi-label service, as in the paper's baselines:
 /// it predicts one root-to-leaf path, used as the label set.
-fn weshclass_as_baseline(d: &Dataset, seed: u64) -> TaxoClassOutput {
+fn weshclass_as_baseline(d: &Dataset, seed: u64) -> Result<TaxoClassOutput, BenchError> {
     let wv = standard_word_vectors(d);
     // Restrict to tree-like behaviour: WeSHClass needs a tree, so run it on
     // a "first parent" copy of the taxonomy.
-    let tree_dataset = single_parent_view(d);
+    let tree_dataset = single_parent_view(d)?;
     let out = WeSHClass {
         seed,
         ..Default::default()
@@ -40,22 +40,27 @@ fn weshclass_as_baseline(d: &Dataset, seed: u64) -> TaxoClassOutput {
         .iter()
         .map(|p| p.last().copied().unwrap_or(0))
         .collect();
-    TaxoClassOutput {
+    Ok(TaxoClassOutput {
         label_sets: out.path_predictions,
         top1,
         core_classes: Vec::new(),
-    }
+    })
 }
 
 /// Copy of the dataset whose taxonomy keeps only each node's first parent.
-fn single_parent_view(d: &Dataset) -> Dataset {
-    let tax = d.taxonomy.as_ref().expect("taxonomy");
+fn single_parent_view(d: &Dataset) -> Result<Dataset, BenchError> {
+    let tax = d
+        .taxonomy
+        .as_ref()
+        .ok_or_else(|| BenchError::Invalid("E7 dataset has no taxonomy".into()))?;
     let mut tree = structmine_text::Taxonomy::new("root");
     let mut node_map = std::collections::HashMap::new();
     node_map.insert(tax.root(), tree.root());
     // Nodes were added in increasing id order, so parents precede children.
     for node in tax.non_root_nodes() {
-        let parent = *tax.parents(node).first().expect("non-root has a parent");
+        let parent = *tax.parents(node).first().ok_or_else(|| {
+            BenchError::Invalid(format!("taxonomy node '{}' has no parent", tax.name(node)))
+        })?;
         let mapped_parent = node_map[&parent];
         let new = tree.add_node(tax.name(node), &[mapped_parent]);
         node_map.insert(node, new);
@@ -63,11 +68,11 @@ fn single_parent_view(d: &Dataset) -> Dataset {
     let mut out = d.clone();
     out.class_nodes = d.class_nodes.iter().map(|n| node_map[n]).collect();
     out.taxonomy = Some(tree);
-    out
+    Ok(out)
 }
 
 /// Run E7.
-pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
     let mut t = Table::new("E7 — TaxoClass reproduction (Example-F1 / P@1)");
     t.note(format!(
         "seeds={}, scale={}; paper reference (Amazon): WeSHClass 0.246/0.577, SS-PCEM 0.292/0.537, \
@@ -95,7 +100,7 @@ pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
             let d = recipes::by_name(ds, cfg.scale, seed)?;
             let plm = adapted_plm(&d, seed);
             let outs = [
-                weshclass_as_baseline(&d, seed),
+                weshclass_as_baseline(&d, seed)?,
                 semi_supervised(&d, &plm, 0.3, seed),
                 hier_zero_shot(&d, &plm, 2),
                 TaxoClass {
@@ -163,7 +168,7 @@ mod tests {
     fn single_parent_view_produces_a_tree() {
         let d = recipes::amazon_taxonomy(0.05, 1).unwrap();
         assert!(!d.taxonomy.as_ref().unwrap().is_tree());
-        let tree = single_parent_view(&d);
+        let tree = single_parent_view(&d).unwrap();
         assert!(tree.taxonomy.as_ref().unwrap().is_tree());
         assert_eq!(tree.class_nodes.len(), d.class_nodes.len());
     }

@@ -3,10 +3,10 @@
 //! No-global / No-vMF / No-self-train ablations.
 
 use crate::table::ms;
-use crate::{standard_word_vectors, BenchConfig, Table};
+use crate::{standard_word_vectors, BenchConfig, BenchError, Table};
 use structmine::weshclass::{path_macro_f1, path_micro_f1, WeSHClass};
 use structmine_eval::MeanStd;
-use structmine_text::synth::{recipes, SynthError};
+use structmine_text::synth::recipes;
 use structmine_text::Dataset;
 
 const DATASETS: &[&str] = &["nyt-tree", "arxiv-tree", "yelp-tree"];
@@ -26,7 +26,7 @@ fn eval(d: &Dataset, out: &structmine::weshclass::WeSHClassOutput) -> (f32, f32)
 }
 
 /// Run E6.
-pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
     let mut t = Table::new("E6 — WeSHClass reproduction (Macro-F1 / Micro-F1 over path labels)");
     t.note(format!(
         "seeds={}, scale={}; paper reference (NYT keywords macro/micro): WeSTClass 0.386/0.772, \

@@ -3,11 +3,11 @@
 //! model, Dataless and supervised baselines and the NoST ablation.
 
 use crate::table::ms;
-use crate::{standard_word_vectors, BenchConfig, Table};
+use crate::{standard_word_vectors, BenchConfig, BenchError, Table};
 use structmine::baselines;
 use structmine::westclass::WeSTClass;
 use structmine_eval::MeanStd;
-use structmine_text::synth::{recipes, SynthError};
+use structmine_text::synth::recipes;
 use structmine_text::{Dataset, Supervision};
 
 const DATASETS: &[&str] = &["nyt-coarse", "agnews", "yelp"];
@@ -23,7 +23,7 @@ fn supervision(d: &Dataset, kind: &str, seed: u64) -> Supervision {
 }
 
 /// Run E1.
-pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
     let mut macro_t = Table::new("E1 — WeSTClass reproduction (Macro-F1, test split)");
     macro_t.note(format!(
         "synthetic stand-ins at scale {} over {} seed(s); paper reference (NYT, Macro-F1): \
@@ -166,7 +166,7 @@ pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
 
 /// Quick variant used by the criterion benches and tests: one dataset, one
 /// supervision, one seed.
-pub fn quick(scale: f32, seed: u64) -> Result<f32, SynthError> {
+pub fn quick(scale: f32, seed: u64) -> Result<f32, BenchError> {
     let d = recipes::agnews(scale, seed)?;
     let wv = standard_word_vectors(&d);
     let out = WeSTClass {

@@ -3,11 +3,11 @@
 //! including the X-Class-Rep and X-Class-Align ablation rows.
 
 use crate::table::{f3, ms};
-use crate::{BenchConfig, Table};
+use crate::{BenchConfig, BenchError, Table};
 use structmine_engine::{Engine, EngineConfig, EngineSource, MethodKind, PlmSpec};
 use structmine_eval::MeanStd;
 use structmine_linalg::ExecPolicy;
-use structmine_text::synth::{recipes, SynthError};
+use structmine_text::synth::recipes;
 
 /// The E4 dataset list. Public because the sharded encode phase
 /// (`crate::shard_phase`) pre-warms exactly these cells.
@@ -22,7 +22,7 @@ pub const DATASETS: &[&str] = &[
 ];
 
 /// Run E4.
-pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
+pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
     // Dataset statistics table (the paper's first X-Class table).
     let mut stats = Table::new("E4 — X-Class dataset statistics (synthetic stand-ins)");
     stats.headers(&["dataset", "classes", "documents", "imbalance", "criterion"]);
@@ -86,20 +86,11 @@ pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, SynthError> {
                     seed: Some(seed),
                     exec: ExecPolicy::default(),
                 })
-                .expect("dataset-sourced engines load infallibly")
             };
-            let x = engine(MethodKind::XClass)
-                .xclass_output()
-                .expect("an xclass engine yields xclass output");
+            let x = engine(MethodKind::XClass)?.xclass_output()?;
             let results: Vec<Vec<usize>> = vec![
-                engine(MethodKind::Supervised)
-                    .fitted_predictions()
-                    .expect("supervised fit cannot fail")
-                    .to_vec(),
-                engine(MethodKind::WeSTClass)
-                    .fitted_predictions()
-                    .expect("westclass fit cannot fail")
-                    .to_vec(),
+                engine(MethodKind::Supervised)?.fitted_predictions()?.to_vec(),
+                engine(MethodKind::WeSTClass)?.fitted_predictions()?.to_vec(),
                 x.predictions.clone(),
                 x.rep_predictions.clone(),
                 x.align_predictions.clone(),

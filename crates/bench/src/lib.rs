@@ -18,6 +18,53 @@ pub mod table;
 
 pub use table::Table;
 
+/// Bench-harness failures beyond dataset synthesis: engine loads, ingest
+/// rejections, report i/o, malformed fixtures. [`run_table`] maps every
+/// variant onto exit code 2 — usage-level or persistent failures, never
+/// worth a retry.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Dataset synthesis failed (unknown recipe, missing pool).
+    Synth(structmine_text::synth::SynthError),
+    /// An engine refused to load or rejected an operation.
+    Engine(structmine_engine::EngineError),
+    /// Writing a report or fixture file failed.
+    Io(std::io::Error),
+    /// A fixture or dataset broke a harness invariant.
+    Invalid(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Synth(e) => write!(f, "{e}"),
+            BenchError::Engine(e) => write!(f, "{e}"),
+            BenchError::Io(e) => write!(f, "i/o error: {e}"),
+            BenchError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<structmine_text::synth::SynthError> for BenchError {
+    fn from(e: structmine_text::synth::SynthError) -> Self {
+        BenchError::Synth(e)
+    }
+}
+
+impl From<structmine_engine::EngineError> for BenchError {
+    fn from(e: structmine_engine::EngineError) -> Self {
+        BenchError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
+
 /// Harness configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct BenchConfig {
@@ -79,20 +126,25 @@ pub fn log_store_summaries() {
 /// report only ever goes to its own file, so stdout is byte-identical
 /// with and without reporting.
 ///
-/// `body` returns `Result<_, SynthError>`: a dataset-synthesis failure
-/// (unknown recipe, missing pool) is a usage-level mistake, so it is
-/// logged and the process exits with code 2 — after the store summaries
-/// and the run report, whose partial timings are exactly what you want
-/// when debugging the failed run.
+/// `body` returns a `Result` whose error displays the failure (usually
+/// [`BenchError`]): a dataset-synthesis failure, refused engine load, or
+/// report i/o error is a usage-level mistake, so it is logged and the
+/// process exits with code 2 — after the store summaries and the run
+/// report, whose partial timings are exactly what you want when debugging
+/// the failed run.
+///
+/// `--precision <exact|fast>` selects the inference tier for the whole
+/// run by exporting `STRUCTMINE_PRECISION` before any stage runs (the
+/// flag wins over a pre-set variable); an unknown tier exits 2.
 ///
 /// `--shards N` (or `STRUCTMINE_SHARDS`) runs the sharded encode phase
 /// (DESIGN §12) before the body: N supervised worker processes pre-compute
 /// the E4 cell representations shard-by-shard, the coordinator merges them
 /// in shard-index order, and the body replays the canonical artifacts —
 /// stdout stays byte-identical for any shard count.
-pub fn run_table<T>(
+pub fn run_table<T, E: std::fmt::Display>(
     binary: &str,
-    body: impl FnOnce(&BenchConfig) -> Result<T, structmine_text::synth::SynthError>,
+    body: impl FnOnce(&BenchConfig) -> Result<T, E>,
 ) -> T {
     structmine_store::obs::init();
     // Worker mode first: a coordinator-spawned worker runs its encode job
@@ -107,6 +159,19 @@ pub fn run_table<T>(
                 Some(path) => std::env::set_var(structmine_store::obs::REPORT_ENV, path),
                 None => {
                     structmine_store::obs::log_warn("--report-json needs a value; ignoring");
+                }
+            }
+            i += 2;
+        } else if argv[i] == "--precision" {
+            match argv.get(i + 1).map(|v| structmine_linalg::Precision::parse(v)) {
+                Some(Ok(p)) => std::env::set_var("STRUCTMINE_PRECISION", p.name()),
+                Some(Err(e)) => {
+                    structmine_store::obs::log_warn(&format!("error: {e}"));
+                    std::process::exit(2);
+                }
+                None => {
+                    structmine_store::obs::log_warn("--precision needs a value");
+                    std::process::exit(2);
                 }
             }
             i += 2;

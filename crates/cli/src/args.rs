@@ -7,6 +7,7 @@ structmine — weakly-supervised text classification
 USAGE:
   structmine classify --labels <a,b,c> [--method xclass|lotclass|prompt|match]
                       [--input <file>] [--tier test|standard] [--threads <n>]
+                      [--precision exact|fast]
                       [--no-cache | --cache-dir <dir>] [--faults <plan>]
                       [--report-json <path>]
       Classify one document per line (stdin or --input) using only label
@@ -16,6 +17,7 @@ USAGE:
 
   structmine ingest --labels <a,b,c> [--method xclass|lotclass|prompt|match]
                     [--input <file>] [--tier test|standard] [--threads <n>]
+                    [--precision exact|fast]
                     [--no-cache | --cache-dir <dir>] [--faults <plan>]
                     [--report-json <path>]
       Stream documents into a generational corpus. Reads stdin (or --input);
@@ -27,6 +29,7 @@ USAGE:
 
   structmine shard --labels <a,b,c> [--shards <n>] [--method xclass|lotclass|prompt|match]
                    [--input <file>] [--tier test|standard] [--threads <n>]
+                   [--precision exact|fast]
                    [--cache-dir <dir>] [--faults <plan>] [--report-json <path>]
       Classify like `classify`, but split the documents into <n> index-ordered
       shards and run one supervised worker process per shard (DESIGN §12).
@@ -45,6 +48,13 @@ USAGE:
   --threads <n> caps the worker threads used for PLM inference (default: the
   STRUCTMINE_THREADS environment variable, else all cores). Results are
   bitwise identical for any thread count.
+
+  --precision exact|fast selects the inference arithmetic tier (default: the
+  STRUCTMINE_PRECISION environment variable, else exact). 'exact' keeps
+  bitwise-reproducible output; 'fast' swaps in approximate SIMD-friendly
+  kernels for higher throughput, gated by the accuracy-tolerance harness
+  (label agreement >= 99.5% against exact). The two tiers never share
+  artifact-store entries.
 
   --cache-dir <dir> puts the content-addressed artifact store there (default:
   the STRUCTMINE_STORE_DIR environment variable, else a per-user temp
@@ -83,6 +93,8 @@ pub enum Args {
         tier: String,
         /// Worker threads for PLM inference; `None` = environment default.
         threads: Option<usize>,
+        /// Inference precision tier; `None` = environment default (Exact).
+        precision: Option<structmine_linalg::Precision>,
         /// Artifact-store configuration.
         cache: CacheArgs,
     },
@@ -100,6 +112,8 @@ pub enum Args {
         threads: Option<usize>,
         /// Worker processes; `None` = `STRUCTMINE_SHARDS`, else 1.
         shards: Option<usize>,
+        /// Inference precision tier; `None` = environment default (Exact).
+        precision: Option<structmine_linalg::Precision>,
         /// Artifact-store configuration.
         cache: CacheArgs,
     },
@@ -115,6 +129,8 @@ pub enum Args {
         tier: String,
         /// Worker threads for PLM inference; `None` = environment default.
         threads: Option<usize>,
+        /// Inference precision tier; `None` = environment default (Exact).
+        precision: Option<structmine_linalg::Precision>,
         /// Artifact-store configuration.
         cache: CacheArgs,
     },
@@ -168,6 +184,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "input",
     "tier",
     "threads",
+    "precision",
     "no-cache",
     "cache-dir",
     "faults",
@@ -213,6 +230,11 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
         })
         .transpose()?;
 
+    let precision = flags
+        .get("precision")
+        .map(|s| structmine_linalg::Precision::parse(s).map_err(ParseError))
+        .transpose()?;
+
     let cache = CacheArgs {
         no_cache: flags.contains_key("no-cache"),
         dir: flags.get("cache-dir").cloned(),
@@ -255,6 +277,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
                     input,
                     tier,
                     threads,
+                    precision,
                     cache,
                 },
                 "shard" => Args::Shard {
@@ -264,6 +287,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
                     tier,
                     threads,
                     shards,
+                    precision,
                     cache,
                 },
                 _ => Args::Ingest {
@@ -272,6 +296,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
                     input,
                     tier,
                     threads,
+                    precision,
                     cache,
                 },
             })
@@ -326,6 +351,7 @@ mod tests {
                 input: None,
                 tier: "test".into(),
                 threads: None,
+                precision: None,
                 cache: CacheArgs::default(),
             }
         );
@@ -342,6 +368,7 @@ mod tests {
                 input: None,
                 tier: "test".into(),
                 threads: None,
+                precision: None,
                 cache: CacheArgs::default(),
             }
         );
@@ -469,6 +496,28 @@ mod tests {
     }
 
     #[test]
+    fn parses_precision_flag() {
+        let a = parse(&sv(&["classify", "--labels", "a,b", "--precision", "fast"])).unwrap();
+        if let Args::Classify { precision, .. } = a {
+            assert_eq!(precision, Some(structmine_linalg::Precision::Fast));
+        } else {
+            panic!("wrong variant");
+        }
+        let a = parse(&sv(&["shard", "--labels", "a,b", "--precision", "exact"])).unwrap();
+        if let Args::Shard { precision, .. } = a {
+            assert_eq!(precision, Some(structmine_linalg::Precision::Exact));
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_precision() {
+        let e = parse(&sv(&["classify", "--labels", "a,b", "--precision", "warp"]));
+        assert!(matches!(e, Err(ParseError(ref m)) if m.contains("warp")));
+    }
+
+    #[test]
     fn rejects_single_label() {
         assert!(parse(&sv(&["classify", "--labels", "sports"])).is_err());
     }
@@ -522,6 +571,7 @@ mod tests {
                 tier: "test".into(),
                 threads: None,
                 shards: Some(4),
+                precision: None,
                 cache: CacheArgs::default(),
             }
         );

@@ -3,6 +3,7 @@
 //! ```text
 //! structmine classify --labels sports,business,technology [--method xclass]
 //!                     [--input docs.txt] [--tier test|standard]
+//!                     [--precision exact|fast]
 //! structmine ingest   --labels sports,business,technology [--method xclass]
 //!                     [--input docs.txt] [--tier test|standard]
 //! structmine demo     --recipe agnews [--method westclass] [--scale 0.15]
@@ -52,9 +53,10 @@ fn main() -> ExitCode {
             input,
             tier,
             threads,
+            precision,
             cache,
         }) => apply_cache_flags(&cache)
-            .and_then(|()| classify(labels, method, input, tier, policy(threads))),
+            .and_then(|()| classify(labels, method, input, tier, policy(threads, precision))),
         Ok(Args::Shard {
             labels,
             method,
@@ -62,18 +64,20 @@ fn main() -> ExitCode {
             tier,
             threads,
             shards,
+            precision,
             cache,
         }) => apply_cache_flags(&cache)
-            .and_then(|()| shard(labels, method, input, tier, shards, policy(threads))),
+            .and_then(|()| shard(labels, method, input, tier, shards, policy(threads, precision))),
         Ok(Args::Ingest {
             labels,
             method,
             input,
             tier,
             threads,
+            precision,
             cache,
         }) => apply_cache_flags(&cache)
-            .and_then(|()| ingest(labels, method, input, tier, policy(threads))),
+            .and_then(|()| ingest(labels, method, input, tier, policy(threads, precision))),
         Ok(Args::Demo {
             recipe,
             method,
@@ -82,7 +86,7 @@ fn main() -> ExitCode {
             threads,
             cache,
         }) => apply_cache_flags(&cache)
-            .and_then(|()| demo(recipe, method, scale, seed, policy(threads))),
+            .and_then(|()| demo(recipe, method, scale, seed, policy(threads, None))),
         Ok(Args::Datasets) => datasets(),
         Ok(Args::Help) => {
             println!("{}", args::USAGE);
@@ -117,12 +121,20 @@ fn main() -> ExitCode {
     }
 }
 
-/// Resolve `--threads` into the execution policy used for PLM inference.
+/// Resolve `--threads` / `--precision` into the execution policy used for
+/// PLM inference.
 ///
-/// The environment variable is also set so code that consults the
+/// The environment variables are also set so code that consults the
 /// process-global policy (e.g. the matmul routing in `structmine_linalg`)
-/// agrees with the flag — this runs before the global policy is first read.
-fn policy(threads: Option<usize>) -> structmine_linalg::ExecPolicy {
+/// agrees with the flags — this runs before the global policy is first
+/// read. The precision tier is always exported at its resolved value, so
+/// the run report's config fingerprint names the tier even on defaults.
+fn policy(
+    threads: Option<usize>,
+    precision: Option<structmine_linalg::Precision>,
+) -> structmine_linalg::ExecPolicy {
+    let precision = precision.unwrap_or_else(structmine_linalg::Precision::from_env);
+    std::env::set_var("STRUCTMINE_PRECISION", precision.name());
     match threads {
         Some(n) => {
             std::env::set_var("STRUCTMINE_THREADS", n.to_string());
@@ -130,6 +142,7 @@ fn policy(threads: Option<usize>) -> structmine_linalg::ExecPolicy {
         }
         None => structmine_linalg::ExecPolicy::default(),
     }
+    .with_precision(precision)
 }
 
 /// Apply `--no-cache` / `--cache-dir` / `--faults` by setting the
@@ -264,11 +277,14 @@ const JOB_SEP: char = '\u{1f}';
 
 /// Render a classify job for worker `i` of the shard run. The worker
 /// derives its own document range from its spec, so every worker gets the
-/// same job string.
+/// same job string. The precision tier rides in the job itself (not just
+/// the inherited environment): a worker must classify at exactly the tier
+/// the coordinator merged for, whatever its own environment says.
 fn encode_classify_job(
     labels: &[String],
     method: &str,
     tier: &str,
+    precision: structmine_linalg::Precision,
     input: &std::path::Path,
 ) -> String {
     [
@@ -276,6 +292,7 @@ fn encode_classify_job(
         &labels.join(","),
         method,
         tier,
+        precision.name(),
         &input.display().to_string(),
     ]
     .join(&JOB_SEP.to_string())
@@ -306,12 +323,14 @@ fn worker_main(spec: &structmine_shard::WorkerSpec) -> ExitCode {
 fn worker_job(spec: &structmine_shard::WorkerSpec) -> Result<Vec<u8>, PipelineError> {
     let parts: Vec<&str> = spec.job.split(JOB_SEP).collect();
     match parts.as_slice() {
-        ["classify", labels, method, tier, input] => {
+        ["classify", labels, method, tier, precision, input] => {
+            let precision = structmine_linalg::Precision::parse(precision)
+                .map_err(PipelineError::InvalidInput)?;
             let labels: Vec<String> = labels.split(',').map(str::to_string).collect();
             let lines = read_documents(&Some(input.to_string()))?;
             let range =
                 structmine_shard::shard_range(lines.len(), spec.shard_index, spec.shard_count);
-            let engine = serving_engine(labels, method, tier, policy(None))?;
+            let engine = serving_engine(labels, method, tier, policy(None, Some(precision)))?;
             // Encode this worker's shard of the fit corpus through the
             // shared store: the lease-claimed, content-addressed shard
             // artifact is what a restarted incarnation resumes from.
@@ -344,7 +363,7 @@ fn shard(
     input: Option<String>,
     tier: String,
     shards: Option<usize>,
-    _exec: structmine_linalg::ExecPolicy,
+    exec: structmine_linalg::ExecPolicy,
 ) -> Result<(), PipelineError> {
     use std::io::Write as _;
     let shards = match shards {
@@ -383,7 +402,8 @@ fn shard(
         source: e,
     })?;
     let make = |_i: usize, _spec: &std::path::Path| std::process::Command::new(&exe);
-    let jobs = vec![encode_classify_job(&labels, &method, &tier, &input_path); shards];
+    let jobs =
+        vec![encode_classify_job(&labels, &method, &tier, exec.precision(), &input_path); shards];
     let (outputs, outcomes) = sup.run(&jobs, &make, &worker_job)?;
 
     let stdout = std::io::stdout();

@@ -70,8 +70,10 @@ impl Default for ConWea {
 }
 
 impl structmine_store::StableHash for ConWea {
-    /// Every hyper-parameter except `exec`: the execution policy cannot
-    /// change outputs, so cached runs stay valid across thread counts.
+    /// Every hyper-parameter plus the policy's precision tier. The thread
+    /// count is excluded (it cannot change outputs), but the precision
+    /// tier swaps in approximate PLM inference kernels and *does* change
+    /// bits — Exact and Fast runs must never share a cache entry.
     fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
         self.contextualize.stable_hash(h);
         self.expand.stable_hash(h);
@@ -81,6 +83,7 @@ impl structmine_store::StableHash for ConWea {
         self.sense_threshold.stable_hash(h);
         self.min_occurrences.stable_hash(h);
         self.seed.stable_hash(h);
+        self.exec.precision().stable_hash(h);
     }
 }
 

@@ -64,8 +64,10 @@ impl Default for LotClass {
 }
 
 impl structmine_store::StableHash for LotClass {
-    /// Every hyper-parameter except `exec`: the execution policy cannot
-    /// change outputs, so cached runs stay valid across thread counts.
+    /// Every hyper-parameter plus the policy's precision tier. The thread
+    /// count is excluded (it cannot change outputs), but the precision
+    /// tier swaps in approximate PLM inference kernels and *does* change
+    /// bits — Exact and Fast runs must never share a cache entry.
     fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
         self.replacements_per_occurrence.stable_hash(h);
         self.occurrences_cap.stable_hash(h);
@@ -75,6 +77,7 @@ impl structmine_store::StableHash for LotClass {
         self.self_train.stable_hash(h);
         self.hidden.stable_hash(h);
         self.seed.stable_hash(h);
+        self.exec.precision().stable_hash(h);
     }
 }
 
@@ -94,6 +97,9 @@ pub struct LotClassOutput {
 /// Stage: LOTClass's category vocabularies (step 1). Keyed only on the
 /// inputs that influence the vocabularies, so later hyper-parameter changes
 /// (MCP thresholds, classifier settings) reuse the cached vocabularies.
+/// Deliberately precision-free: the MLM replacement queries always run
+/// Exact (there is no fast MLM path), so both tiers share this artifact
+/// — as they do the MCP stage chained onto it.
 struct CategoryVocabStage<'a> {
     cfg: &'a LotClass,
     dataset: &'a Dataset,

@@ -66,8 +66,9 @@ pub enum SignalSet {
 }
 
 impl structmine_store::StableHash for MetaCat {
-    /// Every hyper-parameter except `exec`: the execution policy cannot
-    /// change outputs, so cached runs stay valid across thread counts.
+    /// Every hyper-parameter except `exec`: this method runs no PLM
+    /// inference, so neither the thread count nor the precision tier can
+    /// change its outputs and cached runs stay valid across both.
     fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
         self.dim.stable_hash(h);
         self.samples.stable_hash(h);

@@ -85,8 +85,10 @@ impl Default for MiCoL {
 }
 
 impl structmine_store::StableHash for MiCoL {
-    /// Every hyper-parameter except `exec`: the execution policy cannot
-    /// change outputs, so cached runs stay valid across thread counts.
+    /// Every hyper-parameter plus the policy's precision tier. The thread
+    /// count is excluded (it cannot change outputs), but the precision
+    /// tier swaps in approximate PLM inference kernels and *does* change
+    /// bits — Exact and Fast runs must never share a cache entry.
     fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
         h.write_u64(match self.encoder {
             Encoder::Bi => 0,
@@ -103,6 +105,7 @@ impl structmine_store::StableHash for MiCoL {
         self.batch.stable_hash(h);
         self.lr.stable_hash(h);
         self.seed.stable_hash(h);
+        self.exec.precision().stable_hash(h);
     }
 }
 

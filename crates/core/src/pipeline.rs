@@ -3,8 +3,12 @@
 //! Every method's `run()` entry point is lifted into the store's stage
 //! graph: its fingerprint covers the dataset content, the supervision, the
 //! backbone (PLM weights or word vectors), and every hyper-parameter — but
-//! never the execution policy, which cannot change outputs (parallel
-//! execution is bitwise deterministic; see `structmine_linalg::exec`). The
+//! never the execution policy's *thread count*, which cannot change
+//! outputs (parallel execution is bitwise deterministic; see
+//! `structmine_linalg::exec`). The policy's precision tier is the one
+//! policy bit that *is* hashed, and only by methods that run PLM
+//! inference: the Fast tier swaps in approximate kernels, so its outputs
+//! must never be served from (or into) an Exact cache entry. The
 //! `run_uncached` variants keep the actual algorithms; `run` consults the
 //! global [`structmine_store::ArtifactStore`] first, so a re-run of a
 //! benchmark binary skips every already-computed method and goes straight

@@ -50,8 +50,9 @@ pub struct PromptClass {
     pub hidden: usize,
     /// RNG seed.
     pub seed: u64,
-    /// Execution policy for the prompt scoring and corpus encode (thread
-    /// count; output is bitwise identical for any value).
+    /// Execution policy for the prompt scoring and corpus encode. The
+    /// thread count never changes bits; the precision tier does, and is
+    /// part of the memo key.
     pub exec: ExecPolicy,
 }
 
@@ -71,8 +72,11 @@ impl Default for PromptClass {
 }
 
 impl structmine_store::StableHash for PromptClass {
-    /// Every hyper-parameter except `exec`: the execution policy cannot
-    /// change outputs, so cached runs stay valid across thread counts.
+    /// Every hyper-parameter plus the policy's precision tier. The thread
+    /// count is excluded (it cannot change outputs, so cached runs stay
+    /// valid across thread counts), but the precision tier swaps in
+    /// approximate kernels and *does* change bits — Exact and Fast runs
+    /// must never share a cache entry.
     fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
         h.write_u64(match self.style {
             PromptStyle::Mlm => 0,
@@ -84,6 +88,7 @@ impl structmine_store::StableHash for PromptClass {
         self.prompt_weight.stable_hash(h);
         self.hidden.stable_hash(h);
         self.seed.stable_hash(h);
+        self.exec.precision().stable_hash(h);
     }
 }
 
@@ -183,17 +188,25 @@ impl PromptClass {
 
     fn prompt_scores(&self, dataset: &Dataset, plm: &MiniPlm) -> Matrix {
         let names = dataset.label_name_tokens();
+        let vocab = &dataset.corpus.vocab;
+        // Surface a missing template word once, up front, instead of once
+        // per document inside the parallel loop below.
+        prompt::validate_templates(vocab)
+            .expect("prompt template words present in the corpus vocabulary");
+        let prec = self.exec.precision();
         // Each document's prompt query is independent; rows come back in
         // document order regardless of the thread count.
         let rows = par_map_chunks(&self.exec, &dataset.corpus.docs, |_, doc| {
             match self.style {
                 PromptStyle::Mlm => {
-                    prompt::cloze_label_scores(plm, &doc.tokens, &names, &dataset.corpus.vocab)
+                    prompt::cloze_label_scores(plm, &doc.tokens, &names, vocab)
                 }
                 PromptStyle::Rtd => {
-                    prompt::rtd_label_scores(plm, &doc.tokens, &names, &dataset.corpus.vocab)
+                    prompt::rtd_label_scores_prec(plm, &doc.tokens, &names, vocab, prec)
                 }
             }
+            // Unreachable: templates were validated above.
+            .unwrap_or_else(|_| vec![0.0; names.len()])
         });
         if rows.is_empty() {
             return Matrix::zeros(0, names.len());

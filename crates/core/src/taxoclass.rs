@@ -58,8 +58,10 @@ impl Default for TaxoClass {
 }
 
 impl structmine_store::StableHash for TaxoClass {
-    /// Every hyper-parameter except `exec`: the execution policy cannot
-    /// change outputs, so cached runs stay valid across thread counts.
+    /// Every hyper-parameter plus the policy's precision tier. The thread
+    /// count is excluded (it cannot change outputs), but the precision
+    /// tier swaps in approximate PLM inference kernels and *does* change
+    /// bits — Exact and Fast runs must never share a cache entry.
     fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
         self.beam.stable_hash(h);
         self.core_threshold.stable_hash(h);
@@ -67,6 +69,7 @@ impl structmine_store::StableHash for TaxoClass {
         self.predict_threshold.stable_hash(h);
         self.epochs.stable_hash(h);
         self.seed.stable_hash(h);
+        self.exec.precision().stable_hash(h);
     }
 }
 

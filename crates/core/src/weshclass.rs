@@ -60,8 +60,9 @@ impl Default for WeSHClass {
 }
 
 impl structmine_store::StableHash for WeSHClass {
-    /// Every hyper-parameter except `exec`: the execution policy cannot
-    /// change outputs, so cached runs stay valid across thread counts.
+    /// Every hyper-parameter except `exec`: this method runs no PLM
+    /// inference, so neither the thread count nor the precision tier can
+    /// change its outputs and cached runs stay valid across both.
     fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
         self.pseudo_per_class.stable_hash(h);
         self.use_vmf.stable_hash(h);

@@ -84,8 +84,9 @@ impl Default for WeSTClass {
 }
 
 impl structmine_store::StableHash for WeSTClass {
-    /// Every hyper-parameter except `exec`: the execution policy cannot
-    /// change outputs, so cached runs stay valid across thread counts.
+    /// Every hyper-parameter except `exec`: this method runs no PLM
+    /// inference, so neither the thread count nor the precision tier can
+    /// change its outputs and cached runs stay valid across both.
     fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
         h.write_u64(match self.backbone {
             Backbone::Cnn => 0,

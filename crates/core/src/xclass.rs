@@ -72,8 +72,10 @@ impl Default for XClass {
 }
 
 impl structmine_store::StableHash for XClass {
-    /// Every hyper-parameter except `exec`: the execution policy cannot
-    /// change outputs, so cached runs stay valid across thread counts.
+    /// Every hyper-parameter plus the policy's precision tier. The thread
+    /// count is excluded (it cannot change outputs), but the precision
+    /// tier swaps in approximate PLM inference kernels and *does* change
+    /// bits — Exact and Fast runs must never share a cache entry.
     fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
         self.gmm_iters.stable_hash(h);
         self.expand_words.stable_hash(h);
@@ -83,6 +85,7 @@ impl structmine_store::StableHash for XClass {
         self.confident_fraction.stable_hash(h);
         self.hidden.stable_hash(h);
         self.seed.stable_hash(h);
+        self.exec.precision().stable_hash(h);
     }
 }
 
@@ -119,6 +122,10 @@ impl structmine_store::Stage for ClassRepsStage<'_> {
         h.write_u128(self.plm.fingerprint());
         self.cfg.expand_words.stable_hash(h);
         self.cfg.occurrences_cap.stable_hash(h);
+        // The occurrence encodes below run at the policy's precision tier,
+        // so Exact and Fast runs must key separately. Downstream stages
+        // (doc-reps, align) chain on this key and inherit the split.
+        self.cfg.exec.precision().stable_hash(h);
     }
 
     fn compute(&self) -> (Matrix, Vec<Vec<TokenId>>) {

@@ -30,7 +30,7 @@ use structmine::promptclass::PromptClass;
 use structmine::westclass::WeSTClass;
 use structmine::xclass::{XClass, XClassModel, XClassOutput};
 use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
-use structmine_linalg::{stats, vector, Matrix};
+use structmine_linalg::{stats, vector, Matrix, Precision};
 use structmine_plm::artifacts::{DocMeanReps, DocMeanRepsShard, EncodeDeltaCorpus};
 use structmine_plm::MiniPlm;
 use structmine_shard::shard_range;
@@ -40,6 +40,7 @@ use structmine_text::vocab::TokenId;
 use structmine_text::{Dataset, Doc};
 
 pub mod loaders;
+pub mod tolerance;
 
 /// The classification method an engine hosts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -150,8 +151,11 @@ pub struct EngineConfig {
     pub plm: PlmSpec,
     /// Method seed; `None` keeps each method's published default.
     pub seed: Option<u64>,
-    /// Execution policy for encodes and scoring (thread count only —
-    /// outputs are bitwise identical for any value).
+    /// Execution policy for encodes and scoring. Outputs are bitwise
+    /// identical for any thread count; the policy's precision tier, by
+    /// contrast, changes bits (Fast swaps in approximate inference
+    /// kernels) and is therefore part of every inference stage
+    /// fingerprint. Fitting/adaptation always runs Exact regardless.
     pub exec: ExecPolicy,
 }
 
@@ -347,6 +351,31 @@ impl Engine {
     /// The hosted method.
     pub fn method(&self) -> MethodKind {
         self.method
+    }
+
+    /// The inference precision tier this engine serves at.
+    pub fn precision(&self) -> Precision {
+        self.exec.precision()
+    }
+
+    /// A twin of this engine serving at `precision`: it shares the fit
+    /// dataset and the loaded PLM (cheap — the PLM is behind an `Arc`),
+    /// but fits its serving models fresh under the new tier. Ingest state
+    /// is not carried over. This is how the tolerance harness puts an
+    /// Exact and a Fast rule side by side without loading twice.
+    pub fn at_precision(&self, precision: Precision) -> Engine {
+        Engine {
+            method: self.method,
+            dataset: self.dataset.clone(),
+            plm: self.plm.clone(),
+            exec: self.exec.with_precision(precision),
+            seed: self.seed,
+            name_tokens: self.name_tokens.clone(),
+            model: Mutex::new(None),
+            xout: Mutex::new(None),
+            preds: Mutex::new(None),
+            ingest: Mutex::new(None),
+        }
     }
 
     /// The label names documents are classified into.
@@ -613,7 +642,10 @@ impl Engine {
             model: plm.as_ref(),
             corpus: &self.dataset.corpus,
             range,
-            exec: self.exec,
+            // Shard encoding pre-computes the *fit* corpus reps, and
+            // fitting always runs Exact — publish under the key the fit
+            // will read, whatever tier this engine serves queries at.
+            exec: self.fit_exec(),
         });
         Ok(())
     }
@@ -639,7 +671,7 @@ impl Engine {
                 model: plm.as_ref(),
                 corpus,
                 range,
-                exec: self.exec,
+                exec: self.fit_exec(),
             });
             rows.extend((0..shard.rows()).map(|r| shard.row(r).to_vec()));
         }
@@ -648,7 +680,9 @@ impl Engine {
             &DocMeanReps {
                 model: plm.as_ref(),
                 corpus,
-                exec: self.exec,
+                // Same key the Exact fit computes and reads (see
+                // `shard_encode`).
+                exec: self.fit_exec(),
             },
             merged,
         );
@@ -666,6 +700,12 @@ impl Engine {
             });
         }
         Ok(shard_range(self.dataset.corpus.len(), index, count))
+    }
+
+    /// The policy the serving-rule fit runs under: the engine's thread
+    /// count, but always Exact precision (fitting is adaptation).
+    fn fit_exec(&self) -> structmine_linalg::ExecPolicy {
+        self.exec.with_precision(Precision::Exact)
     }
 
     fn plm_ref(&self) -> Result<&Arc<MiniPlm>, EngineError> {
@@ -702,19 +742,29 @@ impl Engine {
     }
 
     /// Fit (once) and return the serving rule.
+    ///
+    /// Fitting is *adaptation*, and adaptation always runs Exact: the
+    /// serving rule (pseudo-labels, cluster assignments, classifier
+    /// weights) is bitwise identical across precision tiers, and the Fast
+    /// tier applies only to query-time encoding. This keeps the tolerance
+    /// harness's bounds attributable to the approximation itself instead
+    /// of a chaotic fit cascade, and lets both tiers correctly share the
+    /// fit's cached artifacts (they are the same computation).
     fn serve_model(&self) -> Result<Arc<ServeModel>, EngineError> {
         let mut slot = self.model.lock();
         if let Some(m) = slot.as_ref() {
             return Ok(Arc::clone(m));
         }
+        let fit_exec = self.fit_exec();
         let model = match self.method {
-            MethodKind::XClass => ServeModel::XClass(
-                self.xclass_config()
-                    .fit_model(&self.dataset, self.plm_ref()?),
-            ),
+            MethodKind::XClass => {
+                let mut cfg = self.xclass_config();
+                cfg.exec = fit_exec;
+                ServeModel::XClass(cfg.fit_model(&self.dataset, self.plm_ref()?))
+            }
             MethodKind::LotClass => {
                 let mut cfg = LotClass {
-                    exec: self.exec,
+                    exec: fit_exec,
                     ..Default::default()
                 };
                 if let Some(s) = self.seed {
@@ -758,26 +808,39 @@ impl Engine {
             }
             ServeModel::LotClass(m) => {
                 let plm = self.plm_ref()?;
+                let prec = self.exec.precision();
                 par_map_chunks(&self.exec, docs, |_, toks| {
-                    m.predict_proba(&plm.mean_embed(toks))
+                    m.predict_proba(&plm.mean_embed_prec(toks, prec))
                 })
             }
             ServeModel::Prompt => {
                 let plm = self.plm_ref()?;
                 let vocab = &self.dataset.corpus.vocab;
+                let prec = self.exec.precision();
+                // A missing template word is per-vocabulary, not
+                // per-document: surface it once, before fanning out.
+                structmine_plm::prompt::validate_templates(vocab)
+                    .map_err(|e| EngineError::Internal { what: e.to_string() })?;
+                let n_classes = self.name_tokens.len();
                 par_map_chunks(&self.exec, docs, |_, toks| {
-                    sharpened_softmax(structmine_plm::prompt::rtd_label_scores(
-                        plm,
-                        toks,
-                        &self.name_tokens,
-                        vocab,
-                    ))
+                    sharpened_softmax(
+                        structmine_plm::prompt::rtd_label_scores_prec(
+                            plm,
+                            toks,
+                            &self.name_tokens,
+                            vocab,
+                            prec,
+                        )
+                        // Unreachable: templates were validated above.
+                        .unwrap_or_else(|_| vec![0.0; n_classes]),
+                    )
                 })
             }
             ServeModel::Match { prototypes } => {
                 let plm = self.plm_ref()?;
+                let prec = self.exec.precision();
                 par_map_chunks(&self.exec, docs, |_, toks| {
-                    let rep = plm.mean_embed(toks);
+                    let rep = plm.mean_embed_prec(toks, prec);
                     let scores: Vec<f32> = (0..prototypes.rows())
                         .map(|c| vector::cosine(&rep, prototypes.row(c)))
                         .collect();

@@ -1,0 +1,118 @@
+//! The accuracy-tolerance harness, exercised as a property across every
+//! servable method and several seeds (DESIGN §13): the Fast tier's
+//! approximate kernels must agree with Exact on at least
+//! [`MIN_AGREEMENT`](structmine_engine::tolerance::MIN_AGREEMENT) of the
+//! eval split's labels, with every winning-class confidence within
+//! [`MAX_CONFIDENCE_DELTA`](structmine_engine::tolerance::MAX_CONFIDENCE_DELTA).
+//! A kernel change that quietly degrades the approximation fails here as a
+//! measured label-flip rate, not as a perf-note surprise.
+//!
+//! Also pinned: the Fast tier keeps the batching-invariance contract the
+//! micro-batcher relies on — approximate arithmetic is still deterministic
+//! and per-document, so splitting a batch cannot change a single bit.
+
+use structmine_engine::tolerance::{self, ToleranceReport};
+use structmine_engine::{Engine, EngineConfig, EngineSource, MethodKind, PlmSpec};
+use structmine_linalg::{ExecPolicy, Precision};
+
+fn load_fast(method: MethodKind, seed: u64) -> Engine {
+    Engine::load(EngineConfig {
+        source: EngineSource::Labels(
+            ["sports", "business", "technology"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        ),
+        method,
+        plm: PlmSpec::Pretrained(structmine_plm::cache::Tier::Test),
+        seed: Some(seed),
+        exec: ExecPolicy::with_threads(1).with_precision(Precision::Fast),
+    })
+    .expect("engine loads")
+}
+
+/// The property: for every seed, the Fast engine's startup self-check
+/// (Exact twin vs Fast over the whole eval split) stays inside the
+/// published bounds.
+fn check_within_bounds(method: MethodKind) {
+    for seed in [3u64, 11, 42] {
+        let fast = load_fast(method, seed);
+        let report = tolerance::self_check(&fast).expect("self-check runs");
+        assert!(report.n > 0, "{method:?} seed {seed}: empty eval split");
+        assert!(
+            report.within_bounds(),
+            "{method:?} seed {seed} out of tolerance: {}",
+            report.summary()
+        );
+    }
+}
+
+#[test]
+fn match_fast_tier_is_within_tolerance_across_seeds() {
+    check_within_bounds(MethodKind::Match);
+}
+
+#[test]
+fn xclass_fast_tier_is_within_tolerance_across_seeds() {
+    check_within_bounds(MethodKind::XClass);
+}
+
+#[test]
+fn lotclass_fast_tier_is_within_tolerance_across_seeds() {
+    check_within_bounds(MethodKind::LotClass);
+}
+
+#[test]
+fn prompt_fast_tier_is_within_tolerance_across_seeds() {
+    check_within_bounds(MethodKind::Prompt);
+}
+
+/// The serve batcher's contract, on the Fast tier: classifying documents
+/// in any split of a batch yields bitwise-identical predictions to the
+/// whole batch at once.
+#[test]
+fn fast_tier_predictions_are_split_independent() {
+    let fast = load_fast(MethodKind::XClass, 7);
+    let lines = tolerance::eval_lines(&fast);
+    assert!(lines.len() >= 4, "need a few docs to split");
+    let whole = fast.classify(&lines).expect("classify whole");
+
+    for cut in [1, lines.len() / 2, lines.len() - 1] {
+        let (a, b) = lines.split_at(cut);
+        let mut split = fast.classify(a).expect("classify head");
+        split.extend(fast.classify(b).expect("classify tail"));
+        assert_eq!(whole.len(), split.len());
+        for (i, (w, s)) in whole.iter().zip(&split).enumerate() {
+            assert_eq!(w.label, s.label, "label differs at doc {i}, cut {cut}");
+            assert_eq!(
+                w.confidence.to_bits(),
+                s.confidence.to_bits(),
+                "confidence bits differ at doc {i}, cut {cut}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_tier_self_check_is_trivially_in_bounds() {
+    let exact = load_fast(MethodKind::Match, 1).at_precision(Precision::Exact);
+    let report = tolerance::self_check(&exact).expect("self-check runs");
+    assert_eq!(
+        report,
+        ToleranceReport {
+            n: 0,
+            agreement: 1.0,
+            max_confidence_delta: 0.0
+        },
+        "an Exact engine needs no comparison"
+    );
+}
+
+#[test]
+fn compare_on_no_documents_has_nothing_to_disagree_about() {
+    let fast = load_fast(MethodKind::Match, 2);
+    let exact = fast.at_precision(Precision::Exact);
+    let report = tolerance::compare(&exact, &fast, &[]).expect("empty compare");
+    assert_eq!(report.n, 0);
+    assert!(report.within_bounds());
+}

@@ -18,41 +18,129 @@
 use std::num::NonZeroUsize;
 use std::sync::OnceLock;
 
-/// How many worker threads data-parallel operations may use.
+/// Numeric precision tier for *inference* arithmetic.
+///
+/// * [`Precision::Exact`] — the workspace default: every transcendental
+///   goes through libm, the matmul kernels keep their per-element
+///   summation order and `a == 0.0` skip, and all output is bitwise
+///   reproducible across thread counts, processes, and cache states.
+/// * [`Precision::Fast`] — an explicitly opt-in serving tier: polynomial
+///   `tanh`/`exp` approximations ([`crate::fastmath`]), a fused GELU
+///   forward with no cached-tanh bookkeeping, and matmul kernels without
+///   the zero-skip branch. Output is deterministic for a fixed build but
+///   is **not** bit-compatible with Exact; it is gated by the tolerance
+///   harness (label agreement ≥ 99.5% on the standard eval recipes).
+///
+/// Training and adaptation always run Exact regardless of the policy: the
+/// tier selects which inference graphs the PLM constructs, and gradient
+/// graphs are never constructed at Fast precision.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Bitwise-reproducible arithmetic (the default everywhere).
+    #[default]
+    Exact,
+    /// Approximate inference-only arithmetic, tolerance-gated.
+    Fast,
+}
+
+impl Precision {
+    /// Parse a CLI/env spelling. Accepts `exact` and `fast` (trimmed,
+    /// ASCII case-insensitive); anything else is an error naming the
+    /// valid spellings.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "exact" => Ok(Precision::Exact),
+            "fast" => Ok(Precision::Fast),
+            other => Err(format!(
+                "unknown precision '{other}' (expected 'exact' or 'fast')"
+            )),
+        }
+    }
+
+    /// The canonical spelling, as accepted by [`Precision::parse`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Precision::Exact => "exact",
+            Precision::Fast => "fast",
+        }
+    }
+
+    /// Read the tier from `STRUCTMINE_PRECISION`; unset or invalid values
+    /// fall back to Exact (the conservative default — a typo must never
+    /// silently enable approximate arithmetic... nor silently disable the
+    /// bit-compat contract the rest of the stack documents).
+    pub fn from_env() -> Self {
+        match std::env::var("STRUCTMINE_PRECISION") {
+            Ok(v) => Precision::parse(&v).unwrap_or(Precision::Exact),
+            Err(_) => Precision::Exact,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl structmine_store::StableHash for Precision {
+    fn stable_hash(&self, h: &mut structmine_store::StableHasher) {
+        h.write_bytes(self.name().as_bytes());
+    }
+}
+
+/// How many worker threads data-parallel operations may use, and at which
+/// [`Precision`] tier inference arithmetic runs.
 ///
 /// The policy is a plain value — cheap to copy, compare and embed in method
 /// configs — and is threaded through the corpus→representation pipeline
 /// (`plm::repr::encode_corpus`, the core methods' `exec` fields, the CLI's
-/// `--threads` flag).
+/// `--threads` flag). The thread count can never change outputs; the
+/// precision tier can, which is why stage fingerprints hash
+/// [`ExecPolicy::precision`] and nothing else from the policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExecPolicy {
     threads: usize,
+    precision: Precision,
 }
 
 impl ExecPolicy {
-    /// Single-threaded execution.
+    /// Single-threaded execution at Exact precision.
     pub const fn serial() -> Self {
-        ExecPolicy { threads: 1 }
+        ExecPolicy {
+            threads: 1,
+            precision: Precision::Exact,
+        }
     }
 
-    /// Exactly `threads` workers (values below 1 are clamped to 1).
+    /// Exactly `threads` workers (values below 1 are clamped to 1), Exact
+    /// precision.
     pub fn with_threads(threads: usize) -> Self {
         ExecPolicy {
             threads: threads.max(1),
+            precision: Precision::Exact,
         }
+    }
+
+    /// This policy with the given precision tier.
+    pub fn with_precision(self, precision: Precision) -> Self {
+        ExecPolicy { precision, ..self }
     }
 
     /// Read the policy from the environment: `STRUCTMINE_THREADS` if set
     /// (invalid or zero values fall back to 1), otherwise the machine's
-    /// available parallelism.
+    /// available parallelism; plus the precision tier from
+    /// `STRUCTMINE_PRECISION` (see [`Precision::from_env`]).
     pub fn from_env() -> Self {
-        match std::env::var("STRUCTMINE_THREADS") {
-            Ok(v) => ExecPolicy::with_threads(v.trim().parse::<usize>().unwrap_or(1)),
-            Err(_) => ExecPolicy {
-                threads: std::thread::available_parallelism()
-                    .map(NonZeroUsize::get)
-                    .unwrap_or(1),
-            },
+        let threads = match std::env::var("STRUCTMINE_THREADS") {
+            Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+            Err(_) => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        };
+        ExecPolicy {
+            threads,
+            precision: Precision::from_env(),
         }
     }
 
@@ -67,6 +155,11 @@ impl ExecPolicy {
     /// The worker count (always ≥ 1).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The inference precision tier.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// True when this policy admits real parallelism for `n` items.
@@ -401,5 +494,29 @@ mod tests {
         assert_eq!(ExecPolicy::with_threads(0).threads(), 1);
         assert_eq!(ExecPolicy::serial().threads(), 1);
         assert!(ExecPolicy::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn precision_parses_and_defaults_exact() {
+        assert_eq!(Precision::parse("exact"), Ok(Precision::Exact));
+        assert_eq!(Precision::parse(" Fast \n"), Ok(Precision::Fast));
+        assert!(Precision::parse("fastest").is_err());
+        assert_eq!(Precision::default(), Precision::Exact);
+        assert_eq!(ExecPolicy::serial().precision(), Precision::Exact);
+        assert_eq!(ExecPolicy::with_threads(4).precision(), Precision::Exact);
+        let fast = ExecPolicy::serial().with_precision(Precision::Fast);
+        assert_eq!(fast.precision(), Precision::Fast);
+        assert_eq!(fast.threads(), 1, "with_precision keeps the thread count");
+    }
+
+    #[test]
+    fn precision_tiers_hash_differently() {
+        use structmine_store::fingerprint_of;
+        let exact = fingerprint_of(&Precision::Exact);
+        let fast = fingerprint_of(&Precision::Fast);
+        assert_ne!(
+            exact, fast,
+            "tiers must produce distinct stage fingerprints"
+        );
     }
 }

@@ -18,12 +18,13 @@
 //! ```
 
 pub mod exec;
+pub mod fastmath;
 pub mod matrix;
 pub mod pca;
 pub mod rng;
 pub mod stats;
 pub mod vector;
 
-pub use exec::ExecPolicy;
+pub use exec::{ExecPolicy, Precision};
 pub use matrix::Matrix;
 pub use pca::Pca;

@@ -122,6 +122,62 @@ fn packed_block_kernel(a_block: &[f32], k: usize, packed: &[f32], n: usize, out:
     }
 }
 
+/// [`packed_block_kernel`] without the `a == 0.0` skip: the inner loop is
+/// a straight fused-multiply-add sweep with no data-dependent branch, so
+/// the autovectorizer can keep the `NR`-wide update in SSE registers.
+/// Used only by the Fast precision tier — the result can differ from the
+/// exact kernel in the last bits because `0.0 * b` contributions (and
+/// `-0.0`/NaN propagation through them) are no longer skipped, which is
+/// exactly the ordering/skip guarantee [`Precision::Fast`] documents away.
+///
+/// [`Precision::Fast`]: crate::exec::Precision::Fast
+#[inline]
+fn packed_block_kernel_fast(a_block: &[f32], k: usize, packed: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert!(k > 0 && n > 0);
+    let rows = a_block.len() / k;
+    let mut panel_start = 0;
+    let mut j0 = 0;
+    while j0 < n {
+        let w = NR.min(n - j0);
+        let panel = &packed[panel_start..panel_start + k * w];
+        let mut r0 = 0;
+        while r0 < rows {
+            let h = MR.min(rows - r0);
+            if w == NR && h == MR {
+                let mut acc = [[0.0f32; NR]; MR];
+                for kk in 0..k {
+                    let b = &panel[kk * NR..kk * NR + NR];
+                    for (r, acc_r) in acc.iter_mut().enumerate() {
+                        let a = a_block[(r0 + r) * k + kk];
+                        for (o, &bv) in acc_r.iter_mut().zip(b) {
+                            *o += a * bv;
+                        }
+                    }
+                }
+                for (r, acc_r) in acc.iter().enumerate() {
+                    let o0 = (r0 + r) * n + j0;
+                    out[o0..o0 + NR].copy_from_slice(acc_r);
+                }
+            } else {
+                for r in r0..r0 + h {
+                    let a_row = &a_block[r * k..(r + 1) * k];
+                    let mut acc = [0.0f32; NR];
+                    for (kk, &a) in a_row.iter().enumerate() {
+                        let b = &panel[kk * w..kk * w + w];
+                        for (o, &bv) in acc[..w].iter_mut().zip(b) {
+                            *o += a * bv;
+                        }
+                    }
+                    out[r * n + j0..r * n + j0 + w].copy_from_slice(&acc[..w]);
+                }
+            }
+            r0 += h;
+        }
+        panel_start += k * w;
+        j0 += w;
+    }
+}
+
 /// Pack a logical `k x n` right-hand operand into `NR`-column panels, each
 /// panel contiguous and row-major within itself. `fill(kk, j0, w, dst)`
 /// writes logical row `kk`, columns `j0..j0+w`, into `dst`. Packing always
@@ -368,6 +424,64 @@ impl Matrix {
         }
     }
 
+    /// Fast-tier matrix product `self * rhs` (see
+    /// [`Precision::Fast`](crate::exec::Precision::Fast)): same tiling and
+    /// parallel split as [`Matrix::matmul_into`], but the branch-free
+    /// kernel without the `a == 0.0` skip, so output is *not* bit-compatible
+    /// with the exact path. Never called by training code — only
+    /// Fast-precision inference graphs select it.
+    pub fn matmul_into_fast(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_into_fast_with(rhs, crate::ExecPolicy::global(), out);
+    }
+
+    /// [`Matrix::matmul_into_fast`] under an explicit execution policy.
+    pub fn matmul_into_fast_with(
+        &self,
+        rhs: &Matrix,
+        policy: &crate::ExecPolicy,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul output shape mismatch"
+        );
+        let n = rhs.cols;
+        if self.rows >= PACK_MIN_ROWS && self.cols > 0 && n > 0 {
+            with_pack_scratch(|packed| {
+                pack_panels(packed, n, self.cols, |kk, j0, w, dst| {
+                    dst.copy_from_slice(&rhs.data[kk * n + j0..kk * n + j0 + w]);
+                });
+                let k = self.cols;
+                Self::fill_row_blocks(policy, self.rows, n, &mut out.data, |start, block| {
+                    let h = block.len() / n;
+                    packed_block_kernel_fast(
+                        &self.data[start * k..(start + h) * k],
+                        k,
+                        packed,
+                        n,
+                        block,
+                    );
+                });
+            });
+        } else {
+            Self::fill_rows(policy, self.rows, n, &mut out.data, |i, out_row| {
+                out_row.fill(0.0);
+                for (k, &a) in self.row(i).iter().enumerate() {
+                    let b_row = &rhs.data[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            });
+        }
+    }
+
     /// Matrix product `self * rhs^T`. Avoids materializing the transpose.
     /// Parallel above the same row threshold as [`Matrix::matmul`].
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
@@ -429,6 +543,59 @@ impl Matrix {
                         if a == 0.0 {
                             continue;
                         }
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            });
+        }
+    }
+
+    /// Fast-tier matrix product `self * rhs^T`: the transposed analogue of
+    /// [`Matrix::matmul_into_fast`], with the same dropped guarantees.
+    pub fn matmul_t_into_fast(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_t_into_fast_with(rhs, crate::ExecPolicy::global(), out);
+    }
+
+    /// [`Matrix::matmul_t_into_fast`] under an explicit execution policy.
+    pub fn matmul_t_into_fast_with(
+        &self,
+        rhs: &Matrix,
+        policy: &crate::ExecPolicy,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.rows),
+            "matmul_t output shape mismatch"
+        );
+        let n = rhs.rows;
+        let k = self.cols;
+        if self.rows >= PACK_MIN_ROWS && k > 0 && n > 0 {
+            with_pack_scratch(|packed| {
+                pack_panels(packed, n, k, |kk, j0, _w, dst| {
+                    for (jj, d) in dst.iter_mut().enumerate() {
+                        *d = rhs.data[(j0 + jj) * k + kk];
+                    }
+                });
+                Self::fill_row_blocks(policy, self.rows, n, &mut out.data, |start, block| {
+                    let h = block.len() / n;
+                    packed_block_kernel_fast(
+                        &self.data[start * k..(start + h) * k],
+                        k,
+                        packed,
+                        n,
+                        block,
+                    );
+                });
+            });
+        } else {
+            Self::fill_rows(policy, self.rows, n, &mut out.data, |i, out_row| {
+                let a_row = self.row(i);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(rhs.row(j)) {
                         acc += a * b;
                     }
                     *o = acc;
@@ -837,5 +1004,60 @@ mod tests {
         let b = Matrix::filled(2, 2, 2.0);
         a.axpy(0.5, &b);
         assert_eq!(a, Matrix::filled(2, 2, 2.0));
+    }
+
+    /// The fast kernel drops the zero-skip and ordering guarantees, not
+    /// correctness: on shapes covering both the packed and fallback paths
+    /// (and ragged tile edges) it must agree with the exact kernel to
+    /// f32 round-off, including when the left operand carries exact zeros.
+    fn gaussian_matrix(rows: usize, cols: usize, rng: &mut rand::rngs::StdRng) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        crate::rng::fill_gaussian(rng, &mut m.data, 1.0);
+        m
+    }
+
+    #[test]
+    fn fast_matmul_agrees_with_exact_within_roundoff() {
+        let mut rng = crate::rng::seeded(41);
+        for &(m, k, n) in &[(3usize, 5usize, 4usize), (8, 16, 9), (70, 33, 21)] {
+            let mut a = gaussian_matrix(m, k, &mut rng);
+            let b = gaussian_matrix(k, n, &mut rng);
+            // Sprinkle exact zeros: the exact kernel skips them, the fast
+            // kernel multiplies through — results must still agree.
+            for i in 0..m {
+                a.row_mut(i)[i % k] = 0.0;
+            }
+            let exact = a.matmul_with(&b, &crate::ExecPolicy::serial());
+            let mut fast = Matrix::zeros(m, n);
+            a.matmul_into_fast_with(&b, &crate::ExecPolicy::serial(), &mut fast);
+            for (e, f) in exact.data.iter().zip(&fast.data) {
+                assert!((e - f).abs() <= 1e-4 * (1.0 + e.abs()), "e={e} f={f}");
+            }
+
+            let bt = b.transpose();
+            let exact_t = a.matmul_t_with(&bt, &crate::ExecPolicy::serial());
+            let mut fast_t = Matrix::zeros(m, n);
+            a.matmul_t_into_fast_with(&bt, &crate::ExecPolicy::serial(), &mut fast_t);
+            for (e, f) in exact_t.data.iter().zip(&fast_t.data) {
+                assert!((e - f).abs() <= 1e-4 * (1.0 + e.abs()), "e={e} f={f}");
+            }
+        }
+    }
+
+    /// Fast-tier output is still deterministic: thread count must not
+    /// change bits (chunked rows, one writer per element — same structural
+    /// argument as the exact path).
+    #[test]
+    fn fast_matmul_is_thread_count_invariant() {
+        let mut rng = crate::rng::seeded(42);
+        let a = gaussian_matrix(70, 24, &mut rng);
+        let b = gaussian_matrix(24, 18, &mut rng);
+        let mut serial = Matrix::zeros(70, 18);
+        a.matmul_into_fast_with(&b, &crate::ExecPolicy::serial(), &mut serial);
+        for threads in [2, 3, 8] {
+            let mut par = Matrix::zeros(70, 18);
+            a.matmul_into_fast_with(&b, &crate::ExecPolicy::with_threads(threads), &mut par);
+            assert_eq!(serial.data, par.data, "threads={threads}");
+        }
     }
 }

@@ -19,6 +19,32 @@ pub fn softmax_inplace(a: &mut [f32]) {
     }
 }
 
+/// Fast-tier stable softmax in place: identical max-subtract/normalize
+/// structure to [`softmax_inplace`], with [`crate::fastmath::fast_exp`]
+/// (rel error ≤ 1e-5) instead of libm `exp`. Entries more than ~41
+/// below the row max come out at `fast_exp`'s ~2^-60 saturation floor
+/// rather than underflowing further — beyond f32 resolution of the
+/// normalized row either way, and it keeps the output (and everything
+/// later multiplied by it) free of subnormals. Only Fast-precision
+/// inference graphs call this; Exact paths keep the libm version.
+pub fn softmax_inplace_fast(a: &mut [f32]) {
+    if a.is_empty() {
+        return;
+    }
+    let max = a.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in a.iter_mut() {
+        *v = crate::fastmath::fast_exp(*v - max);
+        sum += *v;
+    }
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        for v in a {
+            *v *= inv;
+        }
+    }
+}
+
 /// Stable softmax, returning a new vector.
 pub fn softmax(a: &[f32]) -> Vec<f32> {
     let mut v = a.to_vec();
@@ -130,6 +156,17 @@ mod tests {
         fn log_sum_exp_ge_max(v in proptest::collection::vec(-50.0f32..50.0, 1..16)) {
             let max = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             prop_assert!(log_sum_exp(&v) >= max - 1e-4);
+        }
+
+        #[test]
+        fn fast_softmax_tracks_exact_softmax(v in proptest::collection::vec(-50.0f32..50.0, 1..16)) {
+            let exact = softmax(&v);
+            let mut fast = v.clone();
+            softmax_inplace_fast(&mut fast);
+            prop_assert!((fast.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            for (f, e) in fast.iter().zip(&exact) {
+                prop_assert!((f - e).abs() <= 1e-4, "fast={f} exact={e}");
+            }
         }
     }
 }

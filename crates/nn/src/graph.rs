@@ -22,7 +22,7 @@
 //! always fully overwritten (or explicitly zeroed) before use, so results
 //! are byte-identical to freshly allocated storage — property-tested below.
 
-use structmine_linalg::Matrix;
+use structmine_linalg::{fastmath, Matrix, Precision};
 
 /// Thread-local recycling pool for matrix buffers, keyed by element count.
 ///
@@ -118,6 +118,10 @@ enum Op {
     /// (input, cached per-element tanh of the GELU inner term — reused in
     /// the backward pass so the tanh is computed exactly once)
     Gelu(NodeId, Matrix),
+    /// Fast-tier fused GELU forward: no cached-tanh matrix (inference
+    /// graphs never run backward, so the bookkeeping is pure overhead).
+    /// Differentiating through it is a programming error and panics.
+    GeluFast(NodeId),
     Tanh(NodeId),
     Sigmoid(NodeId),
     RowSoftmax(NodeId),
@@ -145,15 +149,37 @@ struct Node {
 }
 
 /// A tape of matrix operations supporting reverse-mode differentiation.
+///
+/// The tape carries a [`Precision`] chosen at construction: Exact tapes
+/// (the default, and the only kind training ever builds) use libm
+/// transcendentals and the bit-reproducible matmul kernels; Fast tapes
+/// swap in the [`structmine_linalg::fastmath`] approximations, the fused
+/// no-cache GELU, and the branch-free matmul path. Backward passes are
+/// only supported on Exact tapes.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    precision: Precision,
 }
 
 impl Graph {
-    /// An empty tape.
+    /// An empty tape at Exact precision.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph::with_precision(Precision::Exact)
+    }
+
+    /// An empty tape at the given precision tier. Training code must pass
+    /// [`Precision::Exact`]; Fast tapes are inference-only.
+    pub fn with_precision(precision: Precision) -> Self {
+        Graph {
+            nodes: Vec::new(),
+            precision,
+        }
+    }
+
+    /// The precision tier this tape computes at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> NodeId {
@@ -285,11 +311,16 @@ impl Graph {
         self.push(v, Op::Mul(a, b))
     }
 
-    /// Matrix product `a × b`.
+    /// Matrix product `a × b`. Fast tapes use the branch-free kernel
+    /// (no `a == 0.0` skip, no bit-compat with Exact); Exact tapes keep
+    /// the bit-reproducible kernel.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         let mut v = arena::take_uninit(va.rows(), vb.cols());
-        va.matmul_into(vb, &mut v);
+        match self.precision {
+            Precision::Exact => va.matmul_into(vb, &mut v),
+            Precision::Fast => va.matmul_into_fast(vb, &mut v),
+        }
         self.push(v, Op::MatMul(a, b))
     }
 
@@ -300,7 +331,10 @@ impl Graph {
     pub fn matmul_t(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         let mut v = arena::take_uninit(va.rows(), vb.rows());
-        va.matmul_t_into(vb, &mut v);
+        match self.precision {
+            Precision::Exact => va.matmul_t_into(vb, &mut v),
+            Precision::Fast => va.matmul_t_into_fast(vb, &mut v),
+        }
         self.push(v, Op::MatMulT(a, b))
     }
 
@@ -323,6 +357,18 @@ impl Graph {
     /// tanh evaluations per training step without changing any bit of the
     /// result.
     pub fn gelu(&mut self, a: NodeId) -> NodeId {
+        if self.precision == Precision::Fast {
+            // Fused fast forward: polynomial tanh, no cached matrix to
+            // fill (inference tapes never differentiate, so caching the
+            // inner tanh is one full matrix write of pure overhead).
+            let va = &self.nodes[a.0].value;
+            let mut v = arena::take_uninit(va.rows(), va.cols());
+            for (o, &x) in v.data_mut().iter_mut().zip(va.data()) {
+                let tanh = fastmath::fast_tanh(GELU_C * (x + 0.044715 * x * x * x));
+                *o = 0.5 * x * (1.0 + tanh);
+            }
+            return self.push(v, Op::GeluFast(a));
+        }
         let va = &self.nodes[a.0].value;
         let mut v = arena::take_uninit(va.rows(), va.cols());
         let mut cached_t = arena::take_uninit(va.rows(), va.cols());
@@ -341,13 +387,19 @@ impl Graph {
 
     /// tanh.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        let v = self.map_unary(a, f32::tanh);
+        let v = match self.precision {
+            Precision::Exact => self.map_unary(a, f32::tanh),
+            Precision::Fast => self.map_unary(a, fastmath::fast_tanh),
+        };
         self.push(v, Op::Tanh(a))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
-        let v = self.map_unary(a, sigmoid);
+        let v = match self.precision {
+            Precision::Exact => self.map_unary(a, sigmoid),
+            Precision::Fast => self.map_unary(a, fast_sigmoid),
+        };
         self.push(v, Op::Sigmoid(a))
     }
 
@@ -356,9 +408,17 @@ impl Graph {
         let va = &self.nodes[a.0].value;
         let mut v = arena::take_copy(va);
         for i in 0..v.rows() {
-            structmine_linalg::stats::softmax_inplace(v.row_mut(i));
+            self.softmax_row(v.row_mut(i));
         }
         self.push(v, Op::RowSoftmax(a))
+    }
+
+    /// The per-row softmax primitive at this tape's precision.
+    fn softmax_row(&self, row: &mut [f32]) {
+        match self.precision {
+            Precision::Exact => structmine_linalg::stats::softmax_inplace(row),
+            Precision::Fast => structmine_linalg::stats::softmax_inplace_fast(row),
+        }
     }
 
     /// Fused `row_softmax(s * a)` — one node instead of a Scale node plus a
@@ -372,7 +432,7 @@ impl Graph {
             *o = x * s;
         }
         for i in 0..v.rows() {
-            structmine_linalg::stats::softmax_inplace(v.row_mut(i));
+            self.softmax_row(v.row_mut(i));
         }
         self.push(v, Op::ScaledRowSoftmax(a, s))
     }
@@ -631,6 +691,13 @@ impl Graph {
                 }
                 vec![(*a, g)]
             }
+            Op::GeluFast(a) => {
+                panic!(
+                    "GeluFast (input node {}) is inference-only: \
+                     Fast-precision tapes do not support backward",
+                    a.0
+                )
+            }
             Op::Tanh(a) => {
                 vec![(
                     *a,
@@ -825,6 +892,12 @@ fn scaled_diff(a: &Matrix, b: &Matrix, scale: f32) -> Matrix {
 
 fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
+}
+
+/// Fast-tier sigmoid: same rational form with [`fastmath::fast_exp`]
+/// (rel error ≤ 1e-5, so the sigmoid error is ≤ ~2.5e-6 absolute).
+fn fast_sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + fastmath::fast_exp(-x))
 }
 
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
@@ -1240,5 +1313,47 @@ mod tests {
         let t = g.leaf(table.clone());
         let selected = g.select_rows(t, &ids);
         assert_eq!(g.value(gathered).data(), g.value(selected).data());
+    }
+
+    /// A Fast-precision tape must track the Exact tape element-wise
+    /// through a transformer-shaped op chain (matmul → gelu → tanh →
+    /// sigmoid → scaled softmax). Loose absolute tolerance: each fast op
+    /// contributes ≤ 2e-4.
+    #[test]
+    fn fast_tape_tracks_exact_tape_within_tolerance() {
+        let a = random_matrix(9, 12, 310);
+        let b = random_matrix(12, 9, 311);
+        let run = |precision: Precision| {
+            let mut g = Graph::with_precision(precision);
+            let na = g.leaf(a.clone());
+            let nb = g.leaf(b.clone());
+            let mm = g.matmul(na, nb);
+            let ge = g.gelu(mm);
+            let th = g.tanh(ge);
+            let sg = g.sigmoid(th);
+            let sm = g.scaled_row_softmax(sg, 3.0);
+            g.take_value(sm)
+        };
+        let exact = run(Precision::Exact);
+        let fast = run(Precision::Fast);
+        assert_eq!(exact.shape(), fast.shape());
+        for (e, f) in exact.data().iter().zip(fast.data()) {
+            assert!((e - f).abs() <= 1e-3, "exact={e} fast={f}");
+        }
+        // And the default constructor stays Exact.
+        assert_eq!(Graph::new().precision(), Precision::Exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "inference-only")]
+    fn fast_gelu_backward_panics() {
+        let a = random_matrix(3, 3, 312);
+        let mut g = Graph::with_precision(Precision::Fast);
+        let na = g.leaf(a);
+        let ge = g.gelu(na);
+        let m = g.mean_rows(ge);
+        let ones = g.leaf(Matrix::filled(1, 3, 1.0));
+        let loss = g.matmul_t(m, ones);
+        g.backward(loss);
     }
 }

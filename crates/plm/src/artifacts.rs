@@ -10,10 +10,16 @@
 //! runs — the same table binary re-executed, or several methods sharing one
 //! adapted model — skip straight past the computation.
 //!
-//! The execution policy is deliberately **excluded** from every
-//! fingerprint: parallel execution is bitwise deterministic for any thread
-//! count (see `structmine_linalg::exec`), so a cache entry written under
-//! one thread count is valid under every other.
+//! The execution policy's *thread count* is deliberately **excluded** from
+//! every fingerprint: parallel execution is bitwise deterministic for any
+//! thread count (see `structmine_linalg::exec`), so a cache entry written
+//! under one thread count is valid under every other. The policy's
+//! [`Precision`](structmine_linalg::Precision) tier is the one exception —
+//! Fast-tier encodes are not bit-compatible with Exact ones, so every
+//! stage whose compute runs PLM inference hashes the tier into its key and
+//! the two tiers can never cross-contaminate the cache. Training stages
+//! ([`AdaptPlm`], pretraining) always run Exact and stay tier-independent,
+//! so one adapted checkpoint serves both tiers.
 //!
 //! Failure behavior is inherited from the store (DESIGN §7): a corrupt or
 //! unreadable checkpoint is detected by its checksum footer and recomputed,
@@ -140,6 +146,7 @@ impl Stage for EncodeCorpus<'_> {
     fn fingerprint(&self, h: &mut StableHasher) {
         h.write_u128(self.model.fingerprint());
         self.corpus.stable_hash(h);
+        self.exec.precision().stable_hash(h);
     }
 
     fn compute(&self) -> Vec<DocRep> {
@@ -169,6 +176,7 @@ impl Stage for DocMeanReps<'_> {
     fn fingerprint(&self, h: &mut StableHasher) {
         h.write_u128(self.model.fingerprint());
         self.corpus.stable_hash(h);
+        self.exec.precision().stable_hash(h);
     }
 
     fn compute(&self) -> Matrix {
@@ -206,6 +214,7 @@ impl Stage for DocMeanRepsShard<'_> {
         self.corpus.stable_hash(h);
         self.range.start.stable_hash(h);
         self.range.end.stable_hash(h);
+        self.exec.precision().stable_hash(h);
     }
 
     fn compute(&self) -> Matrix {
@@ -250,6 +259,7 @@ impl DeltaStage for EncodeDeltaCorpus<'_> {
     fn base_fingerprint(&self, h: &mut StableHasher) {
         h.write_u128(self.model.fingerprint());
         h.write_u128(self.delta.base_fingerprint());
+        self.exec.precision().stable_hash(h);
     }
 
     fn delta_fingerprint(&self, h: &mut StableHasher, g: u64) {
@@ -304,6 +314,7 @@ impl DeltaStage for DocMeanRepsDelta<'_> {
     fn base_fingerprint(&self, h: &mut StableHasher) {
         h.write_u128(self.model.fingerprint());
         h.write_u128(self.delta.base_fingerprint());
+        self.exec.precision().stable_hash(h);
     }
 
     fn delta_fingerprint(&self, h: &mut StableHasher, g: u64) {
@@ -362,6 +373,7 @@ impl Stage for NliEntail<'_> {
         h.write_u128(self.model.fingerprint());
         self.corpus.stable_hash(h);
         self.hypotheses.stable_hash(h);
+        self.exec.precision().stable_hash(h);
     }
 
     fn compute(&self) -> Matrix {
@@ -574,5 +586,94 @@ mod tests {
             k1.digest, k3.digest,
             "exec policy must not affect the key: parallel output is bitwise identical"
         );
+    }
+
+    #[test]
+    fn stage_keys_separate_precision_tiers() {
+        use structmine_linalg::Precision;
+        let (model, corpus) = tiny_model_and_corpus();
+        let exact = ExecPolicy::serial();
+        let fast = ExecPolicy::serial().with_precision(Precision::Fast);
+        let ke = DocMeanReps {
+            model: &model,
+            corpus: &corpus,
+            exec: exact,
+        }
+        .key();
+        let kf = DocMeanReps {
+            model: &model,
+            corpus: &corpus,
+            exec: fast,
+        }
+        .key();
+        assert_ne!(
+            ke.digest, kf.digest,
+            "Fast-tier artifacts must never be served from Exact keys"
+        );
+    }
+
+    /// Satellite regression: a warm Fast-tier run after a cold Exact run
+    /// must report **zero** cross-tier hits — every stage recomputes under
+    /// its own key instead of silently serving the other tier's artifacts.
+    #[test]
+    fn warm_fast_run_after_cold_exact_run_has_no_cross_tier_hits() {
+        use structmine_linalg::Precision;
+        let (model, corpus) = tiny_model_and_corpus();
+        let store = ArtifactStore::memory_only();
+        let exact = ExecPolicy::serial();
+        let fast = ExecPolicy::serial().with_precision(Precision::Fast);
+
+        let run_all = |exec: ExecPolicy| {
+            let _ = store.run(&EncodeCorpus {
+                model: &model,
+                corpus: &corpus,
+                exec,
+            });
+            let _ = store.run(&DocMeanReps {
+                model: &model,
+                corpus: &corpus,
+                exec,
+            });
+            let _ = store.run(&DocMeanRepsShard {
+                model: &model,
+                corpus: &corpus,
+                range: 0..corpus.len(),
+                exec,
+            });
+            let _ = store.run(&NliEntail {
+                model: &model,
+                corpus: &corpus,
+                hypotheses: &[vec![6u32, 7]],
+                exec,
+            });
+        };
+
+        run_all(exact); // cold Exact pass populates the store
+        let hits_before = store.stats().mem_hits;
+        let misses_before = store.stats().misses;
+        run_all(fast); // warm Fast pass must see none of it
+        assert_eq!(
+            store.stats().mem_hits,
+            hits_before,
+            "0 cross-tier hits: a Fast run must not read Exact artifacts"
+        );
+        assert_eq!(
+            store.stats().misses,
+            misses_before + 4,
+            "every Fast stage recomputes under its own key"
+        );
+
+        // And the tiers really computed different bytes somewhere.
+        let e = store.run(&DocMeanReps {
+            model: &model,
+            corpus: &corpus,
+            exec: exact,
+        });
+        let f = store.run(&DocMeanReps {
+            model: &model,
+            corpus: &corpus,
+            exec: fast,
+        });
+        assert_ne!(e.data(), f.data(), "tiers share a key only if identical");
     }
 }

@@ -11,7 +11,7 @@
 //! per tape and accumulate several sequence losses before the Adam step.
 
 use crate::config::PlmConfig;
-use structmine_linalg::{vector, Matrix};
+use structmine_linalg::{vector, Matrix, Precision};
 use structmine_nn::graph::{Graph, NodeId};
 use structmine_nn::layers::{Embedding, LayerNorm, Linear};
 use structmine_nn::params::{Adam, Binding, ParamStore};
@@ -242,7 +242,14 @@ impl MiniPlm {
     /// Run a no-gradient forward pass, returning the final hidden states
     /// (`len x d_model`).
     pub fn encode(&self, tokens: &[TokenId]) -> Matrix {
-        let mut g = Graph::new();
+        self.encode_prec(tokens, Precision::Exact)
+    }
+
+    /// [`MiniPlm::encode`] at an explicit precision tier: the tier selects
+    /// the tape the forward pass records on (Exact tapes are bitwise
+    /// reproducible; Fast tapes use the approximate inference kernels).
+    pub fn encode_prec(&self, tokens: &[TokenId], precision: Precision) -> Matrix {
+        let mut g = Graph::with_precision(precision);
         let bound = self.bound();
         let h = bound.encode(&mut g, tokens);
         g.take_value(h)
@@ -308,34 +315,57 @@ impl MiniPlm {
     /// Per-position replaced-token probabilities for a wrapped sequence
     /// (sigmoid of the RTD head).
     pub fn rtd_probs(&self, tokens: &[TokenId]) -> Vec<f32> {
-        let mut g = Graph::new();
+        self.rtd_probs_prec(tokens, Precision::Exact)
+    }
+
+    /// [`MiniPlm::rtd_probs`] at an explicit precision tier.
+    pub fn rtd_probs_prec(&self, tokens: &[TokenId], precision: Precision) -> Vec<f32> {
+        let mut g = Graph::with_precision(precision);
         let bound = self.bound();
         let h = bound.encode(&mut g, tokens);
         let logits = bound.rtd_logits(&mut g, h);
-        g.value(logits)
-            .data()
-            .iter()
-            .map(|&z| 1.0 / (1.0 + (-z).exp()))
-            .collect()
+        let sig = |z: f32| match precision {
+            Precision::Exact => 1.0 / (1.0 + (-z).exp()),
+            Precision::Fast => 1.0 / (1.0 + structmine_linalg::fastmath::fast_exp(-z)),
+        };
+        g.value(logits).data().iter().map(|&z| sig(z)).collect()
     }
 
     /// Probability that `premise` entails `hypothesis` under the NLI head.
     pub fn nli_entail_prob(&self, premise: &[TokenId], hypothesis: &[TokenId]) -> f32 {
+        self.nli_entail_prob_prec(premise, hypothesis, Precision::Exact)
+    }
+
+    /// [`MiniPlm::nli_entail_prob`] at an explicit precision tier.
+    pub fn nli_entail_prob_prec(
+        &self,
+        premise: &[TokenId],
+        hypothesis: &[TokenId],
+        precision: Precision,
+    ) -> f32 {
         let seq = self.wrap_pair(premise, hypothesis);
-        let mut g = Graph::new();
+        let mut g = Graph::with_precision(precision);
         let bound = self.bound();
         let h = bound.encode(&mut g, &seq);
         let logits = bound.nli_logits(&mut g, h);
         let mut probs = g.value(logits).row(0).to_vec();
-        structmine_linalg::stats::softmax_inplace(&mut probs);
+        match precision {
+            Precision::Exact => structmine_linalg::stats::softmax_inplace(&mut probs),
+            Precision::Fast => structmine_linalg::stats::softmax_inplace_fast(&mut probs),
+        }
         probs[1]
     }
 
     /// Average of the final hidden states over real (non-CLS/SEP) positions —
     /// the "average-pooled BERT representation" of the tutorial's figures.
     pub fn mean_embed(&self, tokens: &[TokenId]) -> Vec<f32> {
+        self.mean_embed_prec(tokens, Precision::Exact)
+    }
+
+    /// [`MiniPlm::mean_embed`] at an explicit precision tier.
+    pub fn mean_embed_prec(&self, tokens: &[TokenId], precision: Precision) -> Vec<f32> {
         let seq = self.wrap(tokens);
-        let h = self.encode(&seq);
+        let h = self.encode_prec(&seq, precision);
         let rows: Vec<&[f32]> = (1..seq.len() - 1).map(|i| h.row(i)).collect();
         if rows.is_empty() {
             return h.row(0).to_vec();

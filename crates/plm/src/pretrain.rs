@@ -17,7 +17,7 @@ use crate::model::MiniPlm;
 use rand::rngs::StdRng;
 use rand::Rng;
 use structmine_linalg::{rng as lrng, Matrix};
-use structmine_nn::graph::Graph;
+use structmine_nn::graph::{Graph, NodeId};
 use structmine_nn::params::Binding;
 use structmine_text::vocab::{TokenId, Vocab, MASK, N_SPECIAL};
 use structmine_text::Corpus;
@@ -126,10 +126,7 @@ pub fn pretrain(model: &mut MiniPlm, corpus: &Corpus, cfg: &PretrainConfig) -> P
             let mlm_loss = g.softmax_cross_entropy(logits, &targets);
             step_mlm += g.value(mlm_loss).get(0, 0);
             let scaled = g.scale(mlm_loss, 1.0 / cfg.batch as f32);
-            total_loss = Some(match total_loss {
-                None => scaled,
-                Some(acc) => g.add(acc, scaled),
-            });
+            add_loss_term(&mut g, &mut total_loss, scaled);
 
             // --- RTD on a corrupted copy (half the batch) ---
             if cfg.rtd_weight > 0.0 && b % 2 == 0 {
@@ -139,8 +136,7 @@ pub fn pretrain(model: &mut MiniPlm, corpus: &Corpus, cfg: &PretrainConfig) -> P
                 let target = Matrix::from_vec(labels.len(), 1, labels);
                 let rtd_loss = g.sigmoid_bce(rtd_logits, &target);
                 let scaled = g.scale(rtd_loss, 2.0 * cfg.rtd_weight / cfg.batch as f32);
-                let acc = total_loss.expect("mlm loss set above");
-                total_loss = Some(g.add(acc, scaled));
+                add_loss_term(&mut g, &mut total_loss, scaled);
             }
 
             // --- NLI pair (quarter of the batch) ---
@@ -166,8 +162,7 @@ pub fn pretrain(model: &mut MiniPlm, corpus: &Corpus, cfg: &PretrainConfig) -> P
                 target.set(0, usize::from(entail), 1.0);
                 let nli_loss = g.softmax_cross_entropy(logits, &target);
                 let scaled = g.scale(nli_loss, 4.0 * cfg.nli_weight / cfg.batch as f32);
-                let acc = total_loss.expect("mlm loss set above");
-                total_loss = Some(g.add(acc, scaled));
+                add_loss_term(&mut g, &mut total_loss, scaled);
             }
         }
 
@@ -212,6 +207,15 @@ pub fn adapt(model: &MiniPlm, corpus: &Corpus, steps: usize, seed: u64) -> MiniP
 }
 
 /// Take a random window of at most `max` tokens.
+/// Fold one scaled objective term into the step's running loss node —
+/// seeds the accumulator on the first term, adds on the tape afterwards.
+fn add_loss_term(g: &mut Graph, total: &mut Option<NodeId>, term: NodeId) {
+    *total = Some(match total.take() {
+        None => term,
+        Some(acc) => g.add(acc, term),
+    });
+}
+
 fn sample_window(tokens: &[TokenId], max: usize, rng: &mut StdRng) -> Vec<TokenId> {
     if tokens.len() <= max {
         return tokens.to_vec();

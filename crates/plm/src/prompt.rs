@@ -7,16 +7,50 @@
 //! head (ELECTRA-style).
 
 use crate::model::MiniPlm;
+use structmine_linalg::Precision;
 use structmine_text::vocab::{TokenId, MASK, SEP};
 use structmine_text::Vocab;
+
+/// Typed failure for prompt construction: a template word the verbalizer
+/// needs is not in the vocabulary. Replaces the previous panic so table
+/// bins and the engine can map it to their error taxonomy (exit 2 /
+/// `EngineError`) instead of aborting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PromptError {
+    /// The missing template word.
+    pub word: &'static str,
+}
+
+impl std::fmt::Display for PromptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "prompt template word '{}' is not in the vocabulary", self.word)
+    }
+}
+
+impl std::error::Error for PromptError {}
+
+fn template_word(vocab: &Vocab, word: &'static str) -> Result<TokenId, PromptError> {
+    vocab.id(word).ok_or(PromptError { word })
+}
+
+/// Check up front that every template word the prompt builders need is
+/// present, so callers can fail once per vocabulary instead of once per
+/// document inside a parallel scoring loop.
+pub fn validate_templates(vocab: &Vocab) -> Result<(), PromptError> {
+    template_word(vocab, "about").map(|_| ())
+}
 
 /// Build the cloze prompt `[CLS] doc.. [SEP] about [MASK] [SEP]`, returning
 /// the sequence and the `[MASK]` position.
 ///
 /// The template word "about" is in the general lexicon, so the MLM saw it
 /// adjacent to topical words throughout pretraining.
-pub fn cloze_prompt(model: &MiniPlm, doc: &[TokenId], vocab: &Vocab) -> (Vec<TokenId>, usize) {
-    let about = vocab.id("about").expect("'about' must be in vocabulary");
+pub fn cloze_prompt(
+    model: &MiniPlm,
+    doc: &[TokenId],
+    vocab: &Vocab,
+) -> Result<(Vec<TokenId>, usize), PromptError> {
+    let about = template_word(vocab, "about")?;
     let budget = model.config.max_len.saturating_sub(5);
     let body = &doc[..doc.len().min(budget)];
     let mut seq = Vec::with_capacity(body.len() + 5);
@@ -27,7 +61,7 @@ pub fn cloze_prompt(model: &MiniPlm, doc: &[TokenId], vocab: &Vocab) -> (Vec<Tok
     let mask_pos = seq.len();
     seq.push(MASK);
     seq.push(SEP);
-    (seq, mask_pos)
+    Ok((seq, mask_pos))
 }
 
 /// MLM cloze scores for each class: mean probability of the class's name
@@ -38,10 +72,10 @@ pub fn cloze_label_scores(
     doc: &[TokenId],
     label_names: &[Vec<TokenId>],
     vocab: &Vocab,
-) -> Vec<f32> {
-    let (seq, mask_pos) = cloze_prompt(model, doc, vocab);
+) -> Result<Vec<f32>, PromptError> {
+    let (seq, mask_pos) = cloze_prompt(model, doc, vocab)?;
     let probs = model.mlm_probs(&seq, mask_pos);
-    label_names
+    Ok(label_names
         .iter()
         .map(|names| {
             if names.is_empty() {
@@ -49,7 +83,7 @@ pub fn cloze_label_scores(
             }
             names.iter().map(|&t| probs[t as usize]).sum::<f32>() / names.len() as f32
         })
-        .collect()
+        .collect())
 }
 
 /// ELECTRA-style RTD scores for each class: build
@@ -60,9 +94,21 @@ pub fn rtd_label_scores(
     doc: &[TokenId],
     label_names: &[Vec<TokenId>],
     vocab: &Vocab,
-) -> Vec<f32> {
-    let about = vocab.id("about").expect("'about' must be in vocabulary");
-    label_names
+) -> Result<Vec<f32>, PromptError> {
+    rtd_label_scores_prec(model, doc, label_names, vocab, Precision::Exact)
+}
+
+/// [`rtd_label_scores`] at an explicit precision tier (the serving-path
+/// variant: the RTD forward passes run on a tape of that tier).
+pub fn rtd_label_scores_prec(
+    model: &MiniPlm,
+    doc: &[TokenId],
+    label_names: &[Vec<TokenId>],
+    vocab: &Vocab,
+    precision: Precision,
+) -> Result<Vec<f32>, PromptError> {
+    let about = template_word(vocab, "about")?;
+    Ok(label_names
         .iter()
         .map(|names| {
             if names.is_empty() {
@@ -78,12 +124,12 @@ pub fn rtd_label_scores(
             let name_start = seq.len();
             seq.extend_from_slice(names);
             seq.push(SEP);
-            let probs = model.rtd_probs(&seq);
+            let probs = model.rtd_probs_prec(&seq, precision);
             let replaced: f32 =
                 (0..names.len()).map(|i| probs[name_start + i]).sum::<f32>() / names.len() as f32;
             1.0 - replaced
         })
-        .collect()
+        .collect())
 }
 
 /// Zero-shot prediction over a corpus slice using a scoring function.
@@ -93,15 +139,15 @@ pub fn zero_shot_predict(
     label_names: &[Vec<TokenId>],
     vocab: &Vocab,
     electra_style: bool,
-) -> Vec<usize> {
+) -> Result<Vec<usize>, PromptError> {
     docs.iter()
         .map(|doc| {
             let scores = if electra_style {
-                rtd_label_scores(model, doc, label_names, vocab)
+                rtd_label_scores(model, doc, label_names, vocab)?
             } else {
-                cloze_label_scores(model, doc, label_names, vocab)
+                cloze_label_scores(model, doc, label_names, vocab)?
             };
-            structmine_linalg::vector::argmax(&scores).unwrap_or(0)
+            Ok(structmine_linalg::vector::argmax(&scores).unwrap_or(0))
         })
         .collect()
 }
@@ -116,7 +162,7 @@ mod tests {
     fn cloze_prompt_places_mask_before_final_sep() {
         let corpus = recipes::pretraining_corpus(2, 1);
         let model = MiniPlm::new(PlmConfig::tiny(corpus.vocab.len()));
-        let (seq, pos) = cloze_prompt(&model, &corpus.docs[0].tokens, &corpus.vocab);
+        let (seq, pos) = cloze_prompt(&model, &corpus.docs[0].tokens, &corpus.vocab).unwrap();
         assert_eq!(seq[pos], MASK);
         assert_eq!(seq[pos + 1], SEP);
         assert!(seq.len() <= model.config.max_len);
@@ -128,8 +174,8 @@ mod tests {
         let model = MiniPlm::new(PlmConfig::tiny(corpus.vocab.len()));
         let names = vec![vec![10 as TokenId], vec![11], vec![]];
         let doc = &corpus.docs[0].tokens;
-        let cloze = cloze_label_scores(&model, doc, &names, &corpus.vocab);
-        let rtd = rtd_label_scores(&model, doc, &names, &corpus.vocab);
+        let cloze = cloze_label_scores(&model, doc, &names, &corpus.vocab).unwrap();
+        let rtd = rtd_label_scores(&model, doc, &names, &corpus.vocab).unwrap();
         assert_eq!(cloze.len(), 3);
         assert_eq!(rtd.len(), 3);
         assert_eq!(cloze[2], 0.0);
@@ -145,7 +191,7 @@ mod tests {
         let names = vec![vec![10 as TokenId], vec![11]];
         let docs: Vec<&[TokenId]> = corpus.docs.iter().map(|d| d.tokens.as_slice()).collect();
         for style in [false, true] {
-            let preds = zero_shot_predict(&model, &docs, &names, &corpus.vocab, style);
+            let preds = zero_shot_predict(&model, &docs, &names, &corpus.vocab, style).unwrap();
             assert_eq!(preds.len(), 4);
             assert!(preds.iter().all(|&p| p < 2));
         }

@@ -9,14 +9,18 @@
 //!
 //! Everything here is **batched**: the corpus is the unit of work, and each
 //! function takes an [`ExecPolicy`] that decides how many worker threads
-//! share the per-document encodes. Parallelism is deterministic — documents
-//! are split into fixed, index-ordered chunks and every per-document result
-//! is produced by the exact scalar code the serial path uses, so output is
+//! share the per-document encodes *and* at which [`Precision`] tier each
+//! forward pass runs. Parallelism is deterministic — documents are split
+//! into fixed, index-ordered chunks and every per-document result is
+//! produced by the exact scalar code the serial path uses, so output is
 //! bitwise identical for any thread count (see `structmine_linalg::exec`).
+//! The precision tier, unlike the thread count, *does* change output bits
+//! (Fast swaps in approximate kernels), which is why the policy's tier is
+//! part of every encode stage's fingerprint.
 
 use crate::model::MiniPlm;
 use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
-use structmine_linalg::{vector, Matrix};
+use structmine_linalg::{vector, Matrix, Precision};
 use structmine_text::vocab::TokenId;
 use structmine_text::Corpus;
 
@@ -52,7 +56,8 @@ impl MiniPlm {
     /// invariant the serving layer's micro-batching relies on.
     pub fn encode_docs(&self, docs: &[Vec<TokenId>], policy: &ExecPolicy) -> Vec<DocRep> {
         count_encoded(docs.len());
-        par_map_chunks(policy, docs, |i, tokens| encode_one(self, i, tokens))
+        let prec = policy.precision();
+        par_map_chunks(policy, docs, |i, tokens| encode_one(self, i, tokens, prec))
     }
 }
 
@@ -66,9 +71,9 @@ fn count_encoded(n: usize) {
 
 /// Encode one token sequence into a [`DocRep`] — the single per-document
 /// code path shared by corpus-level and ad-hoc batched encoding.
-fn encode_one(model: &MiniPlm, i: usize, tokens: &[TokenId]) -> DocRep {
+fn encode_one(model: &MiniPlm, i: usize, tokens: &[TokenId], precision: Precision) -> DocRep {
     let seq = model.wrap(tokens);
-    let h = model.encode(&seq);
+    let h = model.encode_prec(&seq, precision);
     let body: Vec<usize> = (1..seq.len() - 1).collect();
     let rows: Vec<&[f32]> = body.iter().map(|&r| h.row(r)).collect();
     let mean = if rows.is_empty() {
@@ -86,8 +91,9 @@ fn encode_one(model: &MiniPlm, i: usize, tokens: &[TokenId]) -> DocRep {
 /// Free-function form of [`MiniPlm::encode_corpus`].
 pub fn encode_corpus(model: &MiniPlm, corpus: &Corpus, policy: &ExecPolicy) -> Vec<DocRep> {
     count_encoded(corpus.len());
+    let prec = policy.precision();
     par_map_chunks(policy, &corpus.docs, |i, doc| {
-        encode_one(model, i, &doc.tokens)
+        encode_one(model, i, &doc.tokens, prec)
     })
 }
 
@@ -104,8 +110,9 @@ pub fn encode_corpus_range(
 ) -> Vec<DocRep> {
     let start = range.start;
     count_encoded(range.len());
+    let prec = policy.precision();
     par_map_chunks(policy, &corpus.docs[range], |i, doc| {
-        encode_one(model, start + i, &doc.tokens)
+        encode_one(model, start + i, &doc.tokens, prec)
     })
 }
 
@@ -127,8 +134,9 @@ pub fn doc_mean_rows_range(
     policy: &ExecPolicy,
 ) -> Vec<Vec<f32>> {
     count_encoded(range.len());
+    let prec = policy.precision();
     par_map_chunks(policy, &corpus.docs[range], |_, doc| {
-        model.mean_embed(&doc.tokens)
+        model.mean_embed_prec(&doc.tokens, prec)
     })
 }
 
@@ -154,8 +162,13 @@ pub fn doc_mean_reps(model: &MiniPlm, corpus: &Corpus) -> Matrix {
 /// `tokens[i]` (CLS/SEP rows are stripped). Truncated to the model's
 /// maximum length.
 pub fn token_reps(model: &MiniPlm, tokens: &[TokenId]) -> Matrix {
+    token_reps_prec(model, tokens, Precision::Exact)
+}
+
+/// [`token_reps`] at an explicit precision tier.
+pub fn token_reps_prec(model: &MiniPlm, tokens: &[TokenId], precision: Precision) -> Matrix {
     let seq = model.wrap(tokens);
-    let h = model.encode(&seq);
+    let h = model.encode_prec(&seq, precision);
     h.select_rows(&(1..seq.len() - 1).collect::<Vec<_>>())
 }
 
@@ -218,8 +231,9 @@ pub fn occurrence_reps_with(
             plan.push((d, positions));
         }
     }
+    let prec = policy.precision();
     let per_doc = par_map_chunks(policy, &plan, |_, (d, positions)| {
-        let reps = token_reps(model, &corpus.docs[*d].tokens);
+        let reps = token_reps_prec(model, &corpus.docs[*d].tokens, prec);
         positions
             .iter()
             .map(|&p| Occurrence {
@@ -254,9 +268,10 @@ pub fn occurrence_reps_multi(
         .filter(|(_, doc)| doc.tokens.iter().any(|t| set.contains(t)))
         .map(|(d, _)| d)
         .collect();
+    let prec = policy.precision();
     let per_doc = par_map_chunks(policy, &hits, |_, &d| {
         let doc = &corpus.docs[d];
-        let reps = token_reps(model, &doc.tokens);
+        let reps = token_reps_prec(model, &doc.tokens, prec);
         doc.tokens
             .iter()
             .take(budget)
@@ -292,10 +307,11 @@ pub fn nli_entail_matrix(
     hypotheses: &[Vec<TokenId>],
     policy: &ExecPolicy,
 ) -> Matrix {
+    let prec = policy.precision();
     let rows = par_map_chunks(policy, &corpus.docs, |_, doc| {
         hypotheses
             .iter()
-            .map(|h| model.nli_entail_prob(&doc.tokens, h))
+            .map(|h| model.nli_entail_prob_prec(&doc.tokens, h, prec))
             .collect::<Vec<f32>>()
     });
     let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();

@@ -1,12 +1,16 @@
-//! `bench_serve` — load-test the in-process server and append the first
-//! trajectory point to `BENCH_serve.json` (methodology: EXPERIMENTS.md
-//! §"Serving throughput trajectory").
+//! `bench_serve` — load-test the in-process server and write the current
+//! trajectory points to `BENCH_serve.json` (methodology: EXPERIMENTS.md
+//! §"Serving throughput trajectory"; prior entries are preserved by hand
+//! when recording a new point next to historical ones).
 //!
-//! Runs a Test-tier X-Class engine on a fixed label set, then drives
-//! `POST /classify` with 1, 4 and 16 concurrent clients. Reports docs/sec
-//! and p50/p99 request latency per concurrency level. Environment knobs:
-//! `STRUCTMINE_BENCH_REQUESTS` (requests per client, default 50) and
-//! `STRUCTMINE_BENCH_DOCS` (documents per request, default 4).
+//! Runs a Test-tier X-Class engine on a fixed label set at **both
+//! precision tiers** (DESIGN §13) — the Fast twin shares the Exact
+//! engine's dataset, PLM, and serving-rule fit — then drives
+//! `POST /classify` with 1, 4 and 16 concurrent clients per tier.
+//! Reports docs/sec and p50/p99 request latency per concurrency level.
+//! Environment knobs: `STRUCTMINE_BENCH_REQUESTS` (requests per client,
+//! default 50) and `STRUCTMINE_BENCH_DOCS` (documents per request,
+//! default 4).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -126,28 +130,11 @@ fn run_level(addr: std::net::SocketAddr, clients: usize, requests: usize, docs: 
     }
 }
 
-fn main() {
-    structmine_store::obs::init();
-    let requests = env_num("STRUCTMINE_BENCH_REQUESTS", 50);
-    let docs = env_num("STRUCTMINE_BENCH_DOCS", 4);
-
-    let engine = Engine::load(EngineConfig {
-        source: EngineSource::Labels(
-            ["sports", "business", "politics", "technology"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
-        ),
-        method: MethodKind::XClass,
-        plm: PlmSpec::Pretrained(structmine_plm::cache::Tier::Test),
-        seed: None,
-        exec: structmine_linalg::ExecPolicy::default(),
-    })
-    .expect("load engine");
-    engine.warm().expect("warm engine");
-
+/// Load-test one engine (already warm) and return its per-level results.
+fn run_tier(engine: Arc<Engine>, requests: usize, docs: usize) -> Vec<Level> {
+    let tier = engine.precision().name();
     let mut server = Server::start(
-        Arc::new(engine),
+        engine,
         ServeConfig {
             port: 0,
             ..Default::default()
@@ -155,8 +142,7 @@ fn main() {
     )
     .expect("start server");
     let addr = server.addr();
-    eprintln!("bench_serve: engine warm, serving on {addr}");
-
+    eprintln!("bench_serve: {tier} tier serving on {addr}");
     let levels: Vec<Level> = [1usize, 4, 16]
         .iter()
         .map(|&c| {
@@ -169,23 +155,59 @@ fn main() {
         })
         .collect();
     server.stop();
+    levels
+}
 
-    let mut levels_json = String::new();
+fn levels_json(levels: &[Level]) -> String {
+    let mut out = String::new();
     for (i, l) in levels.iter().enumerate() {
         if i > 0 {
-            levels_json.push_str(",\n");
+            out.push_str(",\n");
         }
-        levels_json.push_str(&format!(
-            "      {{ \"clients\": {}, \"docs_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {} }}",
+        out.push_str(&format!(
+            "        {{ \"clients\": {}, \"docs_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {} }}",
             l.clients, l.docs_per_sec, l.p50_us, l.p99_us
         ));
     }
+    out
+}
+
+fn main() {
+    structmine_store::obs::init();
+    let requests = env_num("STRUCTMINE_BENCH_REQUESTS", 50);
+    let docs = env_num("STRUCTMINE_BENCH_DOCS", 4);
+
+    let exact = Engine::load(EngineConfig {
+        source: EngineSource::Labels(
+            ["sports", "business", "politics", "technology"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        ),
+        method: MethodKind::XClass,
+        plm: PlmSpec::Pretrained(structmine_plm::cache::Tier::Test),
+        seed: None,
+        exec: structmine_linalg::ExecPolicy::default()
+            .with_precision(structmine_linalg::Precision::Exact),
+    })
+    .expect("load engine");
+    exact.warm().expect("warm engine");
+    // The Fast twin shares the dataset, PLM, and (Exact-pinned) fit — the
+    // comparison isolates query-time encoding, like production serving.
+    let fast = exact.at_precision(structmine_linalg::Precision::Fast);
+
+    let exact_levels = run_tier(Arc::new(exact), requests, docs);
+    let fast_levels = run_tier(Arc::new(fast), requests, docs);
+    let date = today();
+    let entry = |precision: &str, change: &str, levels: &str| {
+        format!(
+            "    {{\n      \"date\": \"{date}\",\n      \"change\": \"{change}\",\n      \"tier\": \"test\",\n      \"method\": \"xclass\",\n      \"precision\": \"{precision}\",\n      \"requests_per_client\": {requests},\n      \"docs_per_request\": {docs},\n      \"levels\": [\n{levels}\n      ]\n    }}"
+        )
+    };
     let json = format!(
-        "{{\n  \"description\": \"Serving throughput trajectory of structmine-serve (DESIGN §10): docs/sec and request latency of POST /classify against a Test-tier X-Class engine with adaptive micro-batching (max_batch 32, flush 2000us). Regeneration: EXPERIMENTS.md §'Serving throughput trajectory'.\",\n  \"entries\": [\n    {{\n      \"date\": \"{}\",\n      \"change\": \"first measurement: Engine + structmine-serve introduced\",\n      \"tier\": \"test\",\n      \"method\": \"xclass\",\n      \"requests_per_client\": {},\n      \"docs_per_request\": {},\n      \"levels\": [\n{}\n      ]\n    }}\n  ]\n}}\n",
-        today(),
-        requests,
-        docs,
-        levels_json
+        "{{\n  \"description\": \"Serving throughput trajectory of structmine-serve (DESIGN §10): docs/sec and request latency of POST /classify against a Test-tier X-Class engine with adaptive micro-batching (max_batch 32, flush 2000us), at both precision tiers (DESIGN §13). Regeneration: EXPERIMENTS.md §'Serving throughput trajectory'.\",\n  \"entries\": [\n{},\n{}\n  ]\n}}\n",
+        entry("exact", "precision tiers: exact-tier measurement", &levels_json(&exact_levels)),
+        entry("fast", "precision tiers: fast-tier measurement (same fit, fast query encode)", &levels_json(&fast_levels)),
     );
     std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");

@@ -4,13 +4,20 @@
 //! structmine-serve --labels sports,business,technology [--method xclass]
 //!                  [--tier test|standard] [--port 7878] [--max-batch 32]
 //!                  [--flush-us 2000] [--queue-cap 64] [--threads <n>]
-//!                  [--socket-timeout-ms 10000]
+//!                  [--precision exact|fast] [--socket-timeout-ms 10000]
 //!                  [--no-cache | --cache-dir <dir>] [--report-json <path>]
 //! ```
 //!
 //! Every flag falls back to a `STRUCTMINE_SERVE_*` environment variable
 //! (`STRUCTMINE_SERVE_PORT`, `_MAX_BATCH`, `_FLUSH_US`, `_QUEUE_CAP`,
-//! `_LABELS`, `_METHOD`, `_TIER`, `_SOCKET_TIMEOUT_MS`). Routes:
+//! `_LABELS`, `_METHOD`, `_TIER`, `_SOCKET_TIMEOUT_MS`); `--precision`
+//! falls back to `STRUCTMINE_PRECISION` itself. A Fast-tier server runs
+//! the accuracy-tolerance self-check after warming: it classifies the
+//! engine's eval split under both tiers, and if the Fast rule drifts
+//! beyond the published bounds the process marks itself unusable —
+//! `/healthz` answers 503 — while Exact serving is never gated. Every
+//! `/healthz` body names the active tier (`ok (precision=fast)`), as does
+//! the `/stats` config fingerprint. Routes:
 //! `GET /healthz` (renders the process health registry: `200 ok`,
 //! `200 degraded: …`, or `503 unusable: …`), `GET /stats`
 //! (live JSON run report, including generation counters), `POST /classify`
@@ -119,6 +126,7 @@ fn main() {
                 | "queue-cap"
                 | "socket-timeout-ms"
                 | "threads"
+                | "precision"
                 | "no-cache"
                 | "cache-dir"
                 | "report-json"
@@ -139,6 +147,14 @@ fn main() {
     if let Some(path) = flags.get("report-json") {
         std::env::set_var(obs::REPORT_ENV, path);
     }
+    // Resolve the precision tier (flag > STRUCTMINE_PRECISION env > Exact)
+    // and export the resolved name so it lands in the run-report config
+    // fingerprint alongside every other STRUCTMINE_* knob.
+    let precision = match flags.get("precision") {
+        Some(v) => structmine_linalg::Precision::parse(v).unwrap_or_else(|e| fail(&e)),
+        None => structmine_linalg::Precision::from_env(),
+    };
+    std::env::set_var("STRUCTMINE_PRECISION", precision.name());
     let exec = match flags.get("threads") {
         Some(n) => {
             let n: usize = parse_num("threads", n);
@@ -146,7 +162,8 @@ fn main() {
             structmine_linalg::ExecPolicy::with_threads(n)
         }
         None => structmine_linalg::ExecPolicy::default(),
-    };
+    }
+    .with_precision(precision);
 
     let labels: Vec<String> = flag_or_env(&flags, "labels")
         .unwrap_or_else(|| fail("--labels a,b,c (or STRUCTMINE_SERVE_LABELS) is required"))
@@ -208,6 +225,26 @@ fn main() {
     .unwrap_or_else(|e| fail(&e.to_string()));
     // Fit the serving model now so the first request doesn't pay for it.
     engine.warm().unwrap_or_else(|e| fail(&e.to_string()));
+    // Fast tier: prove the approximation holds on this dataset before
+    // taking traffic. The server still starts either way — an out-of-bounds
+    // engine answers 503 on `/healthz` so orchestrators never route to it.
+    if engine.precision() == structmine_linalg::Precision::Fast {
+        match structmine_engine::tolerance::self_check(&engine) {
+            Ok(report) if report.within_bounds() => {
+                obs::log_info(&format!("[serve] tolerance self-check: {}", report.summary()));
+            }
+            Ok(report) => {
+                let msg = format!("fast tier failed tolerance self-check ({})", report.summary());
+                obs::log_warn(&format!("[serve] {msg}"));
+                structmine_store::health::set_unusable(&msg);
+            }
+            Err(e) => {
+                let msg = format!("fast tier tolerance self-check errored: {e}");
+                obs::log_warn(&format!("[serve] {msg}"));
+                structmine_store::health::set_unusable(&msg);
+            }
+        }
+    }
 
     let mut server = match Server::start(Arc::new(engine), cfg) {
         Ok(s) => s,

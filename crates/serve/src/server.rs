@@ -50,6 +50,8 @@ pub struct Server {
 impl Server {
     /// Bind `127.0.0.1:port` and start serving `engine`.
     pub fn start(engine: Arc<Engine>, cfg: ServeConfig) -> std::io::Result<Server> {
+        // Advertise the engine's tier so every `/healthz` body names it.
+        structmine_store::health::set_precision_tier(engine.precision().name());
         let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
         // Non-blocking accept so the loop can observe the shutdown flag.
         listener.set_nonblocking(true)?;

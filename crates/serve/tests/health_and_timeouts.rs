@@ -71,7 +71,7 @@ fn healthz_renders_the_degradation_ladder_and_slow_clients_time_out() {
     let addr = server.addr();
 
     // Healthy process: plain ok.
-    assert_eq!(healthz(&addr), (200, "ok\n".to_string()));
+    assert_eq!(healthz(&addr), (200, "ok (precision=exact)\n".to_string()));
 
     // A slowloris client: opens the connection, sends half a request line,
     // then stalls. The handler must cut it loose at the socket deadline

@@ -95,7 +95,7 @@ fn concurrent_requests_match_cli_bytes_and_stats_parses() {
 
     // Health first.
     let (status, body) = request(&addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
-    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert_eq!((status, body.as_str()), (200, "ok (precision=exact)\n"));
 
     // A wave of concurrent whole-set requests: every response must carry
     // the exact CLI bytes, however the batcher coalesced them.

@@ -27,6 +27,24 @@ fn unusable_cell() -> &'static Mutex<Option<String>> {
     CELL.get_or_init(|| Mutex::new(None))
 }
 
+fn tier_cell() -> &'static Mutex<Option<String>> {
+    static CELL: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(None))
+}
+
+/// Advertise the inference precision tier the process serves at (set once
+/// by the server at startup; serving responses append it to every
+/// `/healthz` body). Non-serving processes never set it and keep the
+/// plain ladder bodies.
+pub fn set_precision_tier(tier: &str) {
+    *tier_cell().lock() = Some(tier.to_string());
+}
+
+/// The advertised precision tier, if one was set.
+pub fn precision_tier() -> Option<String> {
+    tier_cell().lock().clone()
+}
+
 /// Record one degradation step (idempotent per distinct reason): the
 /// process still answers correctly, with reduced capability.
 pub fn note_degraded(reason: &str) {
@@ -56,25 +74,38 @@ pub fn unusable() -> Option<String> {
 
 /// Render the current registry as an HTTP health answer.
 pub fn health_body() -> (u16, String) {
-    health_body_for(&degradations(), unusable().as_deref())
+    health_body_for(
+        &degradations(),
+        unusable().as_deref(),
+        precision_tier().as_deref(),
+    )
 }
 
 /// Pure rendering rule for `/healthz` (see module docs for the ladder).
-pub fn health_body_for(degradations: &[String], unusable: Option<&str>) -> (u16, String) {
+/// When a precision tier was advertised, every body carries it as a
+/// trailing ` (precision=<tier>)` so probes can see which tier answered.
+pub fn health_body_for(
+    degradations: &[String],
+    unusable: Option<&str>,
+    tier: Option<&str>,
+) -> (u16, String) {
+    let suffix = tier.map(|t| format!(" (precision={t})")).unwrap_or_default();
     if let Some(reason) = unusable {
-        return (503, format!("unusable: {reason}\n"));
+        return (503, format!("unusable: {reason}{suffix}\n"));
     }
     if degradations.is_empty() {
-        (200, "ok\n".to_string())
+        (200, format!("ok{suffix}\n"))
     } else {
-        (200, format!("degraded: {}\n", degradations.join("; ")))
+        (200, format!("degraded: {}{suffix}\n", degradations.join("; ")))
     }
 }
 
-/// Test hook: reset the registry to healthy.
+/// Test hook: reset the registry to healthy (and drop the advertised
+/// tier).
 pub fn reset() {
     degradations_cell().lock().clear();
     *unusable_cell().lock() = None;
+    *tier_cell().lock() = None;
 }
 
 #[cfg(test)]
@@ -83,20 +114,37 @@ mod tests {
 
     #[test]
     fn rendering_covers_the_ladder() {
-        let (code, body) = health_body_for(&[], None);
+        let (code, body) = health_body_for(&[], None, None);
         assert_eq!((code, body.as_str()), (200, "ok\n"));
 
         let degr = vec![
             "store: memory-only".to_string(),
             "shard: worker 2 shed".to_string(),
         ];
-        let (code, body) = health_body_for(&degr, None);
+        let (code, body) = health_body_for(&degr, None, None);
         assert_eq!(code, 200, "degraded still answers 200");
         assert_eq!(body, "degraded: store: memory-only; shard: worker 2 shed\n");
 
-        let (code, body) = health_body_for(&degr, Some("batcher thread died"));
+        let (code, body) = health_body_for(&degr, Some("batcher thread died"), None);
         assert_eq!(code, 503, "an unusable process must fail the probe");
         assert!(body.contains("batcher thread died"));
+    }
+
+    #[test]
+    fn rendering_appends_the_advertised_tier() {
+        let (code, body) = health_body_for(&[], None, Some("fast"));
+        assert_eq!((code, body.as_str()), (200, "ok (precision=fast)\n"));
+
+        let degr = vec!["store: memory-only".to_string()];
+        let (_, body) = health_body_for(&degr, None, Some("exact"));
+        assert_eq!(body, "degraded: store: memory-only (precision=exact)\n");
+
+        let (code, body) = health_body_for(&[], Some("tolerance self-check failed"), Some("fast"));
+        assert_eq!(code, 503);
+        assert_eq!(
+            body,
+            "unusable: tolerance self-check failed (precision=fast)\n"
+        );
     }
 
     #[test]

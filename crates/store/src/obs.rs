@@ -612,6 +612,23 @@ pub fn report_coverage(report: &Value) -> Result<f64, String> {
     Ok(attributed / total)
 }
 
+/// The value of one `config.env` entry in a validated report, if present.
+/// CI uses this to assert the precision tier landed in the config
+/// fingerprint's input set (`STRUCTMINE_PRECISION`).
+pub fn report_config_env(report: &Value, key: &str) -> Result<Option<String>, String> {
+    let config = get(report, "config", "report")?;
+    match get(config, "env", "report.config")? {
+        Value::Map(entries) => Ok(entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| match v {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })),
+        _ => Err("report.config: `env` must be an object".into()),
+    }
+}
+
 /// Every stage label appearing anywhere in the report's span tree.
 pub fn report_stage_labels(report: &Value) -> Result<BTreeSet<String>, String> {
     fn walk(nodes: &Value, out: &mut BTreeSet<String>) {
