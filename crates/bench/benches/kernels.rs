@@ -78,6 +78,31 @@ fn bench_kernels(c: &mut Criterion) {
             black_box(out.get(0, 0))
         })
     });
+
+    // The prepacked path (DESIGN §14): same product, but the right
+    // operand's panel layout is built once up front instead of per call.
+    // The delta against blocked_medium_into is exactly the per-call
+    // packing tax the serving hot path no longer pays.
+    let packed_med = structmine_linalg::PackedMatrix::pack(&b_med);
+    group.bench_function("prepacked_medium_into", |b| {
+        b.iter(|| {
+            a_med.matmul_prepacked_into(&packed_med, &mut out);
+            black_box(out.get(0, 0))
+        })
+    });
+    // Fast-tier twin: prepacked panels fed to the runtime-dispatched
+    // SSE2 tile (branch-free, no sparse-row skip).
+    group.bench_function("prepacked_fast_medium_into", |b| {
+        b.iter(|| {
+            a_med.matmul_prepacked_fast_into(&packed_med, &mut out);
+            black_box(out.get(0, 0))
+        })
+    });
+    // The pack itself, so the break-even call count is readable straight
+    // off the report.
+    group.bench_function("pack_medium", |b| {
+        b.iter(|| black_box(structmine_linalg::PackedMatrix::pack(&b_med)))
+    });
     group.finish();
 }
 

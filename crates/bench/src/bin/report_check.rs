@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! report_check <report.json> [--min-coverage 0.9] [--expect-stages a,b,c]
-//!              [--expect-env KEY=VALUE]
+//!              [--expect-env KEY=VALUE] [--expect-counter-positive NAME]
+//!              [--expect-counter-zero NAME]
 //! ```
 //!
 //! Checks, in order: the report parses and matches the schema
@@ -12,8 +13,11 @@
 //! wall time (default 0.9); every `--expect-stages` label appears in the
 //! span tree; every `--expect-env KEY=VALUE` pair appears in
 //! `config.env` (the fingerprint's input set — CI asserts the precision
-//! tier landed there). Exits 2 on usage errors, 1 on a failed check, 0
-//! when the report is healthy — CI runs this against a Test-tier
+//! tier landed there); every `--expect-counter-positive NAME` counter was
+//! recorded with a value > 0, and every `--expect-counter-zero NAME`
+//! counter is absent or zero (CI asserts a warm serve run shows prepack
+//! hits and no invalidations). Exits 2 on usage errors, 1 on a failed
+//! check, 0 when the report is healthy — CI runs this against a Test-tier
 //! `table_xclass` report.
 
 use structmine_store::obs;
@@ -29,6 +33,8 @@ fn main() {
     let mut min_coverage = 0.9f64;
     let mut expect_stages: Vec<String> = Vec::new();
     let mut expect_env: Vec<(String, String)> = Vec::new();
+    let mut expect_counter_positive: Vec<String> = Vec::new();
+    let mut expect_counter_zero: Vec<String> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -59,6 +65,20 @@ fn main() {
                 expect_env.push((v.0.to_string(), v.1.to_string()));
                 i += 2;
             }
+            "--expect-counter-positive" => {
+                let v = argv
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--expect-counter-positive needs a counter name", 2));
+                expect_counter_positive.push(v.clone());
+                i += 2;
+            }
+            "--expect-counter-zero" => {
+                let v = argv
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--expect-counter-zero needs a counter name", 2));
+                expect_counter_zero.push(v.clone());
+                i += 2;
+            }
             other if path.is_none() && !other.starts_with("--") => {
                 path = Some(other.to_string());
                 i += 1;
@@ -69,7 +89,8 @@ fn main() {
     let path = path.unwrap_or_else(|| {
         fail(
             "usage: report_check <report.json> [--min-coverage 0.9] [--expect-stages a,b,c] \
-             [--expect-env KEY=VALUE]",
+             [--expect-env KEY=VALUE] [--expect-counter-positive NAME] \
+             [--expect-counter-zero NAME]",
             2,
         )
     });
@@ -114,6 +135,31 @@ fn main() {
                 &format!("config.env expected {key}={want}, found {other:?}"),
                 1,
             ),
+        }
+    }
+
+    for name in &expect_counter_positive {
+        let got = obs::report_counter(&report, name)
+            .unwrap_or_else(|e| fail(&format!("counters unavailable: {e}"), 1));
+        match got {
+            Some(n) if n > 0 => {}
+            other => fail(
+                &format!("expected counter `{name}` > 0, found {other:?}"),
+                1,
+            ),
+        }
+    }
+
+    for name in &expect_counter_zero {
+        let got = obs::report_counter(&report, name)
+            .unwrap_or_else(|e| fail(&format!("counters unavailable: {e}"), 1));
+        if let Some(n) = got {
+            if n > 0 {
+                fail(
+                    &format!("expected counter `{name}` to be zero, found {n}"),
+                    1,
+                );
+            }
         }
     }
 

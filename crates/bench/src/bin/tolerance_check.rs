@@ -29,7 +29,9 @@ fn main() {
     while i < argv.len() {
         match argv[i].as_str() {
             "--method" => {
-                let name = argv.get(i + 1).unwrap_or_else(|| fail("--method needs a value"));
+                let name = argv
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--method needs a value"));
                 method = MethodKind::parse(name)
                     .filter(|k| k.servable())
                     .unwrap_or_else(|| {

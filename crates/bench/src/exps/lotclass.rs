@@ -125,7 +125,9 @@ pub fn table1_demo() -> Result<Table, BenchError> {
     let v = &corpus.vocab;
     let id = |w: &str| {
         v.id(w).ok_or_else(|| {
-            BenchError::Invalid(format!("demo word '{w}' missing from the pretraining vocabulary"))
+            BenchError::Invalid(format!(
+                "demo word '{w}' missing from the pretraining vocabulary"
+            ))
         })
     };
     // "pitch" as the playing surface vs as a musical property.
@@ -145,7 +147,7 @@ pub fn table1_demo() -> Result<Table, BenchError> {
         id("concert")?,
         id("chorus")?,
     ];
-    let demos = replacement_demo(&plm, v, &[soccer_ctx, music_ctx], id("pitch")?, 8);
+    let demos = replacement_demo(&plm, v, &[soccer_ctx, music_ctx], id("pitch")?, 8)?;
 
     let mut t = Table::new("E3b — LOTClass Table 1: MLM predictions for 'pitch' in two contexts");
     t.note("paper analogue: BERT's replacements for 'sports' differ between a sports story and a gadget story");

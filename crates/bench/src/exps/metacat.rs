@@ -62,12 +62,12 @@ pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
                 .run(&d, &sup, &wv)
                 .predictions,
                 cfg_mc
-                    .run_with_signals(&d, &sup, SignalSet::TextOnly)
+                    .run_with_signals(&d, &sup, SignalSet::TextOnly)?
                     .predictions,
                 cfg_mc
-                    .run_with_signals(&d, &sup, SignalSet::GraphOnly)
+                    .run_with_signals(&d, &sup, SignalSet::GraphOnly)?
                     .predictions,
-                cfg_mc.run(&d, &sup).predictions,
+                cfg_mc.run(&d, &sup)?.predictions,
             ];
             for (m, preds) in results.iter().enumerate() {
                 micro[m].push(crate::test_accuracy(&d, preds));

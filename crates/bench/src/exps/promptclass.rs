@@ -46,13 +46,13 @@ pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
                 seed,
                 ..Default::default()
             }
-            .run(&d, &plm);
+            .run(&d, &plm)?;
             let rtd_full = PromptClass {
                 style: PromptStyle::Rtd,
                 seed,
                 ..Default::default()
             }
-            .run(&d, &plm);
+            .run(&d, &plm)?;
             // The third pairing blends prompt scores more heavily (the
             // "same-backbone" variant of the paper keeps prompting in the
             // loop longer).
@@ -63,7 +63,7 @@ pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
                 seed,
                 ..Default::default()
             }
-            .run(&d, &plm);
+            .run(&d, &plm)?;
             let results: Vec<Vec<usize>> = vec![
                 mlm_full.zero_shot_predictions.clone(),
                 rtd_full.zero_shot_predictions.clone(),

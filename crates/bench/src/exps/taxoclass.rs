@@ -34,7 +34,7 @@ fn weshclass_as_baseline(d: &Dataset, seed: u64) -> Result<TaxoClassOutput, Benc
         seed,
         ..Default::default()
     }
-    .run(&tree_dataset, &tree_dataset.supervision_keywords(), &wv);
+    .run(&tree_dataset, &tree_dataset.supervision_keywords(), &wv)?;
     let top1: Vec<usize> = out
         .path_predictions
         .iter()
@@ -102,12 +102,12 @@ pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
             let outs = [
                 weshclass_as_baseline(&d, seed)?,
                 semi_supervised(&d, &plm, 0.3, seed),
-                hier_zero_shot(&d, &plm, 2),
+                hier_zero_shot(&d, &plm, 2)?,
                 TaxoClass {
                     seed,
                     ..Default::default()
                 }
-                .run(&d, &plm),
+                .run(&d, &plm)?,
             ];
             for (m, out) in outs.iter().enumerate() {
                 let scores = eval(&d, out);

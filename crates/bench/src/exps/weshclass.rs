@@ -77,7 +77,7 @@ pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
                     },
                 ];
                 for (m, v) in variants.iter().enumerate() {
-                    let out = v.run(&d, &sup, &wv);
+                    let out = v.run(&d, &sup, &wv)?;
                     let scores = eval(&d, &out);
                     cells[m].push(scores);
                     agg.entry(methods[m]).or_default().push(scores.1);

@@ -89,8 +89,12 @@ pub fn run(cfg: &BenchConfig) -> Result<Vec<Table>, BenchError> {
             };
             let x = engine(MethodKind::XClass)?.xclass_output()?;
             let results: Vec<Vec<usize>> = vec![
-                engine(MethodKind::Supervised)?.fitted_predictions()?.to_vec(),
-                engine(MethodKind::WeSTClass)?.fitted_predictions()?.to_vec(),
+                engine(MethodKind::Supervised)?
+                    .fitted_predictions()?
+                    .to_vec(),
+                engine(MethodKind::WeSTClass)?
+                    .fitted_predictions()?
+                    .to_vec(),
                 x.predictions.clone(),
                 x.rep_predictions.clone(),
                 x.align_predictions.clone(),

@@ -28,6 +28,9 @@ pub enum BenchError {
     Synth(structmine_text::synth::SynthError),
     /// An engine refused to load or rejected an operation.
     Engine(structmine_engine::EngineError),
+    /// A method refused its input (wrong supervision kind, flat dataset
+    /// fed to a hierarchical method, missing template word).
+    Method(structmine::MethodError),
     /// Writing a report or fixture file failed.
     Io(std::io::Error),
     /// A fixture or dataset broke a harness invariant.
@@ -39,6 +42,7 @@ impl std::fmt::Display for BenchError {
         match self {
             BenchError::Synth(e) => write!(f, "{e}"),
             BenchError::Engine(e) => write!(f, "{e}"),
+            BenchError::Method(e) => write!(f, "{e}"),
             BenchError::Io(e) => write!(f, "i/o error: {e}"),
             BenchError::Invalid(msg) => write!(f, "{msg}"),
         }
@@ -56,6 +60,12 @@ impl From<structmine_text::synth::SynthError> for BenchError {
 impl From<structmine_engine::EngineError> for BenchError {
     fn from(e: structmine_engine::EngineError) -> Self {
         BenchError::Engine(e)
+    }
+}
+
+impl From<structmine::MethodError> for BenchError {
+    fn from(e: structmine::MethodError) -> Self {
+        BenchError::Method(e)
     }
 }
 
@@ -163,7 +173,10 @@ pub fn run_table<T, E: std::fmt::Display>(
             }
             i += 2;
         } else if argv[i] == "--precision" {
-            match argv.get(i + 1).map(|v| structmine_linalg::Precision::parse(v)) {
+            match argv
+                .get(i + 1)
+                .map(|v| structmine_linalg::Precision::parse(v))
+            {
                 Some(Ok(p)) => std::env::set_var("STRUCTMINE_PRECISION", p.name()),
                 Some(Err(e)) => {
                     structmine_store::obs::log_warn(&format!("error: {e}"));

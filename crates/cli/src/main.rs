@@ -66,8 +66,16 @@ fn main() -> ExitCode {
             shards,
             precision,
             cache,
-        }) => apply_cache_flags(&cache)
-            .and_then(|()| shard(labels, method, input, tier, shards, policy(threads, precision))),
+        }) => apply_cache_flags(&cache).and_then(|()| {
+            shard(
+                labels,
+                method,
+                input,
+                tier,
+                shards,
+                policy(threads, precision),
+            )
+        }),
         Ok(Args::Ingest {
             labels,
             method,

@@ -1,12 +1,58 @@
 //! Utilities shared across method implementations.
 
+use crate::error::MethodError;
 use structmine_embed::WordVectors;
 use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{vector, Matrix};
 use structmine_plm::MiniPlm;
+use structmine_text::taxonomy::{NodeId, Taxonomy};
 use structmine_text::tfidf::TfIdf;
 use structmine_text::vocab::TokenId;
 use structmine_text::{Dataset, Supervision};
+
+/// A taxonomy validated against the dataset's class list: every non-root
+/// node maps to exactly one class, so downstream code can index where it
+/// previously had to search-and-panic. Hierarchical methods build one of
+/// these up front (returning [`MethodError`] on a malformed dataset) and
+/// run the rest of the pipeline infallibly.
+pub(crate) struct HierView<'a> {
+    /// The dataset's taxonomy.
+    pub taxonomy: &'a Taxonomy,
+    /// node → class index, dense over node ids; the root keeps a sentinel
+    /// (it is never predicted — `ancestors`/`path_from_root` exclude it).
+    class_of: Vec<usize>,
+}
+
+impl HierView<'_> {
+    /// The class index of a validated non-root node.
+    pub fn class_of(&self, node: NodeId) -> usize {
+        self.class_of[node]
+    }
+}
+
+/// Validate that `dataset` carries a taxonomy whose every non-root node
+/// maps to a class.
+pub(crate) fn hier_view<'a>(
+    dataset: &'a Dataset,
+    method: &'static str,
+) -> Result<HierView<'a>, MethodError> {
+    let taxonomy = dataset
+        .taxonomy
+        .as_ref()
+        .ok_or(MethodError::MissingTaxonomy { method })?;
+    let mut class_of = vec![usize::MAX; taxonomy.len()];
+    for (class, &node) in dataset.class_nodes.iter().enumerate() {
+        if node < class_of.len() {
+            class_of[node] = class;
+        }
+    }
+    for node in taxonomy.non_root_nodes() {
+        if class_of[node] == usize::MAX {
+            return Err(MethodError::UnmappedNode { method, node });
+        }
+    }
+    Ok(HierView { taxonomy, class_of })
+}
 
 /// Resolve the per-class seed token lists for a supervision value, falling
 /// back to the dataset's label names when given document-level supervision

@@ -1,0 +1,74 @@
+//! Typed method-precondition failures.
+//!
+//! Every method entry point that used to panic on a malformed input — a
+//! flat dataset fed to a hierarchical method, a DAG fed to a tree-only
+//! method, supervision of the wrong kind, a prompt or demo word missing
+//! from the vocabulary — now returns one of these instead. The CLI and
+//! bench harness map every variant onto exit code 2: these are
+//! usage-level mistakes, never worth a retry, matching the store/synth
+//! error taxonomies.
+
+use structmine_text::taxonomy::NodeId;
+
+/// A method was handed an input it cannot run on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MethodError {
+    /// The method needs a taxonomy but the dataset is flat.
+    MissingTaxonomy {
+        /// The method that refused the dataset.
+        method: &'static str,
+    },
+    /// The method needs a tree but the dataset's taxonomy is a DAG.
+    NotATree {
+        /// The method that refused the taxonomy.
+        method: &'static str,
+    },
+    /// A non-root taxonomy node has no class mapped to it, so path
+    /// predictions could not name it.
+    UnmappedNode {
+        /// The method that needed the mapping.
+        method: &'static str,
+        /// The node with no `class_nodes` entry.
+        node: NodeId,
+    },
+    /// The method needs labeled-document supervision.
+    NeedsLabeledDocs {
+        /// The method that refused the supervision.
+        method: &'static str,
+    },
+    /// A word the method relies on is absent from its context or the
+    /// corpus vocabulary.
+    MissingWord {
+        /// The method that needed the word.
+        method: &'static str,
+        /// What was missing, human-readable.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for MethodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MethodError::MissingTaxonomy { method } => {
+                write!(
+                    f,
+                    "{method} requires a hierarchical dataset (no taxonomy present)"
+                )
+            }
+            MethodError::NotATree { method } => {
+                write!(f, "{method} requires a tree taxonomy (this one is a DAG)")
+            }
+            MethodError::UnmappedNode { method, node } => {
+                write!(f, "{method}: taxonomy node {node} maps to no class")
+            }
+            MethodError::NeedsLabeledDocs { method } => {
+                write!(f, "{method} needs labeled-document supervision")
+            }
+            MethodError::MissingWord { method, what } => {
+                write!(f, "{method}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MethodError {}

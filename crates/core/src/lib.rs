@@ -43,6 +43,7 @@
 pub mod baselines;
 pub mod common;
 pub mod conwea;
+pub mod error;
 pub mod lotclass;
 pub mod metacat;
 pub mod micol;
@@ -53,10 +54,13 @@ pub mod weshclass;
 pub mod westclass;
 pub mod xclass;
 
+pub use error::MethodError;
+
 /// Convenient glob-import of the method entry points.
 pub mod prelude {
     pub use crate::baselines;
     pub use crate::conwea::ConWea;
+    pub use crate::error::MethodError;
     pub use crate::lotclass::LotClass;
     pub use crate::metacat::MetaCat;
     pub use crate::micol::MiCoL;

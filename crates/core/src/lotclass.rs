@@ -562,29 +562,36 @@ impl LotClassModel {
 }
 
 /// The paper's Table 1 demo: MLM predictions for the same surface word in
-/// two different contexts. Returns the top replacement words per context.
+/// two different contexts. Returns the top replacement words per context;
+/// errors when a context does not contain the word.
 pub fn replacement_demo(
     plm: &MiniPlm,
     corpus_vocab: &structmine_text::Vocab,
     contexts: &[Vec<TokenId>],
     word: TokenId,
     k: usize,
-) -> Vec<Vec<(String, f32)>> {
+) -> Result<Vec<Vec<(String, f32)>>, crate::error::MethodError> {
     contexts
         .iter()
         .map(|ctx| {
-            let pos = ctx
-                .iter()
-                .position(|&t| t == word)
-                .expect("word must be in context");
+            let pos = ctx.iter().position(|&t| t == word).ok_or_else(|| {
+                crate::error::MethodError::MissingWord {
+                    method: "LOTClass",
+                    what: format!(
+                        "demo word `{}` does not occur in the given context",
+                        corpus_vocab.word(word)
+                    ),
+                }
+            })?;
             // Mask the slot, as in the method: the MLM head is trained to
             // predict at masked positions.
             let mut seq = plm.wrap(ctx);
             seq[pos + 1] = structmine_text::vocab::MASK;
-            plm.mlm_topk(&seq, pos + 1, k)
+            Ok(plm
+                .mlm_topk(&seq, pos + 1, k)
                 .into_iter()
                 .map(|(t, p)| (corpus_vocab.word(t).to_string(), p))
-                .collect()
+                .collect())
         })
         .collect()
 }
@@ -733,7 +740,7 @@ mod tests {
             id("melody"),
             id("concert"),
         ];
-        let demos = replacement_demo(&plm, v, &[soccer_ctx, music_ctx], id("pitch"), 10);
+        let demos = replacement_demo(&plm, v, &[soccer_ctx, music_ctx], id("pitch"), 10).unwrap();
         assert_eq!(demos.len(), 2);
         assert_eq!(demos[0].len(), 10);
         // The two contexts should induce different replacement lists.

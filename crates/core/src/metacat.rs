@@ -11,6 +11,7 @@
 //! words near the label embedding, and a classifier is trained on the few
 //! real labeled documents plus the synthesized ones.
 
+use crate::error::MethodError;
 use structmine_embed::hin::{HinConfig, HinGraph};
 use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{rng as lrng, stats, vector, Matrix};
@@ -90,8 +91,9 @@ pub struct MetaCatOutput {
 }
 
 impl MetaCat {
-    /// Run MetaCat with document-level supervision.
-    pub fn run(&self, dataset: &Dataset, sup: &Supervision) -> MetaCatOutput {
+    /// Run MetaCat with document-level supervision. Errors when `sup` is
+    /// not labeled documents.
+    pub fn run(&self, dataset: &Dataset, sup: &Supervision) -> Result<MetaCatOutput, MethodError> {
         self.run_with_signals(dataset, sup, SignalSet::Full)
     }
 
@@ -103,9 +105,12 @@ impl MetaCat {
         dataset: &Dataset,
         sup: &Supervision,
         signals: SignalSet,
-    ) -> MetaCatOutput {
+    ) -> Result<MetaCatOutput, MethodError> {
         use structmine_store::StableHash;
-        crate::pipeline::run_memoized(
+        let labeled = sup
+            .labeled_docs()
+            .ok_or(MethodError::NeedsLabeledDocs { method: "MetaCat" })?;
+        Ok(crate::pipeline::run_memoized(
             "metacat/predict",
             |h| {
                 h.write_u128(dataset.fingerprint());
@@ -117,8 +122,8 @@ impl MetaCat {
                 });
                 self.stable_hash(h);
             },
-            || self.run_with_signals_uncached(dataset, sup, signals),
-        )
+            || self.run_validated(dataset, labeled, signals),
+        ))
     }
 
     /// Run with a restricted signal set, bypassing the artifact store.
@@ -127,9 +132,21 @@ impl MetaCat {
         dataset: &Dataset,
         sup: &Supervision,
         signals: SignalSet,
+    ) -> Result<MetaCatOutput, MethodError> {
+        let labeled = sup
+            .labeled_docs()
+            .ok_or(MethodError::NeedsLabeledDocs { method: "MetaCat" })?;
+        Ok(self.run_validated(dataset, labeled, signals))
+    }
+
+    /// The algorithm proper, over pre-validated labeled documents.
+    fn run_validated(
+        &self,
+        dataset: &Dataset,
+        labeled: &[(usize, usize)],
+        signals: SignalSet,
     ) -> MetaCatOutput {
         let _stage = structmine_store::context::stage_guard("metacat/run");
-        let labeled = sup.labeled_docs().expect("MetaCat needs labeled documents");
         let n_classes = dataset.n_classes();
         let corpus = &dataset.corpus;
         let n_docs = corpus.len();
@@ -360,7 +377,8 @@ mod tests {
             samples: 60_000,
             ..Default::default()
         }
-        .run(&d, &sup);
+        .run(&d, &sup)
+        .unwrap();
         let a = acc(&d, &out.predictions);
         assert!(a > 0.4, "MetaCat acc {a}");
         assert!(out.n_nodes > d.corpus.len());
@@ -376,11 +394,14 @@ mod tests {
         };
         let full = acc(
             &d,
-            &cfg.run_with_signals(&d, &sup, SignalSet::Full).predictions,
+            &cfg.run_with_signals(&d, &sup, SignalSet::Full)
+                .unwrap()
+                .predictions,
         );
         let text = acc(
             &d,
             &cfg.run_with_signals(&d, &sup, SignalSet::TextOnly)
+                .unwrap()
                 .predictions,
         );
         assert!(
@@ -400,15 +421,21 @@ mod tests {
         let graph = acc(
             &d,
             &cfg.run_with_signals(&d, &sup, SignalSet::GraphOnly)
+                .unwrap()
                 .predictions,
         );
         assert!(graph > 0.25, "graph-only acc {graph}");
     }
 
     #[test]
-    #[should_panic(expected = "needs labeled documents")]
     fn requires_doc_supervision() {
         let d = small();
-        MetaCat::default().run(&d, &d.supervision_names());
+        let err = MetaCat::default()
+            .run(&d, &d.supervision_names())
+            .unwrap_err();
+        assert!(
+            matches!(err, MethodError::NeedsLabeledDocs { .. }),
+            "unexpected error: {err}"
+        );
     }
 }

@@ -241,7 +241,7 @@ fn train_bi_encoder(features: &Matrix, pairs: &[(usize, usize)], cfg: &MiCoL, d:
     let mut adam = Adam::new(&store, cfg.lr, 5.0);
     let temp = (d as f32).sqrt();
     if pairs.is_empty() {
-        return store.export_values().pop().unwrap();
+        return store.value(w).clone();
     }
     // Anchor strength: labels are encoded by the same projection but never
     // appear in training pairs, so W is regularized toward identity to keep
@@ -280,7 +280,7 @@ fn train_bi_encoder(features: &Matrix, pairs: &[(usize, usize)], cfg: &MiCoL, d:
         g.backward(loss);
         adam.step(&mut store, &g, &binding);
     }
-    store.export_values().pop().unwrap()
+    store.value(w).clone()
 }
 
 fn rank_by_projection(features: &Matrix, labels: &Matrix, proj: &Matrix) -> Vec<Vec<usize>> {
@@ -524,7 +524,7 @@ pub fn supervised_match_ranking(
         g.backward(loss);
         adam.step(&mut store, &g, &binding);
     }
-    let proj = store.export_values().pop().unwrap();
+    let proj = store.value(w).clone();
     rank_by_projection(&features, &labels, &proj)
 }
 

@@ -17,6 +17,7 @@
 //! confident set grows, and the loop repeats.
 
 use crate::common;
+use crate::error::MethodError;
 use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{stats, Matrix};
 use structmine_nn::classifiers::{MlpClassifier, TrainConfig};
@@ -111,24 +112,46 @@ impl PromptClass {
             .collect()
     }
 
+    /// Surface a prompt-template word missing from the corpus vocabulary
+    /// as a typed error, once, up front — instead of a panic per document
+    /// inside the parallel prompt loop.
+    fn validate(dataset: &Dataset) -> Result<(), MethodError> {
+        prompt::validate_templates(&dataset.corpus.vocab).map_err(|e| MethodError::MissingWord {
+            method: "PromptClass",
+            what: e.to_string(),
+        })
+    }
+
     /// Full pipeline: zero-shot pseudo labels + iterative co-training,
     /// memoized through the global artifact store (keyed on dataset, PLM
-    /// weights, and every hyper-parameter).
-    pub fn run(&self, dataset: &Dataset, plm: &MiniPlm) -> PromptClassOutput {
+    /// weights, and every hyper-parameter). Errors when a prompt template
+    /// word is missing from the corpus vocabulary.
+    pub fn run(&self, dataset: &Dataset, plm: &MiniPlm) -> Result<PromptClassOutput, MethodError> {
         use structmine_store::StableHash;
-        crate::pipeline::run_memoized(
+        Self::validate(dataset)?;
+        Ok(crate::pipeline::run_memoized(
             "promptclass/predict",
             |h| {
                 h.write_u128(dataset.fingerprint());
                 h.write_u128(plm.fingerprint());
                 self.stable_hash(h);
             },
-            || self.run_uncached(dataset, plm),
-        )
+            || self.run_validated(dataset, plm),
+        ))
     }
 
     /// Full pipeline, bypassing the artifact store.
-    pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> PromptClassOutput {
+    pub fn run_uncached(
+        &self,
+        dataset: &Dataset,
+        plm: &MiniPlm,
+    ) -> Result<PromptClassOutput, MethodError> {
+        Self::validate(dataset)?;
+        Ok(self.run_validated(dataset, plm))
+    }
+
+    /// The pipeline proper, over pre-validated templates.
+    fn run_validated(&self, dataset: &Dataset, plm: &MiniPlm) -> PromptClassOutput {
         let _stage = structmine_store::context::stage_guard("promptclass/run");
         let n_classes = dataset.n_classes();
         let prompt_scores =
@@ -189,18 +212,13 @@ impl PromptClass {
     fn prompt_scores(&self, dataset: &Dataset, plm: &MiniPlm) -> Matrix {
         let names = dataset.label_name_tokens();
         let vocab = &dataset.corpus.vocab;
-        // Surface a missing template word once, up front, instead of once
-        // per document inside the parallel loop below.
-        prompt::validate_templates(vocab)
-            .expect("prompt template words present in the corpus vocabulary");
+        // Templates were validated up front by the run() entry points.
         let prec = self.exec.precision();
         // Each document's prompt query is independent; rows come back in
         // document order regardless of the thread count.
         let rows = par_map_chunks(&self.exec, &dataset.corpus.docs, |_, doc| {
             match self.style {
-                PromptStyle::Mlm => {
-                    prompt::cloze_label_scores(plm, &doc.tokens, &names, vocab)
-                }
+                PromptStyle::Mlm => prompt::cloze_label_scores(plm, &doc.tokens, &names, vocab),
                 PromptStyle::Rtd => {
                     prompt::rtd_label_scores_prec(plm, &doc.tokens, &names, vocab, prec)
                 }
@@ -248,7 +266,8 @@ mod tests {
             style: PromptStyle::Mlm,
             ..Default::default()
         }
-        .run(&d, &plm);
+        .run(&d, &plm)
+        .unwrap();
         let zs = acc(&d, &out.zero_shot_predictions);
         let full = acc(&d, &out.predictions);
         assert!(full >= zs - 0.05, "co-training regressed: {zs} -> {full}");
@@ -264,7 +283,8 @@ mod tests {
             iterations: 2,
             ..Default::default()
         }
-        .run(&d, &plm);
+        .run(&d, &plm)
+        .unwrap();
         assert_eq!(out.predictions.len(), d.corpus.len());
         assert!(out.predictions.iter().all(|&p| p < d.n_classes()));
     }

@@ -14,6 +14,7 @@
 //!    self-training**, with ancestor closure enforced on the outputs.
 
 use crate::common;
+use crate::error::MethodError;
 use structmine_linalg::exec::{par_map_chunks, ExecPolicy};
 use structmine_linalg::{vector, Matrix};
 use structmine_nn::graph::Graph;
@@ -87,43 +88,51 @@ pub struct TaxoClassOutput {
 impl TaxoClass {
     /// Run TaxoClass on a DAG dataset, memoized through the global artifact
     /// store (keyed on dataset, PLM weights, and every hyper-parameter).
-    pub fn run(&self, dataset: &Dataset, plm: &MiniPlm) -> TaxoClassOutput {
+    /// Errors on a flat dataset.
+    pub fn run(&self, dataset: &Dataset, plm: &MiniPlm) -> Result<TaxoClassOutput, MethodError> {
         use structmine_store::StableHash;
-        crate::pipeline::run_memoized(
+        let hier = common::hier_view(dataset, "TaxoClass")?;
+        Ok(crate::pipeline::run_memoized(
             "taxoclass/predict",
             |h| {
                 h.write_u128(dataset.fingerprint());
                 h.write_u128(plm.fingerprint());
                 self.stable_hash(h);
             },
-            || self.run_uncached(dataset, plm),
-        )
+            || self.run_validated(dataset, plm, &hier),
+        ))
     }
 
     /// Run TaxoClass on a DAG dataset, bypassing the artifact store.
-    pub fn run_uncached(&self, dataset: &Dataset, plm: &MiniPlm) -> TaxoClassOutput {
+    pub fn run_uncached(
+        &self,
+        dataset: &Dataset,
+        plm: &MiniPlm,
+    ) -> Result<TaxoClassOutput, MethodError> {
+        let hier = common::hier_view(dataset, "TaxoClass")?;
+        Ok(self.run_validated(dataset, plm, &hier))
+    }
+
+    /// The algorithm proper, over a pre-validated hierarchy.
+    fn run_validated(
+        &self,
+        dataset: &Dataset,
+        plm: &MiniPlm,
+        hier: &common::HierView<'_>,
+    ) -> TaxoClassOutput {
         let _stage = structmine_store::context::stage_guard("taxoclass/run");
-        let taxonomy = dataset
-            .taxonomy
-            .as_ref()
-            .expect("TaxoClass needs a taxonomy");
+        let taxonomy = hier.taxonomy;
         let n_classes = dataset.n_classes();
         let hypotheses = class_hypotheses(dataset);
 
-        let class_of_node = |node: NodeId| -> usize {
-            dataset
-                .class_nodes
-                .iter()
-                .position(|&n| n == node)
-                .expect("node→class")
-        };
+        let class_of_node = |node: NodeId| -> usize { hier.class_of(node) };
 
         // ------------------------------------------------------------------
         // 1+2. Top-down relevance search per document.
         // ------------------------------------------------------------------
         let n = dataset.corpus.len();
         let candidates = structmine_store::context::with_stage_label("taxoclass/search", || {
-            top_down_search(dataset, plm, &hypotheses, self.beam, &self.exec)
+            top_down_search(dataset, plm, &hypotheses, self.beam, &self.exec, hier)
         });
 
         // ------------------------------------------------------------------
@@ -253,18 +262,10 @@ fn top_down_search(
     hypotheses: &[Vec<TokenId>],
     beam: usize,
     policy: &ExecPolicy,
+    hier: &common::HierView<'_>,
 ) -> Vec<Vec<(usize, f32)>> {
-    let taxonomy = dataset
-        .taxonomy
-        .as_ref()
-        .expect("top-down search needs a taxonomy");
-    let class_of_node = |node: NodeId| -> usize {
-        dataset
-            .class_nodes
-            .iter()
-            .position(|&n| n == node)
-            .expect("node→class")
-    };
+    let taxonomy = hier.taxonomy;
+    let class_of_node = |node: NodeId| -> usize { hier.class_of(node) };
     par_map_chunks(policy, &dataset.corpus.docs, |_, doc| {
         let mut frontier = vec![taxonomy.root()];
         let mut kept: Vec<(usize, f32)> = Vec::new();
@@ -385,14 +386,19 @@ impl MultiLabelHead {
 /// Hier-0Shot-TC baseline: top-down NLI relevance without core-class
 /// training — the candidates themselves (ancestor-closed, thresholded) are
 /// the prediction.
-pub fn hier_zero_shot(dataset: &Dataset, plm: &MiniPlm, beam: usize) -> TaxoClassOutput {
+pub fn hier_zero_shot(
+    dataset: &Dataset,
+    plm: &MiniPlm,
+    beam: usize,
+) -> Result<TaxoClassOutput, MethodError> {
+    let hier = common::hier_view(dataset, "Hier-0Shot-TC")?;
     let method = TaxoClass {
         beam,
         self_train_iters: 0,
         ..Default::default()
     };
     let hypotheses = class_hypotheses(dataset);
-    let candidates = top_down_search(dataset, plm, &hypotheses, beam, &method.exec);
+    let candidates = top_down_search(dataset, plm, &hypotheses, beam, &method.exec, &hier);
     let mut label_sets = Vec::new();
     let mut top1 = Vec::new();
     for kept in &candidates {
@@ -413,11 +419,11 @@ pub fn hier_zero_shot(dataset: &Dataset, plm: &MiniPlm, beam: usize) -> TaxoClas
         label_sets.push(set.clone());
         top1.push(best);
     }
-    TaxoClassOutput {
+    Ok(TaxoClassOutput {
         label_sets,
         top1,
         core_classes: Vec::new(),
-    }
+    })
 }
 
 /// Semi-supervised baseline: the multi-label head trained on a fraction of
@@ -484,7 +490,7 @@ mod tests {
     fn taxoclass_beats_chance_on_dag() {
         let d = recipes::amazon_taxonomy(0.08, 71).unwrap();
         let plm = pretrained(Tier::Test, 0);
-        let out = TaxoClass::default().run(&d, &plm);
+        let out = TaxoClass::default().run(&d, &plm).unwrap();
         let (f1, p1) = eval(&d, &out);
         assert!(f1 > 0.25, "Example-F1 {f1}");
         assert!(p1 > 0.3, "P@1 {p1}");
@@ -494,7 +500,7 @@ mod tests {
     fn predictions_are_ancestor_closed() {
         let d = recipes::dbpedia_taxonomy(0.06, 72).unwrap();
         let plm = pretrained(Tier::Test, 0);
-        let out = TaxoClass::default().run(&d, &plm);
+        let out = TaxoClass::default().run(&d, &plm).unwrap();
         let tax = d.taxonomy.as_ref().unwrap();
         for set in &out.label_sets {
             for &c in set {
@@ -510,8 +516,8 @@ mod tests {
     fn hier_zero_shot_is_weaker_or_equal() {
         let d = recipes::amazon_taxonomy(0.06, 73).unwrap();
         let plm = pretrained(Tier::Test, 0);
-        let full = TaxoClass::default().run(&d, &plm);
-        let zs = hier_zero_shot(&d, &plm, 2);
+        let full = TaxoClass::default().run(&d, &plm).unwrap();
+        let zs = hier_zero_shot(&d, &plm, 2).unwrap();
         let (f1_full, _) = eval(&d, &full);
         let (f1_zs, _) = eval(&d, &zs);
         assert!(

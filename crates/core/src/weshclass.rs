@@ -11,6 +11,7 @@
 //! Ablation switches reproduce the paper's No-global, No-vMF and
 //! No-self-train rows.
 
+use crate::error::MethodError;
 use crate::westclass::WeSTClass;
 use rand::Rng as _;
 use structmine_embed::WordVectors;
@@ -82,12 +83,30 @@ pub struct WeSHClassOutput {
 }
 
 impl WeSHClass {
+    /// Validate the dataset for WeSHClass: a tree taxonomy whose every
+    /// non-root node maps to a class.
+    fn validate<'a>(dataset: &'a Dataset) -> Result<crate::common::HierView<'a>, MethodError> {
+        let hier = crate::common::hier_view(dataset, "WeSHClass")?;
+        if !hier.taxonomy.is_tree() {
+            return Err(MethodError::NotATree {
+                method: "WeSHClass",
+            });
+        }
+        Ok(hier)
+    }
+
     /// Run WeSHClass on a tree dataset, memoized through the global
     /// artifact store (keyed on dataset, supervision, word vectors, and
-    /// every hyper-parameter).
-    pub fn run(&self, dataset: &Dataset, sup: &Supervision, wv: &WordVectors) -> WeSHClassOutput {
+    /// every hyper-parameter). Errors on a flat dataset or a DAG taxonomy.
+    pub fn run(
+        &self,
+        dataset: &Dataset,
+        sup: &Supervision,
+        wv: &WordVectors,
+    ) -> Result<WeSHClassOutput, MethodError> {
         use structmine_store::StableHash;
-        crate::pipeline::run_memoized(
+        let hier = Self::validate(dataset)?;
+        Ok(crate::pipeline::run_memoized(
             "weshclass/predict",
             |h| {
                 h.write_u128(dataset.fingerprint());
@@ -95,8 +114,8 @@ impl WeSHClass {
                 wv.stable_hash(h);
                 self.stable_hash(h);
             },
-            || self.run_uncached(dataset, sup, wv),
-        )
+            || self.run_validated(dataset, sup, wv, &hier),
+        ))
     }
 
     /// Run WeSHClass on a tree dataset, bypassing the artifact store.
@@ -105,26 +124,27 @@ impl WeSHClass {
         dataset: &Dataset,
         sup: &Supervision,
         wv: &WordVectors,
+    ) -> Result<WeSHClassOutput, MethodError> {
+        let hier = Self::validate(dataset)?;
+        Ok(self.run_validated(dataset, sup, wv, &hier))
+    }
+
+    /// The algorithm proper, over a pre-validated hierarchy.
+    fn run_validated(
+        &self,
+        dataset: &Dataset,
+        sup: &Supervision,
+        wv: &WordVectors,
+        hier: &crate::common::HierView<'_>,
     ) -> WeSHClassOutput {
         let _stage = structmine_store::context::stage_guard("weshclass/run");
-        let taxonomy = dataset
-            .taxonomy
-            .as_ref()
-            .expect("WeSHClass requires a hierarchical dataset");
-        assert!(taxonomy.is_tree(), "WeSHClass requires a tree taxonomy");
-
-        let class_of_node = |node: NodeId| -> usize {
-            dataset
-                .class_nodes
-                .iter()
-                .position(|&n| n == node)
-                .expect("taxonomy node must map to a class")
-        };
+        let taxonomy = hier.taxonomy;
+        let class_of_node = |node: NodeId| -> usize { hier.class_of(node) };
 
         // Seeds per class: from keyword supervision directly, or from
         // labeled docs' top TF-IDF terms (leaf supervision propagates to
         // ancestors).
-        let class_seeds = self.class_seeds(dataset, sup, wv);
+        let class_seeds = self.class_seeds(dataset, sup, wv, hier);
 
         let features = crate::common::embedding_features(dataset, wv);
         let n_docs = dataset.corpus.len();
@@ -234,6 +254,7 @@ impl WeSHClass {
         dataset: &Dataset,
         sup: &Supervision,
         wv: &WordVectors,
+        hier: &crate::common::HierView<'_>,
     ) -> Vec<Vec<TokenId>> {
         match sup {
             Supervision::LabelNames(seeds) | Supervision::Keywords(seeds) => seeds
@@ -252,7 +273,7 @@ impl WeSHClass {
                 .collect(),
             Supervision::LabeledDocs(pairs) => {
                 let tfidf = TfIdf::fit(&dataset.corpus);
-                let taxonomy = dataset.taxonomy.as_ref().unwrap();
+                let taxonomy = hier.taxonomy;
                 let mut scores: Vec<std::collections::HashMap<TokenId, f32>> =
                     vec![std::collections::HashMap::new(); dataset.n_classes()];
                 for &(i, c) in pairs {
@@ -261,7 +282,7 @@ impl WeSHClass {
                     let mut nodes = vec![node];
                     nodes.extend(taxonomy.ancestors(node));
                     for n in nodes {
-                        let class = dataset.class_nodes.iter().position(|&x| x == n).unwrap();
+                        let class = hier.class_of(n);
                         for (t, w) in tfidf.vectorize(&dataset.corpus.docs[i].tokens) {
                             *scores[class].entry(t).or_insert(0.0) += w;
                         }
@@ -456,7 +477,8 @@ mod tests {
             pseudo_per_class: 30,
             ..Default::default()
         }
-        .run(&d, &d.supervision_keywords(), &wv);
+        .run(&d, &d.supervision_keywords(), &wv)
+        .unwrap();
         let tax = d.taxonomy.as_ref().unwrap();
         for path in &out.path_predictions {
             assert_eq!(path.len(), 2, "expected level-2 paths");
@@ -473,7 +495,8 @@ mod tests {
             pseudo_per_class: 30,
             ..Default::default()
         }
-        .run(&d, &d.supervision_keywords(), &wv);
+        .run(&d, &d.supervision_keywords(), &wv)
+        .unwrap();
         let (micro, macro_) = scores(&d, &out);
         // Chance micro over 3 domains x 3 leaves ~ (1/3 + 1/9)/2 = 0.22.
         assert!(micro > 0.5, "micro {micro}");
@@ -487,7 +510,8 @@ mod tests {
             pseudo_per_class: 30,
             ..Default::default()
         }
-        .run(&d, &d.supervision_docs(5, 3), &wv);
+        .run(&d, &d.supervision_docs(5, 3), &wv)
+        .unwrap();
         let (micro, _) = scores(&d, &out);
         assert!(micro > 0.4, "doc-supervised micro {micro}");
     }

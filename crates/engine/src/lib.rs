@@ -179,6 +179,9 @@ pub enum EngineError {
         /// The hosted method's CLI name.
         hosted: &'static str,
     },
+    /// A method refused its input (wrong supervision kind, flat dataset
+    /// fed to a hierarchical method, missing template word).
+    Method(structmine::MethodError),
     /// A corpus delta was rejected (out of order, duplicate, bad tokens).
     Delta(DeltaError),
     /// The configured generation ceiling (`STRUCTMINE_GENERATION_LIMIT`)
@@ -214,6 +217,7 @@ impl std::fmt::Display for EngineError {
                            (this engine hosts {hosted})"
                 )
             }
+            EngineError::Method(e) => write!(f, "{e}"),
             EngineError::Delta(e) => write!(f, "{e}"),
             EngineError::GenerationLimit { limit } => write!(
                 f,
@@ -230,6 +234,12 @@ impl std::error::Error for EngineError {}
 impl From<SynthError> for EngineError {
     fn from(e: SynthError) -> Self {
         EngineError::Synth(e)
+    }
+}
+
+impl From<structmine::MethodError> for EngineError {
+    fn from(e: structmine::MethodError) -> Self {
+        EngineError::Method(e)
     }
 }
 
@@ -333,6 +343,13 @@ impl Engine {
         } else {
             None
         };
+        if let Some(plm) = &plm {
+            // Pack every inference weight now so no serving request — not
+            // even the first — pays the per-call panel pack. Idempotent:
+            // an already-packed PLM shared through the Arc just hits its
+            // caches.
+            plm.prepack_weights();
+        }
         let name_tokens = dataset.label_name_tokens();
         Ok(Engine {
             method: config.method,
@@ -364,6 +381,11 @@ impl Engine {
     /// is not carried over. This is how the tolerance harness puts an
     /// Exact and a Fast rule side by side without loading twice.
     pub fn at_precision(&self, precision: Precision) -> Engine {
+        if let Some(plm) = &self.plm {
+            // Normally a warm no-op (load() already packed); covers PLMs
+            // whose weights changed since, so the twin serves pack-free too.
+            plm.prepack_weights();
+        }
         Engine {
             method: self.method,
             dataset: self.dataset.clone(),
@@ -577,7 +599,7 @@ impl Engine {
                 if let Some(s) = self.seed {
                     cfg.seed = s;
                 }
-                cfg.run(d, self.plm_ref()?).predictions
+                cfg.run(d, self.plm_ref()?)?.predictions
             }
             MethodKind::Match => baselines::bert_simple_match(d, self.plm_ref()?),
             MethodKind::WeSTClass => {
@@ -819,8 +841,11 @@ impl Engine {
                 let prec = self.exec.precision();
                 // A missing template word is per-vocabulary, not
                 // per-document: surface it once, before fanning out.
-                structmine_plm::prompt::validate_templates(vocab)
-                    .map_err(|e| EngineError::Internal { what: e.to_string() })?;
+                structmine_plm::prompt::validate_templates(vocab).map_err(|e| {
+                    EngineError::Internal {
+                        what: e.to_string(),
+                    }
+                })?;
                 let n_classes = self.name_tokens.len();
                 par_map_chunks(&self.exec, docs, |_, toks| {
                     sharpened_softmax(

@@ -31,9 +31,7 @@ fn load(precision: Precision) -> Engine {
 /// tables replay — the serving fit is deliberately tier-free, fitting is
 /// adaptation and always runs Exact).
 fn run_pipeline(precision: Precision) {
-    load(precision)
-        .fitted_predictions()
-        .expect("pipeline runs");
+    load(precision).fitted_predictions().expect("pipeline runs");
 }
 
 fn misses() -> u64 {

@@ -27,7 +27,7 @@
 /// the true tanh is within 1.1e-4 of ±1 and the *unclamped* rational
 /// would exceed 1 in magnitude, so the clamp is a correctness bound, not
 /// just an optimization.
-const TANH_CLAMP: f32 = 4.9;
+pub(crate) const TANH_CLAMP: f32 = 4.9;
 
 /// Fast hyperbolic tangent: odd Padé(7,6) rational, clamped, branch-free.
 ///
@@ -60,7 +60,7 @@ pub fn fast_tanh(x: f32) -> f32 {
 /// caller cares: softmax tails below e^-41 are beyond f32 resolution
 /// of the normalized row, and a sigmoid is exactly 1.0 at f32 long
 /// before its `fast_exp(-x)` term reaches 6e-19.
-const EXP_MIN_EXP2: f32 = -60.0;
+pub(crate) const EXP_MIN_EXP2: f32 = -60.0;
 
 /// Fast natural exponential: exponent-bit scaling plus a degree-5
 /// polynomial, branch-free.
@@ -82,7 +82,7 @@ pub fn fast_exp(x: f32) -> f32 {
     let shifted = y + MAGIC;
     let n = shifted - MAGIC; // round(y), exact
     let f = y - n; // in [-0.5, 0.5]
-    // 2^f = exp(f·ln2), degree-5 Taylor in t = f·ln2, |t| ≤ 0.347.
+                   // 2^f = exp(f·ln2), degree-5 Taylor in t = f·ln2, |t| ≤ 0.347.
     let t = f * LN_2;
     let poly = 1.0 + t * (1.0 + t * (0.5 + t * (1.0 / 6.0 + t * (1.0 / 24.0 + t * (1.0 / 120.0)))));
     // 2^n via the exponent field; n ∈ [-60, 126] so the shift is safe
@@ -92,12 +92,19 @@ pub fn fast_exp(x: f32) -> f32 {
 }
 
 /// Apply [`fast_tanh`] over a slice in place (the shape the fused GELU
-/// and activation kernels want).
+/// and activation kernels want). Dispatches to the SSE2 four-lane pass
+/// where available ([`crate::simd::fast_tanh_slice`]) — bitwise equal to
+/// the scalar loop for finite inputs.
 #[inline]
 pub fn fast_tanh_slice(xs: &mut [f32]) {
-    for x in xs {
-        *x = fast_tanh(*x);
-    }
+    crate::simd::fast_tanh_slice(xs);
+}
+
+/// Apply [`fast_exp`] over a slice in place, SSE2-dispatched the same
+/// way as [`fast_tanh_slice`].
+#[inline]
+pub fn fast_exp_slice(xs: &mut [f32]) {
+    crate::simd::fast_exp_slice(xs);
 }
 
 #[cfg(test)]
@@ -155,11 +162,7 @@ mod tests {
     #[test]
     fn tanh_is_odd_bitwise() {
         for &x in &[0.0f32, 0.1, 0.5, 1.0, 2.5, 4.89, 5.0, 100.0] {
-            assert_eq!(
-                fast_tanh(-x).to_bits(),
-                (-fast_tanh(x)).to_bits(),
-                "x={x}"
-            );
+            assert_eq!(fast_tanh(-x).to_bits(), (-fast_tanh(x)).to_bits(), "x={x}");
         }
     }
 

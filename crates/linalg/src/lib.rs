@@ -22,9 +22,10 @@ pub mod fastmath;
 pub mod matrix;
 pub mod pca;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 pub mod vector;
 
 pub use exec::{ExecPolicy, Precision};
-pub use matrix::Matrix;
+pub use matrix::{Matrix, PackedMatrix};
 pub use pca::Pca;

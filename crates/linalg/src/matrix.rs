@@ -24,14 +24,14 @@ use serde::{Deserialize, Serialize};
 /// Register-tile width of the packed micro-kernel: output columns are
 /// processed in panels of `NR` independent accumulators (two 4-wide SIMD
 /// lanes after LLVM auto-vectorization).
-const NR: usize = 8;
+pub(crate) const NR: usize = 8;
 
 /// Register-tile height of the packed micro-kernel: `MR` output rows are
 /// produced together so the inner `k` loop carries `MR` independent
 /// accumulator chains. A single row's chain is latency-bound (each
 /// fused-multiply-add waits on the previous one); interleaving `MR` rows
 /// hides that latency without changing any row's summation order.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 
 /// Left-row count below which the packed kernel is skipped: packing costs
 /// one pass over the right operand and only pays for itself when amortized
@@ -122,60 +122,13 @@ fn packed_block_kernel(a_block: &[f32], k: usize, packed: &[f32], n: usize, out:
     }
 }
 
-/// [`packed_block_kernel`] without the `a == 0.0` skip: the inner loop is
-/// a straight fused-multiply-add sweep with no data-dependent branch, so
-/// the autovectorizer can keep the `NR`-wide update in SSE registers.
-/// Used only by the Fast precision tier — the result can differ from the
-/// exact kernel in the last bits because `0.0 * b` contributions (and
-/// `-0.0`/NaN propagation through them) are no longer skipped, which is
-/// exactly the ordering/skip guarantee [`Precision::Fast`] documents away.
-///
-/// [`Precision::Fast`]: crate::exec::Precision::Fast
+/// [`packed_block_kernel`] without the `a == 0.0` skip, for the Fast
+/// precision tier: runtime-dispatched between an explicit SSE2 tile and
+/// a portable scalar twin — see [`crate::simd`] for both implementations
+/// and the guarantees the Fast tier does (and does not) keep.
 #[inline]
 fn packed_block_kernel_fast(a_block: &[f32], k: usize, packed: &[f32], n: usize, out: &mut [f32]) {
-    debug_assert!(k > 0 && n > 0);
-    let rows = a_block.len() / k;
-    let mut panel_start = 0;
-    let mut j0 = 0;
-    while j0 < n {
-        let w = NR.min(n - j0);
-        let panel = &packed[panel_start..panel_start + k * w];
-        let mut r0 = 0;
-        while r0 < rows {
-            let h = MR.min(rows - r0);
-            if w == NR && h == MR {
-                let mut acc = [[0.0f32; NR]; MR];
-                for kk in 0..k {
-                    let b = &panel[kk * NR..kk * NR + NR];
-                    for (r, acc_r) in acc.iter_mut().enumerate() {
-                        let a = a_block[(r0 + r) * k + kk];
-                        for (o, &bv) in acc_r.iter_mut().zip(b) {
-                            *o += a * bv;
-                        }
-                    }
-                }
-                for (r, acc_r) in acc.iter().enumerate() {
-                    let o0 = (r0 + r) * n + j0;
-                    out[o0..o0 + NR].copy_from_slice(acc_r);
-                }
-            } else {
-                for r in r0..r0 + h {
-                    let a_row = &a_block[r * k..(r + 1) * k];
-                    let mut acc = [0.0f32; NR];
-                    for (kk, &a) in a_row.iter().enumerate() {
-                        let b = &panel[kk * w..kk * w + w];
-                        for (o, &bv) in acc[..w].iter_mut().zip(b) {
-                            *o += a * bv;
-                        }
-                    }
-                    out[r * n + j0..r * n + j0 + w].copy_from_slice(&acc[..w]);
-                }
-            }
-            r0 += h;
-        }
-        panel_start += k * w;
-        j0 += w;
-    }
+    crate::simd::packed_block_kernel_fast(a_block, k, packed, n, out);
 }
 
 /// Pack a logical `k x n` right-hand operand into `NR`-column panels, each
@@ -206,6 +159,123 @@ fn pack_panels(
         panels += 1;
     }
     structmine_store::obs::counter_add("linalg.pack_panels", panels);
+}
+
+/// A right-hand matmul operand pre-packed, once, into the blocked
+/// kernel's [`NR`]-column panel layout (DESIGN §14).
+///
+/// `matmul`/`matmul_t` pack their right operand on **every** call; for
+/// inference weights — frozen after `Engine::load` — that pass is pure
+/// waste on the serving hot path. A `PackedMatrix` is exactly the panel
+/// buffer `pack_panels` would have produced, built ahead of time, so
+/// [`Matrix::matmul_prepacked_into`] skips straight to the micro-kernel.
+/// Because the panel bytes are a pure function of the operand (packing
+/// always happens before any row parallelism) and the kernel consumes
+/// them identically, the Exact prepacked product is **bitwise identical**
+/// to the per-call path for every shape and thread count — only where
+/// the packing happens moves. Property-tested in this module.
+///
+/// The [`Self::fingerprint`] is a content hash of the source operand and
+/// orientation; caches key on it (or on a cheaper generation counter, as
+/// `nn::ParamStore` does) to make stale panels impossible.
+#[derive(Clone, Debug)]
+pub struct PackedMatrix {
+    /// Inner dimension: rows of the logical right operand.
+    k: usize,
+    /// Output columns: columns of the logical right operand.
+    n: usize,
+    /// Whether this was packed from the transpose ([`Self::pack_transposed`]).
+    transposed: bool,
+    /// The `NR`-column panels, each `k * w` floats, concatenated.
+    panels: Vec<f32>,
+    /// Stable content hash of (orientation, source matrix).
+    fingerprint: u128,
+}
+
+impl PackedMatrix {
+    /// Pack `rhs` (`k x n`) for use as the right operand of
+    /// [`Matrix::matmul_prepacked_into`] — the prepacked analogue of
+    /// `matmul(_, rhs)`. Counts one `linalg.prepack.builds`.
+    pub fn pack(rhs: &Matrix) -> Self {
+        let (k, n) = rhs.shape();
+        let mut panels = Vec::new();
+        if k > 0 && n > 0 {
+            pack_panels(&mut panels, n, k, |kk, j0, w, dst| {
+                dst.copy_from_slice(&rhs.data[kk * n + j0..kk * n + j0 + w]);
+            });
+        }
+        structmine_store::obs::counter_add("linalg.prepack.builds", 1);
+        Self {
+            k,
+            n,
+            transposed: false,
+            panels,
+            fingerprint: Self::fingerprint_of(rhs, false),
+        }
+    }
+
+    /// Pack `rhs` (`n x k`) as its transpose, for use as the right
+    /// operand of [`Matrix::matmul_prepacked_into`] wherever the per-call
+    /// code would have used `matmul_t(_, rhs)` (e.g. the tied embedding
+    /// table). Counts one `linalg.prepack.builds`.
+    pub fn pack_transposed(rhs: &Matrix) -> Self {
+        let (n, k) = rhs.shape();
+        let mut panels = Vec::new();
+        if k > 0 && n > 0 {
+            pack_panels(&mut panels, n, k, |kk, j0, _w, dst| {
+                for (jj, d) in dst.iter_mut().enumerate() {
+                    *d = rhs.data[(j0 + jj) * k + kk];
+                }
+            });
+        }
+        structmine_store::obs::counter_add("linalg.prepack.builds", 1);
+        Self {
+            k,
+            n,
+            transposed: true,
+            panels,
+            fingerprint: Self::fingerprint_of(rhs, true),
+        }
+    }
+
+    fn fingerprint_of(rhs: &Matrix, transposed: bool) -> u128 {
+        use structmine_store::StableHash;
+        let mut h = structmine_store::StableHasher::new();
+        h.write_u64(u64::from(transposed));
+        rhs.stable_hash(&mut h);
+        h.finish()
+    }
+
+    /// Inner dimension (rows of the logical right operand).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output columns of the product this operand produces.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the panels were packed from the operand's transpose.
+    #[inline]
+    pub fn is_transposed(&self) -> bool {
+        self.transposed
+    }
+
+    /// Content hash of (orientation, source matrix): equal iff the
+    /// source bytes and orientation are equal.
+    #[inline]
+    pub fn fingerprint(&self) -> u128 {
+        self.fingerprint
+    }
+
+    /// Panel buffer size in floats (diagnostics / memory accounting).
+    #[inline]
+    pub fn panel_len(&self) -> usize {
+        self.panels.len()
+    }
 }
 
 /// A dense row-major matrix of `f32`.
@@ -602,6 +672,89 @@ impl Matrix {
                 }
             });
         }
+    }
+
+    /// Matrix product `self * B` where `B` arrives pre-packed as a
+    /// [`PackedMatrix`] (either orientation — packing normalizes both to
+    /// the same panel layout). **Bitwise identical** to
+    /// [`Matrix::matmul_into`] (resp. [`Matrix::matmul_t_into`] for a
+    /// transposed pack) for every shape and thread count: the packed
+    /// kernel and the small-row fallback share one per-element summation
+    /// order, so this path may use the packed kernel unconditionally.
+    /// Counts one `linalg.prepack.hits`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != packed.k()` or
+    /// `out.shape() != (self.rows, packed.n())`.
+    pub fn matmul_prepacked_into(&self, packed: &PackedMatrix, out: &mut Matrix) {
+        self.matmul_prepacked_into_with(packed, crate::ExecPolicy::global(), out);
+    }
+
+    /// [`Matrix::matmul_prepacked_into`] under an explicit execution policy.
+    pub fn matmul_prepacked_into_with(
+        &self,
+        packed: &PackedMatrix,
+        policy: &crate::ExecPolicy,
+        out: &mut Matrix,
+    ) {
+        self.prepacked_dispatch(packed, policy, out, packed_block_kernel);
+    }
+
+    /// Fast-tier prepacked product: [`Matrix::matmul_prepacked_into`]
+    /// with the branch-free SIMD-dispatched kernel, i.e. the prepacked
+    /// analogue of [`Matrix::matmul_into_fast`] (bit-compatibility with
+    /// the Exact tier is documented away, agreement is bounded by the
+    /// Fast tier's tolerance harness). Counts one `linalg.prepack.hits`.
+    pub fn matmul_prepacked_fast_into(&self, packed: &PackedMatrix, out: &mut Matrix) {
+        self.matmul_prepacked_fast_into_with(packed, crate::ExecPolicy::global(), out);
+    }
+
+    /// [`Matrix::matmul_prepacked_fast_into`] under an explicit execution
+    /// policy.
+    pub fn matmul_prepacked_fast_into_with(
+        &self,
+        packed: &PackedMatrix,
+        policy: &crate::ExecPolicy,
+        out: &mut Matrix,
+    ) {
+        self.prepacked_dispatch(packed, policy, out, packed_block_kernel_fast);
+    }
+
+    fn prepacked_dispatch(
+        &self,
+        packed: &PackedMatrix,
+        policy: &crate::ExecPolicy,
+        out: &mut Matrix,
+        kernel: fn(&[f32], usize, &[f32], usize, &mut [f32]),
+    ) {
+        assert_eq!(
+            self.cols, packed.k,
+            "prepacked matmul shape mismatch: {}x{} * packed {}x{}",
+            self.rows, self.cols, packed.k, packed.n
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, packed.n),
+            "prepacked matmul output shape mismatch"
+        );
+        structmine_store::obs::counter_add("linalg.prepack.hits", 1);
+        let (k, n) = (packed.k, packed.n);
+        if k == 0 {
+            // Empty inner dimension: the product is all zeros (same +0.0
+            // the per-call fallback writes).
+            out.data.fill(0.0);
+            return;
+        }
+        Self::fill_row_blocks(policy, self.rows, n, &mut out.data, |start, block| {
+            let h = block.len() / n;
+            kernel(
+                &self.data[start * k..(start + h) * k],
+                k,
+                &packed.panels,
+                n,
+                block,
+            );
+        });
     }
 
     /// Row-filling driver shared by both products: serial below
@@ -1042,6 +1195,110 @@ mod tests {
                 assert!((e - f).abs() <= 1e-4 * (1.0 + e.abs()), "e={e} f={f}");
             }
         }
+    }
+
+    proptest! {
+        /// The tentpole bitwise contract: an Exact product against a
+        /// pre-packed operand is bit-identical to the per-call packed
+        /// path — across arbitrary shapes (covering the packed path, the
+        /// small-row fallback, and ragged last panels), both packing
+        /// orientations, and every thread count. Zeros are mixed into
+        /// the left operand so the `a == 0.0` skip is exercised.
+        #[test]
+        fn prepacked_exact_matmul_is_bitwise_per_call(
+            m in 1usize..64,
+            k in 1usize..64,
+            n in 1usize..64,
+            a_pool in proptest::collection::vec(-10.0f32..10.0, 64 * 64),
+            b_pool in proptest::collection::vec(-10.0f32..10.0, 64 * 64),
+        ) {
+            let mut a_data = a_pool[..m * k].to_vec();
+            for v in a_data.iter_mut().step_by(5) {
+                *v = 0.0;
+            }
+            let a = Matrix::from_vec(m, k, a_data);
+            let b = Matrix::from_vec(k, n, b_pool[..k * n].to_vec());
+            let bt = b.transpose();
+            let packed = PackedMatrix::pack(&b);
+            let packed_t = PackedMatrix::pack_transposed(&bt);
+            prop_assert!(!packed.is_transposed());
+            prop_assert!(packed_t.is_transposed());
+            for threads in [1usize, 2, 4] {
+                let policy = crate::ExecPolicy::with_threads(threads);
+                let mut per_call = Matrix::filled(m, n, f32::NAN);
+                let mut pre = Matrix::filled(m, n, -3.5);
+                a.matmul_into_with(&b, &policy, &mut per_call);
+                a.matmul_prepacked_into_with(&packed, &policy, &mut pre);
+                for (x, y) in per_call.data().iter().zip(pre.data()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+                let mut per_call_t = Matrix::filled(m, n, f32::NAN);
+                let mut pre_t = Matrix::filled(m, n, 7.0);
+                a.matmul_t_into_with(&bt, &policy, &mut per_call_t);
+                a.matmul_prepacked_into_with(&packed_t, &policy, &mut pre_t);
+                for (x, y) in per_call_t.data().iter().zip(pre_t.data()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+
+        /// Fast-tier prepacked products are bitwise equal to the per-call
+        /// fast path too: the dispatched kernel is the same, prepacking
+        /// only moves where the panels are built.
+        #[test]
+        fn prepacked_fast_matmul_is_bitwise_per_call(
+            m in 1usize..48,
+            k in 1usize..48,
+            n in 1usize..48,
+            a_pool in proptest::collection::vec(-8.0f32..8.0, 48 * 48),
+            b_pool in proptest::collection::vec(-8.0f32..8.0, 48 * 48),
+        ) {
+            let a = Matrix::from_vec(m, k, a_pool[..m * k].to_vec());
+            let b = Matrix::from_vec(k, n, b_pool[..k * n].to_vec());
+            let packed = PackedMatrix::pack(&b);
+            let policy = crate::ExecPolicy::serial();
+            let mut per_call = Matrix::zeros(m, n);
+            let mut pre = Matrix::filled(m, n, f32::NAN);
+            a.matmul_into_fast_with(&b, &policy, &mut per_call);
+            a.matmul_prepacked_fast_into_with(&packed, &policy, &mut pre);
+            for (x, y) in per_call.data().iter().zip(pre.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// Fingerprints are content hashes: equal for equal operands, and
+    /// sensitive to any element change and to the packing orientation.
+    #[test]
+    fn packed_matrix_fingerprint_tracks_content() {
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let same = PackedMatrix::pack(&b);
+        assert_eq!(PackedMatrix::pack(&b).fingerprint(), same.fingerprint());
+        let mut changed = b.clone();
+        changed.set(1, 0, 3.25);
+        assert_ne!(
+            PackedMatrix::pack(&changed).fingerprint(),
+            same.fingerprint()
+        );
+        // Orientation is part of the key: a symmetric source packs to the
+        // same panels either way, but must not alias in a cache.
+        let sym = Matrix::from_rows(&[&[1.0, 5.0], &[5.0, 2.0]]);
+        assert_ne!(
+            PackedMatrix::pack(&sym).fingerprint(),
+            PackedMatrix::pack_transposed(&sym).fingerprint()
+        );
+    }
+
+    /// Degenerate shapes: an empty inner dimension must produce the same
+    /// all-zero output the per-call fallback writes.
+    #[test]
+    fn prepacked_matmul_handles_empty_inner_dim() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let packed = PackedMatrix::pack(&b);
+        let mut out = Matrix::filled(3, 4, f32::NAN);
+        a.matmul_prepacked_into(&packed, &mut out);
+        assert!(out.data().iter().all(|&v| v == 0.0));
     }
 
     /// Fast-tier output is still deterministic: thread count must not

@@ -27,22 +27,10 @@ pub fn softmax_inplace(a: &mut [f32]) {
 /// normalized row either way, and it keeps the output (and everything
 /// later multiplied by it) free of subnormals. Only Fast-precision
 /// inference graphs call this; Exact paths keep the libm version.
+/// Dispatches to the SSE2 row pass ([`crate::simd::softmax_row_fast`])
+/// where available, with the scalar loop as the portable fallback.
 pub fn softmax_inplace_fast(a: &mut [f32]) {
-    if a.is_empty() {
-        return;
-    }
-    let max = a.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0f32;
-    for v in a.iter_mut() {
-        *v = crate::fastmath::fast_exp(*v - max);
-        sum += *v;
-    }
-    if sum > 0.0 {
-        let inv = 1.0 / sum;
-        for v in a {
-            *v *= inv;
-        }
-    }
+    crate::simd::softmax_row_fast(a);
 }
 
 /// Stable softmax, returning a new vector.

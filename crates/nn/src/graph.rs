@@ -22,7 +22,7 @@
 //! always fully overwritten (or explicitly zeroed) before use, so results
 //! are byte-identical to freshly allocated storage — property-tested below.
 
-use structmine_linalg::{fastmath, Matrix, Precision};
+use structmine_linalg::{fastmath, simd, Matrix, PackedMatrix, Precision};
 
 /// Thread-local recycling pool for matrix buffers, keyed by element count.
 ///
@@ -113,6 +113,14 @@ enum Op {
     MatMul(NodeId, NodeId),
     /// `a × bᵀ` without materializing the transpose.
     MatMulT(NodeId, NodeId),
+    /// `a × W` where `W` arrived as pre-packed panels rather than a tape
+    /// node (frozen inference weights; see [`PackedMatrix`]). The weight
+    /// is not on the tape, so no gradient can flow to it — differentiating
+    /// through this op is a programming error and panics.
+    MatMulPrepacked(NodeId),
+    /// Fast-tier layer norm: no cached normalized rows or inv-std (those
+    /// exist only for the backward pass, which Fast tapes never run).
+    LayerNormFast(NodeId),
     Transpose(NodeId),
     Relu(NodeId),
     /// (input, cached per-element tanh of the GELU inner term — reused in
@@ -262,6 +270,19 @@ impl Graph {
         arena::flush_reuse_counter();
     }
 
+    /// [`Self::reset`], then switch the tape to `precision` — for scratch
+    /// tapes held across forward passes that serve at varying tiers.
+    pub fn reset_to(&mut self, precision: Precision) {
+        self.reset();
+        self.precision = precision;
+    }
+
+    /// Allocated node-slot capacity (survives [`Self::reset`]); a non-zero
+    /// value on an empty tape means this graph is being reused as scratch.
+    pub fn node_capacity(&self) -> usize {
+        self.nodes.capacity()
+    }
+
     // --- forward ops -------------------------------------------------------
 
     /// Element-wise `a + b`.
@@ -336,6 +357,24 @@ impl Graph {
             Precision::Fast => va.matmul_t_into_fast(vb, &mut v),
         }
         self.push(v, Op::MatMulT(a, b))
+    }
+
+    /// Matrix product `a × W` through pre-packed weight panels — the
+    /// serving hot path's replacement for binding `W` as a leaf and calling
+    /// [`Self::matmul`]/[`Self::matmul_t`] (the pack's orientation decides
+    /// which product this computes). Skips both the per-call weight copy
+    /// into the tape and the per-call panel pack; per-element arithmetic is
+    /// identical to the unpacked op at the same precision, so Exact tapes
+    /// stay bitwise reproducible. Inference-only: the weight is not a tape
+    /// node, so backward through this op panics.
+    pub fn matmul_prepacked(&mut self, a: NodeId, packed: &PackedMatrix) -> NodeId {
+        let va = &self.nodes[a.0].value;
+        let mut v = arena::take_uninit(va.rows(), packed.n());
+        match self.precision {
+            Precision::Exact => va.matmul_prepacked_into(packed, &mut v),
+            Precision::Fast => va.matmul_prepacked_fast_into(packed, &mut v),
+        }
+        self.push(v, Op::MatMulPrepacked(a))
     }
 
     /// Transpose.
@@ -446,6 +485,16 @@ impl Graph {
         let b = &self.nodes[bias.0].value;
         assert_eq!(g.rows(), 1);
         assert_eq!(b.rows(), 1);
+        if self.precision == Precision::Fast {
+            // Fused fast row pass: single sweep per row, no normalized-rows
+            // matrix or inv-std cache (backward-only bookkeeping — one full
+            // matrix write of pure overhead on an inference tape).
+            let mut v = arena::take_copy(va);
+            for i in 0..v.rows() {
+                simd::layer_norm_row_fast(v.row_mut(i), g.row(0), b.row(0), EPS);
+            }
+            return self.push(v, Op::LayerNormFast(a));
+        }
         let (n, d) = va.shape();
         let mut normalized = arena::take_uninit(n, d);
         let mut inv_std = Vec::with_capacity(n);
@@ -694,6 +743,21 @@ impl Graph {
             Op::GeluFast(a) => {
                 panic!(
                     "GeluFast (input node {}) is inference-only: \
+                     Fast-precision tapes do not support backward",
+                    a.0
+                )
+            }
+            Op::MatMulPrepacked(a) => {
+                panic!(
+                    "MatMulPrepacked (input node {}) is inference-only: \
+                     the pre-packed weight is not on the tape, so no \
+                     gradient can flow through it",
+                    a.0
+                )
+            }
+            Op::LayerNormFast(a) => {
+                panic!(
+                    "LayerNormFast (input node {}) is inference-only: \
                      Fast-precision tapes do not support backward",
                     a.0
                 )
@@ -1352,6 +1416,80 @@ mod tests {
         let na = g.leaf(a);
         let ge = g.gelu(na);
         let m = g.mean_rows(ge);
+        let ones = g.leaf(Matrix::filled(1, 3, 1.0));
+        let loss = g.matmul_t(m, ones);
+        g.backward(loss);
+    }
+
+    /// On both precision tiers, routing a weight through pre-packed panels
+    /// must reproduce the tape-node matmul bit for bit — in both pack
+    /// orientations (W for `x·W`, Wᵀ-packed for `x·Wᵀ`).
+    #[test]
+    fn matmul_prepacked_matches_tape_matmul_bitwise() {
+        let x = random_matrix(5, 7, 320);
+        let w = random_matrix(7, 9, 321);
+        let wt = random_matrix(9, 7, 322);
+        for precision in [Precision::Exact, Precision::Fast] {
+            let mut g = Graph::with_precision(precision);
+            let nx = g.leaf(x.clone());
+            let nw = g.leaf(w.clone());
+            let nwt = g.leaf(wt.clone());
+            let via_tape = g.matmul(nx, nw);
+            let via_tape_t = g.matmul_t(nx, nwt);
+            let packed = PackedMatrix::pack(&w);
+            let packed_t = PackedMatrix::pack_transposed(&wt);
+            let via_pack = g.matmul_prepacked(nx, &packed);
+            let via_pack_t = g.matmul_prepacked(nx, &packed_t);
+            assert_eq!(g.value(via_tape).data(), g.value(via_pack).data());
+            assert_eq!(g.value(via_tape_t).data(), g.value(via_pack_t).data());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inference-only")]
+    fn matmul_prepacked_backward_panics() {
+        let x = random_matrix(1, 3, 323);
+        let w = random_matrix(3, 1, 324);
+        let mut g = Graph::new();
+        let nx = g.leaf(x);
+        let packed = PackedMatrix::pack(&w);
+        let y = g.matmul_prepacked(nx, &packed);
+        g.backward(y);
+    }
+
+    /// Fast-tier layer norm (fused single-sweep row pass, SIMD-dispatched)
+    /// must track the Exact op within the fast tier's documented bounds.
+    #[test]
+    fn fast_layer_norm_tracks_exact_within_tolerance() {
+        let x = random_matrix(6, 13, 330);
+        let gain = random_matrix(1, 13, 331);
+        let bias = random_matrix(1, 13, 332);
+        let run = |precision: Precision| {
+            let mut g = Graph::with_precision(precision);
+            let nx = g.leaf(x.clone());
+            let ng = g.leaf(gain.clone());
+            let nb = g.leaf(bias.clone());
+            let y = g.layer_norm(nx, ng, nb);
+            g.take_value(y)
+        };
+        let exact = run(Precision::Exact);
+        let fast = run(Precision::Fast);
+        assert_eq!(exact.shape(), fast.shape());
+        for (e, f) in exact.data().iter().zip(fast.data()) {
+            assert!((e - f).abs() <= 1e-4, "exact={e} fast={f}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inference-only")]
+    fn fast_layer_norm_backward_panics() {
+        let x = random_matrix(2, 3, 333);
+        let mut g = Graph::with_precision(Precision::Fast);
+        let nx = g.leaf(x);
+        let ng = g.leaf(Matrix::filled(1, 3, 1.0));
+        let nb = g.leaf(Matrix::zeros(1, 3));
+        let y = g.layer_norm(nx, ng, nb);
+        let m = g.mean_rows(y);
         let ones = g.leaf(Matrix::filled(1, 3, 1.0));
         let loss = g.matmul_t(m, ones);
         g.backward(loss);

@@ -43,6 +43,17 @@ impl Linear {
         g.add_row_broadcast(xw, b)
     }
 
+    /// Inference-only forward through the store's cached pre-packed weight
+    /// panels ([`ParamStore::prepacked`]): skips both the per-call weight
+    /// copy into the tape and the per-call panel pack, with per-element
+    /// arithmetic identical to [`Self::forward`] at the same precision.
+    pub fn forward_prepacked(&self, store: &ParamStore, g: &mut Graph, x: NodeId) -> NodeId {
+        let w = store.prepacked(self.w);
+        let xw = g.matmul_prepacked(x, &w);
+        let b = g.leaf_copied(store.value(self.b));
+        g.add_row_broadcast(xw, b)
+    }
+
     /// The weight parameter (for weight tying / inspection).
     pub fn weight(&self) -> ParamId {
         self.w

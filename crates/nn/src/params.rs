@@ -7,7 +7,10 @@
 
 use crate::graph::{Graph, NodeId};
 use rand::rngs::StdRng;
-use structmine_linalg::{rng as lrng, Matrix};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use structmine_linalg::{rng as lrng, Matrix, PackedMatrix};
+use structmine_store::obs;
 
 /// Handle to a parameter in a [`ParamStore`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,6 +21,25 @@ pub struct ParamId(usize);
 pub struct ParamStore {
     values: Vec<Matrix>,
     names: Vec<String>,
+    /// Weight-write generation. Every mutation entry point — [`Self::value_mut`],
+    /// [`Self::import_values`], and [`Adam::step`] — bumps it, and the pack
+    /// cache below is keyed on it, so a panel packed from an old value is
+    /// unreachable after any write: the next [`Self::prepacked`] call sees the
+    /// generation mismatch and drops the whole cache before repacking.
+    generation: u64,
+    /// Cached pre-packed weight panels, shared with inference tapes via `Arc`
+    /// so an in-flight forward pass keeps its panels alive even if a
+    /// concurrent-looking write invalidates the cache between calls.
+    packs: Mutex<PackCache>,
+}
+
+/// Generation-keyed cache of [`PackedMatrix`] panels, one slot per parameter
+/// and orientation.
+#[derive(Default)]
+struct PackCache {
+    generation: u64,
+    normal: HashMap<usize, Arc<PackedMatrix>>,
+    transposed: HashMap<usize, Arc<PackedMatrix>>,
 }
 
 impl ParamStore {
@@ -57,7 +79,11 @@ impl ParamStore {
     }
 
     /// Mutable value (for manual updates, e.g. embedding freezing).
+    ///
+    /// Counts as a weight write: any cached pre-packed panels are
+    /// invalidated before the next [`Self::prepacked`] lookup.
     pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        self.note_weight_write();
         &mut self.values[id.0]
     }
 
@@ -93,10 +119,66 @@ impl ParamStore {
     /// Panics if the snapshot's shapes do not match.
     pub fn import_values(&mut self, values: Vec<Matrix>) {
         assert_eq!(values.len(), self.values.len(), "parameter count mismatch");
+        self.note_weight_write();
         for (cur, new) in self.values.iter_mut().zip(values) {
             assert_eq!(cur.shape(), new.shape(), "parameter shape mismatch");
             *cur = new;
         }
+    }
+
+    /// Current weight-write generation (bumped by every mutation entry
+    /// point; see the `generation` field).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Record that parameter values may have changed. Cheap: the pack cache
+    /// is invalidated lazily, at the next [`Self::prepacked`] lookup.
+    fn note_weight_write(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+    }
+
+    /// The parameter's value pre-packed into panel layout for
+    /// [`Graph::matmul_prepacked`] (`x · W`). Packed once per weight
+    /// generation and cached; any write through [`Self::value_mut`],
+    /// [`Self::import_values`], or [`Adam::step`] drops the cache, so a
+    /// returned pack always reflects the current value.
+    pub fn prepacked(&self, id: ParamId) -> Arc<PackedMatrix> {
+        self.prepacked_inner(id, false)
+    }
+
+    /// Like [`Self::prepacked`], but packed for the transposed product
+    /// `x · Wᵀ` — e.g. a tied vocab table used as an output projection.
+    /// The orientation is baked into the panels, so the same
+    /// [`Graph::matmul_prepacked`] entry point consumes both kinds.
+    pub fn prepacked_t(&self, id: ParamId) -> Arc<PackedMatrix> {
+        self.prepacked_inner(id, true)
+    }
+
+    fn prepacked_inner(&self, id: ParamId, transposed: bool) -> Arc<PackedMatrix> {
+        let mut cache = self.packs.lock().unwrap_or_else(|e| e.into_inner());
+        if cache.generation != self.generation {
+            let stale = cache.normal.len() + cache.transposed.len();
+            if stale > 0 {
+                obs::counter_add("linalg.prepack.invalidations", stale as u64);
+            }
+            cache.normal.clear();
+            cache.transposed.clear();
+            cache.generation = self.generation;
+        }
+        let map = if transposed {
+            &mut cache.transposed
+        } else {
+            &mut cache.normal
+        };
+        Arc::clone(map.entry(id.0).or_insert_with(|| {
+            let v = &self.values[id.0];
+            Arc::new(if transposed {
+                PackedMatrix::pack_transposed(v)
+            } else {
+                PackedMatrix::pack(v)
+            })
+        }))
     }
 
     /// Copy the parameter into `graph` as a leaf (through the graph's buffer
@@ -202,6 +284,9 @@ impl Adam {
     /// parameter recorded in `binding`.
     pub fn step(&mut self, store: &mut ParamStore, graph: &Graph, binding: &Binding) {
         self.t += 1;
+        // The loop below writes store.values directly (bypassing value_mut),
+        // so invalidate any cached pre-packed panels here.
+        store.note_weight_write();
         // A parameter may be bound into the tape several times (e.g. once
         // per sequence in a batch); its true gradient is the sum over all
         // of its leaves, applied as ONE update.
@@ -340,6 +425,90 @@ mod tests {
                 .sqrt()
         };
         assert!(std_of(store.value(big)) < std_of(store.value(small)));
+    }
+
+    /// Repeated prepack lookups between writes share one allocation; any
+    /// write entry point makes the next lookup repack from current values.
+    #[test]
+    fn prepack_cache_shares_until_any_write_entry_point() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let a = store.prepacked(id);
+        let b = store.prepacked(id);
+        assert!(Arc::ptr_eq(&a, &b), "warm lookup must hit the cache");
+        let t = store.prepacked_t(id);
+        assert!(!Arc::ptr_eq(&a, &t), "orientations are distinct slots");
+
+        // value_mut invalidates even without an actual data change.
+        let gen_before = store.generation();
+        store.value_mut(id).set(0, 0, 9.0);
+        assert!(store.generation() > gen_before);
+        let c = store.prepacked(id);
+        assert!(!Arc::ptr_eq(&a, &c), "stale panels must not be reused");
+
+        // import_values invalidates.
+        let snapshot = store.export_values();
+        let d = store.prepacked(id);
+        store.import_values(snapshot);
+        let e = store.prepacked(id);
+        assert!(!Arc::ptr_eq(&d, &e));
+
+        // Adam::step invalidates (it writes store.values directly).
+        let f = store.prepacked(id);
+        let mut adam = Adam::new(&store, 0.1, 0.0);
+        let mut g = Graph::new();
+        let mut binding = Binding::new();
+        let leaf = store.bind(&mut g, id, &mut binding);
+        let ones_l = g.leaf(Matrix::filled(1, 2, 1.0));
+        let ones_r = g.leaf(Matrix::filled(2, 1, 1.0));
+        let rowsum = g.matmul(ones_l, leaf);
+        let loss = g.matmul(rowsum, ones_r);
+        g.backward(loss);
+        adam.step(&mut store, &g, &binding);
+        let h = store.prepacked(id);
+        assert!(!Arc::ptr_eq(&f, &h));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A weight write followed by a prepack lookup always yields panels
+        /// packed from the *current* value: multiplying through the cached
+        /// pack is bitwise identical to packing fresh from the raw matrix.
+        #[test]
+        fn prepack_after_write_matches_fresh_pack_bitwise(
+            vals in proptest::collection::vec(-2.0f32..2.0, 12),
+            write_at in proptest::collection::vec(0usize..12, 1..4),
+            write_vals in proptest::collection::vec(-2.0f32..2.0, 4),
+        ) {
+            let mut store = ParamStore::new();
+            let id = store.add("w", Matrix::from_vec(3, 4, vals));
+            // Warm the cache, then mutate through value_mut.
+            let _warm = store.prepacked(id);
+            let _warm_t = store.prepacked_t(id);
+            for (&i, &v) in write_at.iter().zip(&write_vals) {
+                store.value_mut(id).set(i / 4, i % 4, v);
+            }
+            let x = Matrix::from_rows(&[&[0.5, -1.0, 2.0]]);
+            let mut got = Matrix::zeros(1, 4);
+            x.matmul_prepacked_into(&store.prepacked(id), &mut got);
+            let fresh = PackedMatrix::pack(store.value(id));
+            let mut want = Matrix::zeros(1, 4);
+            x.matmul_prepacked_into(&fresh, &mut want);
+            for (a, b) in got.data().iter().zip(want.data()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // Transposed orientation: x (1×4) · Wᵀ (4×3).
+            let xt = Matrix::from_rows(&[&[0.5, -1.0, 2.0, 0.25]]);
+            let mut got_t = Matrix::zeros(1, 3);
+            xt.matmul_prepacked_into(&store.prepacked_t(id), &mut got_t);
+            let fresh_t = PackedMatrix::pack_transposed(store.value(id));
+            let mut want_t = Matrix::zeros(1, 3);
+            xt.matmul_prepacked_into(&fresh_t, &mut want_t);
+            for (a, b) in got_t.data().iter().zip(want_t.data()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

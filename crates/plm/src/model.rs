@@ -11,11 +11,20 @@
 //! per tape and accumulate several sequence losses before the Adam step.
 
 use crate::config::PlmConfig;
-use structmine_linalg::{vector, Matrix, Precision};
+use std::sync::{Arc, Mutex};
+use structmine_linalg::{vector, Matrix, PackedMatrix, Precision};
 use structmine_nn::graph::{Graph, NodeId};
 use structmine_nn::layers::{Embedding, LayerNorm, Linear};
 use structmine_nn::params::{Adam, Binding, ParamStore};
 use structmine_text::vocab::{TokenId, CLS, SEP};
+
+/// The fused QKV projection of one block, pre-packed for the inference
+/// matmul: the concatenated `d_model x 3*d_model` weight in panel layout
+/// plus its `1 x 3*d_model` bias.
+struct FusedQkv {
+    packed: PackedMatrix,
+    bias: Matrix,
+}
 
 struct Block {
     ln1: LayerNorm,
@@ -25,6 +34,12 @@ struct Block {
     ln2: LayerNorm,
     ff1: Linear,
     ff2: Linear,
+    /// Fused QKV weight, keyed by the store's weight-write generation so a
+    /// training step can't leave it stale (the derived matrix lives outside
+    /// the store, so the store's own pack cache can't cover it). `Arc` lets
+    /// concurrent encodes share one build; `Mutex` (not `RefCell`) keeps
+    /// the model `Sync` for the exec layer's worker threads.
+    qkv_cache: Mutex<Option<(u64, Arc<FusedQkv>)>>,
 }
 
 impl Block {
@@ -32,9 +47,7 @@ impl Block {
     /// column-wise into one `d_model x 3*d_model` weight (head-major
     /// `[q_h | k_h | v_h]` triples) plus its `1 x 3*d_model` bias, so the
     /// inference path can run one wide matmul instead of `3 * n_heads`
-    /// narrow ones. Rebuilt on every call — never cached — so a training
-    /// step can't leave it stale; the copy is trivial next to the matmul
-    /// it fuses. Each fused output element is the same ascending-`k` dot
+    /// narrow ones. Each fused output element is the same ascending-`k` dot
     /// product the per-head matmuls compute, so results are bitwise
     /// identical.
     fn fused_qkv(&self, store: &ParamStore) -> (Matrix, Matrix) {
@@ -55,6 +68,56 @@ impl Block {
         }
         (w, b)
     }
+
+    /// The fused QKV projection, concatenated and pre-packed once per
+    /// weight-write generation. A stale entry (generation mismatch after a
+    /// training step) is dropped and rebuilt from current per-head values,
+    /// so the cache can never serve panels from overwritten weights.
+    fn fused_qkv_prepacked(&self, store: &ParamStore) -> Arc<FusedQkv> {
+        let mut cache = self.qkv_cache.lock().unwrap_or_else(|e| e.into_inner());
+        let generation = store.generation();
+        if let Some((cached_gen, fused)) = cache.as_ref() {
+            if *cached_gen == generation {
+                return Arc::clone(fused);
+            }
+            structmine_store::obs::counter_add("linalg.prepack.invalidations", 1);
+        }
+        let (w, b) = self.fused_qkv(store);
+        let fused = Arc::new(FusedQkv {
+            packed: PackedMatrix::pack(&w),
+            bias: b,
+        });
+        *cache = Some((generation, Arc::clone(&fused)));
+        fused
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch tape shared by the no-gradient inference entry
+    /// points. A serving thread (e.g. the serve batcher) runs many forward
+    /// passes over its lifetime; holding one tape and [`Graph::reset_to`]-ing
+    /// it between passes keeps the node vector's capacity (and, via the
+    /// arena, every buffer) alive across batches instead of re-allocating
+    /// per document. Reuse is bitwise transparent — property-tested in
+    /// `structmine-nn` — and surfaced as `plm.graph_scratch_reuse`.
+    static SCRATCH: std::cell::RefCell<Graph> = std::cell::RefCell::new(Graph::new());
+}
+
+/// Run `f` on this thread's persistent scratch tape, reset to `precision`.
+/// The tape is reset again afterwards so every node buffer returns to the
+/// arena immediately. `f` must not re-enter any scratch-using inference
+/// entry point (single tape per thread).
+fn with_scratch_graph<R>(precision: Precision, f: impl FnOnce(&mut Graph) -> R) -> R {
+    SCRATCH.with(|s| {
+        let mut g = s.borrow_mut();
+        if g.node_capacity() > 0 {
+            structmine_store::obs::counter_add("plm.graph_scratch_reuse", 1);
+        }
+        g.reset_to(precision);
+        let out = f(&mut g);
+        g.reset();
+        out
+    })
 }
 
 /// The mini pre-trained language model.
@@ -143,6 +206,7 @@ impl MiniPlm {
                         config.d_model,
                         &mut rng,
                     ),
+                    qkv_cache: Mutex::new(None),
                 }
             })
             .collect();
@@ -204,6 +268,25 @@ impl MiniPlm {
         self.store.import_values(weights);
     }
 
+    /// Eagerly build every pre-packed weight the inference paths consume
+    /// (fused QKV per block, output/FFN projections, the transposed token
+    /// table for tied MLM logits, and the RTD/NLI heads), so the first
+    /// serving request pays no packing cost. Idempotent and cheap when
+    /// already packed: warm calls are cache hits. Weight writes after this
+    /// call invalidate the caches; the panels are lazily rebuilt at next
+    /// use, so calling this again afterwards is optional.
+    pub fn prepack_weights(&self) {
+        for block in &self.blocks {
+            block.fused_qkv_prepacked(&self.store);
+            self.store.prepacked(block.wo.weight());
+            self.store.prepacked(block.ff1.weight());
+            self.store.prepacked(block.ff2.weight());
+        }
+        self.store.prepacked_t(self.tok.table());
+        self.store.prepacked(self.rtd.weight());
+        self.store.prepacked(self.nli.weight());
+    }
+
     /// Build an [`Adam`] optimizer for this model.
     pub fn optimizer(&self, lr: f32) -> Adam {
         Adam::new(&self.store, lr, 1.0)
@@ -249,21 +332,23 @@ impl MiniPlm {
     /// the tape the forward pass records on (Exact tapes are bitwise
     /// reproducible; Fast tapes use the approximate inference kernels).
     pub fn encode_prec(&self, tokens: &[TokenId], precision: Precision) -> Matrix {
-        let mut g = Graph::with_precision(precision);
-        let bound = self.bound();
-        let h = bound.encode(&mut g, tokens);
-        g.take_value(h)
+        with_scratch_graph(precision, |g| {
+            let bound = self.bound();
+            let h = bound.encode(g, tokens);
+            g.take_value(h)
+        })
     }
 
     /// MLM distribution at `position` of the (already wrapped) sequence.
     pub fn mlm_probs(&self, tokens: &[TokenId], position: usize) -> Vec<f32> {
-        let mut g = Graph::new();
-        let bound = self.bound();
-        let h = bound.encode(&mut g, tokens);
-        let logits = bound.mlm_logits(&mut g, h, &[position]);
-        let mut probs = g.value(logits).row(0).to_vec();
-        structmine_linalg::stats::softmax_inplace(&mut probs);
-        probs
+        with_scratch_graph(Precision::Exact, |g| {
+            let bound = self.bound();
+            let h = bound.encode(g, tokens);
+            let logits = bound.mlm_logits(g, h, &[position]);
+            let mut probs = g.value(logits).row(0).to_vec();
+            structmine_linalg::stats::softmax_inplace(&mut probs);
+            probs
+        })
     }
 
     /// Top-`k` MLM predictions `(token, prob)` at `position`, excluding
@@ -291,25 +376,27 @@ impl MiniPlm {
         if positions.is_empty() {
             return Vec::new();
         }
-        let mut g = Graph::new();
-        let bound = self.bound();
-        let h = bound.encode(&mut g, tokens);
-        let logits = bound.mlm_logits(&mut g, h, positions);
-        (0..positions.len())
-            .map(|r| {
-                let mut probs = g.value(logits).row(r).to_vec();
-                structmine_linalg::stats::softmax_inplace(&mut probs);
-                let mut scored: Vec<(TokenId, f32)> = probs
-                    .iter()
-                    .enumerate()
-                    .skip(structmine_text::vocab::N_SPECIAL)
-                    .map(|(t, &p)| (t as TokenId, p))
-                    .collect();
-                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-                scored.truncate(k);
-                scored
-            })
-            .collect()
+        with_scratch_graph(Precision::Exact, |g| {
+            let bound = self.bound();
+            let h = bound.encode(g, tokens);
+            let logits = bound.mlm_logits(g, h, positions);
+            (0..positions.len())
+                .map(|r| {
+                    let mut probs = g.value(logits).row(r).to_vec();
+                    structmine_linalg::stats::softmax_inplace(&mut probs);
+                    let mut scored: Vec<(TokenId, f32)> = probs
+                        .iter()
+                        .enumerate()
+                        .skip(structmine_text::vocab::N_SPECIAL)
+                        .map(|(t, &p)| (t as TokenId, p))
+                        .collect();
+                    scored
+                        .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                    scored.truncate(k);
+                    scored
+                })
+                .collect()
+        })
     }
 
     /// Per-position replaced-token probabilities for a wrapped sequence
@@ -320,15 +407,16 @@ impl MiniPlm {
 
     /// [`MiniPlm::rtd_probs`] at an explicit precision tier.
     pub fn rtd_probs_prec(&self, tokens: &[TokenId], precision: Precision) -> Vec<f32> {
-        let mut g = Graph::with_precision(precision);
-        let bound = self.bound();
-        let h = bound.encode(&mut g, tokens);
-        let logits = bound.rtd_logits(&mut g, h);
-        let sig = |z: f32| match precision {
-            Precision::Exact => 1.0 / (1.0 + (-z).exp()),
-            Precision::Fast => 1.0 / (1.0 + structmine_linalg::fastmath::fast_exp(-z)),
-        };
-        g.value(logits).data().iter().map(|&z| sig(z)).collect()
+        with_scratch_graph(precision, |g| {
+            let bound = self.bound();
+            let h = bound.encode(g, tokens);
+            let logits = bound.rtd_logits(g, h);
+            let sig = |z: f32| match precision {
+                Precision::Exact => 1.0 / (1.0 + (-z).exp()),
+                Precision::Fast => 1.0 / (1.0 + structmine_linalg::fastmath::fast_exp(-z)),
+            };
+            g.value(logits).data().iter().map(|&z| sig(z)).collect()
+        })
     }
 
     /// Probability that `premise` entails `hypothesis` under the NLI head.
@@ -344,16 +432,17 @@ impl MiniPlm {
         precision: Precision,
     ) -> f32 {
         let seq = self.wrap_pair(premise, hypothesis);
-        let mut g = Graph::with_precision(precision);
-        let bound = self.bound();
-        let h = bound.encode(&mut g, &seq);
-        let logits = bound.nli_logits(&mut g, h);
-        let mut probs = g.value(logits).row(0).to_vec();
-        match precision {
-            Precision::Exact => structmine_linalg::stats::softmax_inplace(&mut probs),
-            Precision::Fast => structmine_linalg::stats::softmax_inplace_fast(&mut probs),
-        }
-        probs[1]
+        with_scratch_graph(precision, |g| {
+            let bound = self.bound();
+            let h = bound.encode(g, &seq);
+            let logits = bound.nli_logits(g, h);
+            let mut probs = g.value(logits).row(0).to_vec();
+            match precision {
+                Precision::Exact => structmine_linalg::stats::softmax_inplace(&mut probs),
+                Precision::Fast => structmine_linalg::stats::softmax_inplace_fast(&mut probs),
+            }
+            probs[1]
+        })
     }
 
     /// Average of the final hidden states over real (non-CLS/SEP) positions —
@@ -445,10 +534,12 @@ impl BoundPlm<'_> {
                 // Inference: one wide fused QKV matmul replaces the
                 // 3*n_heads narrow per-head projections (same bits, far
                 // better kernel efficiency); heads become column slices.
-                let (fw, fb) = block.fused_qkv(&m.store);
-                let wnode = g.leaf(fw);
-                let bnode = g.leaf(fb);
-                let proj = g.matmul(normed, wnode);
+                // The fused weight arrives pre-packed from the block's
+                // generation-keyed cache, so the per-call concatenate and
+                // pack both disappear from the hot path.
+                let fused = block.fused_qkv_prepacked(&m.store);
+                let bnode = g.leaf_copied(&fused.bias);
+                let proj = g.matmul_prepacked(normed, &fused.packed);
                 let qkv = g.add_row_broadcast(proj, bnode);
                 let dh = m.config.d_head();
                 for h in 0..m.config.n_heads {
@@ -461,15 +552,27 @@ impl BoundPlm<'_> {
                 }
             }
             let ctx = g.concat_cols(&ctxs);
-            let attn_out = block.wo.forward(&m.store, g, binding, ctx);
+            let attn_out = self.linear(g, binding, &block.wo, ctx);
             x = g.add(x, attn_out);
             let normed2 = block.ln2.forward(&m.store, g, binding, x);
-            let f1 = block.ff1.forward(&m.store, g, binding, normed2);
+            let f1 = self.linear(g, binding, &block.ff1, normed2);
             let act = g.gelu(f1);
-            let f2 = block.ff2.forward(&m.store, g, binding, act);
+            let f2 = self.linear(g, binding, &block.ff2, act);
             x = g.add(x, f2);
         }
         m.ln_final.forward(&m.store, g, binding, x)
+    }
+
+    /// Apply a [`Linear`], routing non-recording (inference) passes through
+    /// the store's cached pre-packed weight panels. Per-element arithmetic
+    /// is identical either way, so Exact-tier outputs stay bitwise equal to
+    /// the recording path.
+    fn linear(&self, g: &mut Graph, binding: &mut Binding, lin: &Linear, x: NodeId) -> NodeId {
+        if binding.is_recording() {
+            lin.forward(&self.model.store, g, binding, x)
+        } else {
+            lin.forward_prepacked(&self.model.store, g, x)
+        }
     }
 
     /// MLM logits at the given positions: `positions.len() x vocab`, using
@@ -488,6 +591,15 @@ impl BoundPlm<'_> {
     ) -> NodeId {
         let m = self.model;
         let sel = g.select_rows(hidden, positions);
+        if !binding.is_recording() {
+            // Tied output projection against the pre-packed (transposed)
+            // token table: skips copying the full `vocab x d` table into
+            // the tape on every call, with identical per-element bits.
+            let packed = m.store.prepacked_t(m.tok.table());
+            let logits = g.matmul_prepacked(sel, &packed);
+            let bias = g.leaf_copied(m.store.value(m.mlm_bias));
+            return g.add_row_broadcast(logits, bias);
+        }
         let table = m.tok.bind_table(&m.store, g, binding);
         let logits = g.matmul_t(sel, table);
         let bias = m.store.bind(g, m.mlm_bias, binding);
@@ -506,8 +618,8 @@ impl BoundPlm<'_> {
         binding: &mut Binding,
         hidden: NodeId,
     ) -> NodeId {
-        let m = self.model;
-        m.rtd.forward(&m.store, g, binding, hidden)
+        let rtd = self.model.rtd;
+        self.linear(g, binding, &rtd, hidden)
     }
 
     /// NLI logits from the `[CLS]` row (`1 x 2`; class 1 = entail).
@@ -522,9 +634,9 @@ impl BoundPlm<'_> {
         binding: &mut Binding,
         hidden: NodeId,
     ) -> NodeId {
-        let m = self.model;
         let cls = g.select_rows(hidden, &[0]);
-        m.nli.forward(&m.store, g, binding, cls)
+        let nli = self.model.nli;
+        self.linear(g, binding, &nli, cls)
     }
 }
 
@@ -609,6 +721,32 @@ mod tests {
     }
 
     #[test]
+    fn weight_write_after_prepack_never_serves_stale_panels() {
+        // Warm every pack cache (fused QKV, projections, tied table), then
+        // mutate weights through the store. Encodes after the write must
+        // match a fresh never-prepacked model bitwise — the caches may not
+        // serve panels from the overwritten values.
+        let mut m = model();
+        let seq = m.wrap(&[7, 8, 9, 12]);
+        m.prepack_weights();
+        let warm = m.encode(&seq);
+        for pid in [m.blocks[0].ff1.weight(), m.blocks[0].heads[0].0.weight()] {
+            let w = m.store.value_mut(pid);
+            let v = w.get(0, 0);
+            w.set(0, 0, v + 0.5);
+        }
+        let after = m.encode(&seq);
+        assert_ne!(warm.data(), after.data(), "write had no effect on encode");
+        let mut fresh = MiniPlm::new(m.config);
+        fresh.import_weights(m.export_weights());
+        assert_eq!(
+            after.data(),
+            fresh.encode(&seq).data(),
+            "prepacked encode after a weight write diverged from fresh model"
+        );
+    }
+
+    #[test]
     fn contextual_representations_depend_on_context() {
         let m = model();
         // Token 9 in two different contexts must embed differently.
@@ -634,6 +772,29 @@ mod tests {
         let m = model();
         let seq = m.wrap(&[5, 9, 13]);
         assert_eq!(m.encode(&seq).data(), m.encode(&seq).data());
+    }
+
+    #[test]
+    fn scratch_tape_is_reused_across_forward_passes() {
+        // Two encodes on one thread must share the scratch tape (counted
+        // by plm.graph_scratch_reuse) and still agree bit for bit, and the
+        // tape must switch tiers cleanly between passes.
+        let m = model();
+        let seq = m.wrap(&[5, 9, 13, 21]);
+        let first = m.encode(&seq);
+        let before = structmine_store::obs::counter_value("plm.graph_scratch_reuse");
+        let second = m.encode(&seq);
+        assert!(
+            structmine_store::obs::counter_value("plm.graph_scratch_reuse") > before,
+            "second encode on this thread must reuse the scratch tape"
+        );
+        assert_eq!(first.data(), second.data());
+        let fast = m.encode_prec(&seq, Precision::Fast);
+        let exact_again = m.encode(&seq);
+        assert_eq!(first.data(), exact_again.data());
+        for (e, f) in first.data().iter().zip(fast.data()) {
+            assert!((e - f).abs() < 1e-2, "fast diverged: exact={e} fast={f}");
+        }
     }
 
     #[test]

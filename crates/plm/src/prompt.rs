@@ -23,7 +23,11 @@ pub struct PromptError {
 
 impl std::fmt::Display for PromptError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "prompt template word '{}' is not in the vocabulary", self.word)
+        write!(
+            f,
+            "prompt template word '{}' is not in the vocabulary",
+            self.word
+        )
     }
 }
 

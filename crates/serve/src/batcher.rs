@@ -157,10 +157,16 @@ fn run(engine: Arc<Engine>, cfg: BatcherConfig, rx: mpsc::Receiver<Job>) {
 }
 
 /// One coalesced `Engine::classify` call, results scattered back per job.
-fn classify_batch(engine: &Engine, jobs: Vec<Job>, n_docs: usize) {
+fn classify_batch(engine: &Engine, mut jobs: Vec<Job>, n_docs: usize) {
     obs::counter_add("serve.batches", 1);
     obs::counter_add("serve.docs", n_docs as u64);
-    let all: Vec<String> = jobs.iter().flat_map(|j| j.lines.iter().cloned()).collect();
+    // Move the lines out of the jobs instead of cloning every string per
+    // batch; reply scattering below only needs the per-job counts.
+    let counts: Vec<usize> = jobs.iter().map(|j| j.lines.len()).collect();
+    let mut all: Vec<String> = Vec::with_capacity(n_docs);
+    for job in &mut jobs {
+        all.append(&mut job.lines);
+    }
     let result = {
         let _span = obs::span("serve/batch-classify");
         engine.classify(&all)
@@ -168,8 +174,7 @@ fn classify_batch(engine: &Engine, jobs: Vec<Job>, n_docs: usize) {
     match result {
         Ok(preds) => {
             let mut offset = 0;
-            for job in jobs {
-                let n = job.lines.len();
+            for (job, n) in jobs.into_iter().zip(counts) {
                 // A receiver may have hung up (client gone); that is its
                 // problem, not the batch's.
                 let _ = job.reply.send(Ok(preds[offset..offset + n].to_vec()));

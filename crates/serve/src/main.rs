@@ -231,10 +231,16 @@ fn main() {
     if engine.precision() == structmine_linalg::Precision::Fast {
         match structmine_engine::tolerance::self_check(&engine) {
             Ok(report) if report.within_bounds() => {
-                obs::log_info(&format!("[serve] tolerance self-check: {}", report.summary()));
+                obs::log_info(&format!(
+                    "[serve] tolerance self-check: {}",
+                    report.summary()
+                ));
             }
             Ok(report) => {
-                let msg = format!("fast tier failed tolerance self-check ({})", report.summary());
+                let msg = format!(
+                    "fast tier failed tolerance self-check ({})",
+                    report.summary()
+                );
                 obs::log_warn(&format!("[serve] {msg}"));
                 structmine_store::health::set_unusable(&msg);
             }

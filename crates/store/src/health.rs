@@ -89,14 +89,19 @@ pub fn health_body_for(
     unusable: Option<&str>,
     tier: Option<&str>,
 ) -> (u16, String) {
-    let suffix = tier.map(|t| format!(" (precision={t})")).unwrap_or_default();
+    let suffix = tier
+        .map(|t| format!(" (precision={t})"))
+        .unwrap_or_default();
     if let Some(reason) = unusable {
         return (503, format!("unusable: {reason}{suffix}\n"));
     }
     if degradations.is_empty() {
         (200, format!("ok{suffix}\n"))
     } else {
-        (200, format!("degraded: {}{suffix}\n", degradations.join("; ")))
+        (
+            200,
+            format!("degraded: {}{suffix}\n", degradations.join("; ")),
+        )
     }
 }
 

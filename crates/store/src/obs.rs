@@ -618,14 +618,36 @@ pub fn report_coverage(report: &Value) -> Result<f64, String> {
 pub fn report_config_env(report: &Value, key: &str) -> Result<Option<String>, String> {
     let config = get(report, "config", "report")?;
     match get(config, "env", "report.config")? {
-        Value::Map(entries) => Ok(entries
-            .iter()
-            .find(|(k, _)| k == key)
-            .and_then(|(_, v)| match v {
-                Value::Str(s) => Some(s.clone()),
-                _ => None,
-            })),
+        Value::Map(entries) => {
+            Ok(entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| match v {
+                    Value::Str(s) => Some(s.clone()),
+                    _ => None,
+                }))
+        }
         _ => Err("report.config: `env` must be an object".into()),
+    }
+}
+
+/// The value of one counter in a validated report: `Ok(Some(v))` when the
+/// counter was recorded, `Ok(None)` when absent (zero deltas never
+/// materialize a counter, so absence means zero), `Err` on a malformed
+/// report. CI uses this to assert prepack hit-rate > 0 on warm serve runs.
+pub fn report_counter(report: &Value, name: &str) -> Result<Option<u64>, String> {
+    match get(report, "counters", "report")? {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| match v {
+                Value::UInt(n) => Ok(*n),
+                other => Err(format!(
+                    "report.counters: `{name}` must be an integer, got {other:?}"
+                )),
+            })
+            .transpose(),
+        _ => Err("report: `counters` must be an object".into()),
     }
 }
 
@@ -862,5 +884,23 @@ mod tests {
         assert!(labels.contains("obs-live/root"), "labels: {labels:?}");
         masked_report(&json).expect("live report must mask cleanly");
         assert!(report_coverage(&parsed).is_ok());
+    }
+
+    #[test]
+    fn report_counter_reads_present_and_absent_names() {
+        counter_add("obs-counter-test.widget", 7);
+        let value = report("obs-counter-test");
+        let json = serde_json::to_string(&value).unwrap();
+        let parsed = validate_report(&json).unwrap();
+        let got = report_counter(&parsed, "obs-counter-test.widget").unwrap();
+        assert!(
+            got.is_some_and(|n| n >= 7),
+            "recorded counter must be readable, got {got:?}"
+        );
+        assert_eq!(
+            report_counter(&parsed, "obs-counter-test.never-recorded").unwrap(),
+            None,
+            "absent counters read as None (zero deltas never materialize)"
+        );
     }
 }

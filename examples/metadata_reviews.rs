@@ -50,7 +50,9 @@ fn main() {
         ("graph-only (metapath2vec-style)", SignalSet::GraphOnly),
         ("MetaCat    (text + metadata + labels)", SignalSet::Full),
     ] {
-        let out = metacat.run_with_signals(&data, &sup, signals);
+        let out = metacat
+            .run_with_signals(&data, &sup, signals)
+            .expect("labeled-doc supervision was built above");
         let (micro, macro_) = eval(&out.predictions);
         println!("{name:40} micro-F1 {micro:.3}  macro-F1 {macro_:.3}");
     }

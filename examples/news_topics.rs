@@ -60,7 +60,9 @@ fn main() {
         style: PromptStyle::Mlm,
         ..Default::default()
     };
-    let out = pc.run(&data, &plm);
+    let out = pc
+        .run(&data, &plm)
+        .expect("the synthetic corpus contains every template word");
     println!(
         "Prompting (zero-shot cloze):                    {:.3}",
         eval(&out.zero_shot_predictions)

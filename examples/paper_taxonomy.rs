@@ -30,7 +30,9 @@ fn main() {
     );
 
     // ---- TaxoClass ---------------------------------------------------------
-    let out = TaxoClass::default().run(&data, &plm);
+    let out = TaxoClass::default()
+        .run(&data, &plm)
+        .expect("the paper-taxonomy recipe is hierarchical");
     let pred_sets: Vec<Vec<usize>> = data
         .test_idx
         .iter()

@@ -20,7 +20,8 @@ fn weshclass_paths_are_always_valid_tree_paths() {
         pseudo_per_class: 20,
         ..Default::default()
     }
-    .run(&d, &d.supervision_keywords(), &wv);
+    .run(&d, &d.supervision_keywords(), &wv)
+    .unwrap();
     let tax = d.taxonomy.as_ref().unwrap();
     for path in &out.path_predictions {
         assert!(!path.is_empty());
@@ -46,7 +47,8 @@ fn taxoclass_outputs_are_ancestor_closed_and_contain_top1() {
         self_train_iters: 0,
         ..Default::default()
     }
-    .run(&d, &plm);
+    .run(&d, &plm)
+    .unwrap();
     let tax = d.taxonomy.as_ref().unwrap();
     for (i, set) in out.label_sets.iter().enumerate() {
         assert!(set.contains(&out.top1[i]), "top1 not in label set");
@@ -99,7 +101,8 @@ fn hierarchy_supervision_modes_agree_on_structure() {
             pseudo_per_class: 15,
             ..Default::default()
         }
-        .run(&d, &sup, &wv);
+        .run(&d, &sup, &wv)
+        .unwrap();
         assert_eq!(out.path_predictions.len(), d.corpus.len());
         assert!(out.path_predictions.iter().all(|p| p.len() == 2));
     }
@@ -118,7 +121,7 @@ fn metacat_signal_sets_produce_valid_predictions() {
         structmine::metacat::SignalSet::TextOnly,
         structmine::metacat::SignalSet::GraphOnly,
     ] {
-        let out = cfg.run_with_signals(&d, &sup, signals);
+        let out = cfg.run_with_signals(&d, &sup, signals).unwrap();
         assert_eq!(out.predictions.len(), d.corpus.len());
         assert!(out.predictions.iter().all(|&c| c < d.n_classes()));
     }

@@ -114,7 +114,7 @@ fn every_flat_method_emits_predictions_for_every_doc() {
             .predictions,
         LotClass::default().run(&d, &plm).predictions,
         XClass::default().run(&d, &plm).predictions,
-        PromptClass::default().run(&d, &plm).predictions,
+        PromptClass::default().run(&d, &plm).unwrap().predictions,
     ];
     for (m, p) in preds.iter().enumerate() {
         assert_eq!(p.len(), n, "method {m} wrong length");
